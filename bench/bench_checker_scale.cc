@@ -1,0 +1,112 @@
+// Checker scalability (supports the claim that the definitions are usable
+// as a practical standard): DSG construction and the full phenomena check
+// as the history grows, plus the adversarial-version-order ablation from
+// DESIGN.md §3.
+
+#include <benchmark/benchmark.h>
+
+#include "common/str_util.h"
+#include "core/levels.h"
+#include "core/online.h"
+#include "workload/workload.h"
+
+namespace adya {
+namespace {
+
+History MakeHistory(int txns, double random_vorder) {
+  workload::RandomHistoryOptions options;
+  options.seed = 13;
+  options.num_txns = txns;
+  options.num_objects = txns / 2 + 1;
+  options.ops_per_txn = 5;
+  options.random_version_order_prob = random_vorder;
+  return workload::GenerateRandomHistory(options);
+}
+
+void BM_DsgBuild(benchmark::State& state) {
+  History h = MakeHistory(static_cast<int>(state.range(0)), 0.3);
+  for (auto _ : state) {
+    Dsg dsg(h);
+    benchmark::DoNotOptimize(dsg.graph().edge_count());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(h.events().size()));
+  state.SetLabel(StrCat(state.range(0), " txns, ", h.events().size(),
+                        " events"));
+}
+BENCHMARK(BM_DsgBuild)->Arg(10)->Arg(50)->Arg(200)->Arg(1000);
+
+void BM_FullPhenomenaCheck(benchmark::State& state) {
+  History h = MakeHistory(static_cast<int>(state.range(0)), 0.3);
+  for (auto _ : state) {
+    PhenomenaChecker checker(h);
+    auto all = checker.CheckAll();
+    benchmark::DoNotOptimize(all.size());
+  }
+  state.SetLabel(StrCat(state.range(0), " txns"));
+}
+BENCHMARK(BM_FullPhenomenaCheck)->Arg(10)->Arg(50)->Arg(200)->Arg(1000);
+
+void BM_ClassifyAllLevels(benchmark::State& state) {
+  History h = MakeHistory(static_cast<int>(state.range(0)), 0.3);
+  for (auto _ : state) {
+    Classification c = Classify(h);
+    benchmark::DoNotOptimize(c.strongest_ansi);
+  }
+  state.SetLabel(StrCat(state.range(0), " txns"));
+}
+BENCHMARK(BM_ClassifyAllLevels)->Arg(10)->Arg(50)->Arg(200)->Arg(1000);
+
+// Ablation: does the version order's adversarialness change checking cost?
+// (It changes the edge set, not the asymptotics — the shape should be
+// flat-ish across the probability sweep.)
+void BM_VersionOrderAblation(benchmark::State& state) {
+  double prob = static_cast<double>(state.range(0)) / 100.0;
+  History h = MakeHistory(200, prob);
+  for (auto _ : state) {
+    PhenomenaChecker checker(h);
+    auto all = checker.CheckAll();
+    benchmark::DoNotOptimize(all.size());
+  }
+  state.SetLabel(StrCat("random version order p=", prob));
+}
+BENCHMARK(BM_VersionOrderAblation)->Arg(0)->Arg(50)->Arg(100);
+
+// Online (per-commit) certification vs one offline check at the end: the
+// price of streaming enforcement without incremental graph maintenance.
+void BM_OnlineVsOffline(benchmark::State& state) {
+  History h = MakeHistory(static_cast<int>(state.range(0)), 0.0);
+  bool online = state.range(1) != 0;
+  for (auto _ : state) {
+    if (online) {
+      OnlineChecker checker(IsolationLevel::kPL3);
+      History& live = checker.history();
+      for (RelationId r = 0; r < h.relation_count(); ++r) {
+        live.AddRelation(h.relation_name(r));
+      }
+      for (ObjectId o = 0; o < h.object_count(); ++o) {
+        live.AddObject(h.object_name(o), h.object_relation(o));
+      }
+      for (const Event& e : h.events()) {
+        auto fed = checker.Feed(e);
+        benchmark::DoNotOptimize(fed.ok());
+      }
+    } else {
+      LevelCheckResult r = CheckLevel(h, IsolationLevel::kPL3);
+      benchmark::DoNotOptimize(r.satisfied);
+    }
+  }
+  state.SetLabel(StrCat(state.range(0), " txns, ",
+                        online ? "online (check per commit)"
+                               : "offline (single check)"));
+}
+BENCHMARK(BM_OnlineVsOffline)
+    ->Args({20, 0})
+    ->Args({20, 1})
+    ->Args({100, 0})
+    ->Args({100, 1});
+
+}  // namespace
+}  // namespace adya
+
+BENCHMARK_MAIN();

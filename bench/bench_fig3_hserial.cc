@@ -1,0 +1,64 @@
+// Reproduces Figure 3: the DSG of H_serial (§4.4.4) — edges and the
+// resulting serialization order T1, T2, T3 — plus DSG-construction timing.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "common/str_util.h"
+#include "core/dsg.h"
+#include "core/paper_histories.h"
+#include "history/format.h"
+#include "workload/workload.h"
+
+namespace adya {
+namespace {
+
+void PrintFigure3() {
+  PaperHistory ph = MakeHSerial();
+  bench::Section("Figure 3 — DSG for H_serial");
+  std::printf("History (paper notation):\n%s\n",
+              FormatHistory(ph.history).c_str());
+  Dsg dsg(ph.history);
+  std::printf("DSG edges:        %s\n", dsg.EdgeSummary().c_str());
+  std::printf("Paper (Figure 3): T1 --ww--> T2, T1 --wr(item)--> T2, "
+              "T1 --ww--> T3, T2 --wr(item)--> T3, T2 --rw(item)--> T3\n");
+  auto order = dsg.SerializationOrder();
+  std::vector<std::string> names;
+  for (TxnId t : *order) names.push_back(StrCat("T", t));
+  std::printf("Serialization order: %s (paper: T1, T2, T3)\n",
+              StrJoin(names, ", ").c_str());
+  std::printf("\nGraphviz:\n%s", dsg.ToDot().c_str());
+}
+
+void BM_DsgHSerial(benchmark::State& state) {
+  PaperHistory ph = MakeHSerial();
+  for (auto _ : state) {
+    Dsg dsg(ph.history);
+    benchmark::DoNotOptimize(dsg.graph().edge_count());
+  }
+}
+BENCHMARK(BM_DsgHSerial);
+
+void BM_DsgRandom(benchmark::State& state) {
+  workload::RandomHistoryOptions options;
+  options.seed = 3;
+  options.num_txns = static_cast<int>(state.range(0));
+  options.num_objects = options.num_txns;
+  History h = workload::GenerateRandomHistory(options);
+  for (auto _ : state) {
+    Dsg dsg(h);
+    benchmark::DoNotOptimize(dsg.graph().edge_count());
+  }
+  state.SetLabel(StrCat(options.num_txns, " txns"));
+}
+BENCHMARK(BM_DsgRandom)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace adya
+
+int main(int argc, char** argv) {
+  adya::PrintFigure3();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,54 @@
+#ifndef ADYA_BENCH_BENCH_UTIL_H_
+#define ADYA_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace adya::bench {
+
+/// Minimal fixed-width table printer for the paper-style tables the bench
+/// binaries emit before their timing sections.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void Print() const {
+    std::vector<size_t> width(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& row) {
+      for (size_t i = 0; i < row.size() && i < width.size(); ++i) {
+        width[i] = std::max(width[i], row[i].size());
+      }
+    };
+    widen(header_);
+    for (const auto& row : rows_) widen(row);
+    auto print_row = [&](const std::vector<std::string>& row) {
+      std::printf("|");
+      for (size_t i = 0; i < width.size(); ++i) {
+        std::printf(" %-*s |", static_cast<int>(width[i]),
+                    i < row.size() ? row[i].c_str() : "");
+      }
+      std::printf("\n");
+    };
+    print_row(header_);
+    std::printf("|");
+    for (size_t w : width) std::printf("%s|", std::string(w + 2, '-').c_str());
+    std::printf("\n");
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline void Section(const std::string& title) {
+  std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+}  // namespace adya::bench
+
+#endif  // ADYA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,117 @@
+// histtool — command-line front end for the checker:
+//
+//   histtool check <file>          classify a history against every level
+//   histtool dsg <file>            print the DSG edges and Graphviz DOT
+//   histtool minimize <file> <PL>  shrink to a minimal witness violating PL
+//   histtool fmt <file>            reformat canonically
+//
+// History files use the paper notation (see src/history/parser.h).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "core/certifier.h"
+#include "core/levels.h"
+#include "core/minimize.h"
+#include "history/format.h"
+#include "history/parser.h"
+
+namespace {
+
+using namespace adya;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: histtool check|dsg|fmt <file>\n"
+               "       histtool minimize <file> <level>\n"
+               "levels: PL-1 PL-2 PL-CS PL-2+ PL-2.99 PL-SI PL-3\n");
+  return 2;
+}
+
+Result<History> Load(const char* path) {
+  std::ifstream file(path);
+  if (!file) return Status::NotFound(std::string("cannot open ") + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseHistory(buffer.str());
+}
+
+Result<IsolationLevel> LevelByName(const char* name) {
+  for (IsolationLevel level :
+       {IsolationLevel::kPL1, IsolationLevel::kPL2, IsolationLevel::kPLCS,
+        IsolationLevel::kPL2Plus, IsolationLevel::kPL299,
+        IsolationLevel::kPLSI, IsolationLevel::kPL3}) {
+    if (IsolationLevelName(level) == name) return level;
+  }
+  return Status::InvalidArgument(std::string("unknown level ") + name);
+}
+
+int Check(const History& h) {
+  Classification c = Classify(h);
+  std::printf("%s\n\n", c.Summary().c_str());
+  for (const auto& [level, ok] : c.satisfied) {
+    std::printf("  %-8s %s\n", std::string(IsolationLevelName(level)).c_str(),
+                ok ? "satisfied" : "violated");
+  }
+  for (const Violation& v : c.violations) {
+    std::printf("\n%s\n", v.description.c_str());
+  }
+  return c.violations.empty() ? 0 : 1;
+}
+
+int PrintDsg(const History& h) {
+  Dsg dsg(h);
+  std::printf("edges: %s\n\n%s", dsg.EdgeSummary().c_str(),
+              dsg.ToDot().c_str());
+  auto order = dsg.SerializationOrder();
+  if (order.has_value()) {
+    std::printf("serialization order:");
+    for (TxnId t : *order) std::printf(" T%u", t);
+    std::printf("\n");
+  } else {
+    std::printf("no serialization order (the DSG is cyclic)\n");
+  }
+  return 0;
+}
+
+int MinimizeCmd(const History& h, IsolationLevel level) {
+  LevelCheckResult check = CheckLevel(h, level);
+  if (check.satisfied) {
+    std::printf("history already satisfies %s; nothing to minimize\n",
+                std::string(IsolationLevelName(level)).c_str());
+    return 1;
+  }
+  History min = MinimizeForLevelViolation(h, level);
+  std::printf("# minimized from %zu to %zu events\n%s",
+              h.events().size(), min.events().size(),
+              FormatHistory(min).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  auto history = Load(argv[2]);
+  if (!history.ok()) {
+    std::fprintf(stderr, "%s\n", history.status().ToString().c_str());
+    return 2;
+  }
+  if (std::strcmp(argv[1], "check") == 0) return Check(*history);
+  if (std::strcmp(argv[1], "dsg") == 0) return PrintDsg(*history);
+  if (std::strcmp(argv[1], "fmt") == 0) {
+    std::printf("%s", FormatHistory(*history).c_str());
+    return 0;
+  }
+  if (std::strcmp(argv[1], "minimize") == 0 && argc >= 4) {
+    auto level = LevelByName(argv[3]);
+    if (!level.ok()) {
+      std::fprintf(stderr, "%s\n", level.status().ToString().c_str());
+      return 2;
+    }
+    return MinimizeCmd(*history, *level);
+  }
+  return Usage();
+}

@@ -1,0 +1,72 @@
+// The payroll phantom of §5.4: an auditor sums the Sales salaries and
+// cross-checks a maintained total while someone hires a new Sales employee.
+// Shows how the generalized definitions handle predicates: the phantom
+// history passes PL-2.99 (REPEATABLE READ) but fails PL-3, and the conflict
+// analyzer explains the cycle via a predicate anti-dependency.
+
+#include <cstdio>
+
+#include "core/levels.h"
+#include "core/paper_histories.h"
+#include "history/builder.h"
+#include "history/format.h"
+
+namespace {
+
+using namespace adya;
+
+void AnalyzePhantom() {
+  PaperHistory ph = MakeHPhantom();
+  std::printf("---- %s ----\n%s\n\n%s\n", ph.name.c_str(), ph.claim.c_str(),
+              FormatHistory(ph.history).c_str());
+  Dsg dsg(ph.history);
+  std::printf("DSG edges: %s\n\n", dsg.EdgeSummary().c_str());
+  Classification c = Classify(ph.history);
+  std::printf("PL-2.99: %s (anti-dependency cycles due to predicates are\n"
+              "allowed at REPEATABLE READ — §5.4)\n",
+              c.Satisfies(IsolationLevel::kPL299) ? "satisfied" : "violated");
+  std::printf("PL-3:    %s\n\n",
+              c.Satisfies(IsolationLevel::kPL3) ? "satisfied" : "violated");
+  PhenomenaChecker checker(ph.history);
+  if (auto g2 = checker.Check(Phenomenon::kG2)) {
+    std::printf("%s\n\n", g2->description.c_str());
+  }
+}
+
+void AnalyzeIrrelevantUpdate() {
+  // The flip side (§4.4.1/§4.4.2): a concurrent update that does NOT change
+  // the matches of the auditor's predicate creates no conflict at all —
+  // the flexibility precision locks have and pure predicate locking lacks.
+  HistoryBuilder b;
+  b.Relation("Emp").Object("x", "Emp");
+  b.Pred("Sales", "dept = \"Sales\"", {"Emp"});
+  b.W(0, "x", Row{{"dept", Value("Sales")}, {"phone", Value(1)}});
+  b.Commit(0);
+  b.PredR(1, "Sales", {"x@0"});
+  b.R(1, "x", 0);
+  // T2 changes x's phone number mid-audit: irrelevant to Dept=Sales.
+  b.W(2, "x", Row{{"dept", Value("Sales")}, {"phone", Value(2)}});
+  b.Commit(2);
+  b.Commit(1);
+  auto h = b.Build();
+  ADYA_CHECK(h.ok());
+  std::printf("---- irrelevant concurrent update ----\n%s\n",
+              FormatHistory(*h).c_str());
+  Dsg dsg(*h);
+  std::printf("DSG edges: %s\n", dsg.EdgeSummary().c_str());
+  Classification c = Classify(*h);
+  std::printf(
+      "PL-3: %s — no predicate-anti-dependency: T2's phone update does not\n"
+      "change the matches, so the audit serializes before the update even\n"
+      "though both ran concurrently (a pure predicate-locking system would\n"
+      "have blocked T2).\n",
+      c.Satisfies(IsolationLevel::kPL3) ? "satisfied" : "violated");
+}
+
+}  // namespace
+
+int main() {
+  AnalyzePhantom();
+  AnalyzeIrrelevantUpdate();
+  return 0;
+}

@@ -1,0 +1,42 @@
+#ifndef ADYA_COMMON_CHECK_H_
+#define ADYA_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace adya::internal {
+
+/// Prints a fatal-check failure and aborts. Out of line so the macro bodies
+/// stay small.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+}  // namespace adya::internal
+
+/// Fatal assertion for programmer errors (not data errors — those use
+/// Status). Streams an optional message: ADYA_CHECK(x > 0) << "x=" << x;
+/// is not supported to keep this dependency-free; use ADYA_CHECK_MSG.
+#define ADYA_CHECK(expr)                                                  \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::adya::internal::CheckFailed(__FILE__, __LINE__, #expr, "");       \
+    }                                                                     \
+  } while (false)
+
+#define ADYA_CHECK_MSG(expr, msg)                                         \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      std::ostringstream _adya_oss;                                       \
+      _adya_oss << msg;                                                   \
+      ::adya::internal::CheckFailed(__FILE__, __LINE__, #expr,            \
+                                    _adya_oss.str());                     \
+    }                                                                     \
+  } while (false)
+
+/// Marks an unreachable code path.
+#define ADYA_UNREACHABLE()                                                \
+  ::adya::internal::CheckFailed(__FILE__, __LINE__, "unreachable", "")
+
+#endif  // ADYA_COMMON_CHECK_H_

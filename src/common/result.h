@@ -1,0 +1,74 @@
+#ifndef ADYA_COMMON_RESULT_H_
+#define ADYA_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace adya {
+
+/// A value-or-Status holder (StatusOr/arrow::Result analogue). A Result is
+/// either OK and holds a `T`, or holds a non-OK Status. Accessing the value
+/// of an errored Result is a checked programmer error.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from Status, so `return value;` and
+  /// `return Status::…;` both work (matches absl::StatusOr ergonomics).
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status)                            // NOLINT(runtime/explicit)
+      : storage_(std::move(status)) {
+    ADYA_CHECK_MSG(!std::get<Status>(storage_).ok(),
+                   "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+
+  /// Returns OK when a value is held, the error otherwise.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(storage_);
+  }
+
+  const T& value() const& {
+    ADYA_CHECK_MSG(ok(), "Result::value() on error: " << status());
+    return std::get<T>(storage_);
+  }
+  T& value() & {
+    ADYA_CHECK_MSG(ok(), "Result::value() on error: " << status());
+    return std::get<T>(storage_);
+  }
+  T&& value() && {
+    ADYA_CHECK_MSG(ok(), "Result::value() on error: " << status());
+    return std::get<T>(std::move(storage_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> storage_;
+};
+
+}  // namespace adya
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error Status. `lhs` may include a declaration:
+///   ADYA_ASSIGN_OR_RETURN(auto parsed, ParseHistory(text));
+#define ADYA_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  ADYA_ASSIGN_OR_RETURN_IMPL_(                                  \
+      ADYA_RESULT_CONCAT_(_adya_result_, __LINE__), lhs, rexpr)
+
+#define ADYA_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#define ADYA_RESULT_CONCAT_(a, b) ADYA_RESULT_CONCAT_IMPL_(a, b)
+#define ADYA_RESULT_CONCAT_IMPL_(a, b) a##b
+
+#endif  // ADYA_COMMON_RESULT_H_

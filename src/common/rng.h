@@ -1,0 +1,61 @@
+#ifndef ADYA_COMMON_RNG_H_
+#define ADYA_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace adya {
+
+/// A small, fast, deterministic PRNG (SplitMix64 seeded xoshiro256**).
+/// Workload generators and property tests use this so that every run is
+/// reproducible from a single uint64 seed; std::mt19937 distributions are
+/// not guaranteed bit-stable across standard libraries.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform over the full 64-bit range.
+  uint64_t Next();
+
+  /// Uniform in [0, bound). `bound` must be positive.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool NextBool(double p = 0.5);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Picks an index in [0, weights.size()) proportionally to weights.
+  /// Requires at least one strictly positive weight.
+  size_t PickWeighted(const std::vector<double>& weights);
+
+  /// Fisher–Yates shuffles `v` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = NextBelow(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Picks a uniformly random element. Requires non-empty.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    ADYA_CHECK(!v.empty());
+    return v[NextBelow(v.size())];
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace adya
+
+#endif  // ADYA_COMMON_RNG_H_

@@ -1,0 +1,98 @@
+#ifndef ADYA_COMMON_STATUS_H_
+#define ADYA_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace adya {
+
+/// Canonical error codes, modeled on the database-systems convention
+/// (RocksDB/Arrow-style status objects instead of exceptions).
+enum class StatusCode {
+  kOk = 0,
+  /// Malformed input (e.g. a history that violates the well-formedness
+  /// constraints of Section 4.2 of the paper, or a parse error).
+  kInvalidArgument,
+  /// A referenced entity (object, transaction, relation, version) is unknown.
+  kNotFound,
+  /// An entity was defined twice.
+  kAlreadyExists,
+  /// The operation cannot proceed in the current state (e.g. an operation on
+  /// a finished transaction).
+  kFailedPrecondition,
+  /// Engine-level: the transaction must block waiting for a lock.
+  kWouldBlock,
+  /// Engine-level: the transaction was chosen as a deadlock victim or failed
+  /// validation and has been aborted.
+  kTxnAborted,
+  /// An internal invariant failed. Always a bug.
+  kInternal,
+};
+
+/// Returns the canonical lower-case name of `code`, e.g. "invalid_argument".
+std::string_view StatusCodeName(StatusCode code);
+
+/// A cheap, copyable success-or-error value. `Status::OK()` carries no
+/// allocation. Functions that can fail for reasons other than programmer
+/// error return `Status` (or `Result<T>`); CHECK macros handle the rest.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status WouldBlock(std::string msg) {
+    return Status(StatusCode::kWouldBlock, std::move(msg));
+  }
+  static Status TxnAborted(std::string msg) {
+    return Status(StatusCode::kTxnAborted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace adya
+
+/// Propagates a non-OK status to the caller.
+#define ADYA_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::adya::Status _adya_status = (expr);           \
+    if (!_adya_status.ok()) return _adya_status;    \
+  } while (false)
+
+#endif  // ADYA_COMMON_STATUS_H_

@@ -1,0 +1,44 @@
+#ifndef ADYA_COMMON_STR_UTIL_H_
+#define ADYA_COMMON_STR_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adya {
+
+/// Concatenates the stream representations of all arguments.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream oss;
+  ((oss << args), ...);
+  return oss.str();
+}
+
+/// Joins the stream representations of `parts` with `sep`.
+template <typename Container>
+std::string StrJoin(const Container& parts, std::string_view sep) {
+  std::ostringstream oss;
+  bool first = true;
+  for (const auto& p : parts) {
+    if (!first) oss << sep;
+    first = false;
+    oss << p;
+  }
+  return oss.str();
+}
+
+/// Splits on a single character; keeps empty pieces.
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view StripAsciiWhitespace(std::string_view text);
+
+/// True if `text` begins with / ends with the given affix.
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+}  // namespace adya
+
+#endif  // ADYA_COMMON_STR_UTIL_H_

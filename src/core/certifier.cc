@@ -1,0 +1,64 @@
+#include "core/certifier.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+#include "core/levels.h"
+
+namespace adya {
+
+Result<History> WithCommitted(const History& h, TxnId txn) {
+  ADYA_CHECK_MSG(h.finalized(), "WithCommitted requires a finalized history");
+  if (!h.Known(txn) || !h.IsAborted(txn)) {
+    return Status::FailedPrecondition(
+        StrCat("T", txn, " must be an aborted (or auto-completed running) ",
+               "transaction"));
+  }
+  History out;
+  for (RelationId r = 0; r < h.relation_count(); ++r) {
+    out.AddRelation(h.relation_name(r));
+  }
+  for (ObjectId o = 0; o < h.object_count(); ++o) {
+    out.AddObject(h.object_name(o), h.object_relation(o));
+  }
+  for (PredicateId p = 0; p < h.predicate_count(); ++p) {
+    out.AddPredicate(h.predicate_name(p), h.predicate_ptr(p),
+                     h.predicate_relations(p));
+  }
+  for (TxnId t : h.Transactions()) out.SetLevel(t, h.txn_info(t).level);
+  EventId abort_event = h.txn_info(txn).abort_event;
+  for (EventId id = 0; id < h.events().size(); ++id) {
+    if (id == abort_event) {
+      out.Append(Event::Commit(txn));
+    } else {
+      out.Append(h.event(id));
+    }
+  }
+  // The newly committed transaction installs its versions now: they take
+  // the tail of each version order (first-committer-installed-first).
+  for (ObjectId obj = 0; obj < h.object_count(); ++obj) {
+    std::vector<TxnId> order = h.VersionOrder(obj);
+    if (h.FinalSeq(txn, obj) > 0) order.push_back(txn);
+    out.SetVersionOrder(obj, std::move(order));
+  }
+  ADYA_RETURN_IF_ERROR(out.Finalize());
+  return out;
+}
+
+Result<CommitTest> TestCommit(const History& h, TxnId txn,
+                              IsolationLevel level) {
+  ADYA_ASSIGN_OR_RETURN(History committed, WithCommitted(h, txn));
+  LevelCheckResult baseline = CheckLevel(h, level);
+  LevelCheckResult with_commit = CheckLevel(committed, level);
+  CommitTest result;
+  for (Violation& v : with_commit.violations) {
+    bool already = std::any_of(
+        baseline.violations.begin(), baseline.violations.end(),
+        [&](const Violation& b) { return b.phenomenon == v.phenomenon; });
+    if (!already) result.new_violations.push_back(std::move(v));
+  }
+  result.can_commit = result.new_violations.empty();
+  return result;
+}
+
+}  // namespace adya

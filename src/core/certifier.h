@@ -1,0 +1,43 @@
+#ifndef ADYA_CORE_CERTIFIER_H_
+#define ADYA_CORE_CERTIFIER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/phenomena.h"
+#include "history/history.h"
+
+namespace adya {
+
+/// Commit-time certification — the question an optimistic scheduler asks
+/// (§5.6: the levels "impose constraints only when transactions commit"):
+/// *if this transaction committed right now, would the history still
+/// provide the requested level?* The thesis builds special graphs with a
+/// node for the executing transaction; the equivalent operational form used
+/// here replaces the transaction's completion with a commit, installs its
+/// versions at the tail of each version order, re-finalizes, and compares
+/// the level check against the baseline where the transaction aborts.
+struct CommitTest {
+  /// True when committing adds no violation the abort baseline lacks.
+  bool can_commit = false;
+  /// Violations that appear only if the transaction commits.
+  std::vector<Violation> new_violations;
+};
+
+/// `h` must be finalized and `txn` aborted in it (the completion rule makes
+/// every still-running transaction look aborted in a snapshot, so engine
+/// recorder snapshots feed straight in). Fails if committing `txn` cannot
+/// even produce a well-formed history (e.g. it would install after a dead
+/// version) — reported as kFailedPrecondition with can_commit semantics
+/// left to the caller.
+Result<CommitTest> TestCommit(const History& h, TxnId txn,
+                              IsolationLevel level);
+
+/// The history `h` with `txn`'s abort replaced by a commit (its versions
+/// install last in each version order). Building block for TestCommit,
+/// exposed for tests and tooling.
+Result<History> WithCommitted(const History& h, TxnId txn);
+
+}  // namespace adya
+
+#endif  // ADYA_CORE_CERTIFIER_H_

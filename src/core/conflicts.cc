@@ -1,0 +1,261 @@
+#include "core/conflicts.h"
+
+#include <map>
+#include <optional>
+
+#include "common/str_util.h"
+#include "history/format.h"
+
+namespace adya {
+
+std::string_view DepKindName(DepKind kind) {
+  switch (kind) {
+    case DepKind::kWW:
+      return "ww";
+    case DepKind::kWRItem:
+      return "wr(item)";
+    case DepKind::kWRPred:
+      return "wr(pred)";
+    case DepKind::kRWItem:
+      return "rw(item)";
+    case DepKind::kRWPred:
+      return "rw(pred)";
+    case DepKind::kStart:
+      return "start";
+  }
+  return "?";
+}
+
+std::string Dependency::Describe(const History& h) const {
+  std::string head = StrCat("T", from, " --", DepKindName(kind), "--> T", to,
+                            ": ");
+  switch (kind) {
+    case DepKind::kWW:
+      return StrCat(head, "T", from, " installed ",
+                    FormatVersion(h, from_version), ", T", to,
+                    " installed the next version ",
+                    FormatVersion(h, to_version));
+    case DepKind::kWRItem:
+      return StrCat(head, "T", to, " read ", FormatVersion(h, from_version),
+                    " installed by T", from);
+    case DepKind::kWRPred:
+      return StrCat(head, FormatVersion(h, from_version), " by T", from,
+                    " was the latest change of the matches of T", to,
+                    "'s read of predicate ", h.predicate_name(predicate));
+    case DepKind::kRWItem:
+      return StrCat(head, "T", from, " read ", FormatVersion(h, from_version),
+                    ", T", to, " installed the next version ",
+                    FormatVersion(h, to_version));
+    case DepKind::kRWPred:
+      return StrCat(head, "T", to, " installed ",
+                    FormatVersion(h, to_version),
+                    ", changing the matches of T", from,
+                    "'s read of predicate ", h.predicate_name(predicate),
+                    " (which selected ", FormatVersion(h, from_version), ")");
+    case DepKind::kStart:
+      return StrCat(head, "T", from, " committed before T", to, " started");
+  }
+  return head;
+}
+
+namespace {
+
+/// Computes all direct conflicts for one finalized history.
+class Analyzer {
+ public:
+  Analyzer(const History& h, const ConflictOptions& options)
+      : h_(h), options_(options) {
+    ADYA_CHECK_MSG(h.finalized(), "ComputeDependencies needs Finalize()");
+  }
+
+  std::vector<Dependency> Run() {
+    WriteDependencies();
+    ItemReadAndAntiDependencies();
+    PredicateDependencies();
+    if (options_.include_start_edges) StartDependencies();
+    return std::move(out_);
+  }
+
+ private:
+  void Emit(Dependency dep) {
+    if (dep.from == dep.to) return;  // conflicts relate distinct transactions
+    out_.push_back(std::move(dep));
+  }
+
+  // Definition 6: Tj directly write-depends on Ti if Ti installs x_i and Tj
+  // installs x's next version.
+  void WriteDependencies() {
+    for (ObjectId obj = 0; obj < h_.object_count(); ++obj) {
+      const std::vector<TxnId>& order = h_.VersionOrder(obj);
+      for (size_t i = 0; i + 1 < order.size(); ++i) {
+        Dependency dep;
+        dep.from = order[i];
+        dep.to = order[i + 1];
+        dep.kind = DepKind::kWW;
+        dep.object = obj;
+        dep.from_version = *h_.InstalledVersion(order[i], obj);
+        dep.to_version = *h_.InstalledVersion(order[i + 1], obj);
+        Emit(std::move(dep));
+      }
+    }
+  }
+
+  // Definitions 3 and 5, item cases. One pass over read events of committed
+  // readers; versions written by uncommitted/aborted transactions have no
+  // position in the version order and yield no edges (G1a covers them).
+  void ItemReadAndAntiDependencies() {
+    for (const Event& e : h_.events()) {
+      if (e.type != EventType::kRead || !h_.IsCommitted(e.txn)) continue;
+      const VersionId& v = e.version;
+      if (!h_.IsCommitted(v.writer)) continue;
+      // Ti --wr--> Tj. For a read of an intermediate version of a committed
+      // transaction (a G1b violation) we still attribute the dependency to
+      // the writer; this only affects histories already outside PL-2.
+      {
+        Dependency dep;
+        dep.from = v.writer;
+        dep.to = e.txn;
+        dep.kind = DepKind::kWRItem;
+        dep.object = v.object;
+        dep.from_version = v;
+        dep.to_version = v;
+        Emit(std::move(dep));
+      }
+      // Tj --rw--> (installer of the next version after the one read).
+      std::optional<size_t> pos = h_.OrderIndex(v.object, v.writer);
+      ADYA_CHECK_MSG(pos.has_value(),
+                     "committed writer must appear in the version order");
+      const std::vector<TxnId>& order = h_.VersionOrder(v.object);
+      if (*pos + 1 < order.size()) {
+        Dependency dep;
+        dep.from = e.txn;
+        dep.to = order[*pos + 1];
+        dep.kind = DepKind::kRWItem;
+        dep.object = v.object;
+        dep.from_version = v;
+        dep.to_version = *h_.InstalledVersion(order[*pos + 1], v.object);
+        Emit(std::move(dep));
+      }
+    }
+  }
+
+  // Match flags of an object's committed versions against a predicate,
+  // aligned with the version order; cached per (object, predicate).
+  const std::vector<bool>& MatchFlags(ObjectId obj, PredicateId pred) {
+    auto key = std::make_pair(obj, pred);
+    auto it = match_cache_.find(key);
+    if (it != match_cache_.end()) return it->second;
+    const std::vector<TxnId>& order = h_.VersionOrder(obj);
+    std::vector<bool> flags;
+    flags.reserve(order.size());
+    for (TxnId txn : order) {
+      flags.push_back(h_.Matches(*h_.InstalledVersion(txn, obj), pred));
+    }
+    return match_cache_.emplace(key, std::move(flags)).first->second;
+  }
+
+  // Definition 2: version i changes the matches if its match status differs
+  // from its immediate predecessor's (x_init, which never matches, precedes
+  // the first committed version).
+  bool ChangesMatches(const std::vector<bool>& flags, size_t i) const {
+    bool prev = (i == 0) ? false : flags[i - 1];
+    return flags[i] != prev;
+  }
+
+  // Definitions 3 (predicate case), 4 and 5 (predicate case).
+  void PredicateDependencies() {
+    for (const Event& e : h_.events()) {
+      if (e.type != EventType::kPredicateRead || !h_.IsCommitted(e.txn)) {
+        continue;
+      }
+      std::map<ObjectId, VersionId> selected;
+      for (const VersionId& v : e.vset) selected[v.object] = v;
+      const std::vector<RelationId>& rels = h_.predicate_relations(e.predicate);
+      for (ObjectId obj = 0; obj < h_.object_count(); ++obj) {
+        bool in_relations = false;
+        for (RelationId r : rels) in_relations |= (h_.object_relation(obj) == r);
+        if (!in_relations) continue;
+        // Position of the selected version in the version order; the
+        // implicit selection is x_init (position "before index 0").
+        auto sel_it = selected.find(obj);
+        VersionId sel =
+            sel_it == selected.end() ? InitVersion(obj) : sel_it->second;
+        ptrdiff_t pos;
+        if (sel.is_init()) {
+          pos = -1;
+        } else {
+          if (!h_.IsCommitted(sel.writer)) continue;  // unpositionable
+          std::optional<size_t> idx = h_.OrderIndex(obj, sel.writer);
+          ADYA_CHECK(idx.has_value());
+          pos = static_cast<ptrdiff_t>(*idx);
+        }
+        const std::vector<bool>& flags = MatchFlags(obj, e.predicate);
+        const std::vector<TxnId>& order = h_.VersionOrder(obj);
+        // wr(pred): the latest change at or before the selected version.
+        for (ptrdiff_t j = pos; j >= 0; --j) {
+          if (!ChangesMatches(flags, static_cast<size_t>(j))) continue;
+          Dependency dep;
+          dep.from = order[static_cast<size_t>(j)];
+          dep.to = e.txn;
+          dep.kind = DepKind::kWRPred;
+          dep.object = obj;
+          dep.from_version =
+              *h_.InstalledVersion(order[static_cast<size_t>(j)], obj);
+          dep.to_version = sel;
+          dep.predicate = e.predicate;
+          dep.is_predicate = true;
+          Emit(std::move(dep));
+          break;
+        }
+        // rw(pred): every later change overwrites this predicate read
+        // (Definition 4).
+        for (size_t j = static_cast<size_t>(pos + 1); j < order.size(); ++j) {
+          if (!ChangesMatches(flags, j)) continue;
+          Dependency dep;
+          dep.from = e.txn;
+          dep.to = order[j];
+          dep.kind = DepKind::kRWPred;
+          dep.object = obj;
+          dep.from_version = sel;
+          dep.to_version = *h_.InstalledVersion(order[j], obj);
+          dep.predicate = e.predicate;
+          dep.is_predicate = true;
+          Emit(std::move(dep));
+        }
+      }
+    }
+  }
+
+  // Thesis start-depends (used by the PL-SI check): Tj start-depends on Ti
+  // iff Ti's commit precedes Tj's start.
+  void StartDependencies() {
+    std::vector<TxnId> committed = h_.CommittedTransactions();
+    for (TxnId from : committed) {
+      EventId commit = h_.txn_info(from).commit_event;
+      for (TxnId to : committed) {
+        if (from == to) continue;
+        if (commit < h_.txn_info(to).begin_event) {
+          Dependency dep;
+          dep.from = from;
+          dep.to = to;
+          dep.kind = DepKind::kStart;
+          Emit(std::move(dep));
+        }
+      }
+    }
+  }
+
+  const History& h_;
+  ConflictOptions options_;
+  std::vector<Dependency> out_;
+  std::map<std::pair<ObjectId, PredicateId>, std::vector<bool>> match_cache_;
+};
+
+}  // namespace
+
+std::vector<Dependency> ComputeDependencies(const History& h,
+                                            const ConflictOptions& options) {
+  return Analyzer(h, options).Run();
+}
+
+}  // namespace adya

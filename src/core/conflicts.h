@@ -1,0 +1,92 @@
+#ifndef ADYA_CORE_CONFLICTS_H_
+#define ADYA_CORE_CONFLICTS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "history/history.h"
+
+namespace adya {
+
+/// The direct-conflict kinds of §4.4 (Figure 2), plus the start-dependency
+/// used by the start-ordered serialization graph of the thesis's Snapshot
+/// Isolation definition. Values are single bits so graph algorithms can
+/// take kind masks.
+enum class DepKind : uint8_t {
+  kWW = 0,      // directly write-depends (Definition 6)
+  kWRItem,      // directly item-read-depends (Definition 3)
+  kWRPred,      // directly predicate-read-depends (Definition 3)
+  kRWItem,      // directly item-anti-depends (Definition 5)
+  kRWPred,      // directly predicate-anti-depends (Definition 5)
+  kStart,       // start-depends: c_i precedes b_j (thesis, for PL-SI)
+};
+
+std::string_view DepKindName(DepKind kind);
+
+constexpr graph::KindMask Bit(DepKind kind) {
+  return graph::KindMask{1} << static_cast<int>(kind);
+}
+
+/// Dependency edges (read- or write-depends): the "depends" relation of
+/// Definition 8.
+inline constexpr graph::KindMask kDependencyMask =
+    Bit(DepKind::kWW) | Bit(DepKind::kWRItem) | Bit(DepKind::kWRPred);
+/// Anti-dependency edges.
+inline constexpr graph::KindMask kAntiMask =
+    Bit(DepKind::kRWItem) | Bit(DepKind::kRWPred);
+/// All conflict edges of the DSG (start edges excluded).
+inline constexpr graph::KindMask kConflictMask = kDependencyMask | kAntiMask;
+inline constexpr graph::KindMask kStartMask = Bit(DepKind::kStart);
+
+/// One direct conflict between two committed transactions, with enough
+/// context to explain *why* the edge exists (Elle-style auditable output).
+struct Dependency {
+  TxnId from = 0;
+  TxnId to = 0;
+  DepKind kind = DepKind::kWW;
+  /// The object whose versions conflict (for kStart: unused).
+  ObjectId object = 0;
+  /// kWW: the version `from` installed.  kWRItem/kWRPred: the version
+  /// `from` installed that `to` read / that changed the matches.
+  /// kRWItem/kRWPred: the version `from` read / selected in its Vset.
+  VersionId from_version{};
+  /// kWW/kRWItem/kRWPred: the version `to` installed.
+  /// kWRItem: the version read (same as from_version).
+  VersionId to_version{};
+  /// kWRPred/kRWPred: the predicate involved.
+  PredicateId predicate = 0;
+  bool is_predicate = false;
+
+  /// Human-readable description, e.g.
+  /// "T2 --rw(item)--> T3: T2 read x1, T3 installed the next version x3".
+  std::string Describe(const History& h) const;
+};
+
+struct ConflictOptions {
+  /// Also compute start-dependency edges (needed only for PL-SI checking;
+  /// quadratic in committed transactions).
+  bool include_start_edges = false;
+};
+
+/// Computes every direct conflict of the history per §4.4. Only committed
+/// transactions participate (the DSG has nodes only for committed
+/// transactions); reads of uncommitted or aborted versions produce no edges
+/// — phenomena G1a/G1b police those directly on the history.
+///
+/// Implementation notes on the predicate definitions (see DESIGN.md §3):
+///  * predicate-read-depends uses the *latest* change at or before the
+///    selected version (§4.4.1's "we use the latest transaction where a
+///    change to Vset(P) occurs");
+///  * predicate-anti-depends adds an edge to *every* later committed
+///    installer that changes the matches (Definition 4);
+///  * a Vset entry from an uncommitted/aborted writer has no position in
+///    the version order and contributes no predicate edges;
+///  * objects of P's relations absent from a recorded Vset implicitly
+///    selected x_init.
+std::vector<Dependency> ComputeDependencies(
+    const History& h, const ConflictOptions& options = ConflictOptions());
+
+}  // namespace adya
+
+#endif  // ADYA_CORE_CONFLICTS_H_

@@ -1,0 +1,102 @@
+#include "core/dsg.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+#include "graph/dot.h"
+
+namespace adya {
+
+Dsg::Dsg(const History& h, const ConflictOptions& options) : history_(&h) {
+  for (TxnId txn : h.CommittedTransactions()) {
+    txn_nodes_[txn] = static_cast<graph::NodeId>(node_txns_.size());
+    node_txns_.push_back(txn);
+  }
+  graph_.Resize(node_txns_.size());
+
+  // Merge conflicts into one edge per (from, to, kind), in deterministic
+  // order (conflicts come out of ComputeDependencies in event order).
+  std::map<std::tuple<TxnId, TxnId, DepKind>, std::vector<Dependency>> merged;
+  std::vector<std::tuple<TxnId, TxnId, DepKind>> keys;  // insertion order
+  for (Dependency& dep : ComputeDependencies(h, options)) {
+    auto key = std::make_tuple(dep.from, dep.to, dep.kind);
+    auto [it, inserted] = merged.try_emplace(key);
+    if (inserted) keys.push_back(key);
+    it->second.push_back(std::move(dep));
+  }
+  for (const auto& key : keys) {
+    const auto& [from, to, kind] = key;
+    graph_.AddEdge(txn_nodes_.at(from), txn_nodes_.at(to), Bit(kind));
+    edge_reasons_.push_back(std::move(merged.at(key)));
+    edge_kinds_.push_back(kind);
+  }
+}
+
+std::optional<graph::NodeId> Dsg::node_of(TxnId txn) const {
+  auto it = txn_nodes_.find(txn);
+  if (it == txn_nodes_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Dsg::DescribeEdge(graph::EdgeId edge) const {
+  const graph::Digraph::Edge& e = graph_.edge(edge);
+  std::string out = StrCat("T", txn_of(e.from), " --",
+                           DepKindName(edge_kinds_[edge]), "--> T",
+                           txn_of(e.to));
+  for (const Dependency& dep : edge_reasons_[edge]) {
+    out += StrCat("\n    ", dep.Describe(*history_));
+  }
+  return out;
+}
+
+std::string Dsg::DescribeCycle(const graph::Cycle& cycle) const {
+  std::string out = "cycle:";
+  for (graph::EdgeId edge : cycle.edges) {
+    out += StrCat("\n  ", DescribeEdge(edge));
+  }
+  return out;
+}
+
+std::string Dsg::EdgeSummary() const {
+  // Sort by (from txn, to txn, kind) for a stable golden representation.
+  std::vector<graph::EdgeId> ids(graph_.edge_count());
+  for (graph::EdgeId i = 0; i < ids.size(); ++i) ids[i] = i;
+  std::sort(ids.begin(), ids.end(), [this](graph::EdgeId a, graph::EdgeId b) {
+    const auto& ea = graph_.edge(a);
+    const auto& eb = graph_.edge(b);
+    auto ka = std::make_tuple(txn_of(ea.from), txn_of(ea.to),
+                              static_cast<int>(edge_kinds_[a]));
+    auto kb = std::make_tuple(txn_of(eb.from), txn_of(eb.to),
+                              static_cast<int>(edge_kinds_[b]));
+    return ka < kb;
+  });
+  std::vector<std::string> parts;
+  parts.reserve(ids.size());
+  for (graph::EdgeId id : ids) {
+    const auto& e = graph_.edge(id);
+    parts.push_back(StrCat("T", txn_of(e.from), " --",
+                           DepKindName(edge_kinds_[id]), "--> T",
+                           txn_of(e.to)));
+  }
+  return StrJoin(parts, ", ");
+}
+
+std::string Dsg::ToDot() const {
+  return graph::ToDot(
+      graph_,
+      [this](graph::NodeId n) { return StrCat("T", txn_of(n)); },
+      [this](graph::EdgeId e) {
+        return std::string(DepKindName(edge_kinds_[e]));
+      });
+}
+
+std::optional<std::vector<TxnId>> Dsg::SerializationOrder() const {
+  auto order = graph::TopologicalOrder(graph_, kConflictMask);
+  if (!order.has_value()) return std::nullopt;
+  std::vector<TxnId> txns;
+  txns.reserve(order->size());
+  for (graph::NodeId n : *order) txns.push_back(txn_of(n));
+  return txns;
+}
+
+}  // namespace adya

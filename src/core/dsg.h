@@ -1,0 +1,70 @@
+#ifndef ADYA_CORE_DSG_H_
+#define ADYA_CORE_DSG_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/conflicts.h"
+#include "graph/cycles.h"
+#include "graph/digraph.h"
+#include "history/history.h"
+
+namespace adya {
+
+/// The Direct Serialization Graph DSG(H) of Definition 7: one node per
+/// committed transaction, one edge per (from, to, conflict kind) carrying
+/// the list of direct conflicts that justify it. Parallel edges of
+/// different kinds between the same pair are deliberately kept distinct —
+/// phenomena like G-single count anti-dependency *edges* in a cycle.
+///
+/// When built with include_start_edges, this is the thesis's start-ordered
+/// serialization graph SSG(H) (DSG plus start-dependency edges), which the
+/// PL-SI check consumes.
+class Dsg {
+ public:
+  explicit Dsg(const History& h,
+               const ConflictOptions& options = ConflictOptions());
+
+  const History& history() const { return *history_; }
+  const graph::Digraph& graph() const { return graph_; }
+
+  size_t node_count() const { return node_txns_.size(); }
+  TxnId txn_of(graph::NodeId node) const { return node_txns_[node]; }
+  std::optional<graph::NodeId> node_of(TxnId txn) const;
+
+  /// The direct conflicts merged into one edge.
+  const std::vector<Dependency>& reasons(graph::EdgeId edge) const {
+    return edge_reasons_[edge];
+  }
+  DepKind kind_of(graph::EdgeId edge) const { return edge_kinds_[edge]; }
+
+  /// "T1 --ww--> T2" plus one reason line per conflict.
+  std::string DescribeEdge(graph::EdgeId edge) const;
+  /// Multi-line description of a witness cycle.
+  std::string DescribeCycle(const graph::Cycle& cycle) const;
+
+  /// Compact edge list like "T1 --ww--> T2, T1 --wr--> T2, T2 --rw--> T3"
+  /// (deterministic order; used by golden tests against the paper figures).
+  std::string EdgeSummary() const;
+
+  /// Graphviz rendering with transaction names and edge kinds.
+  std::string ToDot() const;
+
+  /// A serialization order (topological over all conflict edges), when the
+  /// DSG is acyclic. For H_serial this yields T1, T2, T3.
+  std::optional<std::vector<TxnId>> SerializationOrder() const;
+
+ private:
+  const History* history_;
+  graph::Digraph graph_;
+  std::vector<TxnId> node_txns_;
+  std::map<TxnId, graph::NodeId> txn_nodes_;
+  std::vector<std::vector<Dependency>> edge_reasons_;  // per edge
+  std::vector<DepKind> edge_kinds_;                    // per edge
+};
+
+}  // namespace adya
+
+#endif  // ADYA_CORE_DSG_H_

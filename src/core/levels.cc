@@ -1,0 +1,96 @@
+#include "core/levels.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace adya {
+
+const std::vector<Phenomenon>& ProscribedPhenomena(IsolationLevel level) {
+  using P = Phenomenon;
+  static const std::vector<Phenomenon> kPL1{P::kG0};
+  static const std::vector<Phenomenon> kPL2{P::kG1a, P::kG1b, P::kG1c};
+  static const std::vector<Phenomenon> kPLCS{P::kG1a, P::kG1b, P::kG1c,
+                                             P::kGCursor};
+  static const std::vector<Phenomenon> kPL2Plus{P::kG1a, P::kG1b, P::kG1c,
+                                                P::kGSingle};
+  static const std::vector<Phenomenon> kPL299{P::kG1a, P::kG1b, P::kG1c,
+                                              P::kG2Item};
+  static const std::vector<Phenomenon> kPLSI{P::kG1a, P::kG1b, P::kG1c,
+                                             P::kGSIa, P::kGSIb};
+  static const std::vector<Phenomenon> kPL3{P::kG1a, P::kG1b, P::kG1c,
+                                            P::kG2};
+  switch (level) {
+    case IsolationLevel::kPL1:
+      return kPL1;
+    case IsolationLevel::kPL2:
+      return kPL2;
+    case IsolationLevel::kPLCS:
+      return kPLCS;
+    case IsolationLevel::kPL2Plus:
+      return kPL2Plus;
+    case IsolationLevel::kPL299:
+      return kPL299;
+    case IsolationLevel::kPLSI:
+      return kPLSI;
+    case IsolationLevel::kPL3:
+      return kPL3;
+  }
+  ADYA_UNREACHABLE();
+}
+
+LevelCheckResult CheckLevel(const PhenomenaChecker& checker,
+                            IsolationLevel level) {
+  LevelCheckResult result;
+  result.level = level;
+  for (Phenomenon p : ProscribedPhenomena(level)) {
+    if (auto v = checker.Check(p)) result.violations.push_back(std::move(*v));
+  }
+  result.satisfied = result.violations.empty();
+  return result;
+}
+
+LevelCheckResult CheckLevel(const History& h, IsolationLevel level) {
+  PhenomenaChecker checker(h);
+  return CheckLevel(checker, level);
+}
+
+Classification Classify(const History& h) {
+  PhenomenaChecker checker(h);
+  Classification c;
+  static constexpr IsolationLevel kAllLevels[] = {
+      IsolationLevel::kPL1,     IsolationLevel::kPL2,
+      IsolationLevel::kPLCS,    IsolationLevel::kPL2Plus,
+      IsolationLevel::kPL299,   IsolationLevel::kPLSI,
+      IsolationLevel::kPL3};
+  for (IsolationLevel level : kAllLevels) {
+    c.satisfied[level] = CheckLevel(checker, level).satisfied;
+  }
+  for (IsolationLevel level :
+       {IsolationLevel::kPL1, IsolationLevel::kPL2, IsolationLevel::kPL299,
+        IsolationLevel::kPL3}) {
+    if (c.satisfied[level]) c.strongest_ansi = level;
+  }
+  // strongest_ansi follows the chain: a failure lower down wins.
+  if (!c.satisfied[IsolationLevel::kPL1]) c.strongest_ansi = std::nullopt;
+  c.violations = checker.CheckAll();
+  return c;
+}
+
+std::string Classification::Summary() const {
+  std::string out = "strongest ANSI level: ";
+  out += strongest_ansi.has_value()
+             ? std::string(IsolationLevelName(*strongest_ansi))
+             : "none (G0 occurs)";
+  if (!violations.empty()) {
+    std::vector<std::string> names;
+    names.reserve(violations.size());
+    for (const Violation& v : violations) {
+      names.emplace_back(PhenomenonName(v.phenomenon));
+    }
+    out += StrCat(" (violates: ", StrJoin(names, ", "), ")");
+  }
+  return out;
+}
+
+}  // namespace adya

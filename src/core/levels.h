@@ -1,0 +1,59 @@
+#ifndef ADYA_CORE_LEVELS_H_
+#define ADYA_CORE_LEVELS_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/phenomena.h"
+#include "history/history.h"
+
+namespace adya {
+
+/// The phenomena a level proscribes (Figure 6 and thesis chapter 4):
+///   PL-1    : G0
+///   PL-2    : G1 (= G1a + G1b + G1c; G1c subsumes G0)
+///   PL-CS   : G1, G-cursor
+///   PL-2+   : G1, G-single
+///   PL-2.99 : G1, G2-item
+///   PL-SI   : G1, G-SI(a), G-SI(b)
+///   PL-3    : G1, G2
+const std::vector<Phenomenon>& ProscribedPhenomena(IsolationLevel level);
+
+/// Result of checking one history against one level.
+struct LevelCheckResult {
+  IsolationLevel level = IsolationLevel::kPL3;
+  bool satisfied = false;
+  /// The proscribed phenomena that occurred (empty iff satisfied).
+  std::vector<Violation> violations;
+};
+
+/// Does the (finalized) history provide `level` to its committed
+/// transactions? Builds a fresh checker; use Classify for many levels.
+LevelCheckResult CheckLevel(const History& h, IsolationLevel level);
+/// Same, reusing a checker.
+LevelCheckResult CheckLevel(const PhenomenaChecker& checker,
+                            IsolationLevel level);
+
+/// Full classification of a history against every implemented level.
+struct Classification {
+  /// satisfied[level] — levels in the order of the IsolationLevel enum.
+  std::map<IsolationLevel, bool> satisfied;
+  /// Strongest satisfied level of the ANSI chain PL-1 ⊂ PL-2 ⊂ PL-2.99 ⊂
+  /// PL-3; nullopt when even PL-1 fails (G0 occurred).
+  std::optional<IsolationLevel> strongest_ansi;
+  /// Every phenomenon that occurred, with witnesses.
+  std::vector<Violation> violations;
+
+  bool Satisfies(IsolationLevel level) const { return satisfied.at(level); }
+
+  /// One line, e.g. "strongest ANSI level: PL-2 (violates: G2-item, G2)".
+  std::string Summary() const;
+};
+
+Classification Classify(const History& h);
+
+}  // namespace adya
+
+#endif  // ADYA_CORE_LEVELS_H_

@@ -1,0 +1,138 @@
+#include "core/minimize.h"
+
+#include <optional>
+
+#include "core/levels.h"
+
+namespace adya {
+namespace {
+
+History CloneUniverse(const History& h) {
+  History out;
+  for (RelationId r = 0; r < h.relation_count(); ++r) {
+    out.AddRelation(h.relation_name(r));
+  }
+  for (ObjectId o = 0; o < h.object_count(); ++o) {
+    out.AddObject(h.object_name(o), h.object_relation(o));
+  }
+  for (PredicateId p = 0; p < h.predicate_count(); ++p) {
+    out.AddPredicate(h.predicate_name(p), h.predicate_ptr(p),
+                     h.predicate_relations(p));
+  }
+  return out;
+}
+
+/// Rebuilds `h` with a reduction applied:
+///   * every event of `removed_txn` dropped (kTxnInit = none), including
+///     version-set entries that referenced its writes;
+///   * the single event `removed_event` dropped (kNoEvent = none);
+///   * the version-set entry (`drop_vset_event`, `drop_vset_index`)
+///     dropped (kNoEvent = none).
+/// Returns nullopt when the reduced history is no longer well-formed.
+std::optional<History> Rebuild(const History& h, TxnId removed_txn,
+                               EventId removed_event,
+                               EventId drop_vset_event,
+                               size_t drop_vset_index) {
+  History out = CloneUniverse(h);
+  for (TxnId txn : h.Transactions()) {
+    if (txn == removed_txn) continue;
+    out.SetLevel(txn, h.txn_info(txn).level);
+  }
+  for (EventId id = 0; id < h.events().size(); ++id) {
+    if (id == removed_event) continue;
+    const Event& e = h.event(id);
+    if (removed_txn != kTxnInit && e.txn == removed_txn) continue;
+    Event copy = e;
+    if (e.type == EventType::kPredicateRead) {
+      std::vector<VersionId> vset;
+      vset.reserve(e.vset.size());
+      for (size_t i = 0; i < e.vset.size(); ++i) {
+        if (id == drop_vset_event && i == drop_vset_index) continue;
+        if (removed_txn != kTxnInit && e.vset[i].writer == removed_txn) {
+          continue;  // the selection degrades to x_init
+        }
+        vset.push_back(e.vset[i]);
+      }
+      copy.vset = std::move(vset);
+    }
+    out.Append(std::move(copy));
+  }
+  // Version orders: keep the original relative order, minus the removed
+  // transaction's slots.
+  for (ObjectId obj = 0; obj < h.object_count(); ++obj) {
+    std::vector<TxnId> order;
+    for (TxnId txn : h.VersionOrder(obj)) {
+      if (txn != removed_txn) order.push_back(txn);
+    }
+    out.SetVersionOrder(obj, std::move(order));
+  }
+  if (!out.Finalize().ok()) return std::nullopt;
+  return out;
+}
+
+bool DroppableEvent(const Event& e) {
+  return e.type == EventType::kRead || e.type == EventType::kPredicateRead ||
+         e.type == EventType::kBegin;
+}
+
+}  // namespace
+
+History Minimize(const History& h, const ViolationTest& still_violates) {
+  ADYA_CHECK_MSG(h.finalized(), "Minimize requires a finalized history");
+  ADYA_CHECK_MSG(still_violates(h),
+                 "Minimize requires an initially violating history");
+  History current = h;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    // 1. Whole transactions — the big wins first.
+    for (TxnId txn : current.Transactions()) {
+      auto candidate = Rebuild(current, txn, kNoEvent, kNoEvent, 0);
+      if (candidate.has_value() && still_violates(*candidate)) {
+        current = std::move(*candidate);
+        progress = true;
+        break;
+      }
+    }
+    if (progress) continue;
+    // 2. Individual reads / predicate reads / begin markers.
+    for (EventId id = 0; id < current.events().size(); ++id) {
+      if (!DroppableEvent(current.event(id))) continue;
+      auto candidate = Rebuild(current, kTxnInit, id, kNoEvent, 0);
+      if (candidate.has_value() && still_violates(*candidate)) {
+        current = std::move(*candidate);
+        progress = true;
+        break;
+      }
+    }
+    if (progress) continue;
+    // 3. Single version-set entries.
+    for (EventId id = 0; id < current.events().size() && !progress; ++id) {
+      const Event& e = current.event(id);
+      if (e.type != EventType::kPredicateRead) continue;
+      for (size_t i = 0; i < e.vset.size(); ++i) {
+        auto candidate = Rebuild(current, kTxnInit, kNoEvent, id, i);
+        if (candidate.has_value() && still_violates(*candidate)) {
+          current = std::move(*candidate);
+          progress = true;
+          break;
+        }
+      }
+    }
+  }
+  return current;
+}
+
+History MinimizeForPhenomenon(const History& h, Phenomenon phenomenon) {
+  return Minimize(h, [phenomenon](const History& candidate) {
+    return PhenomenaChecker(candidate).Check(phenomenon).has_value();
+  });
+}
+
+History MinimizeForLevelViolation(const History& h, IsolationLevel level) {
+  return Minimize(h, [level](const History& candidate) {
+    return !CheckLevel(candidate, level).satisfied;
+  });
+}
+
+}  // namespace adya

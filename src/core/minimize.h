@@ -1,0 +1,38 @@
+#ifndef ADYA_CORE_MINIMIZE_H_
+#define ADYA_CORE_MINIMIZE_H_
+
+#include <functional>
+
+#include "core/phenomena.h"
+#include "history/history.h"
+
+namespace adya {
+
+/// Returns true when the (finalized) history still exhibits the anomaly
+/// being studied. Minimization reductions may change semantics (they drop
+/// transactions, reads and version-set entries); the test re-establishes
+/// that the interesting behavior survived, so any well-formed reduction is
+/// sound.
+using ViolationTest = std::function<bool(const History&)>;
+
+/// Delta-debugging-style shrinking of anomaly witnesses (the tooling side
+/// of a checker: when a 500-transaction fuzzed history violates PL-3, hand
+/// the human the 3-transaction core). Greedy fixpoint over three
+/// reductions:
+///   1. remove a whole transaction (with its version-order slots and the
+///      version-set entries that referenced its writes);
+///   2. remove one read / predicate-read / begin event;
+///   3. drop one version-set entry (the selection degrades to x_init).
+/// Each candidate must re-finalize and still satisfy `still_violates`.
+/// Deterministic; terminates (every step removes something).
+History Minimize(const History& h, const ViolationTest& still_violates);
+
+/// Minimizes while `phenomenon` still occurs.
+History MinimizeForPhenomenon(const History& h, Phenomenon phenomenon);
+
+/// Minimizes while the history still violates `level`.
+History MinimizeForLevelViolation(const History& h, IsolationLevel level);
+
+}  // namespace adya
+
+#endif  // ADYA_CORE_MINIMIZE_H_

@@ -1,0 +1,129 @@
+#include "core/msg.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+#include "core/phenomena.h"
+
+namespace adya {
+namespace {
+
+bool IsAnsiLevel(IsolationLevel level) {
+  return level == IsolationLevel::kPL1 || level == IsolationLevel::kPL2 ||
+         level == IsolationLevel::kPL299 || level == IsolationLevel::kPL3;
+}
+
+bool AtLeastPL2(IsolationLevel level) { return level != IsolationLevel::kPL1; }
+
+/// Is this conflict edge relevant in the MSG?
+bool EdgeRelevant(const History& h, const Dependency& dep) {
+  IsolationLevel from_level = h.txn_info(dep.from).level;
+  IsolationLevel to_level = h.txn_info(dep.to).level;
+  (void)from_level;
+  switch (dep.kind) {
+    case DepKind::kWW:
+      return true;
+    case DepKind::kWRItem:
+    case DepKind::kWRPred:
+      return AtLeastPL2(to_level);
+    case DepKind::kRWItem:
+      return h.txn_info(dep.from).level == IsolationLevel::kPL3 ||
+             h.txn_info(dep.from).level == IsolationLevel::kPL299;
+    case DepKind::kRWPred:
+      return h.txn_info(dep.from).level == IsolationLevel::kPL3;
+    case DepKind::kStart:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<Msg> Msg::Build(const History& h) {
+  for (TxnId txn : h.Transactions()) {
+    if (!IsAnsiLevel(h.txn_info(txn).level)) {
+      return Status::InvalidArgument(
+          StrCat("MSG is defined for the ANSI chain only; T", txn,
+                 " runs at ", IsolationLevelName(h.txn_info(txn).level)));
+    }
+  }
+  Msg msg;
+  for (TxnId txn : h.CommittedTransactions()) {
+    msg.txn_nodes_[txn] = static_cast<graph::NodeId>(msg.node_txns_.size());
+    msg.node_txns_.push_back(txn);
+  }
+  msg.graph_.Resize(msg.node_txns_.size());
+
+  std::map<std::tuple<TxnId, TxnId, DepKind>, std::vector<Dependency>> merged;
+  std::vector<std::tuple<TxnId, TxnId, DepKind>> keys;
+  for (Dependency& dep : ComputeDependencies(h)) {
+    if (!EdgeRelevant(h, dep)) continue;
+    auto key = std::make_tuple(dep.from, dep.to, dep.kind);
+    auto [it, inserted] = merged.try_emplace(key);
+    if (inserted) keys.push_back(key);
+    it->second.push_back(std::move(dep));
+  }
+  for (const auto& key : keys) {
+    const auto& [from, to, kind] = key;
+    msg.graph_.AddEdge(msg.txn_nodes_.at(from), msg.txn_nodes_.at(to),
+                       Bit(kind));
+    msg.edge_reasons_.push_back(std::move(merged.at(key)));
+    msg.edge_kinds_.push_back(kind);
+  }
+  return msg;
+}
+
+std::string Msg::EdgeSummary() const {
+  std::vector<graph::EdgeId> ids(graph_.edge_count());
+  for (graph::EdgeId i = 0; i < ids.size(); ++i) ids[i] = i;
+  std::sort(ids.begin(), ids.end(), [this](graph::EdgeId a, graph::EdgeId b) {
+    const auto& ea = graph_.edge(a);
+    const auto& eb = graph_.edge(b);
+    return std::make_tuple(txn_of(ea.from), txn_of(ea.to),
+                           static_cast<int>(edge_kinds_[a])) <
+           std::make_tuple(txn_of(eb.from), txn_of(eb.to),
+                           static_cast<int>(edge_kinds_[b]));
+  });
+  std::vector<std::string> parts;
+  parts.reserve(ids.size());
+  for (graph::EdgeId id : ids) {
+    const auto& e = graph_.edge(id);
+    parts.push_back(StrCat("T", txn_of(e.from), " --",
+                           DepKindName(edge_kinds_[id]), "--> T",
+                           txn_of(e.to)));
+  }
+  return StrJoin(parts, ", ");
+}
+
+Result<MixingCheckResult> CheckMixingCorrect(const History& h) {
+  ADYA_ASSIGN_OR_RETURN(Msg msg, Msg::Build(h));
+  MixingCheckResult result;
+  auto cycle =
+      graph::FindCycleWithRequiredKind(msg.graph(), ~graph::KindMask{0},
+                                       ~graph::KindMask{0});
+  if (cycle.has_value()) {
+    std::vector<std::string> parts;
+    for (graph::EdgeId e : cycle->edges) {
+      const auto& edge = msg.graph().edge(e);
+      parts.push_back(StrCat("T", msg.txn_of(edge.from), " --",
+                             DepKindName(msg.kind_of(e)), "--> T",
+                             msg.txn_of(edge.to)));
+    }
+    result.problems.push_back(
+        StrCat("MSG cycle: ", StrJoin(parts, ", ")));
+  }
+  PhenomenaChecker checker(h);
+  TxnFilter at_least_pl2 = [&h](TxnId txn) {
+    return AtLeastPL2(h.txn_info(txn).level);
+  };
+  if (auto v = checker.CheckG1a(at_least_pl2)) {
+    result.problems.push_back(v->description);
+  }
+  if (auto v = checker.CheckG1b(at_least_pl2)) {
+    result.problems.push_back(v->description);
+  }
+  result.mixing_correct = result.problems.empty();
+  return result;
+}
+
+}  // namespace adya

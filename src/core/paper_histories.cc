@@ -1,0 +1,243 @@
+#include "core/paper_histories.h"
+
+#include "common/check.h"
+#include "history/builder.h"
+
+namespace adya {
+namespace {
+
+History Build(HistoryBuilder& b) {
+  auto h = b.Build();
+  ADYA_CHECK_MSG(h.ok(), "paper history must be well-formed: " << h.status());
+  return std::move(*h);
+}
+
+/// T0 installs the bank-account invariant state x = y = 5 (x + y = 10).
+void BankInit(HistoryBuilder& b) {
+  b.W(0, "x", 5).W(0, "y", 5).Commit(0);
+}
+
+}  // namespace
+
+PaperHistory MakeH1() {
+  HistoryBuilder b;
+  BankInit(b);
+  // r1(x,5) w1(x,1) r2(x,1) r2(y,5) c2 r1(y,5) w1(y,9) c1
+  b.R(1, "x", 0).W(1, "x", 1);
+  b.R(2, "x", 1).R(2, "y", 0).Commit(2);
+  b.R(1, "y", 0).W(1, "y", 9).Commit(1);
+  return PaperHistory{
+      "H1", "§3",
+      "T2 observes x + y = 6 (invariant is 10): non-serializable. Ruled out "
+      "by P1 in the preventative approach and by G2 at PL-3.",
+      Build(b)};
+}
+
+PaperHistory MakeH2() {
+  HistoryBuilder b;
+  BankInit(b);
+  // r2(x,5) r1(x,5) w1(x,1) r1(y,5) w1(y,9) c1 r2(y,9) c2
+  b.R(2, "x", 0);
+  b.R(1, "x", 0).W(1, "x", 1).R(1, "y", 0).W(1, "y", 9).Commit(1);
+  b.R(2, "y", 1).Commit(2);
+  return PaperHistory{
+      "H2", "§3",
+      "T2 observes x + y = 14: non-serializable. Ruled out by P2 in the "
+      "preventative approach and by G2 at PL-3.",
+      Build(b)};
+}
+
+PaperHistory MakeH1Prime() {
+  HistoryBuilder b;
+  BankInit(b);
+  // r1(x,5) w1(x,1) r1(y,5) w1(y,9) r2(x,1) r2(y,9) c1 c2
+  b.R(1, "x", 0).W(1, "x", 1).R(1, "y", 0).W(1, "y", 9);
+  b.R(2, "x", 1).R(2, "y", 1);
+  b.Commit(1).Commit(2);
+  return PaperHistory{
+      "H1'", "§3",
+      "T2 reads both of T1's (still uncommitted) writes and can be "
+      "serialized after T1. P1 forbids it; PL-3 accepts it.",
+      Build(b)};
+}
+
+PaperHistory MakeH2Prime() {
+  HistoryBuilder b;
+  BankInit(b);
+  // r2(x,5) r1(x,5) w1(x,1) r1(y,5) r2(y,5) w1(y,9) c2 c1
+  b.R(2, "x", 0);
+  b.R(1, "x", 0).W(1, "x", 1).R(1, "y", 0);
+  b.R(2, "y", 0);
+  b.W(1, "y", 9);
+  b.Commit(2).Commit(1);
+  return PaperHistory{
+      "H2'", "§3",
+      "T2 reads the old values of x and y although T1 overwrites them "
+      "concurrently; serializable in the order T2, T1. P2 forbids it; PL-3 "
+      "accepts it.",
+      Build(b)};
+}
+
+PaperHistory MakeHWriteOrder() {
+  HistoryBuilder b;
+  // w1(x1) w2(x2) w2(y2) c1 c2 r3(x1) w3(x3) w4(y4) a4   [x2 << x1]
+  b.W(1, "x", 1).W(2, "x", 2).W(2, "y", 2).Commit(1).Commit(2);
+  b.R(3, "x", 1).W(3, "x", 3);
+  b.W(4, "y", 4).Abort(4);
+  // T3 stays unfinished (auto-aborted): no constraint on x3 or y4.
+  b.VersionOrder("x", {2, 1});
+  return PaperHistory{
+      "H_write_order", "§4.2",
+      "The system chose version order x2 << x1 although T1 committed before "
+      "T2: the serialization order is T2, T1. Uncommitted/aborted versions "
+      "(x3, y4) are unordered.",
+      Build(b)};
+}
+
+PaperHistory MakeHPredRead() {
+  HistoryBuilder b;
+  b.Relation("Emp");
+  b.Object("x", "Emp").Object("y", "Emp");
+  b.Pred("P", "dept = \"Sales\"", {"Emp"});
+  // w0(x0) c0 w1(x1) c1 w2(x2) r3(P: x2, y0) w2(y2) c2 c3
+  b.W(0, "x", Row{{"dept", Value("Sales")}});
+  b.W(0, "y", Row{{"dept", Value("Legal")}});
+  b.Commit(0);
+  b.W(1, "x", Row{{"dept", Value("Legal")}});  // moves x out of Sales
+  b.Commit(1);
+  b.W(2, "x", Row{{"dept", Value("Legal")}, {"phone", Value(42)}});
+  b.PredR(3, "P", {"x@2", "y@0"});
+  b.W(2, "y", Row{{"dept", Value("Legal")}, {"phone", Value(7)}});
+  b.Commit(2).Commit(3);
+  b.VersionOrder("x", {0, 1, 2});
+  b.VersionOrder("y", {0, 2});
+  return PaperHistory{
+      "H_pred_read", "§4.4.1",
+      "T3's version set contains x2, but the predicate-read-dependency edge "
+      "comes from T1 — the latest transaction that changed the matches — "
+      "because T2's phone update is irrelevant to Dept=Sales. Serializable "
+      "in the order T0, T1, T3, T2.",
+      Build(b)};
+}
+
+PaperHistory MakeHInsert() {
+  HistoryBuilder b;
+  b.Relation("Emp").Relation("Bonus");
+  b.Object("x", "Emp").Object("z", "Emp").Object("y", "Bonus");
+  // comm > 0.25 * sal, with the product precomputed as quarter_sal (the
+  // expression language is deliberately arithmetic-free).
+  b.Pred("P", "comm > quarter_sal", {"Emp"});
+  b.W(0, "x", Row{{"comm", Value(30)}, {"quarter_sal", Value(25)}});
+  b.W(0, "z", Row{{"comm", Value(10)}, {"quarter_sal", Value(25)}});
+  b.Commit(0);
+  // r1(comm > 0.25*sal: x0, z0) r1(x0) w1(y1) c1
+  b.PredR(1, "P", {"x@0", "z@0"});
+  b.R(1, "x", 0);
+  b.W(1, "y", Row{{"name", Value("x")}, {"comm", Value(30)}});
+  b.Commit(1);
+  return PaperHistory{
+      "H_insert", "§4.3.2",
+      "INSERT INTO BONUS SELECT … FROM EMP WHERE COMM > 0.25*SAL: x0 "
+      "matches the predicate, is read, and generates the inserted tuple y1.",
+      Build(b)};
+}
+
+PaperHistory MakeHSerial() {
+  HistoryBuilder b;
+  // w1(z1) w1(x1) w1(y1) w3(x3) c1 r2(x1) w2(y2) c2 r3(y2) w3(z3) c3
+  b.W(1, "z", 1).W(1, "x", 1).W(1, "y", 1);
+  b.W(3, "x", 3);
+  b.Commit(1);
+  b.R(2, "x", 1).W(2, "y", 2).Commit(2);
+  b.R(3, "y", 2).W(3, "z", 3).Commit(3);
+  b.VersionOrder("x", {1, 3});
+  b.VersionOrder("y", {1, 2});
+  b.VersionOrder("z", {1, 3});
+  return PaperHistory{
+      "H_serial", "§4.4.4 (Figure 3)",
+      "DSG has edges T1→T2 (ww, wr), T1→T3 (ww), T2→T3 (wr, rw); "
+      "serializable in the order T1, T2, T3.",
+      Build(b)};
+}
+
+PaperHistory MakeHWcycle() {
+  HistoryBuilder b;
+  // w1(x1,2) w2(x2,5) w2(y2,5) c2 w1(y1,8) c1   [x1 << x2, y2 << y1]
+  b.W(1, "x", 2).W(2, "x", 5).W(2, "y", 5).Commit(2).W(1, "y", 8).Commit(1);
+  b.VersionOrder("x", {1, 2});
+  b.VersionOrder("y", {2, 1});
+  return PaperHistory{
+      "H_wcycle", "§5.1 (Figure 4)",
+      "The updates of x and y occur in opposite orders: a pure "
+      "write-dependency cycle (G0). Disallowed even at PL-1.",
+      Build(b)};
+}
+
+PaperHistory MakeHPredUpdate() {
+  HistoryBuilder b;
+  b.Relation("Emp");
+  b.Object("x", "Emp").Object("y", "Emp");
+  b.Pred("P", "dept = \"Sales\"", {"Emp"});
+  // w1(x1) r2(Dept=Sales: x1, yinit) w1(y1) w2(x2) c1 c2
+  b.W(1, "x", Row{{"dept", Value("Sales")}, {"sal", Value(10)}});
+  b.PredR(2, "P", {"x@1", "y@init"});
+  b.W(1, "y", Row{{"dept", Value("Sales")}, {"sal", Value(10)}});
+  b.W(2, "x", Row{{"dept", Value("Sales")}, {"sal", Value(20)}});
+  b.Commit(1).Commit(2);
+  b.VersionOrder("x", {1, 2});
+  b.VersionOrder("y", {1});
+  return PaperHistory{
+      "H_pred_update", "§5.1",
+      "T1 adds employees x and y to Sales while T2 raises all Sales "
+      "salaries; x is raised but y is not. Allowed at PL-1 (no "
+      "write-dependency cycle): PL-1 gives weak guarantees to "
+      "predicate-based updates.",
+      Build(b)};
+}
+
+PaperHistory MakeHPhantom() {
+  HistoryBuilder b;
+  b.Relation("Emp").Relation("Agg");
+  b.Object("x", "Emp").Object("y", "Emp").Object("z", "Emp");
+  b.Object("Sum", "Agg");
+  b.Pred("P", "dept = \"Sales\"", {"Emp"});
+  b.W(0, "x", Row{{"dept", Value("Sales")}, {"sal", Value(10)}});
+  b.W(0, "y", Row{{"dept", Value("Sales")}, {"sal", Value(10)}});
+  b.W(0, "Sum", 20);
+  b.Commit(0);
+  // r1(Dept=Sales: x0, y0) r1(x0) r1(y0)
+  b.PredR(1, "P", {"x@0", "y@0"});
+  b.R(1, "x", 0).R(1, "y", 0);
+  // r2(Sum0, 20) w2(z2, 10) w2(Sum2, 30) c2
+  b.R(2, "Sum", 0);
+  b.W(2, "z", Row{{"dept", Value("Sales")}, {"sal", Value(10)}});
+  b.W(2, "Sum", 30);
+  b.Commit(2);
+  // r1(Sum2, 30) c1 — T1 sees the new sum but only two employees.
+  b.R(1, "Sum", 2).Commit(1);
+  return PaperHistory{
+      "H_phantom", "§5.4 (Figure 5)",
+      "T2 inserts a phantom employee z and updates the sum-of-salaries "
+      "between T1's predicate read and its check: the DSG cycle is "
+      "T1 --rw(pred)--> T2 --wr--> T1. Ruled out by PL-3, permitted by "
+      "PL-2.99 (the only anti-dependency in the cycle is predicate-based).",
+      Build(b)};
+}
+
+std::vector<PaperHistory> AllPaperHistories() {
+  std::vector<PaperHistory> out;
+  out.push_back(MakeH1());
+  out.push_back(MakeH2());
+  out.push_back(MakeH1Prime());
+  out.push_back(MakeH2Prime());
+  out.push_back(MakeHWriteOrder());
+  out.push_back(MakeHPredRead());
+  out.push_back(MakeHInsert());
+  out.push_back(MakeHSerial());
+  out.push_back(MakeHWcycle());
+  out.push_back(MakeHPredUpdate());
+  out.push_back(MakeHPhantom());
+  return out;
+}
+
+}  // namespace adya

@@ -1,0 +1,52 @@
+#ifndef ADYA_CORE_PAPER_HISTORIES_H_
+#define ADYA_CORE_PAPER_HISTORIES_H_
+
+#include <string>
+#include <vector>
+
+#include "history/history.h"
+
+namespace adya {
+
+/// One of the paper's worked examples, with the claim the paper makes about
+/// it. These drive the Figure-3/4/5/6 reproductions and the golden tests.
+struct PaperHistory {
+  std::string name;       // e.g. "H1"
+  std::string paper_ref;  // e.g. "§3"
+  std::string claim;      // the paper's statement about this history
+  History history;
+};
+
+/// §3, H1: T2 sees x after T1's debit but y before the credit — observes
+/// x + y = 6, violating the invariant x + y = 10. Non-serializable.
+PaperHistory MakeH1();
+/// §3, H2: T2 reads old x and new y — observes x + y = 14. Non-serializable.
+PaperHistory MakeH2();
+/// §3, H1': T2 reads both of uncommitted T1's writes; serializable after T1.
+/// Rejected by P1, accepted at PL-3.
+PaperHistory MakeH1Prime();
+/// §3, H2': T2 reads the old values of x and y; serializable before T1.
+/// Rejected by P2, accepted at PL-3.
+PaperHistory MakeH2Prime();
+/// §4.2, H_write_order: version order x2 << x1 differs from commit order.
+PaperHistory MakeHWriteOrder();
+/// §4.4.1, H_pred_read: the predicate-read-dependency comes from T1 (the
+/// latest change of the matches), not T0 or T2. Serializable T0,T1,T3,T2.
+PaperHistory MakeHPredRead();
+/// §4.3.2, H_insert: INSERT INTO BONUS SELECT … WHERE comm > 0.25*sal.
+PaperHistory MakeHInsert();
+/// §4.4.4, H_serial: the Figure 3 DSG; serializable in the order T1,T2,T3.
+PaperHistory MakeHSerial();
+/// §5.1, H_wcycle: updates of x and y in opposite orders — G0 (Figure 4).
+PaperHistory MakeHWcycle();
+/// §5.1, H_pred_update: interleaved predicate-based updates allowed at PL-1.
+PaperHistory MakeHPredUpdate();
+/// §5.4, H_phantom: the Figure 5 phantom — fails PL-3, passes PL-2.99.
+PaperHistory MakeHPhantom();
+
+/// All of the above, in paper order.
+std::vector<PaperHistory> AllPaperHistories();
+
+}  // namespace adya
+
+#endif  // ADYA_CORE_PAPER_HISTORIES_H_

@@ -1,0 +1,88 @@
+#ifndef ADYA_CORE_PHENOMENA_H_
+#define ADYA_CORE_PHENOMENA_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/dsg.h"
+#include "history/history.h"
+
+namespace adya {
+
+/// The generalized ("G") phenomena. G0–G2 are §5 of the paper; G-single,
+/// G-SI(a/b) and G-cursor are the thesis extensions (PL-2+, PL-SI, PL-CS)
+/// that §6 points to.
+enum class Phenomenon : uint8_t {
+  kG0,       // write cycles: DSG cycle of only ww edges (§5.1)
+  kG1a,      // aborted reads (§5.2)
+  kG1b,      // intermediate reads (§5.2)
+  kG1c,      // circular information flow: cycle of dependency edges (§5.2)
+  kG2Item,   // cycle with >=1 item-anti-dependency edge (§5.4)
+  kG2,       // cycle with >=1 anti-dependency edge (§5.3)
+  kGSingle,  // cycle with exactly one anti-dependency edge (thesis, PL-2+)
+  kGSIa,     // SI interference: dependency edge without start-depends edge
+  kGSIb,     // SI missed effects: SSG cycle with exactly one anti edge
+  kGCursor,  // single-object ww cycle with exactly one item-anti edge
+};
+
+std::string_view PhenomenonName(Phenomenon p);
+
+/// A detected phenomenon with an auditable witness: the events involved
+/// (G1a/G1b/G-SIa) or a DSG/SSG cycle (everything else).
+struct Violation {
+  Phenomenon phenomenon = Phenomenon::kG0;
+  std::string description;
+  std::vector<EventId> events;  // witness events, when event-based
+  graph::Cycle cycle;           // witness cycle, when cycle-based
+};
+
+/// Restricts the event-based checks (G1a/G1b) to particular committed
+/// readers — used by mixing-correctness, which applies the no-dirty-read
+/// obligations only to PL-2-and-above transactions.
+using TxnFilter = std::function<bool(TxnId)>;
+
+/// Evaluates phenomena over one finalized history. Builds the DSG once and
+/// the SSG (start-ordered: needed only for G-SI) on first use.
+class PhenomenaChecker {
+ public:
+  explicit PhenomenaChecker(const History& h);
+
+  /// nullopt when the phenomenon does not occur; a witness otherwise.
+  std::optional<Violation> Check(Phenomenon p) const;
+
+  /// G1a/G1b restricted to readers accepted by `filter`.
+  std::optional<Violation> CheckG1a(const TxnFilter& filter) const;
+  std::optional<Violation> CheckG1b(const TxnFilter& filter) const;
+
+  /// Every phenomenon that occurs, in enum order.
+  std::vector<Violation> CheckAll() const;
+
+  const History& history() const { return *history_; }
+  const Dsg& dsg() const { return *dsg_; }
+  /// The start-ordered graph (built lazily).
+  const Dsg& ssg() const;
+
+ private:
+  std::optional<Violation> CycleViolation(Phenomenon p, const Dsg& dsg,
+                                          graph::KindMask allowed,
+                                          graph::KindMask required) const;
+  std::optional<Violation> CheckG0() const;
+  std::optional<Violation> CheckG1c() const;
+  std::optional<Violation> CheckG2Item() const;
+  std::optional<Violation> CheckG2() const;
+  std::optional<Violation> CheckGSingle() const;
+  std::optional<Violation> CheckGSIa() const;
+  std::optional<Violation> CheckGSIb() const;
+  std::optional<Violation> CheckGCursor() const;
+
+  const History* history_;
+  std::unique_ptr<Dsg> dsg_;
+  mutable std::unique_ptr<Dsg> ssg_;
+};
+
+}  // namespace adya
+
+#endif  // ADYA_CORE_PHENOMENA_H_

@@ -1,0 +1,213 @@
+#include "core/preventative.h"
+
+#include <map>
+
+#include "common/str_util.h"
+#include "history/format.h"
+
+namespace adya {
+
+std::string_view PreventativePhenomenonName(PreventativePhenomenon p) {
+  switch (p) {
+    case PreventativePhenomenon::kP0:
+      return "P0";
+    case PreventativePhenomenon::kP1:
+      return "P1";
+    case PreventativePhenomenon::kP2:
+      return "P2";
+    case PreventativePhenomenon::kP3:
+      return "P3";
+  }
+  return "?";
+}
+
+std::string_view LockingDegreeName(LockingDegree degree) {
+  switch (degree) {
+    case LockingDegree::kDegree0:
+      return "Degree 0";
+    case LockingDegree::kReadUncommitted:
+      return "READ UNCOMMITTED";
+    case LockingDegree::kReadCommitted:
+      return "READ COMMITTED";
+    case LockingDegree::kRepeatableRead:
+      return "REPEATABLE READ";
+    case LockingDegree::kSerializable:
+      return "SERIALIZABLE";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Event position after which Ti holds no locks: its commit/abort event.
+EventId FinishPos(const History& h, TxnId txn) {
+  const History::TxnInfo& info = h.txn_info(txn);
+  return info.commit_event != kNoEvent ? info.commit_event : info.abort_event;
+}
+
+PreventativeViolation MakeViolation(const History& h,
+                                    PreventativePhenomenon p, EventId first,
+                                    EventId second, const std::string& what) {
+  PreventativeViolation v;
+  v.phenomenon = p;
+  v.first_event = first;
+  v.second_event = second;
+  v.description =
+      StrCat(PreventativePhenomenonName(p), ": ", what, " — ",
+             FormatEvent(h, h.event(first)), " … ",
+             FormatEvent(h, h.event(second)), " before T",
+             h.event(first).txn, " finished");
+  return v;
+}
+
+// P0/P1/P2 share one shape: an <op1 by T1 on x> at position i, an
+// <op2 by T2 on x> at position j > i with T2 != T1, before T1 finishes.
+std::optional<PreventativeViolation> CheckItemInterleaving(
+    const History& h, PreventativePhenomenon p, EventType first_type,
+    EventType second_type, const std::string& what) {
+  // Per object: the (event id) of each first_type op whose txn is still
+  // unfinished at a given point. We scan once, keeping all first-ops and
+  // testing finish positions lazily (histories are short; clarity first).
+  std::map<ObjectId, std::vector<EventId>> first_ops;
+  for (EventId j = 0; j < h.events().size(); ++j) {
+    const Event& e = h.event(j);
+    if (e.type == second_type &&
+        (e.type == EventType::kRead || e.type == EventType::kWrite)) {
+      ObjectId obj = e.version.object;
+      for (EventId i : first_ops[obj]) {
+        const Event& first = h.event(i);
+        if (first.txn == e.txn) continue;
+        if (FinishPos(h, first.txn) > j) {
+          return MakeViolation(h, p, i, j, what);
+        }
+      }
+    }
+    // Record after testing so an event cannot pair with itself (relevant
+    // when first_type == second_type, i.e. P0).
+    if (e.type == first_type &&
+        (e.type == EventType::kRead || e.type == EventType::kWrite)) {
+      first_ops[e.version.object].push_back(j);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<PreventativeViolation> CheckPreventative(
+    const History& h, PreventativePhenomenon p) {
+  ADYA_CHECK_MSG(h.finalized(), "CheckPreventative needs Finalize()");
+  switch (p) {
+    case PreventativePhenomenon::kP0:
+      return CheckItemInterleaving(h, p, EventType::kWrite, EventType::kWrite,
+                                   "dirty write");
+    case PreventativePhenomenon::kP1:
+      return CheckItemInterleaving(h, p, EventType::kWrite, EventType::kRead,
+                                   "dirty read");
+    case PreventativePhenomenon::kP2:
+      return CheckItemInterleaving(h, p, EventType::kRead, EventType::kWrite,
+                                   "unrepeatable read");
+    case PreventativePhenomenon::kP3: {
+      // r1[P] … w2[y in P] … before T1 finishes. "y in P" holds when the
+      // write's new contents match P or the state it supersedes matched P.
+      for (EventId j = 0; j < h.events().size(); ++j) {
+        const Event& w = h.event(j);
+        if (w.type != EventType::kWrite) continue;
+        // Previous state of the object in event order, single-version
+        // semantics: a write by a transaction that aborted before this
+        // point has been rolled back and does not count as the state this
+        // write supersedes.
+        const Row* prev_row = nullptr;
+        for (EventId k = 0; k < j; ++k) {
+          const Event& pe = h.event(k);
+          if (pe.type != EventType::kWrite ||
+              pe.version.object != w.version.object) {
+            continue;
+          }
+          const History::TxnInfo& writer = h.txn_info(pe.txn);
+          if (writer.abort_event != kNoEvent && writer.abort_event < j) {
+            continue;  // rolled back before the write under test
+          }
+          prev_row =
+              pe.written_kind == VersionKind::kVisible ? &pe.row : nullptr;
+        }
+        for (EventId i = 0; i < j; ++i) {
+          const Event& r = h.event(i);
+          if (r.type != EventType::kPredicateRead || r.txn == w.txn) continue;
+          if (FinishPos(h, r.txn) <= j) continue;
+          const std::vector<RelationId>& rels =
+              h.predicate_relations(r.predicate);
+          RelationId obj_rel = h.object_relation(w.version.object);
+          bool in_relations = false;
+          for (RelationId rel : rels) in_relations |= (rel == obj_rel);
+          if (!in_relations) continue;
+          const Predicate& pred = h.predicate(r.predicate);
+          bool new_matches = w.written_kind == VersionKind::kVisible &&
+                             pred.Matches(w.row);
+          bool old_matches = prev_row != nullptr && pred.Matches(*prev_row);
+          if (new_matches || old_matches) {
+            return MakeViolation(h, p, i, j, "phantom");
+          }
+        }
+      }
+      return std::nullopt;
+    }
+  }
+  ADYA_UNREACHABLE();
+}
+
+const std::vector<PreventativePhenomenon>& ProscribedPreventative(
+    LockingDegree degree) {
+  using P = PreventativePhenomenon;
+  static const std::vector<PreventativePhenomenon> kNone{};
+  static const std::vector<PreventativePhenomenon> kD1{P::kP0};
+  static const std::vector<PreventativePhenomenon> kD2{P::kP0, P::kP1};
+  static const std::vector<PreventativePhenomenon> kRR{P::kP0, P::kP1,
+                                                       P::kP2};
+  static const std::vector<PreventativePhenomenon> kD3{P::kP0, P::kP1, P::kP2,
+                                                       P::kP3};
+  switch (degree) {
+    case LockingDegree::kDegree0:
+      return kNone;
+    case LockingDegree::kReadUncommitted:
+      return kD1;
+    case LockingDegree::kReadCommitted:
+      return kD2;
+    case LockingDegree::kRepeatableRead:
+      return kRR;
+    case LockingDegree::kSerializable:
+      return kD3;
+  }
+  ADYA_UNREACHABLE();
+}
+
+DegreeCheckResult CheckDegree(const History& h, LockingDegree degree) {
+  DegreeCheckResult result;
+  result.degree = degree;
+  for (PreventativePhenomenon p : ProscribedPreventative(degree)) {
+    if (auto v = CheckPreventative(h, p)) {
+      result.violations.push_back(std::move(*v));
+    }
+  }
+  result.allowed = result.violations.empty();
+  return result;
+}
+
+IsolationLevel CorrespondingPLLevel(LockingDegree degree) {
+  switch (degree) {
+    case LockingDegree::kDegree0:
+      break;  // Degree 0 proscribes nothing; no PL counterpart.
+    case LockingDegree::kReadUncommitted:
+      return IsolationLevel::kPL1;
+    case LockingDegree::kReadCommitted:
+      return IsolationLevel::kPL2;
+    case LockingDegree::kRepeatableRead:
+      return IsolationLevel::kPL299;
+    case LockingDegree::kSerializable:
+      return IsolationLevel::kPL3;
+  }
+  ADYA_CHECK_MSG(false, "Degree 0 has no corresponding PL level");
+  ADYA_UNREACHABLE();
+}
+
+}  // namespace adya

@@ -1,0 +1,72 @@
+#ifndef ADYA_CORE_PREVENTATIVE_H_
+#define ADYA_CORE_PREVENTATIVE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "history/history.h"
+
+namespace adya {
+
+/// The preventative phenomena of Berenson et al. [8] (§2 of the paper):
+///   P0: w1[x] … w2[x] …   (c1 or a1)   — dirty write
+///   P1: w1[x] … r2[x] …   (c1 or a1)   — dirty read
+///   P2: r1[x] … w2[x] …   (c1 or a1)   — lost update / fuzzy read
+///   P3: r1[P] … w2[y in P] … (c1 or a1) — phantom
+/// These are *interleaving* conditions: the second operation occurs before
+/// the first transaction commits or aborts, regardless of anyone's fate.
+/// They are object-level (not version-level) — exactly why the paper calls
+/// them "disguised locking" and shows they over-constrain optimistic and
+/// multi-version schemes (§3).
+enum class PreventativePhenomenon : uint8_t { kP0, kP1, kP2, kP3 };
+
+std::string_view PreventativePhenomenonName(PreventativePhenomenon p);
+
+struct PreventativeViolation {
+  PreventativePhenomenon phenomenon = PreventativePhenomenon::kP0;
+  std::string description;
+  /// The two interleaved events (first transaction's op, second's op).
+  EventId first_event = kNoEvent;
+  EventId second_event = kNoEvent;
+};
+
+/// Detects one phenomenon over the (finalized) history's interleaving.
+/// For P1/P2, predicate reads count as reads of every object in their
+/// version set's relations' selected versions; for P3, a write counts as
+/// "in P" when its new contents match P or the overwritten state matched P.
+std::optional<PreventativeViolation> CheckPreventative(
+    const History& h, PreventativePhenomenon p);
+
+/// The lock-based ANSI levels of Figure 1, defined by which phenomena they
+/// proscribe.
+enum class LockingDegree : uint8_t {
+  kDegree0,          // proscribes nothing
+  kReadUncommitted,  // Degree 1: P0
+  kReadCommitted,    // Degree 2: P0, P1
+  kRepeatableRead,   // P0, P1, P2
+  kSerializable,     // Degree 3: P0–P3
+};
+
+std::string_view LockingDegreeName(LockingDegree degree);
+
+const std::vector<PreventativePhenomenon>& ProscribedPreventative(
+    LockingDegree degree);
+
+struct DegreeCheckResult {
+  LockingDegree degree = LockingDegree::kDegree0;
+  bool allowed = false;
+  std::vector<PreventativeViolation> violations;
+};
+
+/// Would a locking scheduler at `degree` have permitted this interleaving?
+DegreeCheckResult CheckDegree(const History& h, LockingDegree degree);
+
+/// The PL level that corresponds to each locking degree (Figure 1 ↔
+/// Figure 6), used by the permissiveness experiment: every
+/// degree-k-allowed history must satisfy the corresponding PL level.
+IsolationLevel CorrespondingPLLevel(LockingDegree degree);
+
+}  // namespace adya
+
+#endif  // ADYA_CORE_PREVENTATIVE_H_

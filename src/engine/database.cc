@@ -1,0 +1,33 @@
+#include "engine/database.h"
+
+#include "engine/locking_scheduler.h"
+#include "engine/mvcc_scheduler.h"
+#include "engine/occ_scheduler.h"
+
+namespace adya::engine {
+
+std::string_view SchemeName(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kLocking:
+      return "locking";
+    case Scheme::kOptimistic:
+      return "optimistic";
+    case Scheme::kMultiversion:
+      return "multiversion";
+  }
+  return "?";
+}
+
+std::unique_ptr<Database> Database::Create(Scheme scheme, Options options) {
+  switch (scheme) {
+    case Scheme::kLocking:
+      return std::make_unique<LockingScheduler>(options);
+    case Scheme::kOptimistic:
+      return std::make_unique<OccScheduler>(options);
+    case Scheme::kMultiversion:
+      return std::make_unique<MvccScheduler>(options);
+  }
+  ADYA_UNREACHABLE();
+}
+
+}  // namespace adya::engine

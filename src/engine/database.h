@@ -1,0 +1,148 @@
+#ifndef ADYA_ENGINE_DATABASE_H_
+#define ADYA_ENGINE_DATABASE_H_
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/engine_common.h"
+#include "engine/recorder.h"
+#include "engine/store.h"
+
+namespace adya::engine {
+
+/// The concurrency-control scheme a Database runs.
+enum class Scheme : uint8_t {
+  kLocking,      // strict two-phase locking with predicate locks (Fig. 1)
+  kOptimistic,   // Kung–Robinson backward validation
+  kMultiversion, // snapshot isolation, first-committer-wins
+};
+
+std::string_view SchemeName(Scheme scheme);
+
+/// A multi-version in-memory transactional database that records the
+/// history it executes (engine/recorder.h) so the checker can audit it.
+///
+/// Error conventions:
+///  * kWouldBlock  — non-blocking mode only: the op had no effect; retry
+///    after some other transaction finishes.
+///  * kTxnAborted  — the transaction was aborted internally (deadlock
+///    victim or validation failure) and its abort has been recorded.
+///  * kFailedPrecondition — unknown/finished transaction, or an isolation
+///    level the scheme does not implement.
+///
+/// Thread-safety: all public methods are safe to call from any thread; in
+/// blocking mode lock waits release the internal mutex.
+class Database {
+ public:
+  struct Options {
+    /// Block on lock conflicts (condition-variable waits) instead of
+    /// returning kWouldBlock. Deterministic drivers use false; the
+    /// multi-threaded throughput benches use true.
+    bool blocking = false;
+  };
+
+  /// Which isolation levels a scheme implements:
+  ///  * locking: PL-1 (≈READ UNCOMMITTED locks), PL-2 (≈READ COMMITTED),
+  ///    PL-2.99 (≈REPEATABLE READ), PL-3 (≈SERIALIZABLE);
+  ///  * optimistic: PL-2, PL-2.99, PL-3 (validation scope varies);
+  ///  * multiversion: PL-SI.
+  static std::unique_ptr<Database> Create(Scheme scheme, Options options);
+  static std::unique_ptr<Database> Create(Scheme scheme) {
+    return Create(scheme, Options());
+  }
+
+  virtual ~Database() = default;
+
+  /// Registers a relation (idempotent by name).
+  RelationId AddRelation(const std::string& name) {
+    std::lock_guard<std::mutex> guard(mu_);
+    return recorder_.AddRelation(name);
+  }
+
+  virtual Result<TxnId> Begin(IsolationLevel level) = 0;
+
+  /// Reads the row at `key`; nullopt when no visible row exists.
+  virtual Result<std::optional<Row>> Read(TxnId txn, const ObjKey& key) = 0;
+
+  /// Inserts or updates the row at `key`.
+  virtual Status Write(TxnId txn, const ObjKey& key, Row row) = 0;
+
+  /// Deletes the row at `key` (kNotFound if nothing visible to delete).
+  virtual Status Delete(TxnId txn, const ObjKey& key) = 0;
+
+  /// Evaluates `predicate` over `relation`; returns matched (key, row)
+  /// pairs and records the predicate read with its full version set.
+  virtual Result<std::vector<std::pair<std::string, Row>>> PredicateRead(
+      TxnId txn, RelationId relation,
+      std::shared_ptr<const Predicate> predicate) = 0;
+
+  virtual Status Commit(TxnId txn) = 0;
+  virtual Status Abort(TxnId txn) = 0;
+
+  /// A finalized snapshot of the recorded history so far.
+  Result<History> RecordedHistory() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return recorder_.Snapshot();
+  }
+
+ protected:
+  /// One buffered (uncommitted) object-final: the last modification this
+  /// transaction made to one incarnation of a key.
+  struct ObjectFinal {
+    ObjectId object = 0;
+    VersionId vid{};
+    Row row;
+    VersionKind kind = VersionKind::kVisible;
+  };
+  /// Per-key pending state: usually one entry; a delete-then-reinsert
+  /// within one transaction appends a second incarnation.
+  using Pending = std::vector<ObjectFinal>;
+
+  /// One version selected for a predicate read's version set.
+  struct SelectedVersion {
+    VersionId vid{};
+    const Row* row = nullptr;
+    VersionKind kind = VersionKind::kVisible;
+  };
+
+  /// Selects one version of *every incarnation* of a key for a predicate
+  /// read: per object, the latest committed version with commit_ts <=
+  /// view_ts, overridden by `overrides` (a transaction's pending finals,
+  /// which are per-object by construction). Older incarnations contribute
+  /// their dead versions — omitting them made the checker treat deleted
+  /// tuples as unborn and derive spurious predicate anti-dependencies.
+  static void SelectPerIncarnation(
+      const std::vector<VersionedStore::Stored>& chain,
+      const Pending* overrides, uint64_t view_ts,
+      std::vector<SelectedVersion>* out) {
+    std::map<ObjectId, SelectedVersion> selected;
+    for (const VersionedStore::Stored& s : chain) {
+      if (s.commit_ts > view_ts) continue;
+      selected[s.vid.object] = SelectedVersion{s.vid, &s.row, s.kind};
+    }
+    if (overrides != nullptr) {
+      for (const ObjectFinal& fin : *overrides) {
+        selected[fin.object] = SelectedVersion{fin.vid, &fin.row, fin.kind};
+      }
+    }
+    for (const auto& [object, sel] : selected) out->push_back(sel);
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  Recorder recorder_;
+  VersionedStore store_;
+  uint64_t commit_clock_ = 0;
+  Options options_;
+};
+
+}  // namespace adya::engine
+
+#endif  // ADYA_ENGINE_DATABASE_H_

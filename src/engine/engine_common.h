@@ -1,0 +1,40 @@
+#ifndef ADYA_ENGINE_ENGINE_COMMON_H_
+#define ADYA_ENGINE_ENGINE_COMMON_H_
+
+#include <string>
+#include <tuple>
+
+#include "history/ids.h"
+
+namespace adya::engine {
+
+using adya::IsolationLevel;
+using adya::ObjectId;
+using adya::PredicateId;
+using adya::RelationId;
+using adya::TxnId;
+using adya::VersionId;
+using adya::VersionKind;
+
+/// A tuple's address: relation plus primary key. Distinct from ObjectId —
+/// when a key is deleted and re-inserted, the model (§4.1) treats the new
+/// incarnation as a brand-new object, so one ObjKey can map to several
+/// ObjectIds over its lifetime.
+struct ObjKey {
+  RelationId relation = 0;
+  std::string key;
+
+  bool operator==(const ObjKey& other) const {
+    return relation == other.relation && key == other.key;
+  }
+  bool operator<(const ObjKey& other) const {
+    return std::tie(relation, key) < std::tie(other.relation, other.key);
+  }
+};
+
+/// Transaction lifecycle inside the engine.
+enum class TxnStatus : uint8_t { kRunning, kCommitted, kAborted };
+
+}  // namespace adya::engine
+
+#endif  // ADYA_ENGINE_ENGINE_COMMON_H_

@@ -1,0 +1,181 @@
+#include "engine/lock_manager.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace adya::engine {
+namespace {
+
+bool Compatible(LockMode held, LockMode requested) {
+  return held == LockMode::kShared && requested == LockMode::kShared;
+}
+
+}  // namespace
+
+TxnId LockManager::ItemConflict(TxnId txn, const ObjKey& key,
+                                LockMode mode) const {
+  auto it = item_locks_.find(key);
+  if (it == item_locks_.end()) return kTxnInit;
+  for (const auto& [holder, held_mode] : it->second) {
+    if (holder == txn) continue;
+    if (!Compatible(held_mode, mode)) return holder;
+  }
+  return kTxnInit;
+}
+
+TxnId LockManager::PredicateConflict(TxnId txn, RelationId relation,
+                                     const Predicate& predicate) const {
+  for (const auto& [holder, prints] : footprints_) {
+    if (holder == txn) continue;
+    for (const Footprint& fp : prints) {
+      if (fp.relation == relation && predicate.Matches(fp.row)) return holder;
+    }
+  }
+  return kTxnInit;
+}
+
+TxnId LockManager::FootprintConflict(TxnId txn, RelationId relation,
+                                     const std::vector<Row>& rows) const {
+  for (const PredLock& pl : predicate_locks_) {
+    if (pl.txn == txn || pl.relation != relation) continue;
+    for (const Row& row : rows) {
+      if (pl.predicate->Matches(row)) return pl.txn;
+    }
+  }
+  return kTxnInit;
+}
+
+bool LockManager::WouldDeadlock(TxnId waiter) const {
+  // DFS from waiter over the waits-for graph, looking for a path back.
+  std::vector<TxnId> stack;
+  std::set<TxnId> seen;
+  auto push_targets = [&](TxnId from) {
+    auto it = waits_for_.find(from);
+    if (it == waits_for_.end()) return;
+    for (TxnId to : it->second) {
+      if (seen.insert(to).second) stack.push_back(to);
+    }
+  };
+  push_targets(waiter);
+  while (!stack.empty()) {
+    TxnId cur = stack.back();
+    stack.pop_back();
+    if (cur == waiter) return true;
+    push_targets(cur);
+  }
+  return false;
+}
+
+template <typename FindConflict, typename Grant>
+Status LockManager::AcquireLoop(std::unique_lock<std::mutex>& lk, TxnId txn,
+                                bool wait, FindConflict find_conflict,
+                                Grant grant) {
+  for (;;) {
+    TxnId holder = find_conflict();
+    if (holder == kTxnInit) {
+      grant();
+      // Any stale non-blocking wait intent is resolved by this success.
+      waits_for_.erase(txn);
+      return Status::OK();
+    }
+    waits_for_[txn].insert(holder);
+    if (WouldDeadlock(txn)) {
+      waits_for_.erase(txn);
+      return Status::TxnAborted("deadlock victim");
+    }
+    if (!wait) {
+      // Keep the edge: a later attempt by the holder may close the cycle.
+      return Status::WouldBlock("lock held by another transaction");
+    }
+    cv_->wait(lk);
+    waits_for_[txn].erase(holder);
+  }
+}
+
+Status LockManager::AcquireItem(std::unique_lock<std::mutex>& lk, TxnId txn,
+                                const ObjKey& key, LockMode mode, bool wait) {
+  // Already strong enough?
+  auto it = item_locks_.find(key);
+  if (it != item_locks_.end()) {
+    auto held = it->second.find(txn);
+    if (held != it->second.end() &&
+        (held->second == LockMode::kExclusive || held->second == mode)) {
+      return Status::OK();
+    }
+  }
+  return AcquireLoop(
+      lk, txn, wait, [&] { return ItemConflict(txn, key, mode); },
+      [&] { item_locks_[key][txn] = mode; });
+}
+
+void LockManager::ReleaseItem(TxnId txn, const ObjKey& key) {
+  auto it = item_locks_.find(key);
+  if (it == item_locks_.end()) return;
+  it->second.erase(txn);
+  if (it->second.empty()) item_locks_.erase(it);
+  cv_->notify_all();
+}
+
+Status LockManager::AcquirePredicate(
+    std::unique_lock<std::mutex>& lk, TxnId txn, RelationId relation,
+    std::shared_ptr<const Predicate> predicate, bool wait) {
+  return AcquireLoop(
+      lk, txn, wait,
+      [&] { return PredicateConflict(txn, relation, *predicate); },
+      [&] { predicate_locks_.push_back(PredLock{txn, relation, predicate}); });
+}
+
+void LockManager::ReleasePredicate(TxnId txn, const Predicate* predicate) {
+  for (auto it = predicate_locks_.rbegin(); it != predicate_locks_.rend();
+       ++it) {
+    if (it->txn == txn && it->predicate.get() == predicate) {
+      predicate_locks_.erase(std::next(it).base());
+      cv_->notify_all();
+      return;
+    }
+  }
+}
+
+Status LockManager::CheckWriteAgainstPredicates(
+    std::unique_lock<std::mutex>& lk, TxnId txn, RelationId relation,
+    const std::vector<Row>& rows, bool wait) {
+  return AcquireLoop(
+      lk, txn, wait, [&] { return FootprintConflict(txn, relation, rows); },
+      [] {});
+}
+
+void LockManager::AddWriteFootprint(TxnId txn, RelationId relation, Row row) {
+  footprints_[txn].push_back(Footprint{relation, std::move(row)});
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  for (auto it = item_locks_.begin(); it != item_locks_.end();) {
+    it->second.erase(txn);
+    it = it->second.empty() ? item_locks_.erase(it) : std::next(it);
+  }
+  predicate_locks_.erase(
+      std::remove_if(predicate_locks_.begin(), predicate_locks_.end(),
+                     [&](const PredLock& pl) { return pl.txn == txn; }),
+      predicate_locks_.end());
+  footprints_.erase(txn);
+  waits_for_.erase(txn);
+  for (auto& [waiter, targets] : waits_for_) targets.erase(txn);
+  cv_->notify_all();
+}
+
+bool LockManager::HoldsItem(TxnId txn, const ObjKey& key,
+                            LockMode mode) const {
+  auto it = item_locks_.find(key);
+  if (it == item_locks_.end()) return false;
+  auto held = it->second.find(txn);
+  return held != it->second.end() && held->second == mode;
+}
+
+size_t LockManager::waits_for_edge_count() const {
+  size_t n = 0;
+  for (const auto& [waiter, targets] : waits_for_) n += targets.size();
+  return n;
+}
+
+}  // namespace adya::engine

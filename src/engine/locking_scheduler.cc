@@ -1,0 +1,264 @@
+#include "engine/locking_scheduler.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/str_util.h"
+
+namespace adya::engine {
+namespace {
+
+bool LongReadLocks(IsolationLevel level) {
+  return level == IsolationLevel::kPL299 || level == IsolationLevel::kPL3;
+}
+
+}  // namespace
+
+LockingScheduler::LockingScheduler(Options options) : locks_(&cv_) {
+  options_ = options;
+}
+
+Result<TxnId> LockingScheduler::Begin(IsolationLevel level) {
+  if (level != IsolationLevel::kPL1 && level != IsolationLevel::kPL2 &&
+      level != IsolationLevel::kPL299 && level != IsolationLevel::kPL3) {
+    return Status::FailedPrecondition(
+        StrCat("locking scheduler implements the ANSI chain only, not ",
+               IsolationLevelName(level)));
+  }
+  std::lock_guard<std::mutex> guard(mu_);
+  TxnId txn = recorder_.BeginTxn(level);
+  txns_[txn].level = level;
+  return txn;
+}
+
+Result<LockingScheduler::TxnState*> LockingScheduler::Running(TxnId txn) {
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) {
+    return Status::FailedPrecondition(StrCat("unknown transaction T", txn));
+  }
+  if (it->second.status != TxnStatus::kRunning) {
+    return Status::FailedPrecondition(
+        StrCat("transaction T", txn, " already finished"));
+  }
+  return &it->second;
+}
+
+Status LockingScheduler::HandleLockStatus(TxnId txn, TxnState& ts,
+                                          Status status) {
+  if (status.code() == StatusCode::kTxnAborted) {
+    FinishLocked(txn, ts, /*commit=*/false);
+  }
+  return status;
+}
+
+void LockingScheduler::FinishLocked(TxnId txn, TxnState& ts, bool commit) {
+  if (commit) {
+    ++commit_clock_;
+    for (const auto& [key, pending] : ts.pending) {
+      for (const ObjectFinal& fin : pending) {
+        store_.Install(key, VersionedStore::Stored{fin.vid, fin.row, fin.kind,
+                                                   commit_clock_});
+      }
+    }
+    recorder_.RecordCommit(txn);
+    ts.status = TxnStatus::kCommitted;
+  } else {
+    recorder_.RecordAbort(txn);
+    ts.status = TxnStatus::kAborted;
+  }
+  for (const auto& [key, pending] : ts.pending) {
+    auto it = writer_of_.find(key);
+    if (it != writer_of_.end() && it->second == txn) writer_of_.erase(it);
+  }
+  locks_.ReleaseAll(txn);
+}
+
+Result<std::optional<Row>> LockingScheduler::Read(TxnId txn,
+                                                  const ObjKey& key) {
+  std::unique_lock<std::mutex> lk(mu_);
+  ADYA_ASSIGN_OR_RETURN(TxnState * ts, Running(txn));
+  // Own pending write wins (read-your-writes, §4.2).
+  auto own = ts->pending.find(key);
+  if (own != ts->pending.end()) {
+    const ObjectFinal& fin = own->second.back();
+    if (fin.kind != VersionKind::kVisible) return std::optional<Row>();
+    recorder_.RecordRead(txn, fin.vid, fin.row);
+    return std::optional<Row>(fin.row);
+  }
+  if (ts->level == IsolationLevel::kPL1) {
+    // Dirty read: observe another transaction's uncommitted write if any.
+    auto writer = writer_of_.find(key);
+    if (writer != writer_of_.end()) {
+      const ObjectFinal& fin = txns_.at(writer->second).pending.at(key).back();
+      if (fin.kind != VersionKind::kVisible) return std::optional<Row>();
+      recorder_.RecordRead(txn, fin.vid, fin.row);
+      return std::optional<Row>(fin.row);
+    }
+  } else {
+    Status st = locks_.AcquireItem(lk, txn, key, LockMode::kShared,
+                                   options_.blocking);
+    if (!st.ok()) return HandleLockStatus(txn, *ts, st);
+  }
+  std::optional<Row> result;
+  const VersionedStore::Stored* tip = store_.Latest(key);
+  if (tip != nullptr && tip->kind == VersionKind::kVisible) {
+    recorder_.RecordRead(txn, tip->vid, tip->row);
+    result = tip->row;
+  }
+  if (ts->level == IsolationLevel::kPL2) {
+    locks_.ReleaseItem(txn, key);  // short read lock
+  }
+  return result;
+}
+
+Status LockingScheduler::WriteInternal(TxnId txn, const ObjKey& key, Row row,
+                                       VersionKind kind) {
+  std::unique_lock<std::mutex> lk(mu_);
+  ADYA_ASSIGN_OR_RETURN(TxnState * ts, Running(txn));
+  Status st =
+      locks_.AcquireItem(lk, txn, key, LockMode::kExclusive,
+                         options_.blocking);
+  if (!st.ok()) return HandleLockStatus(txn, *ts, st);
+
+  // The pre-state other transactions may have predicate-locked.
+  const VersionedStore::Stored* tip = store_.Latest(key);
+  std::vector<Row> touched;
+  if (tip != nullptr && tip->kind == VersionKind::kVisible) {
+    touched.push_back(tip->row);
+  }
+  if (kind == VersionKind::kVisible) touched.push_back(row);
+  st = locks_.CheckWriteAgainstPredicates(lk, txn, key.relation, touched,
+                                          options_.blocking);
+  if (!st.ok()) return HandleLockStatus(txn, *ts, st);
+
+  // Visibility of the base state decides update vs (re-)insert.
+  auto own = ts->pending.find(key);
+  bool base_visible =
+      own != ts->pending.end()
+          ? own->second.back().kind == VersionKind::kVisible
+          : tip != nullptr && tip->kind == VersionKind::kVisible;
+  if (kind == VersionKind::kDead && !base_visible) {
+    return Status::NotFound(StrCat("no visible row at ", key.key));
+  }
+  Pending& pending = ts->pending[key];
+  ObjectId object;
+  if (!pending.empty() && pending.back().kind == VersionKind::kVisible) {
+    object = pending.back().object;
+  } else if (pending.empty() && base_visible) {
+    object = tip->vid.object;
+    pending.emplace_back();
+  } else {
+    // Insert (possibly after a delete): a fresh incarnation (§4.1 treats
+    // a re-inserted tuple as a new object).
+    object = recorder_.NewIncarnation(key);
+    pending.emplace_back();
+  }
+  ObjectFinal& fin = pending.back();
+  fin.object = object;
+  fin.vid = recorder_.RecordWrite(txn, object, row, kind);
+  fin.row = std::move(row);
+  fin.kind = kind;
+  for (Row& r : touched) {
+    locks_.AddWriteFootprint(txn, key.relation, std::move(r));
+  }
+  writer_of_[key] = txn;
+  return Status::OK();
+}
+
+Status LockingScheduler::Write(TxnId txn, const ObjKey& key, Row row) {
+  return WriteInternal(txn, key, std::move(row), VersionKind::kVisible);
+}
+
+Status LockingScheduler::Delete(TxnId txn, const ObjKey& key) {
+  return WriteInternal(txn, key, Row(), VersionKind::kDead);
+}
+
+Result<std::vector<std::pair<std::string, Row>>>
+LockingScheduler::PredicateRead(TxnId txn, RelationId relation,
+                                std::shared_ptr<const Predicate> predicate) {
+  std::unique_lock<std::mutex> lk(mu_);
+  ADYA_ASSIGN_OR_RETURN(TxnState * ts, Running(txn));
+  if (ts->level != IsolationLevel::kPL1) {
+    Status st =
+        locks_.AcquirePredicate(lk, txn, relation, predicate,
+                                options_.blocking);
+    if (!st.ok()) return HandleLockStatus(txn, *ts, st);
+  }
+  // Keys to examine: everything committed plus every pending write of this
+  // relation (dirty reads at PL-1; own writes at any level).
+  std::set<ObjKey> keys;
+  for (ObjKey& k : store_.KeysOfRelation(relation)) keys.insert(std::move(k));
+  for (const auto& [key, writer] : writer_of_) {
+    if (key.relation == relation) keys.insert(key);
+  }
+  struct Selected {
+    ObjKey key;
+    VersionId vid;
+    Row row;
+  };
+  std::vector<VersionId> vset;
+  std::vector<Selected> matched;
+  for (const ObjKey& key : keys) {
+    // One version per incarnation of the key; a transaction's own pending
+    // finals (and, for PL-1 dirty reads, another writer's) override.
+    const Pending* overrides = nullptr;
+    auto own = ts->pending.find(key);
+    if (own != ts->pending.end()) {
+      overrides = &own->second;
+    } else if (ts->level == IsolationLevel::kPL1) {
+      auto writer = writer_of_.find(key);
+      if (writer != writer_of_.end()) {
+        overrides = &txns_.at(writer->second).pending.at(key);
+      }
+    }
+    std::vector<SelectedVersion> selected;
+    SelectPerIncarnation(store_.Chain(key), overrides,
+                         std::numeric_limits<uint64_t>::max(), &selected);
+    for (const SelectedVersion& sel : selected) {
+      vset.push_back(sel.vid);
+      if (sel.kind == VersionKind::kVisible && predicate->Matches(*sel.row)) {
+        matched.push_back(Selected{key, sel.vid, *sel.row});
+      }
+    }
+  }
+  // REPEATABLE READ and SERIALIZABLE take long S locks on the rows the
+  // query returns (Figure 1); they are uncontended while the predicate lock
+  // is held, but the protocol is followed for fidelity.
+  if (LongReadLocks(ts->level)) {
+    for (const Selected& sel : matched) {
+      if (sel.vid.writer == txn) continue;  // own write: X already held
+      Status st = locks_.AcquireItem(lk, txn, sel.key, LockMode::kShared,
+                                     options_.blocking);
+      if (!st.ok()) return HandleLockStatus(txn, *ts, st);
+    }
+  }
+  PredicateId pred_id = recorder_.RegisterPredicate(relation, predicate);
+  recorder_.RecordPredicateRead(txn, pred_id, std::move(vset));
+  std::vector<std::pair<std::string, Row>> result;
+  for (const Selected& sel : matched) {
+    recorder_.RecordRead(txn, sel.vid, sel.row);
+    result.emplace_back(sel.key.key, sel.row);
+  }
+  // Figure 1: the phantom (predicate) lock is short below SERIALIZABLE.
+  if (ts->level == IsolationLevel::kPL2 ||
+      ts->level == IsolationLevel::kPL299) {
+    locks_.ReleasePredicate(txn, predicate.get());
+  }
+  return result;
+}
+
+Status LockingScheduler::Commit(TxnId txn) {
+  std::unique_lock<std::mutex> lk(mu_);
+  ADYA_ASSIGN_OR_RETURN(TxnState * ts, Running(txn));
+  FinishLocked(txn, *ts, /*commit=*/true);
+  return Status::OK();
+}
+
+Status LockingScheduler::Abort(TxnId txn) {
+  std::unique_lock<std::mutex> lk(mu_);
+  ADYA_ASSIGN_OR_RETURN(TxnState * ts, Running(txn));
+  FinishLocked(txn, *ts, /*commit=*/false);
+  return Status::OK();
+}
+
+}  // namespace adya::engine

@@ -1,0 +1,78 @@
+#ifndef ADYA_ENGINE_LOCKING_SCHEDULER_H_
+#define ADYA_ENGINE_LOCKING_SCHEDULER_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "engine/database.h"
+#include "engine/lock_manager.h"
+
+namespace adya::engine {
+
+/// Strict two-phase locking with precision predicate locks — the
+/// "preventative" implementation of Figure 1:
+///
+///   level    writes   item reads        predicate reads
+///   PL-1     long X   none (dirty)      none (dirty)
+///   PL-2     long X   short S           short predicate + committed rows
+///   PL-2.99  long X   long S            SHORT predicate, long S on matches
+///   PL-3     long X   long S            long predicate
+///
+/// Writers additionally wait on any predicate lock whose condition matches
+/// the row they overwrite or produce, and register those rows as footprints
+/// so later predicate readers conflict with them. Writes are buffered
+/// per-transaction and installed at commit (the undo problem of §5.1's
+/// first rationale never arises); the long X lock still gives the classic
+/// Figure 1 behavior because no other transaction can write the key
+/// concurrently.
+class LockingScheduler : public Database {
+ public:
+  explicit LockingScheduler(Options options);
+
+  Result<TxnId> Begin(IsolationLevel level) override;
+  Result<std::optional<Row>> Read(TxnId txn, const ObjKey& key) override;
+  Status Write(TxnId txn, const ObjKey& key, Row row) override;
+  Status Delete(TxnId txn, const ObjKey& key) override;
+  Result<std::vector<std::pair<std::string, Row>>> PredicateRead(
+      TxnId txn, RelationId relation,
+      std::shared_ptr<const Predicate> predicate) override;
+  Status Commit(TxnId txn) override;
+  Status Abort(TxnId txn) override;
+
+  /// Test hook: current number of waits-for edges in the lock manager.
+  size_t WaitsForEdgesForTest() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return locks_.waits_for_edge_count();
+  }
+
+ private:
+  struct TxnState {
+    IsolationLevel level = IsolationLevel::kPL3;
+    TxnStatus status = TxnStatus::kRunning;
+    std::map<ObjKey, Pending> pending;
+  };
+
+  /// Returns the running transaction's state or kFailedPrecondition.
+  Result<TxnState*> Running(TxnId txn);
+
+  /// Handles a lock-manager status: on kTxnAborted the transaction is
+  /// aborted (recorded + released) before the status is propagated.
+  Status HandleLockStatus(TxnId txn, TxnState& ts, Status status);
+
+  void FinishLocked(TxnId txn, TxnState& ts, bool commit);
+
+  /// Common write path for updates and deletes.
+  Status WriteInternal(TxnId txn, const ObjKey& key, Row row,
+                       VersionKind kind);
+
+  LockManager locks_;
+  std::map<TxnId, TxnState> txns_;
+  /// The (single, X-protected) uncommitted writer of each key.
+  std::map<ObjKey, TxnId> writer_of_;
+};
+
+}  // namespace adya::engine
+
+#endif  // ADYA_ENGINE_LOCKING_SCHEDULER_H_

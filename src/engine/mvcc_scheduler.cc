@@ -1,0 +1,162 @@
+#include "engine/mvcc_scheduler.h"
+
+#include <limits>
+#include <set>
+
+#include "common/str_util.h"
+
+namespace adya::engine {
+
+Result<TxnId> MvccScheduler::Begin(IsolationLevel level) {
+  if (level != IsolationLevel::kPLSI) {
+    return Status::FailedPrecondition(
+        StrCat("multiversion scheduler implements PL-SI, not ",
+               IsolationLevelName(level)));
+  }
+  std::lock_guard<std::mutex> guard(mu_);
+  TxnId txn = recorder_.BeginTxn(level);
+  TxnState& ts = txns_[txn];
+  ts.snapshot_ts = commit_clock_;
+  return txn;
+}
+
+Result<MvccScheduler::TxnState*> MvccScheduler::Running(TxnId txn) {
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) {
+    return Status::FailedPrecondition(StrCat("unknown transaction T", txn));
+  }
+  if (it->second.status != TxnStatus::kRunning) {
+    return Status::FailedPrecondition(
+        StrCat("transaction T", txn, " already finished"));
+  }
+  return &it->second;
+}
+
+Result<std::optional<Row>> MvccScheduler::Read(TxnId txn, const ObjKey& key) {
+  std::lock_guard<std::mutex> guard(mu_);
+  ADYA_ASSIGN_OR_RETURN(TxnState * ts, Running(txn));
+  auto own = ts->pending.find(key);
+  if (own != ts->pending.end()) {
+    const ObjectFinal& fin = own->second.back();
+    if (fin.kind != VersionKind::kVisible) return std::optional<Row>();
+    recorder_.RecordRead(txn, fin.vid, fin.row);
+    return std::optional<Row>(fin.row);
+  }
+  const VersionedStore::Stored* v = store_.LatestAt(key, ts->snapshot_ts);
+  if (v == nullptr || v->kind != VersionKind::kVisible) {
+    return std::optional<Row>();
+  }
+  recorder_.RecordRead(txn, v->vid, v->row);
+  return std::optional<Row>(v->row);
+}
+
+Status MvccScheduler::WriteInternal(TxnId txn, const ObjKey& key, Row row,
+                                    VersionKind kind) {
+  std::lock_guard<std::mutex> guard(mu_);
+  ADYA_ASSIGN_OR_RETURN(TxnState * ts, Running(txn));
+  auto own = ts->pending.find(key);
+  const VersionedStore::Stored* base = store_.LatestAt(key, ts->snapshot_ts);
+  bool base_visible =
+      own != ts->pending.end()
+          ? own->second.back().kind == VersionKind::kVisible
+          : base != nullptr && base->kind == VersionKind::kVisible;
+  if (kind == VersionKind::kDead && !base_visible) {
+    return Status::NotFound(StrCat("no visible row at ", key.key));
+  }
+  Pending& pending = ts->pending[key];
+  ObjectId object;
+  if (!pending.empty() && pending.back().kind == VersionKind::kVisible) {
+    object = pending.back().object;
+  } else if (pending.empty() && base_visible) {
+    object = base->vid.object;
+    pending.emplace_back();
+  } else {
+    object = recorder_.NewIncarnation(key);
+    pending.emplace_back();
+  }
+  ObjectFinal& fin = pending.back();
+  fin.object = object;
+  fin.vid = recorder_.RecordWrite(txn, object, row, kind);
+  fin.row = std::move(row);
+  fin.kind = kind;
+  return Status::OK();
+}
+
+Status MvccScheduler::Write(TxnId txn, const ObjKey& key, Row row) {
+  return WriteInternal(txn, key, std::move(row), VersionKind::kVisible);
+}
+
+Status MvccScheduler::Delete(TxnId txn, const ObjKey& key) {
+  return WriteInternal(txn, key, Row(), VersionKind::kDead);
+}
+
+Result<std::vector<std::pair<std::string, Row>>> MvccScheduler::PredicateRead(
+    TxnId txn, RelationId relation,
+    std::shared_ptr<const Predicate> predicate) {
+  std::lock_guard<std::mutex> guard(mu_);
+  ADYA_ASSIGN_OR_RETURN(TxnState * ts, Running(txn));
+  std::set<ObjKey> keys;
+  for (ObjKey& k : store_.KeysOfRelation(relation)) keys.insert(std::move(k));
+  for (const auto& [key, pending] : ts->pending) {
+    if (key.relation == relation) keys.insert(key);
+  }
+  std::vector<VersionId> vset;
+  std::vector<std::tuple<ObjKey, VersionId, Row>> matched;
+  for (const ObjKey& key : keys) {
+    auto own = ts->pending.find(key);
+    std::vector<SelectedVersion> selected;
+    SelectPerIncarnation(store_.Chain(key),
+                         own != ts->pending.end() ? &own->second : nullptr,
+                         ts->snapshot_ts, &selected);
+    for (const SelectedVersion& sel : selected) {
+      vset.push_back(sel.vid);
+      if (sel.kind == VersionKind::kVisible && predicate->Matches(*sel.row)) {
+        matched.emplace_back(key, sel.vid, *sel.row);
+      }
+    }
+  }
+  PredicateId pred_id = recorder_.RegisterPredicate(relation, predicate);
+  recorder_.RecordPredicateRead(txn, pred_id, std::move(vset));
+  std::vector<std::pair<std::string, Row>> result;
+  for (auto& [key, vid, row] : matched) {
+    recorder_.RecordRead(txn, vid, row);
+    result.emplace_back(key.key, std::move(row));
+  }
+  return result;
+}
+
+Status MvccScheduler::Commit(TxnId txn) {
+  std::lock_guard<std::mutex> guard(mu_);
+  ADYA_ASSIGN_OR_RETURN(TxnState * ts, Running(txn));
+  // First-committer-wins: abort if any written key changed after the
+  // snapshot.
+  for (const auto& [key, pending] : ts->pending) {
+    const VersionedStore::Stored* tip = store_.Latest(key);
+    if (tip != nullptr && tip->commit_ts > ts->snapshot_ts) {
+      recorder_.RecordAbort(txn);
+      ts->status = TxnStatus::kAborted;
+      return Status::TxnAborted(
+          StrCat("first-committer-wins conflict on ", key.key));
+    }
+  }
+  ++commit_clock_;
+  for (const auto& [key, pending] : ts->pending) {
+    for (const ObjectFinal& fin : pending) {
+      store_.Install(key, VersionedStore::Stored{fin.vid, fin.row, fin.kind,
+                                                 commit_clock_});
+    }
+  }
+  recorder_.RecordCommit(txn);
+  ts->status = TxnStatus::kCommitted;
+  return Status::OK();
+}
+
+Status MvccScheduler::Abort(TxnId txn) {
+  std::lock_guard<std::mutex> guard(mu_);
+  ADYA_ASSIGN_OR_RETURN(TxnState * ts, Running(txn));
+  recorder_.RecordAbort(txn);
+  ts->status = TxnStatus::kAborted;
+  return Status::OK();
+}
+
+}  // namespace adya::engine

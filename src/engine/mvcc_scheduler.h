@@ -1,0 +1,51 @@
+#ifndef ADYA_ENGINE_MVCC_SCHEDULER_H_
+#define ADYA_ENGINE_MVCC_SCHEDULER_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "engine/database.h"
+
+namespace adya::engine {
+
+/// Multi-version snapshot isolation (Oracle-style, §1's motivating
+/// example): every read — item or predicate — observes the committed state
+/// as of the transaction's begin; writes are buffered; commit applies
+/// first-committer-wins (abort if any written key gained a committed
+/// version after the snapshot).
+///
+/// Executions satisfy PL-SI (and hence PL-2+) but not PL-3: write skew —
+/// a G2 cycle with two anti-dependency edges — commits happily, which is
+/// exactly what separates the levels in the thesis's hierarchy.
+class MvccScheduler : public Database {
+ public:
+  explicit MvccScheduler(Options options) { options_ = options; }
+
+  Result<TxnId> Begin(IsolationLevel level) override;
+  Result<std::optional<Row>> Read(TxnId txn, const ObjKey& key) override;
+  Status Write(TxnId txn, const ObjKey& key, Row row) override;
+  Status Delete(TxnId txn, const ObjKey& key) override;
+  Result<std::vector<std::pair<std::string, Row>>> PredicateRead(
+      TxnId txn, RelationId relation,
+      std::shared_ptr<const Predicate> predicate) override;
+  Status Commit(TxnId txn) override;
+  Status Abort(TxnId txn) override;
+
+ private:
+  struct TxnState {
+    TxnStatus status = TxnStatus::kRunning;
+    uint64_t snapshot_ts = 0;
+    std::map<ObjKey, Pending> pending;
+  };
+
+  Result<TxnState*> Running(TxnId txn);
+  Status WriteInternal(TxnId txn, const ObjKey& key, Row row,
+                       VersionKind kind);
+
+  std::map<TxnId, TxnState> txns_;
+};
+
+}  // namespace adya::engine
+
+#endif  // ADYA_ENGINE_MVCC_SCHEDULER_H_

@@ -1,0 +1,206 @@
+#include "engine/occ_scheduler.h"
+
+#include <limits>
+
+#include "common/str_util.h"
+
+namespace adya::engine {
+namespace {
+
+/// Did a committed write change whether any row matches `predicate`?
+bool ChangesMatches(const Predicate& predicate,
+                    const std::optional<Row>& old_row,
+                    const std::optional<Row>& new_row) {
+  bool old_match = old_row.has_value() && predicate.Matches(*old_row);
+  bool new_match = new_row.has_value() && predicate.Matches(*new_row);
+  return old_match != new_match;
+}
+
+}  // namespace
+
+Result<TxnId> OccScheduler::Begin(IsolationLevel level) {
+  if (level != IsolationLevel::kPL2 && level != IsolationLevel::kPL299 &&
+      level != IsolationLevel::kPL3) {
+    return Status::FailedPrecondition(
+        StrCat("optimistic scheduler implements PL-2, PL-2.99 and PL-3, ",
+               "not ", IsolationLevelName(level)));
+  }
+  std::lock_guard<std::mutex> guard(mu_);
+  TxnId txn = recorder_.BeginTxn(level);
+  TxnState& ts = txns_[txn];
+  ts.level = level;
+  ts.start_ts = commit_clock_;
+  return txn;
+}
+
+Result<OccScheduler::TxnState*> OccScheduler::Running(TxnId txn) {
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) {
+    return Status::FailedPrecondition(StrCat("unknown transaction T", txn));
+  }
+  if (it->second.status != TxnStatus::kRunning) {
+    return Status::FailedPrecondition(
+        StrCat("transaction T", txn, " already finished"));
+  }
+  return &it->second;
+}
+
+Result<std::optional<Row>> OccScheduler::Read(TxnId txn, const ObjKey& key) {
+  std::lock_guard<std::mutex> guard(mu_);
+  ADYA_ASSIGN_OR_RETURN(TxnState * ts, Running(txn));
+  auto own = ts->pending.find(key);
+  if (own != ts->pending.end()) {
+    const ObjectFinal& fin = own->second.back();
+    if (fin.kind != VersionKind::kVisible) return std::optional<Row>();
+    recorder_.RecordRead(txn, fin.vid, fin.row);
+    return std::optional<Row>(fin.row);
+  }
+  ts->read_keys.insert(key);  // reads of absence also validate
+  const VersionedStore::Stored* tip = store_.Latest(key);
+  if (tip == nullptr || tip->kind != VersionKind::kVisible) {
+    return std::optional<Row>();
+  }
+  recorder_.RecordRead(txn, tip->vid, tip->row);
+  return std::optional<Row>(tip->row);
+}
+
+Status OccScheduler::WriteInternal(TxnId txn, const ObjKey& key, Row row,
+                                   VersionKind kind) {
+  std::lock_guard<std::mutex> guard(mu_);
+  ADYA_ASSIGN_OR_RETURN(TxnState * ts, Running(txn));
+  auto own = ts->pending.find(key);
+  const VersionedStore::Stored* tip = store_.Latest(key);
+  bool base_visible =
+      own != ts->pending.end()
+          ? own->second.back().kind == VersionKind::kVisible
+          : tip != nullptr && tip->kind == VersionKind::kVisible;
+  if (kind == VersionKind::kDead && !base_visible) {
+    return Status::NotFound(StrCat("no visible row at ", key.key));
+  }
+  Pending& pending = ts->pending[key];
+  ObjectId object;
+  if (!pending.empty() && pending.back().kind == VersionKind::kVisible) {
+    object = pending.back().object;
+  } else if (pending.empty() && base_visible) {
+    object = tip->vid.object;
+    pending.emplace_back();
+  } else {
+    object = recorder_.NewIncarnation(key);
+    pending.emplace_back();
+  }
+  ObjectFinal& fin = pending.back();
+  fin.object = object;
+  fin.vid = recorder_.RecordWrite(txn, object, row, kind);
+  fin.row = std::move(row);
+  fin.kind = kind;
+  return Status::OK();
+}
+
+Status OccScheduler::Write(TxnId txn, const ObjKey& key, Row row) {
+  return WriteInternal(txn, key, std::move(row), VersionKind::kVisible);
+}
+
+Status OccScheduler::Delete(TxnId txn, const ObjKey& key) {
+  return WriteInternal(txn, key, Row(), VersionKind::kDead);
+}
+
+Result<std::vector<std::pair<std::string, Row>>> OccScheduler::PredicateRead(
+    TxnId txn, RelationId relation,
+    std::shared_ptr<const Predicate> predicate) {
+  std::lock_guard<std::mutex> guard(mu_);
+  ADYA_ASSIGN_OR_RETURN(TxnState * ts, Running(txn));
+  std::set<ObjKey> keys;
+  for (ObjKey& k : store_.KeysOfRelation(relation)) keys.insert(std::move(k));
+  for (const auto& [key, pending] : ts->pending) {
+    if (key.relation == relation) keys.insert(key);
+  }
+  std::vector<VersionId> vset;
+  std::vector<std::tuple<ObjKey, VersionId, Row>> matched;
+  for (const ObjKey& key : keys) {
+    auto own = ts->pending.find(key);
+    std::vector<SelectedVersion> selected;
+    SelectPerIncarnation(store_.Chain(key),
+                         own != ts->pending.end() ? &own->second : nullptr,
+                         std::numeric_limits<uint64_t>::max(), &selected);
+    for (const SelectedVersion& sel : selected) {
+      vset.push_back(sel.vid);
+      if (sel.kind == VersionKind::kVisible && predicate->Matches(*sel.row)) {
+        matched.emplace_back(key, sel.vid, *sel.row);
+      }
+    }
+  }
+  PredicateId pred_id = recorder_.RegisterPredicate(relation, predicate);
+  recorder_.RecordPredicateRead(txn, pred_id, std::move(vset));
+  ts->pred_reads.push_back(PredRead{relation, std::move(predicate)});
+  std::vector<std::pair<std::string, Row>> result;
+  for (auto& [key, vid, row] : matched) {
+    recorder_.RecordRead(txn, vid, row);
+    if (vid.writer != txn) ts->read_keys.insert(key);
+    result.emplace_back(key.key, std::move(row));
+  }
+  return result;
+}
+
+Status OccScheduler::Commit(TxnId txn) {
+  std::lock_guard<std::mutex> guard(mu_);
+  ADYA_ASSIGN_OR_RETURN(TxnState * ts, Running(txn));
+  // Backward validation against everyone who committed since we started.
+  for (const CommitRecord& cr : log_) {
+    if (cr.ts <= ts->start_ts) continue;
+    for (const CommittedWrite& w : cr.writes) {
+      bool conflict = false;
+      if (ts->pending.count(w.key) != 0) {
+        conflict = true;  // first-committer-wins on write-write overlap
+      } else if ((ts->level == IsolationLevel::kPL299 ||
+                  ts->level == IsolationLevel::kPL3) &&
+                 ts->read_keys.count(w.key) != 0) {
+        conflict = true;  // stale item read
+      } else if (ts->level == IsolationLevel::kPL3) {
+        for (const PredRead& pr : ts->pred_reads) {
+          if (pr.relation == w.key.relation &&
+              ChangesMatches(*pr.predicate, w.old_row, w.new_row)) {
+            conflict = true;  // phantom
+            break;
+          }
+        }
+      }
+      if (conflict) {
+        recorder_.RecordAbort(txn);
+        ts->status = TxnStatus::kAborted;
+        return Status::TxnAborted("backward validation failed");
+      }
+    }
+  }
+  // Install.
+  ++commit_clock_;
+  CommitRecord record;
+  record.ts = commit_clock_;
+  for (const auto& [key, pending] : ts->pending) {
+    for (const ObjectFinal& fin : pending) {
+      const VersionedStore::Stored* tip = store_.Latest(key);
+      CommittedWrite cw;
+      cw.key = key;
+      if (tip != nullptr && tip->kind == VersionKind::kVisible) {
+        cw.old_row = tip->row;
+      }
+      if (fin.kind == VersionKind::kVisible) cw.new_row = fin.row;
+      record.writes.push_back(std::move(cw));
+      store_.Install(key, VersionedStore::Stored{fin.vid, fin.row, fin.kind,
+                                                 commit_clock_});
+    }
+  }
+  log_.push_back(std::move(record));
+  recorder_.RecordCommit(txn);
+  ts->status = TxnStatus::kCommitted;
+  return Status::OK();
+}
+
+Status OccScheduler::Abort(TxnId txn) {
+  std::lock_guard<std::mutex> guard(mu_);
+  ADYA_ASSIGN_OR_RETURN(TxnState * ts, Running(txn));
+  recorder_.RecordAbort(txn);
+  ts->status = TxnStatus::kAborted;
+  return Status::OK();
+}
+
+}  // namespace adya::engine

@@ -1,0 +1,79 @@
+#ifndef ADYA_ENGINE_OCC_SCHEDULER_H_
+#define ADYA_ENGINE_OCC_SCHEDULER_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "engine/database.h"
+
+namespace adya::engine {
+
+/// Kung–Robinson optimistic concurrency control with backward validation —
+/// the class of implementations §3 shows the preventative definitions
+/// wrongly forbid. Reads go against the latest committed state without any
+/// locking; writes are buffered; commit validates against every
+/// transaction that committed after this one started:
+///
+///   * all levels: write-set ∩ write-set  → abort (first-committer-wins;
+///     keeps installation order equal to the version order and rules out
+///     G0);
+///   * PL-2.99 and PL-3: their writes ∩ my item read set → abort;
+///   * PL-3 only: their writes changed the matches of one of my predicate
+///     reads → abort (phantom validation).
+///
+/// PL-2 therefore skips read validation entirely — reads are still of
+/// committed final versions, so G1 cannot occur.
+class OccScheduler : public Database {
+ public:
+  explicit OccScheduler(Options options) { options_ = options; }
+
+  Result<TxnId> Begin(IsolationLevel level) override;
+  Result<std::optional<Row>> Read(TxnId txn, const ObjKey& key) override;
+  Status Write(TxnId txn, const ObjKey& key, Row row) override;
+  Status Delete(TxnId txn, const ObjKey& key) override;
+  Result<std::vector<std::pair<std::string, Row>>> PredicateRead(
+      TxnId txn, RelationId relation,
+      std::shared_ptr<const Predicate> predicate) override;
+  Status Commit(TxnId txn) override;
+  Status Abort(TxnId txn) override;
+
+ private:
+  struct PredRead {
+    RelationId relation;
+    std::shared_ptr<const Predicate> predicate;
+  };
+  struct TxnState {
+    IsolationLevel level = IsolationLevel::kPL3;
+    TxnStatus status = TxnStatus::kRunning;
+    uint64_t start_ts = 0;
+    std::map<ObjKey, Pending> pending;
+    std::set<ObjKey> read_keys;
+    std::vector<PredRead> pred_reads;
+  };
+  /// What one committed transaction wrote, for backward validation.
+  struct CommittedWrite {
+    ObjKey key;
+    std::optional<Row> old_row;  // visible pre-state, if any
+    std::optional<Row> new_row;  // nullopt for deletes
+  };
+  struct CommitRecord {
+    uint64_t ts;
+    std::vector<CommittedWrite> writes;
+  };
+
+  Result<TxnState*> Running(TxnId txn);
+  Status WriteInternal(TxnId txn, const ObjKey& key, Row row,
+                       VersionKind kind);
+
+  std::map<TxnId, TxnState> txns_;
+  /// Commit log for backward validation. Never pruned — fine at checker
+  /// scale; a production engine would drop records older than the oldest
+  /// active transaction.
+  std::vector<CommitRecord> log_;
+};
+
+}  // namespace adya::engine
+
+#endif  // ADYA_ENGINE_OCC_SCHEDULER_H_

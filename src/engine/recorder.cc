@@ -1,0 +1,61 @@
+#include "engine/recorder.h"
+
+#include "common/str_util.h"
+
+namespace adya::engine {
+
+TxnId Recorder::BeginTxn(IsolationLevel level) {
+  TxnId txn = next_txn_++;
+  history_.SetLevel(txn, level);
+  history_.Append(Event::Begin(txn));
+  return txn;
+}
+
+ObjectId Recorder::NewIncarnation(const ObjKey& key) {
+  uint32_t n = ++incarnation_count_[key];
+  std::string name =
+      n == 1 ? key.key : StrCat(key.key, "#", n);
+  return history_.AddObject(name, key.relation);
+}
+
+PredicateId Recorder::RegisterPredicate(
+    RelationId relation, std::shared_ptr<const Predicate> predicate) {
+  std::string dedup_key =
+      StrCat(relation, ":", predicate->Description());
+  auto it = predicate_ids_.find(dedup_key);
+  if (it != predicate_ids_.end()) return it->second;
+  PredicateId id = history_.AddPredicate(
+      StrCat("P", history_.predicate_count() + 1), std::move(predicate),
+      {relation});
+  predicate_ids_[dedup_key] = id;
+  return id;
+}
+
+VersionId Recorder::RecordWrite(TxnId txn, ObjectId object, Row row,
+                                VersionKind kind) {
+  uint32_t seq = ++write_seq_[{txn, object}];
+  VersionId vid{object, txn, seq};
+  history_.Append(Event::Write(txn, vid, std::move(row), kind));
+  return vid;
+}
+
+void Recorder::RecordRead(TxnId txn, const VersionId& version, Row observed) {
+  history_.Append(Event::Read(txn, version, std::move(observed)));
+}
+
+void Recorder::RecordPredicateRead(TxnId txn, PredicateId predicate,
+                                   std::vector<VersionId> vset) {
+  history_.Append(Event::PredicateRead(txn, predicate, std::move(vset)));
+}
+
+void Recorder::RecordCommit(TxnId txn) { history_.Append(Event::Commit(txn)); }
+
+void Recorder::RecordAbort(TxnId txn) { history_.Append(Event::Abort(txn)); }
+
+Result<History> Recorder::Snapshot() const {
+  History copy = history_;
+  ADYA_RETURN_IF_ERROR(copy.Finalize());
+  return copy;
+}
+
+}  // namespace adya::engine

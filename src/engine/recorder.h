@@ -1,0 +1,72 @@
+#ifndef ADYA_ENGINE_RECORDER_H_
+#define ADYA_ENGINE_RECORDER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/engine_common.h"
+#include "history/history.h"
+
+namespace adya::engine {
+
+/// Materializes the History of an engine execution as it happens, so that
+/// the checker (core/) can validate what the engine actually did —
+/// Elle-style black-box checking, except the engine cooperates by reporting
+/// exact version identities.
+///
+/// The recorder owns the TxnId space (engine transaction ids ARE history
+/// transaction ids) and the ObjectId space (one object per key
+/// *incarnation*). Thread-compatibility: callers serialize access (the
+/// Database's global mutex).
+class Recorder {
+ public:
+  Recorder() { history_.AddRelation("R"); }
+
+  RelationId AddRelation(const std::string& name) {
+    return history_.AddRelation(name);
+  }
+
+  /// Starts a new transaction: allocates its id, records level and begin.
+  TxnId BeginTxn(IsolationLevel level);
+
+  /// The object currently... named by `key`'s next incarnation: the first
+  /// call for a key yields object "key"; after each deletion the next
+  /// insert yields "key#2", "key#3", … Callers decide *when* a new
+  /// incarnation starts; the recorder only allocates names.
+  ObjectId NewIncarnation(const ObjKey& key);
+
+  /// Registers (or finds) a predicate for history purposes, deduplicated by
+  /// (relation set, description).
+  PredicateId RegisterPredicate(RelationId relation,
+                                std::shared_ptr<const Predicate> predicate);
+
+  /// Records a write by `txn` to `object`; returns the created VersionId
+  /// (seq assigned per §4.1: 1 + number of txn's earlier writes to it).
+  VersionId RecordWrite(TxnId txn, ObjectId object, Row row,
+                        VersionKind kind);
+
+  void RecordRead(TxnId txn, const VersionId& version, Row observed);
+  void RecordPredicateRead(TxnId txn, PredicateId predicate,
+                           std::vector<VersionId> vset);
+  void RecordCommit(TxnId txn);
+  void RecordAbort(TxnId txn);
+
+  /// A finalized snapshot of everything recorded so far. Unfinished
+  /// transactions appear aborted in the snapshot (the paper's completion
+  /// rule), without perturbing the live recording.
+  Result<History> Snapshot() const;
+
+ private:
+  History history_;
+  TxnId next_txn_ = 1;
+  std::map<ObjKey, uint32_t> incarnation_count_;
+  std::map<std::pair<TxnId, ObjectId>, uint32_t> write_seq_;
+  std::map<std::string, PredicateId> predicate_ids_;
+};
+
+}  // namespace adya::engine
+
+#endif  // ADYA_ENGINE_RECORDER_H_

@@ -1,0 +1,45 @@
+#include "engine/store.h"
+
+#include "common/check.h"
+
+namespace adya::engine {
+
+void VersionedStore::Install(const ObjKey& key, Stored version) {
+  std::vector<Stored>& chain = chains_[key];
+  if (!chain.empty()) {
+    ADYA_CHECK_MSG(chain.back().commit_ts <= version.commit_ts,
+                   "installation must follow commit order");
+  }
+  chain.push_back(std::move(version));
+}
+
+const std::vector<VersionedStore::Stored>& VersionedStore::Chain(
+    const ObjKey& key) const {
+  static const std::vector<Stored>* empty = new std::vector<Stored>();
+  auto it = chains_.find(key);
+  return it == chains_.end() ? *empty : it->second;
+}
+
+const VersionedStore::Stored* VersionedStore::Latest(const ObjKey& key) const {
+  const std::vector<Stored>& chain = Chain(key);
+  return chain.empty() ? nullptr : &chain.back();
+}
+
+const VersionedStore::Stored* VersionedStore::LatestAt(const ObjKey& key,
+                                                       uint64_t ts) const {
+  const std::vector<Stored>& chain = Chain(key);
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    if (it->commit_ts <= ts) return &*it;
+  }
+  return nullptr;
+}
+
+std::vector<ObjKey> VersionedStore::KeysOfRelation(RelationId relation) const {
+  std::vector<ObjKey> keys;
+  for (const auto& [key, chain] : chains_) {
+    if (key.relation == relation && !chain.empty()) keys.push_back(key);
+  }
+  return keys;  // std::map iteration is already sorted
+}
+
+}  // namespace adya::engine

@@ -1,0 +1,56 @@
+#ifndef ADYA_ENGINE_STORE_H_
+#define ADYA_ENGINE_STORE_H_
+
+#include <map>
+#include <vector>
+
+#include "engine/engine_common.h"
+#include "history/row.h"
+
+namespace adya::engine {
+
+/// The committed, multi-version state: per key, every installed version in
+/// installation order (which, for all three schedulers here, is also the
+/// version order `<<` — they install at commit). Uncommitted state lives in
+/// the schedulers. Thread-compatibility: callers serialize access.
+class VersionedStore {
+ public:
+  struct Stored {
+    VersionId vid;  // vid.object changes across incarnations of the key
+    Row row;
+    VersionKind kind = VersionKind::kVisible;
+    uint64_t commit_ts = 0;
+  };
+
+  /// Appends a committed version. commit_ts values must be monotonically
+  /// non-decreasing per key (callers install under the global lock with a
+  /// global timestamp).
+  void Install(const ObjKey& key, Stored version);
+
+  /// All committed versions of a key, oldest first (empty if none).
+  const std::vector<Stored>& Chain(const ObjKey& key) const;
+
+  /// Latest committed version, or nullptr.
+  const Stored* Latest(const ObjKey& key) const;
+
+  /// Latest committed version with commit_ts <= ts, or nullptr (snapshot
+  /// reads).
+  const Stored* LatestAt(const ObjKey& key, uint64_t ts) const;
+
+  /// Every key of `relation` with at least one committed version, sorted
+  /// (deterministic predicate scans).
+  std::vector<ObjKey> KeysOfRelation(RelationId relation) const;
+
+  /// Whether the key's current committed tip is a live (visible) version.
+  bool IsVisible(const ObjKey& key) const {
+    const Stored* tip = Latest(key);
+    return tip != nullptr && tip->kind == VersionKind::kVisible;
+  }
+
+ private:
+  std::map<ObjKey, std::vector<Stored>> chains_;
+};
+
+}  // namespace adya::engine
+
+#endif  // ADYA_ENGINE_STORE_H_

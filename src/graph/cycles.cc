@@ -1,0 +1,186 @@
+#include "graph/cycles.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+namespace adya::graph {
+namespace {
+
+constexpr uint32_t kUnvisited = std::numeric_limits<uint32_t>::max();
+
+}  // namespace
+
+SccResult StronglyConnectedComponents(const Digraph& g, KindMask allowed) {
+  // Iterative Tarjan so deep graphs cannot overflow the stack.
+  const size_t n = g.node_count();
+  SccResult result;
+  result.component.assign(n, kUnvisited);
+
+  std::vector<uint32_t> index(n, kUnvisited);
+  std::vector<uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<NodeId> stack;
+  uint32_t next_index = 0;
+
+  struct Frame {
+    NodeId node;
+    size_t edge_pos;
+  };
+  std::vector<Frame> call_stack;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    call_stack.push_back({root, 0});
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      NodeId v = frame.node;
+      if (frame.edge_pos == 0) {
+        index[v] = lowlink[v] = next_index++;
+        stack.push_back(v);
+        on_stack[v] = true;
+      }
+      bool descended = false;
+      const auto& out = g.out_edges(v);
+      while (frame.edge_pos < out.size()) {
+        const Digraph::Edge& e = g.edge(out[frame.edge_pos]);
+        ++frame.edge_pos;
+        if ((e.kinds & allowed) == 0) continue;
+        NodeId w = e.to;
+        if (index[w] == kUnvisited) {
+          call_stack.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) lowlink[v] = std::min(lowlink[v], index[w]);
+      }
+      if (descended) continue;
+      // v is finished.
+      if (lowlink[v] == index[v]) {
+        uint32_t comp = result.count++;
+        for (;;) {
+          NodeId w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          result.component[w] = comp;
+          if (w == v) break;
+        }
+      }
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        NodeId parent = call_stack.back().node;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+      }
+    }
+  }
+  return result;
+}
+
+bool HasCycle(const Digraph& g, KindMask allowed) {
+  SccResult scc = StronglyConnectedComponents(g, allowed);
+  // A cycle exists iff some allowed edge stays within one component
+  // (covers both multi-node components and self-loops).
+  for (const Digraph::Edge& e : g.edges()) {
+    if ((e.kinds & allowed) == 0) continue;
+    if (scc.component[e.from] == scc.component[e.to]) return true;
+  }
+  return false;
+}
+
+std::optional<std::vector<EdgeId>> ShortestPath(const Digraph& g, NodeId from,
+                                                NodeId to, KindMask allowed) {
+  if (from == to) return std::vector<EdgeId>{};
+  std::vector<EdgeId> parent_edge(g.node_count(), kUnvisited);
+  std::vector<bool> seen(g.node_count(), false);
+  std::deque<NodeId> queue;
+  seen[from] = true;
+  queue.push_back(from);
+  while (!queue.empty()) {
+    NodeId v = queue.front();
+    queue.pop_front();
+    for (EdgeId eid : g.out_edges(v)) {
+      const Digraph::Edge& e = g.edge(eid);
+      if ((e.kinds & allowed) == 0 || seen[e.to]) continue;
+      seen[e.to] = true;
+      parent_edge[e.to] = eid;
+      if (e.to == to) {
+        std::vector<EdgeId> path;
+        NodeId cur = to;
+        while (cur != from) {
+          EdgeId pe = parent_edge[cur];
+          path.push_back(pe);
+          cur = g.edge(pe).from;
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      queue.push_back(e.to);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Cycle> FindCycleWithRequiredKind(const Digraph& g,
+                                               KindMask allowed,
+                                               KindMask required) {
+  SccResult scc = StronglyConnectedComponents(g, allowed);
+  for (EdgeId eid = 0; eid < g.edge_count(); ++eid) {
+    const Digraph::Edge& e = g.edge(eid);
+    if ((e.kinds & allowed) == 0 || (e.kinds & required) == 0) continue;
+    if (scc.component[e.from] != scc.component[e.to]) continue;
+    if (e.from == e.to) return Cycle{{eid}};
+    // Close the cycle: e plus a shortest allowed path back to e.from. Every
+    // node on that path shares the SCC, so the walk is a simple cycle.
+    auto back = ShortestPath(g, e.to, e.from, allowed);
+    ADYA_CHECK_MSG(back.has_value(), "SCC edge must close a cycle");
+    Cycle cycle;
+    cycle.edges.push_back(eid);
+    cycle.edges.insert(cycle.edges.end(), back->begin(), back->end());
+    return cycle;
+  }
+  return std::nullopt;
+}
+
+std::optional<Cycle> FindCycleWithExactlyOne(const Digraph& g, KindMask pivot,
+                                             KindMask rest) {
+  for (EdgeId eid = 0; eid < g.edge_count(); ++eid) {
+    const Digraph::Edge& e = g.edge(eid);
+    if ((e.kinds & pivot) == 0) continue;
+    auto back = ShortestPath(g, e.to, e.from, rest);
+    if (!back.has_value()) continue;
+    Cycle cycle;
+    cycle.edges.push_back(eid);
+    cycle.edges.insert(cycle.edges.end(), back->begin(), back->end());
+    return cycle;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<NodeId>> TopologicalOrder(const Digraph& g,
+                                                    KindMask allowed) {
+  const size_t n = g.node_count();
+  std::vector<uint32_t> in_degree(n, 0);
+  for (const Digraph::Edge& e : g.edges()) {
+    if ((e.kinds & allowed) != 0) ++in_degree[e.to];
+  }
+  std::deque<NodeId> ready;
+  for (NodeId v = 0; v < n; ++v) {
+    if (in_degree[v] == 0) ready.push_back(v);
+  }
+  std::vector<NodeId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    NodeId v = ready.front();
+    ready.pop_front();
+    order.push_back(v);
+    for (EdgeId eid : g.out_edges(v)) {
+      const Digraph::Edge& e = g.edge(eid);
+      if ((e.kinds & allowed) == 0) continue;
+      if (--in_degree[e.to] == 0) ready.push_back(e.to);
+    }
+  }
+  if (order.size() != n) return std::nullopt;
+  return order;
+}
+
+}  // namespace adya::graph

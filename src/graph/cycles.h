@@ -1,0 +1,61 @@
+#ifndef ADYA_GRAPH_CYCLES_H_
+#define ADYA_GRAPH_CYCLES_H_
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace adya::graph {
+
+/// A witness cycle: a closed walk through distinct edges. `edges[i].to ==
+/// edges[i+1].from` and the last edge returns to `edges[0].from`.
+struct Cycle {
+  std::vector<EdgeId> edges;
+};
+
+/// Computes strongly connected components over the subgraph of edges whose
+/// kind mask intersects `allowed`. Returns one component id per node;
+/// component ids are dense in [0, count).
+struct SccResult {
+  std::vector<uint32_t> component;  // node -> component id
+  uint32_t count = 0;
+};
+SccResult StronglyConnectedComponents(const Digraph& g, KindMask allowed);
+
+/// True iff the `allowed`-subgraph contains any directed cycle.
+bool HasCycle(const Digraph& g, KindMask allowed);
+
+/// Finds a cycle, if one exists, that
+///   * uses only edges intersecting `allowed`, and
+///   * contains at least one edge intersecting `required`
+/// (the `required` edge must also intersect `allowed`). Returns nullopt when
+/// no such cycle exists. Uses the SCC criterion: an allowed edge lies on an
+/// allowed cycle iff both endpoints share an SCC of the allowed subgraph
+/// (self-loops trivially qualify).
+std::optional<Cycle> FindCycleWithRequiredKind(const Digraph& g,
+                                               KindMask allowed,
+                                               KindMask required);
+
+/// Finds a cycle, if one exists, consisting of exactly one edge intersecting
+/// `pivot` followed by a (possibly empty set of) edges intersecting `rest`
+/// but used *as* rest-edges; i.e. a cycle with exactly one pivot-edge
+/// occurrence. Needed for G-single (PL-2+) and G-SI, which proscribe cycles
+/// with exactly one anti-dependency edge. A parallel edge that carries both
+/// pivot and rest kinds may serve as a rest edge.
+std::optional<Cycle> FindCycleWithExactlyOne(const Digraph& g, KindMask pivot,
+                                             KindMask rest);
+
+/// Shortest path (in edges) from `from` to `to` using edges intersecting
+/// `allowed`. Returns nullopt if unreachable. A path of length zero is
+/// returned when from == to.
+std::optional<std::vector<EdgeId>> ShortestPath(const Digraph& g, NodeId from,
+                                                NodeId to, KindMask allowed);
+
+/// Topological order of the `allowed`-subgraph; nullopt if it has a cycle.
+std::optional<std::vector<NodeId>> TopologicalOrder(const Digraph& g,
+                                                    KindMask allowed);
+
+}  // namespace adya::graph
+
+#endif  // ADYA_GRAPH_CYCLES_H_

@@ -1,0 +1,76 @@
+#ifndef ADYA_GRAPH_DIGRAPH_H_
+#define ADYA_GRAPH_DIGRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace adya::graph {
+
+using NodeId = uint32_t;
+using EdgeId = uint32_t;
+
+/// A bitmask of application-defined edge kinds. The serialization-graph
+/// layer uses one bit per dependency type (ww / wr-item / wr-pred /
+/// rw-item / rw-pred / start); the algorithms below are generic over masks.
+using KindMask = uint32_t;
+
+/// A directed multigraph with dense node ids and kind-labeled edges.
+///
+/// Parallel edges are allowed and meaningful: in a DSG, `Ti --ww--> Tj` and
+/// `Ti --rw--> Tj` are distinct edges, and a cycle constrained to "exactly
+/// one anti-dependency edge" may use the former but not the latter.
+class Digraph {
+ public:
+  struct Edge {
+    NodeId from;
+    NodeId to;
+    KindMask kinds;  // non-empty set of kind bits for this edge
+  };
+
+  Digraph() = default;
+  explicit Digraph(size_t node_count) { Resize(node_count); }
+
+  /// Grows the node set to at least `node_count` nodes (ids 0..count-1).
+  void Resize(size_t node_count) {
+    if (node_count > out_.size()) {
+      out_.resize(node_count);
+      in_.resize(node_count);
+    }
+  }
+
+  NodeId AddNode() {
+    out_.emplace_back();
+    in_.emplace_back();
+    return static_cast<NodeId>(out_.size() - 1);
+  }
+
+  /// Adds an edge carrying the given kind bits. Self-loops are permitted
+  /// (callers that must exclude them filter at construction time).
+  EdgeId AddEdge(NodeId from, NodeId to, KindMask kinds) {
+    ADYA_CHECK(from < out_.size() && to < out_.size());
+    ADYA_CHECK_MSG(kinds != 0, "edge must carry at least one kind bit");
+    EdgeId id = static_cast<EdgeId>(edges_.size());
+    edges_.push_back(Edge{from, to, kinds});
+    out_[from].push_back(id);
+    in_[to].push_back(id);
+    return id;
+  }
+
+  size_t node_count() const { return out_.size(); }
+  size_t edge_count() const { return edges_.size(); }
+  const Edge& edge(EdgeId id) const { return edges_[id]; }
+  const std::vector<Edge>& edges() const { return edges_; }
+  const std::vector<EdgeId>& out_edges(NodeId n) const { return out_[n]; }
+  const std::vector<EdgeId>& in_edges(NodeId n) const { return in_[n]; }
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::vector<EdgeId>> in_;
+};
+
+}  // namespace adya::graph
+
+#endif  // ADYA_GRAPH_DIGRAPH_H_

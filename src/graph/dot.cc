@@ -1,0 +1,40 @@
+#include "graph/dot.h"
+
+#include <sstream>
+
+namespace adya::graph {
+namespace {
+
+std::string EscapeDot(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToDot(const Digraph& g,
+                  const std::function<std::string(NodeId)>& node_label,
+                  const std::function<std::string(EdgeId)>& edge_label) {
+  std::ostringstream oss;
+  oss << "digraph G {\n";
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    std::string label = node_label ? node_label(v) : std::to_string(v);
+    oss << "  n" << v << " [label=\"" << EscapeDot(label) << "\"];\n";
+  }
+  for (EdgeId eid = 0; eid < g.edge_count(); ++eid) {
+    const Digraph::Edge& e = g.edge(eid);
+    std::string label =
+        edge_label ? edge_label(eid) : std::to_string(e.kinds);
+    oss << "  n" << e.from << " -> n" << e.to << " [label=\""
+        << EscapeDot(label) << "\"];\n";
+  }
+  oss << "}\n";
+  return oss.str();
+}
+
+}  // namespace adya::graph

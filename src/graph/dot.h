@@ -1,0 +1,19 @@
+#ifndef ADYA_GRAPH_DOT_H_
+#define ADYA_GRAPH_DOT_H_
+
+#include <functional>
+#include <string>
+
+#include "graph/digraph.h"
+
+namespace adya::graph {
+
+/// Renders `g` in Graphviz DOT format. `node_label` / `edge_label` supply
+/// display names; pass nullptr to use numeric ids / kind masks.
+std::string ToDot(const Digraph& g,
+                  const std::function<std::string(NodeId)>& node_label,
+                  const std::function<std::string(EdgeId)>& edge_label);
+
+}  // namespace adya::graph
+
+#endif  // ADYA_GRAPH_DOT_H_

@@ -1,0 +1,156 @@
+#include "history/builder.h"
+
+#include "common/str_util.h"
+
+namespace adya {
+
+HistoryBuilder::HistoryBuilder() { history_.AddRelation("R"); }
+
+HistoryBuilder& HistoryBuilder::Relation(const std::string& name) {
+  history_.AddRelation(name);
+  return *this;
+}
+
+HistoryBuilder& HistoryBuilder::Object(const std::string& name,
+                                       const std::string& relation) {
+  history_.AddObject(name, history_.AddRelation(relation));
+  return *this;
+}
+
+HistoryBuilder& HistoryBuilder::Pred(
+    const std::string& name, const std::string& condition,
+    const std::vector<std::string>& relations) {
+  auto predicate = ParsePredicate(condition);
+  ADYA_CHECK_MSG(predicate.ok(), "bad predicate '" << condition
+                                                   << "': " << predicate.status());
+  std::vector<RelationId> rel_ids;
+  rel_ids.reserve(relations.size());
+  for (const std::string& r : relations) rel_ids.push_back(history_.AddRelation(r));
+  history_.AddPredicate(
+      name, std::shared_ptr<const Predicate>(std::move(*predicate)),
+      std::move(rel_ids));
+  return *this;
+}
+
+ObjectId HistoryBuilder::EnsureObject(const std::string& name) {
+  auto found = history_.FindObject(name);
+  if (found.ok()) return *found;
+  return history_.AddObject(name);
+}
+
+HistoryBuilder& HistoryBuilder::Begin(TxnId txn) {
+  history_.Append(Event::Begin(txn));
+  return *this;
+}
+
+HistoryBuilder& HistoryBuilder::W(TxnId txn, const std::string& obj,
+                                  Value value) {
+  return W(txn, obj, ScalarRow(std::move(value)));
+}
+
+HistoryBuilder& HistoryBuilder::W(TxnId txn, const std::string& obj,
+                                  Row row) {
+  ObjectId o = EnsureObject(obj);
+  uint32_t seq = ++write_seq_[{txn, o}];
+  history_.Append(Event::Write(txn, VersionId{o, txn, seq}, std::move(row)));
+  return *this;
+}
+
+HistoryBuilder& HistoryBuilder::Delete(TxnId txn, const std::string& obj) {
+  ObjectId o = EnsureObject(obj);
+  uint32_t seq = ++write_seq_[{txn, o}];
+  history_.Append(
+      Event::Write(txn, VersionId{o, txn, seq}, Row(), VersionKind::kDead));
+  return *this;
+}
+
+HistoryBuilder& HistoryBuilder::R(TxnId txn, const std::string& obj,
+                                  TxnId writer) {
+  ObjectId o = EnsureObject(obj);
+  auto it = write_seq_.find({writer, o});
+  ADYA_CHECK_MSG(it != write_seq_.end(),
+                 "R: T" << writer << " has not written " << obj << " yet");
+  return RVer(txn, obj, writer, it->second);
+}
+
+HistoryBuilder& HistoryBuilder::RVer(TxnId txn, const std::string& obj,
+                                     TxnId writer, uint32_t seq) {
+  ObjectId o = EnsureObject(obj);
+  history_.Append(Event::Read(txn, VersionId{o, writer, seq}));
+  return *this;
+}
+
+Result<VersionId> HistoryBuilder::ResolveVersionRef(const std::string& ref) {
+  size_t at = ref.find('@');
+  if (at == std::string::npos) {
+    return Status::InvalidArgument(
+        StrCat("version ref '", ref, "' must look like obj@writer[.seq] ",
+               "or obj@init"));
+  }
+  std::string obj_name = ref.substr(0, at);
+  std::string rest = ref.substr(at + 1);
+  ObjectId o = EnsureObject(obj_name);
+  if (rest == "init") return InitVersion(o);
+  uint32_t seq = 0;
+  size_t dot = rest.find('.');
+  std::string writer_part = rest.substr(0, dot);
+  TxnId writer = static_cast<TxnId>(std::stoul(writer_part));
+  if (dot != std::string::npos) {
+    seq = static_cast<uint32_t>(std::stoul(rest.substr(dot + 1)));
+  } else {
+    auto it = write_seq_.find({writer, o});
+    if (it == write_seq_.end()) {
+      return Status::InvalidArgument(
+          StrCat("version ref '", ref, "': T", writer, " has not written ",
+                 obj_name, " yet"));
+    }
+    seq = it->second;
+  }
+  return VersionId{o, writer, seq};
+}
+
+HistoryBuilder& HistoryBuilder::PredR(TxnId txn, const std::string& pred,
+                                      const std::vector<std::string>& vset) {
+  auto pid = history_.FindPredicate(pred);
+  ADYA_CHECK_MSG(pid.ok(), "PredR: " << pid.status());
+  std::vector<VersionId> versions;
+  versions.reserve(vset.size());
+  for (const std::string& ref : vset) {
+    auto v = ResolveVersionRef(ref);
+    ADYA_CHECK_MSG(v.ok(), "PredR: " << v.status());
+    versions.push_back(*v);
+  }
+  history_.Append(Event::PredicateRead(txn, *pid, std::move(versions)));
+  return *this;
+}
+
+HistoryBuilder& HistoryBuilder::Commit(TxnId txn) {
+  history_.Append(Event::Commit(txn));
+  return *this;
+}
+
+HistoryBuilder& HistoryBuilder::Abort(TxnId txn) {
+  history_.Append(Event::Abort(txn));
+  return *this;
+}
+
+HistoryBuilder& HistoryBuilder::Level(TxnId txn, IsolationLevel level) {
+  history_.SetLevel(txn, level);
+  return *this;
+}
+
+HistoryBuilder& HistoryBuilder::VersionOrder(
+    const std::string& obj, const std::vector<TxnId>& writers) {
+  history_.SetVersionOrder(EnsureObject(obj), writers);
+  return *this;
+}
+
+Result<History> HistoryBuilder::Build() {
+  History h = std::move(history_);
+  history_ = History();
+  write_seq_.clear();
+  ADYA_RETURN_IF_ERROR(h.Finalize());
+  return h;
+}
+
+}  // namespace adya

@@ -1,0 +1,86 @@
+#ifndef ADYA_HISTORY_BUILDER_H_
+#define ADYA_HISTORY_BUILDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "history/history.h"
+
+namespace adya {
+
+/// Fluent construction of histories in (close to) the paper's notation:
+///
+///   HistoryBuilder b;
+///   b.W(1, "x", 5).W(2, "x", 8).R(2, "y", 1).Commit(2).Commit(1);
+///   b.VersionOrder("x", {1, 2});
+///   ADYA_ASSIGN_OR_RETURN(History h, b.Build());
+///
+/// Objects are auto-registered in relation "R" on first use; declare
+/// relations/predicates up front for predicate histories. Reads default to
+/// observing the *latest version written so far* by the named writer, which
+/// matches how the paper's histories read (r2(x1) reads T1's final x).
+class HistoryBuilder {
+ public:
+  HistoryBuilder();
+
+  // --- universe ----------------------------------------------------------
+
+  HistoryBuilder& Relation(const std::string& name);
+  HistoryBuilder& Object(const std::string& name,
+                         const std::string& relation = "R");
+  /// Declares predicate `name` over `relations` with the given condition
+  /// text (see ParseExpr). CHECK-fails on a malformed condition: builder
+  /// inputs are program literals.
+  HistoryBuilder& Pred(const std::string& name, const std::string& condition,
+                       const std::vector<std::string>& relations = {"R"});
+
+  // --- events ------------------------------------------------------------
+
+  HistoryBuilder& Begin(TxnId txn);
+  /// w_txn(obj, value): scalar write.
+  HistoryBuilder& W(TxnId txn, const std::string& obj, Value value);
+  /// w_txn(obj, {attrs}): row write (insert or update).
+  HistoryBuilder& W(TxnId txn, const std::string& obj, Row row);
+  /// w_txn(obj, dead): delete.
+  HistoryBuilder& Delete(TxnId txn, const std::string& obj);
+  /// r_txn(obj_writer): reads `writer`'s latest version of obj so far.
+  HistoryBuilder& R(TxnId txn, const std::string& obj, TxnId writer);
+  /// r_txn(obj_{writer:seq}): reads an explicit (intermediate) version.
+  HistoryBuilder& RVer(TxnId txn, const std::string& obj, TxnId writer,
+                       uint32_t seq);
+  /// r_txn(P: vset): predicate read. Each vset entry is "obj@writer" -> the
+  /// writer's latest version so far, "obj@writer.seq" for an explicit
+  /// version, or "obj@init" for the unborn version. Objects of P's
+  /// relations not mentioned implicitly select x_init.
+  HistoryBuilder& PredR(TxnId txn, const std::string& pred,
+                        const std::vector<std::string>& vset);
+  HistoryBuilder& Commit(TxnId txn);
+  HistoryBuilder& Abort(TxnId txn);
+
+  // --- metadata ----------------------------------------------------------
+
+  HistoryBuilder& Level(TxnId txn, IsolationLevel level);
+  /// Sets the version order for `obj` (committed writers, earliest first).
+  HistoryBuilder& VersionOrder(const std::string& obj,
+                               const std::vector<TxnId>& writers);
+
+  /// Finalizes and returns the history (auto-aborting unfinished txns).
+  Result<History> Build();
+
+  /// Access to the partially built history (for advanced event shapes).
+  History& history() { return history_; }
+
+ private:
+  ObjectId EnsureObject(const std::string& name);
+  Result<VersionId> ResolveVersionRef(const std::string& ref);
+
+  History history_;
+  /// Latest write seq per (txn, object), to resolve "writer's latest".
+  std::map<std::pair<TxnId, ObjectId>, uint32_t> write_seq_;
+};
+
+}  // namespace adya
+
+#endif  // ADYA_HISTORY_BUILDER_H_

@@ -1,0 +1,97 @@
+#ifndef ADYA_HISTORY_EVENT_H_
+#define ADYA_HISTORY_EVENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "history/ids.h"
+#include "history/row.h"
+
+namespace adya {
+
+/// Index of an event within a History's (total-order) event list.
+using EventId = uint32_t;
+inline constexpr EventId kNoEvent = 0xFFFFFFFFu;
+
+/// The operations of §4.2, plus an optional explicit begin marker (used by
+/// the start-ordered serialization graph for Snapshot Isolation; when
+/// absent, a transaction starts at its first operation).
+enum class EventType : uint8_t {
+  kBegin,
+  kRead,           // r_j(x_{i:m}[, value])
+  kWrite,          // w_i(x_{i:m}[, value]); also models inserts & deletes
+  kPredicateRead,  // r_i(P: Vset(P)); matched item reads follow separately
+  kCommit,         // c_i
+  kAbort,          // a_i
+};
+
+/// One event of a history. A plain struct with per-type fields: histories
+/// are data, and keeping the layout flat keeps recording and replay simple.
+struct Event {
+  EventType type = EventType::kBegin;
+  TxnId txn = 0;
+
+  /// kRead: the version observed. kWrite: the version created (writer ==
+  /// txn, seq == 1 + number of txn's earlier writes to the object).
+  VersionId version{};
+
+  /// kWrite: kVisible for updates/inserts, kDead for deletes.
+  VersionKind written_kind = VersionKind::kVisible;
+
+  /// kWrite: the new tuple contents (empty for kDead). kRead: the observed
+  /// contents, when the history records values (display only; checking uses
+  /// version identity, not values).
+  Row row;
+
+  /// kPredicateRead: which registered predicate was evaluated.
+  PredicateId predicate = 0;
+
+  /// kPredicateRead: the version set Vset(P) (Definition 1), restricted to
+  /// explicitly selected versions. Objects of P's relations that are absent
+  /// here implicitly selected their unborn initial version x_init — the same
+  /// convention the paper uses when writing version sets ("we will only show
+  /// visible versions").
+  std::vector<VersionId> vset;
+
+  // -- convenience constructors ------------------------------------------
+
+  static Event Make(EventType type, TxnId txn) {
+    Event e;
+    e.type = type;
+    e.txn = txn;
+    return e;
+  }
+
+  static Event Begin(TxnId txn) { return Make(EventType::kBegin, txn); }
+
+  static Event Read(TxnId txn, VersionId version, Row observed = Row()) {
+    Event e = Make(EventType::kRead, txn);
+    e.version = version;
+    e.row = std::move(observed);
+    return e;
+  }
+
+  static Event Write(TxnId txn, VersionId version, Row contents,
+                     VersionKind kind = VersionKind::kVisible) {
+    Event e = Make(EventType::kWrite, txn);
+    e.version = version;
+    e.row = std::move(contents);
+    e.written_kind = kind;
+    return e;
+  }
+
+  static Event PredicateRead(TxnId txn, PredicateId predicate,
+                             std::vector<VersionId> vset) {
+    Event e = Make(EventType::kPredicateRead, txn);
+    e.predicate = predicate;
+    e.vset = std::move(vset);
+    return e;
+  }
+
+  static Event Commit(TxnId txn) { return Make(EventType::kCommit, txn); }
+  static Event Abort(TxnId txn) { return Make(EventType::kAbort, txn); }
+};
+
+}  // namespace adya
+
+#endif  // ADYA_HISTORY_EVENT_H_

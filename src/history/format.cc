@@ -1,0 +1,132 @@
+#include "history/format.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace adya {
+
+std::string FormatVersion(const History& h, const VersionId& v) {
+  const std::string& name = h.object_name(v.object);
+  if (v.is_init()) return StrCat(name, "init");
+  // When the writer modified the object more than once, every mention
+  // carries an explicit sequence number: a dot-less token in the notation
+  // means "the writer's latest modification so far", which would be
+  // ambiguous for earlier versions.
+  if (v.seq <= 1 && h.FinalSeq(v.writer, v.object) <= 1) {
+    return StrCat(name, v.writer);
+  }
+  return StrCat(name, v.writer, ".", v.seq);
+}
+
+std::string FormatEvent(const History& h, const Event& e) {
+  switch (e.type) {
+    case EventType::kBegin:
+      return StrCat("b", e.txn);
+    case EventType::kCommit:
+      return StrCat("c", e.txn);
+    case EventType::kAbort:
+      return StrCat("a", e.txn);
+    case EventType::kRead: {
+      std::string out = StrCat("r", e.txn, "(", FormatVersion(h, e.version));
+      if (!e.row.empty()) out += StrCat(", ", e.row.ToString());
+      return out + ")";
+    }
+    case EventType::kWrite: {
+      std::string out = StrCat("w", e.txn, "(", FormatVersion(h, e.version));
+      if (e.written_kind == VersionKind::kDead) {
+        out += ", dead";
+      } else if (!e.row.empty()) {
+        out += StrCat(", ", e.row.ToString());
+      }
+      return out + ")";
+    }
+    case EventType::kPredicateRead: {
+      std::string out =
+          StrCat("r", e.txn, "(", h.predicate_name(e.predicate), ":");
+      bool first = true;
+      for (const VersionId& v : e.vset) {
+        out += first ? " " : ", ";
+        first = false;
+        out += FormatVersion(h, v);
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+std::string FormatHistory(const History& h) {
+  std::ostringstream oss;
+  // Declarations. The default relation "R" and membership in it stay
+  // implicit, matching the terse examples in the paper.
+  for (RelationId r = 0; r < h.relation_count(); ++r) {
+    if (h.relation_name(r) != "R") oss << "relation " << h.relation_name(r) << ";\n";
+  }
+  for (ObjectId o = 0; o < h.object_count(); ++o) {
+    RelationId r = h.object_relation(o);
+    if (h.relation_name(r) != "R") {
+      oss << "object " << h.object_name(o) << " in " << h.relation_name(r)
+          << ";\n";
+    }
+  }
+  for (PredicateId p = 0; p < h.predicate_count(); ++p) {
+    oss << "pred " << h.predicate_name(p) << " on ";
+    bool first = true;
+    for (RelationId r : h.predicate_relations(p)) {
+      if (!first) oss << ", ";
+      first = false;
+      oss << h.relation_name(r);
+    }
+    oss << ": " << h.predicate(p).Description() << ";\n";
+  }
+  for (TxnId txn : h.Transactions()) {
+    IsolationLevel level = h.txn_info(txn).level;
+    if (level != IsolationLevel::kPL3) {
+      oss << "level " << txn << " " << IsolationLevelName(level) << ";\n";
+    }
+  }
+  // Events, wrapped at a readable width.
+  size_t line_len = 0;
+  for (const Event& e : h.events()) {
+    std::string token = FormatEvent(h, e);
+    if (line_len > 0 && line_len + token.size() + 1 > 78) {
+      oss << "\n";
+      line_len = 0;
+    } else if (line_len > 0) {
+      oss << " ";
+      ++line_len;
+    }
+    oss << token;
+    line_len += token.size();
+  }
+  // Version orders for objects with at least two committed versions,
+  // sorted by object name so the rendering is independent of object-id
+  // assignment (round-trip stability).
+  std::vector<std::pair<std::string, std::string>> named_chains;
+  if (h.finalized()) {
+    for (ObjectId o = 0; o < h.object_count(); ++o) {
+      const std::vector<TxnId>& order = h.VersionOrder(o);
+      if (order.size() < 2) continue;
+      std::vector<std::string> tokens;
+      tokens.reserve(order.size());
+      for (TxnId txn : order) {
+        tokens.push_back(
+            FormatVersion(h, *h.InstalledVersion(txn, o)));
+      }
+      named_chains.emplace_back(h.object_name(o), StrJoin(tokens, " << "));
+    }
+  }
+  std::sort(named_chains.begin(), named_chains.end());
+  std::vector<std::string> chains;
+  chains.reserve(named_chains.size());
+  for (auto& [name, chain] : named_chains) chains.push_back(std::move(chain));
+  if (!chains.empty()) {
+    oss << "\n[" << StrJoin(chains, ", ") << "]";
+  }
+  oss << "\n";
+  return oss.str();
+}
+
+}  // namespace adya

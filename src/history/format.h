@@ -1,0 +1,26 @@
+#ifndef ADYA_HISTORY_FORMAT_H_
+#define ADYA_HISTORY_FORMAT_H_
+
+#include <string>
+
+#include "history/history.h"
+
+namespace adya {
+
+/// Renders a version id in the paper's notation: `x1` (T1's final-so-far
+/// write of x), `x1.2` (second modification), `xinit`.
+std::string FormatVersion(const History& h, const VersionId& v);
+
+/// Renders one event: `w1(x1, 5)`, `r2(x1)`, `r1(P: x0, yinit)`, `c1`, `a2`,
+/// `b3`, `w1(x1, dead)`.
+std::string FormatEvent(const History& h, const Event& e);
+
+/// Renders a whole history in the parseable text notation (see
+/// ParseHistory): declarations, events, and the version order of every
+/// object with at least two committed versions. Round-trips through
+/// ParseHistory.
+std::string FormatHistory(const History& h);
+
+}  // namespace adya
+
+#endif  // ADYA_HISTORY_FORMAT_H_

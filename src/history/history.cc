@@ -1,0 +1,456 @@
+#include "history/history.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/str_util.h"
+
+namespace adya {
+
+RelationId History::AddRelation(const std::string& name) {
+  auto it = relation_by_name_.find(name);
+  if (it != relation_by_name_.end()) return it->second;
+  RelationId id = static_cast<RelationId>(relations_.size());
+  relations_.push_back(name);
+  relation_by_name_[name] = id;
+  return id;
+}
+
+Result<RelationId> History::FindRelation(const std::string& name) const {
+  auto it = relation_by_name_.find(name);
+  if (it == relation_by_name_.end()) {
+    return Status::NotFound(StrCat("unknown relation '", name, "'"));
+  }
+  return it->second;
+}
+
+const std::string& History::relation_name(RelationId id) const {
+  ADYA_CHECK(id < relations_.size());
+  return relations_[id];
+}
+
+ObjectId History::AddObject(const std::string& name, RelationId relation) {
+  ADYA_CHECK(relation < relations_.size());
+  auto it = object_by_name_.find(name);
+  if (it != object_by_name_.end()) {
+    ADYA_CHECK_MSG(objects_[it->second].relation == relation,
+                   "object '" << name << "' re-declared in another relation");
+    return it->second;
+  }
+  ObjectId id = static_cast<ObjectId>(objects_.size());
+  objects_.push_back(ObjectInfo{name, relation});
+  object_by_name_[name] = id;
+  return id;
+}
+
+ObjectId History::AddObject(const std::string& name) {
+  return AddObject(name, AddRelation("R"));
+}
+
+Result<ObjectId> History::FindObject(const std::string& name) const {
+  auto it = object_by_name_.find(name);
+  if (it == object_by_name_.end()) {
+    return Status::NotFound(StrCat("unknown object '", name, "'"));
+  }
+  return it->second;
+}
+
+const std::string& History::object_name(ObjectId id) const {
+  ADYA_CHECK(id < objects_.size());
+  return objects_[id].name;
+}
+
+RelationId History::object_relation(ObjectId id) const {
+  ADYA_CHECK(id < objects_.size());
+  return objects_[id].relation;
+}
+
+PredicateId History::AddPredicate(const std::string& name,
+                                  std::shared_ptr<const Predicate> predicate,
+                                  std::vector<RelationId> relations) {
+  ADYA_CHECK(predicate != nullptr);
+  ADYA_CHECK_MSG(predicate_by_name_.count(name) == 0,
+                 "predicate '" << name << "' declared twice");
+  for (RelationId r : relations) ADYA_CHECK(r < relations_.size());
+  PredicateId id = static_cast<PredicateId>(predicates_.size());
+  predicates_.push_back(
+      PredicateInfo{name, std::move(predicate), std::move(relations)});
+  predicate_by_name_[name] = id;
+  return id;
+}
+
+Result<PredicateId> History::FindPredicate(const std::string& name) const {
+  auto it = predicate_by_name_.find(name);
+  if (it == predicate_by_name_.end()) {
+    return Status::NotFound(StrCat("unknown predicate '", name, "'"));
+  }
+  return it->second;
+}
+
+const std::string& History::predicate_name(PredicateId id) const {
+  ADYA_CHECK(id < predicates_.size());
+  return predicates_[id].name;
+}
+
+const Predicate& History::predicate(PredicateId id) const {
+  ADYA_CHECK(id < predicates_.size());
+  return *predicates_[id].predicate;
+}
+
+std::shared_ptr<const Predicate> History::predicate_ptr(
+    PredicateId id) const {
+  ADYA_CHECK(id < predicates_.size());
+  return predicates_[id].predicate;
+}
+
+const std::vector<RelationId>& History::predicate_relations(
+    PredicateId id) const {
+  ADYA_CHECK(id < predicates_.size());
+  return predicates_[id].relations;
+}
+
+EventId History::Append(Event event) {
+  ADYA_CHECK_MSG(!finalized_, "Append on a finalized history");
+  ADYA_CHECK_MSG(event.txn != kTxnInit, "T_init cannot appear in events");
+  EventId id = static_cast<EventId>(events_.size());
+  TxnInfo& info = txns_[event.txn];
+  if (info.first_event == kNoEvent) {
+    info.first_event = id;
+    info.begin_event = id;
+  }
+  switch (event.type) {
+    case EventType::kBegin:
+      break;
+    case EventType::kRead:
+      ADYA_CHECK(event.version.object < objects_.size());
+      info.reads.push_back(id);
+      break;
+    case EventType::kWrite:
+      ADYA_CHECK(event.version.object < objects_.size());
+      ADYA_CHECK_MSG(event.version.writer == event.txn,
+                     "write event version writer must be the writing txn");
+      info.writes[event.version.object].push_back(id);
+      break;
+    case EventType::kPredicateRead:
+      ADYA_CHECK(event.predicate < predicates_.size());
+      for (const VersionId& v : event.vset) {
+        ADYA_CHECK(v.object < objects_.size());
+      }
+      info.predicate_reads.push_back(id);
+      break;
+    case EventType::kCommit:
+      if (info.commit_event == kNoEvent) info.commit_event = id;
+      break;
+    case EventType::kAbort:
+      if (info.abort_event == kNoEvent) info.abort_event = id;
+      break;
+  }
+  events_.push_back(std::move(event));
+  return id;
+}
+
+void History::SetLevel(TxnId txn, IsolationLevel level) {
+  ADYA_CHECK(txn != kTxnInit);
+  txns_[txn].level = level;
+}
+
+std::vector<TxnId> History::Transactions() const {
+  std::vector<TxnId> out;
+  for (const auto& [txn, info] : txns_) {
+    if (info.first_event != kNoEvent) out.push_back(txn);
+  }
+  return out;
+}
+
+std::vector<TxnId> History::CommittedTransactions() const {
+  std::vector<TxnId> out;
+  for (const auto& [txn, info] : txns_) {
+    if (info.first_event != kNoEvent && info.commit_event != kNoEvent &&
+        info.abort_event == kNoEvent) {
+      out.push_back(txn);
+    }
+  }
+  return out;
+}
+
+const History::TxnInfo& History::txn_info(TxnId txn) const {
+  auto it = txns_.find(txn);
+  ADYA_CHECK_MSG(it != txns_.end(), "unknown transaction T" << txn);
+  return it->second;
+}
+
+bool History::IsCommitted(TxnId txn) const {
+  if (txn == kTxnInit) return true;
+  auto it = txns_.find(txn);
+  return it != txns_.end() && it->second.commit_event != kNoEvent &&
+         it->second.abort_event == kNoEvent;
+}
+
+bool History::IsAborted(TxnId txn) const {
+  auto it = txns_.find(txn);
+  return it != txns_.end() && it->second.abort_event != kNoEvent;
+}
+
+void History::SetVersionOrder(ObjectId object, std::vector<TxnId> writers) {
+  ADYA_CHECK(object < objects_.size());
+  ADYA_CHECK_MSG(!finalized_, "SetVersionOrder on a finalized history");
+  explicit_order_[object] = std::move(writers);
+}
+
+Status History::Finalize(const FinalizeOptions& options) {
+  if (finalized_) return Status::OK();
+  // Completion (§4.2): a history must contain a commit or abort for every
+  // transaction; appending aborts for stragglers is always legal.
+  std::vector<TxnId> unfinished;
+  for (const auto& [txn, info] : txns_) {
+    if (info.first_event == kNoEvent) continue;
+    if (info.commit_event == kNoEvent && info.abort_event == kNoEvent) {
+      unfinished.push_back(txn);
+    }
+  }
+  if (!unfinished.empty()) {
+    if (!options.auto_abort_unfinished) {
+      return Status::InvalidArgument(
+          StrCat("history is incomplete: T", unfinished.front(),
+                 " has no commit or abort event"));
+    }
+    for (TxnId txn : unfinished) Append(Event::Abort(txn));
+  }
+  ADYA_RETURN_IF_ERROR(ValidateEvents());
+  ADYA_RETURN_IF_ERROR(ComputeVersionOrders());
+  finalized_ = true;
+  return Status::OK();
+}
+
+Status History::ValidateEvents() {
+  write_events_.clear();
+  struct TxnState {
+    bool finished = false;
+    bool has_events = false;
+    std::map<ObjectId, uint32_t> write_count;
+    std::map<ObjectId, VersionKind> last_kind;
+  };
+  std::map<TxnId, TxnState> state;
+
+  for (EventId id = 0; id < events_.size(); ++id) {
+    const Event& e = events_[id];
+    TxnState& ts = state[e.txn];
+    if (ts.finished) {
+      return Status::InvalidArgument(
+          StrCat("event ", id, " of T", e.txn,
+                 " occurs after the transaction finished"));
+    }
+    switch (e.type) {
+      case EventType::kBegin:
+        if (ts.has_events) {
+          return Status::InvalidArgument(
+              StrCat("begin of T", e.txn, " is not its first event"));
+        }
+        break;
+      case EventType::kWrite: {
+        uint32_t& count = ts.write_count[e.version.object];
+        if (e.version.seq != count + 1) {
+          return Status::InvalidArgument(StrCat(
+              "write event ", id, ": version seq ", e.version.seq,
+              " is not consecutive (expected ", count + 1, ") for object ",
+              object_name(e.version.object)));
+        }
+        auto last = ts.last_kind.find(e.version.object);
+        if (last != ts.last_kind.end() && last->second == VersionKind::kDead) {
+          return Status::InvalidArgument(
+              StrCat("write event ", id, ": T", e.txn,
+                     " modifies an object it already deleted"));
+        }
+        ++count;
+        ts.last_kind[e.version.object] = e.written_kind;
+        write_events_[e.version] = id;
+        break;
+      }
+      case EventType::kRead: {
+        if (e.version.is_init()) {
+          return Status::InvalidArgument(
+              StrCat("read event ", id, ": only visible versions may be ",
+                     "read, not the unborn x_init"));
+        }
+        auto wit = write_events_.find(e.version);
+        if (wit == write_events_.end()) {
+          return Status::InvalidArgument(StrCat(
+              "read event ", id, ": version ", object_name(e.version.object),
+              "_", e.version.writer, ".", e.version.seq,
+              " has not been produced"));
+        }
+        if (events_[wit->second].written_kind != VersionKind::kVisible) {
+          return Status::InvalidArgument(
+              StrCat("read event ", id, ": only visible versions may be ",
+                     "read (version is ",
+                     VersionKindName(events_[wit->second].written_kind), ")"));
+        }
+        // Read-your-writes (§4.2): after writing x, a transaction's reads of
+        // x observe its own latest version.
+        auto wc = ts.write_count.find(e.version.object);
+        if (wc != ts.write_count.end() && wc->second > 0) {
+          VersionId own{e.version.object, e.txn, wc->second};
+          if (!(e.version == own)) {
+            return Status::InvalidArgument(StrCat(
+                "read event ", id, ": T", e.txn, " must observe its own ",
+                "latest write of ", object_name(e.version.object)));
+          }
+        }
+        break;
+      }
+      case EventType::kPredicateRead: {
+        const auto& rels = predicate_relations(e.predicate);
+        std::set<ObjectId> seen;
+        for (const VersionId& v : e.vset) {
+          if (!seen.insert(v.object).second) {
+            return Status::InvalidArgument(
+                StrCat("predicate read event ", id, ": version set selects ",
+                       "two versions of ", object_name(v.object)));
+          }
+          if (std::find(rels.begin(), rels.end(),
+                        object_relation(v.object)) == rels.end()) {
+            return Status::InvalidArgument(StrCat(
+                "predicate read event ", id, ": object ",
+                object_name(v.object), " is not in the predicate's relations"));
+          }
+          if (v.is_init()) continue;
+          if (write_events_.find(v) == write_events_.end()) {
+            return Status::InvalidArgument(
+                StrCat("predicate read event ", id, ": version of ",
+                       object_name(v.object), " has not been produced"));
+          }
+        }
+        break;
+      }
+      case EventType::kCommit:
+      case EventType::kAbort:
+        ts.finished = true;
+        break;
+    }
+    ts.has_events = true;
+  }
+  return Status::OK();
+}
+
+Status History::ComputeVersionOrders() {
+  effective_order_.assign(objects_.size(), {});
+  for (ObjectId obj = 0; obj < objects_.size(); ++obj) {
+    // Committed installers of versions of obj.
+    std::vector<TxnId> installers;
+    for (const auto& [txn, info] : txns_) {
+      if (!IsCommitted(txn)) continue;
+      if (info.writes.count(obj) != 0) installers.push_back(txn);
+    }
+    std::vector<TxnId> order;
+    auto explicit_it = explicit_order_.find(obj);
+    if (explicit_it != explicit_order_.end()) {
+      order = explicit_it->second;
+      std::vector<TxnId> sorted_order = order;
+      std::sort(sorted_order.begin(), sorted_order.end());
+      if (std::adjacent_find(sorted_order.begin(), sorted_order.end()) !=
+          sorted_order.end()) {
+        return Status::InvalidArgument(
+            StrCat("version order of ", object_name(obj),
+                   " mentions a transaction twice"));
+      }
+      std::vector<TxnId> expected = installers;
+      std::sort(expected.begin(), expected.end());
+      if (sorted_order != expected) {
+        return Status::InvalidArgument(StrCat(
+            "version order of ", object_name(obj),
+            " must list exactly the committed transactions that installed ",
+            "a version of it (§4.2: no ordering for uncommitted/aborted ",
+            "versions)"));
+      }
+    } else {
+      // Default: installation order = commit order of the writers.
+      order = installers;
+      std::sort(order.begin(), order.end(), [this](TxnId a, TxnId b) {
+        return txns_.at(a).commit_event < txns_.at(b).commit_event;
+      });
+    }
+    // At most one committed dead version, and it must be last (§4.2).
+    for (size_t i = 0; i < order.size(); ++i) {
+      auto installed = InstalledVersionInternal(order[i], obj);
+      ADYA_CHECK(installed.has_value());
+      if (events_[write_events_.at(*installed)].written_kind ==
+              VersionKind::kDead &&
+          i + 1 != order.size()) {
+        return Status::InvalidArgument(
+            StrCat("version order of ", object_name(obj),
+                   ": the dead version must be the last version"));
+      }
+    }
+    effective_order_[obj] = std::move(order);
+  }
+  return Status::OK();
+}
+
+std::optional<VersionId> History::InstalledVersionInternal(
+    TxnId txn, ObjectId object) const {
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) return std::nullopt;
+  auto wit = it->second.writes.find(object);
+  if (wit == it->second.writes.end() || wit->second.empty()) {
+    return std::nullopt;
+  }
+  return VersionId{object, txn, static_cast<uint32_t>(wit->second.size())};
+}
+
+const std::vector<TxnId>& History::VersionOrder(ObjectId object) const {
+  ADYA_CHECK_MSG(finalized_, "VersionOrder requires a finalized history");
+  ADYA_CHECK(object < objects_.size());
+  return effective_order_[object];
+}
+
+std::optional<size_t> History::OrderIndex(ObjectId object, TxnId txn) const {
+  const std::vector<TxnId>& order = VersionOrder(object);
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (order[i] == txn) return i;
+  }
+  return std::nullopt;
+}
+
+uint32_t History::FinalSeq(TxnId txn, ObjectId object) const {
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) return 0;
+  auto wit = it->second.writes.find(object);
+  if (wit == it->second.writes.end()) return 0;
+  return static_cast<uint32_t>(wit->second.size());
+}
+
+std::optional<VersionId> History::InstalledVersion(TxnId txn,
+                                                   ObjectId object) const {
+  return InstalledVersionInternal(txn, object);
+}
+
+VersionKind History::KindOf(const VersionId& version) const {
+  if (version.is_init()) return VersionKind::kUnborn;
+  auto it = write_events_.find(version);
+  ADYA_CHECK_MSG(it != write_events_.end(), "unknown version");
+  return events_[it->second].written_kind;
+}
+
+const Row* History::RowOf(const VersionId& version) const {
+  if (version.is_init()) return nullptr;
+  auto it = write_events_.find(version);
+  ADYA_CHECK_MSG(it != write_events_.end(), "unknown version");
+  const Event& e = events_[it->second];
+  if (e.written_kind != VersionKind::kVisible) return nullptr;
+  return &e.row;
+}
+
+bool History::Matches(const VersionId& version, PredicateId pred) const {
+  const Row* row = RowOf(version);
+  if (row == nullptr) return false;  // unborn and dead versions never match
+  return predicate(pred).Matches(*row);
+}
+
+EventId History::WriteEventOf(const VersionId& version) const {
+  if (version.is_init()) return kNoEvent;
+  auto it = write_events_.find(version);
+  ADYA_CHECK_MSG(it != write_events_.end(), "unknown version");
+  return it->second;
+}
+
+}  // namespace adya

@@ -1,0 +1,191 @@
+#ifndef ADYA_HISTORY_HISTORY_H_
+#define ADYA_HISTORY_HISTORY_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "history/event.h"
+#include "history/ids.h"
+#include "history/predicate.h"
+
+namespace adya {
+
+/// A transaction history H (§4.2): a universe of relations, objects and
+/// predicates; a total order of events (any linear extension of the paper's
+/// partial order — all the definitions consume only per-transaction order,
+/// read-from relationships and the version order); and a version order `<<`
+/// per object over committed versions.
+///
+/// Lifecycle: populate (via HistoryBuilder, the parser, or the engine
+/// recorder), then call Finalize(), which completes unfinished transactions
+/// with aborts, derives default version orders, and validates the
+/// well-formedness constraints of §4.2. Analysis queries require a
+/// finalized history.
+class History {
+ public:
+  struct FinalizeOptions {
+    /// Append an abort event for every unfinished transaction (the paper's
+    /// completion rule). When false, unfinished transactions make
+    /// Finalize() fail instead.
+    bool auto_abort_unfinished = true;
+  };
+
+  struct TxnInfo {
+    EventId first_event = kNoEvent;
+    EventId begin_event = kNoEvent;  // explicit kBegin or first event
+    EventId commit_event = kNoEvent;
+    EventId abort_event = kNoEvent;
+    IsolationLevel level = IsolationLevel::kPL3;
+    /// Event ids of this transaction's writes, per object, in order (so the
+    /// k-th entry created version seq k+1).
+    std::map<ObjectId, std::vector<EventId>> writes;
+    /// Event ids of this transaction's item reads, in order.
+    std::vector<EventId> reads;
+    /// Event ids of this transaction's predicate reads, in order.
+    std::vector<EventId> predicate_reads;
+  };
+
+  History() = default;
+
+  // --- universe ----------------------------------------------------------
+
+  /// Adds (or finds) a relation by name.
+  RelationId AddRelation(const std::string& name);
+  Result<RelationId> FindRelation(const std::string& name) const;
+  const std::string& relation_name(RelationId id) const;
+  size_t relation_count() const { return relations_.size(); }
+
+  /// Adds an object (tuple identity) to a relation. Object names are unique
+  /// across the history; per §4.1, a deleted-and-reinserted tuple is a new
+  /// object and so needs a new name.
+  ObjectId AddObject(const std::string& name, RelationId relation);
+  /// Adds an object to the default relation "R" (created on demand).
+  ObjectId AddObject(const std::string& name);
+  Result<ObjectId> FindObject(const std::string& name) const;
+  const std::string& object_name(ObjectId id) const;
+  RelationId object_relation(ObjectId id) const;
+  size_t object_count() const { return objects_.size(); }
+
+  /// Registers a predicate over the given relations.
+  PredicateId AddPredicate(const std::string& name,
+                           std::shared_ptr<const Predicate> predicate,
+                           std::vector<RelationId> relations);
+  Result<PredicateId> FindPredicate(const std::string& name) const;
+  const std::string& predicate_name(PredicateId id) const;
+  const Predicate& predicate(PredicateId id) const;
+  /// Shared ownership of a predicate (for building derived histories).
+  std::shared_ptr<const Predicate> predicate_ptr(PredicateId id) const;
+  const std::vector<RelationId>& predicate_relations(PredicateId id) const;
+  size_t predicate_count() const { return predicates_.size(); }
+
+  // --- events ------------------------------------------------------------
+
+  /// Appends an event. Structural references (object/predicate ids) are
+  /// checked immediately; semantic constraints are checked by Finalize().
+  EventId Append(Event event);
+
+  const std::vector<Event>& events() const { return events_; }
+  const Event& event(EventId id) const { return events_[id]; }
+
+  // --- transactions ------------------------------------------------------
+
+  /// Declares the isolation level a transaction runs at (§5.5 mixed
+  /// systems). Defaults to PL-3.
+  void SetLevel(TxnId txn, IsolationLevel level);
+
+  /// All transaction ids mentioned by events, ascending.
+  std::vector<TxnId> Transactions() const;
+  /// Committed transaction ids, ascending.
+  std::vector<TxnId> CommittedTransactions() const;
+
+  bool Known(TxnId txn) const { return txns_.count(txn) != 0; }
+  const TxnInfo& txn_info(TxnId txn) const;
+  bool IsCommitted(TxnId txn) const;
+  bool IsAborted(TxnId txn) const;
+
+  // --- version order -----------------------------------------------------
+
+  /// Sets the explicit version order for `object`: the committed installers
+  /// of its versions, earliest first (x_init is implicit at the front).
+  /// Validated during Finalize(). Objects without an explicit order default
+  /// to installation (commit) order — §4.2 allows the two to differ, which
+  /// is exactly what H_write_order exercises.
+  void SetVersionOrder(ObjectId object, std::vector<TxnId> writers);
+
+  // --- finalize & validated queries ---------------------------------------
+
+  /// Completes, derives version orders, validates. Idempotent on success.
+  Status Finalize(const FinalizeOptions& options);
+  Status Finalize() { return Finalize(FinalizeOptions()); }
+
+  bool finalized() const { return finalized_; }
+
+  /// Committed installers of `object`'s versions in `<<` order (x_init
+  /// implicit at front). Requires finalized().
+  const std::vector<TxnId>& VersionOrder(ObjectId object) const;
+
+  /// Position of committed transaction `txn`'s installed version of
+  /// `object` in the version order; nullopt if it installed none.
+  std::optional<size_t> OrderIndex(ObjectId object, TxnId txn) const;
+
+  /// Sequence number of `txn`'s final modification of `object` (0 if none).
+  uint32_t FinalSeq(TxnId txn, ObjectId object) const;
+
+  /// The version `txn` installs for `object` at commit (its final
+  /// modification); nullopt if it wrote none.
+  std::optional<VersionId> InstalledVersion(TxnId txn, ObjectId object) const;
+
+  /// Kind of a version: x_init is unborn, otherwise the write event's kind.
+  VersionKind KindOf(const VersionId& version) const;
+
+  /// Contents of a version (nullptr for x_init / dead versions).
+  const Row* RowOf(const VersionId& version) const;
+
+  /// Whether `version` matches `predicate` (§4.3.1: unborn and dead
+  /// versions never match).
+  bool Matches(const VersionId& version, PredicateId predicate) const;
+
+  /// The write event that created `version`; kNoEvent for x_init.
+  EventId WriteEventOf(const VersionId& version) const;
+
+ private:
+  Status ValidateEvents();
+  Status ComputeVersionOrders();
+  std::optional<VersionId> InstalledVersionInternal(TxnId txn,
+                                                    ObjectId object) const;
+
+  struct ObjectInfo {
+    std::string name;
+    RelationId relation;
+  };
+  struct PredicateInfo {
+    std::string name;
+    std::shared_ptr<const Predicate> predicate;
+    std::vector<RelationId> relations;
+  };
+
+  std::vector<std::string> relations_;
+  std::map<std::string, RelationId> relation_by_name_;
+  std::vector<ObjectInfo> objects_;
+  std::map<std::string, ObjectId> object_by_name_;
+  std::vector<PredicateInfo> predicates_;
+  std::map<std::string, PredicateId> predicate_by_name_;
+
+  std::vector<Event> events_;
+  std::map<TxnId, TxnInfo> txns_;
+
+  std::map<ObjectId, std::vector<TxnId>> explicit_order_;
+  std::vector<std::vector<TxnId>> effective_order_;  // per object; finalized
+  std::map<VersionId, EventId> write_events_;        // built by Finalize()
+
+  bool finalized_ = false;
+};
+
+}  // namespace adya
+
+#endif  // ADYA_HISTORY_HISTORY_H_

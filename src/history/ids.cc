@@ -1,0 +1,37 @@
+#include "history/ids.h"
+
+namespace adya {
+
+std::string_view VersionKindName(VersionKind kind) {
+  switch (kind) {
+    case VersionKind::kUnborn:
+      return "unborn";
+    case VersionKind::kVisible:
+      return "visible";
+    case VersionKind::kDead:
+      return "dead";
+  }
+  return "unknown";
+}
+
+std::string_view IsolationLevelName(IsolationLevel level) {
+  switch (level) {
+    case IsolationLevel::kPL1:
+      return "PL-1";
+    case IsolationLevel::kPL2:
+      return "PL-2";
+    case IsolationLevel::kPLCS:
+      return "PL-CS";
+    case IsolationLevel::kPL2Plus:
+      return "PL-2+";
+    case IsolationLevel::kPL299:
+      return "PL-2.99";
+    case IsolationLevel::kPLSI:
+      return "PL-SI";
+    case IsolationLevel::kPL3:
+      return "PL-3";
+  }
+  return "unknown";
+}
+
+}  // namespace adya

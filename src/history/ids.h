@@ -1,0 +1,91 @@
+#ifndef ADYA_HISTORY_IDS_H_
+#define ADYA_HISTORY_IDS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace adya {
+
+/// Transaction identifier. Histories use small numbers (T0, T1, T2, …).
+/// The maximum id is reserved for T_init, the conceptual initialization
+/// transaction of §4.1 that creates the unborn version x_init of every
+/// object (id 0 stays available: the paper's own H_pred_read uses a T0).
+using TxnId = uint32_t;
+inline constexpr TxnId kTxnInit = 0xFFFFFFFFu;
+
+/// Dense object identifier within one History's universe.
+using ObjectId = uint32_t;
+
+/// Dense relation identifier within one History's universe.
+using RelationId = uint32_t;
+
+/// Dense predicate identifier within one History's universe.
+using PredicateId = uint32_t;
+
+/// The three kinds of object versions (§4.1): unborn before insertion,
+/// visible while the tuple exists, dead after deletion.
+enum class VersionKind : uint8_t {
+  kUnborn,
+  kVisible,
+  kDead,
+};
+
+std::string_view VersionKindName(VersionKind kind);
+
+/// Identifies one version x_{i:m}: object x, writer T_i, and the 1-based
+/// sequence number m of T_i's modification of x. The unborn initial version
+/// x_init is {object, kTxnInit, 0}.
+struct VersionId {
+  ObjectId object = 0;
+  TxnId writer = kTxnInit;
+  uint32_t seq = 0;
+
+  bool is_init() const { return writer == kTxnInit; }
+
+  bool operator==(const VersionId& other) const {
+    return object == other.object && writer == other.writer &&
+           seq == other.seq;
+  }
+  bool operator<(const VersionId& other) const {
+    if (object != other.object) return object < other.object;
+    if (writer != other.writer) return writer < other.writer;
+    return seq < other.seq;
+  }
+};
+
+/// Returns the initial (unborn) version of `object`.
+inline VersionId InitVersion(ObjectId object) {
+  return VersionId{object, kTxnInit, 0};
+}
+
+/// Isolation levels a transaction can request. The ANSI chain is
+/// PL-1 ⊂ PL-2 ⊂ PL-2.99 ⊂ PL-3 (§5, Fig. 6); PL-2+, PL-SI and PL-CS are
+/// the thesis extensions mentioned in §6.
+enum class IsolationLevel : uint8_t {
+  kPL1,
+  kPL2,
+  kPLCS,     // Cursor Stability (thesis §4.2): between PL-2 and PL-2.99.
+  kPL2Plus,  // Consistent reads + causality (thesis §4.3).
+  kPL299,    // ANSI REPEATABLE READ.
+  kPLSI,     // Snapshot Isolation (thesis §4.4).
+  kPL3,      // Full (conflict) serializability.
+};
+
+std::string_view IsolationLevelName(IsolationLevel level);
+
+}  // namespace adya
+
+namespace std {
+template <>
+struct hash<adya::VersionId> {
+  size_t operator()(const adya::VersionId& v) const {
+    size_t h = v.object;
+    h = h * 1000003u + v.writer;
+    h = h * 1000003u + v.seq;
+    return h;
+  }
+};
+}  // namespace std
+
+#endif  // ADYA_HISTORY_IDS_H_

@@ -1,0 +1,454 @@
+#include "history/parser.h"
+
+#include <cctype>
+#include <map>
+
+#include "common/str_util.h"
+#include "history/predicate.h"
+
+namespace adya {
+namespace {
+
+bool IsNameChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<History> Parse() {
+    while (true) {
+      SkipSpaceAndComments();
+      if (pos_ >= text_.size()) break;
+      char c = text_[pos_];
+      if (c == '[') {
+        ADYA_RETURN_IF_ERROR(ParseVersionOrderBlock());
+        continue;
+      }
+      if (!IsNameChar(c)) {
+        return Err(StrCat("unexpected character '", std::string(1, c), "'"));
+      }
+      std::string word = ReadName();
+      if (word == "relation") {
+        ADYA_RETURN_IF_ERROR(ParseRelationDecl());
+      } else if (word == "object") {
+        ADYA_RETURN_IF_ERROR(ParseObjectDecl());
+      } else if (word == "pred") {
+        ADYA_RETURN_IF_ERROR(ParsePredDecl());
+      } else if (word == "level") {
+        ADYA_RETURN_IF_ERROR(ParseLevelDecl());
+      } else {
+        ADYA_RETURN_IF_ERROR(ParseEvent(word));
+      }
+    }
+    History h = std::move(history_);
+    ADYA_RETURN_IF_ERROR(h.Finalize());
+    return h;
+  }
+
+ private:
+  Status Err(std::string message) const {
+    // Report 1-based line number for the current position.
+    size_t line = 1;
+    for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') ++line;
+    }
+    return Status::InvalidArgument(
+        StrCat("history parse error (line ", line, "): ", message));
+  }
+
+  void SkipSpaceAndComments() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string ReadName() {
+    size_t start = pos_;
+    while (pos_ < text_.size() && IsNameChar(text_[pos_])) ++pos_;
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  Result<uint64_t> ReadNumber() {
+    SkipSpaceAndComments();
+    size_t start = pos_;
+    while (pos_ < text_.size() && IsDigit(text_[pos_])) ++pos_;
+    if (pos_ == start) return Err("expected a number");
+    return std::stoull(std::string(text_.substr(start, pos_ - start)));
+  }
+
+  bool Consume(char c) {
+    SkipSpaceAndComments();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (!Consume(c)) return Err(StrCat("expected '", std::string(1, c), "'"));
+    return Status::OK();
+  }
+
+  char Peek() {
+    SkipSpaceAndComments();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  // --- declarations ------------------------------------------------------
+
+  Status ParseRelationDecl() {
+    SkipSpaceAndComments();
+    std::string name = ReadName();
+    if (name.empty()) return Err("relation declaration needs a name");
+    history_.AddRelation(name);
+    return Expect(';');
+  }
+
+  Status ParseObjectDecl() {
+    SkipSpaceAndComments();
+    std::string name = ReadName();
+    if (name.empty()) return Err("object declaration needs a name");
+    std::string relation = "R";
+    SkipSpaceAndComments();
+    size_t saved = pos_;
+    std::string maybe_in = ReadName();
+    if (maybe_in == "in") {
+      SkipSpaceAndComments();
+      relation = ReadName();
+      if (relation.empty()) return Err("expected relation name after 'in'");
+    } else {
+      pos_ = saved;
+    }
+    if (history_.FindObject(name).ok()) {
+      return Err(StrCat("object '", name, "' declared twice"));
+    }
+    history_.AddObject(name, history_.AddRelation(relation));
+    return Expect(';');
+  }
+
+  Status ParsePredDecl() {
+    SkipSpaceAndComments();
+    std::string name = ReadName();
+    if (name.empty()) return Err("predicate declaration needs a name");
+    std::vector<RelationId> relations;
+    SkipSpaceAndComments();
+    size_t saved = pos_;
+    std::string maybe_on = ReadName();
+    if (maybe_on == "on") {
+      do {
+        SkipSpaceAndComments();
+        std::string rel = ReadName();
+        if (rel.empty()) return Err("expected relation name after 'on'");
+        relations.push_back(history_.AddRelation(rel));
+      } while (Consume(','));
+    } else {
+      pos_ = saved;
+      relations.push_back(history_.AddRelation("R"));
+    }
+    ADYA_RETURN_IF_ERROR(Expect(':'));
+    size_t end = text_.find(';', pos_);
+    if (end == std::string_view::npos) {
+      return Err("predicate condition must end with ';'");
+    }
+    std::string_view condition = text_.substr(pos_, end - pos_);
+    auto predicate = ParsePredicate(condition);
+    if (!predicate.ok()) return Err(predicate.status().message());
+    pos_ = end + 1;
+    if (history_.FindPredicate(name).ok()) {
+      return Err(StrCat("predicate '", name, "' declared twice"));
+    }
+    history_.AddPredicate(
+        name, std::shared_ptr<const Predicate>(std::move(*predicate)),
+        std::move(relations));
+    return Status::OK();
+  }
+
+  Status ParseLevelDecl() {
+    ADYA_ASSIGN_OR_RETURN(uint64_t txn, ReadNumber());
+    SkipSpaceAndComments();
+    // Level names contain letters, digits, '-', '+', '.'.
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.')) {
+      ++pos_;
+    }
+    std::string level_name(text_.substr(start, pos_ - start));
+    static constexpr IsolationLevel kLevels[] = {
+        IsolationLevel::kPL1,     IsolationLevel::kPL2,
+        IsolationLevel::kPLCS,    IsolationLevel::kPL2Plus,
+        IsolationLevel::kPL299,   IsolationLevel::kPLSI,
+        IsolationLevel::kPL3};
+    for (IsolationLevel level : kLevels) {
+      if (IsolationLevelName(level) == level_name) {
+        history_.SetLevel(static_cast<TxnId>(txn), level);
+        return Expect(';');
+      }
+    }
+    return Err(StrCat("unknown isolation level '", level_name, "'"));
+  }
+
+  // --- events ------------------------------------------------------------
+
+  ObjectId EnsureObject(const std::string& name) {
+    auto found = history_.FindObject(name);
+    if (found.ok()) return *found;
+    return history_.AddObject(name);
+  }
+
+  /// Parses a version token: `x1`, `x2.3`, `xinit`. `for_write` resolves a
+  /// dot-less seq as count+1 (next write), otherwise as the writer's latest.
+  Result<VersionId> ParseVersionToken(bool for_write, TxnId event_txn) {
+    SkipSpaceAndComments();
+    std::string letters = ReadName();
+    if (letters.empty()) return Err("expected a version token");
+    // `xinit` → unborn initial version of x.
+    if (letters.size() > 4 && EndsWith(letters, "init") && !IsDigit(Peek())) {
+      std::string obj_name = letters.substr(0, letters.size() - 4);
+      return InitVersion(EnsureObject(obj_name));
+    }
+    if (!IsDigit(Peek())) {
+      return Err(StrCat("version token '", letters,
+                        "' must end with a transaction number or 'init'"));
+    }
+    ADYA_ASSIGN_OR_RETURN(uint64_t writer, ReadNumber());
+    ObjectId obj = EnsureObject(letters);
+    uint32_t seq;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      ADYA_ASSIGN_OR_RETURN(uint64_t s, ReadNumber());
+      seq = static_cast<uint32_t>(s);
+    } else {
+      uint32_t count = write_count_[{static_cast<TxnId>(writer), obj}];
+      // A dot-less token names the first modification when written (repeat
+      // modifications must be explicit, e.g. `x1.2`), and the writer's
+      // latest modification so far when read.
+      seq = for_write ? 1 : count;
+      if (!for_write && seq == 0) {
+        return Err(StrCat("read of ", letters, writer, " before T", writer,
+                          " wrote ", letters));
+      }
+    }
+    if (for_write && writer != event_txn) {
+      return Err(StrCat("w", event_txn, " cannot create a version owned by T",
+                        writer));
+    }
+    return VersionId{obj, static_cast<TxnId>(writer), seq};
+  }
+
+  Result<Value> ParseValueLiteral() {
+    SkipSpaceAndComments();
+    if (pos_ >= text_.size()) return Err("expected a value");
+    char c = text_[pos_];
+    if (c == '"') {
+      ++pos_;
+      std::string out;
+      while (pos_ < text_.size() && text_[pos_] != '"') {
+        if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+        out.push_back(text_[pos_++]);
+      }
+      if (pos_ >= text_.size()) return Err("unterminated string");
+      ++pos_;
+      return Value(std::move(out));
+    }
+    if (IsNameChar(c)) {
+      std::string word = ReadName();
+      if (word == "true") return Value(true);
+      if (word == "false") return Value(false);
+      return Err(StrCat("unexpected word '", word, "' in value position"));
+    }
+    size_t start = pos_;
+    if (c == '-' || c == '+') ++pos_;
+    bool saw_digit = false, saw_dot = false;
+    while (pos_ < text_.size()) {
+      char d = text_[pos_];
+      if (IsDigit(d)) {
+        saw_digit = true;
+        ++pos_;
+      } else if (d == '.' && !saw_dot) {
+        saw_dot = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (!saw_digit) return Err("expected a value literal");
+    std::string token(text_.substr(start, pos_ - start));
+    if (saw_dot) return Value(std::stod(token));
+    return Value(static_cast<int64_t>(std::stoll(token)));
+  }
+
+  Result<Row> ParseRowLiteral() {
+    ADYA_RETURN_IF_ERROR(Expect('{'));
+    Row row;
+    if (!Consume('}')) {
+      do {
+        SkipSpaceAndComments();
+        std::string attr = ReadName();
+        if (attr.empty()) return Err("expected attribute name in row");
+        ADYA_RETURN_IF_ERROR(Expect(':'));
+        ADYA_ASSIGN_OR_RETURN(Value v, ParseValueLiteral());
+        row.Set(attr, std::move(v));
+      } while (Consume(','));
+      ADYA_RETURN_IF_ERROR(Expect('}'));
+    }
+    return row;
+  }
+
+  Status ParseEvent(const std::string& word) {
+    if (word.size() != 1 ||
+        (word[0] != 'w' && word[0] != 'r' && word[0] != 'c' &&
+         word[0] != 'a' && word[0] != 'b')) {
+      return Err(StrCat("unknown token '", word, "'"));
+    }
+    char kind = word[0];
+    if (!IsDigit(Peek())) {
+      return Err(StrCat("expected transaction number after '", word, "'"));
+    }
+    ADYA_ASSIGN_OR_RETURN(uint64_t txn64, ReadNumber());
+    TxnId txn = static_cast<TxnId>(txn64);
+    if (txn == kTxnInit) return Err("transaction id is reserved for T_init");
+    switch (kind) {
+      case 'c':
+        history_.Append(Event::Commit(txn));
+        return Status::OK();
+      case 'a':
+        history_.Append(Event::Abort(txn));
+        return Status::OK();
+      case 'b':
+        history_.Append(Event::Begin(txn));
+        return Status::OK();
+      case 'w': {
+        ADYA_RETURN_IF_ERROR(Expect('('));
+        ADYA_ASSIGN_OR_RETURN(VersionId v, ParseVersionToken(true, txn));
+        uint32_t expected = write_count_[{txn, v.object}] + 1;
+        if (v.seq != expected) {
+          return Err(StrCat("write sequence mismatch: expected modification ",
+                            expected, " of ",
+                            history_.object_name(v.object)));
+        }
+        Row row;
+        VersionKind wkind = VersionKind::kVisible;
+        if (Consume(',')) {
+          SkipSpaceAndComments();
+          if (Peek() == '{') {
+            ADYA_ASSIGN_OR_RETURN(row, ParseRowLiteral());
+          } else if (IsNameChar(Peek())) {
+            size_t saved = pos_;
+            std::string w = ReadName();
+            if (w == "dead") {
+              wkind = VersionKind::kDead;
+            } else {
+              pos_ = saved;
+              ADYA_ASSIGN_OR_RETURN(Value val, ParseValueLiteral());
+              row = ScalarRow(std::move(val));
+            }
+          } else {
+            ADYA_ASSIGN_OR_RETURN(Value val, ParseValueLiteral());
+            row = ScalarRow(std::move(val));
+          }
+        }
+        ADYA_RETURN_IF_ERROR(Expect(')'));
+        history_.Append(Event::Write(txn, v, std::move(row), wkind));
+        ++write_count_[{txn, v.object}];
+        return Status::OK();
+      }
+      case 'r': {
+        ADYA_RETURN_IF_ERROR(Expect('('));
+        // Disambiguate predicate read `r1(P: …)` from item read `r1(x2)`:
+        // scan the name and check whether ':' follows (possibly after
+        // spaces) before any digit is consumed.
+        SkipSpaceAndComments();
+        size_t saved = pos_;
+        std::string name = ReadName();
+        if (name.empty()) return Err("expected version or predicate name");
+        if (Peek() == ':') {
+          ++pos_;  // consume ':'
+          auto pid = history_.FindPredicate(name);
+          if (!pid.ok()) {
+            return Err(StrCat("unknown predicate '", name, "'"));
+          }
+          std::vector<VersionId> vset;
+          if (Peek() != ')') {
+            do {
+              ADYA_ASSIGN_OR_RETURN(VersionId v, ParseVersionToken(false, txn));
+              vset.push_back(v);
+            } while (Consume(','));
+          }
+          ADYA_RETURN_IF_ERROR(Expect(')'));
+          history_.Append(Event::PredicateRead(txn, *pid, std::move(vset)));
+          return Status::OK();
+        }
+        pos_ = saved;
+        ADYA_ASSIGN_OR_RETURN(VersionId v, ParseVersionToken(false, txn));
+        Row observed;
+        if (Consume(',')) {
+          SkipSpaceAndComments();
+          if (Peek() == '{') {
+            ADYA_ASSIGN_OR_RETURN(observed, ParseRowLiteral());
+          } else {
+            ADYA_ASSIGN_OR_RETURN(Value val, ParseValueLiteral());
+            observed = ScalarRow(std::move(val));
+          }
+        }
+        ADYA_RETURN_IF_ERROR(Expect(')'));
+        history_.Append(Event::Read(txn, v, std::move(observed)));
+        return Status::OK();
+      }
+      default:
+        ADYA_UNREACHABLE();
+    }
+  }
+
+  // --- version order -----------------------------------------------------
+
+  Status ParseVersionOrderBlock() {
+    ADYA_RETURN_IF_ERROR(Expect('['));
+    do {
+      // One chain: VER << VER << … (all the same object; init may lead).
+      std::vector<TxnId> writers;
+      std::optional<ObjectId> obj;
+      for (;;) {
+        ADYA_ASSIGN_OR_RETURN(VersionId v, ParseVersionToken(false, 0));
+        if (obj.has_value() && v.object != *obj) {
+          return Err("a version-order chain must mention one object");
+        }
+        obj = v.object;
+        if (!v.is_init()) writers.push_back(v.writer);
+        SkipSpaceAndComments();
+        if (StartsWith(text_.substr(pos_), "<<")) {
+          pos_ += 2;
+          continue;
+        }
+        break;
+      }
+      ADYA_CHECK(obj.has_value());
+      history_.SetVersionOrder(*obj, std::move(writers));
+    } while (Consume(','));
+    return Expect(']');
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  History history_;
+  std::map<std::pair<TxnId, ObjectId>, uint32_t> write_count_;
+};
+
+}  // namespace
+
+Result<History> ParseHistory(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace adya

@@ -1,0 +1,48 @@
+#ifndef ADYA_HISTORY_PARSER_H_
+#define ADYA_HISTORY_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "history/history.h"
+
+namespace adya {
+
+/// Parses the textual history notation used throughout the paper. Example
+/// (H_phantom, §5.4):
+///
+///   relation Emp; relation Agg;
+///   object x in Emp; object y in Emp; object z in Emp; object Sum in Agg;
+///   pred P on Emp: dept = "Sales";
+///   w0(x0, {dept: "Sales", sal: 10}) w0(y0, {dept: "Sales", sal: 10})
+///   w0(Sum0, 20) c0
+///   r1(P: x0, y0) r1(x0) r1(y0)
+///   w2(z2, {dept: "Sales", sal: 10}) w2(Sum2, 30) c2
+///   r1(Sum2) c1
+///   [Sum0 << Sum2]
+///
+/// Grammar notes:
+///   * Declarations (`relation`, `object`, `pred`, `level`) end with `;` and
+///     may be interleaved with events; predicates must be declared before
+///     use. Undeclared objects are auto-registered in the default
+///     relation "R".
+///   * Object names contain only letters and underscores (so `x1` always
+///     splits as object `x`, transaction 1). `xinit` is x's unborn initial
+///     version; `x2.3` is T2's third modification of x.
+///   * A version token without an explicit `.seq` refers to the writer's
+///     *latest* modification so far when read, and to its *first*
+///     modification when written.
+///   * Write values: `w1(x1)` (no payload), `w1(x1, 5)` (scalar),
+///     `w1(x1, {dept: "Sales"})` (row), `w1(x1, dead)` (delete).
+///   * Predicate reads: `r1(P: x0, yinit)`. Unmentioned objects of P's
+///     relations implicitly select their unborn versions.
+///   * The optional trailing `[x0 << x1, y0 << y1]` block sets explicit
+///     version orders; objects without one default to commit order.
+///   * `#` starts a comment that runs to end of line.
+///
+/// The result is finalized (unfinished transactions are aborted).
+Result<History> ParseHistory(std::string_view text);
+
+}  // namespace adya
+
+#endif  // ADYA_HISTORY_PARSER_H_

@@ -1,0 +1,369 @@
+#include "history/predicate.h"
+
+#include <cctype>
+
+#include "common/str_util.h"
+
+namespace adya {
+
+std::string_view CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+namespace {
+
+bool ApplyCmp(CmpOp op, const Value& lhs, const Value& rhs) {
+  std::optional<int> c = lhs.Compare(rhs);
+  if (!c.has_value()) {
+    // Incomparable (missing attribute surfaces here as well): SQL-style
+    // unknown. Only != treats distinct type classes as a match.
+    return op == CmpOp::kNe;
+  }
+  switch (op) {
+    case CmpOp::kEq:
+      return *c == 0;
+    case CmpOp::kNe:
+      return *c != 0;
+    case CmpOp::kLt:
+      return *c < 0;
+    case CmpOp::kLe:
+      return *c <= 0;
+    case CmpOp::kGt:
+      return *c > 0;
+    case CmpOp::kGe:
+      return *c >= 0;
+  }
+  return false;
+}
+
+class CmpExpr : public Expr {
+ public:
+  CmpExpr(std::string attr, CmpOp op, Value literal)
+      : attr_(std::move(attr)), op_(op), literal_(std::move(literal)) {}
+
+  bool Eval(const Row& row) const override {
+    const Value* v = row.Get(attr_);
+    if (v == nullptr) return op_ == CmpOp::kNe;
+    return ApplyCmp(op_, *v, literal_);
+  }
+
+  std::string ToString() const override {
+    return StrCat(attr_, " ", CmpOpName(op_), " ", literal_.ToString());
+  }
+
+ private:
+  std::string attr_;
+  CmpOp op_;
+  Value literal_;
+};
+
+class CmpAttrsExpr : public Expr {
+ public:
+  CmpAttrsExpr(std::string lhs, CmpOp op, std::string rhs)
+      : lhs_(std::move(lhs)), op_(op), rhs_(std::move(rhs)) {}
+
+  bool Eval(const Row& row) const override {
+    const Value* a = row.Get(lhs_);
+    const Value* b = row.Get(rhs_);
+    if (a == nullptr || b == nullptr) return op_ == CmpOp::kNe;
+    return ApplyCmp(op_, *a, *b);
+  }
+
+  std::string ToString() const override {
+    return StrCat(lhs_, " ", CmpOpName(op_), " ", rhs_);
+  }
+
+ private:
+  std::string lhs_;
+  CmpOp op_;
+  std::string rhs_;
+};
+
+class BinaryExpr : public Expr {
+ public:
+  BinaryExpr(bool is_and, std::unique_ptr<Expr> a, std::unique_ptr<Expr> b)
+      : is_and_(is_and), a_(std::move(a)), b_(std::move(b)) {}
+
+  bool Eval(const Row& row) const override {
+    return is_and_ ? (a_->Eval(row) && b_->Eval(row))
+                   : (a_->Eval(row) || b_->Eval(row));
+  }
+
+  std::string ToString() const override {
+    return StrCat("(", a_->ToString(), is_and_ ? " and " : " or ",
+                  b_->ToString(), ")");
+  }
+
+ private:
+  bool is_and_;
+  std::unique_ptr<Expr> a_;
+  std::unique_ptr<Expr> b_;
+};
+
+class NotExpr : public Expr {
+ public:
+  explicit NotExpr(std::unique_ptr<Expr> a) : a_(std::move(a)) {}
+  bool Eval(const Row& row) const override { return !a_->Eval(row); }
+  std::string ToString() const override {
+    return StrCat("not (", a_->ToString(), ")");
+  }
+
+ private:
+  std::unique_ptr<Expr> a_;
+};
+
+class ConstExpr : public Expr {
+ public:
+  explicit ConstExpr(bool value) : value_(value) {}
+  bool Eval(const Row&) const override { return value_; }
+  std::string ToString() const override { return value_ ? "true" : "false"; }
+
+ private:
+  bool value_;
+};
+
+/// Recursive-descent parser over a flat token-free scan of the input.
+class ExprParser {
+ public:
+  explicit ExprParser(std::string_view text) : text_(text) {}
+
+  Result<std::unique_ptr<Expr>> Parse() {
+    ADYA_ASSIGN_OR_RETURN(auto e, ParseOr());
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument(
+          StrCat("trailing characters in predicate at offset ", pos_, ": '",
+                 text_.substr(pos_), "'"));
+    }
+    return e;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    SkipSpace();
+    if (text_.substr(pos_, word.size()) != word) return false;
+    size_t end = pos_ + word.size();
+    if (end < text_.size() &&
+        (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+         text_[end] == '_')) {
+      return false;  // prefix of a longer identifier
+    }
+    pos_ = end;
+    return true;
+  }
+
+  bool ConsumeChar(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseOr() {
+    ADYA_ASSIGN_OR_RETURN(auto lhs, ParseAnd());
+    while (ConsumeWord("or")) {
+      ADYA_ASSIGN_OR_RETURN(auto rhs, ParseAnd());
+      lhs = Or(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseAnd() {
+    ADYA_ASSIGN_OR_RETURN(auto lhs, ParseFactor());
+    while (ConsumeWord("and")) {
+      ADYA_ASSIGN_OR_RETURN(auto rhs, ParseFactor());
+      lhs = And(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseFactor() {
+    if (ConsumeWord("not")) {
+      ADYA_ASSIGN_OR_RETURN(auto inner, ParseFactor());
+      return Not(std::move(inner));
+    }
+    if (ConsumeChar('(')) {
+      ADYA_ASSIGN_OR_RETURN(auto inner, ParseOr());
+      if (!ConsumeChar(')')) {
+        return Status::InvalidArgument("expected ')' in predicate");
+      }
+      return inner;
+    }
+    if (ConsumeWord("true")) return Always(true);
+    if (ConsumeWord("false")) return Always(false);
+    return ParseCmp();
+  }
+
+  Result<std::unique_ptr<Expr>> ParseCmp() {
+    ADYA_ASSIGN_OR_RETURN(std::string attr, ParseIdentifier());
+    ADYA_ASSIGN_OR_RETURN(CmpOp op, ParseOp());
+    SkipSpace();
+    if (pos_ < text_.size() &&
+        (std::isalpha(static_cast<unsigned char>(text_[pos_])) ||
+         text_[pos_] == '_')) {
+      // Could be a literal keyword or an attribute name.
+      size_t saved = pos_;
+      if (ConsumeWord("true")) return Cmp(std::move(attr), op, Value(true));
+      if (ConsumeWord("false")) return Cmp(std::move(attr), op, Value(false));
+      pos_ = saved;
+      ADYA_ASSIGN_OR_RETURN(std::string rhs, ParseIdentifier());
+      return CmpAttrs(std::move(attr), op, std::move(rhs));
+    }
+    ADYA_ASSIGN_OR_RETURN(Value literal, ParseLiteral());
+    return Cmp(std::move(attr), op, std::move(literal));
+  }
+
+  Result<std::string> ParseIdentifier() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::InvalidArgument(
+          StrCat("expected identifier at offset ", start));
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  Result<CmpOp> ParseOp() {
+    SkipSpace();
+    auto rest = text_.substr(pos_);
+    if (StartsWith(rest, "!=")) {
+      pos_ += 2;
+      return CmpOp::kNe;
+    }
+    if (StartsWith(rest, "<=")) {
+      pos_ += 2;
+      return CmpOp::kLe;
+    }
+    if (StartsWith(rest, ">=")) {
+      pos_ += 2;
+      return CmpOp::kGe;
+    }
+    if (StartsWith(rest, "=")) {
+      pos_ += 1;
+      return CmpOp::kEq;
+    }
+    if (StartsWith(rest, "<")) {
+      pos_ += 1;
+      return CmpOp::kLt;
+    }
+    if (StartsWith(rest, ">")) {
+      pos_ += 1;
+      return CmpOp::kGt;
+    }
+    return Status::InvalidArgument(
+        StrCat("expected comparison operator at offset ", pos_));
+  }
+
+  Result<Value> ParseLiteral() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("expected literal at end of predicate");
+    }
+    char c = text_[pos_];
+    if (c == '"') {
+      ++pos_;
+      std::string out;
+      while (pos_ < text_.size() && text_[pos_] != '"') {
+        if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+        out.push_back(text_[pos_++]);
+      }
+      if (pos_ >= text_.size()) {
+        return Status::InvalidArgument("unterminated string literal");
+      }
+      ++pos_;  // closing quote
+      return Value(std::move(out));
+    }
+    // Number: [-]digits[.digits]
+    size_t start = pos_;
+    if (c == '-' || c == '+') ++pos_;
+    bool saw_digit = false, saw_dot = false;
+    while (pos_ < text_.size()) {
+      char d = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(d))) {
+        saw_digit = true;
+        ++pos_;
+      } else if (d == '.' && !saw_dot) {
+        saw_dot = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (!saw_digit) {
+      return Status::InvalidArgument(
+          StrCat("expected literal at offset ", start));
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    if (saw_dot) return Value(std::stod(token));
+    return Value(static_cast<int64_t>(std::stoll(token)));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Expr> Cmp(std::string attr, CmpOp op, Value literal) {
+  return std::make_unique<CmpExpr>(std::move(attr), op, std::move(literal));
+}
+
+std::unique_ptr<Expr> CmpAttrs(std::string lhs, CmpOp op, std::string rhs) {
+  return std::make_unique<CmpAttrsExpr>(std::move(lhs), op, std::move(rhs));
+}
+
+std::unique_ptr<Expr> And(std::unique_ptr<Expr> a, std::unique_ptr<Expr> b) {
+  return std::make_unique<BinaryExpr>(true, std::move(a), std::move(b));
+}
+
+std::unique_ptr<Expr> Or(std::unique_ptr<Expr> a, std::unique_ptr<Expr> b) {
+  return std::make_unique<BinaryExpr>(false, std::move(a), std::move(b));
+}
+
+std::unique_ptr<Expr> Not(std::unique_ptr<Expr> a) {
+  return std::make_unique<NotExpr>(std::move(a));
+}
+
+std::unique_ptr<Expr> Always(bool value) {
+  return std::make_unique<ConstExpr>(value);
+}
+
+Result<std::unique_ptr<Expr>> ParseExpr(std::string_view text) {
+  return ExprParser(text).Parse();
+}
+
+Result<std::unique_ptr<Predicate>> ParsePredicate(std::string_view text) {
+  ADYA_ASSIGN_OR_RETURN(auto expr, ParseExpr(text));
+  return std::unique_ptr<Predicate>(
+      std::make_unique<ExprPredicate>(std::move(expr)));
+}
+
+}  // namespace adya

@@ -1,0 +1,83 @@
+#ifndef ADYA_HISTORY_PREDICATE_H_
+#define ADYA_HISTORY_PREDICATE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "history/ids.h"
+#include "history/row.h"
+
+namespace adya {
+
+/// A predicate P (§4.3): a boolean condition applied to tuples of one or
+/// more relations, as in a SQL WHERE clause. Only *visible* versions can
+/// match; unborn and dead versions never do (the caller enforces that —
+/// Matches() sees only row contents).
+class Predicate {
+ public:
+  virtual ~Predicate() = default;
+
+  /// Evaluates the boolean condition on a visible version's contents.
+  virtual bool Matches(const Row& row) const = 0;
+
+  /// Human-readable condition, e.g. `dept = "Sales"`.
+  virtual std::string Description() const = 0;
+};
+
+/// Comparison operators usable in predicate expressions.
+enum class CmpOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+std::string_view CmpOpName(CmpOp op);
+
+/// Expression-tree predicates: comparisons on attributes combined with
+/// and/or/not. This covers every predicate in the paper's examples
+/// (`Dept = Sales`, `comm > 0.25 * sal` is expressed against precomputed
+/// attributes) while staying total and side-effect free.
+class Expr {
+ public:
+  virtual ~Expr() = default;
+  virtual bool Eval(const Row& row) const = 0;
+  virtual std::string ToString() const = 0;
+};
+
+/// ATTR op literal. A missing or type-incomparable attribute compares as
+/// "no match" (and "match" for !=), mirroring SQL's unknown-is-not-true.
+std::unique_ptr<Expr> Cmp(std::string attr, CmpOp op, Value literal);
+/// ATTR op ATTR2 — compares two attributes of the same row (used for
+/// conditions like `comm > min_comm`).
+std::unique_ptr<Expr> CmpAttrs(std::string lhs, CmpOp op, std::string rhs);
+std::unique_ptr<Expr> And(std::unique_ptr<Expr> a, std::unique_ptr<Expr> b);
+std::unique_ptr<Expr> Or(std::unique_ptr<Expr> a, std::unique_ptr<Expr> b);
+std::unique_ptr<Expr> Not(std::unique_ptr<Expr> a);
+std::unique_ptr<Expr> Always(bool value);
+
+/// A Predicate backed by an expression tree.
+class ExprPredicate : public Predicate {
+ public:
+  explicit ExprPredicate(std::unique_ptr<Expr> expr)
+      : expr_(std::move(expr)) {}
+
+  bool Matches(const Row& row) const override { return expr_->Eval(row); }
+  std::string Description() const override { return expr_->ToString(); }
+
+ private:
+  std::unique_ptr<Expr> expr_;
+};
+
+/// Parses a predicate condition, e.g.
+///   dept = "Sales" and sal > 10 or not (active = true)
+/// Grammar (case-sensitive keywords `and`, `or`, `not`, `true`, `false`):
+///   expr := term { "or" term }        term := factor { "and" factor }
+///   factor := "not" factor | "(" expr ")" | cmp
+///   cmp := ATTR op literal | ATTR op ATTR
+///   op := = | != | < | <= | > | >=
+Result<std::unique_ptr<Expr>> ParseExpr(std::string_view text);
+
+/// Convenience: parses `text` into an ExprPredicate.
+Result<std::unique_ptr<Predicate>> ParsePredicate(std::string_view text);
+
+}  // namespace adya
+
+#endif  // ADYA_HISTORY_PREDICATE_H_

@@ -1,0 +1,70 @@
+#include "history/row.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace adya {
+namespace {
+
+auto LowerBound(std::vector<std::pair<std::string, Value>>& attrs,
+                const std::string& attr) {
+  return std::lower_bound(
+      attrs.begin(), attrs.end(), attr,
+      [](const auto& entry, const std::string& key) { return entry.first < key; });
+}
+
+}  // namespace
+
+Row::Row(std::initializer_list<std::pair<std::string, Value>> attrs) {
+  for (const auto& [name, value] : attrs) Set(name, value);
+}
+
+void Row::Set(const std::string& attr, Value value) {
+  auto it = LowerBound(attrs_, attr);
+  if (it != attrs_.end() && it->first == attr) {
+    it->second = std::move(value);
+  } else {
+    attrs_.insert(it, {attr, std::move(value)});
+  }
+}
+
+const Value* Row::Get(const std::string& attr) const {
+  auto it = std::lower_bound(
+      attrs_.begin(), attrs_.end(), attr,
+      [](const auto& entry, const std::string& key) { return entry.first < key; });
+  if (it != attrs_.end() && it->first == attr) return &it->second;
+  return nullptr;
+}
+
+bool Row::operator==(const Row& other) const {
+  if (attrs_.size() != other.attrs_.size()) return false;
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i].first != other.attrs_[i].first) return false;
+    if (!(attrs_[i].second == other.attrs_[i].second)) return false;
+  }
+  return true;
+}
+
+std::string Row::ToString() const {
+  if (attrs_.size() == 1 && attrs_[0].first == kScalarAttr) {
+    return attrs_[0].second.ToString();
+  }
+  std::ostringstream oss;
+  oss << '{';
+  bool first = true;
+  for (const auto& [name, value] : attrs_) {
+    if (!first) oss << ", ";
+    first = false;
+    oss << name << ": " << value.ToString();
+  }
+  oss << '}';
+  return oss.str();
+}
+
+Row ScalarRow(Value v) {
+  Row row;
+  row.Set(kScalarAttr, std::move(v));
+  return row;
+}
+
+}  // namespace adya

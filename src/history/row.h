@@ -1,0 +1,53 @@
+#ifndef ADYA_HISTORY_ROW_H_
+#define ADYA_HISTORY_ROW_H_
+
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "history/value.h"
+
+namespace adya {
+
+/// A tuple's contents: a small set of named attribute values. Kept as a
+/// sorted flat vector — rows in histories have a handful of attributes, and
+/// flat storage keeps copies cheap and iteration ordered/deterministic.
+class Row {
+ public:
+  Row() = default;
+  Row(std::initializer_list<std::pair<std::string, Value>> attrs);
+
+  /// Sets (or replaces) an attribute.
+  void Set(const std::string& attr, Value value);
+
+  /// Returns the value of `attr`, or nullptr if absent.
+  const Value* Get(const std::string& attr) const;
+
+  bool empty() const { return attrs_.empty(); }
+  size_t size() const { return attrs_.size(); }
+
+  /// Attribute/value pairs in attribute-name order.
+  const std::vector<std::pair<std::string, Value>>& attrs() const {
+    return attrs_;
+  }
+
+  bool operator==(const Row& other) const;
+
+  /// Renders as {a: 1, b: "x"}; a single attribute named "val" renders as
+  /// just its value, matching the paper's scalar notation w1(x1, 5).
+  std::string ToString() const;
+
+ private:
+  std::vector<std::pair<std::string, Value>> attrs_;  // sorted by name
+};
+
+/// The conventional attribute used when a history writes scalar values.
+inline constexpr char kScalarAttr[] = "val";
+
+/// Wraps a scalar into a single-attribute row.
+Row ScalarRow(Value v);
+
+}  // namespace adya
+
+#endif  // ADYA_HISTORY_ROW_H_

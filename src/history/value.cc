@@ -1,0 +1,60 @@
+#include "history/value.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace adya {
+
+std::optional<int> Value::Compare(const Value& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    // Compare int/int exactly; mixed comparisons go through double, which is
+    // exact for the magnitudes used in histories.
+    if (is_int() && other.is_int()) {
+      int64_t a = AsInt(), b = other.AsInt();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    double a = NumericValue(), b = other.NumericValue();
+    if (std::isnan(a) || std::isnan(b)) return std::nullopt;
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (is_string() && other.is_string()) {
+    int c = AsString().compare(other.AsString());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  if (is_bool() && other.is_bool()) {
+    return static_cast<int>(AsBool()) - static_cast<int>(other.AsBool());
+  }
+  return std::nullopt;
+}
+
+std::string Value::ToString() const {
+  std::ostringstream oss;
+  if (is_int()) {
+    oss << AsInt();
+  } else if (is_double()) {
+    oss << AsDouble();
+    // Make doubles round-trip distinguishably from ints.
+    if (oss.str().find('.') == std::string::npos &&
+        oss.str().find('e') == std::string::npos &&
+        oss.str().find("inf") == std::string::npos &&
+        oss.str().find("nan") == std::string::npos) {
+      oss << ".0";
+    }
+  } else if (is_bool()) {
+    oss << (AsBool() ? "true" : "false");
+  } else {
+    oss << '"';
+    for (char c : AsString()) {
+      if (c == '"' || c == '\\') oss << '\\';
+      oss << c;
+    }
+    oss << '"';
+  }
+  return oss.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+}  // namespace adya

@@ -1,0 +1,64 @@
+#ifndef ADYA_HISTORY_VALUE_H_
+#define ADYA_HISTORY_VALUE_H_
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <variant>
+
+namespace adya {
+
+/// A typed attribute value stored in a tuple version. The model of §4.1
+/// treats each row/tuple as an object; its contents are attribute values
+/// that predicates evaluate over.
+class Value {
+ public:
+  Value() : rep_(int64_t{0}) {}
+  Value(int64_t v) : rep_(v) {}              // NOLINT(runtime/explicit)
+  Value(int v) : rep_(int64_t{v}) {}         // NOLINT(runtime/explicit)
+  Value(double v) : rep_(v) {}               // NOLINT(runtime/explicit)
+  Value(bool v) : rep_(v) {}                 // NOLINT(runtime/explicit)
+  Value(std::string v) : rep_(std::move(v)) {}  // NOLINT(runtime/explicit)
+  Value(const char* v) : rep_(std::string(v)) {}  // NOLINT(runtime/explicit)
+
+  bool is_int() const { return std::holds_alternative<int64_t>(rep_); }
+  bool is_double() const { return std::holds_alternative<double>(rep_); }
+  bool is_bool() const { return std::holds_alternative<bool>(rep_); }
+  bool is_string() const { return std::holds_alternative<std::string>(rep_); }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  double AsDouble() const { return std::get<double>(rep_); }
+  bool AsBool() const { return std::get<bool>(rep_); }
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+
+  /// Numeric view: ints and doubles compare on a common axis.
+  double NumericValue() const {
+    return is_int() ? static_cast<double>(AsInt()) : AsDouble();
+  }
+
+  /// Three-way comparison when the two values are comparable (both numeric,
+  /// both strings, or both bools); nullopt otherwise. Predicates treat
+  /// incomparable operands as "does not match" rather than an error, the
+  /// usual permissive behavior of schema-less test databases.
+  std::optional<int> Compare(const Value& other) const;
+
+  /// Strict equality: same type class and equal contents.
+  bool operator==(const Value& other) const {
+    auto c = Compare(other);
+    return c.has_value() && *c == 0;
+  }
+
+  /// Renders as a literal: 5, 2.5, true, "text".
+  std::string ToString() const;
+
+ private:
+  std::variant<int64_t, double, bool, std::string> rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+}  // namespace adya
+
+#endif  // ADYA_HISTORY_VALUE_H_

@@ -1,0 +1,282 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/str_util.h"
+
+namespace adya::workload {
+namespace {
+
+using engine::Database;
+using engine::ObjKey;
+
+std::vector<std::shared_ptr<const Predicate>> MakePredicates() {
+  std::vector<std::shared_ptr<const Predicate>> preds;
+  for (const char* text :
+       {"dept = \"Sales\"", "dept = \"Legal\"", "val > 50"}) {
+    auto p = ParsePredicate(text);
+    ADYA_CHECK(p.ok());
+    preds.push_back(std::shared_ptr<const Predicate>(std::move(*p)));
+  }
+  return preds;
+}
+
+/// Letter-only suffix for generated names: object names must stay free of
+/// digits so the history notation can round-trip (a trailing digit is a
+/// transaction id).
+std::string LetterSuffix(int i) {
+  std::string out;
+  do {
+    out.insert(out.begin(), static_cast<char>('a' + i % 26));
+    i = i / 26 - 1;
+  } while (i >= 0);
+  return out;
+}
+
+Row RandomRow(Rng& rng) {
+  Row row;
+  row.Set("dept", Value(rng.NextBool() ? "Sales" : "Legal"));
+  row.Set("val", Value(rng.NextInRange(0, 99)));
+  return row;
+}
+
+}  // namespace
+
+WorkloadStats RunWorkload(Database& db, const WorkloadOptions& options) {
+  Rng rng(options.seed);
+  WorkloadStats stats;
+  RelationId relation = db.AddRelation("R");
+  std::vector<std::string> keys;
+  for (int i = 0; i < options.num_keys; ++i) {
+    keys.push_back(StrCat("k", LetterSuffix(i)));
+  }
+  auto predicates = MakePredicates();
+
+  struct Active {
+    TxnId id;
+    int ops_left;
+  };
+  std::vector<Active> active;
+  int started = 0;
+
+  auto start_one = [&]() {
+    if (started >= options.num_txns) return;
+    IsolationLevel level = rng.Pick(options.levels);
+    auto txn = db.Begin(level);
+    ADYA_CHECK_MSG(txn.ok(), "Begin failed: " << txn.status());
+    active.push_back(Active{*txn, options.ops_per_txn});
+    ++started;
+  };
+  while (static_cast<int>(active.size()) < options.max_active &&
+         started < options.num_txns) {
+    start_one();
+  }
+
+  auto random_key = [&]() {
+    return ObjKey{relation, rng.Pick(keys)};
+  };
+
+  // Handles an operation status; returns true if the transaction is gone.
+  auto handle = [&](size_t idx, const Status& st, bool count_op) -> bool {
+    if (st.code() == StatusCode::kWouldBlock) {
+      ++stats.would_block_retries;
+      return false;
+    }
+    if (st.code() == StatusCode::kTxnAborted) {
+      ++stats.aborted_engine;
+      active.erase(active.begin() + static_cast<ptrdiff_t>(idx));
+      start_one();
+      return true;
+    }
+    ADYA_CHECK_MSG(st.ok() || st.code() == StatusCode::kNotFound,
+                   "unexpected engine status: " << st);
+    if (count_op) {
+      ++stats.operations;
+      --active[idx].ops_left;
+    }
+    return false;
+  };
+
+  int steps = 0;
+  while (!active.empty()) {
+    if (++steps > options.max_steps) {
+      for (const Active& a : active) {
+        db.Abort(a.id);
+        ++stats.aborted_stuck;
+      }
+      active.clear();
+      break;
+    }
+    size_t idx = rng.NextBelow(active.size());
+    Active& cur = active[idx];
+    if (cur.ops_left <= 0) {
+      if (rng.NextBool(options.abort_prob)) {
+        ADYA_CHECK(db.Abort(cur.id).ok());
+        ++stats.aborted_voluntary;
+      } else {
+        Status st = db.Commit(cur.id);
+        if (st.code() == StatusCode::kTxnAborted) {
+          ++stats.aborted_engine;
+        } else {
+          ADYA_CHECK_MSG(st.ok(), "commit failed: " << st);
+          ++stats.committed;
+        }
+      }
+      active.erase(active.begin() + static_cast<ptrdiff_t>(idx));
+      start_one();
+      continue;
+    }
+    size_t op = rng.PickWeighted(
+        {options.read_weight, options.write_weight, options.delete_weight,
+         options.pred_read_weight, options.pred_update_weight});
+    switch (op) {
+      case 0:
+        handle(idx, db.Read(cur.id, random_key()).status(), true);
+        break;
+      case 1:
+        handle(idx, db.Write(cur.id, random_key(), RandomRow(rng)), true);
+        break;
+      case 2:
+        handle(idx, db.Delete(cur.id, random_key()), true);
+        break;
+      case 3:
+        handle(idx,
+               db.PredicateRead(cur.id, relation, rng.Pick(predicates))
+                   .status(),
+               true);
+        break;
+      case 4: {
+        // Predicate-based modification (§4.3.2): query, then write each
+        // matched row (bump val, keep dept so the matches stay stable).
+        TxnId txn = cur.id;
+        auto matched = db.PredicateRead(txn, relation, rng.Pick(predicates));
+        if (handle(idx, matched.status(), true)) break;
+        if (!matched.ok()) break;  // WouldBlock: retry whole op later
+        size_t limit = std::min<size_t>(matched->size(), 2);
+        for (size_t i = 0; i < limit; ++i) {
+          Row updated = (*matched)[i].second;
+          const Value* val = updated.Get("val");
+          updated.Set("val",
+                      Value((val != nullptr ? val->AsInt() : 0) + 1));
+          Status st =
+              db.Write(txn, ObjKey{relation, (*matched)[i].first}, updated);
+          // The transaction may die mid-update (deadlock victim).
+          bool gone = false;
+          for (size_t j = 0; j < active.size(); ++j) {
+            if (active[j].id == txn) {
+              gone = handle(j, st, false);
+              break;
+            }
+          }
+          if (gone || st.code() == StatusCode::kWouldBlock) break;
+        }
+        break;
+      }
+      default:
+        ADYA_UNREACHABLE();
+    }
+  }
+  return stats;
+}
+
+History GenerateRandomHistory(const RandomHistoryOptions& options) {
+  Rng rng(options.seed);
+  History h;
+  RelationId relation = h.AddRelation("R");
+  std::vector<ObjectId> objects;
+  for (int i = 0; i < options.num_objects; ++i) {
+    objects.push_back(h.AddObject(StrCat("o", LetterSuffix(i)), relation));
+  }
+  struct TxnGen {
+    TxnId id = 0;
+    int ops_left = 0;
+    std::map<ObjectId, uint32_t> writes;
+    bool finished = false;
+  };
+  std::vector<TxnGen> txns;
+  for (int i = 0; i < options.num_txns; ++i) {
+    TxnGen t;
+    t.id = static_cast<TxnId>(i + 1);
+    t.ops_left = options.ops_per_txn;
+    txns.push_back(std::move(t));
+  }
+  // All versions produced so far (all visible: the generator does not
+  // delete, so explicit version orders stay trivially dead-free).
+  std::vector<VersionId> produced;
+
+  int unfinished = static_cast<int>(txns.size());
+  while (unfinished > 0) {
+    TxnGen& t = txns[rng.NextBelow(txns.size())];
+    if (t.finished) continue;
+    if (t.ops_left <= 0) {
+      h.Append(rng.NextBool(options.abort_prob)
+                   ? Event::Abort(t.id)
+                   : Event::Commit(t.id));
+      t.finished = true;
+      --unfinished;
+      continue;
+    }
+    --t.ops_left;
+    bool do_write =
+        rng.PickWeighted({options.read_weight, options.write_weight}) == 1;
+    ObjectId obj = rng.Pick(objects);
+    if (!do_write) {
+      // Read-your-writes: a writer must observe its own latest version.
+      auto own = t.writes.find(obj);
+      if (own != t.writes.end()) {
+        h.Append(Event::Read(t.id, VersionId{obj, t.id, own->second}));
+        continue;
+      }
+      std::vector<VersionId> candidates;
+      if (options.realizable) {
+        // Single-version semantics: the current version is the latest write
+        // whose writer has not already aborted (aborted writes are rolled
+        // back in place).
+        for (auto it = produced.rbegin(); it != produced.rend(); ++it) {
+          if (it->object != obj) continue;
+          if (h.IsAborted(it->writer)) continue;
+          candidates.push_back(*it);
+          break;
+        }
+      } else {
+        for (const VersionId& v : produced) {
+          if (v.object == obj) candidates.push_back(v);
+        }
+      }
+      if (candidates.empty()) {
+        do_write = true;  // nothing to read yet: write instead
+      } else {
+        h.Append(Event::Read(t.id, rng.Pick(candidates)));
+        continue;
+      }
+    }
+    if (do_write) {
+      uint32_t seq = ++t.writes[obj];
+      VersionId vid{obj, t.id, seq};
+      h.Append(Event::Write(t.id, vid,
+                            ScalarRow(Value(rng.NextInRange(0, 99)))));
+      produced.push_back(vid);
+    }
+  }
+  // Adversarial version orders (multi-version-only histories).
+  for (ObjectId obj : objects) {
+    if (options.realizable) break;
+    if (!rng.NextBool(options.random_version_order_prob)) continue;
+    std::vector<TxnId> installers;
+    for (const TxnGen& t : txns) {
+      if (t.writes.count(obj) != 0 && h.IsCommitted(t.id)) {
+        installers.push_back(t.id);
+      }
+    }
+    if (installers.size() < 2) continue;
+    rng.Shuffle(installers);
+    h.SetVersionOrder(obj, installers);
+  }
+  Status st = h.Finalize();
+  ADYA_CHECK_MSG(st.ok(), "generated history must be well-formed: " << st);
+  return h;
+}
+
+}  // namespace adya::workload

@@ -1,0 +1,85 @@
+#ifndef ADYA_WORKLOAD_WORKLOAD_H_
+#define ADYA_WORKLOAD_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+
+namespace adya::workload {
+
+/// A randomized multi-transaction workload executed against a Database
+/// through the deterministic (non-blocking) interface: a seeded scheduler
+/// interleaves operations one at a time, retrying kWouldBlock operations
+/// later, so every run is exactly reproducible from its seed.
+struct WorkloadOptions {
+  uint64_t seed = 1;
+  int num_txns = 12;
+  int num_keys = 6;
+  int ops_per_txn = 4;
+  /// How many transactions run interleaved at once.
+  int max_active = 3;
+  /// Operation mix (weights, not probabilities).
+  double read_weight = 4;
+  double write_weight = 3;
+  double delete_weight = 0.5;
+  double pred_read_weight = 1;
+  double pred_update_weight = 1;
+  /// Probability a transaction voluntarily aborts instead of committing.
+  double abort_prob = 0.1;
+  /// Isolation levels to draw from (uniformly) for each transaction.
+  std::vector<IsolationLevel> levels{IsolationLevel::kPL3};
+  /// Safety valve: after this many scheduler steps, remaining transactions
+  /// are aborted (prevents livelock in pathological interleavings).
+  int max_steps = 100000;
+};
+
+struct WorkloadStats {
+  int committed = 0;
+  int aborted_voluntary = 0;
+  /// Aborted by the engine: deadlock victims or failed validation.
+  int aborted_engine = 0;
+  /// Aborted by the safety valve.
+  int aborted_stuck = 0;
+  int would_block_retries = 0;
+  int operations = 0;
+};
+
+/// Runs the workload; the database must have been created with
+/// Options{.blocking = false}. Inspect the execution afterwards with
+/// db.RecordedHistory().
+WorkloadStats RunWorkload(engine::Database& db, const WorkloadOptions& options);
+
+/// A direct random-history generator (no engine): produces well-formed but
+/// possibly anomalous histories — dirty/aborted/intermediate reads,
+/// interleaved writes, adversarial version orders. Drives the
+/// permissiveness experiment (§3) and checker fuzz tests. Item operations
+/// only; predicate behavior is exercised through the engine and the paper
+/// histories.
+struct RandomHistoryOptions {
+  uint64_t seed = 1;
+  int num_txns = 6;
+  int num_objects = 4;
+  int ops_per_txn = 3;
+  double read_weight = 1;
+  double write_weight = 1;
+  double abort_prob = 0.15;
+  /// Probability that an object's version order is a random permutation of
+  /// its installers instead of commit order. Ignored in realizable mode.
+  double random_version_order_prob = 0.3;
+  /// Restrict the generator to histories a single-version (dirty,
+  /// write-in-place) system could produce: reads observe the *current*
+  /// version (latest write whose writer has not yet aborted) and version
+  /// orders equal installation order. The preventative definitions of [8]
+  /// only speak about this class — the containment experiment (anything a
+  /// locking degree allows, the PL level allows) is stated over it, while
+  /// the default mode also explores multi-version-only histories such as
+  /// reads of superseded versions and adversarial version orders.
+  bool realizable = false;
+};
+
+History GenerateRandomHistory(const RandomHistoryOptions& options);
+
+}  // namespace adya::workload
+
+#endif  // ADYA_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "history/builder.h"
+
+namespace adya {
+namespace {
+
+TEST(BuilderTest, SimpleHistory) {
+  HistoryBuilder b;
+  b.W(1, "x", 5).Commit(1).R(2, "x", 1).Commit(2);
+  auto h = b.Build();
+  ASSERT_TRUE(h.ok()) << h.status();
+  EXPECT_EQ(h->events().size(), 4u);
+  EXPECT_TRUE(h->IsCommitted(1));
+  EXPECT_TRUE(h->IsCommitted(2));
+  ObjectId x = *h->FindObject("x");
+  EXPECT_EQ(h->VersionOrder(x), (std::vector<TxnId>{1}));
+}
+
+TEST(BuilderTest, ReadResolvesLatestVersion) {
+  HistoryBuilder b;
+  b.W(1, "x", 1).W(1, "x", 2);  // two modifications
+  b.R(2, "x", 1);               // reads x_{1:2}
+  b.Commit(1).Commit(2);
+  auto h = b.Build();
+  ASSERT_TRUE(h.ok()) << h.status();
+  const Event& read = h->event(2);
+  EXPECT_EQ(read.type, EventType::kRead);
+  EXPECT_EQ(read.version.seq, 2u);
+}
+
+TEST(BuilderTest, RVerReadsIntermediate) {
+  HistoryBuilder b;
+  b.W(1, "x", 1).W(1, "x", 2);
+  b.RVer(2, "x", 1, 1);  // intermediate read (a G1b candidate)
+  b.Commit(1).Commit(2);
+  auto h = b.Build();
+  ASSERT_TRUE(h.ok()) << h.status();
+  EXPECT_EQ(h->event(2).version.seq, 1u);
+}
+
+TEST(BuilderTest, RowsAndDeletes) {
+  HistoryBuilder b;
+  b.Relation("Emp").Object("x", "Emp");
+  b.W(1, "x", Row{{"dept", Value("Sales")}});
+  b.Delete(2, "x");
+  b.Commit(1).Commit(2);
+  auto h = b.Build();
+  ASSERT_TRUE(h.ok()) << h.status();
+  ObjectId x = *h->FindObject("x");
+  EXPECT_EQ(h->KindOf(VersionId{x, 2, 1}), VersionKind::kDead);
+  EXPECT_EQ(h->VersionOrder(x), (std::vector<TxnId>{1, 2}));
+}
+
+TEST(BuilderTest, PredicateReadWithVset) {
+  HistoryBuilder b;
+  b.Relation("Emp").Object("x", "Emp").Object("y", "Emp");
+  b.Pred("P", "dept = \"Sales\"", {"Emp"});
+  b.W(1, "x", Row{{"dept", Value("Sales")}});
+  b.W(1, "y", Row{{"dept", Value("Legal")}});
+  b.Commit(1);
+  b.PredR(2, "P", {"x@1", "y@1"});
+  b.R(2, "x", 1);
+  b.Commit(2);
+  auto h = b.Build();
+  ASSERT_TRUE(h.ok()) << h.status();
+  const Event& pr = h->event(3);
+  ASSERT_EQ(pr.type, EventType::kPredicateRead);
+  EXPECT_EQ(pr.vset.size(), 2u);
+}
+
+TEST(BuilderTest, PredicateVsetInitRef) {
+  HistoryBuilder b;
+  b.Relation("Emp").Object("x", "Emp");
+  b.Pred("P", "dept = \"Sales\"", {"Emp"});
+  b.PredR(1, "P", {"x@init"});
+  b.Commit(1);
+  auto h = b.Build();
+  ASSERT_TRUE(h.ok()) << h.status();
+  EXPECT_TRUE(h->event(0).vset[0].is_init());
+}
+
+TEST(BuilderTest, ExplicitVersionOrder) {
+  HistoryBuilder b;
+  b.W(1, "x", 1).W(2, "x", 2).Commit(1).Commit(2);
+  b.VersionOrder("x", {2, 1});
+  auto h = b.Build();
+  ASSERT_TRUE(h.ok()) << h.status();
+  ObjectId x = *h->FindObject("x");
+  EXPECT_EQ(h->VersionOrder(x), (std::vector<TxnId>{2, 1}));
+}
+
+TEST(BuilderTest, LevelsAndBegin) {
+  HistoryBuilder b;
+  b.Begin(1).W(1, "x", 1).Commit(1).Level(1, IsolationLevel::kPL2);
+  auto h = b.Build();
+  ASSERT_TRUE(h.ok()) << h.status();
+  EXPECT_EQ(h->txn_info(1).level, IsolationLevel::kPL2);
+  EXPECT_EQ(h->event(0).type, EventType::kBegin);
+}
+
+TEST(BuilderTest, UnfinishedTxnAutoAborted) {
+  HistoryBuilder b;
+  b.W(1, "x", 1);
+  auto h = b.Build();
+  ASSERT_TRUE(h.ok()) << h.status();
+  EXPECT_TRUE(h->IsAborted(1));
+}
+
+TEST(BuilderTest, BuildResetsBuilder) {
+  HistoryBuilder b;
+  b.W(1, "x", 1).Commit(1);
+  ASSERT_TRUE(b.Build().ok());
+  // A fresh history can be built afterwards.
+  b.W(1, "y", 2).Commit(1);
+  auto h2 = b.Build();
+  ASSERT_TRUE(h2.ok()) << h2.status();
+  EXPECT_TRUE(h2->FindObject("y").ok());
+  EXPECT_FALSE(h2->FindObject("x").ok());
+}
+
+}  // namespace
+}  // namespace adya

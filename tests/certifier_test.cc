@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "core/certifier.h"
+#include "core/levels.h"
+#include "history/parser.h"
+#include "workload/workload.h"
+
+namespace adya {
+namespace {
+
+TEST(CertifierTest, WithCommittedFlipsCompletion) {
+  auto h = ParseHistory("w1(x1) a1");  // running txn, auto-completed abort
+  ASSERT_TRUE(h.ok());
+  auto committed = WithCommitted(*h, 1);
+  ASSERT_TRUE(committed.ok()) << committed.status();
+  EXPECT_TRUE(committed->IsCommitted(1));
+  ObjectId x = *committed->FindObject("x");
+  EXPECT_EQ(committed->VersionOrder(x), (std::vector<TxnId>{1}));
+}
+
+TEST(CertifierTest, RequiresAbortedTxn) {
+  auto h = ParseHistory("w1(x1) c1");
+  ASSERT_TRUE(h.ok());
+  EXPECT_FALSE(WithCommitted(*h, 1).ok());
+  EXPECT_FALSE(WithCommitted(*h, 99).ok());
+}
+
+TEST(CertifierTest, CleanTransactionCanCommit) {
+  auto h = ParseHistory("w0(x0) c0 r1(x0) w1(y1)");  // T1 still running
+  ASSERT_TRUE(h.ok());
+  auto test = TestCommit(*h, 1, IsolationLevel::kPL3);
+  ASSERT_TRUE(test.ok()) << test.status();
+  EXPECT_TRUE(test->can_commit);
+}
+
+TEST(CertifierTest, StaleReadCannotCommitAtPL3) {
+  // T1 read x0, then T2 installed x2 and y2 and committed, and T1 also
+  // read y2: committing T1 would close a G2 cycle.
+  auto h = ParseHistory(
+      "w0(x0) w0(y0) c0 r1(x0) w2(x2) w2(y2) c2 r1(y2) w1(z1)");
+  ASSERT_TRUE(h.ok());
+  auto pl3 = TestCommit(*h, 1, IsolationLevel::kPL3);
+  ASSERT_TRUE(pl3.ok());
+  EXPECT_FALSE(pl3->can_commit);
+  ASSERT_FALSE(pl3->new_violations.empty());
+  EXPECT_EQ(pl3->new_violations[0].phenomenon, Phenomenon::kG2);
+  // …but PL-2 does not care about anti-dependencies: commit allowed.
+  auto pl2 = TestCommit(*h, 1, IsolationLevel::kPL2);
+  ASSERT_TRUE(pl2.ok());
+  EXPECT_TRUE(pl2->can_commit);
+}
+
+TEST(CertifierTest, DirtyReaderOfAbortedTxnCannotCommitAtPL2) {
+  auto h = ParseHistory("w1(x1) r2(x1) a1");  // T2 running, read aborted data
+  ASSERT_TRUE(h.ok());
+  auto test = TestCommit(*h, 2, IsolationLevel::kPL2);
+  ASSERT_TRUE(test.ok());
+  EXPECT_FALSE(test->can_commit);
+  EXPECT_EQ(test->new_violations[0].phenomenon, Phenomenon::kG1a);
+  // At PL-1 the read does not matter.
+  auto pl1 = TestCommit(*h, 2, IsolationLevel::kPL1);
+  ASSERT_TRUE(pl1.ok());
+  EXPECT_TRUE(pl1->can_commit);
+}
+
+TEST(CertifierTest, CannotInstallAfterDeadVersion) {
+  // T2 wrote x while running, but x has since been deleted (dead version
+  // is final in the order): committing T2 cannot produce a legal history.
+  auto h = ParseHistory("w0(x0) c0 w2(x2) w1(x1, dead) c1");
+  ASSERT_TRUE(h.ok());
+  EXPECT_FALSE(WithCommitted(*h, 2).ok());
+}
+
+TEST(CertifierTest, PreexistingViolationsAreNotChargedToTheCommitter) {
+  // The committed prefix already violates PL-3 (lost update between T1 and
+  // T2); the unrelated running T5 can still commit.
+  auto h = ParseHistory(
+      "w0(x0) c0 r1(x0) r2(x0) w1(x1) c1 w2(x2) c2 w5(q5) r5(q5)");
+  ASSERT_TRUE(h.ok());
+  ASSERT_FALSE(CheckLevel(*h, IsolationLevel::kPL3).satisfied);
+  auto test = TestCommit(*h, 5, IsolationLevel::kPL3);
+  ASSERT_TRUE(test.ok());
+  EXPECT_TRUE(test->can_commit);
+}
+
+class CertifierSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Agreement with the OCC engine: whenever the engine's backward validation
+// commits a transaction at PL-3, the certifier would also have allowed it
+// (the engine may be more conservative, never less).
+TEST_P(CertifierSweepTest, EngineCommitsAreCertifiable) {
+  auto db = engine::Database::Create(engine::Scheme::kOptimistic,
+                                     engine::Database::Options{});
+  workload::WorkloadOptions options;
+  options.seed = GetParam();
+  options.levels = {IsolationLevel::kPL3};
+  options.num_txns = 10;
+  workload::RunWorkload(*db, options);
+  auto history = db->RecordedHistory();
+  ASSERT_TRUE(history.ok());
+  // Replay: for each committed transaction, rebuild the prefix up to (but
+  // not including) its commit and ask the certifier.
+  for (TxnId txn : history->CommittedTransactions()) {
+    EventId commit = history->txn_info(txn).commit_event;
+    History prefix;
+    for (RelationId r = 0; r < history->relation_count(); ++r) {
+      prefix.AddRelation(history->relation_name(r));
+    }
+    for (ObjectId o = 0; o < history->object_count(); ++o) {
+      prefix.AddObject(history->object_name(o), history->object_relation(o));
+    }
+    for (PredicateId p = 0; p < history->predicate_count(); ++p) {
+      prefix.AddPredicate(history->predicate_name(p),
+                          history->predicate_ptr(p),
+                          history->predicate_relations(p));
+    }
+    for (EventId id = 0; id < commit; ++id) {
+      const Event& e = history->event(id);
+      // Keep only events of transactions finished before `commit`, plus
+      // the committing transaction's own — a consistent prefix.
+      if (e.txn != txn) {
+        const auto& info = history->txn_info(e.txn);
+        EventId done = info.commit_event != kNoEvent ? info.commit_event
+                                                     : info.abort_event;
+        if (done == kNoEvent || done > commit) continue;
+      }
+      prefix.Append(e);
+    }
+    ASSERT_TRUE(prefix.Finalize().ok());
+    if (!prefix.IsAborted(txn)) continue;  // nothing to certify
+    auto test = TestCommit(prefix, txn, IsolationLevel::kPL3);
+    ASSERT_TRUE(test.ok()) << test.status();
+    EXPECT_TRUE(test->can_commit)
+        << "seed " << GetParam() << ": engine committed T" << txn
+        << " but the certifier finds: "
+        << test->new_violations[0].description;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CertifierSweepTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace adya

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/str_util.h"
+
+namespace adya {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad history");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad history");
+  EXPECT_EQ(s.ToString(), "invalid_argument: bad history");
+}
+
+TEST(StatusTest, AllFactoryCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::WouldBlock("x").code(), StatusCode::kWouldBlock);
+  EXPECT_EQ(Status::TxnAborted("x").code(), StatusCode::kTxnAborted);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = []() -> Status { return Status::NotFound("missing"); };
+  auto wrapper = [&]() -> Status {
+    ADYA_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, AssignOrReturnUnwraps) {
+  auto produce = []() -> Result<int> { return 7; };
+  auto consume = [&]() -> Result<int> {
+    ADYA_ASSIGN_OR_RETURN(int v, produce());
+    return v + 1;
+  };
+  EXPECT_EQ(*consume(), 8);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  auto produce = []() -> Result<int> { return Status::Internal("boom"); };
+  auto consume = [&]() -> Result<int> {
+    ADYA_ASSIGN_OR_RETURN(int v, produce());
+    return v + 1;
+  };
+  EXPECT_EQ(consume().status().code(), StatusCode::kInternal);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 15);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.NextBelow(17), 17u);
+}
+
+TEST(RngTest, NextBelowHitsAllResidues) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextBelow(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextBoolExtremes) {
+  Rng rng(13);
+  EXPECT_FALSE(rng.NextBool(0.0));
+  EXPECT_TRUE(rng.NextBool(1.0));
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, PickWeightedRespectsZeroWeight) {
+  Rng rng(19);
+  for (int i = 0; i < 200; ++i) {
+    size_t pick = rng.PickWeighted({0.0, 1.0, 0.0});
+    EXPECT_EQ(pick, 1u);
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto original = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(StrUtilTest, StrCat) {
+  EXPECT_EQ(StrCat("a", 1, "-", 2.5), "a1-2.5");
+  EXPECT_EQ(StrCat(), "");
+}
+
+TEST(StrUtilTest, StrJoin) {
+  std::vector<std::string> parts{"a", "b", "c"};
+  EXPECT_EQ(StrJoin(parts, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin(std::vector<int>{}, ","), "");
+}
+
+TEST(StrUtilTest, StrSplitKeepsEmptyPieces) {
+  auto parts = StrSplit("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StrUtilTest, StripAsciiWhitespace) {
+  EXPECT_EQ(StripAsciiWhitespace("  x y \t\n"), "x y");
+  EXPECT_EQ(StripAsciiWhitespace("   "), "");
+  EXPECT_EQ(StripAsciiWhitespace(""), "");
+}
+
+TEST(StrUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_FALSE(StartsWith("hello", "hello!"));
+  EXPECT_TRUE(EndsWith("hello", "lo"));
+  EXPECT_FALSE(EndsWith("lo", "hello"));
+}
+
+}  // namespace
+}  // namespace adya

@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/conflicts.h"
+#include "history/builder.h"
+#include "history/parser.h"
+
+namespace adya {
+namespace {
+
+std::vector<Dependency> Deps(const History& h, bool start_edges = false) {
+  ConflictOptions options;
+  options.include_start_edges = start_edges;
+  return ComputeDependencies(h, options);
+}
+
+bool HasDep(const std::vector<Dependency>& deps, TxnId from, TxnId to,
+            DepKind kind) {
+  return std::any_of(deps.begin(), deps.end(), [&](const Dependency& d) {
+    return d.from == from && d.to == to && d.kind == kind;
+  });
+}
+
+size_t CountKind(const std::vector<Dependency>& deps, DepKind kind) {
+  return std::count_if(deps.begin(), deps.end(),
+                       [&](const Dependency& d) { return d.kind == kind; });
+}
+
+TEST(ConflictsTest, WriteDependencyFollowsVersionOrder) {
+  auto h = ParseHistory("w1(x1) c1 w2(x2) c2 w3(x3) c3");
+  ASSERT_TRUE(h.ok());
+  auto deps = Deps(*h);
+  EXPECT_TRUE(HasDep(deps, 1, 2, DepKind::kWW));
+  EXPECT_TRUE(HasDep(deps, 2, 3, DepKind::kWW));
+  // Only adjacent pairs in the version order conflict directly.
+  EXPECT_FALSE(HasDep(deps, 1, 3, DepKind::kWW));
+  EXPECT_EQ(CountKind(deps, DepKind::kWW), 2u);
+}
+
+TEST(ConflictsTest, WriteDependencyUsesExplicitOrder) {
+  auto h = ParseHistory("w1(x1) w2(x2) c1 c2 [x2 << x1]");
+  ASSERT_TRUE(h.ok());
+  auto deps = Deps(*h);
+  EXPECT_TRUE(HasDep(deps, 2, 1, DepKind::kWW));
+  EXPECT_FALSE(HasDep(deps, 1, 2, DepKind::kWW));
+}
+
+TEST(ConflictsTest, ItemReadDependency) {
+  auto h = ParseHistory("w1(x1) c1 r2(x1) c2");
+  ASSERT_TRUE(h.ok());
+  auto deps = Deps(*h);
+  EXPECT_TRUE(HasDep(deps, 1, 2, DepKind::kWRItem));
+}
+
+TEST(ConflictsTest, ReadFromAbortedWriterYieldsNoEdge) {
+  auto h = ParseHistory("w1(x1) r2(x1) a1 c2");
+  ASSERT_TRUE(h.ok());
+  auto deps = Deps(*h);
+  EXPECT_EQ(deps.size(), 0u);  // aborted writers are not DSG nodes
+}
+
+TEST(ConflictsTest, AbortedReaderYieldsNoEdge) {
+  auto h = ParseHistory("w1(x1) c1 r2(x1) a2");
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(Deps(*h).size(), 0u);
+}
+
+TEST(ConflictsTest, ItemAntiDependency) {
+  // T2 reads x1; T3 installs the next version: T2 --rw--> T3.
+  auto h = ParseHistory("w1(x1) c1 r2(x1) c2 w3(x3) c3");
+  ASSERT_TRUE(h.ok());
+  auto deps = Deps(*h);
+  EXPECT_TRUE(HasDep(deps, 2, 3, DepKind::kRWItem));
+  // The anti-dependency targets only the *next* version's installer.
+  auto h2 = ParseHistory("w1(x1) c1 r2(x1) c2 w3(x3) c3 w4(x4) c4");
+  ASSERT_TRUE(h2.ok());
+  auto deps2 = Deps(*h2);
+  EXPECT_TRUE(HasDep(deps2, 2, 3, DepKind::kRWItem));
+  EXPECT_FALSE(HasDep(deps2, 2, 4, DepKind::kRWItem));
+}
+
+TEST(ConflictsTest, ReadThenOwnWriteIsNoSelfAntiDependency) {
+  auto h = ParseHistory("w0(x0) c0 r1(x0) w1(x1) c1");
+  ASSERT_TRUE(h.ok());
+  auto deps = Deps(*h);
+  EXPECT_EQ(CountKind(deps, DepKind::kRWItem), 0u);
+  EXPECT_TRUE(HasDep(deps, 0, 1, DepKind::kWW));
+  EXPECT_TRUE(HasDep(deps, 0, 1, DepKind::kWRItem));
+}
+
+TEST(ConflictsTest, PredicateReadDependsOnLatestChange) {
+  // H_pred_read (§4.4.1): T0 inserts x into Sales, T1 moves it to Legal,
+  // T2 updates its phone. T3's Sales query selects x2 but depends on T1.
+  auto h = ParseHistory(
+      "relation Emp; object x in Emp; object y in Emp;\n"
+      "pred P on Emp: dept = \"Sales\";\n"
+      "w0(x0, {dept: \"Sales\"}) c0\n"
+      "w1(x1, {dept: \"Legal\"}) c1\n"
+      "w2(x2, {dept: \"Legal\", phone: 42})\n"
+      "r3(P: x2, yinit)\n"
+      "c2 c3");
+  ASSERT_TRUE(h.ok()) << h.status();
+  auto deps = Deps(*h);
+  EXPECT_TRUE(HasDep(deps, 1, 3, DepKind::kWRPred));
+  EXPECT_FALSE(HasDep(deps, 0, 3, DepKind::kWRPred));
+  EXPECT_FALSE(HasDep(deps, 2, 3, DepKind::kWRPred));
+}
+
+TEST(ConflictsTest, PredicateReadNoChangeNoEdge) {
+  // x was never in Sales: nothing ever changed the matches, no wr(pred).
+  auto h = ParseHistory(
+      "relation Emp; object x in Emp;\n"
+      "pred P on Emp: dept = \"Sales\";\n"
+      "w0(x0, {dept: \"Legal\"}) c0 r1(P: x0) c1");
+  ASSERT_TRUE(h.ok()) << h.status();
+  auto deps = Deps(*h);
+  EXPECT_EQ(CountKind(deps, DepKind::kWRPred), 0u);
+}
+
+TEST(ConflictsTest, PredicateAntiDependencyOnInsert) {
+  // T1 reads Sales (empty: x unborn); T2 inserts x into Sales: phantom.
+  auto h = ParseHistory(
+      "relation Emp; object x in Emp;\n"
+      "pred P on Emp: dept = \"Sales\";\n"
+      "r1(P: xinit) w2(x2, {dept: \"Sales\"}) c2 c1");
+  ASSERT_TRUE(h.ok()) << h.status();
+  auto deps = Deps(*h);
+  EXPECT_TRUE(HasDep(deps, 1, 2, DepKind::kRWPred));
+}
+
+TEST(ConflictsTest, PredicateAntiDependencyImplicitInitSelection) {
+  // The version set omits x entirely: x_init is implicitly selected, so the
+  // insert still overwrites the read.
+  auto h = ParseHistory(
+      "relation Emp; object x in Emp; object y in Emp;\n"
+      "pred P on Emp: dept = \"Sales\";\n"
+      "w0(y0, {dept: \"Sales\"}) c0\n"
+      "r1(P: y0) w2(x2, {dept: \"Sales\"}) c2 c1");
+  ASSERT_TRUE(h.ok()) << h.status();
+  EXPECT_TRUE(HasDep(Deps(*h), 1, 2, DepKind::kRWPred));
+}
+
+TEST(ConflictsTest, PredicateAntiDependencyOnDelete) {
+  auto h = ParseHistory(
+      "relation Emp; object x in Emp;\n"
+      "pred P on Emp: dept = \"Sales\";\n"
+      "w0(x0, {dept: \"Sales\"}) c0\n"
+      "r1(P: x0) r1(x0) w2(x2, dead) c2 c1");
+  ASSERT_TRUE(h.ok()) << h.status();
+  auto deps = Deps(*h);
+  EXPECT_TRUE(HasDep(deps, 1, 2, DepKind::kRWPred));
+  EXPECT_TRUE(HasDep(deps, 1, 2, DepKind::kRWItem));  // read x0, next is x2
+}
+
+TEST(ConflictsTest, PredicateAntiDependencyOnDepartmentMove) {
+  // Moving y INTO Sales and moving x OUT of Sales both overwrite the read.
+  auto h = ParseHistory(
+      "relation Emp; object x in Emp; object y in Emp;\n"
+      "pred P on Emp: dept = \"Sales\";\n"
+      "w0(x0, {dept: \"Sales\"}) w0(y0, {dept: \"Legal\"}) c0\n"
+      "r1(P: x0, y0)\n"
+      "w2(y2, {dept: \"Sales\"}) c2\n"
+      "w3(x3, {dept: \"Legal\"}) c3 c1");
+  ASSERT_TRUE(h.ok()) << h.status();
+  auto deps = Deps(*h);
+  EXPECT_TRUE(HasDep(deps, 1, 2, DepKind::kRWPred));
+  EXPECT_TRUE(HasDep(deps, 1, 3, DepKind::kRWPred));
+}
+
+TEST(ConflictsTest, IrrelevantWriteDoesNotAntiDepend) {
+  // T2's phone update does not change the matches: precision-lock behavior
+  // (§4.4.2) — no predicate-anti-dependency.
+  auto h = ParseHistory(
+      "relation Emp; object x in Emp;\n"
+      "pred P on Emp: dept = \"Sales\";\n"
+      "w0(x0, {dept: \"Sales\"}) c0\n"
+      "r1(P: x0)\n"
+      "w2(x2, {dept: \"Sales\", phone: 42}) c2 c1");
+  ASSERT_TRUE(h.ok()) << h.status();
+  EXPECT_EQ(CountKind(Deps(*h), DepKind::kRWPred), 0u);
+}
+
+TEST(ConflictsTest, PredicateEdgesEveryLaterChanger) {
+  // Definition 4: every later committed changer anti-depends, not just the
+  // next one. x0 in Sales; T2 removes it; T3 re-adds it (both change).
+  auto h = ParseHistory(
+      "relation Emp; object x in Emp;\n"
+      "pred P on Emp: dept = \"Sales\";\n"
+      "w0(x0, {dept: \"Sales\"}) c0\n"
+      "r1(P: x0)\n"
+      "w2(x2, {dept: \"Legal\"}) c2\n"
+      "w3(x3, {dept: \"Sales\"}) c3 c1");
+  ASSERT_TRUE(h.ok()) << h.status();
+  auto deps = Deps(*h);
+  EXPECT_TRUE(HasDep(deps, 1, 2, DepKind::kRWPred));
+  EXPECT_TRUE(HasDep(deps, 1, 3, DepKind::kRWPred));
+}
+
+TEST(ConflictsTest, VsetEntryFromUncommittedWriterSkipped) {
+  // T2's version is never committed: it has no position in the version
+  // order and contributes no predicate edges (G1a polices the history).
+  auto h = ParseHistory(
+      "relation Emp; object x in Emp;\n"
+      "pred P on Emp: dept = \"Sales\";\n"
+      "w2(x2, {dept: \"Sales\"}) r1(P: x2) a2 c1");
+  ASSERT_TRUE(h.ok()) << h.status();
+  EXPECT_EQ(Deps(*h).size(), 0u);
+}
+
+TEST(ConflictsTest, StartDependencies) {
+  auto h = ParseHistory("b1 w1(x1) c1 b2 r2(x1) c2 b3 c3");
+  ASSERT_TRUE(h.ok());
+  auto deps = Deps(*h, /*start_edges=*/true);
+  EXPECT_TRUE(HasDep(deps, 1, 2, DepKind::kStart));
+  EXPECT_TRUE(HasDep(deps, 1, 3, DepKind::kStart));
+  EXPECT_TRUE(HasDep(deps, 2, 3, DepKind::kStart));
+  EXPECT_FALSE(HasDep(deps, 2, 1, DepKind::kStart));
+}
+
+TEST(ConflictsTest, NoStartEdgeForConcurrentTxns) {
+  auto h = ParseHistory("b1 b2 w1(x1) c1 r2(x1) c2");
+  ASSERT_TRUE(h.ok());
+  auto deps = Deps(*h, /*start_edges=*/true);
+  EXPECT_FALSE(HasDep(deps, 1, 2, DepKind::kStart));
+  EXPECT_FALSE(HasDep(deps, 2, 1, DepKind::kStart));
+  EXPECT_TRUE(HasDep(deps, 1, 2, DepKind::kWRItem));
+}
+
+TEST(ConflictsTest, DescribeMentionsTransactionsAndKind) {
+  auto h = ParseHistory("w1(x1) c1 r2(x1) c2");
+  ASSERT_TRUE(h.ok());
+  auto deps = Deps(*h);
+  ASSERT_FALSE(deps.empty());
+  std::string text = deps[0].Describe(*h);
+  EXPECT_NE(text.find("T1"), std::string::npos);
+  EXPECT_NE(text.find("T2"), std::string::npos);
+  EXPECT_NE(text.find("wr"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adya

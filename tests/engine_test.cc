@@ -1,0 +1,503 @@
+#include <gtest/gtest.h>
+
+#include "core/levels.h"
+#include "core/msg.h"
+#include "core/preventative.h"
+#include "engine/database.h"
+#include "engine/locking_scheduler.h"
+
+namespace adya::engine {
+namespace {
+
+std::shared_ptr<const Predicate> Pred(const std::string& text) {
+  auto p = ParsePredicate(text);
+  ADYA_CHECK(p.ok());
+  return std::shared_ptr<const Predicate>(std::move(*p));
+}
+
+Row SalesRow(int val) {
+  return Row{{"dept", Value("Sales")}, {"val", Value(val)}};
+}
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void Make(Scheme scheme) {
+    db_ = Database::Create(scheme, Database::Options{});
+    rel_ = db_->AddRelation("R");
+  }
+  ObjKey K(const std::string& key) { return ObjKey{rel_, key}; }
+
+  TxnId MustBegin(IsolationLevel level) {
+    auto txn = db_->Begin(level);
+    ADYA_CHECK_MSG(txn.ok(), txn.status());
+    return *txn;
+  }
+
+  History Recorded() {
+    auto h = db_->RecordedHistory();
+    ADYA_CHECK_MSG(h.ok(), h.status());
+    return std::move(*h);
+  }
+
+  std::unique_ptr<Database> db_;
+  RelationId rel_ = 0;
+};
+
+// --- generic behavior (runs against every scheme) ---------------------------
+
+class AllSchemesTest : public EngineTest,
+                       public ::testing::WithParamInterface<Scheme> {
+ protected:
+  IsolationLevel DefaultLevel() {
+    return GetParam() == Scheme::kMultiversion ? IsolationLevel::kPLSI
+                                               : IsolationLevel::kPL3;
+  }
+};
+
+TEST_P(AllSchemesTest, CommittedWritesAreVisibleToLaterTxns) {
+  Make(GetParam());
+  TxnId t1 = MustBegin(DefaultLevel());
+  ASSERT_TRUE(db_->Write(t1, K("x"), ScalarRow(5)).ok());
+  ASSERT_TRUE(db_->Commit(t1).ok());
+  TxnId t2 = MustBegin(DefaultLevel());
+  auto read = db_->Read(t2, K("x"));
+  ASSERT_TRUE(read.ok());
+  ASSERT_TRUE(read->has_value());
+  EXPECT_EQ((*read)->Get(kScalarAttr)->AsInt(), 5);
+}
+
+TEST_P(AllSchemesTest, AbortedWritesAreInvisible) {
+  Make(GetParam());
+  TxnId t1 = MustBegin(DefaultLevel());
+  ASSERT_TRUE(db_->Write(t1, K("x"), ScalarRow(5)).ok());
+  ASSERT_TRUE(db_->Abort(t1).ok());
+  TxnId t2 = MustBegin(DefaultLevel());
+  auto read = db_->Read(t2, K("x"));
+  ASSERT_TRUE(read.ok());
+  EXPECT_FALSE(read->has_value());
+}
+
+TEST_P(AllSchemesTest, ReadYourOwnWrites) {
+  Make(GetParam());
+  TxnId t1 = MustBegin(DefaultLevel());
+  ASSERT_TRUE(db_->Write(t1, K("x"), ScalarRow(1)).ok());
+  ASSERT_TRUE(db_->Write(t1, K("x"), ScalarRow(2)).ok());
+  auto read = db_->Read(t1, K("x"));
+  ASSERT_TRUE(read.ok() && read->has_value());
+  EXPECT_EQ((*read)->Get(kScalarAttr)->AsInt(), 2);
+  ASSERT_TRUE(db_->Delete(t1, K("x")).ok());
+  read = db_->Read(t1, K("x"));
+  ASSERT_TRUE(read.ok());
+  EXPECT_FALSE(read->has_value());
+}
+
+TEST_P(AllSchemesTest, DeleteOfAbsentRowIsNotFound) {
+  Make(GetParam());
+  TxnId t1 = MustBegin(DefaultLevel());
+  EXPECT_EQ(db_->Delete(t1, K("x")).code(), StatusCode::kNotFound);
+}
+
+TEST_P(AllSchemesTest, ReinsertCreatesNewIncarnation) {
+  Make(GetParam());
+  TxnId t1 = MustBegin(DefaultLevel());
+  ASSERT_TRUE(db_->Write(t1, K("x"), ScalarRow(1)).ok());
+  ASSERT_TRUE(db_->Commit(t1).ok());
+  TxnId t2 = MustBegin(DefaultLevel());
+  ASSERT_TRUE(db_->Delete(t2, K("x")).ok());
+  ASSERT_TRUE(db_->Commit(t2).ok());
+  TxnId t3 = MustBegin(DefaultLevel());
+  ASSERT_TRUE(db_->Write(t3, K("x"), ScalarRow(2)).ok());
+  ASSERT_TRUE(db_->Commit(t3).ok());
+  History h = Recorded();
+  EXPECT_TRUE(h.FindObject("x").ok());
+  EXPECT_TRUE(h.FindObject("x#2").ok());
+  EXPECT_TRUE(Classify(h).Satisfies(IsolationLevel::kPL3));
+}
+
+TEST_P(AllSchemesTest, DeleteThenReinsertWithinOneTxn) {
+  Make(GetParam());
+  TxnId t1 = MustBegin(DefaultLevel());
+  ASSERT_TRUE(db_->Write(t1, K("x"), ScalarRow(1)).ok());
+  ASSERT_TRUE(db_->Commit(t1).ok());
+  TxnId t2 = MustBegin(DefaultLevel());
+  ASSERT_TRUE(db_->Delete(t2, K("x")).ok());
+  ASSERT_TRUE(db_->Write(t2, K("x"), ScalarRow(2)).ok());
+  ASSERT_TRUE(db_->Commit(t2).ok());
+  TxnId t3 = MustBegin(DefaultLevel());
+  auto read = db_->Read(t3, K("x"));
+  ASSERT_TRUE(read.ok() && read->has_value());
+  EXPECT_EQ((*read)->Get(kScalarAttr)->AsInt(), 2);
+  History h = Recorded();
+  Status st = h.Finalize();  // already finalized; idempotent
+  EXPECT_TRUE(st.ok());
+  EXPECT_TRUE(Classify(h).Satisfies(IsolationLevel::kPL3));
+}
+
+TEST_P(AllSchemesTest, PredicateReadReturnsMatches) {
+  Make(GetParam());
+  TxnId t1 = MustBegin(DefaultLevel());
+  ASSERT_TRUE(db_->Write(t1, K("a"), SalesRow(1)).ok());
+  ASSERT_TRUE(
+      db_->Write(t1, K("b"), Row{{"dept", Value("Legal")}}).ok());
+  ASSERT_TRUE(db_->Commit(t1).ok());
+  TxnId t2 = MustBegin(DefaultLevel());
+  auto matched = db_->PredicateRead(t2, rel_, Pred("dept = \"Sales\""));
+  ASSERT_TRUE(matched.ok());
+  ASSERT_EQ(matched->size(), 1u);
+  EXPECT_EQ((*matched)[0].first, "a");
+}
+
+TEST_P(AllSchemesTest, OpsOnFinishedTxnFail) {
+  Make(GetParam());
+  TxnId t1 = MustBegin(DefaultLevel());
+  ASSERT_TRUE(db_->Commit(t1).ok());
+  EXPECT_EQ(db_->Write(t1, K("x"), ScalarRow(1)).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(db_->Commit(t1).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(db_->Read(99, K("x")).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_P(AllSchemesTest, RecordedHistoryIsWellFormed) {
+  Make(GetParam());
+  TxnId t1 = MustBegin(DefaultLevel());
+  ASSERT_TRUE(db_->Write(t1, K("x"), SalesRow(7)).ok());
+  ASSERT_TRUE(db_->Commit(t1).ok());
+  TxnId t2 = MustBegin(DefaultLevel());
+  (void)db_->PredicateRead(t2, rel_, Pred("dept = \"Sales\""));
+  ASSERT_TRUE(db_->Abort(t2).ok());
+  History h = Recorded();
+  EXPECT_TRUE(h.finalized());
+  EXPECT_TRUE(h.IsCommitted(t1));
+  EXPECT_TRUE(h.IsAborted(t2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, AllSchemesTest,
+                         ::testing::Values(Scheme::kLocking,
+                                           Scheme::kOptimistic,
+                                           Scheme::kMultiversion),
+                         [](const auto& info) {
+                           return std::string(SchemeName(info.param));
+                         });
+
+// --- locking-specific -------------------------------------------------------
+
+TEST_F(EngineTest, LockingDirtyReadAtPL1) {
+  Make(Scheme::kLocking);
+  TxnId t1 = MustBegin(IsolationLevel::kPL1);
+  ASSERT_TRUE(db_->Write(t1, K("x"), ScalarRow(9)).ok());
+  TxnId t2 = MustBegin(IsolationLevel::kPL1);
+  auto read = db_->Read(t2, K("x"));
+  ASSERT_TRUE(read.ok() && read->has_value());
+  EXPECT_EQ((*read)->Get(kScalarAttr)->AsInt(), 9);  // dirty!
+  ASSERT_TRUE(db_->Abort(t1).ok());
+  ASSERT_TRUE(db_->Commit(t2).ok());
+  History h = Recorded();
+  Classification c = Classify(h);
+  EXPECT_TRUE(c.Satisfies(IsolationLevel::kPL1));
+  EXPECT_FALSE(c.Satisfies(IsolationLevel::kPL2));  // G1a: aborted read
+  // …but the PL-1 transaction asked for exactly that: mixing-correct.
+  auto mix = CheckMixingCorrect(h);
+  ASSERT_TRUE(mix.ok());
+  EXPECT_TRUE(mix->mixing_correct);
+}
+
+TEST_F(EngineTest, LockingReadBlocksOnUncommittedWriteAtPL2) {
+  Make(Scheme::kLocking);
+  TxnId t1 = MustBegin(IsolationLevel::kPL3);
+  ASSERT_TRUE(db_->Write(t1, K("x"), ScalarRow(1)).ok());
+  TxnId t2 = MustBegin(IsolationLevel::kPL2);
+  EXPECT_EQ(db_->Read(t2, K("x")).status().code(), StatusCode::kWouldBlock);
+  ASSERT_TRUE(db_->Commit(t1).ok());
+  auto read = db_->Read(t2, K("x"));
+  ASSERT_TRUE(read.ok() && read->has_value());
+  EXPECT_EQ((*read)->Get(kScalarAttr)->AsInt(), 1);
+}
+
+TEST_F(EngineTest, LockingShortReadLocksAllowUnrepeatableReadsAtPL2) {
+  Make(Scheme::kLocking);
+  TxnId t0 = MustBegin(IsolationLevel::kPL3);
+  ASSERT_TRUE(db_->Write(t0, K("x"), ScalarRow(1)).ok());
+  ASSERT_TRUE(db_->Commit(t0).ok());
+  TxnId t1 = MustBegin(IsolationLevel::kPL2);
+  ASSERT_TRUE(db_->Read(t1, K("x")).ok());
+  TxnId t2 = MustBegin(IsolationLevel::kPL3);
+  ASSERT_TRUE(db_->Write(t2, K("x"), ScalarRow(2)).ok());  // not blocked
+  ASSERT_TRUE(db_->Commit(t2).ok());
+  auto again = db_->Read(t1, K("x"));
+  ASSERT_TRUE(again.ok() && again->has_value());
+  EXPECT_EQ((*again)->Get(kScalarAttr)->AsInt(), 2);  // unrepeatable
+  ASSERT_TRUE(db_->Commit(t1).ok());
+  Classification c = Classify(Recorded());
+  EXPECT_TRUE(c.Satisfies(IsolationLevel::kPL2));
+  EXPECT_FALSE(c.Satisfies(IsolationLevel::kPL299));
+}
+
+TEST_F(EngineTest, LockingLongReadLocksBlockWritersAtPL299) {
+  Make(Scheme::kLocking);
+  TxnId t0 = MustBegin(IsolationLevel::kPL3);
+  ASSERT_TRUE(db_->Write(t0, K("x"), ScalarRow(1)).ok());
+  ASSERT_TRUE(db_->Commit(t0).ok());
+  TxnId t1 = MustBegin(IsolationLevel::kPL299);
+  ASSERT_TRUE(db_->Read(t1, K("x")).ok());
+  TxnId t2 = MustBegin(IsolationLevel::kPL3);
+  EXPECT_EQ(db_->Write(t2, K("x"), ScalarRow(2)).code(),
+            StatusCode::kWouldBlock);
+  ASSERT_TRUE(db_->Commit(t1).ok());
+  EXPECT_TRUE(db_->Write(t2, K("x"), ScalarRow(2)).ok());
+}
+
+TEST_F(EngineTest, LockingPhantomAllowedAtPL299) {
+  Make(Scheme::kLocking);
+  auto sales = Pred("dept = \"Sales\"");
+  TxnId t0 = MustBegin(IsolationLevel::kPL3);
+  ASSERT_TRUE(db_->Write(t0, K("a"), SalesRow(10)).ok());
+  ASSERT_TRUE(db_->Commit(t0).ok());
+  TxnId t1 = MustBegin(IsolationLevel::kPL299);
+  ASSERT_TRUE(db_->PredicateRead(t1, rel_, sales).ok());
+  // The phantom lock was short: a new Sales employee can appear.
+  TxnId t2 = MustBegin(IsolationLevel::kPL3);
+  ASSERT_TRUE(db_->Write(t2, K("b"), SalesRow(20)).ok());
+  ASSERT_TRUE(db_->Commit(t2).ok());
+  auto matched = db_->PredicateRead(t1, rel_, sales);
+  ASSERT_TRUE(matched.ok());
+  EXPECT_EQ(matched->size(), 2u);  // phantom observed
+  ASSERT_TRUE(db_->Commit(t1).ok());
+  Classification c = Classify(Recorded());
+  EXPECT_TRUE(c.Satisfies(IsolationLevel::kPL299));
+  EXPECT_FALSE(c.Satisfies(IsolationLevel::kPL3));
+}
+
+TEST_F(EngineTest, LockingPhantomBlockedAtPL3) {
+  Make(Scheme::kLocking);
+  auto sales = Pred("dept = \"Sales\"");
+  TxnId t1 = MustBegin(IsolationLevel::kPL3);
+  ASSERT_TRUE(db_->PredicateRead(t1, rel_, sales).ok());
+  TxnId t2 = MustBegin(IsolationLevel::kPL3);
+  // Inserting a matching row blocks; a non-matching row passes (precision
+  // locks, §4.4.2).
+  EXPECT_EQ(db_->Write(t2, K("b"), SalesRow(20)).code(),
+            StatusCode::kWouldBlock);
+  EXPECT_TRUE(db_->Write(t2, K("c"), Row{{"dept", Value("Legal")}}).ok());
+  ASSERT_TRUE(db_->Commit(t1).ok());
+  EXPECT_TRUE(db_->Write(t2, K("b"), SalesRow(20)).ok());
+  ASSERT_TRUE(db_->Commit(t2).ok());
+  EXPECT_TRUE(Classify(Recorded()).Satisfies(IsolationLevel::kPL3));
+}
+
+TEST_F(EngineTest, LockingDeadlockVictimIsAborted) {
+  Make(Scheme::kLocking);
+  TxnId t1 = MustBegin(IsolationLevel::kPL3);
+  TxnId t2 = MustBegin(IsolationLevel::kPL3);
+  ASSERT_TRUE(db_->Write(t1, K("a"), ScalarRow(1)).ok());
+  ASSERT_TRUE(db_->Write(t2, K("b"), ScalarRow(2)).ok());
+  EXPECT_EQ(db_->Write(t1, K("b"), ScalarRow(3)).code(),
+            StatusCode::kWouldBlock);
+  EXPECT_EQ(db_->Write(t2, K("a"), ScalarRow(4)).code(),
+            StatusCode::kTxnAborted);
+  // The victim is gone; the survivor can proceed.
+  EXPECT_EQ(db_->Commit(t2).code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(db_->Write(t1, K("b"), ScalarRow(3)).ok());
+  ASSERT_TRUE(db_->Commit(t1).ok());
+  History h = Recorded();
+  EXPECT_TRUE(h.IsAborted(t2));
+  EXPECT_TRUE(Classify(h).Satisfies(IsolationLevel::kPL3));
+}
+
+// --- optimistic-specific ----------------------------------------------------
+
+TEST_F(EngineTest, OccAdmitsH2PrimeStyleInterleaving) {
+  // The paper's §3 point, executed: reads of old values concurrent with an
+  // uncommitted writer — P2 forbids the interleaving, OCC commits it, and
+  // the result is serializable (PL-3).
+  Make(Scheme::kOptimistic);
+  TxnId t0 = MustBegin(IsolationLevel::kPL3);
+  ASSERT_TRUE(db_->Write(t0, K("x"), ScalarRow(5)).ok());
+  ASSERT_TRUE(db_->Write(t0, K("y"), ScalarRow(5)).ok());
+  ASSERT_TRUE(db_->Commit(t0).ok());
+  TxnId t1 = MustBegin(IsolationLevel::kPL3);
+  TxnId t2 = MustBegin(IsolationLevel::kPL3);
+  ASSERT_TRUE(db_->Read(t2, K("x")).ok());
+  ASSERT_TRUE(db_->Read(t1, K("x")).ok());
+  ASSERT_TRUE(db_->Write(t1, K("x"), ScalarRow(1)).ok());
+  ASSERT_TRUE(db_->Read(t1, K("y")).ok());
+  ASSERT_TRUE(db_->Read(t2, K("y")).ok());
+  ASSERT_TRUE(db_->Write(t1, K("y"), ScalarRow(9)).ok());
+  ASSERT_TRUE(db_->Commit(t2).ok());  // T2 first: reads validate trivially
+  ASSERT_TRUE(db_->Commit(t1).ok());
+  History h = Recorded();
+  Classification c = Classify(h);
+  EXPECT_TRUE(c.Satisfies(IsolationLevel::kPL3));
+  EXPECT_FALSE(CheckDegree(h, LockingDegree::kSerializable).allowed);
+  EXPECT_TRUE(
+      CheckPreventative(h, PreventativePhenomenon::kP2).has_value());
+}
+
+TEST_F(EngineTest, OccAbortsStaleReadAtPL3) {
+  Make(Scheme::kOptimistic);
+  TxnId t0 = MustBegin(IsolationLevel::kPL3);
+  ASSERT_TRUE(db_->Write(t0, K("x"), ScalarRow(5)).ok());
+  ASSERT_TRUE(db_->Commit(t0).ok());
+  TxnId t1 = MustBegin(IsolationLevel::kPL3);
+  ASSERT_TRUE(db_->Read(t1, K("x")).ok());
+  TxnId t2 = MustBegin(IsolationLevel::kPL3);
+  ASSERT_TRUE(db_->Write(t2, K("x"), ScalarRow(6)).ok());
+  ASSERT_TRUE(db_->Commit(t2).ok());
+  ASSERT_TRUE(db_->Write(t1, K("y"), ScalarRow(1)).ok());
+  EXPECT_EQ(db_->Commit(t1).code(), StatusCode::kTxnAborted);
+  EXPECT_TRUE(Classify(Recorded()).Satisfies(IsolationLevel::kPL3));
+}
+
+TEST_F(EngineTest, OccWriteSkewCommitsAtPL2ButNotPL3) {
+  Make(Scheme::kOptimistic);
+  for (IsolationLevel level :
+       {IsolationLevel::kPL2, IsolationLevel::kPL3}) {
+    Make(Scheme::kOptimistic);
+    TxnId t0 = MustBegin(IsolationLevel::kPL3);
+    ASSERT_TRUE(db_->Write(t0, K("x"), ScalarRow(5)).ok());
+    ASSERT_TRUE(db_->Write(t0, K("y"), ScalarRow(5)).ok());
+    ASSERT_TRUE(db_->Commit(t0).ok());
+    TxnId t1 = MustBegin(level);
+    TxnId t2 = MustBegin(level);
+    ASSERT_TRUE(db_->Read(t1, K("x")).ok());
+    ASSERT_TRUE(db_->Read(t1, K("y")).ok());
+    ASSERT_TRUE(db_->Read(t2, K("x")).ok());
+    ASSERT_TRUE(db_->Read(t2, K("y")).ok());
+    ASSERT_TRUE(db_->Write(t1, K("x"), ScalarRow(-5)).ok());
+    ASSERT_TRUE(db_->Write(t2, K("y"), ScalarRow(-5)).ok());
+    ASSERT_TRUE(db_->Commit(t1).ok());
+    Status second = db_->Commit(t2);
+    History h = Recorded();
+    if (level == IsolationLevel::kPL3) {
+      EXPECT_EQ(second.code(), StatusCode::kTxnAborted);
+      EXPECT_TRUE(Classify(h).Satisfies(IsolationLevel::kPL3));
+    } else {
+      EXPECT_TRUE(second.ok());
+      Classification c = Classify(h);
+      EXPECT_TRUE(c.Satisfies(IsolationLevel::kPL2));
+      EXPECT_FALSE(c.Satisfies(IsolationLevel::kPL3));  // write skew
+    }
+  }
+}
+
+TEST_F(EngineTest, OccPhantomValidationAtPL3) {
+  Make(Scheme::kOptimistic);
+  auto sales = Pred("dept = \"Sales\"");
+  TxnId t1 = MustBegin(IsolationLevel::kPL3);
+  ASSERT_TRUE(db_->PredicateRead(t1, rel_, sales).ok());
+  TxnId t2 = MustBegin(IsolationLevel::kPL3);
+  ASSERT_TRUE(db_->Write(t2, K("b"), SalesRow(20)).ok());
+  ASSERT_TRUE(db_->Commit(t2).ok());
+  ASSERT_TRUE(db_->Write(t1, K("z"), Row{{"dept", Value("Legal")}}).ok());
+  EXPECT_EQ(db_->Commit(t1).code(), StatusCode::kTxnAborted);
+}
+
+TEST_F(EngineTest, OccPhantomAdmittedAtPL299) {
+  Make(Scheme::kOptimistic);
+  auto sales = Pred("dept = \"Sales\"");
+  TxnId t1 = MustBegin(IsolationLevel::kPL299);
+  ASSERT_TRUE(db_->PredicateRead(t1, rel_, sales).ok());
+  TxnId t2 = MustBegin(IsolationLevel::kPL3);
+  ASSERT_TRUE(db_->Write(t2, K("b"), SalesRow(20)).ok());
+  ASSERT_TRUE(db_->Commit(t2).ok());
+  ASSERT_TRUE(db_->Write(t1, K("z"), Row{{"dept", Value("Legal")}}).ok());
+  EXPECT_TRUE(db_->Commit(t1).ok());
+  Classification c = Classify(Recorded());
+  EXPECT_TRUE(c.Satisfies(IsolationLevel::kPL299));
+}
+
+TEST_F(EngineTest, OccFirstCommitterWinsOnWriteWrite) {
+  Make(Scheme::kOptimistic);
+  TxnId t1 = MustBegin(IsolationLevel::kPL2);
+  TxnId t2 = MustBegin(IsolationLevel::kPL2);
+  ASSERT_TRUE(db_->Write(t1, K("x"), ScalarRow(1)).ok());
+  ASSERT_TRUE(db_->Write(t2, K("x"), ScalarRow(2)).ok());
+  ASSERT_TRUE(db_->Commit(t1).ok());
+  EXPECT_EQ(db_->Commit(t2).code(), StatusCode::kTxnAborted);
+  EXPECT_TRUE(Classify(Recorded()).Satisfies(IsolationLevel::kPL1));
+}
+
+// --- multiversion-specific --------------------------------------------------
+
+TEST_F(EngineTest, MvccSnapshotReads) {
+  Make(Scheme::kMultiversion);
+  TxnId t1 = MustBegin(IsolationLevel::kPLSI);
+  ASSERT_TRUE(db_->Write(t1, K("x"), ScalarRow(1)).ok());
+  ASSERT_TRUE(db_->Commit(t1).ok());
+  TxnId t2 = MustBegin(IsolationLevel::kPLSI);
+  TxnId t3 = MustBegin(IsolationLevel::kPLSI);
+  ASSERT_TRUE(db_->Write(t3, K("x"), ScalarRow(2)).ok());
+  ASSERT_TRUE(db_->Commit(t3).ok());
+  auto read = db_->Read(t2, K("x"));
+  ASSERT_TRUE(read.ok() && read->has_value());
+  EXPECT_EQ((*read)->Get(kScalarAttr)->AsInt(), 1);  // snapshot, not latest
+  ASSERT_TRUE(db_->Commit(t2).ok());
+  Classification c = Classify(Recorded());
+  EXPECT_TRUE(c.Satisfies(IsolationLevel::kPLSI));
+}
+
+TEST_F(EngineTest, MvccWriteSkewCommitsAndViolatesOnlyPL3) {
+  Make(Scheme::kMultiversion);
+  TxnId t0 = MustBegin(IsolationLevel::kPLSI);
+  ASSERT_TRUE(db_->Write(t0, K("x"), ScalarRow(5)).ok());
+  ASSERT_TRUE(db_->Write(t0, K("y"), ScalarRow(5)).ok());
+  ASSERT_TRUE(db_->Commit(t0).ok());
+  TxnId t1 = MustBegin(IsolationLevel::kPLSI);
+  TxnId t2 = MustBegin(IsolationLevel::kPLSI);
+  ASSERT_TRUE(db_->Read(t1, K("x")).ok());
+  ASSERT_TRUE(db_->Read(t1, K("y")).ok());
+  ASSERT_TRUE(db_->Read(t2, K("x")).ok());
+  ASSERT_TRUE(db_->Read(t2, K("y")).ok());
+  ASSERT_TRUE(db_->Write(t1, K("x"), ScalarRow(-5)).ok());
+  ASSERT_TRUE(db_->Write(t2, K("y"), ScalarRow(-5)).ok());
+  ASSERT_TRUE(db_->Commit(t1).ok());
+  ASSERT_TRUE(db_->Commit(t2).ok());  // SI admits write skew
+  Classification c = Classify(Recorded());
+  EXPECT_TRUE(c.Satisfies(IsolationLevel::kPLSI));
+  EXPECT_TRUE(c.Satisfies(IsolationLevel::kPL2Plus));
+  EXPECT_FALSE(c.Satisfies(IsolationLevel::kPL3));
+}
+
+TEST_F(EngineTest, MvccFirstCommitterWins) {
+  Make(Scheme::kMultiversion);
+  TxnId t0 = MustBegin(IsolationLevel::kPLSI);
+  ASSERT_TRUE(db_->Write(t0, K("x"), ScalarRow(0)).ok());
+  ASSERT_TRUE(db_->Commit(t0).ok());
+  TxnId t1 = MustBegin(IsolationLevel::kPLSI);
+  TxnId t2 = MustBegin(IsolationLevel::kPLSI);
+  ASSERT_TRUE(db_->Write(t1, K("x"), ScalarRow(1)).ok());
+  ASSERT_TRUE(db_->Write(t2, K("x"), ScalarRow(2)).ok());
+  ASSERT_TRUE(db_->Commit(t1).ok());
+  EXPECT_EQ(db_->Commit(t2).code(), StatusCode::kTxnAborted);
+}
+
+TEST_F(EngineTest, MvccPredicateReadsAreSnapshotStable) {
+  Make(Scheme::kMultiversion);
+  auto sales = Pred("dept = \"Sales\"");
+  TxnId t0 = MustBegin(IsolationLevel::kPLSI);
+  ASSERT_TRUE(db_->Write(t0, K("a"), SalesRow(1)).ok());
+  ASSERT_TRUE(db_->Commit(t0).ok());
+  TxnId t1 = MustBegin(IsolationLevel::kPLSI);
+  auto first = db_->PredicateRead(t1, rel_, sales);
+  ASSERT_TRUE(first.ok());
+  TxnId t2 = MustBegin(IsolationLevel::kPLSI);
+  ASSERT_TRUE(db_->Write(t2, K("b"), SalesRow(2)).ok());
+  ASSERT_TRUE(db_->Commit(t2).ok());
+  auto second = db_->PredicateRead(t1, rel_, sales);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->size(), second->size());  // no phantom under SI
+  ASSERT_TRUE(db_->Commit(t1).ok());
+  EXPECT_TRUE(Classify(Recorded()).Satisfies(IsolationLevel::kPLSI));
+}
+
+TEST_F(EngineTest, UnsupportedLevelsRejected) {
+  Make(Scheme::kLocking);
+  EXPECT_FALSE(db_->Begin(IsolationLevel::kPLSI).ok());
+  Make(Scheme::kOptimistic);
+  EXPECT_FALSE(db_->Begin(IsolationLevel::kPL1).ok());
+  Make(Scheme::kMultiversion);
+  EXPECT_FALSE(db_->Begin(IsolationLevel::kPL3).ok());
+}
+
+}  // namespace
+}  // namespace adya::engine

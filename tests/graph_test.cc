@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/cycles.h"
+#include "graph/digraph.h"
+#include "graph/dot.h"
+
+namespace adya::graph {
+namespace {
+
+constexpr KindMask kA = 1 << 0;  // "dependency-like" kind
+constexpr KindMask kB = 1 << 1;  // "anti-dependency-like" kind
+constexpr KindMask kAll = kA | kB;
+
+// Verifies that a reported cycle is actually a closed walk of valid edges.
+void ExpectValidCycle(const Digraph& g, const Cycle& cycle) {
+  ASSERT_FALSE(cycle.edges.empty());
+  for (size_t i = 0; i < cycle.edges.size(); ++i) {
+    const auto& cur = g.edge(cycle.edges[i]);
+    const auto& next = g.edge(cycle.edges[(i + 1) % cycle.edges.size()]);
+    EXPECT_EQ(cur.to, next.from);
+  }
+}
+
+TEST(DigraphTest, BasicConstruction) {
+  Digraph g(3);
+  EXPECT_EQ(g.node_count(), 3u);
+  EdgeId e = g.AddEdge(0, 1, kA);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.edge(e).from, 0u);
+  EXPECT_EQ(g.edge(e).to, 1u);
+  EXPECT_EQ(g.out_edges(0).size(), 1u);
+  EXPECT_EQ(g.in_edges(1).size(), 1u);
+  NodeId n = g.AddNode();
+  EXPECT_EQ(n, 3u);
+  EXPECT_EQ(g.node_count(), 4u);
+}
+
+TEST(SccTest, AcyclicGraphHasSingletonComponents) {
+  Digraph g(4);
+  g.AddEdge(0, 1, kA);
+  g.AddEdge(1, 2, kA);
+  g.AddEdge(2, 3, kA);
+  SccResult scc = StronglyConnectedComponents(g, kAll);
+  EXPECT_EQ(scc.count, 4u);
+  std::set<uint32_t> distinct(scc.component.begin(), scc.component.end());
+  EXPECT_EQ(distinct.size(), 4u);
+}
+
+TEST(SccTest, CycleFormsOneComponent) {
+  Digraph g(4);
+  g.AddEdge(0, 1, kA);
+  g.AddEdge(1, 2, kA);
+  g.AddEdge(2, 0, kA);
+  g.AddEdge(2, 3, kA);
+  SccResult scc = StronglyConnectedComponents(g, kAll);
+  EXPECT_EQ(scc.count, 2u);
+  EXPECT_EQ(scc.component[0], scc.component[1]);
+  EXPECT_EQ(scc.component[1], scc.component[2]);
+  EXPECT_NE(scc.component[0], scc.component[3]);
+}
+
+TEST(SccTest, MaskRestrictsEdges) {
+  Digraph g(2);
+  g.AddEdge(0, 1, kA);
+  g.AddEdge(1, 0, kB);
+  // With both kinds there is a cycle; restricted to kA there is none.
+  EXPECT_TRUE(HasCycle(g, kAll));
+  EXPECT_FALSE(HasCycle(g, kA));
+  EXPECT_FALSE(HasCycle(g, kB));
+}
+
+TEST(SccTest, LargeChainDoesNotOverflowStack) {
+  // The iterative Tarjan must handle deep graphs.
+  constexpr size_t kN = 200000;
+  Digraph g(kN);
+  for (size_t i = 0; i + 1 < kN; ++i) {
+    g.AddEdge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1), kA);
+  }
+  g.AddEdge(kN - 1, 0, kA);  // close the loop
+  SccResult scc = StronglyConnectedComponents(g, kA);
+  EXPECT_EQ(scc.count, 1u);
+}
+
+TEST(HasCycleTest, SelfLoopIsACycle) {
+  Digraph g(1);
+  g.AddEdge(0, 0, kA);
+  EXPECT_TRUE(HasCycle(g, kA));
+}
+
+TEST(HasCycleTest, EmptyGraph) {
+  Digraph g;
+  EXPECT_FALSE(HasCycle(g, kAll));
+}
+
+TEST(ShortestPathTest, FindsShortest) {
+  Digraph g(5);
+  g.AddEdge(0, 1, kA);
+  g.AddEdge(1, 2, kA);
+  g.AddEdge(2, 4, kA);
+  g.AddEdge(0, 3, kA);
+  g.AddEdge(3, 4, kA);
+  auto path = ShortestPath(g, 0, 4, kA);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 2u);  // 0->3->4
+}
+
+TEST(ShortestPathTest, RespectsMask) {
+  Digraph g(3);
+  g.AddEdge(0, 1, kB);
+  g.AddEdge(1, 2, kA);
+  EXPECT_FALSE(ShortestPath(g, 0, 2, kA).has_value());
+  EXPECT_TRUE(ShortestPath(g, 0, 2, kAll).has_value());
+}
+
+TEST(ShortestPathTest, TrivialPath) {
+  Digraph g(2);
+  auto path = ShortestPath(g, 1, 1, kAll);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_TRUE(path->empty());
+}
+
+TEST(FindCycleWithRequiredKindTest, FindsCycleContainingKind) {
+  Digraph g(3);
+  g.AddEdge(0, 1, kA);
+  g.AddEdge(1, 2, kA);
+  g.AddEdge(2, 0, kB);
+  auto cycle = FindCycleWithRequiredKind(g, kAll, kB);
+  ASSERT_TRUE(cycle.has_value());
+  ExpectValidCycle(g, *cycle);
+  // The found cycle contains the kB edge.
+  bool has_b = false;
+  for (EdgeId e : cycle->edges) has_b |= (g.edge(e).kinds & kB) != 0;
+  EXPECT_TRUE(has_b);
+}
+
+TEST(FindCycleWithRequiredKindTest, NoCycleOfRequiredKind) {
+  Digraph g(3);
+  g.AddEdge(0, 1, kA);
+  g.AddEdge(1, 0, kA);  // kA-only cycle
+  g.AddEdge(1, 2, kB);  // kB edge not on any cycle
+  EXPECT_FALSE(FindCycleWithRequiredKind(g, kAll, kB).has_value());
+  EXPECT_TRUE(FindCycleWithRequiredKind(g, kAll, kA).has_value());
+}
+
+TEST(FindCycleWithRequiredKindTest, RequiredEdgeMustAlsoBeAllowed) {
+  Digraph g(2);
+  g.AddEdge(0, 1, kB);
+  g.AddEdge(1, 0, kB);
+  // kB edges exist and form a cycle, but they are outside the allowed mask.
+  EXPECT_FALSE(FindCycleWithRequiredKind(g, kA, kB).has_value());
+}
+
+TEST(FindCycleWithExactlyOneTest, AcceptsSinglePivot) {
+  Digraph g(3);
+  g.AddEdge(0, 1, kB);  // the single anti edge
+  g.AddEdge(1, 2, kA);
+  g.AddEdge(2, 0, kA);
+  auto cycle = FindCycleWithExactlyOne(g, kB, kA);
+  ASSERT_TRUE(cycle.has_value());
+  ExpectValidCycle(g, *cycle);
+  EXPECT_EQ(cycle->edges.size(), 3u);
+}
+
+TEST(FindCycleWithExactlyOneTest, RejectsWhenTwoPivotsNeeded) {
+  // Cycle 0->1->2->3->0 where two edges are kB: no dependency path closes
+  // any single kB edge.
+  Digraph g(4);
+  g.AddEdge(0, 1, kB);
+  g.AddEdge(1, 2, kA);
+  g.AddEdge(2, 3, kB);
+  g.AddEdge(3, 0, kA);
+  EXPECT_FALSE(FindCycleWithExactlyOne(g, kB, kA).has_value());
+  // But a cycle with >=1 kB edge does exist.
+  EXPECT_TRUE(FindCycleWithRequiredKind(g, kAll, kB).has_value());
+}
+
+TEST(FindCycleWithExactlyOneTest, ParallelEdgesAreDistinct) {
+  // Two nodes, an anti edge one way and a dependency edge back: a legal
+  // exactly-one cycle.
+  Digraph g(2);
+  g.AddEdge(0, 1, kB);
+  g.AddEdge(1, 0, kA);
+  auto cycle = FindCycleWithExactlyOne(g, kB, kA);
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(cycle->edges.size(), 2u);
+}
+
+TEST(FindCycleWithExactlyOneTest, SelfLoopPivot) {
+  Digraph g(1);
+  g.AddEdge(0, 0, kB);
+  auto cycle = FindCycleWithExactlyOne(g, kB, kA);
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(cycle->edges.size(), 1u);
+}
+
+TEST(TopologicalOrderTest, OrdersDag) {
+  Digraph g(4);
+  g.AddEdge(3, 1, kA);
+  g.AddEdge(1, 0, kA);
+  g.AddEdge(3, 2, kA);
+  g.AddEdge(2, 0, kA);
+  auto order = TopologicalOrder(g, kA);
+  ASSERT_TRUE(order.has_value());
+  std::vector<size_t> pos(4);
+  for (size_t i = 0; i < order->size(); ++i) pos[(*order)[i]] = i;
+  EXPECT_LT(pos[3], pos[1]);
+  EXPECT_LT(pos[3], pos[2]);
+  EXPECT_LT(pos[1], pos[0]);
+  EXPECT_LT(pos[2], pos[0]);
+}
+
+TEST(TopologicalOrderTest, NulloptOnCycle) {
+  Digraph g(2);
+  g.AddEdge(0, 1, kA);
+  g.AddEdge(1, 0, kA);
+  EXPECT_FALSE(TopologicalOrder(g, kA).has_value());
+  // Masking out the back edge makes it a DAG again.
+  Digraph g2(2);
+  g2.AddEdge(0, 1, kA);
+  g2.AddEdge(1, 0, kB);
+  EXPECT_TRUE(TopologicalOrder(g2, kA).has_value());
+}
+
+TEST(DotTest, RendersNodesAndEdges) {
+  Digraph g(2);
+  g.AddEdge(0, 1, kA);
+  std::string dot = ToDot(
+      g, [](NodeId n) { return "T" + std::to_string(n + 1); },
+      [](EdgeId) { return std::string("wr"); });
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("T1"), std::string::npos);
+  EXPECT_NE(dot.find("T2"), std::string::npos);
+  EXPECT_NE(dot.find("wr"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+}
+
+TEST(DotTest, EscapesQuotes) {
+  Digraph g(1);
+  std::string dot = ToDot(
+      g, [](NodeId) { return std::string("a\"b"); }, nullptr);
+  EXPECT_NE(dot.find("a\\\"b"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adya::graph

@@ -1,0 +1,324 @@
+#include <gtest/gtest.h>
+
+#include "history/builder.h"
+#include "history/history.h"
+
+namespace adya {
+namespace {
+
+TEST(HistoryTest, UniverseRegistration) {
+  History h;
+  RelationId emp = h.AddRelation("Emp");
+  EXPECT_EQ(h.AddRelation("Emp"), emp);  // idempotent
+  ObjectId x = h.AddObject("x", emp);
+  EXPECT_EQ(h.object_name(x), "x");
+  EXPECT_EQ(h.object_relation(x), emp);
+  EXPECT_EQ(*h.FindObject("x"), x);
+  EXPECT_FALSE(h.FindObject("zzz").ok());
+  EXPECT_FALSE(h.FindRelation("Nope").ok());
+}
+
+TEST(HistoryTest, TxnBookkeeping) {
+  History h;
+  ObjectId x = h.AddObject("x");
+  h.Append(Event::Write(1, VersionId{x, 1, 1}, ScalarRow(5)));
+  h.Append(Event::Read(2, VersionId{x, 1, 1}));
+  h.Append(Event::Commit(1));
+  h.Append(Event::Commit(2));
+  ASSERT_TRUE(h.Finalize().ok());
+  EXPECT_TRUE(h.IsCommitted(1));
+  EXPECT_TRUE(h.IsCommitted(2));
+  EXPECT_FALSE(h.IsAborted(1));
+  EXPECT_EQ(h.Transactions(), (std::vector<TxnId>{1, 2}));
+  EXPECT_EQ(h.CommittedTransactions(), (std::vector<TxnId>{1, 2}));
+  EXPECT_EQ(h.FinalSeq(1, x), 1u);
+  EXPECT_EQ(h.FinalSeq(2, x), 0u);
+}
+
+TEST(HistoryTest, TInitIsCommitted) {
+  History h;
+  EXPECT_TRUE(h.IsCommitted(kTxnInit));
+}
+
+TEST(HistoryTest, AutoAbortCompletesHistory) {
+  History h;
+  ObjectId x = h.AddObject("x");
+  h.Append(Event::Write(1, VersionId{x, 1, 1}, ScalarRow(5)));
+  ASSERT_TRUE(h.Finalize().ok());
+  EXPECT_TRUE(h.IsAborted(1));
+  EXPECT_EQ(h.events().back().type, EventType::kAbort);
+}
+
+TEST(HistoryTest, StrictCompletenessRejectsUnfinished) {
+  History h;
+  ObjectId x = h.AddObject("x");
+  h.Append(Event::Write(1, VersionId{x, 1, 1}, ScalarRow(5)));
+  History::FinalizeOptions opts;
+  opts.auto_abort_unfinished = false;
+  EXPECT_EQ(h.Finalize(opts).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HistoryTest, ReadBeforeWriteRejected) {
+  History h;
+  ObjectId x = h.AddObject("x");
+  h.Append(Event::Read(2, VersionId{x, 1, 1}));
+  h.Append(Event::Write(1, VersionId{x, 1, 1}, ScalarRow(5)));
+  h.Append(Event::Commit(1));
+  h.Append(Event::Commit(2));
+  EXPECT_FALSE(h.Finalize().ok());
+}
+
+TEST(HistoryTest, ReadOfInitVersionRejected) {
+  History h;
+  ObjectId x = h.AddObject("x");
+  h.Append(Event::Read(1, InitVersion(x)));
+  h.Append(Event::Commit(1));
+  EXPECT_FALSE(h.Finalize().ok());
+}
+
+TEST(HistoryTest, ReadOfDeadVersionRejected) {
+  History h;
+  ObjectId x = h.AddObject("x");
+  h.Append(Event::Write(1, VersionId{x, 1, 1}, Row(), VersionKind::kDead));
+  h.Append(Event::Read(2, VersionId{x, 1, 1}));
+  h.Append(Event::Commit(1));
+  h.Append(Event::Commit(2));
+  EXPECT_FALSE(h.Finalize().ok());
+}
+
+TEST(HistoryTest, ReadYourWritesEnforced) {
+  // T1 writes x twice; a read between them must observe the first version,
+  // a read after both must observe the second.
+  History h;
+  ObjectId x = h.AddObject("x");
+  h.Append(Event::Write(1, VersionId{x, 1, 1}, ScalarRow(1)));
+  h.Append(Event::Read(1, VersionId{x, 1, 1}));
+  h.Append(Event::Write(1, VersionId{x, 1, 2}, ScalarRow(2)));
+  h.Append(Event::Read(1, VersionId{x, 1, 2}));
+  h.Append(Event::Commit(1));
+  EXPECT_TRUE(h.Finalize().ok());
+}
+
+TEST(HistoryTest, ReadYourWritesViolationRejected) {
+  History h;
+  ObjectId x = h.AddObject("x");
+  h.Append(Event::Write(1, VersionId{x, 1, 1}, ScalarRow(1)));
+  h.Append(Event::Write(1, VersionId{x, 1, 2}, ScalarRow(2)));
+  h.Append(Event::Read(1, VersionId{x, 1, 1}));  // stale own version
+  h.Append(Event::Commit(1));
+  EXPECT_FALSE(h.Finalize().ok());
+}
+
+TEST(HistoryTest, ReadOthersVersionAfterOwnWriteRejected) {
+  History h;
+  ObjectId x = h.AddObject("x");
+  h.Append(Event::Write(2, VersionId{x, 2, 1}, ScalarRow(9)));
+  h.Append(Event::Write(1, VersionId{x, 1, 1}, ScalarRow(1)));
+  h.Append(Event::Read(1, VersionId{x, 2, 1}));  // must read own write
+  h.Append(Event::Commit(1));
+  h.Append(Event::Commit(2));
+  EXPECT_FALSE(h.Finalize().ok());
+}
+
+TEST(HistoryTest, NonConsecutiveWriteSeqRejected) {
+  History h;
+  ObjectId x = h.AddObject("x");
+  h.Append(Event::Write(1, VersionId{x, 1, 2}, ScalarRow(1)));
+  h.Append(Event::Commit(1));
+  EXPECT_FALSE(h.Finalize().ok());
+}
+
+TEST(HistoryTest, EventAfterCommitRejected) {
+  History h;
+  ObjectId x = h.AddObject("x");
+  h.Append(Event::Commit(1));
+  h.Append(Event::Write(1, VersionId{x, 1, 1}, ScalarRow(1)));
+  EXPECT_FALSE(h.Finalize().ok());
+}
+
+TEST(HistoryTest, WriteAfterOwnDeleteRejected) {
+  History h;
+  ObjectId x = h.AddObject("x");
+  h.Append(Event::Write(1, VersionId{x, 1, 1}, Row(), VersionKind::kDead));
+  h.Append(Event::Write(1, VersionId{x, 1, 2}, ScalarRow(1)));
+  h.Append(Event::Commit(1));
+  EXPECT_FALSE(h.Finalize().ok());
+}
+
+TEST(HistoryTest, DefaultVersionOrderIsCommitOrder) {
+  // T2 writes first but commits second: default order is x1 << x2? No —
+  // T2 commits *first*, so x2 << x1.
+  History h;
+  ObjectId x = h.AddObject("x");
+  h.Append(Event::Write(2, VersionId{x, 2, 1}, ScalarRow(2)));
+  h.Append(Event::Write(1, VersionId{x, 1, 1}, ScalarRow(1)));
+  h.Append(Event::Commit(2));
+  h.Append(Event::Commit(1));
+  ASSERT_TRUE(h.Finalize().ok());
+  EXPECT_EQ(h.VersionOrder(x), (std::vector<TxnId>{2, 1}));
+  EXPECT_EQ(*h.OrderIndex(x, 2), 0u);
+  EXPECT_EQ(*h.OrderIndex(x, 1), 1u);
+  EXPECT_FALSE(h.OrderIndex(x, 3).has_value());
+}
+
+TEST(HistoryTest, ExplicitVersionOrderOverridesCommitOrder) {
+  // H_write_order (§4.2): version order may differ from commit order.
+  History h;
+  ObjectId x = h.AddObject("x");
+  h.Append(Event::Write(1, VersionId{x, 1, 1}, ScalarRow(1)));
+  h.Append(Event::Write(2, VersionId{x, 2, 1}, ScalarRow(2)));
+  h.Append(Event::Commit(1));
+  h.Append(Event::Commit(2));
+  h.SetVersionOrder(x, {2, 1});
+  ASSERT_TRUE(h.Finalize().ok());
+  EXPECT_EQ(h.VersionOrder(x), (std::vector<TxnId>{2, 1}));
+}
+
+TEST(HistoryTest, AbortedWritersExcludedFromVersionOrder) {
+  History h;
+  ObjectId x = h.AddObject("x");
+  h.Append(Event::Write(1, VersionId{x, 1, 1}, ScalarRow(1)));
+  h.Append(Event::Write(2, VersionId{x, 2, 1}, ScalarRow(2)));
+  h.Append(Event::Commit(1));
+  h.Append(Event::Abort(2));
+  ASSERT_TRUE(h.Finalize().ok());
+  EXPECT_EQ(h.VersionOrder(x), (std::vector<TxnId>{1}));
+}
+
+TEST(HistoryTest, ExplicitOrderMentioningAbortedTxnRejected) {
+  History h;
+  ObjectId x = h.AddObject("x");
+  h.Append(Event::Write(1, VersionId{x, 1, 1}, ScalarRow(1)));
+  h.Append(Event::Write(2, VersionId{x, 2, 1}, ScalarRow(2)));
+  h.Append(Event::Commit(1));
+  h.Append(Event::Abort(2));
+  h.SetVersionOrder(x, {1, 2});
+  EXPECT_FALSE(h.Finalize().ok());
+}
+
+TEST(HistoryTest, ExplicitOrderMustBeComplete) {
+  History h;
+  ObjectId x = h.AddObject("x");
+  h.Append(Event::Write(1, VersionId{x, 1, 1}, ScalarRow(1)));
+  h.Append(Event::Write(2, VersionId{x, 2, 1}, ScalarRow(2)));
+  h.Append(Event::Commit(1));
+  h.Append(Event::Commit(2));
+  h.SetVersionOrder(x, {1});
+  EXPECT_FALSE(h.Finalize().ok());
+}
+
+TEST(HistoryTest, DeadVersionMustBeLast) {
+  History h;
+  ObjectId x = h.AddObject("x");
+  h.Append(Event::Write(1, VersionId{x, 1, 1}, Row(), VersionKind::kDead));
+  h.Append(Event::Write(2, VersionId{x, 2, 1}, ScalarRow(2)));
+  h.Append(Event::Commit(1));
+  h.Append(Event::Commit(2));
+  // Default (commit) order puts the dead version first: invalid.
+  EXPECT_FALSE(h.Finalize().ok());
+}
+
+TEST(HistoryTest, DeadVersionLastAccepted) {
+  History h;
+  ObjectId x = h.AddObject("x");
+  h.Append(Event::Write(2, VersionId{x, 2, 1}, ScalarRow(2)));
+  h.Append(Event::Write(1, VersionId{x, 1, 1}, Row(), VersionKind::kDead));
+  h.Append(Event::Commit(2));
+  h.Append(Event::Commit(1));
+  ASSERT_TRUE(h.Finalize().ok());
+  EXPECT_EQ(h.VersionOrder(x), (std::vector<TxnId>{2, 1}));
+  EXPECT_EQ(h.KindOf(VersionId{x, 1, 1}), VersionKind::kDead);
+}
+
+TEST(HistoryTest, VersionQueries) {
+  History h;
+  ObjectId x = h.AddObject("x");
+  h.Append(Event::Write(1, VersionId{x, 1, 1}, ScalarRow(5)));
+  h.Append(Event::Write(1, VersionId{x, 1, 2}, ScalarRow(6)));
+  h.Append(Event::Commit(1));
+  ASSERT_TRUE(h.Finalize().ok());
+  EXPECT_EQ(h.KindOf(InitVersion(x)), VersionKind::kUnborn);
+  EXPECT_EQ(h.KindOf(VersionId{x, 1, 2}), VersionKind::kVisible);
+  EXPECT_EQ(h.RowOf(InitVersion(x)), nullptr);
+  ASSERT_NE(h.RowOf(VersionId{x, 1, 2}), nullptr);
+  EXPECT_EQ(h.RowOf(VersionId{x, 1, 2})->Get(kScalarAttr)->AsInt(), 6);
+  EXPECT_EQ(*h.InstalledVersion(1, x), (VersionId{x, 1, 2}));
+  EXPECT_EQ(h.WriteEventOf(InitVersion(x)), kNoEvent);
+  EXPECT_EQ(h.WriteEventOf(VersionId{x, 1, 1}), 0u);
+}
+
+TEST(HistoryTest, PredicateVsetValidation) {
+  History h;
+  RelationId emp = h.AddRelation("Emp");
+  RelationId other = h.AddRelation("Other");
+  ObjectId x = h.AddObject("x", emp);
+  ObjectId q = h.AddObject("q", other);
+  auto pred = ParsePredicate("dept = \"Sales\"");
+  ASSERT_TRUE(pred.ok());
+  PredicateId p = h.AddPredicate(
+      "P", std::shared_ptr<const Predicate>(std::move(*pred)), {emp});
+  // Object q is not in Emp: vset entry invalid.
+  h.Append(Event::PredicateRead(1, p, {InitVersion(q)}));
+  h.Append(Event::Commit(1));
+  EXPECT_FALSE(h.Finalize().ok());
+
+  History h2;
+  emp = h2.AddRelation("Emp");
+  x = h2.AddObject("x", emp);
+  auto pred2 = ParsePredicate("dept = \"Sales\"");
+  ASSERT_TRUE(pred2.ok());
+  p = h2.AddPredicate(
+      "P", std::shared_ptr<const Predicate>(std::move(*pred2)), {emp});
+  // Duplicate object in vset.
+  h2.Append(Event::Write(1, VersionId{x, 1, 1},
+                         Row{{"dept", Value("Sales")}}));
+  h2.Append(Event::Commit(1));
+  h2.Append(
+      Event::PredicateRead(2, p, {InitVersion(x), VersionId{x, 1, 1}}));
+  h2.Append(Event::Commit(2));
+  EXPECT_FALSE(h2.Finalize().ok());
+}
+
+TEST(HistoryTest, PredicateMatching) {
+  History h;
+  RelationId emp = h.AddRelation("Emp");
+  ObjectId x = h.AddObject("x", emp);
+  auto pred = ParsePredicate("dept = \"Sales\"");
+  ASSERT_TRUE(pred.ok());
+  PredicateId p = h.AddPredicate(
+      "P", std::shared_ptr<const Predicate>(std::move(*pred)), {emp});
+  h.Append(Event::Write(1, VersionId{x, 1, 1},
+                        Row{{"dept", Value("Sales")}}));
+  h.Append(Event::Write(1, VersionId{x, 1, 2},
+                        Row{{"dept", Value("Legal")}}));
+  h.Append(Event::Commit(1));
+  ASSERT_TRUE(h.Finalize().ok());
+  EXPECT_TRUE(h.Matches(VersionId{x, 1, 1}, p));
+  EXPECT_FALSE(h.Matches(VersionId{x, 1, 2}, p));
+  EXPECT_FALSE(h.Matches(InitVersion(x), p));  // unborn never matches
+}
+
+TEST(HistoryTest, BeginMustBeFirstEvent) {
+  History h;
+  ObjectId x = h.AddObject("x");
+  h.Append(Event::Write(1, VersionId{x, 1, 1}, ScalarRow(1)));
+  h.Append(Event::Begin(1));
+  h.Append(Event::Commit(1));
+  EXPECT_FALSE(h.Finalize().ok());
+}
+
+TEST(HistoryTest, LevelsDefaultToPL3) {
+  History h;
+  ObjectId x = h.AddObject("x");
+  h.Append(Event::Write(1, VersionId{x, 1, 1}, ScalarRow(1)));
+  h.Append(Event::Commit(1));
+  h.SetLevel(2, IsolationLevel::kPL2);
+  h.Append(Event::Read(2, VersionId{x, 1, 1}));
+  h.Append(Event::Commit(2));
+  ASSERT_TRUE(h.Finalize().ok());
+  EXPECT_EQ(h.txn_info(1).level, IsolationLevel::kPL3);
+  EXPECT_EQ(h.txn_info(2).level, IsolationLevel::kPL2);
+}
+
+}  // namespace
+}  // namespace adya

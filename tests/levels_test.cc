@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "core/levels.h"
+#include "history/parser.h"
+
+namespace adya {
+namespace {
+
+Classification ClassifyText(const std::string& text) {
+  auto h = ParseHistory(text);
+  EXPECT_TRUE(h.ok()) << h.status();
+  return Classify(*h);
+}
+
+// Canonical anomaly histories used across the suite.
+const char* kDirtyWriteCycle =
+    "w1(x1) w2(x2) w2(y2) c2 w1(y1) c1 [x1 << x2, y2 << y1]";
+const char* kAbortedRead = "w1(x1) r2(x1) a1 c2";
+const char* kWriteSkew =
+    "w0(x0) w0(y0) c0 r1(x0) r1(y0) r2(x0) r2(y0) w1(x1) w2(y2) c1 c2";
+const char* kReadSkew = "w0(x0) w0(y0) c0 r2(x0) w1(x1) w1(y1) c1 r2(y1) c2";
+const char* kLostUpdate = "w0(x0) c0 r1(x0) r2(x0) w1(x1) c1 w2(x2) c2";
+const char* kPhantom =
+    "relation Emp; object z in Emp;\n"
+    "pred P on Emp: dept = \"Sales\";\n"
+    "w0(Sum0, 20) c0 r1(P: zinit) "
+    "w2(z2, {dept: \"Sales\"}) w2(Sum2, 30) c2 r1(Sum2) c1";
+const char* kSerializable = "w1(x1) c1 r2(x1) w2(x2) c2 r3(x2) c3";
+
+TEST(LevelsTest, ProscribedPhenomenaMatchFigure6) {
+  EXPECT_EQ(ProscribedPhenomena(IsolationLevel::kPL1),
+            (std::vector<Phenomenon>{Phenomenon::kG0}));
+  EXPECT_EQ(ProscribedPhenomena(IsolationLevel::kPL2),
+            (std::vector<Phenomenon>{Phenomenon::kG1a, Phenomenon::kG1b,
+                                     Phenomenon::kG1c}));
+  EXPECT_EQ(ProscribedPhenomena(IsolationLevel::kPL299),
+            (std::vector<Phenomenon>{Phenomenon::kG1a, Phenomenon::kG1b,
+                                     Phenomenon::kG1c, Phenomenon::kG2Item}));
+  EXPECT_EQ(ProscribedPhenomena(IsolationLevel::kPL3),
+            (std::vector<Phenomenon>{Phenomenon::kG1a, Phenomenon::kG1b,
+                                     Phenomenon::kG1c, Phenomenon::kG2}));
+}
+
+TEST(LevelsTest, SerializableHistorySatisfiesEverything) {
+  Classification c = ClassifyText(kSerializable);
+  for (const auto& [level, ok] : c.satisfied) EXPECT_TRUE(ok);
+  ASSERT_TRUE(c.strongest_ansi.has_value());
+  EXPECT_EQ(*c.strongest_ansi, IsolationLevel::kPL3);
+  EXPECT_TRUE(c.violations.empty());
+}
+
+TEST(LevelsTest, DirtyWriteCycleFailsEvenPL1) {
+  Classification c = ClassifyText(kDirtyWriteCycle);
+  EXPECT_FALSE(c.Satisfies(IsolationLevel::kPL1));
+  EXPECT_FALSE(c.strongest_ansi.has_value());
+  EXPECT_NE(c.Summary().find("none"), std::string::npos);
+}
+
+TEST(LevelsTest, AbortedReadIsPL1Only) {
+  Classification c = ClassifyText(kAbortedRead);
+  EXPECT_TRUE(c.Satisfies(IsolationLevel::kPL1));
+  EXPECT_FALSE(c.Satisfies(IsolationLevel::kPL2));
+  EXPECT_EQ(*c.strongest_ansi, IsolationLevel::kPL1);
+}
+
+TEST(LevelsTest, WriteSkewIsPL2PlusButNotPL299) {
+  // Two item anti-dependency edges: passes PL-2 and PL-2+ (needs exactly
+  // one), fails PL-2.99 and PL-3.
+  Classification c = ClassifyText(kWriteSkew);
+  EXPECT_TRUE(c.Satisfies(IsolationLevel::kPL2));
+  EXPECT_TRUE(c.Satisfies(IsolationLevel::kPL2Plus));
+  EXPECT_TRUE(c.Satisfies(IsolationLevel::kPLCS));
+  EXPECT_FALSE(c.Satisfies(IsolationLevel::kPL299));
+  EXPECT_FALSE(c.Satisfies(IsolationLevel::kPL3));
+  EXPECT_EQ(*c.strongest_ansi, IsolationLevel::kPL2);
+}
+
+TEST(LevelsTest, ReadSkewFailsPL2Plus) {
+  Classification c = ClassifyText(kReadSkew);
+  EXPECT_TRUE(c.Satisfies(IsolationLevel::kPL2));
+  EXPECT_FALSE(c.Satisfies(IsolationLevel::kPL2Plus));
+  EXPECT_FALSE(c.Satisfies(IsolationLevel::kPL3));
+}
+
+TEST(LevelsTest, LostUpdateFailsCursorStability) {
+  Classification c = ClassifyText(kLostUpdate);
+  EXPECT_TRUE(c.Satisfies(IsolationLevel::kPL2));
+  EXPECT_FALSE(c.Satisfies(IsolationLevel::kPLCS));
+  EXPECT_FALSE(c.Satisfies(IsolationLevel::kPL299));
+}
+
+TEST(LevelsTest, PhantomSeparatesPL299FromPL3) {
+  Classification c = ClassifyText(kPhantom);
+  EXPECT_TRUE(c.Satisfies(IsolationLevel::kPL299));
+  EXPECT_FALSE(c.Satisfies(IsolationLevel::kPL3));
+  EXPECT_EQ(*c.strongest_ansi, IsolationLevel::kPL299);
+}
+
+TEST(LevelsTest, AnsiChainIsMonotone) {
+  // For a battery of histories: satisfying a stronger ANSI level implies
+  // satisfying every weaker one.
+  for (const char* text :
+       {kDirtyWriteCycle, kAbortedRead, kWriteSkew, kReadSkew, kLostUpdate,
+        kPhantom, kSerializable}) {
+    Classification c = ClassifyText(text);
+    if (c.Satisfies(IsolationLevel::kPL3)) {
+      EXPECT_TRUE(c.Satisfies(IsolationLevel::kPL299)) << text;
+    }
+    if (c.Satisfies(IsolationLevel::kPL299)) {
+      EXPECT_TRUE(c.Satisfies(IsolationLevel::kPL2)) << text;
+    }
+    if (c.Satisfies(IsolationLevel::kPL2)) {
+      EXPECT_TRUE(c.Satisfies(IsolationLevel::kPL1)) << text;
+    }
+    // Thesis chain: PL-3 ⊂ PL-SI? No — but PL-2+ is implied by PL-SI and
+    // PL-3 alike, and PL-2 is implied by PL-2+.
+    if (c.Satisfies(IsolationLevel::kPL3)) {
+      EXPECT_TRUE(c.Satisfies(IsolationLevel::kPL2Plus)) << text;
+    }
+    if (c.Satisfies(IsolationLevel::kPL2Plus)) {
+      EXPECT_TRUE(c.Satisfies(IsolationLevel::kPL2)) << text;
+    }
+  }
+}
+
+TEST(LevelsTest, CheckLevelReportsViolations) {
+  auto h = ParseHistory(kAbortedRead);
+  ASSERT_TRUE(h.ok());
+  LevelCheckResult r = CheckLevel(*h, IsolationLevel::kPL2);
+  EXPECT_FALSE(r.satisfied);
+  ASSERT_FALSE(r.violations.empty());
+  EXPECT_EQ(r.violations[0].phenomenon, Phenomenon::kG1a);
+  LevelCheckResult r1 = CheckLevel(*h, IsolationLevel::kPL1);
+  EXPECT_TRUE(r1.satisfied);
+  EXPECT_TRUE(r1.violations.empty());
+}
+
+TEST(LevelsTest, SummaryMentionsViolatedPhenomena) {
+  Classification c = ClassifyText(kWriteSkew);
+  EXPECT_NE(c.Summary().find("PL-2"), std::string::npos);
+  EXPECT_NE(c.Summary().find("G2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adya

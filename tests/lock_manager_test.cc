@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <mutex>
+
+#include "engine/lock_manager.h"
+
+namespace adya::engine {
+namespace {
+
+class LockManagerTest : public ::testing::Test {
+ protected:
+  LockManagerTest() : lm_(&cv_) {}
+
+  Status Acquire(TxnId txn, const std::string& key, LockMode mode) {
+    std::unique_lock<std::mutex> lk(mu_);
+    return lm_.AcquireItem(lk, txn, ObjKey{0, key}, mode, /*wait=*/false);
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  LockManager lm_;
+};
+
+TEST_F(LockManagerTest, SharedLocksAreCompatible) {
+  EXPECT_TRUE(Acquire(1, "x", LockMode::kShared).ok());
+  EXPECT_TRUE(Acquire(2, "x", LockMode::kShared).ok());
+}
+
+TEST_F(LockManagerTest, ExclusiveConflicts) {
+  EXPECT_TRUE(Acquire(1, "x", LockMode::kExclusive).ok());
+  EXPECT_EQ(Acquire(2, "x", LockMode::kShared).code(),
+            StatusCode::kWouldBlock);
+  EXPECT_EQ(Acquire(2, "x", LockMode::kExclusive).code(),
+            StatusCode::kWouldBlock);
+}
+
+TEST_F(LockManagerTest, SharedBlocksExclusive) {
+  EXPECT_TRUE(Acquire(1, "x", LockMode::kShared).ok());
+  EXPECT_EQ(Acquire(2, "x", LockMode::kExclusive).code(),
+            StatusCode::kWouldBlock);
+}
+
+TEST_F(LockManagerTest, Reentrant) {
+  EXPECT_TRUE(Acquire(1, "x", LockMode::kShared).ok());
+  EXPECT_TRUE(Acquire(1, "x", LockMode::kShared).ok());
+  EXPECT_TRUE(Acquire(1, "x", LockMode::kExclusive).ok());  // upgrade
+  EXPECT_TRUE(Acquire(1, "x", LockMode::kShared).ok());     // X covers S
+  EXPECT_TRUE(lm_.HoldsItem(1, ObjKey{0, "x"}, LockMode::kExclusive));
+}
+
+TEST_F(LockManagerTest, UpgradeBlockedByOtherReader) {
+  EXPECT_TRUE(Acquire(1, "x", LockMode::kShared).ok());
+  EXPECT_TRUE(Acquire(2, "x", LockMode::kShared).ok());
+  EXPECT_EQ(Acquire(1, "x", LockMode::kExclusive).code(),
+            StatusCode::kWouldBlock);
+}
+
+TEST_F(LockManagerTest, ReleaseUnblocks) {
+  EXPECT_TRUE(Acquire(1, "x", LockMode::kExclusive).ok());
+  EXPECT_EQ(Acquire(2, "x", LockMode::kShared).code(),
+            StatusCode::kWouldBlock);
+  lm_.ReleaseItem(1, ObjKey{0, "x"});
+  EXPECT_TRUE(Acquire(2, "x", LockMode::kShared).ok());
+}
+
+TEST_F(LockManagerTest, DeadlockDetected) {
+  EXPECT_TRUE(Acquire(1, "x", LockMode::kExclusive).ok());
+  EXPECT_TRUE(Acquire(2, "y", LockMode::kExclusive).ok());
+  // T1 waits for T2's y; T2 then waits for T1's x → cycle, T2 is victim.
+  EXPECT_EQ(Acquire(1, "y", LockMode::kExclusive).code(),
+            StatusCode::kWouldBlock);
+  EXPECT_EQ(lm_.waits_for_edge_count(), 1u);
+  EXPECT_EQ(Acquire(2, "x", LockMode::kExclusive).code(),
+            StatusCode::kTxnAborted);
+}
+
+TEST_F(LockManagerTest, ThreeWayDeadlockDetected) {
+  EXPECT_TRUE(Acquire(1, "a", LockMode::kExclusive).ok());
+  EXPECT_TRUE(Acquire(2, "b", LockMode::kExclusive).ok());
+  EXPECT_TRUE(Acquire(3, "c", LockMode::kExclusive).ok());
+  EXPECT_EQ(Acquire(1, "b", LockMode::kExclusive).code(),
+            StatusCode::kWouldBlock);
+  EXPECT_EQ(Acquire(2, "c", LockMode::kExclusive).code(),
+            StatusCode::kWouldBlock);
+  EXPECT_EQ(Acquire(3, "a", LockMode::kExclusive).code(),
+            StatusCode::kTxnAborted);
+}
+
+TEST_F(LockManagerTest, ReleaseAllClearsEverything) {
+  EXPECT_TRUE(Acquire(1, "x", LockMode::kExclusive).ok());
+  EXPECT_TRUE(Acquire(1, "y", LockMode::kShared).ok());
+  EXPECT_EQ(Acquire(2, "x", LockMode::kExclusive).code(),
+            StatusCode::kWouldBlock);
+  lm_.ReleaseAll(1);
+  EXPECT_TRUE(Acquire(2, "x", LockMode::kExclusive).ok());
+  EXPECT_TRUE(Acquire(2, "y", LockMode::kExclusive).ok());
+  EXPECT_EQ(lm_.waits_for_edge_count(), 0u);
+}
+
+TEST_F(LockManagerTest, StaleWaitEdgeClearedOnSuccess) {
+  EXPECT_TRUE(Acquire(1, "x", LockMode::kExclusive).ok());
+  EXPECT_EQ(Acquire(2, "x", LockMode::kShared).code(),
+            StatusCode::kWouldBlock);
+  EXPECT_EQ(lm_.waits_for_edge_count(), 1u);
+  // T2 makes progress elsewhere: its wait intent is dropped.
+  EXPECT_TRUE(Acquire(2, "z", LockMode::kShared).ok());
+  EXPECT_EQ(lm_.waits_for_edge_count(), 0u);
+}
+
+class PredicateLockTest : public LockManagerTest {
+ protected:
+  std::shared_ptr<const Predicate> Sales() {
+    auto p = ParsePredicate("dept = \"Sales\"");
+    ADYA_CHECK(p.ok());
+    return std::shared_ptr<const Predicate>(std::move(*p));
+  }
+
+  Status AcquirePred(TxnId txn, std::shared_ptr<const Predicate> pred) {
+    std::unique_lock<std::mutex> lk(mu_);
+    return lm_.AcquirePredicate(lk, txn, 0, std::move(pred), /*wait=*/false);
+  }
+
+  Status CheckWrite(TxnId txn, Row row) {
+    std::unique_lock<std::mutex> lk(mu_);
+    return lm_.CheckWriteAgainstPredicates(lk, txn, 0, {std::move(row)},
+                                           /*wait=*/false);
+  }
+};
+
+TEST_F(PredicateLockTest, WriterBlockedByMatchingPredicateLock) {
+  EXPECT_TRUE(AcquirePred(1, Sales()).ok());
+  EXPECT_EQ(CheckWrite(2, Row{{"dept", Value("Sales")}}).code(),
+            StatusCode::kWouldBlock);
+  // Precision locking: a non-matching row passes (§4.4.2's flexibility).
+  EXPECT_TRUE(CheckWrite(2, Row{{"dept", Value("Legal")}}).ok());
+  // The holder itself is never blocked by its own lock.
+  EXPECT_TRUE(CheckWrite(1, Row{{"dept", Value("Sales")}}).ok());
+}
+
+TEST_F(PredicateLockTest, PredicateBlockedByMatchingFootprint) {
+  lm_.AddWriteFootprint(2, 0, Row{{"dept", Value("Sales")}});
+  EXPECT_EQ(AcquirePred(1, Sales()).code(), StatusCode::kWouldBlock);
+  lm_.ReleaseAll(2);
+  EXPECT_TRUE(AcquirePred(1, Sales()).ok());
+}
+
+TEST_F(PredicateLockTest, NonMatchingFootprintDoesNotBlock) {
+  lm_.AddWriteFootprint(2, 0, Row{{"dept", Value("Legal")}});
+  EXPECT_TRUE(AcquirePred(1, Sales()).ok());
+}
+
+TEST_F(PredicateLockTest, FootprintInOtherRelationIgnored) {
+  lm_.AddWriteFootprint(2, /*relation=*/7, Row{{"dept", Value("Sales")}});
+  EXPECT_TRUE(AcquirePred(1, Sales()).ok());
+}
+
+TEST_F(PredicateLockTest, ShortPredicateRelease) {
+  auto pred = Sales();
+  EXPECT_TRUE(AcquirePred(1, pred).ok());
+  EXPECT_EQ(lm_.predicate_lock_count(), 1u);
+  lm_.ReleasePredicate(1, pred.get());
+  EXPECT_EQ(lm_.predicate_lock_count(), 0u);
+  EXPECT_TRUE(CheckWrite(2, Row{{"dept", Value("Sales")}}).ok());
+}
+
+TEST_F(PredicateLockTest, PredicateDeadlockDetected) {
+  // T1 pred-locks Legal, T2 pred-locks Sales; then each tries to write a
+  // row the other's predicate covers → waits-for cycle.
+  auto legal = ParsePredicate("dept = \"Legal\"");
+  ASSERT_TRUE(legal.ok());
+  EXPECT_TRUE(
+      AcquirePred(1, std::shared_ptr<const Predicate>(std::move(*legal)))
+          .ok());
+  EXPECT_TRUE(AcquirePred(2, Sales()).ok());
+  EXPECT_EQ(CheckWrite(1, Row{{"dept", Value("Sales")}}).code(),
+            StatusCode::kWouldBlock);  // T1 waits on T2
+  EXPECT_EQ(CheckWrite(2, Row{{"dept", Value("Legal")}}).code(),
+            StatusCode::kTxnAborted);  // cycle closed: T2 is the victim
+}
+
+}  // namespace
+}  // namespace adya::engine

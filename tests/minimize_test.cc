@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "core/levels.h"
+#include "core/minimize.h"
+#include "core/paper_histories.h"
+#include "history/format.h"
+#include "history/parser.h"
+#include "workload/workload.h"
+
+namespace adya {
+namespace {
+
+TEST(MinimizeTest, StripsIrrelevantTransactions) {
+  // Write skew between T1 and T2 buried among unrelated traffic.
+  auto h = ParseHistory(
+      "w0(x0) w0(y0) c0 "
+      "w5(a5) c5 r6(a5) c6 w7(b7) c7 "  // noise
+      "r1(x0) r1(y0) r2(x0) r2(y0) w1(x1) w2(y2) c1 c2 "
+      "r8(b7) w8(b8) c8");  // more noise
+  ASSERT_TRUE(h.ok());
+  History min = MinimizeForPhenomenon(*h, Phenomenon::kG2);
+  EXPECT_TRUE(PhenomenaChecker(min).Check(Phenomenon::kG2).has_value());
+  // Only T0 (initial state), T1 and T2 can matter.
+  EXPECT_LE(min.Transactions().size(), 3u);
+  EXPECT_LT(min.events().size(), h->events().size());
+}
+
+TEST(MinimizeTest, StripsIrrelevantReads) {
+  auto h = ParseHistory(
+      "w0(x0) w0(y0) w0(z0) c0 "
+      "r1(x0) r1(z0) w1(x1) c1 "  // r1(z0) is irrelevant to the cycle
+      "r2(x0) r2(z0) w2(x2) c2");
+  ASSERT_TRUE(h.ok());
+  // Lost update on x: G2 via r2(x0) → w1/w2. The reads of z are noise.
+  ASSERT_TRUE(PhenomenaChecker(*h).Check(Phenomenon::kG2).has_value());
+  History min = MinimizeForPhenomenon(*h, Phenomenon::kG2);
+  for (const Event& e : min.events()) {
+    if (e.type == EventType::kRead) {
+      EXPECT_NE(min.object_name(e.version.object), "z")
+          << "irrelevant read of z survived:\n"
+          << FormatHistory(min);
+    }
+  }
+}
+
+TEST(MinimizeTest, KeepsViolationIntact) {
+  PaperHistory ph = MakeHPhantom();
+  History min = MinimizeForLevelViolation(ph.history, IsolationLevel::kPL3);
+  EXPECT_FALSE(CheckLevel(min, IsolationLevel::kPL3).satisfied);
+  EXPECT_LE(min.events().size(), ph.history.events().size());
+  // The phantom needs T1's predicate read, T2's insert and the Sum
+  // back-channel: three transactions at most (T0's state may be dropped if
+  // the cycle survives without it).
+  EXPECT_LE(min.Transactions().size(), 3u);
+}
+
+TEST(MinimizeTest, DropsVsetEntries) {
+  // The version set mentions x and y; only x matters for the phantom.
+  auto h = ParseHistory(
+      "relation Emp; object x in Emp; object y in Emp;\n"
+      "pred P on Emp: dept = \"Sales\";\n"
+      "w0(y0, {dept: \"Legal\"}) c0 "
+      "r1(P: xinit, y0) w2(x2, {dept: \"Sales\"}) c2 r1(x2) c1");
+  ASSERT_TRUE(h.ok());
+  ASSERT_TRUE(PhenomenaChecker(*h).Check(Phenomenon::kG2).has_value());
+  History min = MinimizeForPhenomenon(*h, Phenomenon::kG2);
+  for (const Event& e : min.events()) {
+    if (e.type == EventType::kPredicateRead) {
+      EXPECT_LE(e.vset.size(), 1u) << FormatHistory(min);
+    }
+  }
+}
+
+TEST(MinimizeTest, AlreadyMinimalIsFixpoint) {
+  auto h = ParseHistory(
+      "w1(x1) w2(x2) w2(y2) c2 w1(y1) c1 [x1 << x2, y2 << y1]");
+  ASSERT_TRUE(h.ok());
+  ASSERT_TRUE(PhenomenaChecker(*h).Check(Phenomenon::kG0).has_value());
+  History min = MinimizeForPhenomenon(*h, Phenomenon::kG0);
+  EXPECT_EQ(min.events().size(), h->events().size());
+  EXPECT_TRUE(PhenomenaChecker(min).Check(Phenomenon::kG0).has_value());
+}
+
+class MinimizeSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MinimizeSweepTest, RandomViolatorsShrinkAndStayViolating) {
+  workload::RandomHistoryOptions options;
+  options.seed = GetParam();
+  options.num_txns = 10;
+  options.ops_per_txn = 4;
+  History h = workload::GenerateRandomHistory(options);
+  LevelCheckResult check = CheckLevel(h, IsolationLevel::kPL3);
+  if (check.satisfied) GTEST_SKIP() << "seed produced no violation";
+  History min = MinimizeForLevelViolation(h, IsolationLevel::kPL3);
+  EXPECT_FALSE(CheckLevel(min, IsolationLevel::kPL3).satisfied);
+  EXPECT_LE(min.events().size(), h.events().size());
+  EXPECT_TRUE(min.finalized());
+  // Shrunken witnesses are small: an isolation anomaly needs at most a
+  // handful of transactions.
+  EXPECT_LE(min.Transactions().size(), 6u)
+      << "seed " << GetParam() << ":\n"
+      << FormatHistory(min);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MinimizeSweepTest,
+                         ::testing::Range<uint64_t>(1, 31));
+
+}  // namespace
+}  // namespace adya

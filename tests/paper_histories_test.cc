@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "core/levels.h"
+#include "core/paper_histories.h"
+#include "core/preventative.h"
+
+namespace adya {
+namespace {
+
+// The expected level matrix, derived from the paper's prose (see each
+// MakeH* doc comment). One row per history. PL-2+/PL-SI/PL-CS columns are
+// thesis extensions; the ANSI columns are the paper's explicit claims.
+struct ExpectedRow {
+  const char* name;
+  bool pl1, pl2, plcs, pl2plus, pl299, plsi, pl3;
+};
+
+constexpr ExpectedRow kMatrix[] = {
+    //                      PL-1  PL-2  PL-CS PL-2+ PL2.99 PL-SI PL-3
+    {"H1",                  true, true, true, false, false, false, false},
+    {"H2",                  true, true, true, false, false, false, false},
+    {"H1'",                 true, true, true, true,  true,  false, true},
+    {"H2'",                 true, true, true, true,  true,  true,  true},
+    {"H_write_order",       true, true, true, true,  true,  false, true},
+    {"H_pred_read",         true, true, true, true,  true,  true,  true},
+    {"H_insert",            true, true, true, true,  true,  true,  true},
+    {"H_serial",            true, true, true, true,  true,  false, true},
+    {"H_wcycle",            false, false, false, false, false, false, false},
+    {"H_pred_update",       true, true, true, false, true,  false, false},
+    {"H_phantom",           true, true, true, false, true,  false, false},
+};
+
+class PaperMatrixTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PaperMatrixTest, LevelsMatchPaperClaims) {
+  std::vector<PaperHistory> histories = AllPaperHistories();
+  ASSERT_EQ(histories.size(), std::size(kMatrix));
+  const PaperHistory& ph = histories[GetParam()];
+  const ExpectedRow& row = kMatrix[GetParam()];
+  ASSERT_EQ(ph.name, row.name);
+  Classification c = Classify(ph.history);
+  EXPECT_EQ(c.Satisfies(IsolationLevel::kPL1), row.pl1) << ph.name;
+  EXPECT_EQ(c.Satisfies(IsolationLevel::kPL2), row.pl2) << ph.name;
+  EXPECT_EQ(c.Satisfies(IsolationLevel::kPLCS), row.plcs) << ph.name;
+  EXPECT_EQ(c.Satisfies(IsolationLevel::kPL2Plus), row.pl2plus) << ph.name;
+  EXPECT_EQ(c.Satisfies(IsolationLevel::kPL299), row.pl299) << ph.name;
+  EXPECT_EQ(c.Satisfies(IsolationLevel::kPLSI), row.plsi) << ph.name;
+  EXPECT_EQ(c.Satisfies(IsolationLevel::kPL3), row.pl3) << ph.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllHistories, PaperMatrixTest,
+                         ::testing::Range<size_t>(0, std::size(kMatrix)),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           std::string name = kMatrix[info.param].name;
+                           for (char& ch : name) {
+                             if (!std::isalnum(
+                                     static_cast<unsigned char>(ch))) {
+                               ch = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(PaperHistoriesTest, AllHistoriesAreWellFormed) {
+  for (const PaperHistory& ph : AllPaperHistories()) {
+    EXPECT_TRUE(ph.history.finalized()) << ph.name;
+    EXPECT_FALSE(ph.claim.empty()) << ph.name;
+    EXPECT_FALSE(ph.paper_ref.empty()) << ph.name;
+  }
+}
+
+// --- §3's central argument: preventative over-restriction -------------------
+
+TEST(PaperHistoriesTest, H1RuledOutByP1AndByPL3) {
+  PaperHistory ph = MakeH1();
+  EXPECT_TRUE(
+      CheckPreventative(ph.history, PreventativePhenomenon::kP1).has_value());
+  EXPECT_FALSE(Classify(ph.history).Satisfies(IsolationLevel::kPL3));
+}
+
+TEST(PaperHistoriesTest, H2RuledOutByP2AndByPL3) {
+  PaperHistory ph = MakeH2();
+  EXPECT_TRUE(
+      CheckPreventative(ph.history, PreventativePhenomenon::kP2).has_value());
+  EXPECT_FALSE(Classify(ph.history).Satisfies(IsolationLevel::kPL3));
+}
+
+TEST(PaperHistoriesTest, PrimedHistoriesShowStrictPermissivenessGap) {
+  // H1' and H2' are the paper's witnesses that PL-3 accepts strictly more
+  // histories than the preventative SERIALIZABLE.
+  for (PaperHistory ph : {MakeH1Prime(), MakeH2Prime()}) {
+    EXPECT_FALSE(CheckDegree(ph.history, LockingDegree::kSerializable).allowed)
+        << ph.name;
+    EXPECT_TRUE(Classify(ph.history).Satisfies(IsolationLevel::kPL3))
+        << ph.name;
+  }
+}
+
+TEST(PaperHistoriesTest, HSerialRejectedByPreventativeButSerializable) {
+  // w3(x3) interleaves with uncommitted T1's writes: P0 fires, yet the
+  // history is serializable — another preventative over-restriction.
+  PaperHistory ph = MakeHSerial();
+  EXPECT_TRUE(
+      CheckPreventative(ph.history, PreventativePhenomenon::kP0).has_value());
+  EXPECT_TRUE(Classify(ph.history).Satisfies(IsolationLevel::kPL3));
+}
+
+TEST(PaperHistoriesTest, HPredUpdateExhibitsP0AndP3) {
+  PaperHistory ph = MakeHPredUpdate();
+  EXPECT_TRUE(
+      CheckPreventative(ph.history, PreventativePhenomenon::kP0).has_value());
+  EXPECT_TRUE(
+      CheckPreventative(ph.history, PreventativePhenomenon::kP3).has_value());
+}
+
+TEST(PaperHistoriesTest, HPhantomExhibitsP3) {
+  PaperHistory ph = MakeHPhantom();
+  EXPECT_TRUE(
+      CheckPreventative(ph.history, PreventativePhenomenon::kP3).has_value());
+  // No P2: T1's read of Sum happens only after T2's write, and T2 touches
+  // no item T1 read earlier — REPEATABLE READ (locking) admits this
+  // interleaving just as PL-2.99 does; only the phantom condition P3 (and
+  // G2 at PL-3) rejects it.
+  EXPECT_FALSE(
+      CheckPreventative(ph.history, PreventativePhenomenon::kP2).has_value());
+  EXPECT_TRUE(CheckDegree(ph.history, LockingDegree::kRepeatableRead).allowed);
+  EXPECT_FALSE(CheckDegree(ph.history, LockingDegree::kSerializable).allowed);
+}
+
+TEST(PaperHistoriesTest, StrongestAnsiLevels) {
+  std::map<std::string, std::optional<IsolationLevel>> expected{
+      {"H1", IsolationLevel::kPL2},
+      {"H2", IsolationLevel::kPL2},
+      {"H1'", IsolationLevel::kPL3},
+      {"H2'", IsolationLevel::kPL3},
+      {"H_write_order", IsolationLevel::kPL3},
+      {"H_pred_read", IsolationLevel::kPL3},
+      {"H_insert", IsolationLevel::kPL3},
+      {"H_serial", IsolationLevel::kPL3},
+      {"H_wcycle", std::nullopt},
+      {"H_pred_update", IsolationLevel::kPL299},
+      {"H_phantom", IsolationLevel::kPL299},
+  };
+  for (const PaperHistory& ph : AllPaperHistories()) {
+    Classification c = Classify(ph.history);
+    EXPECT_EQ(c.strongest_ansi, expected.at(ph.name)) << ph.name;
+  }
+}
+
+}  // namespace
+}  // namespace adya

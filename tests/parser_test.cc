@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include "history/format.h"
+#include "history/parser.h"
+
+namespace adya {
+namespace {
+
+TEST(ParserTest, SimpleEvents) {
+  auto h = ParseHistory("w1(x1, 5) c1 r2(x1, 5) c2");
+  ASSERT_TRUE(h.ok()) << h.status();
+  ASSERT_EQ(h->events().size(), 4u);
+  EXPECT_EQ(h->event(0).type, EventType::kWrite);
+  EXPECT_EQ(h->event(0).txn, 1u);
+  EXPECT_EQ(h->event(0).row.Get(kScalarAttr)->AsInt(), 5);
+  EXPECT_EQ(h->event(2).type, EventType::kRead);
+  EXPECT_EQ(h->event(2).version, (VersionId{*h->FindObject("x"), 1, 1}));
+}
+
+TEST(ParserTest, PaperHistoryH1) {
+  // H1 from §3: r1(x,5) w1(x,1) r2(x,1) r2(y,5) c2 r1(y,5) w1(y,9) c1,
+  // with initial versions installed by T0.
+  auto h = ParseHistory(
+      "w0(x0, 5) w0(y0, 5) c0 "
+      "r1(x0, 5) w1(x1, 1) r2(x1, 1) r2(y0, 5) c2 r1(y0, 5) w1(y1, 9) c1");
+  ASSERT_TRUE(h.ok()) << h.status();
+  EXPECT_TRUE(h->IsCommitted(0));
+  EXPECT_TRUE(h->IsCommitted(1));
+  EXPECT_TRUE(h->IsCommitted(2));
+}
+
+TEST(ParserTest, MultipleModifications) {
+  auto h = ParseHistory("w1(x1, 1) w1(x1.2, 2) r2(x1.2) c1 c2");
+  ASSERT_TRUE(h.ok()) << h.status();
+  EXPECT_EQ(h->event(1).version.seq, 2u);
+  EXPECT_EQ(h->event(2).version.seq, 2u);
+}
+
+TEST(ParserTest, WriteSeqMismatchRejected) {
+  EXPECT_FALSE(ParseHistory("w1(x1.2, 1) c1").ok());
+  EXPECT_FALSE(ParseHistory("w1(x1, 1) w1(x1, 2) c1").ok());
+}
+
+TEST(ParserTest, WrongWriterRejected) {
+  EXPECT_FALSE(ParseHistory("w1(x2, 1) c1").ok());
+}
+
+TEST(ParserTest, DeadWrites) {
+  auto h = ParseHistory("w1(x1, 5) c1 w2(x2, dead) c2");
+  ASSERT_TRUE(h.ok()) << h.status();
+  EXPECT_EQ(h->event(2).written_kind, VersionKind::kDead);
+}
+
+TEST(ParserTest, RowValues) {
+  auto h = ParseHistory(
+      "relation Emp; object x in Emp;\n"
+      "w1(x1, {dept: \"Sales\", sal: 10}) c1");
+  ASSERT_TRUE(h.ok()) << h.status();
+  const Row& row = h->event(0).row;
+  EXPECT_EQ(row.Get("dept")->AsString(), "Sales");
+  EXPECT_EQ(row.Get("sal")->AsInt(), 10);
+  ObjectId x = *h->FindObject("x");
+  EXPECT_EQ(h->relation_name(h->object_relation(x)), "Emp");
+}
+
+TEST(ParserTest, PredicateRead) {
+  auto h = ParseHistory(
+      "relation Emp; object x in Emp; object y in Emp; object z in Emp;\n"
+      "pred P on Emp: dept = \"Sales\";\n"
+      "w0(x0, {dept: \"Sales\"}) w0(y0, {dept: \"Legal\"}) c0\n"
+      "r1(P: x0, y0, zinit) r1(x0) c1");
+  ASSERT_TRUE(h.ok()) << h.status();
+  const Event& pr = h->event(3);
+  ASSERT_EQ(pr.type, EventType::kPredicateRead);
+  EXPECT_EQ(pr.vset.size(), 3u);
+  EXPECT_TRUE(pr.vset[2].is_init());
+  EXPECT_TRUE(h->Matches(pr.vset[0], pr.predicate));
+  EXPECT_FALSE(h->Matches(pr.vset[1], pr.predicate));
+}
+
+TEST(ParserTest, UnknownPredicateRejected) {
+  EXPECT_FALSE(ParseHistory("r1(P: xinit) c1").ok());
+}
+
+TEST(ParserTest, VersionOrderBlock) {
+  // H_write_order (§4.2): version order x2 << x1 despite T1 committing
+  // first; uncommitted T3 / aborted T4 versions carry no ordering.
+  auto h = ParseHistory(
+      "w1(x1) w2(x2) w2(y2) c1 c2 r3(x1) w3(x3) w4(y4) a4 "
+      "[x2 << x1, y2]");
+  ASSERT_TRUE(h.ok()) << h.status();
+  ObjectId x = *h->FindObject("x");
+  EXPECT_EQ(h->VersionOrder(x), (std::vector<TxnId>{2, 1}));
+  EXPECT_TRUE(h->IsAborted(3));  // auto-completed
+  EXPECT_TRUE(h->IsAborted(4));
+}
+
+TEST(ParserTest, VersionOrderOfUncommittedVersionRejected) {
+  EXPECT_FALSE(ParseHistory("w1(x1) w2(x2) c1 a2 [x1 << x2]").ok());
+}
+
+TEST(ParserTest, VersionOrderWithInitPrefix) {
+  auto h = ParseHistory("w1(x1) c1 w2(x2) c2 [xinit << x1 << x2]");
+  ASSERT_TRUE(h.ok()) << h.status();
+  ObjectId x = *h->FindObject("x");
+  EXPECT_EQ(h->VersionOrder(x), (std::vector<TxnId>{1, 2}));
+}
+
+TEST(ParserTest, MixedObjectChainRejected) {
+  EXPECT_FALSE(ParseHistory("w1(x1) c1 w2(y2) c2 [x1 << y2]").ok());
+}
+
+TEST(ParserTest, CommentsAndWhitespace) {
+  auto h = ParseHistory(
+      "# a comment line\n"
+      "w1(x1, 5)   # trailing comment\n"
+      "c1\n");
+  ASSERT_TRUE(h.ok()) << h.status();
+  EXPECT_EQ(h->events().size(), 2u);
+}
+
+TEST(ParserTest, BeginAndLevels) {
+  auto h = ParseHistory(
+      "level 1 PL-2; level 2 PL-1;\n"
+      "b1 w1(x1) c1 b2 r2(x1) c2");
+  ASSERT_TRUE(h.ok()) << h.status();
+  EXPECT_EQ(h->txn_info(1).level, IsolationLevel::kPL2);
+  EXPECT_EQ(h->txn_info(2).level, IsolationLevel::kPL1);
+  EXPECT_EQ(h->event(0).type, EventType::kBegin);
+}
+
+TEST(ParserTest, UnknownLevelRejected) {
+  EXPECT_FALSE(ParseHistory("level 1 PL-9; c1").ok());
+}
+
+TEST(ParserTest, AbortEvents) {
+  auto h = ParseHistory("w1(x1) a1");
+  ASSERT_TRUE(h.ok()) << h.status();
+  EXPECT_TRUE(h->IsAborted(1));
+}
+
+TEST(ParserTest, UnfinishedTxnAutoAborted) {
+  auto h = ParseHistory("w1(x1) c1 r2(x1)");
+  ASSERT_TRUE(h.ok()) << h.status();
+  EXPECT_TRUE(h->IsAborted(2));
+}
+
+TEST(ParserTest, ReadBeforeAnyWriteRejected) {
+  EXPECT_FALSE(ParseHistory("r2(x1) c2").ok());
+}
+
+TEST(ParserTest, ErrorsCarryLineNumbers) {
+  auto h = ParseHistory("w1(x1)\nc1\nr2(y9)\n");
+  ASSERT_FALSE(h.ok());
+  EXPECT_NE(h.status().message().find("line 3"), std::string::npos)
+      << h.status();
+}
+
+TEST(ParserTest, GarbageRejected) {
+  EXPECT_FALSE(ParseHistory("hello world").ok());
+  EXPECT_FALSE(ParseHistory("w1[x1]").ok());
+  EXPECT_FALSE(ParseHistory("w1(x1").ok());
+  EXPECT_FALSE(ParseHistory("q1(x1)").ok());
+}
+
+TEST(ParserTest, DuplicateDeclsRejected) {
+  EXPECT_FALSE(ParseHistory("object x; object x; c1").ok());
+  EXPECT_FALSE(
+      ParseHistory("pred P: true; pred P: false; c1").ok());
+}
+
+// --- round trips ----------------------------------------------------------
+
+void ExpectRoundTrip(const std::string& text) {
+  auto h = ParseHistory(text);
+  ASSERT_TRUE(h.ok()) << h.status();
+  std::string formatted = FormatHistory(*h);
+  auto h2 = ParseHistory(formatted);
+  ASSERT_TRUE(h2.ok()) << "formatted text failed to reparse:\n"
+                       << formatted << "\n"
+                       << h2.status();
+  EXPECT_EQ(FormatHistory(*h2), formatted);
+  EXPECT_EQ(h2->events().size(), h->events().size());
+}
+
+TEST(FormatTest, RoundTripSimple) {
+  ExpectRoundTrip("w1(x1, 5) c1 r2(x1) c2");
+}
+
+TEST(FormatTest, RoundTripVersionOrder) {
+  ExpectRoundTrip("w1(x1) w2(x2) c2 c1 [x1 << x2]");
+}
+
+TEST(FormatTest, RoundTripPredicates) {
+  ExpectRoundTrip(
+      "relation Emp; object x in Emp; object y in Emp;\n"
+      "pred P on Emp: dept = \"Sales\";\n"
+      "w0(x0, {dept: \"Sales\"}) c0 r1(P: x0, yinit) r1(x0) c1");
+}
+
+TEST(FormatTest, RoundTripDeadAndIntermediate) {
+  ExpectRoundTrip("w1(x1, 1) w1(x1.2, 2) c1 w2(x2, dead) c2");
+}
+
+TEST(FormatTest, RoundTripLevelsAndBegin) {
+  ExpectRoundTrip("level 2 PL-2; b1 w1(x1) c1 b2 r2(x1) c2");
+}
+
+TEST(FormatTest, FormatVersionNotation) {
+  auto h = ParseHistory("w1(x1) w1(x1.2) w1(y1) c1");
+  ASSERT_TRUE(h.ok());
+  ObjectId x = *h->FindObject("x");
+  ObjectId y = *h->FindObject("y");
+  EXPECT_EQ(FormatVersion(*h, InitVersion(x)), "xinit");
+  // T1 modified x twice: every mention of an x version is explicit, so a
+  // reference to the first modification cannot be misread as "latest".
+  EXPECT_EQ(FormatVersion(*h, VersionId{x, 1, 1}), "x1.1");
+  EXPECT_EQ(FormatVersion(*h, VersionId{x, 1, 2}), "x1.2");
+  // Single modification: the paper's compact form.
+  EXPECT_EQ(FormatVersion(*h, VersionId{y, 1, 1}), "y1");
+}
+
+TEST(FormatTest, FormatEventShapes) {
+  auto h = ParseHistory("w1(x1, 5) c1 r2(x1) a2");
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(FormatEvent(*h, h->event(0)), "w1(x1, 5)");
+  EXPECT_EQ(FormatEvent(*h, h->event(1)), "c1");
+  EXPECT_EQ(FormatEvent(*h, h->event(2)), "r2(x1)");
+  EXPECT_EQ(FormatEvent(*h, h->event(3)), "a2");
+}
+
+}  // namespace
+}  // namespace adya

@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include "core/phenomena.h"
+#include "history/parser.h"
+
+namespace adya {
+namespace {
+
+bool Occurs(const std::string& text, Phenomenon p) {
+  auto h = ParseHistory(text);
+  EXPECT_TRUE(h.ok()) << h.status();
+  if (!h.ok()) return false;
+  PhenomenaChecker checker(*h);
+  return checker.Check(p).has_value();
+}
+
+// --- G0 --------------------------------------------------------------------
+
+TEST(PhenomenaTest, G0WriteCycle) {
+  EXPECT_TRUE(Occurs(
+      "w1(x1) w2(x2) w2(y2) c2 w1(y1) c1 [x1 << x2, y2 << y1]",
+      Phenomenon::kG0));
+}
+
+TEST(PhenomenaTest, G0AbsentWhenWritesAligned) {
+  EXPECT_FALSE(Occurs(
+      "w1(x1) w2(x2) w2(y2) c2 w1(y1) c1 [x1 << x2, y1 << y2]",
+      Phenomenon::kG0));
+}
+
+TEST(PhenomenaTest, G0AbsentWhenOneWriterAborts) {
+  // The would-be cycle partner aborted: no node, no cycle.
+  EXPECT_FALSE(Occurs(
+      "w1(x1) w2(x2) w2(y2) a2 w1(y1) c1", Phenomenon::kG0));
+}
+
+// --- G1a -------------------------------------------------------------------
+
+TEST(PhenomenaTest, G1aAbortedRead) {
+  EXPECT_TRUE(Occurs("w1(x1) r2(x1) a1 c2", Phenomenon::kG1a));
+}
+
+TEST(PhenomenaTest, G1aViaPredicate) {
+  EXPECT_TRUE(Occurs(
+      "relation Emp; object x in Emp; pred P on Emp: dept = \"Sales\";\n"
+      "w1(x1, {dept: \"Sales\"}) r2(P: x1) a1 c2",
+      Phenomenon::kG1a));
+}
+
+TEST(PhenomenaTest, G1aAbsentWhenReaderAborts) {
+  EXPECT_FALSE(Occurs("w1(x1) r2(x1) a1 a2", Phenomenon::kG1a));
+}
+
+TEST(PhenomenaTest, G1aAbsentWhenWriterCommits) {
+  EXPECT_FALSE(Occurs("w1(x1) r2(x1) c1 c2", Phenomenon::kG1a));
+}
+
+// --- G1b -------------------------------------------------------------------
+
+TEST(PhenomenaTest, G1bIntermediateRead) {
+  // T2 reads x1:1 although T1's final modification is x1:2.
+  EXPECT_TRUE(Occurs("w1(x1) r2(x1) w1(x1.2) c1 c2", Phenomenon::kG1b));
+}
+
+TEST(PhenomenaTest, G1bAbsentForFinalRead) {
+  EXPECT_FALSE(Occurs("w1(x1) w1(x1.2) r2(x1.2) c1 c2", Phenomenon::kG1b));
+}
+
+TEST(PhenomenaTest, G1bAbsentForOwnIntermediateRead) {
+  // Reading your own latest-so-far version is required by §4.2, not G1b.
+  EXPECT_FALSE(Occurs("w1(x1) r1(x1) w1(x1.2) c1", Phenomenon::kG1b));
+}
+
+TEST(PhenomenaTest, G1bViaPredicate) {
+  EXPECT_TRUE(Occurs(
+      "relation Emp; object x in Emp; pred P on Emp: dept = \"Sales\";\n"
+      "w1(x1, {dept: \"Sales\"}) r2(P: x1) w1(x1.2, {dept: \"Legal\"}) "
+      "c1 c2",
+      Phenomenon::kG1b));
+}
+
+// --- G1c -------------------------------------------------------------------
+
+TEST(PhenomenaTest, G1cReadWriteInformationCycle) {
+  // T1 reads from T2 and T2 reads from T1.
+  EXPECT_TRUE(Occurs("w1(x1) w2(y2) r2(x1) r1(y2) c1 c2",
+                     Phenomenon::kG1c));
+}
+
+TEST(PhenomenaTest, G1cIncludesG0) {
+  EXPECT_TRUE(Occurs(
+      "w1(x1) w2(x2) w2(y2) c2 w1(y1) c1 [x1 << x2, y2 << y1]",
+      Phenomenon::kG1c));
+}
+
+TEST(PhenomenaTest, G1cAbsentForOneWayFlow) {
+  EXPECT_FALSE(Occurs("w1(x1) c1 r2(x1) w2(y2) c2", Phenomenon::kG1c));
+}
+
+// --- G2 / G2-item ----------------------------------------------------------
+
+TEST(PhenomenaTest, G2ItemAntiCycle) {
+  // Classic write skew: T1 reads x,y writes x; T2 reads x,y writes y.
+  const char* kWriteSkew =
+      "w0(x0) w0(y0) c0 "
+      "r1(x0) r1(y0) r2(x0) r2(y0) w1(x1) w2(y2) c1 c2";
+  EXPECT_TRUE(Occurs(kWriteSkew, Phenomenon::kG2));
+  EXPECT_TRUE(Occurs(kWriteSkew, Phenomenon::kG2Item));
+  // Not an information-flow cycle.
+  EXPECT_FALSE(Occurs(kWriteSkew, Phenomenon::kG1c));
+}
+
+TEST(PhenomenaTest, G2PredicateOnlyCycleIsNotG2Item) {
+  // Phantom cycle: the only anti edge is predicate-based.
+  const char* kPhantom =
+      "relation Emp; object z in Emp;\n"
+      "pred P on Emp: dept = \"Sales\";\n"
+      "w0(Sum0, 20) c0 "
+      "r1(P: zinit) "
+      "w2(z2, {dept: \"Sales\"}) w2(Sum2, 30) c2 "
+      "r1(Sum2) c1";
+  EXPECT_TRUE(Occurs(kPhantom, Phenomenon::kG2));
+  EXPECT_FALSE(Occurs(kPhantom, Phenomenon::kG2Item));
+  EXPECT_TRUE(Occurs(kPhantom, Phenomenon::kGSingle));
+}
+
+TEST(PhenomenaTest, MixedItemAndPredicateAntiCycleIsNotG2Item) {
+  // Regression: REPEATABLE READ locking (long item locks, short phantom
+  // locks) can produce this — T7 predicate-reads an empty match set, T5
+  // then creates a matching row (phantom, allowed), reads its own write,
+  // commits, and T7 overwrites it. The cycle needs the predicate
+  // anti-dependency edge to close, so it is a phantom anomaly: G2 yes,
+  // G2-item no.
+  const char* kMixed =
+      "relation Emp; object k in Emp;\n"
+      "pred P on Emp: dept = \"Sales\";\n"
+      "r7(P: kinit) "
+      "w5(k5, {dept: \"Sales\"}) r5(k5) c5 "
+      "w7(k7, {dept: \"Sales\", val: 2}) c7";
+  EXPECT_TRUE(Occurs(kMixed, Phenomenon::kG2));
+  EXPECT_FALSE(Occurs(kMixed, Phenomenon::kG2Item));
+}
+
+TEST(PhenomenaTest, G2AbsentForSerializableHistory) {
+  EXPECT_FALSE(Occurs("w1(x1) c1 r2(x1) w2(x2) c2", Phenomenon::kG2));
+}
+
+// --- G-single ---------------------------------------------------------------
+
+TEST(PhenomenaTest, GSingleReadSkew) {
+  // Read skew (Adya's PL-2+ motivating anomaly): T2 reads x0, T1 updates
+  // x and y, commits; T2 then reads y1.
+  const char* kReadSkew =
+      "w0(x0) w0(y0) c0 "
+      "r2(x0) w1(x1) w1(y1) c1 r2(y1) c2";
+  EXPECT_TRUE(Occurs(kReadSkew, Phenomenon::kGSingle));
+  EXPECT_TRUE(Occurs(kReadSkew, Phenomenon::kG2));
+}
+
+TEST(PhenomenaTest, GSingleAbsentForWriteSkew) {
+  // Write skew needs TWO anti edges: G2 but not G-single.
+  const char* kWriteSkew =
+      "w0(x0) w0(y0) c0 "
+      "r1(x0) r1(y0) r2(x0) r2(y0) w1(x1) w2(y2) c1 c2";
+  EXPECT_FALSE(Occurs(kWriteSkew, Phenomenon::kGSingle));
+  EXPECT_TRUE(Occurs(kWriteSkew, Phenomenon::kG2));
+}
+
+// --- G-SI -------------------------------------------------------------------
+
+TEST(PhenomenaTest, GSIaReadWithoutSnapshot) {
+  // T2 reads T1's write although T1 committed after T2 began.
+  EXPECT_TRUE(Occurs("b1 b2 w1(x1) c1 r2(x1) c2", Phenomenon::kGSIa));
+}
+
+TEST(PhenomenaTest, GSIaAbsentWithProperSnapshots) {
+  EXPECT_FALSE(Occurs("b1 w1(x1) c1 b2 r2(x1) c2", Phenomenon::kGSIa));
+}
+
+TEST(PhenomenaTest, GSIbWriteSkewAllowed) {
+  // Snapshot isolation's hallmark: write skew passes G-SI (two anti edges)…
+  const char* kWriteSkewSI =
+      "w0(x0) w0(y0) c0 "
+      "b1 b2 r1(x0) r1(y0) r2(x0) r2(y0) w1(x1) w2(y2) c1 c2";
+  EXPECT_FALSE(Occurs(kWriteSkewSI, Phenomenon::kGSIb));
+  EXPECT_TRUE(Occurs(kWriteSkewSI, Phenomenon::kG2));
+}
+
+TEST(PhenomenaTest, GSIbCatchesReadSkewUnderSI) {
+  // …but a lost-update/read-skew cycle (one anti edge) violates G-SI(b).
+  const char* kLostUpdate =
+      "w0(x0) c0 "
+      "b1 b2 r1(x0) r2(x0) w1(x1) c1 w2(x2) c2";
+  EXPECT_TRUE(Occurs(kLostUpdate, Phenomenon::kGSIb));
+}
+
+// --- G-cursor ---------------------------------------------------------------
+
+TEST(PhenomenaTest, GCursorLostUpdate) {
+  // Lost update on a single object: r1(x0) r2(x0) w1(x1) w2(x2).
+  const char* kLostUpdate =
+      "w0(x0) c0 r1(x0) r2(x0) w1(x1) c1 w2(x2) c2";
+  EXPECT_TRUE(Occurs(kLostUpdate, Phenomenon::kGCursor));
+  EXPECT_TRUE(Occurs(kLostUpdate, Phenomenon::kG2Item));
+}
+
+TEST(PhenomenaTest, GCursorAbsentForCrossObjectSkew) {
+  // Write skew spans two objects: cursor stability does not forbid it.
+  const char* kWriteSkew =
+      "w0(x0) w0(y0) c0 "
+      "r1(x0) r1(y0) r2(x0) r2(y0) w1(x1) w2(y2) c1 c2";
+  EXPECT_FALSE(Occurs(kWriteSkew, Phenomenon::kGCursor));
+}
+
+// --- misc -------------------------------------------------------------------
+
+TEST(PhenomenaTest, CheckAllListsEveryOccurringPhenomenon) {
+  auto h = ParseHistory("w1(x1) r2(x1) a1 c2");
+  ASSERT_TRUE(h.ok());
+  PhenomenaChecker checker(*h);
+  auto all = checker.CheckAll();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].phenomenon, Phenomenon::kG1a);
+}
+
+TEST(PhenomenaTest, ViolationDescriptionsAreInformative) {
+  auto h = ParseHistory("w1(x1) r2(x1) a1 c2");
+  ASSERT_TRUE(h.ok());
+  PhenomenaChecker checker(*h);
+  auto v = checker.Check(Phenomenon::kG1a);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_NE(v->description.find("G1a"), std::string::npos);
+  EXPECT_NE(v->description.find("aborted"), std::string::npos);
+  ASSERT_EQ(v->events.size(), 1u);
+  EXPECT_EQ(h->event(v->events[0]).type, EventType::kRead);
+}
+
+TEST(PhenomenaTest, TxnFilterRestrictsG1a) {
+  auto h = ParseHistory("w1(x1) r2(x1) a1 c2");
+  ASSERT_TRUE(h.ok());
+  PhenomenaChecker checker(*h);
+  EXPECT_TRUE(checker.CheckG1a([](TxnId) { return true; }).has_value());
+  EXPECT_FALSE(
+      checker.CheckG1a([](TxnId t) { return t != 2; }).has_value());
+}
+
+TEST(PhenomenaTest, CleanSerializableHistoryHasNoPhenomena) {
+  auto h = ParseHistory(
+      "b1 w1(x1) w1(y1) c1 b2 r2(x1) w2(x2) c2 b3 r3(x2) r3(y1) c3");
+  ASSERT_TRUE(h.ok());
+  PhenomenaChecker checker(*h);
+  EXPECT_TRUE(checker.CheckAll().empty());
+}
+
+}  // namespace
+}  // namespace adya

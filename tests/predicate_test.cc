@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "history/predicate.h"
+
+namespace adya {
+namespace {
+
+Row SalesRow(int sal = 10) {
+  return Row{{"dept", Value("Sales")}, {"sal", Value(sal)}};
+}
+
+TEST(ExprTest, CmpOperators) {
+  Row row = SalesRow(10);
+  EXPECT_TRUE(Cmp("sal", CmpOp::kEq, Value(10))->Eval(row));
+  EXPECT_TRUE(Cmp("sal", CmpOp::kNe, Value(11))->Eval(row));
+  EXPECT_TRUE(Cmp("sal", CmpOp::kLt, Value(11))->Eval(row));
+  EXPECT_TRUE(Cmp("sal", CmpOp::kLe, Value(10))->Eval(row));
+  EXPECT_TRUE(Cmp("sal", CmpOp::kGt, Value(9))->Eval(row));
+  EXPECT_TRUE(Cmp("sal", CmpOp::kGe, Value(10))->Eval(row));
+  EXPECT_FALSE(Cmp("sal", CmpOp::kLt, Value(10))->Eval(row));
+}
+
+TEST(ExprTest, MissingAttributeOnlyMatchesNe) {
+  Row row = SalesRow();
+  EXPECT_FALSE(Cmp("bonus", CmpOp::kEq, Value(1))->Eval(row));
+  EXPECT_FALSE(Cmp("bonus", CmpOp::kLt, Value(1))->Eval(row));
+  EXPECT_TRUE(Cmp("bonus", CmpOp::kNe, Value(1))->Eval(row));
+}
+
+TEST(ExprTest, TypeMismatchOnlyMatchesNe) {
+  Row row = SalesRow();
+  EXPECT_FALSE(Cmp("dept", CmpOp::kEq, Value(1))->Eval(row));
+  EXPECT_TRUE(Cmp("dept", CmpOp::kNe, Value(1))->Eval(row));
+}
+
+TEST(ExprTest, CmpAttrs) {
+  Row row{{"comm", Value(30)}, {"quarter_sal", Value(25)}};
+  EXPECT_TRUE(CmpAttrs("comm", CmpOp::kGt, "quarter_sal")->Eval(row));
+  EXPECT_FALSE(CmpAttrs("comm", CmpOp::kLt, "quarter_sal")->Eval(row));
+}
+
+TEST(ExprTest, BooleanCombinators) {
+  Row row = SalesRow(10);
+  auto dept_sales = []() { return Cmp("dept", CmpOp::kEq, Value("Sales")); };
+  auto sal_high = []() { return Cmp("sal", CmpOp::kGt, Value(100)); };
+  EXPECT_FALSE(And(dept_sales(), sal_high())->Eval(row));
+  EXPECT_TRUE(Or(dept_sales(), sal_high())->Eval(row));
+  EXPECT_FALSE(Not(dept_sales())->Eval(row));
+  EXPECT_TRUE(Always(true)->Eval(row));
+  EXPECT_FALSE(Always(false)->Eval(row));
+}
+
+TEST(ParseExprTest, SimpleComparison) {
+  auto e = ParseExpr("dept = \"Sales\"");
+  ASSERT_TRUE(e.ok()) << e.status();
+  EXPECT_TRUE((*e)->Eval(SalesRow()));
+  EXPECT_FALSE((*e)->Eval(Row{{"dept", Value("Legal")}}));
+}
+
+TEST(ParseExprTest, AllOperators) {
+  EXPECT_TRUE((*ParseExpr("sal = 10"))->Eval(SalesRow(10)));
+  EXPECT_TRUE((*ParseExpr("sal != 11"))->Eval(SalesRow(10)));
+  EXPECT_TRUE((*ParseExpr("sal < 11"))->Eval(SalesRow(10)));
+  EXPECT_TRUE((*ParseExpr("sal <= 10"))->Eval(SalesRow(10)));
+  EXPECT_TRUE((*ParseExpr("sal > 9"))->Eval(SalesRow(10)));
+  EXPECT_TRUE((*ParseExpr("sal >= 10"))->Eval(SalesRow(10)));
+}
+
+TEST(ParseExprTest, Precedence) {
+  // and binds tighter than or.
+  auto e = ParseExpr("dept = \"Legal\" or dept = \"Sales\" and sal > 5");
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE((*e)->Eval(SalesRow(10)));
+  EXPECT_FALSE((*e)->Eval(SalesRow(-1) /* sal too small, dept Sales */));
+  EXPECT_TRUE((*e)->Eval(Row{{"dept", Value("Legal")}}));
+}
+
+TEST(ParseExprTest, Parentheses) {
+  auto e = ParseExpr("(dept = \"Legal\" or dept = \"Sales\") and sal > 5");
+  ASSERT_TRUE(e.ok());
+  EXPECT_FALSE((*e)->Eval(Row{{"dept", Value("Legal")}, {"sal", Value(1)}}));
+  EXPECT_TRUE((*e)->Eval(SalesRow(10)));
+}
+
+TEST(ParseExprTest, NotAndBoolLiterals) {
+  auto e = ParseExpr("not (active = true)");
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE((*e)->Eval(Row{{"active", Value(false)}}));
+  EXPECT_FALSE((*e)->Eval(Row{{"active", Value(true)}}));
+  EXPECT_TRUE((*ParseExpr("true"))->Eval(Row()));
+  EXPECT_FALSE((*ParseExpr("false"))->Eval(Row()));
+}
+
+TEST(ParseExprTest, AttrToAttrComparison) {
+  auto e = ParseExpr("comm > min_comm");
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE(
+      (*e)->Eval(Row{{"comm", Value(10)}, {"min_comm", Value(5)}}));
+  EXPECT_FALSE(
+      (*e)->Eval(Row{{"comm", Value(3)}, {"min_comm", Value(5)}}));
+}
+
+TEST(ParseExprTest, NumericLiterals) {
+  EXPECT_TRUE((*ParseExpr("x = -5"))->Eval(Row{{"x", Value(-5)}}));
+  EXPECT_TRUE((*ParseExpr("x = 2.5"))->Eval(Row{{"x", Value(2.5)}}));
+}
+
+TEST(ParseExprTest, Errors) {
+  EXPECT_FALSE(ParseExpr("").ok());
+  EXPECT_FALSE(ParseExpr("dept =").ok());
+  EXPECT_FALSE(ParseExpr("= 5").ok());
+  EXPECT_FALSE(ParseExpr("dept = \"unterminated").ok());
+  EXPECT_FALSE(ParseExpr("(a = 1").ok());
+  EXPECT_FALSE(ParseExpr("a = 1 garbage").ok());
+}
+
+TEST(ParseExprTest, DescriptionRoundTrips) {
+  auto e = ParseExpr("dept = \"Sales\" and sal > 10");
+  ASSERT_TRUE(e.ok());
+  auto reparsed = ParseExpr((*e)->ToString());
+  ASSERT_TRUE(reparsed.ok()) << "description '" << (*e)->ToString()
+                             << "' must reparse: " << reparsed.status();
+  EXPECT_EQ((*reparsed)->Eval(SalesRow(20)), (*e)->Eval(SalesRow(20)));
+  EXPECT_EQ((*reparsed)->Eval(SalesRow(5)), (*e)->Eval(SalesRow(5)));
+}
+
+TEST(ParsePredicateTest, ProducesPredicate) {
+  auto p = ParsePredicate("dept = \"Sales\"");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE((*p)->Matches(SalesRow()));
+  EXPECT_FALSE((*p)->Matches(Row{{"dept", Value("Legal")}}));
+  EXPECT_NE((*p)->Description().find("dept"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adya

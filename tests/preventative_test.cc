@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "core/levels.h"
+#include "core/paper_histories.h"
+#include "core/preventative.h"
+#include "history/parser.h"
+
+namespace adya {
+namespace {
+
+bool OccursP(const std::string& text, PreventativePhenomenon p) {
+  auto h = ParseHistory(text);
+  EXPECT_TRUE(h.ok()) << h.status();
+  if (!h.ok()) return false;
+  return CheckPreventative(*h, p).has_value();
+}
+
+TEST(PreventativeTest, P0DirtyWrite) {
+  EXPECT_TRUE(OccursP("w1(x1) w2(x2) c1 c2", PreventativePhenomenon::kP0));
+  // Sequential writes (T1 finished first) are fine.
+  EXPECT_FALSE(OccursP("w1(x1) c1 w2(x2) c2", PreventativePhenomenon::kP0));
+}
+
+TEST(PreventativeTest, P0TriggersEvenWhenFirstWriterAborts) {
+  // "(c1 or a1)": the interleaving is what is proscribed.
+  EXPECT_TRUE(OccursP("w1(x1) w2(x2) a1 c2", PreventativePhenomenon::kP0));
+}
+
+TEST(PreventativeTest, P1DirtyRead) {
+  EXPECT_TRUE(OccursP("w1(x1) r2(x1) c1 c2", PreventativePhenomenon::kP1));
+  EXPECT_FALSE(OccursP("w1(x1) c1 r2(x1) c2", PreventativePhenomenon::kP1));
+}
+
+TEST(PreventativeTest, P1IsObjectLevelNotVersionLevel) {
+  // T2 reads the OLD version x0 while T1's write of x is uncommitted:
+  // no multi-version harm, but P1's object-level pattern still fires —
+  // exactly the over-restriction §3 criticizes.
+  auto h = ParseHistory("w0(x0) c0 w1(x1) r2(x0) c1 c2");
+  ASSERT_TRUE(h.ok());
+  EXPECT_TRUE(
+      CheckPreventative(*h, PreventativePhenomenon::kP1).has_value());
+  // Yet the history is perfectly serializable (T2 before T1).
+  EXPECT_TRUE(Classify(*h).Satisfies(IsolationLevel::kPL3));
+}
+
+TEST(PreventativeTest, P2UnrepeatableRead) {
+  EXPECT_TRUE(OccursP("w0(x0) c0 r1(x0) w2(x2) c2 c1",
+                      PreventativePhenomenon::kP2));
+  EXPECT_FALSE(OccursP("w0(x0) c0 r1(x0) c1 w2(x2) c2",
+                       PreventativePhenomenon::kP2));
+}
+
+TEST(PreventativeTest, P3Phantom) {
+  const char* text =
+      "relation Emp; object z in Emp;\n"
+      "pred P on Emp: dept = \"Sales\";\n"
+      "r1(P: zinit) w2(z2, {dept: \"Sales\"}) c2 c1";
+  EXPECT_TRUE(OccursP(text, PreventativePhenomenon::kP3));
+}
+
+TEST(PreventativeTest, P3CoversDeletesOfMatchingRows) {
+  const char* text =
+      "relation Emp; object z in Emp;\n"
+      "pred P on Emp: dept = \"Sales\";\n"
+      "w0(z0, {dept: \"Sales\"}) c0 "
+      "r1(P: z0) w2(z2, dead) c2 c1";
+  EXPECT_TRUE(OccursP(text, PreventativePhenomenon::kP3));
+}
+
+TEST(PreventativeTest, P3IgnoresNonMatchingWrites) {
+  const char* text =
+      "relation Emp; object z in Emp;\n"
+      "pred P on Emp: dept = \"Sales\";\n"
+      "r1(P: zinit) w2(z2, {dept: \"Legal\"}) c2 c1";
+  EXPECT_FALSE(OccursP(text, PreventativePhenomenon::kP3));
+}
+
+TEST(PreventativeTest, P3IgnoresOtherRelations) {
+  const char* text =
+      "relation Emp; relation Agg; object z in Emp; object Sum in Agg;\n"
+      "pred P on Emp: dept = \"Sales\";\n"
+      "r1(P: zinit) w2(Sum2, 30) c2 c1";
+  EXPECT_FALSE(OccursP(text, PreventativePhenomenon::kP3));
+}
+
+TEST(PreventativeTest, P3AfterReaderFinishesIsFine) {
+  const char* text =
+      "relation Emp; object z in Emp;\n"
+      "pred P on Emp: dept = \"Sales\";\n"
+      "r1(P: zinit) c1 w2(z2, {dept: \"Sales\"}) c2";
+  EXPECT_FALSE(OccursP(text, PreventativePhenomenon::kP3));
+}
+
+TEST(PreventativeTest, DegreesProscribeCumulatively) {
+  EXPECT_TRUE(ProscribedPreventative(LockingDegree::kDegree0).empty());
+  EXPECT_EQ(ProscribedPreventative(LockingDegree::kReadUncommitted).size(),
+            1u);
+  EXPECT_EQ(ProscribedPreventative(LockingDegree::kReadCommitted).size(), 2u);
+  EXPECT_EQ(ProscribedPreventative(LockingDegree::kRepeatableRead).size(),
+            3u);
+  EXPECT_EQ(ProscribedPreventative(LockingDegree::kSerializable).size(), 4u);
+}
+
+TEST(PreventativeTest, CheckDegree) {
+  auto h = ParseHistory("w1(x1) r2(x1) c1 c2");  // P1 but not P0
+  ASSERT_TRUE(h.ok());
+  EXPECT_TRUE(CheckDegree(*h, LockingDegree::kDegree0).allowed);
+  EXPECT_TRUE(CheckDegree(*h, LockingDegree::kReadUncommitted).allowed);
+  EXPECT_FALSE(CheckDegree(*h, LockingDegree::kReadCommitted).allowed);
+  EXPECT_FALSE(CheckDegree(*h, LockingDegree::kSerializable).allowed);
+}
+
+// --- the paper's §3 argument, as tests -------------------------------------
+
+TEST(PreventativeTest, H1PrimeRejectedByP1ButSerializable) {
+  PaperHistory ph = MakeH1Prime();
+  EXPECT_TRUE(CheckPreventative(ph.history, PreventativePhenomenon::kP1)
+                  .has_value());
+  EXPECT_FALSE(CheckDegree(ph.history, LockingDegree::kSerializable).allowed);
+  EXPECT_TRUE(Classify(ph.history).Satisfies(IsolationLevel::kPL3));
+}
+
+TEST(PreventativeTest, H2PrimeRejectedByP2ButSerializable) {
+  PaperHistory ph = MakeH2Prime();
+  EXPECT_TRUE(CheckPreventative(ph.history, PreventativePhenomenon::kP2)
+                  .has_value());
+  EXPECT_FALSE(CheckDegree(ph.history, LockingDegree::kSerializable).allowed);
+  EXPECT_TRUE(Classify(ph.history).Satisfies(IsolationLevel::kPL3));
+}
+
+TEST(PreventativeTest, PermissivenessContainment) {
+  // The paper's soundness direction: a history the preventative degree
+  // allows is also allowed by the corresponding PL level. Check on all
+  // paper histories × all degrees.
+  for (const PaperHistory& ph : AllPaperHistories()) {
+    Classification c = Classify(ph.history);
+    for (LockingDegree degree :
+         {LockingDegree::kReadUncommitted, LockingDegree::kReadCommitted,
+          LockingDegree::kRepeatableRead, LockingDegree::kSerializable}) {
+      if (CheckDegree(ph.history, degree).allowed) {
+        EXPECT_TRUE(c.Satisfies(CorrespondingPLLevel(degree)))
+            << ph.name << " allowed by " << LockingDegreeName(degree)
+            << " but not by "
+            << IsolationLevelName(CorrespondingPLLevel(degree));
+      }
+    }
+  }
+}
+
+TEST(PreventativeTest, ContainmentCounterexampleAdversarialVersionOrder) {
+  // The degree⊆PL containment only covers histories whose version order is
+  // the installation order. A perfectly serial interleaving with an
+  // adversarial version order is SERIALIZABLE-allowed (no P phenomena:
+  // they never look at version orders) yet G0-cyclic — such a history is
+  // simply not producible by any single-version locking system.
+  auto h = ParseHistory(
+      "w1(x1) w1(y1) c1 w2(x2) w2(y2) c2 [x2 << x1, y1 << y2]");
+  ASSERT_TRUE(h.ok());
+  EXPECT_TRUE(CheckDegree(*h, LockingDegree::kSerializable).allowed);
+  EXPECT_FALSE(Classify(*h).Satisfies(IsolationLevel::kPL1));
+}
+
+TEST(PreventativeTest, ContainmentCounterexampleReadAfterRollback) {
+  // Reading an aborted transaction's version *after* its abort shows no
+  // P1 interleaving (T1 already finished) but is G1a. A single-version
+  // system would have rolled the value back; only the multi-version model
+  // can even express this read.
+  auto h = ParseHistory("w1(x1) a1 r2(x1) c2");
+  ASSERT_TRUE(h.ok());
+  EXPECT_TRUE(CheckDegree(*h, LockingDegree::kReadCommitted).allowed);
+  EXPECT_FALSE(Classify(*h).Satisfies(IsolationLevel::kPL2));
+}
+
+TEST(PreventativeTest, P3IgnoresRolledBackState) {
+  // T2 wrote a matching row but aborted before T1's predicate read; T3's
+  // later non-matching write supersedes the rolled-back state (Legal), not
+  // T2's Sales row, so no phantom fires. Without rollback awareness the
+  // checker would wrongly take T2's row as the overwritten state.
+  const char* text =
+      "relation Emp; object z in Emp;\n"
+      "pred P on Emp: dept = \"Sales\";\n"
+      "w0(z0, {dept: \"Legal\"}) c0 "
+      "w2(z2, {dept: \"Sales\"}) a2 "
+      "r1(P: z0) "
+      "w3(z3, {dept: \"Legal\", val: 9}) c3 c1 [z0 << z3]";
+  EXPECT_FALSE(OccursP(text, PreventativePhenomenon::kP3));
+}
+
+TEST(PreventativeTest, ViolationDescriptionsNamePhenomenon) {
+  auto h = ParseHistory("w1(x1) w2(x2) c1 c2");
+  ASSERT_TRUE(h.ok());
+  auto v = CheckPreventative(*h, PreventativePhenomenon::kP0);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_NE(v->description.find("P0"), std::string::npos);
+  EXPECT_NE(v->description.find("dirty write"), std::string::npos);
+  EXPECT_LT(v->first_event, v->second_event);
+}
+
+}  // namespace
+}  // namespace adya

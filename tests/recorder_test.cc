@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "engine/recorder.h"
+
+namespace adya::engine {
+namespace {
+
+TEST(RecorderTest, TxnIdsAreSequential) {
+  Recorder recorder;
+  EXPECT_EQ(recorder.BeginTxn(IsolationLevel::kPL3), 1u);
+  EXPECT_EQ(recorder.BeginTxn(IsolationLevel::kPL2), 2u);
+  auto h = recorder.Snapshot();
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->txn_info(1).level, IsolationLevel::kPL3);
+  EXPECT_EQ(h->txn_info(2).level, IsolationLevel::kPL2);
+  EXPECT_EQ(h->event(0).type, EventType::kBegin);
+}
+
+TEST(RecorderTest, IncarnationNaming) {
+  Recorder recorder;
+  RelationId rel = recorder.AddRelation("Emp");
+  ObjKey key{rel, "x"};
+  ObjectId first = recorder.NewIncarnation(key);
+  ObjectId second = recorder.NewIncarnation(key);
+  ObjectId third = recorder.NewIncarnation(key);
+  auto h = recorder.Snapshot();
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->object_name(first), "x");
+  EXPECT_EQ(h->object_name(second), "x#2");
+  EXPECT_EQ(h->object_name(third), "x#3");
+  EXPECT_EQ(h->object_relation(first), rel);
+}
+
+TEST(RecorderTest, WriteSeqIncrementsPerObject) {
+  Recorder recorder;
+  RelationId rel = recorder.AddRelation("R");
+  TxnId txn = recorder.BeginTxn(IsolationLevel::kPL3);
+  ObjectId x = recorder.NewIncarnation(ObjKey{rel, "x"});
+  ObjectId y = recorder.NewIncarnation(ObjKey{rel, "y"});
+  VersionId v1 = recorder.RecordWrite(txn, x, ScalarRow(1),
+                                      VersionKind::kVisible);
+  VersionId v2 = recorder.RecordWrite(txn, x, ScalarRow(2),
+                                      VersionKind::kVisible);
+  VersionId v3 = recorder.RecordWrite(txn, y, ScalarRow(3),
+                                      VersionKind::kVisible);
+  EXPECT_EQ(v1.seq, 1u);
+  EXPECT_EQ(v2.seq, 2u);
+  EXPECT_EQ(v3.seq, 1u);
+  EXPECT_EQ(v1.writer, txn);
+}
+
+TEST(RecorderTest, PredicateDeduplication) {
+  Recorder recorder;
+  RelationId rel = recorder.AddRelation("Emp");
+  RelationId other = recorder.AddRelation("Dept");
+  auto p1 = ParsePredicate("dept = \"Sales\"");
+  auto p2 = ParsePredicate("dept = \"Sales\"");
+  auto p3 = ParsePredicate("dept = \"Legal\"");
+  ASSERT_TRUE(p1.ok() && p2.ok() && p3.ok());
+  std::shared_ptr<const Predicate> sales1(std::move(*p1));
+  std::shared_ptr<const Predicate> sales2(std::move(*p2));
+  std::shared_ptr<const Predicate> legal(std::move(*p3));
+  PredicateId a = recorder.RegisterPredicate(rel, sales1);
+  PredicateId b = recorder.RegisterPredicate(rel, sales2);
+  PredicateId c = recorder.RegisterPredicate(rel, legal);
+  PredicateId d = recorder.RegisterPredicate(other, sales1);
+  EXPECT_EQ(a, b);  // same relation + same condition text
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);  // same condition, different relation
+}
+
+TEST(RecorderTest, SnapshotIsIsolatedFromLiveRecording) {
+  Recorder recorder;
+  RelationId rel = recorder.AddRelation("R");
+  TxnId t1 = recorder.BeginTxn(IsolationLevel::kPL3);
+  ObjectId x = recorder.NewIncarnation(ObjKey{rel, "x"});
+  recorder.RecordWrite(t1, x, ScalarRow(1), VersionKind::kVisible);
+  // Snapshot while T1 runs: T1 appears aborted in the snapshot.
+  auto mid = recorder.Snapshot();
+  ASSERT_TRUE(mid.ok());
+  EXPECT_TRUE(mid->IsAborted(t1));
+  // Recording continues unperturbed; the final snapshot sees the commit.
+  recorder.RecordCommit(t1);
+  auto end = recorder.Snapshot();
+  ASSERT_TRUE(end.ok());
+  EXPECT_TRUE(end->IsCommitted(t1));
+  EXPECT_TRUE(mid->IsAborted(t1));  // old snapshot unchanged
+}
+
+TEST(RecorderTest, FullTransactionRoundTrip) {
+  Recorder recorder;
+  RelationId rel = recorder.AddRelation("Emp");
+  auto pred = ParsePredicate("dept = \"Sales\"");
+  ASSERT_TRUE(pred.ok());
+  std::shared_ptr<const Predicate> sales(std::move(*pred));
+
+  TxnId t1 = recorder.BeginTxn(IsolationLevel::kPL3);
+  ObjectId x = recorder.NewIncarnation(ObjKey{rel, "x"});
+  VersionId v =
+      recorder.RecordWrite(t1, x, Row{{"dept", Value("Sales")}},
+                           VersionKind::kVisible);
+  recorder.RecordCommit(t1);
+
+  TxnId t2 = recorder.BeginTxn(IsolationLevel::kPL3);
+  PredicateId p = recorder.RegisterPredicate(rel, sales);
+  recorder.RecordPredicateRead(t2, p, {v});
+  recorder.RecordRead(t2, v, Row{{"dept", Value("Sales")}});
+  recorder.RecordAbort(t2);
+
+  auto h = recorder.Snapshot();
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->events().size(), 7u);  // b1 w1 c1 b2 predread r a2
+  EXPECT_TRUE(h->IsCommitted(t1));
+  EXPECT_TRUE(h->IsAborted(t2));
+  EXPECT_TRUE(h->Matches(v, p));
+}
+
+}  // namespace
+}  // namespace adya::engine

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "engine/store.h"
+
+namespace adya::engine {
+namespace {
+
+ObjKey K(const std::string& key) { return ObjKey{0, key}; }
+
+VersionedStore::Stored V(ObjectId obj, TxnId writer, uint64_t ts,
+                         VersionKind kind = VersionKind::kVisible) {
+  VersionedStore::Stored s;
+  s.vid = VersionId{obj, writer, 1};
+  s.row = ScalarRow(Value(static_cast<int64_t>(ts)));
+  s.kind = kind;
+  s.commit_ts = ts;
+  return s;
+}
+
+TEST(StoreTest, EmptyChain) {
+  VersionedStore store;
+  EXPECT_TRUE(store.Chain(K("x")).empty());
+  EXPECT_EQ(store.Latest(K("x")), nullptr);
+  EXPECT_EQ(store.LatestAt(K("x"), 100), nullptr);
+  EXPECT_FALSE(store.IsVisible(K("x")));
+}
+
+TEST(StoreTest, InstallAndLatest) {
+  VersionedStore store;
+  store.Install(K("x"), V(0, 1, 10));
+  store.Install(K("x"), V(0, 2, 20));
+  ASSERT_EQ(store.Chain(K("x")).size(), 2u);
+  EXPECT_EQ(store.Latest(K("x"))->vid.writer, 2u);
+  EXPECT_TRUE(store.IsVisible(K("x")));
+}
+
+TEST(StoreTest, LatestAtSnapshots) {
+  VersionedStore store;
+  store.Install(K("x"), V(0, 1, 10));
+  store.Install(K("x"), V(0, 2, 20));
+  store.Install(K("x"), V(0, 3, 30));
+  EXPECT_EQ(store.LatestAt(K("x"), 5), nullptr);
+  EXPECT_EQ(store.LatestAt(K("x"), 10)->vid.writer, 1u);
+  EXPECT_EQ(store.LatestAt(K("x"), 25)->vid.writer, 2u);
+  EXPECT_EQ(store.LatestAt(K("x"), 99)->vid.writer, 3u);
+}
+
+TEST(StoreTest, DeadTipIsNotVisible) {
+  VersionedStore store;
+  store.Install(K("x"), V(0, 1, 10));
+  store.Install(K("x"), V(0, 2, 20, VersionKind::kDead));
+  EXPECT_FALSE(store.IsVisible(K("x")));
+  // A snapshot before the delete still sees the live version.
+  EXPECT_EQ(store.LatestAt(K("x"), 15)->kind, VersionKind::kVisible);
+}
+
+TEST(StoreTest, KeysOfRelationFiltersAndSorts) {
+  VersionedStore store;
+  store.Install(ObjKey{1, "b"}, V(0, 1, 10));
+  store.Install(ObjKey{1, "a"}, V(1, 1, 10));
+  store.Install(ObjKey{2, "c"}, V(2, 1, 10));
+  auto keys = store.KeysOfRelation(1);
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0].key, "a");
+  EXPECT_EQ(keys[1].key, "b");
+}
+
+}  // namespace
+}  // namespace adya::engine

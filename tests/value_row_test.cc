@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "history/row.h"
+#include "history/value.h"
+
+namespace adya {
+namespace {
+
+TEST(ValueTest, TypePredicates) {
+  EXPECT_TRUE(Value(int64_t{5}).is_int());
+  EXPECT_TRUE(Value(5).is_int());
+  EXPECT_TRUE(Value(2.5).is_double());
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value("s").is_string());
+  EXPECT_TRUE(Value(5).is_numeric());
+  EXPECT_TRUE(Value(2.5).is_numeric());
+  EXPECT_FALSE(Value("s").is_numeric());
+}
+
+TEST(ValueTest, CompareSameTypes) {
+  EXPECT_EQ(*Value(1).Compare(Value(2)), -1);
+  EXPECT_EQ(*Value(2).Compare(Value(2)), 0);
+  EXPECT_EQ(*Value(3).Compare(Value(2)), 1);
+  EXPECT_EQ(*Value("a").Compare(Value("b")), -1);
+  EXPECT_EQ(*Value("b").Compare(Value("b")), 0);
+  EXPECT_EQ(*Value(false).Compare(Value(true)), -1);
+}
+
+TEST(ValueTest, CompareMixedNumeric) {
+  EXPECT_EQ(*Value(1).Compare(Value(1.0)), 0);
+  EXPECT_EQ(*Value(1).Compare(Value(1.5)), -1);
+  EXPECT_EQ(*Value(2.5).Compare(Value(2)), 1);
+}
+
+TEST(ValueTest, IncomparableTypesReturnNullopt) {
+  EXPECT_FALSE(Value(1).Compare(Value("1")).has_value());
+  EXPECT_FALSE(Value(true).Compare(Value(1)).has_value());
+  EXPECT_FALSE(Value("x").Compare(Value(false)).has_value());
+}
+
+TEST(ValueTest, EqualityAcrossTypesIsFalse) {
+  EXPECT_FALSE(Value(1) == Value("1"));
+  EXPECT_TRUE(Value(1) == Value(1.0));
+  EXPECT_TRUE(Value("a") == Value("a"));
+}
+
+TEST(ValueTest, ToStringRoundTrippable) {
+  EXPECT_EQ(Value(5).ToString(), "5");
+  EXPECT_EQ(Value(-3).ToString(), "-3");
+  EXPECT_EQ(Value(2.5).ToString(), "2.5");
+  EXPECT_EQ(Value(2.0).ToString(), "2.0");  // doubles stay double-looking
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value("hi").ToString(), "\"hi\"");
+  EXPECT_EQ(Value("a\"b").ToString(), "\"a\\\"b\"");
+}
+
+TEST(RowTest, SetAndGet) {
+  Row row;
+  EXPECT_TRUE(row.empty());
+  row.Set("dept", Value("Sales"));
+  row.Set("sal", Value(10));
+  EXPECT_EQ(row.size(), 2u);
+  ASSERT_NE(row.Get("dept"), nullptr);
+  EXPECT_EQ(row.Get("dept")->AsString(), "Sales");
+  EXPECT_EQ(row.Get("missing"), nullptr);
+}
+
+TEST(RowTest, SetOverwrites) {
+  Row row;
+  row.Set("sal", Value(10));
+  row.Set("sal", Value(20));
+  EXPECT_EQ(row.size(), 1u);
+  EXPECT_EQ(row.Get("sal")->AsInt(), 20);
+}
+
+TEST(RowTest, AttrsSortedByName) {
+  Row row{{"z", Value(1)}, {"a", Value(2)}, {"m", Value(3)}};
+  ASSERT_EQ(row.attrs().size(), 3u);
+  EXPECT_EQ(row.attrs()[0].first, "a");
+  EXPECT_EQ(row.attrs()[1].first, "m");
+  EXPECT_EQ(row.attrs()[2].first, "z");
+}
+
+TEST(RowTest, Equality) {
+  Row a{{"x", Value(1)}, {"y", Value("s")}};
+  Row b{{"y", Value("s")}, {"x", Value(1)}};
+  Row c{{"x", Value(2)}, {"y", Value("s")}};
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(RowTest, ScalarRowPrintsAsValue) {
+  EXPECT_EQ(ScalarRow(Value(5)).ToString(), "5");
+  Row multi{{"a", Value(1)}, {"b", Value(2)}};
+  EXPECT_EQ(multi.ToString(), "{a: 1, b: 2}");
+}
+
+TEST(RowTest, NonValAttributePrintsAsRow) {
+  Row row{{"dept", Value("Sales")}};
+  EXPECT_EQ(row.ToString(), "{dept: \"Sales\"}");
+}
+
+}  // namespace
+}  // namespace adya
