@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_checker_scale.dir/bench_checker_scale.cc.o"
+  "CMakeFiles/bench_checker_scale.dir/bench_checker_scale.cc.o.d"
+  "bench_checker_scale"
+  "bench_checker_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_checker_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_locking.dir/bench_fig1_locking.cc.o"
+  "CMakeFiles/bench_fig1_locking.dir/bench_fig1_locking.cc.o.d"
+  "bench_fig1_locking"
+  "bench_fig1_locking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_locking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

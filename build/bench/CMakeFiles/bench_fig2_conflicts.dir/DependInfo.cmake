@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig2_conflicts.cc" "bench/CMakeFiles/bench_fig2_conflicts.dir/bench_fig2_conflicts.cc.o" "gcc" "bench/CMakeFiles/bench_fig2_conflicts.dir/bench_fig2_conflicts.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/adya_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/adya_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/adya_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/history/CMakeFiles/adya_history.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/adya_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/adya_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_hserial.dir/bench_fig3_hserial.cc.o"
+  "CMakeFiles/bench_fig3_hserial.dir/bench_fig3_hserial.cc.o.d"
+  "bench_fig3_hserial"
+  "bench_fig3_hserial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_hserial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

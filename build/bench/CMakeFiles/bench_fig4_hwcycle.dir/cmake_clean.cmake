@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_hwcycle.dir/bench_fig4_hwcycle.cc.o"
+  "CMakeFiles/bench_fig4_hwcycle.dir/bench_fig4_hwcycle.cc.o.d"
+  "bench_fig4_hwcycle"
+  "bench_fig4_hwcycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_hwcycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

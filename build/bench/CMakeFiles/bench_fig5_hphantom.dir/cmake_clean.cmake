@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_hphantom.dir/bench_fig5_hphantom.cc.o"
+  "CMakeFiles/bench_fig5_hphantom.dir/bench_fig5_hphantom.cc.o.d"
+  "bench_fig5_hphantom"
+  "bench_fig5_hphantom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_hphantom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

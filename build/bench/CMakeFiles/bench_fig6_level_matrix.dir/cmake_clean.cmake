@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_level_matrix.dir/bench_fig6_level_matrix.cc.o"
+  "CMakeFiles/bench_fig6_level_matrix.dir/bench_fig6_level_matrix.cc.o.d"
+  "bench_fig6_level_matrix"
+  "bench_fig6_level_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_level_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_permissiveness.dir/bench_permissiveness.cc.o"
+  "CMakeFiles/bench_permissiveness.dir/bench_permissiveness.cc.o.d"
+  "bench_permissiveness"
+  "bench_permissiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_permissiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bank_invariant.dir/bank_invariant.cpp.o"
+  "CMakeFiles/bank_invariant.dir/bank_invariant.cpp.o.d"
+  "bank_invariant"
+  "bank_invariant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bank_invariant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_checker.dir/engine_checker.cpp.o"
+  "CMakeFiles/engine_checker.dir/engine_checker.cpp.o.d"
+  "engine_checker"
+  "engine_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

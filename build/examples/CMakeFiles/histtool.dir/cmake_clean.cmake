@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histtool.dir/histtool.cpp.o"
+  "CMakeFiles/histtool.dir/histtool.cpp.o.d"
+  "histtool"
+  "histtool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

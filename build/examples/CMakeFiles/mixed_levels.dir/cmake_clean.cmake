@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_levels.dir/mixed_levels.cpp.o"
+  "CMakeFiles/mixed_levels.dir/mixed_levels.cpp.o.d"
+  "mixed_levels"
+  "mixed_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phantom_payroll.dir/phantom_payroll.cpp.o"
+  "CMakeFiles/phantom_payroll.dir/phantom_payroll.cpp.o.d"
+  "phantom_payroll"
+  "phantom_payroll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phantom_payroll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for phantom_payroll.
+# This may be replaced when dependencies are built.

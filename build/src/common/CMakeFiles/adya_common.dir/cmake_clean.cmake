@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adya_common.dir/check.cc.o"
+  "CMakeFiles/adya_common.dir/check.cc.o.d"
+  "CMakeFiles/adya_common.dir/rng.cc.o"
+  "CMakeFiles/adya_common.dir/rng.cc.o.d"
+  "CMakeFiles/adya_common.dir/status.cc.o"
+  "CMakeFiles/adya_common.dir/status.cc.o.d"
+  "CMakeFiles/adya_common.dir/str_util.cc.o"
+  "CMakeFiles/adya_common.dir/str_util.cc.o.d"
+  "libadya_common.a"
+  "libadya_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adya_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

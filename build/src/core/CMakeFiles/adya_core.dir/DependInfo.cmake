@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/certifier.cc" "src/core/CMakeFiles/adya_core.dir/certifier.cc.o" "gcc" "src/core/CMakeFiles/adya_core.dir/certifier.cc.o.d"
+  "/root/repo/src/core/conflicts.cc" "src/core/CMakeFiles/adya_core.dir/conflicts.cc.o" "gcc" "src/core/CMakeFiles/adya_core.dir/conflicts.cc.o.d"
+  "/root/repo/src/core/dsg.cc" "src/core/CMakeFiles/adya_core.dir/dsg.cc.o" "gcc" "src/core/CMakeFiles/adya_core.dir/dsg.cc.o.d"
+  "/root/repo/src/core/levels.cc" "src/core/CMakeFiles/adya_core.dir/levels.cc.o" "gcc" "src/core/CMakeFiles/adya_core.dir/levels.cc.o.d"
+  "/root/repo/src/core/minimize.cc" "src/core/CMakeFiles/adya_core.dir/minimize.cc.o" "gcc" "src/core/CMakeFiles/adya_core.dir/minimize.cc.o.d"
+  "/root/repo/src/core/msg.cc" "src/core/CMakeFiles/adya_core.dir/msg.cc.o" "gcc" "src/core/CMakeFiles/adya_core.dir/msg.cc.o.d"
+  "/root/repo/src/core/online.cc" "src/core/CMakeFiles/adya_core.dir/online.cc.o" "gcc" "src/core/CMakeFiles/adya_core.dir/online.cc.o.d"
+  "/root/repo/src/core/paper_histories.cc" "src/core/CMakeFiles/adya_core.dir/paper_histories.cc.o" "gcc" "src/core/CMakeFiles/adya_core.dir/paper_histories.cc.o.d"
+  "/root/repo/src/core/phenomena.cc" "src/core/CMakeFiles/adya_core.dir/phenomena.cc.o" "gcc" "src/core/CMakeFiles/adya_core.dir/phenomena.cc.o.d"
+  "/root/repo/src/core/preventative.cc" "src/core/CMakeFiles/adya_core.dir/preventative.cc.o" "gcc" "src/core/CMakeFiles/adya_core.dir/preventative.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/history/CMakeFiles/adya_history.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/adya_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/adya_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

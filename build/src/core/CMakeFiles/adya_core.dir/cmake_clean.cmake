@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adya_core.dir/certifier.cc.o"
+  "CMakeFiles/adya_core.dir/certifier.cc.o.d"
+  "CMakeFiles/adya_core.dir/conflicts.cc.o"
+  "CMakeFiles/adya_core.dir/conflicts.cc.o.d"
+  "CMakeFiles/adya_core.dir/dsg.cc.o"
+  "CMakeFiles/adya_core.dir/dsg.cc.o.d"
+  "CMakeFiles/adya_core.dir/levels.cc.o"
+  "CMakeFiles/adya_core.dir/levels.cc.o.d"
+  "CMakeFiles/adya_core.dir/minimize.cc.o"
+  "CMakeFiles/adya_core.dir/minimize.cc.o.d"
+  "CMakeFiles/adya_core.dir/msg.cc.o"
+  "CMakeFiles/adya_core.dir/msg.cc.o.d"
+  "CMakeFiles/adya_core.dir/online.cc.o"
+  "CMakeFiles/adya_core.dir/online.cc.o.d"
+  "CMakeFiles/adya_core.dir/paper_histories.cc.o"
+  "CMakeFiles/adya_core.dir/paper_histories.cc.o.d"
+  "CMakeFiles/adya_core.dir/phenomena.cc.o"
+  "CMakeFiles/adya_core.dir/phenomena.cc.o.d"
+  "CMakeFiles/adya_core.dir/preventative.cc.o"
+  "CMakeFiles/adya_core.dir/preventative.cc.o.d"
+  "libadya_core.a"
+  "libadya_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adya_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/database.cc" "src/engine/CMakeFiles/adya_engine.dir/database.cc.o" "gcc" "src/engine/CMakeFiles/adya_engine.dir/database.cc.o.d"
+  "/root/repo/src/engine/lock_manager.cc" "src/engine/CMakeFiles/adya_engine.dir/lock_manager.cc.o" "gcc" "src/engine/CMakeFiles/adya_engine.dir/lock_manager.cc.o.d"
+  "/root/repo/src/engine/locking_scheduler.cc" "src/engine/CMakeFiles/adya_engine.dir/locking_scheduler.cc.o" "gcc" "src/engine/CMakeFiles/adya_engine.dir/locking_scheduler.cc.o.d"
+  "/root/repo/src/engine/mvcc_scheduler.cc" "src/engine/CMakeFiles/adya_engine.dir/mvcc_scheduler.cc.o" "gcc" "src/engine/CMakeFiles/adya_engine.dir/mvcc_scheduler.cc.o.d"
+  "/root/repo/src/engine/occ_scheduler.cc" "src/engine/CMakeFiles/adya_engine.dir/occ_scheduler.cc.o" "gcc" "src/engine/CMakeFiles/adya_engine.dir/occ_scheduler.cc.o.d"
+  "/root/repo/src/engine/recorder.cc" "src/engine/CMakeFiles/adya_engine.dir/recorder.cc.o" "gcc" "src/engine/CMakeFiles/adya_engine.dir/recorder.cc.o.d"
+  "/root/repo/src/engine/store.cc" "src/engine/CMakeFiles/adya_engine.dir/store.cc.o" "gcc" "src/engine/CMakeFiles/adya_engine.dir/store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/history/CMakeFiles/adya_history.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/adya_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adya_engine.dir/database.cc.o"
+  "CMakeFiles/adya_engine.dir/database.cc.o.d"
+  "CMakeFiles/adya_engine.dir/lock_manager.cc.o"
+  "CMakeFiles/adya_engine.dir/lock_manager.cc.o.d"
+  "CMakeFiles/adya_engine.dir/locking_scheduler.cc.o"
+  "CMakeFiles/adya_engine.dir/locking_scheduler.cc.o.d"
+  "CMakeFiles/adya_engine.dir/mvcc_scheduler.cc.o"
+  "CMakeFiles/adya_engine.dir/mvcc_scheduler.cc.o.d"
+  "CMakeFiles/adya_engine.dir/occ_scheduler.cc.o"
+  "CMakeFiles/adya_engine.dir/occ_scheduler.cc.o.d"
+  "CMakeFiles/adya_engine.dir/recorder.cc.o"
+  "CMakeFiles/adya_engine.dir/recorder.cc.o.d"
+  "CMakeFiles/adya_engine.dir/store.cc.o"
+  "CMakeFiles/adya_engine.dir/store.cc.o.d"
+  "libadya_engine.a"
+  "libadya_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adya_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

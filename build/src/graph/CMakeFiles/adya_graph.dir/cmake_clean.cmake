@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adya_graph.dir/cycles.cc.o"
+  "CMakeFiles/adya_graph.dir/cycles.cc.o.d"
+  "CMakeFiles/adya_graph.dir/dot.cc.o"
+  "CMakeFiles/adya_graph.dir/dot.cc.o.d"
+  "libadya_graph.a"
+  "libadya_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adya_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libadya_graph.a"
+)

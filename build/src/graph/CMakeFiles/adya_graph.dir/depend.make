@@ -1,0 +1,2 @@
+# Empty dependencies file for adya_graph.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/history/builder.cc" "src/history/CMakeFiles/adya_history.dir/builder.cc.o" "gcc" "src/history/CMakeFiles/adya_history.dir/builder.cc.o.d"
+  "/root/repo/src/history/format.cc" "src/history/CMakeFiles/adya_history.dir/format.cc.o" "gcc" "src/history/CMakeFiles/adya_history.dir/format.cc.o.d"
+  "/root/repo/src/history/history.cc" "src/history/CMakeFiles/adya_history.dir/history.cc.o" "gcc" "src/history/CMakeFiles/adya_history.dir/history.cc.o.d"
+  "/root/repo/src/history/ids.cc" "src/history/CMakeFiles/adya_history.dir/ids.cc.o" "gcc" "src/history/CMakeFiles/adya_history.dir/ids.cc.o.d"
+  "/root/repo/src/history/parser.cc" "src/history/CMakeFiles/adya_history.dir/parser.cc.o" "gcc" "src/history/CMakeFiles/adya_history.dir/parser.cc.o.d"
+  "/root/repo/src/history/predicate.cc" "src/history/CMakeFiles/adya_history.dir/predicate.cc.o" "gcc" "src/history/CMakeFiles/adya_history.dir/predicate.cc.o.d"
+  "/root/repo/src/history/row.cc" "src/history/CMakeFiles/adya_history.dir/row.cc.o" "gcc" "src/history/CMakeFiles/adya_history.dir/row.cc.o.d"
+  "/root/repo/src/history/value.cc" "src/history/CMakeFiles/adya_history.dir/value.cc.o" "gcc" "src/history/CMakeFiles/adya_history.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/adya_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adya_history.dir/builder.cc.o"
+  "CMakeFiles/adya_history.dir/builder.cc.o.d"
+  "CMakeFiles/adya_history.dir/format.cc.o"
+  "CMakeFiles/adya_history.dir/format.cc.o.d"
+  "CMakeFiles/adya_history.dir/history.cc.o"
+  "CMakeFiles/adya_history.dir/history.cc.o.d"
+  "CMakeFiles/adya_history.dir/ids.cc.o"
+  "CMakeFiles/adya_history.dir/ids.cc.o.d"
+  "CMakeFiles/adya_history.dir/parser.cc.o"
+  "CMakeFiles/adya_history.dir/parser.cc.o.d"
+  "CMakeFiles/adya_history.dir/predicate.cc.o"
+  "CMakeFiles/adya_history.dir/predicate.cc.o.d"
+  "CMakeFiles/adya_history.dir/row.cc.o"
+  "CMakeFiles/adya_history.dir/row.cc.o.d"
+  "CMakeFiles/adya_history.dir/value.cc.o"
+  "CMakeFiles/adya_history.dir/value.cc.o.d"
+  "libadya_history.a"
+  "libadya_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adya_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

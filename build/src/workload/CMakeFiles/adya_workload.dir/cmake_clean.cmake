@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adya_workload.dir/workload.cc.o"
+  "CMakeFiles/adya_workload.dir/workload.cc.o.d"
+  "libadya_workload.a"
+  "libadya_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adya_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

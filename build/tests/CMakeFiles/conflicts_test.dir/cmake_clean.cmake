@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conflicts_test.dir/conflicts_test.cc.o"
+  "CMakeFiles/conflicts_test.dir/conflicts_test.cc.o.d"
+  "conflicts_test"
+  "conflicts_test.pdb"
+  "conflicts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conflicts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

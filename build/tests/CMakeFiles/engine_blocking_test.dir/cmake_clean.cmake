@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_blocking_test.dir/engine_blocking_test.cc.o"
+  "CMakeFiles/engine_blocking_test.dir/engine_blocking_test.cc.o.d"
+  "engine_blocking_test"
+  "engine_blocking_test.pdb"
+  "engine_blocking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_blocking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_properties_test.dir/engine_properties_test.cc.o"
+  "CMakeFiles/engine_properties_test.dir/engine_properties_test.cc.o.d"
+  "engine_properties_test"
+  "engine_properties_test.pdb"
+  "engine_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

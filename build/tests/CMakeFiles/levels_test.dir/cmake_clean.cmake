@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/levels_test.dir/levels_test.cc.o"
+  "CMakeFiles/levels_test.dir/levels_test.cc.o.d"
+  "levels_test"
+  "levels_test.pdb"
+  "levels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/levels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

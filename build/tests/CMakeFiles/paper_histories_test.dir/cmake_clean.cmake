@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_histories_test.dir/paper_histories_test.cc.o"
+  "CMakeFiles/paper_histories_test.dir/paper_histories_test.cc.o.d"
+  "paper_histories_test"
+  "paper_histories_test.pdb"
+  "paper_histories_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_histories_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phenomena_test.dir/phenomena_test.cc.o"
+  "CMakeFiles/phenomena_test.dir/phenomena_test.cc.o.d"
+  "phenomena_test"
+  "phenomena_test.pdb"
+  "phenomena_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phenomena_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

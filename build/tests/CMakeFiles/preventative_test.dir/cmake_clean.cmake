@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preventative_test.dir/preventative_test.cc.o"
+  "CMakeFiles/preventative_test.dir/preventative_test.cc.o.d"
+  "preventative_test"
+  "preventative_test.pdb"
+  "preventative_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preventative_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

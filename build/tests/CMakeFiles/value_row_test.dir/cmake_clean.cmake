@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_row_test.dir/value_row_test.cc.o"
+  "CMakeFiles/value_row_test.dir/value_row_test.cc.o.d"
+  "value_row_test"
+  "value_row_test.pdb"
+  "value_row_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_row_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/value_row_test[1]_include.cmake")
+include("/root/repo/build/tests/predicate_test[1]_include.cmake")
+include("/root/repo/build/tests/history_test[1]_include.cmake")
+include("/root/repo/build/tests/builder_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/conflicts_test[1]_include.cmake")
+include("/root/repo/build/tests/dsg_test[1]_include.cmake")
+include("/root/repo/build/tests/phenomena_test[1]_include.cmake")
+include("/root/repo/build/tests/levels_test[1]_include.cmake")
+include("/root/repo/build/tests/preventative_test[1]_include.cmake")
+include("/root/repo/build/tests/msg_test[1]_include.cmake")
+include("/root/repo/build/tests/paper_histories_test[1]_include.cmake")
+include("/root/repo/build/tests/store_test[1]_include.cmake")
+include("/root/repo/build/tests/lock_manager_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_properties_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_blocking_test[1]_include.cmake")
+include("/root/repo/build/tests/minimize_test[1]_include.cmake")
+include("/root/repo/build/tests/certifier_test[1]_include.cmake")
+include("/root/repo/build/tests/lattice_test[1]_include.cmake")
+include("/root/repo/build/tests/recorder_test[1]_include.cmake")
+include("/root/repo/build/tests/online_test[1]_include.cmake")
