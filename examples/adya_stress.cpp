@@ -1,0 +1,228 @@
+// adya_stress — multi-threaded stress & online-certification driver.
+//
+// Hammers a blocking-mode engine from N worker threads with a randomized,
+// fault-injected transaction mix while a certifier thread audits the
+// committed prefix of the recorded history against the target isolation
+// level, pipelined with execution. Prints one JSON metrics record to
+// stdout; exits non-zero if any proscribed phenomenon was observed.
+//
+// Examples:
+//   adya_stress --scheme=locking --level=PL-3 --threads=8 --duration=2s
+//   adya_stress --scheme=multiversion --level=PL-SI --faults=chaos
+//   adya_stress --scheme=locking --level=PL-2 --certify-level=PL-3
+//
+// Flags (all --key=value):
+//   --scheme=locking|optimistic|multiversion   (default locking)
+//   --level=PL-1|PL-2|PL-2.99|PL-3|PL-SI       (default PL-3)
+//   --certify-level=<level>    certify against a different level
+//   --threads=N                (default 4)
+//   --duration=2s|500ms|1500   (default 1s; bare numbers are ms)
+//   --txns=N                   per-thread transaction cap (0 = none)
+//   --keys=N                   key-space size (default 16)
+//   --ops=N                    operations per transaction (default 4)
+//   --seed=N                   (default 1)
+//   --mix=R:W:D:PR:PU          op-mix weights (default 4:3:0.5:1:1)
+//   --faults=none|default|chaos  fault-plan preset (default default)
+//   --abort-prob=P --delay-prob=P --delay-us=N --hold-prob=P --hold-ms=N
+//   --certify-every=25ms       certifier cadence (0 = only final check)
+//   --quiet                    suppress the human-readable summary line
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/str_util.h"
+#include "stress/stress.h"
+
+namespace {
+
+using namespace adya;
+using stress::StressOptions;
+
+[[noreturn]] void Usage(const std::string& error) {
+  std::fprintf(stderr, "adya_stress: %s\n(see the header of %s for flags)\n",
+               error.c_str(), __FILE__);
+  std::exit(2);
+}
+
+std::optional<engine::Scheme> ParseScheme(const std::string& name) {
+  for (engine::Scheme s :
+       {engine::Scheme::kLocking, engine::Scheme::kOptimistic,
+        engine::Scheme::kMultiversion}) {
+    if (name == engine::SchemeName(s)) return s;
+  }
+  return std::nullopt;
+}
+
+std::optional<IsolationLevel> ParseLevel(std::string name) {
+  for (char& c : name) c = static_cast<char>(std::toupper(c));
+  for (IsolationLevel l :
+       {IsolationLevel::kPL1, IsolationLevel::kPL2, IsolationLevel::kPLCS,
+        IsolationLevel::kPL2Plus, IsolationLevel::kPL299,
+        IsolationLevel::kPLSI, IsolationLevel::kPL3}) {
+    if (name == IsolationLevelName(l)) return l;
+  }
+  return std::nullopt;
+}
+
+/// "2s" → 2000, "500ms" → 500, "1500" → 1500 (milliseconds).
+std::optional<std::chrono::milliseconds> ParseDuration(
+    const std::string& text) {
+  size_t pos = 0;
+  double value = 0;
+  try {
+    value = std::stod(text, &pos);
+  } catch (...) {
+    return std::nullopt;
+  }
+  std::string unit = text.substr(pos);
+  double ms;
+  if (unit.empty() || unit == "ms") {
+    ms = value;
+  } else if (unit == "s") {
+    ms = value * 1000;
+  } else if (unit == "m") {
+    ms = value * 60 * 1000;
+  } else {
+    return std::nullopt;
+  }
+  return std::chrono::milliseconds(static_cast<int64_t>(ms));
+}
+
+double ParseProb(const std::string& flag, const std::string& text) {
+  char* end = nullptr;
+  double p = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || p < 0 || p > 1) {
+    Usage(StrCat(flag, " wants a probability in [0,1], got '", text, "'"));
+  }
+  return p;
+}
+
+int64_t ParseInt(const std::string& flag, const std::string& text) {
+  char* end = nullptr;
+  int64_t v = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    Usage(StrCat(flag, " wants an integer, got '", text, "'"));
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  StressOptions options;
+  options.faults.voluntary_abort_prob = 0.05;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--quiet") {
+      quiet = true;
+      continue;
+    }
+    size_t eq = arg.find('=');
+    if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
+      Usage(StrCat("unrecognized argument '", arg, "'"));
+    }
+    std::string key = arg.substr(0, eq);
+    std::string value = arg.substr(eq + 1);
+    if (key == "--scheme") {
+      auto scheme = ParseScheme(value);
+      if (!scheme) Usage(StrCat("unknown scheme '", value, "'"));
+      options.scheme = *scheme;
+    } else if (key == "--level") {
+      auto level = ParseLevel(value);
+      if (!level) Usage(StrCat("unknown level '", value, "'"));
+      options.level = *level;
+    } else if (key == "--certify-level") {
+      auto level = ParseLevel(value);
+      if (!level) Usage(StrCat("unknown level '", value, "'"));
+      options.certify_level = *level;
+    } else if (key == "--threads") {
+      options.threads = static_cast<int>(ParseInt(key, value));
+    } else if (key == "--duration") {
+      auto d = ParseDuration(value);
+      if (!d) Usage(StrCat("bad duration '", value, "' (try 2s or 500ms)"));
+      options.duration = *d;
+    } else if (key == "--txns") {
+      options.max_txns_per_thread = static_cast<int>(ParseInt(key, value));
+    } else if (key == "--keys") {
+      options.num_keys = static_cast<int>(ParseInt(key, value));
+    } else if (key == "--ops") {
+      options.ops_per_txn = static_cast<int>(ParseInt(key, value));
+    } else if (key == "--seed") {
+      options.seed = static_cast<uint64_t>(ParseInt(key, value));
+    } else if (key == "--mix") {
+      std::vector<std::string> parts = StrSplit(value, ':');
+      if (parts.size() != 5) Usage("--mix wants R:W:D:PR:PU weights");
+      options.mix.read_weight = std::atof(parts[0].c_str());
+      options.mix.write_weight = std::atof(parts[1].c_str());
+      options.mix.delete_weight = std::atof(parts[2].c_str());
+      options.mix.pred_read_weight = std::atof(parts[3].c_str());
+      options.mix.pred_update_weight = std::atof(parts[4].c_str());
+    } else if (key == "--faults") {
+      if (value == "none") {
+        options.faults = stress::FaultPlan::None();
+      } else if (value == "chaos") {
+        options.faults = stress::FaultPlan::Chaos();
+      } else if (value == "default") {
+        options.faults = stress::FaultPlan();
+      } else {
+        Usage(StrCat("unknown fault preset '", value, "'"));
+      }
+    } else if (key == "--abort-prob") {
+      options.faults.voluntary_abort_prob = ParseProb(key, value);
+    } else if (key == "--delay-prob") {
+      options.faults.delay_prob = ParseProb(key, value);
+    } else if (key == "--delay-us") {
+      options.faults.max_delay =
+          std::chrono::microseconds(ParseInt(key, value));
+    } else if (key == "--hold-prob") {
+      options.faults.hold_prob = ParseProb(key, value);
+    } else if (key == "--hold-ms") {
+      options.faults.hold = std::chrono::milliseconds(ParseInt(key, value));
+    } else if (key == "--certify-every") {
+      auto d = ParseDuration(value);
+      if (!d) Usage(StrCat("bad interval '", value, "'"));
+      options.certify_interval = *d;
+    } else {
+      Usage(StrCat("unknown flag '", key, "'"));
+    }
+  }
+
+  auto report = stress::RunStress(options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "adya_stress: %s\n",
+                 report.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("%s\n", report->ToJson().c_str());
+  if (!quiet) {
+    const stress::RunMetrics& m = report->metrics;
+    std::fprintf(
+        stderr,
+        "# %s @ %s, %d threads, %.2fs: %llu committed (%.0f txn/s), "
+        "%llu deadlock aborts, %llu validation aborts, commit latency "
+        "p50=%lluus p95=%lluus p99=%lluus — %s\n",
+        m.scheme.c_str(), m.level.c_str(), m.threads, m.duration_seconds,
+        static_cast<unsigned long long>(m.committed), m.Throughput(),
+        static_cast<unsigned long long>(m.aborted_deadlock),
+        static_cast<unsigned long long>(m.aborted_validation),
+        static_cast<unsigned long long>(m.commit_latency.PercentileMicros(50)),
+        static_cast<unsigned long long>(m.commit_latency.PercentileMicros(95)),
+        static_cast<unsigned long long>(m.commit_latency.PercentileMicros(99)),
+        report->ok() ? "certified clean"
+                     : "PROSCRIBED PHENOMENA OBSERVED");
+  }
+  if (!report->ok()) {
+    for (const Violation& v : report->violations) {
+      std::fprintf(stderr, "violation %s: %s\n",
+                   std::string(PhenomenonName(v.phenomenon)).c_str(),
+                   v.description.c_str());
+    }
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# CI driver: build + test in the plain configuration, then rebuild under
+# ThreadSanitizer and run the concurrency-sensitive tests — the stress and
+# blocking-engine tests under TSan are the race detector for the engine,
+# recorder tap, and stress subsystem.
+#
+# Usage: scripts/ci.sh [jobs]
+#   CI_TSAN_FULL=1   run the ENTIRE suite under TSan (slow), not just the
+#                    concurrency tests.
+#   CI_SKIP_TSAN=1   plain configuration only.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc)}"
+
+echo "=== plain build ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+echo "=== plain ctest ==="
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "=== adya_stress smoke (locking @ PL-3, 8 threads, 2s) ==="
+./build/examples/adya_stress --scheme=locking --level=PL-3 --threads=8 \
+  --duration=2s
+
+if [[ "${CI_SKIP_TSAN:-0}" == "1" ]]; then
+  echo "=== TSan skipped (CI_SKIP_TSAN=1) ==="
+  exit 0
+fi
+
+echo "=== ThreadSanitizer build ==="
+cmake -B build-tsan -S . -DADYA_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS"
+echo "=== TSan ctest ==="
+if [[ "${CI_TSAN_FULL:-0}" == "1" ]]; then
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
+else
+  # The multi-threaded surface: stress runs, blocking-engine contention,
+  # and the concurrent recorder tap.
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+    -R 'Stress|Blocking|Recorder|Concurrent'
+fi
+
+echo "=== adya_stress under TSan (locking @ PL-3, 8 threads, 1s) ==="
+./build-tsan/examples/adya_stress --scheme=locking --level=PL-3 \
+  --threads=8 --duration=1s
+echo "CI OK"

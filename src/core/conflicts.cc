@@ -1,5 +1,6 @@
 #include "core/conflicts.h"
 
+#include <algorithm>
 #include <map>
 #include <optional>
 
@@ -139,31 +140,34 @@ class Analyzer {
     }
   }
 
-  // Match flags of an object's committed versions against a predicate,
-  // aligned with the version order; cached per (object, predicate).
-  const std::vector<bool>& MatchFlags(ObjectId obj, PredicateId pred) {
+  // Version-order positions whose install changes the matches of `pred`
+  // (Definition 2: the match status differs from the immediate
+  // predecessor's; x_init, which never matches, precedes index 0).
+  // Ascending; cached per (object, predicate) so both predicate-dependency
+  // rules reduce to a binary search instead of a walk over every version.
+  const std::vector<ptrdiff_t>& ChangeIndices(ObjectId obj, PredicateId pred) {
     auto key = std::make_pair(obj, pred);
-    auto it = match_cache_.find(key);
-    if (it != match_cache_.end()) return it->second;
+    auto it = change_cache_.find(key);
+    if (it != change_cache_.end()) return it->second;
+    std::vector<ptrdiff_t> changes;
+    bool prev = false;
     const std::vector<TxnId>& order = h_.VersionOrder(obj);
-    std::vector<bool> flags;
-    flags.reserve(order.size());
-    for (TxnId txn : order) {
-      flags.push_back(h_.Matches(*h_.InstalledVersion(txn, obj), pred));
+    for (size_t i = 0; i < order.size(); ++i) {
+      bool match = h_.Matches(*h_.InstalledVersion(order[i], obj), pred);
+      if (match != prev) changes.push_back(static_cast<ptrdiff_t>(i));
+      prev = match;
     }
-    return match_cache_.emplace(key, std::move(flags)).first->second;
-  }
-
-  // Definition 2: version i changes the matches if its match status differs
-  // from its immediate predecessor's (x_init, which never matches, precedes
-  // the first committed version).
-  bool ChangesMatches(const std::vector<bool>& flags, size_t i) const {
-    bool prev = (i == 0) ? false : flags[i - 1];
-    return flags[i] != prev;
+    return change_cache_.emplace(key, std::move(changes)).first->second;
   }
 
   // Definitions 3 (predicate case), 4 and 5 (predicate case).
   void PredicateDependencies() {
+    // Objects grouped by relation, so each predicate read visits only the
+    // objects its predicate ranges over.
+    std::vector<std::vector<ObjectId>> by_relation(h_.relation_count());
+    for (ObjectId obj = 0; obj < h_.object_count(); ++obj) {
+      by_relation[h_.object_relation(obj)].push_back(obj);
+    }
     for (const Event& e : h_.events()) {
       if (e.type != EventType::kPredicateRead || !h_.IsCommitted(e.txn)) {
         continue;
@@ -171,56 +175,62 @@ class Analyzer {
       std::map<ObjectId, VersionId> selected;
       for (const VersionId& v : e.vset) selected[v.object] = v;
       const std::vector<RelationId>& rels = h_.predicate_relations(e.predicate);
-      for (ObjectId obj = 0; obj < h_.object_count(); ++obj) {
-        bool in_relations = false;
-        for (RelationId r : rels) in_relations |= (h_.object_relation(obj) == r);
-        if (!in_relations) continue;
-        // Position of the selected version in the version order; the
-        // implicit selection is x_init (position "before index 0").
-        auto sel_it = selected.find(obj);
-        VersionId sel =
-            sel_it == selected.end() ? InitVersion(obj) : sel_it->second;
-        ptrdiff_t pos;
-        if (sel.is_init()) {
-          pos = -1;
-        } else {
-          if (!h_.IsCommitted(sel.writer)) continue;  // unpositionable
-          std::optional<size_t> idx = h_.OrderIndex(obj, sel.writer);
-          ADYA_CHECK(idx.has_value());
-          pos = static_cast<ptrdiff_t>(*idx);
-        }
-        const std::vector<bool>& flags = MatchFlags(obj, e.predicate);
-        const std::vector<TxnId>& order = h_.VersionOrder(obj);
-        // wr(pred): the latest change at or before the selected version.
-        for (ptrdiff_t j = pos; j >= 0; --j) {
-          if (!ChangesMatches(flags, static_cast<size_t>(j))) continue;
-          Dependency dep;
-          dep.from = order[static_cast<size_t>(j)];
-          dep.to = e.txn;
-          dep.kind = DepKind::kWRPred;
-          dep.object = obj;
-          dep.from_version =
-              *h_.InstalledVersion(order[static_cast<size_t>(j)], obj);
-          dep.to_version = sel;
-          dep.predicate = e.predicate;
-          dep.is_predicate = true;
-          Emit(std::move(dep));
-          break;
-        }
-        // rw(pred): every later change overwrites this predicate read
-        // (Definition 4).
-        for (size_t j = static_cast<size_t>(pos + 1); j < order.size(); ++j) {
-          if (!ChangesMatches(flags, j)) continue;
-          Dependency dep;
-          dep.from = e.txn;
-          dep.to = order[j];
-          dep.kind = DepKind::kRWPred;
-          dep.object = obj;
-          dep.from_version = sel;
-          dep.to_version = *h_.InstalledVersion(order[j], obj);
-          dep.predicate = e.predicate;
-          dep.is_predicate = true;
-          Emit(std::move(dep));
+      for (auto rel_it = rels.begin(); rel_it != rels.end(); ++rel_it) {
+        if (std::find(rels.begin(), rel_it, *rel_it) != rel_it) continue;
+        for (ObjectId obj : by_relation[*rel_it]) {
+          // Position of the selected version in the version order; the
+          // implicit selection is x_init (position "before index 0").
+          auto sel_it = selected.find(obj);
+          VersionId sel =
+              sel_it == selected.end() ? InitVersion(obj) : sel_it->second;
+          ptrdiff_t pos;
+          if (sel.is_init()) {
+            pos = -1;
+          } else {
+            if (!h_.IsCommitted(sel.writer)) continue;  // unpositionable
+            std::optional<size_t> idx = h_.OrderIndex(obj, sel.writer);
+            ADYA_CHECK(idx.has_value());
+            pos = static_cast<ptrdiff_t>(*idx);
+          }
+          const std::vector<TxnId>& order = h_.VersionOrder(obj);
+          const std::vector<ptrdiff_t>& changes =
+              ChangeIndices(obj, e.predicate);
+          auto next = std::upper_bound(changes.begin(), changes.end(), pos);
+          // wr(pred): the latest change at or before the selected version.
+          if (next != changes.begin()) {
+            size_t j = static_cast<size_t>(*(next - 1));
+            Dependency dep;
+            dep.from = order[j];
+            dep.to = e.txn;
+            dep.kind = DepKind::kWRPred;
+            dep.object = obj;
+            dep.from_version = *h_.InstalledVersion(order[j], obj);
+            dep.to_version = sel;
+            dep.predicate = e.predicate;
+            dep.is_predicate = true;
+            Emit(std::move(dep));
+          }
+          // rw(pred): every later change overwrites this predicate read
+          // (Definition 4) — or only the earliest when the caller asked for
+          // the cycle-equivalent reduced edge set (see ConflictOptions).
+          for (auto it2 = next; it2 != changes.end(); ++it2) {
+            size_t j = static_cast<size_t>(*it2);
+            Dependency dep;
+            dep.from = e.txn;
+            dep.to = order[j];
+            dep.kind = DepKind::kRWPred;
+            dep.object = obj;
+            dep.from_version = sel;
+            dep.to_version = *h_.InstalledVersion(order[j], obj);
+            dep.predicate = e.predicate;
+            dep.is_predicate = true;
+            // In first-only mode a self "edge" (dropped by Emit) must not
+            // stop the scan: the earliest edge that exists in the full set
+            // is the one to the next change by a *different* transaction.
+            bool real_edge = dep.from != dep.to;
+            Emit(std::move(dep));
+            if (options_.first_rw_pred_only && real_edge) break;
+          }
         }
       }
     }
@@ -230,6 +240,10 @@ class Analyzer {
   // iff Ti's commit precedes Tj's start.
   void StartDependencies() {
     std::vector<TxnId> committed = h_.CommittedTransactions();
+    if (options_.reduced_start_edges) {
+      ReducedStartDependencies(committed);
+      return;
+    }
     for (TxnId from : committed) {
       EventId commit = h_.txn_info(from).commit_event;
       for (TxnId to : committed) {
@@ -245,10 +259,61 @@ class Analyzer {
     }
   }
 
+  // Transitive reduction of the start order (see ConflictOptions): the edge
+  // i->j (c_i < b_j) is redundant iff some committed k has c_i < b_k and
+  // c_k < b_j — equivalently iff c_i < max{b_k : c_k < b_j}. With the
+  // committed transactions sorted by commit event, that max is a prefix
+  // maximum and the survivors for each j form one contiguous commit-order
+  // range, so the whole reduction is O(n log n + edges kept).
+  void ReducedStartDependencies(const std::vector<TxnId>& committed) {
+    struct Span {
+      EventId begin, commit;
+      TxnId txn;
+    };
+    std::vector<Span> by_commit;
+    by_commit.reserve(committed.size());
+    for (TxnId t : committed) {
+      by_commit.push_back(
+          Span{h_.txn_info(t).begin_event, h_.txn_info(t).commit_event, t});
+    }
+    std::sort(by_commit.begin(), by_commit.end(),
+              [](const Span& a, const Span& b) { return a.commit < b.commit; });
+    std::vector<EventId> commits(by_commit.size());
+    std::vector<EventId> prefix_max_begin(by_commit.size());
+    for (size_t i = 0; i < by_commit.size(); ++i) {
+      commits[i] = by_commit[i].commit;
+      prefix_max_begin[i] =
+          i == 0 ? by_commit[i].begin
+                 : std::max(prefix_max_begin[i - 1], by_commit[i].begin);
+    }
+    for (TxnId to : committed) {
+      EventId begin = h_.txn_info(to).begin_event;
+      // Predecessors of `to`: commits before its begin.
+      size_t preds = static_cast<size_t>(
+          std::lower_bound(commits.begin(), commits.end(), begin) -
+          commits.begin());
+      if (preds == 0) continue;
+      // Survivors: predecessors whose commit is not before any
+      // predecessor's begin.
+      size_t first = static_cast<size_t>(
+          std::lower_bound(commits.begin(), commits.begin() + preds,
+                           prefix_max_begin[preds - 1]) -
+          commits.begin());
+      for (size_t i = first; i < preds; ++i) {
+        Dependency dep;
+        dep.from = by_commit[i].txn;
+        dep.to = to;
+        dep.kind = DepKind::kStart;
+        Emit(std::move(dep));
+      }
+    }
+  }
+
   const History& h_;
   ConflictOptions options_;
   std::vector<Dependency> out_;
-  std::map<std::pair<ObjectId, PredicateId>, std::vector<bool>> match_cache_;
+  std::map<std::pair<ObjectId, PredicateId>, std::vector<ptrdiff_t>>
+      change_cache_;
 };
 
 }  // namespace

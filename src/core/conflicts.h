@@ -67,6 +67,29 @@ struct ConflictOptions {
   /// Also compute start-dependency edges (needed only for PL-SI checking;
   /// quadratic in committed transactions).
   bool include_start_edges = false;
+  /// Emit only the *earliest* predicate-anti-dependency edge per
+  /// (predicate read, object) instead of Definition 4's edge to every later
+  /// match-changing installer. Cycle-preserving: each skipped installer is
+  /// reachable from the first one through the ww chain of the object's
+  /// version order, so every DSG/SSG cycle of the full graph has a
+  /// counterpart here with the same anti-dependency edge count — no
+  /// phenomenon appears or disappears. Witness cycles and raw edge counts
+  /// do change, so this stays off by default (audit output and the golden
+  /// tests want the exact Definition 4 edge set); the online certifier
+  /// turns it on because long histories of overlapping predicate reads and
+  /// writes otherwise produce quadratically many rw(pred) edges.
+  bool first_rw_pred_only = false;
+  /// With include_start_edges, emit only the transitive reduction of the
+  /// start order instead of all O(committed²) start edges. Cycle-preserving
+  /// for the SSG phenomena: start-depends is a strict partial order, so its
+  /// transitive reduction preserves start-reachability, and every pure-start
+  /// segment of an SSG cycle re-expands into a path of reduction edges —
+  /// start edges carry no anti-dependencies, so G-SI(b)'s anti-edge count is
+  /// unchanged. G-SI(a) queries the start relation directly (commit-before-
+  /// begin) and never depends on which start edges are materialized. The
+  /// full edge set stays the default for audit output; the online certifier
+  /// opts in.
+  bool reduced_start_edges = false;
 };
 
 /// Computes every direct conflict of the history per §4.4. Only committed

@@ -48,7 +48,11 @@ using TxnFilter = std::function<bool(TxnId)>;
 /// the SSG (start-ordered: needed only for G-SI) on first use.
 class PhenomenaChecker {
  public:
-  explicit PhenomenaChecker(const History& h);
+  /// `options` tunes conflict computation (e.g. first_rw_pred_only for the
+  /// online certifier); include_start_edges is managed internally — the DSG
+  /// never carries start edges and the SSG always does.
+  explicit PhenomenaChecker(const History& h,
+                            const ConflictOptions& options = ConflictOptions());
 
   /// nullopt when the phenomenon does not occur; a witness otherwise.
   std::optional<Violation> Check(Phenomenon p) const;
@@ -79,6 +83,7 @@ class PhenomenaChecker {
   std::optional<Violation> CheckGCursor() const;
 
   const History* history_;
+  ConflictOptions options_;
   std::unique_ptr<Dsg> dsg_;
   mutable std::unique_ptr<Dsg> ssg_;
 };

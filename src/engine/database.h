@@ -60,9 +60,12 @@ class Database {
 
   virtual ~Database() = default;
 
-  /// Registers a relation (idempotent by name).
+  /// The options this database was created with (immutable after Create).
+  const Options& options() const { return options_; }
+
+  /// Registers a relation (idempotent by name; the Recorder is itself
+  /// thread-safe).
   RelationId AddRelation(const std::string& name) {
-    std::lock_guard<std::mutex> guard(mu_);
     return recorder_.AddRelation(name);
   }
 
@@ -86,10 +89,17 @@ class Database {
   virtual Status Commit(TxnId txn) = 0;
   virtual Status Abort(TxnId txn) = 0;
 
-  /// A finalized snapshot of the recorded history so far.
-  Result<History> RecordedHistory() const {
-    std::lock_guard<std::mutex> guard(mu_);
-    return recorder_.Snapshot();
+  /// A finalized snapshot of the recorded history so far. Thread-safe, and
+  /// does not block engine operations beyond the copy itself.
+  Result<History> RecordedHistory() const { return recorder_.Snapshot(); }
+
+  /// Incremental, thread-safe tap on the recorded history (see
+  /// Recorder::DrainInto): syncs universe additions into `replica`, appends
+  /// events recorded since `cursor`, returns the new cursor. The stress
+  /// subsystem's certifier thread uses this to audit the committed prefix
+  /// while workers are still executing.
+  size_t DrainRecorded(History* replica, size_t cursor) const {
+    return recorder_.DrainInto(replica, cursor);
   }
 
  protected:

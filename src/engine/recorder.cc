@@ -5,6 +5,7 @@
 namespace adya::engine {
 
 TxnId Recorder::BeginTxn(IsolationLevel level) {
+  std::lock_guard<std::mutex> guard(mu_);
   TxnId txn = next_txn_++;
   history_.SetLevel(txn, level);
   history_.Append(Event::Begin(txn));
@@ -12,6 +13,7 @@ TxnId Recorder::BeginTxn(IsolationLevel level) {
 }
 
 ObjectId Recorder::NewIncarnation(const ObjKey& key) {
+  std::lock_guard<std::mutex> guard(mu_);
   uint32_t n = ++incarnation_count_[key];
   std::string name =
       n == 1 ? key.key : StrCat(key.key, "#", n);
@@ -20,6 +22,7 @@ ObjectId Recorder::NewIncarnation(const ObjKey& key) {
 
 PredicateId Recorder::RegisterPredicate(
     RelationId relation, std::shared_ptr<const Predicate> predicate) {
+  std::lock_guard<std::mutex> guard(mu_);
   std::string dedup_key =
       StrCat(relation, ":", predicate->Description());
   auto it = predicate_ids_.find(dedup_key);
@@ -33,6 +36,7 @@ PredicateId Recorder::RegisterPredicate(
 
 VersionId Recorder::RecordWrite(TxnId txn, ObjectId object, Row row,
                                 VersionKind kind) {
+  std::lock_guard<std::mutex> guard(mu_);
   uint32_t seq = ++write_seq_[{txn, object}];
   VersionId vid{object, txn, seq};
   history_.Append(Event::Write(txn, vid, std::move(row), kind));
@@ -40,22 +44,62 @@ VersionId Recorder::RecordWrite(TxnId txn, ObjectId object, Row row,
 }
 
 void Recorder::RecordRead(TxnId txn, const VersionId& version, Row observed) {
+  std::lock_guard<std::mutex> guard(mu_);
   history_.Append(Event::Read(txn, version, std::move(observed)));
 }
 
 void Recorder::RecordPredicateRead(TxnId txn, PredicateId predicate,
                                    std::vector<VersionId> vset) {
+  std::lock_guard<std::mutex> guard(mu_);
   history_.Append(Event::PredicateRead(txn, predicate, std::move(vset)));
 }
 
-void Recorder::RecordCommit(TxnId txn) { history_.Append(Event::Commit(txn)); }
+void Recorder::RecordCommit(TxnId txn) {
+  std::lock_guard<std::mutex> guard(mu_);
+  history_.Append(Event::Commit(txn));
+}
 
-void Recorder::RecordAbort(TxnId txn) { history_.Append(Event::Abort(txn)); }
+void Recorder::RecordAbort(TxnId txn) {
+  std::lock_guard<std::mutex> guard(mu_);
+  history_.Append(Event::Abort(txn));
+}
 
 Result<History> Recorder::Snapshot() const {
-  History copy = history_;
+  History copy;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    copy = history_;
+  }
   ADYA_RETURN_IF_ERROR(copy.Finalize());
   return copy;
+}
+
+size_t Recorder::DrainInto(History* replica, size_t cursor) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  for (size_t r = replica->relation_count(); r < history_.relation_count();
+       ++r) {
+    replica->AddRelation(history_.relation_name(static_cast<RelationId>(r)));
+  }
+  for (size_t o = replica->object_count(); o < history_.object_count(); ++o) {
+    ObjectId id = static_cast<ObjectId>(o);
+    replica->AddObject(history_.object_name(id), history_.object_relation(id));
+  }
+  for (size_t p = replica->predicate_count(); p < history_.predicate_count();
+       ++p) {
+    PredicateId id = static_cast<PredicateId>(p);
+    replica->AddPredicate(history_.predicate_name(id),
+                          history_.predicate_ptr(id),
+                          history_.predicate_relations(id));
+  }
+  const std::vector<Event>& events = history_.events();
+  for (; cursor < events.size(); ++cursor) {
+    const Event& e = events[cursor];
+    if (e.type == EventType::kBegin) {
+      replica->SetLevel(e.txn, history_.txn_info(e.txn).level);
+    }
+    replica->Append(e);
+  }
+  return cursor;
 }
 
 }  // namespace adya::engine

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -19,13 +20,25 @@ namespace adya::engine {
 ///
 /// The recorder owns the TxnId space (engine transaction ids ARE history
 /// transaction ids) and the ObjectId space (one object per key
-/// *incarnation*). Thread-compatibility: callers serialize access (the
-/// Database's global mutex).
+/// *incarnation*).
+///
+/// Thread-safety: fully thread-safe. Every method takes the recorder's own
+/// mutex, so observers (Snapshot(), DrainInto()) may run concurrently with
+/// recording threads — this is what lets a certifier thread audit the
+/// committed prefix while worker threads are still executing (src/stress/).
+/// The event order observed is the order the recording threads' appends
+/// acquired the mutex; schedulers additionally serialize whole operations
+/// under the Database mutex, so that order is the engine's real operation
+/// order. A drain may land between two appends of one in-flight operation;
+/// any prefix is still a well-formed history because Snapshot()/Finalize()
+/// complete unfinished transactions with aborts (the paper's §4.2
+/// completion rule).
 class Recorder {
  public:
   Recorder() { history_.AddRelation("R"); }
 
   RelationId AddRelation(const std::string& name) {
+    std::lock_guard<std::mutex> guard(mu_);
     return history_.AddRelation(name);
   }
 
@@ -59,7 +72,22 @@ class Recorder {
   /// rule), without perturbing the live recording.
   Result<History> Snapshot() const;
 
+  /// Thread-safe incremental event tap: copies into `replica` any universe
+  /// additions (relations, objects, predicates — ids are dense and
+  /// append-only, so replica ids match the recorder's) and then appends the
+  /// events recorded since `cursor` (an event count from a previous drain,
+  /// 0 initially). Returns the new cursor. The replica stays unfinalized;
+  /// consumers snapshot-and-finalize a copy when they want to check it.
+  size_t DrainInto(History* replica, size_t cursor) const;
+
+  /// Number of events recorded so far.
+  size_t event_count() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return history_.events().size();
+  }
+
  private:
+  mutable std::mutex mu_;
   History history_;
   TxnId next_txn_ = 1;
   std::map<ObjKey, uint32_t> incarnation_count_;

@@ -141,12 +141,64 @@ std::optional<Cycle> FindCycleWithRequiredKind(const Digraph& g,
   return std::nullopt;
 }
 
+namespace {
+
+/// ShortestPath restricted to one SCC: used by FindCycleWithExactlyOne,
+/// where any rest-path that closes a cycle provably stays inside the pivot
+/// edge's component, so the search never needs to leave it.
+std::optional<std::vector<EdgeId>> ShortestPathInComponent(
+    const Digraph& g, NodeId from, NodeId to, KindMask allowed,
+    const SccResult& scc, uint32_t component) {
+  if (from == to) return std::vector<EdgeId>{};
+  std::vector<EdgeId> parent_edge(g.node_count(), kUnvisited);
+  std::vector<bool> seen(g.node_count(), false);
+  std::deque<NodeId> queue;
+  seen[from] = true;
+  queue.push_back(from);
+  while (!queue.empty()) {
+    NodeId v = queue.front();
+    queue.pop_front();
+    for (EdgeId eid : g.out_edges(v)) {
+      const Digraph::Edge& e = g.edge(eid);
+      if ((e.kinds & allowed) == 0 || seen[e.to]) continue;
+      if (scc.component[e.to] != component) continue;
+      seen[e.to] = true;
+      parent_edge[e.to] = eid;
+      if (e.to == to) {
+        std::vector<EdgeId> path;
+        NodeId cur = to;
+        while (cur != from) {
+          EdgeId pe = parent_edge[cur];
+          path.push_back(pe);
+          cur = g.edge(pe).from;
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      queue.push_back(e.to);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
 std::optional<Cycle> FindCycleWithExactlyOne(const Digraph& g, KindMask pivot,
                                              KindMask rest) {
+  // A cycle with exactly one pivot edge (u, v) is a rest-path v ⇝ u. Such a
+  // path, concatenated with the pivot edge, puts every node it visits on a
+  // cycle of the pivot|rest subgraph — so u and v must share an SCC of that
+  // subgraph, and the path never leaves their component. The SCC pass thus
+  // rejects every candidate without any per-edge search on acyclic graphs
+  // (the common clean-history case), and bounds each search by the
+  // component size otherwise.
+  SccResult scc = StronglyConnectedComponents(g, pivot | rest);
   for (EdgeId eid = 0; eid < g.edge_count(); ++eid) {
     const Digraph::Edge& e = g.edge(eid);
     if ((e.kinds & pivot) == 0) continue;
-    auto back = ShortestPath(g, e.to, e.from, rest);
+    if (scc.component[e.from] != scc.component[e.to]) continue;
+    auto back = ShortestPathInComponent(g, e.to, e.from, rest, scc,
+                                        scc.component[e.from]);
     if (!back.has_value()) continue;
     Cycle cycle;
     cycle.edges.push_back(eid);

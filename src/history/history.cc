@@ -334,13 +334,19 @@ Status History::ValidateEvents() {
 
 Status History::ComputeVersionOrders() {
   effective_order_.assign(objects_.size(), {});
-  for (ObjectId obj = 0; obj < objects_.size(); ++obj) {
-    // Committed installers of versions of obj.
-    std::vector<TxnId> installers;
-    for (const auto& [txn, info] : txns_) {
-      if (!IsCommitted(txn)) continue;
-      if (info.writes.count(obj) != 0) installers.push_back(txn);
+  order_index_.assign(objects_.size(), {});
+  // Committed installers per object, gathered in one pass over the
+  // transactions (txns_ iterates in TxnId order, so each object's list is
+  // ascending, matching the previous per-object scans).
+  std::vector<std::vector<TxnId>> installers_of(objects_.size());
+  for (const auto& [txn, info] : txns_) {
+    if (!IsCommitted(txn)) continue;
+    for (const auto& [obj, writes] : info.writes) {
+      if (!writes.empty()) installers_of[obj].push_back(txn);
     }
+  }
+  for (ObjectId obj = 0; obj < objects_.size(); ++obj) {
+    std::vector<TxnId>& installers = installers_of[obj];
     std::vector<TxnId> order;
     auto explicit_it = explicit_order_.find(obj);
     if (explicit_it != explicit_order_.end()) {
@@ -381,6 +387,7 @@ Status History::ComputeVersionOrders() {
                    ": the dead version must be the last version"));
       }
     }
+    for (size_t i = 0; i < order.size(); ++i) order_index_[obj][order[i]] = i;
     effective_order_[obj] = std::move(order);
   }
   return Status::OK();
@@ -404,11 +411,12 @@ const std::vector<TxnId>& History::VersionOrder(ObjectId object) const {
 }
 
 std::optional<size_t> History::OrderIndex(ObjectId object, TxnId txn) const {
-  const std::vector<TxnId>& order = VersionOrder(object);
-  for (size_t i = 0; i < order.size(); ++i) {
-    if (order[i] == txn) return i;
-  }
-  return std::nullopt;
+  ADYA_CHECK_MSG(finalized_, "OrderIndex requires a finalized history");
+  ADYA_CHECK(object < objects_.size());
+  const std::map<TxnId, size_t>& index = order_index_[object];
+  auto it = index.find(txn);
+  if (it == index.end()) return std::nullopt;
+  return it->second;
 }
 
 uint32_t History::FinalSeq(TxnId txn, ObjectId object) const {

@@ -181,6 +181,9 @@ class History {
 
   std::map<ObjectId, std::vector<TxnId>> explicit_order_;
   std::vector<std::vector<TxnId>> effective_order_;  // per object; finalized
+  // txn -> position in effective_order_[obj]; keeps OrderIndex O(log n) on
+  // the long version chains concurrent stress runs produce.
+  std::vector<std::map<TxnId, size_t>> order_index_;
   std::map<VersionId, EventId> write_events_;        // built by Finalize()
 
   bool finalized_ = false;

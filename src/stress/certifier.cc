@@ -1,0 +1,58 @@
+#include "stress/certifier.h"
+
+#include "common/check.h"
+#include "common/str_util.h"
+
+namespace adya::stress {
+
+std::vector<Violation> OnlineCertifier::Cycle() {
+  ++cycles_;
+  size_t before = cursor_;
+  cursor_ = db_->DrainRecorded(&replica_, cursor_);
+  bool saw_commit = false;
+  for (size_t i = before; i < cursor_; ++i) {
+    if (replica_.event(static_cast<EventId>(i)).type == EventType::kCommit) {
+      saw_commit = true;
+      ++commits_seen_;
+    }
+  }
+  if (!saw_commit) return {};
+
+  History prefix = replica_;
+  Status finalized = prefix.Finalize();
+  // The engine reports exact version identities, so its recorded prefixes
+  // are well-formed by construction; a failure here is an engine bug.
+  ADYA_CHECK_MSG(finalized.ok(),
+                 "recorded prefix failed to finalize: " << finalized);
+  ++checks_run_;
+  // first_rw_pred_only keeps certification linear-ish in history size: a
+  // stress run's overlapping predicate reads and writes would otherwise
+  // yield quadratically many rw(pred) edges. The reduced edge set preserves
+  // every phenomenon (see ConflictOptions), only witnesses may differ.
+  ConflictOptions conflict_options;
+  conflict_options.first_rw_pred_only = true;
+  conflict_options.reduced_start_edges = true;
+  PhenomenaChecker checker(prefix, conflict_options);
+  LevelCheckResult check = CheckLevel(checker, target_);
+  std::vector<Violation> fresh;
+  for (Violation& v : check.violations) {
+    if (reported_.insert(v.phenomenon).second) {
+      violations_.push_back(v);
+      fresh.push_back(std::move(v));
+    }
+  }
+  return fresh;
+}
+
+std::string OnlineCertifier::ToJson() const {
+  std::vector<std::string> names;
+  for (Phenomenon p : reported_) {
+    names.push_back(StrCat("\"", PhenomenonName(p), "\""));
+  }
+  return StrCat("{\"target\":\"", IsolationLevelName(target_),
+                "\",\"cycles\":", cycles_, ",\"checks\":", checks_run_,
+                ",\"events\":", cursor_, ",\"commits\":", commits_seen_,
+                ",\"violations\":[", StrJoin(names, ","), "]}");
+}
+
+}  // namespace adya::stress

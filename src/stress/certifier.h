@@ -1,0 +1,71 @@
+#ifndef ADYA_STRESS_CERTIFIER_H_
+#define ADYA_STRESS_CERTIFIER_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/levels.h"
+#include "engine/database.h"
+#include "history/history.h"
+
+namespace adya::stress {
+
+/// Online certification pipelined with execution: a replica of the engine's
+/// recorded history is grown incrementally through the thread-safe Recorder
+/// tap (Database::DrainRecorded), and on every cycle that delivered at
+/// least one new commit, a completed copy of the replica is checked against
+/// the target level. Unfinished transactions count as aborted (the §4.2
+/// completion rule), so every prefix is a valid history to check and only
+/// commit events can introduce new violations — which is why commit-free
+/// cycles skip the (expensive) check entirely.
+///
+/// Compared to OnlineChecker (core/online.h), which re-checks at *every*
+/// commit, the certifier batches: all commits that arrived within one drain
+/// cycle are certified together. Cycle phenomena are final-monotone, so
+/// batching never loses a violation — it only coarsens the attribution of
+/// which commit introduced it; the first witness per phenomenon kind is
+/// still reported. A run whose last cycle drained the complete history has
+/// therefore been checked end-to-end.
+class OnlineCertifier {
+ public:
+  OnlineCertifier(const engine::Database& db, IsolationLevel target)
+      : db_(&db), target_(target) {}
+
+  /// Drains newly recorded events and certifies the committed prefix if any
+  /// commit arrived. Returns the violations first reported this cycle.
+  /// Thread-compatible: call from one certifier thread.
+  std::vector<Violation> Cycle();
+
+  IsolationLevel target() const { return target_; }
+  size_t cycles() const { return cycles_; }
+  size_t checks_run() const { return checks_run_; }
+  size_t events_certified() const { return cursor_; }
+  size_t commits_seen() const { return commits_seen_; }
+
+  /// Phenomenon kinds reported so far.
+  const std::set<Phenomenon>& reported() const { return reported_; }
+
+  /// Every violation reported so far (first witness per phenomenon kind).
+  const std::vector<Violation>& violations() const { return violations_; }
+
+  /// {"target":…,"cycles":…,"checks":…,"events":…,"commits":…,
+  ///  "violations":[names…]}.
+  std::string ToJson() const;
+
+ private:
+  const engine::Database* db_;
+  IsolationLevel target_;
+  History replica_;
+  size_t cursor_ = 0;
+  size_t cycles_ = 0;
+  size_t checks_run_ = 0;
+  size_t commits_seen_ = 0;
+  std::set<Phenomenon> reported_;
+  std::vector<Violation> violations_;
+};
+
+}  // namespace adya::stress
+
+#endif  // ADYA_STRESS_CERTIFIER_H_

@@ -1,0 +1,25 @@
+#include "stress/fault_plan.h"
+
+#include <thread>
+
+namespace adya::stress {
+
+bool FaultInjector::MaybeDelay() {
+  if (plan_.delay_prob <= 0 || !rng_.NextBool(plan_.delay_prob)) return false;
+  auto max_us = static_cast<uint64_t>(plan_.max_delay.count());
+  if (max_us > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(rng_.NextBelow(max_us + 1)));
+  }
+  ++delays_;
+  return true;
+}
+
+bool FaultInjector::MaybeHold() {
+  if (plan_.hold_prob <= 0 || !rng_.NextBool(plan_.hold_prob)) return false;
+  std::this_thread::sleep_for(plan_.hold);
+  ++holds_;
+  return true;
+}
+
+}  // namespace adya::stress

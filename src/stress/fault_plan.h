@@ -1,0 +1,83 @@
+#ifndef ADYA_STRESS_FAULT_PLAN_H_
+#define ADYA_STRESS_FAULT_PLAN_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace adya::stress {
+
+/// Adversarial perturbations injected into stress workers. The point is not
+/// realism but *coverage*: delays shear transaction lifetimes apart so lock
+/// waits and OCC conflict windows actually open; holds ("hung transactions")
+/// pin locks long enough that other workers pile up behind them, forcing
+/// condition-variable waits and deadlock victims; voluntary aborts exercise
+/// the rollback paths and, at weak levels, create aborted versions for
+/// G1a/G1b hunting. All decisions are drawn from a per-worker seeded RNG,
+/// so single-threaded runs stay deterministic.
+struct FaultPlan {
+  /// Probability a transaction that reached its end aborts instead of
+  /// committing.
+  double voluntary_abort_prob = 0.05;
+
+  /// Probability each operation is preceded by a uniform random sleep in
+  /// [0, max_delay].
+  double delay_prob = 0.0;
+  std::chrono::microseconds max_delay{500};
+
+  /// Probability a transaction "hangs" — sleeps for `hold` just before its
+  /// commit/abort decision, while still holding every lock it acquired.
+  double hold_prob = 0.0;
+  std::chrono::milliseconds hold{5};
+
+  /// No perturbations at all (pure throughput measurement).
+  static FaultPlan None() {
+    FaultPlan plan;
+    plan.voluntary_abort_prob = 0;
+    return plan;
+  }
+
+  /// Aggressive defaults for certification runs: plenty of aborts, delays
+  /// on a third of operations, and regular lock-pinning holds.
+  static FaultPlan Chaos() {
+    FaultPlan plan;
+    plan.voluntary_abort_prob = 0.15;
+    plan.delay_prob = 0.3;
+    plan.max_delay = std::chrono::microseconds(300);
+    plan.hold_prob = 0.05;
+    plan.hold = std::chrono::milliseconds(3);
+    return plan;
+  }
+};
+
+/// Per-worker fault-decision engine: owns its RNG (decoupled from the
+/// worker's op-sequence RNG, so enabling faults never changes *which*
+/// operations a seeded run issues) and counts what it injected.
+class FaultInjector {
+ public:
+  FaultInjector(const FaultPlan& plan, uint64_t seed)
+      : plan_(plan), rng_(seed) {}
+
+  /// Possibly sleeps before an operation; returns true when it did.
+  bool MaybeDelay();
+
+  /// Possibly sleeps at transaction end with locks held; true when it did.
+  bool MaybeHold();
+
+  /// Whether the finished transaction should voluntarily abort.
+  bool ShouldAbort() { return rng_.NextBool(plan_.voluntary_abort_prob); }
+
+  uint64_t delays_injected() const { return delays_; }
+  uint64_t holds_injected() const { return holds_; }
+
+ private:
+  FaultPlan plan_;
+  Rng rng_;
+  uint64_t delays_ = 0;
+  uint64_t holds_ = 0;
+};
+
+}  // namespace adya::stress
+
+#endif  // ADYA_STRESS_FAULT_PLAN_H_

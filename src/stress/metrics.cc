@@ -1,0 +1,104 @@
+#include "stress/metrics.h"
+
+#include <bit>
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace adya::stress {
+
+size_t LatencyHistogram::BucketIndex(uint64_t v) {
+  if (v < (uint64_t{1} << kSubBits)) return static_cast<size_t>(v);
+  int exp = 63 - std::countl_zero(v);  // position of the top bit, >= kSubBits
+  uint64_t sub = (v >> (exp - kSubBits)) & ((uint64_t{1} << kSubBits) - 1);
+  return (static_cast<size_t>(exp - kSubBits + 1) << kSubBits) |
+         static_cast<size_t>(sub);
+}
+
+uint64_t LatencyHistogram::BucketFloor(size_t index) {
+  size_t octave = index >> kSubBits;
+  uint64_t sub = index & ((uint64_t{1} << kSubBits) - 1);
+  if (octave == 0) return sub;
+  int exp = static_cast<int>(octave) + kSubBits - 1;
+  return (uint64_t{1} << exp) | (sub << (exp - kSubBits));
+}
+
+void LatencyHistogram::Record(uint64_t micros) {
+  ++buckets_[BucketIndex(micros)];
+  ++count_;
+  if (micros > max_) max_ = micros;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+uint64_t LatencyHistogram::PercentileMicros(double p) const {
+  if (count_ == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  uint64_t rank = static_cast<uint64_t>(std::ceil(p / 100.0 *
+                                                  static_cast<double>(count_)));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      uint64_t floor = BucketFloor(i);
+      return floor < max_ ? floor : max_;
+    }
+  }
+  return max_;
+}
+
+std::string LatencyHistogram::ToJson() const {
+  return StrCat("{\"p50\":", PercentileMicros(50),
+                ",\"p95\":", PercentileMicros(95),
+                ",\"p99\":", PercentileMicros(99), ",\"max\":", max_,
+                ",\"count\":", count_, "}");
+}
+
+void RunMetrics::Merge(const RunMetrics& other) {
+  txns_started += other.txns_started;
+  committed += other.committed;
+  aborted_voluntary += other.aborted_voluntary;
+  aborted_deadlock += other.aborted_deadlock;
+  aborted_validation += other.aborted_validation;
+  aborted_other += other.aborted_other;
+  operations += other.operations;
+  reads += other.reads;
+  writes += other.writes;
+  deletes += other.deletes;
+  predicate_reads += other.predicate_reads;
+  would_block_retries += other.would_block_retries;
+  delays_injected += other.delays_injected;
+  holds_injected += other.holds_injected;
+  commit_latency.Merge(other.commit_latency);
+  op_latency.Merge(other.op_latency);
+}
+
+std::string RunMetrics::ToJson() const {
+  std::ostringstream oss;
+  oss << "{\"scheme\":\"" << scheme << "\",\"level\":\"" << level
+      << "\",\"threads\":" << threads
+      << ",\"duration_seconds\":" << duration_seconds
+      << ",\"throughput_txn_per_sec\":" << Throughput()
+      << ",\"txns_started\":" << txns_started << ",\"committed\":" << committed
+      << ",\"aborted\":{\"voluntary\":" << aborted_voluntary
+      << ",\"deadlock\":" << aborted_deadlock
+      << ",\"validation\":" << aborted_validation
+      << ",\"other\":" << aborted_other << "}"
+      << ",\"operations\":{\"total\":" << operations << ",\"reads\":" << reads
+      << ",\"writes\":" << writes << ",\"deletes\":" << deletes
+      << ",\"predicate_reads\":" << predicate_reads
+      << ",\"would_block_retries\":" << would_block_retries << "}"
+      << ",\"faults\":{\"delays\":" << delays_injected
+      << ",\"holds\":" << holds_injected << "}"
+      << ",\"commit_latency_us\":" << commit_latency.ToJson()
+      << ",\"op_latency_us\":" << op_latency.ToJson() << "}";
+  return oss.str();
+}
+
+}  // namespace adya::stress

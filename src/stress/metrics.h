@@ -1,0 +1,102 @@
+#ifndef ADYA_STRESS_METRICS_H_
+#define ADYA_STRESS_METRICS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace adya::stress {
+
+/// A fixed-size log-bucketed latency histogram (HdrHistogram-lite): 16
+/// linear sub-buckets per power-of-two octave, so quantile estimates carry
+/// at most ~6% relative error at any magnitude, with no allocation and O(1)
+/// recording. Values are microseconds. Mergeable across worker threads —
+/// each worker records into its own histogram and the driver merges at the
+/// end, so the hot path is contention-free.
+class LatencyHistogram {
+ public:
+  void Record(uint64_t micros);
+  void Merge(const LatencyHistogram& other);
+
+  uint64_t count() const { return count_; }
+  uint64_t max_micros() const { return max_; }
+
+  /// Approximate value at percentile `p` in [0, 100] (0 when empty).
+  uint64_t PercentileMicros(double p) const;
+
+  /// {"p50":…,"p95":…,"p99":…,"max":…,"count":…} (all integers, µs).
+  std::string ToJson() const;
+
+ private:
+  static constexpr int kSubBits = 4;  // 16 sub-buckets per octave
+  static constexpr size_t kBuckets = (64 - kSubBits) << kSubBits;
+
+  static size_t BucketIndex(uint64_t v);
+  /// Lower bound of the value range bucket `index` covers.
+  static uint64_t BucketFloor(size_t index);
+
+  std::array<uint64_t, kBuckets> buckets_{};
+  uint64_t count_ = 0;
+  uint64_t max_ = 0;
+};
+
+/// Counters and latency distributions of one stress run. Workers each fill
+/// a private RunMetrics; the driver merges them and stamps the run
+/// configuration, so ToJson() emits a self-describing record suitable for a
+/// BENCH_*.json trajectory file.
+struct RunMetrics {
+  // --- run configuration (stamped by the driver) -------------------------
+  std::string scheme;
+  std::string level;
+  int threads = 0;
+  double duration_seconds = 0;
+
+  // --- transaction outcomes ----------------------------------------------
+  uint64_t txns_started = 0;
+  uint64_t committed = 0;
+  uint64_t aborted_voluntary = 0;  // fault plan decided to abort
+  uint64_t aborted_deadlock = 0;   // deadlock victims (locking scheme)
+  uint64_t aborted_validation = 0; // OCC validation / first-committer-wins
+  uint64_t aborted_other = 0;      // engine aborts not classified above
+
+  // --- operations ---------------------------------------------------------
+  uint64_t operations = 0;
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t deletes = 0;
+  uint64_t predicate_reads = 0;
+  /// Non-blocking databases only: operations re-issued after kWouldBlock.
+  uint64_t would_block_retries = 0;
+
+  // --- injected faults ----------------------------------------------------
+  uint64_t delays_injected = 0;
+  uint64_t holds_injected = 0;
+
+  // --- latency ------------------------------------------------------------
+  /// Begin-to-commit latency of committed transactions.
+  LatencyHistogram commit_latency;
+  /// Latency of every individual operation (reads, writes, …).
+  LatencyHistogram op_latency;
+
+  uint64_t aborted_engine() const {
+    return aborted_deadlock + aborted_validation + aborted_other;
+  }
+  /// Committed transactions per second (0 before the duration is stamped).
+  double Throughput() const {
+    return duration_seconds > 0 ? static_cast<double>(committed) /
+                                      duration_seconds
+                                : 0;
+  }
+
+  /// Folds another worker's metrics into this one (configuration fields are
+  /// left untouched).
+  void Merge(const RunMetrics& other);
+
+  /// One JSON object with configuration, counters, throughput, and the
+  /// latency quantiles of both histograms.
+  std::string ToJson() const;
+};
+
+}  // namespace adya::stress
+
+#endif  // ADYA_STRESS_METRICS_H_

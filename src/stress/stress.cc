@@ -1,0 +1,337 @@
+#include "stress/stress.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "common/check.h"
+#include "common/str_util.h"
+#include "stress/certifier.h"
+
+namespace adya::stress {
+namespace {
+
+using engine::Database;
+using engine::ObjKey;
+using workload::OpKind;
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t ElapsedMicros(Clock::time_point since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            since)
+          .count());
+}
+
+/// Attributes an engine-initiated abort to its cause by the status message
+/// (the engine's only channel for it): "deadlock victim" from the lock
+/// manager, "backward validation failed" from OCC, "first-committer-wins
+/// conflict" from MVCC.
+void ClassifyEngineAbort(const Status& status, RunMetrics& m) {
+  const std::string& msg = status.message();
+  if (msg.find("deadlock") != std::string::npos) {
+    ++m.aborted_deadlock;
+  } else if (msg.find("validation") != std::string::npos ||
+             msg.find("first-committer-wins") != std::string::npos) {
+    ++m.aborted_validation;
+  } else {
+    ++m.aborted_other;
+  }
+}
+
+/// Everything workers share, read-only once the run starts.
+struct SharedSetup {
+  Database* db = nullptr;
+  const StressOptions* options = nullptr;
+  RelationId relation = 0;
+  std::vector<std::string> keys;
+  std::vector<std::shared_ptr<const Predicate>> predicates;
+  std::atomic<bool> stop{false};
+};
+
+/// Per-attempt tally of engine calls, folded into the metrics only when the
+/// attempt succeeded (kWouldBlock retries re-run the whole operation).
+struct CallTally {
+  uint64_t reads = 0, writes = 0, deletes = 0, predicate_reads = 0;
+};
+
+/// Issues one randomly drawn operation. Returns the operation's status;
+/// `tally` reports the engine calls it made.
+Status IssueOp(SharedSetup& s, TxnId txn, OpKind op, Rng& rng,
+               CallTally& tally) {
+  Database& db = *s.db;
+  auto random_key = [&] { return ObjKey{s.relation, rng.Pick(s.keys)}; };
+  switch (op) {
+    case OpKind::kRead: {
+      ++tally.reads;
+      return db.Read(txn, random_key()).status();
+    }
+    case OpKind::kWrite: {
+      ++tally.writes;
+      return db.Write(txn, random_key(), workload::RandomMixRow(rng));
+    }
+    case OpKind::kDelete: {
+      ++tally.deletes;
+      return db.Delete(txn, random_key());
+    }
+    case OpKind::kPredicateRead: {
+      ++tally.predicate_reads;
+      return db.PredicateRead(txn, s.relation, rng.Pick(s.predicates))
+          .status();
+    }
+    case OpKind::kPredicateUpdate: {
+      // Predicate-based modification (§4.3.2): query, then update the first
+      // matched rows (bump val, keep dept so the match set stays stable).
+      ++tally.predicate_reads;
+      auto matched = db.PredicateRead(txn, s.relation, rng.Pick(s.predicates));
+      if (!matched.ok()) return matched.status();
+      size_t limit = std::min<size_t>(matched->size(), 2);
+      for (size_t i = 0; i < limit; ++i) {
+        Row updated = (*matched)[i].second;
+        const Value* val = updated.Get("val");
+        updated.Set("val", Value((val != nullptr ? val->AsInt() : 0) + 1));
+        ++tally.writes;
+        Status st = db.Write(txn, ObjKey{s.relation, (*matched)[i].first},
+                             std::move(updated));
+        if (!st.ok()) return st;
+      }
+      return Status::OK();
+    }
+  }
+  ADYA_UNREACHABLE();
+}
+
+/// Runs one transaction start-to-finish. Returns false when the worker
+/// should stop because the transaction hit an unrecoverable retry storm.
+void RunOneTxn(SharedSetup& s, Rng& rng, FaultInjector& faults,
+               RunMetrics& m) {
+  const StressOptions& opts = *s.options;
+  Database& db = *s.db;
+  std::vector<double> weights = opts.mix.Weights();
+  Clock::time_point txn_start = Clock::now();
+  auto txn = db.Begin(opts.level);
+  // Level support was validated by the probe before workers launched.
+  ADYA_CHECK_MSG(txn.ok(), "Begin failed mid-run: " << txn.status());
+  ++m.txns_started;
+  bool alive = true;
+  for (int i = 0; i < opts.ops_per_txn && alive; ++i) {
+    faults.MaybeDelay();
+    OpKind op = static_cast<OpKind>(rng.PickWeighted(weights));
+    Clock::time_point op_start = Clock::now();
+    Status st;
+    CallTally tally;
+    // kWouldBlock only occurs on non-blocking databases; there the whole
+    // operation is re-issued after yielding (mutual waits still die as
+    // deadlock victims, so this cannot livelock forever — but cap it).
+    for (int attempt = 0;; ++attempt) {
+      tally = CallTally();
+      st = IssueOp(s, *txn, op, rng, tally);
+      if (st.code() != StatusCode::kWouldBlock) break;
+      ++m.would_block_retries;
+      if (attempt >= 1000) break;
+      std::this_thread::yield();
+    }
+    m.op_latency.Record(ElapsedMicros(op_start));
+    if (st.code() == StatusCode::kWouldBlock) {
+      // Retry storm: give up on the whole transaction.
+      (void)db.Abort(*txn);
+      ++m.aborted_other;
+      alive = false;
+    } else if (st.code() == StatusCode::kTxnAborted) {
+      ClassifyEngineAbort(st, m);
+      alive = false;
+    } else {
+      ADYA_CHECK_MSG(st.ok() || st.code() == StatusCode::kNotFound,
+                     "unexpected engine status: " << st);
+      ++m.operations;
+      m.reads += tally.reads;
+      m.writes += tally.writes;
+      m.deletes += tally.deletes;
+      m.predicate_reads += tally.predicate_reads;
+    }
+  }
+  if (!alive) return;
+  // "Hung transaction": sleep with every acquired lock still held, so other
+  // workers pile up behind this one.
+  faults.MaybeHold();
+  if (faults.ShouldAbort()) {
+    Status st = db.Abort(*txn);
+    ADYA_CHECK_MSG(st.ok(), "abort failed: " << st);
+    ++m.aborted_voluntary;
+    return;
+  }
+  Status st = db.Commit(*txn);
+  if (st.ok()) {
+    ++m.committed;
+    m.commit_latency.Record(ElapsedMicros(txn_start));
+  } else if (st.code() == StatusCode::kTxnAborted) {
+    ClassifyEngineAbort(st, m);
+  } else {
+    ADYA_CHECK_MSG(false, "commit failed: " << st);
+  }
+}
+
+void WorkerLoop(SharedSetup& s, int index, RunMetrics& out) {
+  const StressOptions& opts = *s.options;
+  // Distinct per-worker streams; the fault injector gets its own RNG so
+  // enabling faults never perturbs which operations a seeded run issues.
+  Rng rng(opts.seed ^ (0x9E3779B97F4A7C15ull * static_cast<uint64_t>(index) +
+                       0x1ull));
+  FaultInjector faults(opts.faults,
+                       opts.seed ^ (0xBF58476D1CE4E5B9ull *
+                                    static_cast<uint64_t>(index + 1)));
+  uint64_t quota = opts.max_txns_per_thread > 0
+                       ? static_cast<uint64_t>(opts.max_txns_per_thread)
+                       : 0;
+  while (!s.stop.load(std::memory_order_relaxed) &&
+         (quota == 0 || out.txns_started < quota)) {
+    RunOneTxn(s, rng, faults, out);
+  }
+  out.delays_injected = faults.delays_injected();
+  out.holds_injected = faults.holds_injected();
+}
+
+}  // namespace
+
+std::string StressReport::ToJson() const {
+  std::vector<std::string> names;
+  for (const Violation& v : violations) {
+    names.push_back(StrCat("\"", PhenomenonName(v.phenomenon), "\""));
+  }
+  return StrCat(
+      "{\"metrics\":", metrics.ToJson(), ",\"certification\":{\"target\":\"",
+      IsolationLevelName(certified_level), "\",\"cycles\":", certify_cycles,
+      ",\"checks\":", certify_checks, ",\"events\":", events_certified,
+      ",\"commits\":", commits_certified, ",\"violations\":[",
+      StrJoin(names, ","), "]},\"ok\":", ok() ? "true" : "false", "}");
+}
+
+Result<StressReport> RunStress(Database& db, const StressOptions& options) {
+  if (options.threads < 1) {
+    return Status::InvalidArgument("threads must be >= 1");
+  }
+  if (options.num_keys < 1) {
+    return Status::InvalidArgument("num_keys must be >= 1");
+  }
+  if (options.ops_per_txn < 1) {
+    return Status::InvalidArgument("ops_per_txn must be >= 1");
+  }
+  if (options.duration.count() <= 0 && options.max_txns_per_thread <= 0) {
+    return Status::InvalidArgument(
+        "either duration or max_txns_per_thread must bound the run");
+  }
+  // Probe: does this scheme implement the requested level? Fail fast here
+  // instead of CHECK-crashing a worker thread.
+  {
+    auto probe = db.Begin(options.level);
+    if (!probe.ok()) return probe.status();
+    Status st = db.Abort(*probe);
+    ADYA_CHECK_MSG(st.ok(), "probe abort failed: " << st);
+  }
+
+  SharedSetup setup;
+  setup.db = &db;
+  setup.options = &options;
+  setup.relation = db.AddRelation("R");
+  for (int i = 0; i < options.num_keys; ++i) {
+    setup.keys.push_back(StrCat("k", workload::LetterSuffix(i)));
+  }
+  setup.predicates = workload::StandardPredicates();
+
+  if (options.preload) {
+    Rng rng(options.seed);
+    auto txn = db.Begin(options.level);
+    ADYA_CHECK(txn.ok());
+    for (const std::string& key : setup.keys) {
+      Status st = db.Write(*txn, ObjKey{setup.relation, key},
+                           workload::RandomMixRow(rng));
+      ADYA_CHECK_MSG(st.ok(), "preload write failed: " << st);
+    }
+    Status st = db.Commit(*txn);
+    ADYA_CHECK_MSG(st.ok(), "preload commit failed: " << st);
+  }
+
+  IsolationLevel certify_level =
+      options.certify_level.value_or(options.level);
+  OnlineCertifier certifier(db, certify_level);
+
+  // Certifier thread: drain + check every certify_interval until stopped,
+  // waking early on shutdown. The final end-to-end check happens after the
+  // workers have joined, so the complete history is always certified.
+  std::mutex shutdown_mu;
+  std::condition_variable shutdown_cv;
+  bool shutting_down = false;
+  std::thread certifier_thread;
+  if (options.certify_interval.count() > 0) {
+    certifier_thread = std::thread([&] {
+      std::unique_lock<std::mutex> lk(shutdown_mu);
+      while (!shutting_down) {
+        lk.unlock();
+        certifier.Cycle();
+        lk.lock();
+        shutdown_cv.wait_for(lk, options.certify_interval,
+                             [&] { return shutting_down; });
+      }
+    });
+  }
+
+  std::vector<RunMetrics> worker_metrics(
+      static_cast<size_t>(options.threads));
+  std::vector<std::thread> workers;
+  Clock::time_point run_start = Clock::now();
+  for (int i = 0; i < options.threads; ++i) {
+    workers.emplace_back(WorkerLoop, std::ref(setup), i,
+                         std::ref(worker_metrics[static_cast<size_t>(i)]));
+  }
+  // Deadline watchdog: flips the stop flag when the duration elapses, or
+  // immediately once every worker finished its quota.
+  std::thread watchdog([&] {
+    std::unique_lock<std::mutex> lk(shutdown_mu);
+    if (options.duration.count() > 0) {
+      shutdown_cv.wait_for(lk, options.duration,
+                           [&] { return shutting_down; });
+    } else {
+      shutdown_cv.wait(lk, [&] { return shutting_down; });
+    }
+    setup.stop.store(true, std::memory_order_relaxed);
+  });
+  for (std::thread& w : workers) w.join();
+  double elapsed_seconds =
+      static_cast<double>(ElapsedMicros(run_start)) / 1e6;
+  {
+    std::lock_guard<std::mutex> lk(shutdown_mu);
+    shutting_down = true;
+  }
+  shutdown_cv.notify_all();
+  watchdog.join();
+  if (certifier_thread.joinable()) certifier_thread.join();
+  // Certify the tail: everything recorded after the certifier's last
+  // mid-run cycle (or the whole run when mid-run certification was off).
+  certifier.Cycle();
+
+  StressReport report;
+  for (const RunMetrics& m : worker_metrics) report.metrics.Merge(m);
+  report.metrics.scheme = std::string(engine::SchemeName(options.scheme));
+  report.metrics.level = std::string(IsolationLevelName(options.level));
+  report.metrics.threads = options.threads;
+  report.metrics.duration_seconds = elapsed_seconds;
+  report.violations = certifier.violations();
+  report.certified_level = certify_level;
+  report.certify_cycles = certifier.cycles();
+  report.certify_checks = certifier.checks_run();
+  report.events_certified = certifier.events_certified();
+  report.commits_certified = certifier.commits_seen();
+  return report;
+}
+
+Result<StressReport> RunStress(const StressOptions& options) {
+  Database::Options db_options;
+  db_options.blocking = true;
+  auto db = Database::Create(options.scheme, db_options);
+  return RunStress(*db, options);
+}
+
+}  // namespace adya::stress

@@ -1,0 +1,91 @@
+#ifndef ADYA_STRESS_STRESS_H_
+#define ADYA_STRESS_STRESS_H_
+
+#include <chrono>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/levels.h"
+#include "engine/database.h"
+#include "stress/fault_plan.h"
+#include "stress/metrics.h"
+#include "workload/op_mix.h"
+
+namespace adya::stress {
+
+/// A closed-loop concurrent stress run: `threads` worker threads each issue
+/// randomized transactions back-to-back against one Database (normally a
+/// blocking-mode one — real condition-variable lock waits, deadlock
+/// victims, OCC validation storms), while a certifier thread audits the
+/// committed prefix of the recorded history against `level` every
+/// `certify_interval`, pipelined with execution. This is the adversarial
+/// exerciser the checker was built for: Elle-style certification of a live
+/// system, not a postmortem.
+struct StressOptions {
+  engine::Scheme scheme = engine::Scheme::kLocking;
+  /// Isolation level every transaction runs at — and, unless
+  /// certify_level overrides it, the level the certifier enforces.
+  IsolationLevel level = IsolationLevel::kPL3;
+  int threads = 4;
+  std::chrono::milliseconds duration{1000};
+  /// 0 = run until the duration elapses; otherwise each worker additionally
+  /// stops after this many transactions. With threads == 1 a bounded run is
+  /// exactly reproducible from its seed (same ops, same recorded history).
+  int max_txns_per_thread = 0;
+  uint64_t seed = 1;
+  /// Key-space size; smaller means more contention.
+  int num_keys = 16;
+  int ops_per_txn = 4;
+  /// Operation mix, shared with workload::WorkloadOptions.
+  workload::OpMix mix;
+  FaultPlan faults;
+  /// How often the certifier thread drains the recorder tap and checks the
+  /// committed prefix. 0 disables mid-run certification; the final
+  /// end-to-end check always runs. Checks self-throttle: a check longer
+  /// than the interval simply delays the next drain.
+  std::chrono::milliseconds certify_interval{25};
+  /// Certify against a different level than the one transactions request
+  /// (e.g. run PL-2 but demand PL-3 to watch the checker catch anomalies).
+  std::optional<IsolationLevel> certify_level;
+  /// Preload every key with an initial row before workers start, so reads
+  /// and predicate queries hit real data from the first transaction.
+  bool preload = true;
+};
+
+/// The outcome of one stress run: merged worker metrics plus the
+/// certifier's verdict. ok() — the run exhibited no phenomenon the target
+/// level proscribes — is the bit a CI gate or the adya_stress binary's exit
+/// code keys off.
+struct StressReport {
+  RunMetrics metrics;
+  /// First witness of each proscribed phenomenon the certifier found.
+  std::vector<Violation> violations;
+  IsolationLevel certified_level = IsolationLevel::kPL3;
+  size_t certify_cycles = 0;
+  size_t certify_checks = 0;
+  size_t events_certified = 0;
+  size_t commits_certified = 0;
+
+  bool ok() const { return violations.empty(); }
+
+  /// {"metrics":…,"certification":…,"ok":…} — one line, machine-readable.
+  std::string ToJson() const;
+};
+
+/// Runs the stress workload against `db` (any scheme, blocking or not; a
+/// blocking database exercises real lock waits). Returns an error without
+/// running anything when the configuration is invalid — most importantly
+/// kFailedPrecondition when the database's scheme does not implement
+/// `options.level`.
+Result<StressReport> RunStress(engine::Database& db,
+                               const StressOptions& options);
+
+/// Convenience: creates a blocking-mode database of `options.scheme` and
+/// runs on it.
+Result<StressReport> RunStress(const StressOptions& options);
+
+}  // namespace adya::stress
+
+#endif  // ADYA_STRESS_STRESS_H_

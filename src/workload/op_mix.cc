@@ -1,0 +1,34 @@
+#include "workload/op_mix.h"
+
+#include "common/check.h"
+
+namespace adya::workload {
+
+std::string LetterSuffix(int i) {
+  std::string out;
+  do {
+    out.insert(out.begin(), static_cast<char>('a' + i % 26));
+    i = i / 26 - 1;
+  } while (i >= 0);
+  return out;
+}
+
+Row RandomMixRow(Rng& rng) {
+  Row row;
+  row.Set("dept", Value(rng.NextBool() ? "Sales" : "Legal"));
+  row.Set("val", Value(rng.NextInRange(0, 99)));
+  return row;
+}
+
+std::vector<std::shared_ptr<const Predicate>> StandardPredicates() {
+  std::vector<std::shared_ptr<const Predicate>> preds;
+  for (const char* text :
+       {"dept = \"Sales\"", "dept = \"Legal\"", "val > 50"}) {
+    auto p = ParsePredicate(text);
+    ADYA_CHECK(p.ok());
+    preds.push_back(std::shared_ptr<const Predicate>(std::move(*p)));
+  }
+  return preds;
+}
+
+}  // namespace adya::workload

@@ -1,0 +1,59 @@
+#ifndef ADYA_WORKLOAD_OP_MIX_H_
+#define ADYA_WORKLOAD_OP_MIX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "history/predicate.h"
+#include "history/row.h"
+
+namespace adya::workload {
+
+/// The randomized operation mix shared by every driver that issues
+/// transactions against an engine: the single-threaded deterministic
+/// workload (workload.h) and the multi-threaded stress driver
+/// (stress/stress.h) draw from the same five-way distribution, so a mix
+/// tuned in one is directly comparable in the other.
+struct OpMix {
+  /// Operation mix (weights, not probabilities).
+  double read_weight = 4;
+  double write_weight = 3;
+  double delete_weight = 0.5;
+  double pred_read_weight = 1;
+  double pred_update_weight = 1;
+
+  /// The weights in the canonical order used with Rng::PickWeighted:
+  /// read, write, delete, predicate read, predicate update.
+  std::vector<double> Weights() const {
+    return {read_weight, write_weight, delete_weight, pred_read_weight,
+            pred_update_weight};
+  }
+};
+
+/// The operations of the mix, in Weights() order.
+enum class OpKind : uint8_t {
+  kRead = 0,
+  kWrite = 1,
+  kDelete = 2,
+  kPredicateRead = 3,
+  kPredicateUpdate = 4,
+};
+
+/// Letter-only suffix for generated names ("a", "b", …, "z", "aa", …):
+/// object names must stay free of digits so the history notation can
+/// round-trip (a trailing digit is a transaction id).
+std::string LetterSuffix(int i);
+
+/// A random row over the attributes the standard predicates select on:
+/// dept ∈ {"Sales", "Legal"}, val ∈ [0, 99].
+Row RandomMixRow(Rng& rng);
+
+/// The three predicates the generated workloads query — chosen so that
+/// RandomMixRow rows flip in and out of their match sets.
+std::vector<std::shared_ptr<const Predicate>> StandardPredicates();
+
+}  // namespace adya::workload
+
+#endif  // ADYA_WORKLOAD_OP_MIX_H_

@@ -12,39 +12,15 @@ namespace {
 using engine::Database;
 using engine::ObjKey;
 
-std::vector<std::shared_ptr<const Predicate>> MakePredicates() {
-  std::vector<std::shared_ptr<const Predicate>> preds;
-  for (const char* text :
-       {"dept = \"Sales\"", "dept = \"Legal\"", "val > 50"}) {
-    auto p = ParsePredicate(text);
-    ADYA_CHECK(p.ok());
-    preds.push_back(std::shared_ptr<const Predicate>(std::move(*p)));
-  }
-  return preds;
-}
-
-/// Letter-only suffix for generated names: object names must stay free of
-/// digits so the history notation can round-trip (a trailing digit is a
-/// transaction id).
-std::string LetterSuffix(int i) {
-  std::string out;
-  do {
-    out.insert(out.begin(), static_cast<char>('a' + i % 26));
-    i = i / 26 - 1;
-  } while (i >= 0);
-  return out;
-}
-
-Row RandomRow(Rng& rng) {
-  Row row;
-  row.Set("dept", Value(rng.NextBool() ? "Sales" : "Legal"));
-  row.Set("val", Value(rng.NextInRange(0, 99)));
-  return row;
-}
-
 }  // namespace
 
 WorkloadStats RunWorkload(Database& db, const WorkloadOptions& options) {
+  ADYA_CHECK_MSG(
+      !db.options().blocking,
+      "RunWorkload requires a non-blocking Database "
+      "(engine::Database::Options{.blocking = false}): the driver is "
+      "single-threaded, so a blocking lock wait would hang it forever. "
+      "Use stress::RunStress for blocking-mode, multi-threaded runs.");
   Rng rng(options.seed);
   WorkloadStats stats;
   RelationId relation = db.AddRelation("R");
@@ -52,7 +28,7 @@ WorkloadStats RunWorkload(Database& db, const WorkloadOptions& options) {
   for (int i = 0; i < options.num_keys; ++i) {
     keys.push_back(StrCat("k", LetterSuffix(i)));
   }
-  auto predicates = MakePredicates();
+  auto predicates = StandardPredicates();
 
   struct Active {
     TxnId id;
@@ -136,7 +112,7 @@ WorkloadStats RunWorkload(Database& db, const WorkloadOptions& options) {
         handle(idx, db.Read(cur.id, random_key()).status(), true);
         break;
       case 1:
-        handle(idx, db.Write(cur.id, random_key(), RandomRow(rng)), true);
+        handle(idx, db.Write(cur.id, random_key(), RandomMixRow(rng)), true);
         break;
       case 2:
         handle(idx, db.Delete(cur.id, random_key()), true);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "engine/database.h"
+#include "workload/op_mix.h"
 
 namespace adya::workload {
 
@@ -12,19 +13,16 @@ namespace adya::workload {
 /// through the deterministic (non-blocking) interface: a seeded scheduler
 /// interleaves operations one at a time, retrying kWouldBlock operations
 /// later, so every run is exactly reproducible from its seed.
-struct WorkloadOptions {
+///
+/// Inherits the op-mix knobs (read_weight, write_weight, …) from OpMix so
+/// they can be shared with the multi-threaded stress driver.
+struct WorkloadOptions : OpMix {
   uint64_t seed = 1;
   int num_txns = 12;
   int num_keys = 6;
   int ops_per_txn = 4;
   /// How many transactions run interleaved at once.
   int max_active = 3;
-  /// Operation mix (weights, not probabilities).
-  double read_weight = 4;
-  double write_weight = 3;
-  double delete_weight = 0.5;
-  double pred_read_weight = 1;
-  double pred_update_weight = 1;
   /// Probability a transaction voluntarily aborts instead of committing.
   double abort_prob = 0.1;
   /// Isolation levels to draw from (uniformly) for each transaction.
@@ -45,9 +43,17 @@ struct WorkloadStats {
   int operations = 0;
 };
 
-/// Runs the workload; the database must have been created with
-/// Options{.blocking = false}. Inspect the execution afterwards with
+/// Runs the workload. Inspect the execution afterwards with
 /// db.RecordedHistory().
+///
+/// Precondition: the database must have been created with
+/// Options{.blocking = false}. The driver is single-threaded, so a
+/// blocking-mode lock wait would suspend the only thread forever (the
+/// conflicting holder can never be scheduled to release it); the driver
+/// relies on kWouldBlock to interleave around conflicts. A blocking
+/// database is a programmer error and fails fast with a CHECK. Use
+/// stress::RunStress (src/stress/stress.h) to drive blocking mode from
+/// real concurrent threads.
 WorkloadStats RunWorkload(engine::Database& db, const WorkloadOptions& options);
 
 /// A direct random-history generator (no engine): produces well-formed but

@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "engine/recorder.h"
 
 namespace adya::engine {
@@ -113,6 +118,106 @@ TEST(RecorderTest, FullTransactionRoundTrip) {
   EXPECT_TRUE(h->IsCommitted(t1));
   EXPECT_TRUE(h->IsAborted(t2));
   EXPECT_TRUE(h->Matches(v, p));
+}
+
+TEST(RecorderTest, DrainIntoCursorSemantics) {
+  Recorder recorder;
+  RelationId rel = recorder.AddRelation("R");
+  TxnId t1 = recorder.BeginTxn(IsolationLevel::kPL2);
+  ObjectId x = recorder.NewIncarnation(ObjKey{rel, "x"});
+  recorder.RecordWrite(t1, x, ScalarRow(1), VersionKind::kVisible);
+
+  History replica;
+  size_t cursor = recorder.DrainInto(&replica, 0);
+  EXPECT_EQ(cursor, 2u);  // begin + write
+  EXPECT_EQ(replica.events().size(), 2u);
+  EXPECT_EQ(replica.txn_info(t1).level, IsolationLevel::kPL2);
+
+  // Nothing new: the cursor does not move, nothing is re-appended.
+  EXPECT_EQ(recorder.DrainInto(&replica, cursor), 2u);
+  EXPECT_EQ(replica.events().size(), 2u);
+
+  // The tail since the cursor arrives incrementally, universe included.
+  recorder.RecordCommit(t1);
+  TxnId t2 = recorder.BeginTxn(IsolationLevel::kPL3);
+  ObjectId y = recorder.NewIncarnation(ObjKey{rel, "y"});
+  recorder.RecordWrite(t2, y, ScalarRow(2), VersionKind::kVisible);
+  cursor = recorder.DrainInto(&replica, cursor);
+  EXPECT_EQ(cursor, recorder.event_count());
+  EXPECT_EQ(replica.events().size(), recorder.event_count());
+  EXPECT_EQ(replica.txn_info(t2).level, IsolationLevel::kPL3);
+  EXPECT_EQ(replica.object_name(y), "y");
+
+  // The drained prefix is a checkable history (completion rule applies).
+  History prefix = replica;
+  ASSERT_TRUE(prefix.Finalize().ok());
+  EXPECT_TRUE(prefix.IsCommitted(t1));
+  EXPECT_TRUE(prefix.IsAborted(t2));  // unfinished -> aborted (§4.2)
+}
+
+// The TSan target of scripts/ci.sh: recording threads, a draining
+// certifier-style thread, and snapshotting threads all hammer one Recorder
+// concurrently. Assertions are deliberately coarse (the interleaving is
+// nondeterministic); the point is that every interleaving is race-free and
+// every drained or snapshotted prefix finalizes cleanly.
+TEST(RecorderTest, ConcurrentRecordDrainAndSnapshot) {
+  Recorder recorder;
+  RelationId rel = recorder.AddRelation("R");
+  constexpr int kWriters = 4;
+  constexpr int kTxnsPerWriter = 50;
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < kTxnsPerWriter; ++i) {
+        TxnId txn = recorder.BeginTxn(IsolationLevel::kPL3);
+        ObjectId obj = recorder.NewIncarnation(
+            ObjKey{rel, std::string("k") + std::to_string(w)});
+        recorder.RecordWrite(txn, obj, ScalarRow(i), VersionKind::kVisible);
+        if (i % 3 == 0) {
+          recorder.RecordAbort(txn);
+        } else {
+          recorder.RecordCommit(txn);
+        }
+      }
+    });
+  }
+
+  // Drain concurrently with the writers, like OnlineCertifier::Cycle.
+  std::thread drainer([&] {
+    History replica;
+    size_t cursor = 0;
+    while (!done.load()) {
+      cursor = recorder.DrainInto(&replica, cursor);
+      History prefix = replica;
+      ASSERT_TRUE(prefix.Finalize().ok());
+      std::this_thread::yield();
+    }
+    cursor = recorder.DrainInto(&replica, cursor);
+    EXPECT_EQ(cursor, recorder.event_count());
+    EXPECT_EQ(replica.events().size(), recorder.event_count());
+  });
+
+  // Snapshot concurrently as well (engine_checker-style mid-run audits).
+  std::thread snapshotter([&] {
+    while (!done.load()) {
+      auto h = recorder.Snapshot();
+      ASSERT_TRUE(h.ok());
+      std::this_thread::yield();
+    }
+  });
+
+  for (std::thread& w : writers) w.join();
+  done.store(true);
+  drainer.join();
+  snapshotter.join();
+
+  auto final_history = recorder.Snapshot();
+  ASSERT_TRUE(final_history.ok());
+  // begin + write + (commit|abort) per transaction.
+  EXPECT_EQ(final_history->events().size(),
+            static_cast<size_t>(kWriters * kTxnsPerWriter * 3));
 }
 
 }  // namespace

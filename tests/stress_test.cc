@@ -1,0 +1,201 @@
+// Tier-1 coverage of the stress subsystem: short bounded runs per scheme
+// certify clean at the scheme's strongest level, seeded single-threaded
+// runs are bit-for-bit reproducible, bad configurations fail fast, and
+// RunWorkload refuses blocking-mode databases. The same binary under
+// ADYA_SANITIZE=thread (scripts/ci.sh) doubles as the race detector for
+// the engine, recorder tap, and driver.
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "history/format.h"
+#include "stress/certifier.h"
+#include "stress/fault_plan.h"
+#include "stress/metrics.h"
+#include "stress/stress.h"
+#include "workload/workload.h"
+
+namespace adya::stress {
+namespace {
+
+/// Bounded so the run (and its final certification) stays cheap under
+/// TSan: 4 threads x 120 txns on a small key space. The duration is a
+/// generous backstop, not the expected stopping condition.
+StressOptions BoundedOptions(engine::Scheme scheme, IsolationLevel level) {
+  StressOptions options;
+  options.scheme = scheme;
+  options.level = level;
+  options.threads = 4;
+  options.max_txns_per_thread = 120;
+  options.duration = std::chrono::milliseconds(20000);
+  options.num_keys = 8;
+  options.seed = 42;
+  options.faults.voluntary_abort_prob = 0.05;
+  return options;
+}
+
+void ExpectCleanRun(const StressOptions& options) {
+  auto report = RunStress(options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->ok());
+  EXPECT_TRUE(report->violations.empty());
+  EXPECT_GT(report->metrics.committed, 0u);
+  EXPECT_GT(report->metrics.operations, 0u);
+  EXPECT_GT(report->commits_certified, 0u);
+  EXPECT_GE(report->certify_checks, 1u);  // at least the final tail check
+  // Every started transaction was resolved one way or another.
+  EXPECT_EQ(report->metrics.txns_started,
+            report->metrics.committed + report->metrics.aborted_voluntary +
+                report->metrics.aborted_engine());
+}
+
+TEST(StressTest, LockingCertifiesCleanAtPL3) {
+  ExpectCleanRun(
+      BoundedOptions(engine::Scheme::kLocking, IsolationLevel::kPL3));
+}
+
+TEST(StressTest, OptimisticCertifiesCleanAtPL3) {
+  ExpectCleanRun(
+      BoundedOptions(engine::Scheme::kOptimistic, IsolationLevel::kPL3));
+}
+
+TEST(StressTest, MultiversionCertifiesCleanAtPLSI) {
+  ExpectCleanRun(
+      BoundedOptions(engine::Scheme::kMultiversion, IsolationLevel::kPLSI));
+}
+
+TEST(StressTest, ChaosFaultsStillCertifyClean) {
+  StressOptions options =
+      BoundedOptions(engine::Scheme::kLocking, IsolationLevel::kPL3);
+  options.max_txns_per_thread = 40;
+  options.faults = FaultPlan::Chaos();
+  // Keep the injected sleeps short so the bounded run stays fast.
+  options.faults.max_delay = std::chrono::microseconds(50);
+  options.faults.hold = std::chrono::milliseconds(1);
+  auto report = RunStress(options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->ok());
+  EXPECT_GT(report->metrics.aborted_voluntary, 0u);
+  EXPECT_GT(report->metrics.delays_injected, 0u);
+  EXPECT_GT(report->metrics.holds_injected, 0u);
+}
+
+struct SeededOutcome {
+  RunMetrics metrics;
+  std::string history;
+};
+
+SeededOutcome SingleThreadedRun(uint64_t seed) {
+  StressOptions options;
+  options.scheme = engine::Scheme::kLocking;
+  options.level = IsolationLevel::kPL3;
+  options.threads = 1;
+  options.max_txns_per_thread = 80;
+  options.duration = std::chrono::milliseconds(20000);
+  options.num_keys = 6;
+  options.seed = seed;
+  options.faults.voluntary_abort_prob = 0.1;
+  engine::Database::Options db_options;
+  db_options.blocking = true;
+  auto db = engine::Database::Create(options.scheme, db_options);
+  auto report = RunStress(*db, options);
+  EXPECT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->ok());
+  auto history = db->RecordedHistory();
+  EXPECT_TRUE(history.ok()) << history.status();
+  return SeededOutcome{report->metrics, FormatHistory(*history)};
+}
+
+TEST(StressTest, SingleThreadedRunsAreSeedDeterministic) {
+  SeededOutcome a = SingleThreadedRun(7);
+  SeededOutcome b = SingleThreadedRun(7);
+  EXPECT_EQ(a.metrics.txns_started, b.metrics.txns_started);
+  EXPECT_EQ(a.metrics.committed, b.metrics.committed);
+  EXPECT_EQ(a.metrics.aborted_voluntary, b.metrics.aborted_voluntary);
+  EXPECT_EQ(a.metrics.operations, b.metrics.operations);
+  EXPECT_EQ(a.metrics.writes, b.metrics.writes);
+  EXPECT_EQ(a.history, b.history);
+
+  // A different seed takes a different path (sanity check that the
+  // comparison above is not vacuous).
+  SeededOutcome c = SingleThreadedRun(8);
+  EXPECT_NE(a.history, c.history);
+}
+
+TEST(StressTest, CertifyLevelCanDifferFromRunLevel) {
+  // Running locking at PL-2 while certifying PL-2 must stay clean: the
+  // scheme provides what it promises even though it is weaker than PL-3.
+  StressOptions options =
+      BoundedOptions(engine::Scheme::kLocking, IsolationLevel::kPL2);
+  options.max_txns_per_thread = 60;
+  options.certify_level = IsolationLevel::kPL2;
+  auto report = RunStress(options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->ok());
+  EXPECT_EQ(report->certified_level, IsolationLevel::kPL2);
+}
+
+TEST(StressTest, UnsupportedLevelFailsFast) {
+  // The locking scheme does not implement PL-SI; the probe must surface
+  // that as a status instead of crashing a worker thread.
+  StressOptions options =
+      BoundedOptions(engine::Scheme::kLocking, IsolationLevel::kPLSI);
+  auto report = RunStress(options);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(StressTest, InvalidOptionsAreRejected) {
+  StressOptions options =
+      BoundedOptions(engine::Scheme::kLocking, IsolationLevel::kPL3);
+  options.threads = 0;
+  EXPECT_EQ(RunStress(options).status().code(),
+            StatusCode::kInvalidArgument);
+  options = BoundedOptions(engine::Scheme::kLocking, IsolationLevel::kPL3);
+  options.duration = std::chrono::milliseconds(0);
+  options.max_txns_per_thread = 0;
+  EXPECT_EQ(RunStress(options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(StressTest, RunWorkloadRejectsBlockingDatabase) {
+  engine::Database::Options db_options;
+  db_options.blocking = true;
+  auto db = engine::Database::Create(engine::Scheme::kLocking, db_options);
+  workload::WorkloadOptions options;
+  options.num_txns = 1;
+  EXPECT_DEATH(workload::RunWorkload(*db, options), "non-blocking");
+}
+
+TEST(LatencyHistogramTest, PercentilesAreOrderedAndBracketTheData) {
+  LatencyHistogram h;
+  for (uint64_t us = 1; us <= 1000; ++us) h.Record(us);
+  EXPECT_EQ(h.count(), 1000u);
+  uint64_t p50 = h.PercentileMicros(50);
+  uint64_t p95 = h.PercentileMicros(95);
+  uint64_t p99 = h.PercentileMicros(99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // Log bucketing is approximate but must land in the right ballpark.
+  EXPECT_GE(p50, 256u);
+  EXPECT_LE(p50, 1024u);
+  EXPECT_GE(h.max_micros(), 1000u);
+}
+
+TEST(RunMetricsTest, MergeAddsCountersAndHistograms) {
+  RunMetrics a, b;
+  a.committed = 3;
+  a.commit_latency.Record(100);
+  b.committed = 4;
+  b.aborted_deadlock = 2;
+  b.commit_latency.Record(200);
+  a.Merge(b);
+  EXPECT_EQ(a.committed, 7u);
+  EXPECT_EQ(a.aborted_deadlock, 2u);
+  EXPECT_EQ(a.commit_latency.count(), 2u);
+  std::string json = a.ToJson();
+  EXPECT_NE(json.find("\"committed\":7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adya::stress
