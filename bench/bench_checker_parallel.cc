@@ -1,0 +1,127 @@
+// Parallel certification core: serial vs ParallelChecker over a threads ×
+// history-size grid. Each grid cell also prints one machine-readable
+// `BENCH {…}` JSON line (median wall time and speedup vs the threads=1 cell
+// of the same size), so a trajectory file can be grepped out of the run:
+//
+//   BENCH {"name":"checker_parallel","txns":1000,"threads":4,
+//          "wall_us":1234.5,"speedup":2.31}
+//
+// Speedups require real cores; on a single-CPU box the grid still validates
+// that the parallel path computes identical results, it just won't go
+// faster.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+
+#include "common/str_util.h"
+#include "core/parallel.h"
+#include "workload/workload.h"
+
+namespace adya {
+namespace {
+
+History MakeHistory(int txns) {
+  workload::RandomHistoryOptions options;
+  options.seed = 13;
+  options.num_txns = txns;
+  options.num_objects = txns / 2 + 1;
+  options.ops_per_txn = 5;
+  options.random_version_order_prob = 0.3;
+  return workload::GenerateRandomHistory(options);
+}
+
+/// Median wall time of the threads=1 cell per size, recorded so the
+/// parallel cells can report their speedup. Benchmarks run sequentially in
+/// registration order, so the serial cell of each size runs first.
+double* BaselineSlot(int txns) {
+  static std::map<int, double> baselines;
+  return &baselines[txns];
+}
+
+void BM_ParallelCheckAll(benchmark::State& state) {
+  int txns = static_cast<int>(state.range(0));
+  int threads = static_cast<int>(state.range(1));
+  History h = MakeHistory(txns);
+  CheckOptions options;
+  options.threads = threads;
+  // The pool outlives the timing loop: thread startup is a one-time cost a
+  // long-lived certifier amortizes, so it is not what this grid measures.
+  ThreadPool pool(threads);
+  for (auto _ : state) {
+    ParallelChecker checker(h, options, threads > 1 ? &pool : nullptr);
+    auto all = checker.CheckAll();
+    benchmark::DoNotOptimize(all.size());
+  }
+  double wall_us = 0;
+  {
+    // Re-time one iteration outside the benchmark loop for the JSON line
+    // (state's timings are not readable from inside the benchmark).
+    auto start = std::chrono::steady_clock::now();
+    ParallelChecker checker(h, options, threads > 1 ? &pool : nullptr);
+    benchmark::DoNotOptimize(checker.CheckAll().size());
+    wall_us = static_cast<double>(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count()) /
+              1000.0;
+  }
+  double* baseline = BaselineSlot(txns);
+  if (threads == 1) *baseline = wall_us;
+  double speedup = (*baseline > 0 && wall_us > 0) ? *baseline / wall_us : 0;
+  std::printf(
+      "BENCH {\"name\":\"checker_parallel\",\"txns\":%d,\"threads\":%d,"
+      "\"wall_us\":%.1f,\"speedup\":%.2f}\n",
+      txns, threads, wall_us, speedup);
+  state.SetLabel(StrCat(txns, " txns, ", threads, " threads"));
+}
+BENCHMARK(BM_ParallelCheckAll)
+    ->ArgsProduct({{50, 200, 1000}, {1, 2, 4, 8}})
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ParallelDsgBuild(benchmark::State& state) {
+  int txns = static_cast<int>(state.range(0));
+  int threads = static_cast<int>(state.range(1));
+  History h = MakeHistory(txns);
+  ThreadPool pool(threads);
+  for (auto _ : state) {
+    Dsg dsg(h, ConflictOptions(), threads > 1 ? &pool : nullptr);
+    benchmark::DoNotOptimize(dsg.graph().edge_count());
+  }
+  state.SetLabel(StrCat(txns, " txns, ", threads, " threads"));
+}
+BENCHMARK(BM_ParallelDsgBuild)
+    ->ArgsProduct({{200, 1000}, {1, 2, 4, 8}})
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+/// The batched certification shape without an engine: CheckLevel at PL-3
+/// over growing prefixes, serial vs fanned over the pool.
+void BM_ParallelCheckLevel(benchmark::State& state) {
+  int threads = static_cast<int>(state.range(0));
+  History h = MakeHistory(500);
+  CheckOptions options;
+  options.threads = threads;
+  ThreadPool pool(threads);
+  for (auto _ : state) {
+    ParallelChecker checker(h, options, threads > 1 ? &pool : nullptr);
+    LevelCheckResult r = CheckLevel(checker, IsolationLevel::kPL3);
+    benchmark::DoNotOptimize(r.satisfied);
+  }
+  state.SetLabel(StrCat("PL-3, ", threads, " threads"));
+}
+BENCHMARK(BM_ParallelCheckLevel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace adya
+
+BENCHMARK_MAIN();

@@ -25,6 +25,11 @@
 //   --faults=none|default|chaos  fault-plan preset (default default)
 //   --abort-prob=P --delay-prob=P --delay-us=N --hold-prob=P --hold-ms=N
 //   --certify-every=25ms       certifier cadence (0 = only final check)
+//   --check-threads=N          certifier checker parallelism (default 1 =
+//                              the serial checker; N>1 uses the parallel
+//                              certification core, identical verdicts)
+//   --certify-batch=N          committed-prefix snapshots certified per
+//                              drain cycle (default 1 = full prefix only)
 //   --quiet                    suppress the human-readable summary line
 
 #include <cstdio>
@@ -187,6 +192,12 @@ int main(int argc, char** argv) {
       auto d = ParseDuration(value);
       if (!d) Usage(StrCat("bad interval '", value, "'"));
       options.certify_interval = *d;
+    } else if (key == "--check-threads") {
+      options.check_threads = static_cast<int>(ParseInt(key, value));
+      if (options.check_threads < 1) Usage("--check-threads wants N >= 1");
+    } else if (key == "--certify-batch") {
+      options.certify_batch = static_cast<int>(ParseInt(key, value));
+      if (options.certify_batch < 1) Usage("--certify-batch wants N >= 1");
     } else {
       Usage(StrCat("unknown flag '", key, "'"));
     }

@@ -1,0 +1,76 @@
+#include "common/thread_pool.h"
+
+namespace adya {
+namespace {
+
+// Set while a thread is executing pool work; a nested ParallelFor from such
+// a thread runs inline (the outer fan-out already owns the parallelism).
+thread_local bool t_in_pool_task = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) : threads_(threads < 1 ? 1 : threads) {
+  workers_.reserve(static_cast<size_t>(threads_ - 1));
+  for (int i = 1; i < threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Drain(const std::function<void(size_t)>* fn, size_t n) {
+  bool was_in_task = t_in_pool_task;
+  t_in_pool_task = true;
+  for (size_t i = next_index_.fetch_add(1, std::memory_order_relaxed); i < n;
+       i = next_index_.fetch_add(1, std::memory_order_relaxed)) {
+    (*fn)(i);
+  }
+  t_in_pool_task = was_in_task;
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1 || t_in_pool_task) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = &fn;
+    job_size_ = n;
+    next_index_.store(0, std::memory_order_relaxed);
+    busy_workers_ = workers_.size();
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  Drain(&fn, n);
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [this] { return busy_workers_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    work_cv_.wait(lk, [&] { return shutdown_ || generation_ != seen; });
+    if (shutdown_) return;
+    seen = generation_;
+    const std::function<void(size_t)>* fn = job_;
+    size_t n = job_size_;
+    lk.unlock();
+    Drain(fn, n);
+    lk.lock();
+    if (--busy_workers_ == 0) done_cv_.notify_one();
+  }
+}
+
+}  // namespace adya

@@ -1,0 +1,63 @@
+#ifndef ADYA_COMMON_THREAD_POOL_H_
+#define ADYA_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace adya {
+
+/// A fixed-size fork/join pool for the parallel certification core. One
+/// ParallelFor runs at a time; `threads` is the total parallelism including
+/// the calling thread, so a pool of size N spawns N-1 workers and size <= 1
+/// spawns none (every call runs inline — the serial default costs nothing).
+///
+/// Work items are claimed from a shared atomic counter, so uneven item costs
+/// balance automatically. The pool is deliberately *not* a general task
+/// queue: callers that need deterministic output write results into
+/// per-index slots and merge in index order after ParallelFor returns.
+///
+/// Nested use is safe: a ParallelFor issued from inside a pool task runs
+/// inline on that task's thread instead of deadlocking on the shared job
+/// slot. Thread-compatible: issue ParallelFor from one thread at a time.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism (workers + the calling thread), always >= 1.
+  int threads() const { return threads_; }
+
+  /// Runs fn(0) … fn(n-1), each exactly once, distributed over the workers
+  /// and the calling thread; returns when all calls completed. `fn` must be
+  /// safe to invoke concurrently from multiple threads and must not throw.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+  void Drain(const std::function<void(size_t)>* fn, size_t n);
+
+  const int threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(size_t)>* job_ = nullptr;  // guarded by mu_
+  size_t job_size_ = 0;                               // guarded by mu_
+  uint64_t generation_ = 0;                           // guarded by mu_
+  size_t busy_workers_ = 0;                           // guarded by mu_
+  bool shutdown_ = false;                             // guarded by mu_
+  std::atomic<size_t> next_index_{0};
+};
+
+}  // namespace adya
+
+#endif  // ADYA_COMMON_THREAD_POOL_H_

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "common/str_util.h"
+#include "common/thread_pool.h"
 #include "history/format.h"
 
 namespace adya {
@@ -61,7 +62,11 @@ std::string Dependency::Describe(const History& h) const {
 
 namespace {
 
-/// Computes all direct conflicts for one finalized history.
+/// Computes all direct conflicts for one finalized history. Each phase
+/// walks an explicit range and appends to a caller-supplied vector, so the
+/// parallel overload of ComputeDependencies can shard a phase across a
+/// thread pool and concatenate the shard outputs back into the exact serial
+/// emission order (phases in Run() order; ranges ascending within a phase).
 class Analyzer {
  public:
   Analyzer(const History& h, const ConflictOptions& options)
@@ -70,23 +75,20 @@ class Analyzer {
   }
 
   std::vector<Dependency> Run() {
-    WriteDependencies();
-    ItemReadAndAntiDependencies();
-    PredicateDependencies();
-    if (options_.include_start_edges) StartDependencies();
-    return std::move(out_);
-  }
-
- private:
-  void Emit(Dependency dep) {
-    if (dep.from == dep.to) return;  // conflicts relate distinct transactions
-    out_.push_back(std::move(dep));
+    std::vector<Dependency> out;
+    WriteDependencies(0, static_cast<ObjectId>(h_.object_count()), out);
+    ItemReadAndAntiDependencies(0, static_cast<EventId>(h_.events().size()),
+                                out);
+    PredicateDependencies(0, static_cast<EventId>(h_.events().size()), out);
+    if (options_.include_start_edges) StartDependencies(out);
+    return out;
   }
 
   // Definition 6: Tj directly write-depends on Ti if Ti installs x_i and Tj
-  // installs x's next version.
-  void WriteDependencies() {
-    for (ObjectId obj = 0; obj < h_.object_count(); ++obj) {
+  // installs x's next version. Objects in [begin, end).
+  void WriteDependencies(ObjectId begin, ObjectId end,
+                         std::vector<Dependency>& out) {
+    for (ObjectId obj = begin; obj < end; ++obj) {
       const std::vector<TxnId>& order = h_.VersionOrder(obj);
       for (size_t i = 0; i + 1 < order.size(); ++i) {
         Dependency dep;
@@ -96,7 +98,7 @@ class Analyzer {
         dep.object = obj;
         dep.from_version = *h_.InstalledVersion(order[i], obj);
         dep.to_version = *h_.InstalledVersion(order[i + 1], obj);
-        Emit(std::move(dep));
+        Emit(std::move(dep), out);
       }
     }
   }
@@ -104,8 +106,11 @@ class Analyzer {
   // Definitions 3 and 5, item cases. One pass over read events of committed
   // readers; versions written by uncommitted/aborted transactions have no
   // position in the version order and yield no edges (G1a covers them).
-  void ItemReadAndAntiDependencies() {
-    for (const Event& e : h_.events()) {
+  // Events in [begin, end).
+  void ItemReadAndAntiDependencies(EventId begin, EventId end,
+                                   std::vector<Dependency>& out) {
+    for (EventId id = begin; id < end; ++id) {
+      const Event& e = h_.event(id);
       if (e.type != EventType::kRead || !h_.IsCommitted(e.txn)) continue;
       const VersionId& v = e.version;
       if (!h_.IsCommitted(v.writer)) continue;
@@ -120,7 +125,7 @@ class Analyzer {
         dep.object = v.object;
         dep.from_version = v;
         dep.to_version = v;
-        Emit(std::move(dep));
+        Emit(std::move(dep), out);
       }
       // Tj --rw--> (installer of the next version after the one read).
       std::optional<size_t> pos = h_.OrderIndex(v.object, v.writer);
@@ -135,7 +140,7 @@ class Analyzer {
         dep.object = v.object;
         dep.from_version = v;
         dep.to_version = *h_.InstalledVersion(order[*pos + 1], v.object);
-        Emit(std::move(dep));
+        Emit(std::move(dep), out);
       }
     }
   }
@@ -160,15 +165,18 @@ class Analyzer {
     return change_cache_.emplace(key, std::move(changes)).first->second;
   }
 
-  // Definitions 3 (predicate case), 4 and 5 (predicate case).
-  void PredicateDependencies() {
+  // Definitions 3 (predicate case), 4 and 5 (predicate case). Events in
+  // [begin, end).
+  void PredicateDependencies(EventId begin, EventId end,
+                             std::vector<Dependency>& out) {
     // Objects grouped by relation, so each predicate read visits only the
     // objects its predicate ranges over.
     std::vector<std::vector<ObjectId>> by_relation(h_.relation_count());
     for (ObjectId obj = 0; obj < h_.object_count(); ++obj) {
       by_relation[h_.object_relation(obj)].push_back(obj);
     }
-    for (const Event& e : h_.events()) {
+    for (EventId id = begin; id < end; ++id) {
+      const Event& e = h_.event(id);
       if (e.type != EventType::kPredicateRead || !h_.IsCommitted(e.txn)) {
         continue;
       }
@@ -208,7 +216,7 @@ class Analyzer {
             dep.to_version = sel;
             dep.predicate = e.predicate;
             dep.is_predicate = true;
-            Emit(std::move(dep));
+            Emit(std::move(dep), out);
           }
           // rw(pred): every later change overwrites this predicate read
           // (Definition 4) — or only the earliest when the caller asked for
@@ -228,7 +236,7 @@ class Analyzer {
             // stop the scan: the earliest edge that exists in the full set
             // is the one to the next change by a *different* transaction.
             bool real_edge = dep.from != dep.to;
-            Emit(std::move(dep));
+            Emit(std::move(dep), out);
             if (options_.first_rw_pred_only && real_edge) break;
           }
         }
@@ -238,10 +246,10 @@ class Analyzer {
 
   // Thesis start-depends (used by the PL-SI check): Tj start-depends on Ti
   // iff Ti's commit precedes Tj's start.
-  void StartDependencies() {
+  void StartDependencies(std::vector<Dependency>& out) {
     std::vector<TxnId> committed = h_.CommittedTransactions();
     if (options_.reduced_start_edges) {
-      ReducedStartDependencies(committed);
+      ReducedStartDependencies(committed, out);
       return;
     }
     for (TxnId from : committed) {
@@ -253,7 +261,7 @@ class Analyzer {
           dep.from = from;
           dep.to = to;
           dep.kind = DepKind::kStart;
-          Emit(std::move(dep));
+          Emit(std::move(dep), out);
         }
       }
     }
@@ -265,7 +273,8 @@ class Analyzer {
   // committed transactions sorted by commit event, that max is a prefix
   // maximum and the survivors for each j form one contiguous commit-order
   // range, so the whole reduction is O(n log n + edges kept).
-  void ReducedStartDependencies(const std::vector<TxnId>& committed) {
+  void ReducedStartDependencies(const std::vector<TxnId>& committed,
+                                std::vector<Dependency>& out) {
     struct Span {
       EventId begin, commit;
       TxnId txn;
@@ -304,16 +313,31 @@ class Analyzer {
         dep.from = by_commit[i].txn;
         dep.to = to;
         dep.kind = DepKind::kStart;
-        Emit(std::move(dep));
+        Emit(std::move(dep), out);
       }
     }
   }
 
+ private:
+  static void Emit(Dependency dep, std::vector<Dependency>& out) {
+    if (dep.from == dep.to) return;  // conflicts relate distinct transactions
+    out.push_back(std::move(dep));
+  }
+
   const History& h_;
   ConflictOptions options_;
-  std::vector<Dependency> out_;
   std::map<std::pair<ObjectId, PredicateId>, std::vector<ptrdiff_t>>
       change_cache_;
+};
+
+/// One unit of sharded conflict work: a phase plus the id range it covers.
+/// Shards are ordered (phase, begin) ascending, which is exactly the serial
+/// emission order, so concatenating their outputs reproduces it.
+struct ConflictShard {
+  enum Phase { kWrite, kItem, kPredicate, kStart } phase;
+  uint32_t begin = 0;
+  uint32_t end = 0;
+  std::vector<Dependency> out;
 };
 
 }  // namespace
@@ -321,6 +345,65 @@ class Analyzer {
 std::vector<Dependency> ComputeDependencies(const History& h,
                                             const ConflictOptions& options) {
   return Analyzer(h, options).Run();
+}
+
+std::vector<Dependency> ComputeDependencies(const History& h,
+                                            const ConflictOptions& options,
+                                            ThreadPool* pool) {
+  if (pool == nullptr || pool->threads() <= 1) {
+    return Analyzer(h, options).Run();
+  }
+  // ~4 chunks per thread so uneven shard costs balance via work stealing.
+  size_t parts = static_cast<size_t>(pool->threads()) * 4;
+  auto chunked = [&](ConflictShard::Phase phase, size_t n,
+                     std::vector<ConflictShard>& shards) {
+    size_t chunk = (n + parts - 1) / parts;
+    if (chunk == 0) chunk = 1;
+    for (size_t b = 0; b < n; b += chunk) {
+      shards.push_back(ConflictShard{phase, static_cast<uint32_t>(b),
+                                     static_cast<uint32_t>(
+                                         std::min(n, b + chunk)),
+                                     {}});
+    }
+  };
+  std::vector<ConflictShard> shards;
+  chunked(ConflictShard::kWrite, h.object_count(), shards);
+  chunked(ConflictShard::kItem, h.events().size(), shards);
+  chunked(ConflictShard::kPredicate, h.events().size(), shards);
+  if (options.include_start_edges) {
+    // One shard: start edges are either the cheap transitive reduction or
+    // an O(n²) audit-only walk nothing else overlaps with.
+    shards.push_back(ConflictShard{ConflictShard::kStart, 0, 0, {}});
+  }
+  pool->ParallelFor(shards.size(), [&](size_t i) {
+    ConflictShard& shard = shards[i];
+    // Analyzer per shard: the predicate-change cache is per-instance, so
+    // shards never share mutable state.
+    Analyzer analyzer(h, options);
+    switch (shard.phase) {
+      case ConflictShard::kWrite:
+        analyzer.WriteDependencies(shard.begin, shard.end, shard.out);
+        break;
+      case ConflictShard::kItem:
+        analyzer.ItemReadAndAntiDependencies(shard.begin, shard.end,
+                                             shard.out);
+        break;
+      case ConflictShard::kPredicate:
+        analyzer.PredicateDependencies(shard.begin, shard.end, shard.out);
+        break;
+      case ConflictShard::kStart:
+        analyzer.StartDependencies(shard.out);
+        break;
+    }
+  });
+  size_t total = 0;
+  for (const ConflictShard& shard : shards) total += shard.out.size();
+  std::vector<Dependency> merged;
+  merged.reserve(total);
+  for (ConflictShard& shard : shards) {
+    std::move(shard.out.begin(), shard.out.end(), std::back_inserter(merged));
+  }
+  return merged;
 }
 
 }  // namespace adya

@@ -9,6 +9,8 @@
 
 namespace adya {
 
+class ThreadPool;
+
 /// The direct-conflict kinds of §4.4 (Figure 2), plus the start-dependency
 /// used by the start-ordered serialization graph of the thesis's Snapshot
 /// Isolation definition. Values are single bits so graph algorithms can
@@ -109,6 +111,16 @@ struct ConflictOptions {
 ///    selected x_init.
 std::vector<Dependency> ComputeDependencies(
     const History& h, const ConflictOptions& options = ConflictOptions());
+
+/// Sharded variant: splits each conflict phase (write-dependencies by
+/// object, item read/anti-dependencies and predicate dependencies by event
+/// range) across `pool` and concatenates the shard outputs in phase/range
+/// order, which reproduces the serial emission order exactly — the returned
+/// vector is bit-identical to the serial overload's. A null or single-thread
+/// pool falls back to the serial path.
+std::vector<Dependency> ComputeDependencies(const History& h,
+                                            const ConflictOptions& options,
+                                            ThreadPool* pool);
 
 }  // namespace adya
 

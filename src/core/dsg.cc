@@ -7,7 +7,11 @@
 
 namespace adya {
 
-Dsg::Dsg(const History& h, const ConflictOptions& options) : history_(&h) {
+Dsg::Dsg(const History& h, const ConflictOptions& options)
+    : Dsg(h, options, nullptr) {}
+
+Dsg::Dsg(const History& h, const ConflictOptions& options, ThreadPool* pool)
+    : history_(&h) {
   for (TxnId txn : h.CommittedTransactions()) {
     txn_nodes_[txn] = static_cast<graph::NodeId>(node_txns_.size());
     node_txns_.push_back(txn);
@@ -18,7 +22,7 @@ Dsg::Dsg(const History& h, const ConflictOptions& options) : history_(&h) {
   // order (conflicts come out of ComputeDependencies in event order).
   std::map<std::tuple<TxnId, TxnId, DepKind>, std::vector<Dependency>> merged;
   std::vector<std::tuple<TxnId, TxnId, DepKind>> keys;  // insertion order
-  for (Dependency& dep : ComputeDependencies(h, options)) {
+  for (Dependency& dep : ComputeDependencies(h, options, pool)) {
     auto key = std::make_tuple(dep.from, dep.to, dep.kind);
     auto [it, inserted] = merged.try_emplace(key);
     if (inserted) keys.push_back(key);

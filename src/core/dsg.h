@@ -26,6 +26,10 @@ class Dsg {
  public:
   explicit Dsg(const History& h,
                const ConflictOptions& options = ConflictOptions());
+  /// Computes the conflicts on `pool` (see the sharded ComputeDependencies
+  /// overload); the merge is unchanged, so the graph — edge ids included —
+  /// is bit-identical to the serial constructor's.
+  Dsg(const History& h, const ConflictOptions& options, ThreadPool* pool);
 
   const History& history() const { return *history_; }
   const graph::Digraph& graph() const { return graph_; }

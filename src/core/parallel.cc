@@ -1,0 +1,278 @@
+#include "core/parallel.h"
+
+#include <atomic>
+#include <limits>
+
+#include "common/str_util.h"
+
+namespace adya {
+namespace {
+
+/// FindCycleWithRequiredKind wrapped into a Violation, mirroring
+/// PhenomenaChecker::CycleViolation.
+std::optional<Violation> CycleViolation(Phenomenon p, const Dsg& dsg,
+                                        graph::KindMask allowed,
+                                        graph::KindMask required) {
+  auto cycle = graph::FindCycleWithRequiredKind(dsg.graph(), allowed, required);
+  if (!cycle.has_value()) return std::nullopt;
+  Violation v;
+  v.phenomenon = p;
+  v.cycle = *cycle;
+  v.description = StrCat(PhenomenonName(p), ": ", dsg.DescribeCycle(*cycle));
+  return v;
+}
+
+/// Sharded first-hit scan: probes indices [0, n) through `probe` (a pure
+/// function of the index) and returns the violation at the LOWEST hit index
+/// — exactly what the serial ascending loop returns. Contiguous ascending
+/// shards let each shard stop as soon as its next index cannot beat the
+/// best confirmed hit.
+std::optional<Violation> MinIndexScan(
+    ThreadPool& pool, size_t n,
+    const std::function<std::optional<Violation>(size_t)>& probe) {
+  if (n == 0) return std::nullopt;
+  size_t shard_count =
+      std::min(n, static_cast<size_t>(pool.threads()) * size_t{4});
+  size_t chunk = (n + shard_count - 1) / shard_count;
+  std::atomic<size_t> best{n};
+  std::vector<std::optional<Violation>> found(shard_count);
+  std::vector<size_t> found_index(shard_count, n);
+  pool.ParallelFor(shard_count, [&](size_t s) {
+    size_t lo = s * chunk;
+    size_t hi = std::min(n, lo + chunk);
+    for (size_t i = lo; i < hi; ++i) {
+      if (i >= best.load(std::memory_order_relaxed)) return;
+      auto v = probe(i);
+      if (!v.has_value()) continue;
+      found[s] = std::move(v);
+      found_index[s] = i;
+      size_t cur = best.load(std::memory_order_relaxed);
+      while (i < cur && !best.compare_exchange_weak(
+                            cur, i, std::memory_order_relaxed)) {
+      }
+      return;  // later indices in this shard are larger
+    }
+  });
+  size_t winner = shard_count;
+  for (size_t s = 0; s < shard_count; ++s) {
+    if (found_index[s] == n) continue;
+    if (winner == shard_count || found_index[s] < found_index[winner]) {
+      winner = s;
+    }
+  }
+  if (winner == shard_count) return std::nullopt;
+  return std::move(found[winner]);
+}
+
+}  // namespace
+
+ParallelChecker::ParallelChecker(const History& h, const CheckOptions& options)
+    : history_(&h), options_(options) {
+  options_.conflicts.include_start_edges = false;
+  if (options_.threads <= 1) {
+    serial_ = std::make_unique<PhenomenaChecker>(h, options_.conflicts);
+    return;
+  }
+  owned_pool_ = std::make_unique<ThreadPool>(options_.threads);
+  pool_ = owned_pool_.get();
+  dsg_ = std::make_unique<Dsg>(h, options_.conflicts, pool_);
+}
+
+ParallelChecker::ParallelChecker(const History& h, const CheckOptions& options,
+                                 ThreadPool* pool)
+    : history_(&h), options_(options) {
+  options_.conflicts.include_start_edges = false;
+  if (pool == nullptr || pool->threads() <= 1) {
+    serial_ = std::make_unique<PhenomenaChecker>(h, options_.conflicts);
+    return;
+  }
+  options_.threads = pool->threads();
+  pool_ = pool;
+  dsg_ = std::make_unique<Dsg>(h, options_.conflicts, pool_);
+}
+
+ParallelChecker::~ParallelChecker() = default;
+
+int ParallelChecker::threads() const { return serial_ ? 1 : pool_->threads(); }
+
+const Dsg& ParallelChecker::dsg() const {
+  return serial_ ? serial_->dsg() : *dsg_;
+}
+
+const Dsg& ParallelChecker::ssg() const {
+  if (serial_) return serial_->ssg();
+  // call_once: CheckAll runs G-SI(b) concurrently with other checks.
+  std::call_once(ssg_once_, [this] {
+    ConflictOptions options = options_.conflicts;
+    options.include_start_edges = true;
+    // Built serially even on the parallel path: a pool task may get here
+    // (nested ParallelFor would run inline anyway), and the SSG build is
+    // one pass over the conflicts.
+    ssg_ = std::make_unique<Dsg>(*history_, options);
+  });
+  return *ssg_;
+}
+
+const std::vector<Dependency>& ParallelChecker::cursor_deps() const {
+  std::call_once(cursor_deps_once_, [this] {
+    cursor_deps_ = std::make_unique<std::vector<Dependency>>(
+        ComputeDependencies(*history_, options_.conflicts));
+  });
+  return *cursor_deps_;
+}
+
+std::optional<Violation> ParallelChecker::Check(Phenomenon p) const {
+  if (serial_) return serial_->Check(p);
+  switch (p) {
+    // The pure SCC searches: within a component every candidate edge closes
+    // a cycle, so the serial scan stops at its first SCC-internal candidate
+    // with no per-edge search — nothing to parallelize beyond the sharded
+    // graph build (already done in the constructor).
+    case Phenomenon::kG0:
+      return CycleViolation(p, *dsg_, Bit(DepKind::kWW), Bit(DepKind::kWW));
+    case Phenomenon::kG1c:
+      return CycleViolation(p, *dsg_, kDependencyMask, kDependencyMask);
+    case Phenomenon::kG2Item:
+      return CycleViolation(p, *dsg_, kDependencyMask | Bit(DepKind::kRWItem),
+                            Bit(DepKind::kRWItem));
+    case Phenomenon::kG2:
+      return CycleViolation(p, *dsg_, kConflictMask, kAntiMask);
+    case Phenomenon::kG1a:
+      return CheckG1aParallel(nullptr);
+    case Phenomenon::kG1b:
+      return CheckG1bParallel(nullptr);
+    case Phenomenon::kGSingle:
+      return CheckGSingleParallel();
+    case Phenomenon::kGSIa:
+      return CheckGSIaParallel();
+    case Phenomenon::kGSIb:
+      return CheckGSIbParallel();
+    case Phenomenon::kGCursor:
+      return CheckGCursorParallel();
+  }
+  ADYA_UNREACHABLE();
+}
+
+std::optional<Violation> ParallelChecker::CheckG1a(
+    const TxnFilter& filter) const {
+  if (serial_) return serial_->CheckG1a(filter);
+  return CheckG1aParallel(&filter);
+}
+
+std::optional<Violation> ParallelChecker::CheckG1b(
+    const TxnFilter& filter) const {
+  if (serial_) return serial_->CheckG1b(filter);
+  return CheckG1bParallel(&filter);
+}
+
+std::optional<Violation> ParallelChecker::CheckG1aParallel(
+    const TxnFilter* filter) const {
+  const History& h = *history_;
+  return MinIndexScan(
+      *pool_, h.events().size(), [&](size_t id) -> std::optional<Violation> {
+        if (filter != nullptr && !(*filter)(h.event(id).txn)) {
+          return std::nullopt;
+        }
+        return phenomena_internal::G1aViolationAt(h, EventId(id));
+      });
+}
+
+std::optional<Violation> ParallelChecker::CheckG1bParallel(
+    const TxnFilter* filter) const {
+  const History& h = *history_;
+  return MinIndexScan(
+      *pool_, h.events().size(), [&](size_t id) -> std::optional<Violation> {
+        if (filter != nullptr && !(*filter)(h.event(id).txn)) {
+          return std::nullopt;
+        }
+        return phenomena_internal::G1bViolationAt(h, EventId(id));
+      });
+}
+
+std::optional<Violation> ParallelChecker::CheckGSIaParallel() const {
+  const History& h = *history_;
+  const Dsg& d = *dsg_;
+  return MinIndexScan(*pool_, d.graph().edge_count(), [&](size_t e) {
+    return phenomena_internal::GSIaViolationAt(h, d, graph::EdgeId(e));
+  });
+}
+
+std::optional<Violation> ParallelChecker::CheckGSingleParallel() const {
+  auto cycle = graph::FindCycleWithExactlyOne(dsg_->graph(), kAntiMask,
+                                              kDependencyMask, pool_);
+  if (!cycle.has_value()) return std::nullopt;
+  Violation v;
+  v.phenomenon = Phenomenon::kGSingle;
+  v.cycle = *cycle;
+  v.description = StrCat("G-single: ", dsg_->DescribeCycle(*cycle));
+  return v;
+}
+
+std::optional<Violation> ParallelChecker::CheckGSIbParallel() const {
+  const Dsg& s = ssg();
+  auto cycle = graph::FindCycleWithExactlyOne(
+      s.graph(), kAntiMask, kDependencyMask | kStartMask, pool_);
+  if (!cycle.has_value()) return std::nullopt;
+  Violation v;
+  v.phenomenon = Phenomenon::kGSIb;
+  v.cycle = *cycle;
+  v.description = StrCat("G-SI(b): ", s.DescribeCycle(*cycle));
+  return v;
+}
+
+std::optional<Violation> ParallelChecker::CheckGCursorParallel() const {
+  const History& h = *history_;
+  const std::vector<Dependency>& deps = cursor_deps();
+  return MinIndexScan(*pool_, h.object_count(), [&](size_t obj) {
+    return phenomena_internal::GCursorViolationAt(h, deps, ObjectId(obj));
+  });
+}
+
+std::vector<Violation> ParallelChecker::CheckAll() const {
+  if (serial_) return serial_->CheckAll();
+  static constexpr Phenomenon kAll[] = {
+      Phenomenon::kG0,      Phenomenon::kG1a,  Phenomenon::kG1b,
+      Phenomenon::kG1c,     Phenomenon::kG2Item, Phenomenon::kG2,
+      Phenomenon::kGSingle, Phenomenon::kGSIa, Phenomenon::kGSIb,
+      Phenomenon::kGCursor};
+  constexpr size_t kCount = std::size(kAll);
+  // Prewarm the shared lazy state so the fanned-out checks only read it.
+  // (call_once makes the lazy init safe regardless; warming just avoids one
+  // check serializing the others behind the build.)
+  ssg();
+  cursor_deps();
+  std::vector<std::optional<Violation>> results(kCount);
+  pool_->ParallelFor(kCount, [&](size_t i) { results[i] = Check(kAll[i]); });
+  std::vector<Violation> out;
+  for (auto& r : results) {
+    if (r.has_value()) out.push_back(std::move(*r));
+  }
+  return out;
+}
+
+LevelCheckResult CheckLevel(const ParallelChecker& checker,
+                            IsolationLevel level) {
+  LevelCheckResult result;
+  result.level = level;
+  const std::vector<Phenomenon>& proscribed = ProscribedPhenomena(level);
+  if (checker.threads() <= 1 || proscribed.size() == 1) {
+    for (Phenomenon p : proscribed) {
+      if (auto v = checker.Check(p)) {
+        result.violations.push_back(std::move(*v));
+      }
+    }
+  } else {
+    if (level == IsolationLevel::kPLSI) checker.ssg();
+    std::vector<std::optional<Violation>> results(proscribed.size());
+    checker.pool()->ParallelFor(proscribed.size(), [&](size_t i) {
+      results[i] = checker.Check(proscribed[i]);
+    });
+    for (auto& r : results) {
+      if (r.has_value()) result.violations.push_back(std::move(*r));
+    }
+  }
+  result.satisfied = result.violations.empty();
+  return result;
+}
+
+}  // namespace adya

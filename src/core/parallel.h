@@ -1,0 +1,99 @@
+#ifndef ADYA_CORE_PARALLEL_H_
+#define ADYA_CORE_PARALLEL_H_
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/levels.h"
+#include "core/phenomena.h"
+#include "history/history.h"
+
+namespace adya {
+
+/// Tuning for the parallel certification core. `threads` is the total
+/// parallelism (pool workers + the calling thread); the default of 1 runs
+/// the serial PhenomenaChecker unchanged, so every golden / audit output is
+/// byte-identical unless a caller explicitly opts in to more threads.
+struct CheckOptions {
+  ConflictOptions conflicts;
+  int threads = 1;
+};
+
+/// Drop-in parallel counterpart of PhenomenaChecker. All results — verdicts
+/// AND witness Violations, descriptions included — are bit-identical to the
+/// serial checker's for the same history and ConflictOptions:
+///
+///   * conflict-edge construction shards by phase/object/event range and
+///     concatenates shard outputs in the serial emission order
+///     (ComputeDependencies pool overload), so the DSG/SSG edge ids match;
+///   * event/edge/object scans (G1a, G1b, G-SI(a), G-cursor) probe shards
+///     through the same phenomena_internal helpers the serial checker uses
+///     and keep the lowest-index hit — the serial first hit;
+///   * exactly-one cycle searches (G-single, G-SI(b)) fan candidate pivot
+///     edges across the pool and keep the lowest-id success with the same
+///     deterministic BFS path (graph::FindCycleWithExactlyOne pool
+///     overload);
+///   * CheckAll fans the ten independent phenomenon checks out over the
+///     pool and reassembles results in enum order.
+///
+/// With threads <= 1 every call delegates to an internal serial
+/// PhenomenaChecker, making the default path identical by construction.
+class ParallelChecker {
+ public:
+  explicit ParallelChecker(const History& h,
+                           const CheckOptions& options = CheckOptions());
+  /// Shares an external pool (not owned; must outlive the checker). The
+  /// pool's thread count governs the sharding, overriding options.threads.
+  ParallelChecker(const History& h, const CheckOptions& options,
+                  ThreadPool* pool);
+  ~ParallelChecker();
+
+  std::optional<Violation> Check(Phenomenon p) const;
+  std::optional<Violation> CheckG1a(const TxnFilter& filter) const;
+  std::optional<Violation> CheckG1b(const TxnFilter& filter) const;
+  std::vector<Violation> CheckAll() const;
+
+  const History& history() const { return *history_; }
+  const Dsg& dsg() const;
+  const Dsg& ssg() const;
+  /// The effective total parallelism (1 when delegating to the serial path).
+  int threads() const;
+  /// The pool in use; nullptr on the serial path.
+  ThreadPool* pool() const { return pool_; }
+
+ private:
+  std::optional<Violation> CheckG1aParallel(const TxnFilter* filter) const;
+  std::optional<Violation> CheckG1bParallel(const TxnFilter* filter) const;
+  std::optional<Violation> CheckGSIaParallel() const;
+  std::optional<Violation> CheckGSIbParallel() const;
+  std::optional<Violation> CheckGSingleParallel() const;
+  std::optional<Violation> CheckGCursorParallel() const;
+  const std::vector<Dependency>& cursor_deps() const;
+
+  const History* history_;
+  CheckOptions options_;
+  /// Serial delegate; non-null iff effective threads <= 1.
+  std::unique_ptr<PhenomenaChecker> serial_;
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_ = nullptr;  // owned_pool_.get() or the shared pool
+  std::unique_ptr<Dsg> dsg_;
+  mutable std::unique_ptr<Dsg> ssg_;
+  mutable std::once_flag ssg_once_;
+  /// Raw dependency list for the per-object G-cursor graphs (the DSG merges
+  /// parallel conflicts into one edge, so it cannot be reused).
+  mutable std::unique_ptr<std::vector<Dependency>> cursor_deps_;
+  mutable std::once_flag cursor_deps_once_;
+};
+
+/// CheckLevel / Classify over the parallel checker; same result layout as
+/// the levels.h functions. With checker.threads() > 1 the per-phenomenon
+/// checks of the level fan out over the pool.
+LevelCheckResult CheckLevel(const ParallelChecker& checker,
+                            IsolationLevel level);
+
+}  // namespace adya
+
+#endif  // ADYA_CORE_PARALLEL_H_

@@ -117,25 +117,8 @@ std::optional<Violation> PhenomenaChecker::CheckG1a(
     const TxnFilter& filter) const {
   const History& h = *history_;
   for (EventId id = 0; id < h.events().size(); ++id) {
-    const Event& e = h.event(id);
-    if (!h.IsCommitted(e.txn) || !filter(e.txn)) continue;
-    auto flag = [&](const VersionId& v) -> std::optional<Violation> {
-      if (v.is_init() || !h.IsAborted(v.writer)) return std::nullopt;
-      Violation viol;
-      viol.phenomenon = Phenomenon::kG1a;
-      viol.events = {id};
-      viol.description =
-          StrCat("G1a: committed T", e.txn, " read ", FormatVersion(h, v),
-                 " written by aborted T", v.writer);
-      return viol;
-    };
-    if (e.type == EventType::kRead) {
-      if (auto v = flag(e.version)) return v;
-    } else if (e.type == EventType::kPredicateRead) {
-      for (const VersionId& vs : e.vset) {
-        if (auto v = flag(vs)) return v;
-      }
-    }
+    if (!filter(h.event(id).txn)) continue;
+    if (auto v = phenomena_internal::G1aViolationAt(h, id)) return v;
   }
   return std::nullopt;
 }
@@ -146,30 +129,8 @@ std::optional<Violation> PhenomenaChecker::CheckG1b(
     const TxnFilter& filter) const {
   const History& h = *history_;
   for (EventId id = 0; id < h.events().size(); ++id) {
-    const Event& e = h.event(id);
-    if (!h.IsCommitted(e.txn) || !filter(e.txn)) continue;
-    auto flag = [&](const VersionId& v) -> std::optional<Violation> {
-      // A transaction's reads of its own object always observe its latest
-      // write so far (§4.2); intermediate reads concern other writers.
-      if (v.is_init() || v.writer == e.txn) return std::nullopt;
-      uint32_t final_seq = h.FinalSeq(v.writer, v.object);
-      if (v.seq == final_seq) return std::nullopt;
-      Violation viol;
-      viol.phenomenon = Phenomenon::kG1b;
-      viol.events = {id};
-      viol.description = StrCat(
-          "G1b: committed T", e.txn, " read intermediate version ",
-          FormatVersion(h, v), " (T", v.writer, "'s final modification of ",
-          h.object_name(v.object), " is #", final_seq, ")");
-      return viol;
-    };
-    if (e.type == EventType::kRead) {
-      if (auto v = flag(e.version)) return v;
-    } else if (e.type == EventType::kPredicateRead) {
-      for (const VersionId& vs : e.vset) {
-        if (auto v = flag(vs)) return v;
-      }
-    }
+    if (!filter(h.event(id).txn)) continue;
+    if (auto v = phenomena_internal::G1bViolationAt(h, id)) return v;
   }
   return std::nullopt;
 }
@@ -223,18 +184,7 @@ std::optional<Violation> PhenomenaChecker::CheckGSIa() const {
   const History& h = *history_;
   const Dsg& d = *dsg_;
   for (graph::EdgeId e = 0; e < d.graph().edge_count(); ++e) {
-    DepKind kind = d.kind_of(e);
-    if ((Bit(kind) & kDependencyMask) == 0) continue;
-    const auto& edge = d.graph().edge(e);
-    TxnId from = d.txn_of(edge.from);
-    TxnId to = d.txn_of(edge.to);
-    if (h.txn_info(from).commit_event < h.txn_info(to).begin_event) continue;
-    Violation v;
-    v.phenomenon = Phenomenon::kGSIa;
-    v.description = StrCat(
-        "G-SI(a): ", d.DescribeEdge(e), "\n  but T", from,
-        " did not commit before T", to, " started");
-    return v;
+    if (auto v = phenomena_internal::GSIaViolationAt(h, d, e)) return v;
   }
   return std::nullopt;
 }
@@ -261,36 +211,116 @@ std::optional<Violation> PhenomenaChecker::CheckGCursor() const {
   const History& h = *history_;
   std::vector<Dependency> deps = ComputeDependencies(h, options_);
   for (ObjectId obj = 0; obj < h.object_count(); ++obj) {
-    // Mini-graph over committed transactions, edges labeled obj.
-    std::map<TxnId, graph::NodeId> nodes;
-    graph::Digraph g;
-    std::vector<const Dependency*> edge_deps;
-    for (const Dependency& dep : deps) {
-      if (dep.object != obj) continue;
-      if (dep.kind != DepKind::kWW && dep.kind != DepKind::kRWItem) continue;
-      for (TxnId t : {dep.from, dep.to}) {
-        if (nodes.try_emplace(t, static_cast<graph::NodeId>(nodes.size()))
-                .second) {
-          g.AddNode();
-        }
-      }
-      g.AddEdge(nodes[dep.from], nodes[dep.to], Bit(dep.kind));
-      edge_deps.push_back(&dep);
+    if (auto v = phenomena_internal::GCursorViolationAt(h, deps, obj)) {
+      return v;
     }
-    auto cycle = graph::FindCycleWithExactlyOne(g, Bit(DepKind::kRWItem),
-                                                Bit(DepKind::kWW));
-    if (!cycle.has_value()) continue;
-    Violation v;
-    v.phenomenon = Phenomenon::kGCursor;
-    std::vector<std::string> lines;
-    for (graph::EdgeId e : cycle->edges) {
-      lines.push_back(edge_deps[e]->Describe(h));
-    }
-    v.description = StrCat("G-cursor on ", h.object_name(obj), ":\n  ",
-                           StrJoin(lines, "\n  "));
-    return v;
   }
   return std::nullopt;
 }
+
+namespace phenomena_internal {
+
+std::optional<Violation> G1aViolationAt(const History& h, EventId id) {
+  const Event& e = h.event(id);
+  if (!h.IsCommitted(e.txn)) return std::nullopt;
+  auto flag = [&](const VersionId& v) -> std::optional<Violation> {
+    if (v.is_init() || !h.IsAborted(v.writer)) return std::nullopt;
+    Violation viol;
+    viol.phenomenon = Phenomenon::kG1a;
+    viol.events = {id};
+    viol.description =
+        StrCat("G1a: committed T", e.txn, " read ", FormatVersion(h, v),
+               " written by aborted T", v.writer);
+    return viol;
+  };
+  if (e.type == EventType::kRead) {
+    if (auto v = flag(e.version)) return v;
+  } else if (e.type == EventType::kPredicateRead) {
+    for (const VersionId& vs : e.vset) {
+      if (auto v = flag(vs)) return v;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> G1bViolationAt(const History& h, EventId id) {
+  const Event& e = h.event(id);
+  if (!h.IsCommitted(e.txn)) return std::nullopt;
+  auto flag = [&](const VersionId& v) -> std::optional<Violation> {
+    // A transaction's reads of its own object always observe its latest
+    // write so far (§4.2); intermediate reads concern other writers.
+    if (v.is_init() || v.writer == e.txn) return std::nullopt;
+    uint32_t final_seq = h.FinalSeq(v.writer, v.object);
+    if (v.seq == final_seq) return std::nullopt;
+    Violation viol;
+    viol.phenomenon = Phenomenon::kG1b;
+    viol.events = {id};
+    viol.description = StrCat(
+        "G1b: committed T", e.txn, " read intermediate version ",
+        FormatVersion(h, v), " (T", v.writer, "'s final modification of ",
+        h.object_name(v.object), " is #", final_seq, ")");
+    return viol;
+  };
+  if (e.type == EventType::kRead) {
+    if (auto v = flag(e.version)) return v;
+  } else if (e.type == EventType::kPredicateRead) {
+    for (const VersionId& vs : e.vset) {
+      if (auto v = flag(vs)) return v;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> GSIaViolationAt(const History& h, const Dsg& d,
+                                         graph::EdgeId e) {
+  DepKind kind = d.kind_of(e);
+  if ((Bit(kind) & kDependencyMask) == 0) return std::nullopt;
+  const auto& edge = d.graph().edge(e);
+  TxnId from = d.txn_of(edge.from);
+  TxnId to = d.txn_of(edge.to);
+  if (h.txn_info(from).commit_event < h.txn_info(to).begin_event) {
+    return std::nullopt;
+  }
+  Violation v;
+  v.phenomenon = Phenomenon::kGSIa;
+  v.description = StrCat("G-SI(a): ", d.DescribeEdge(e), "\n  but T", from,
+                         " did not commit before T", to, " started");
+  return v;
+}
+
+std::optional<Violation> GCursorViolationAt(const History& h,
+                                            const std::vector<Dependency>& deps,
+                                            ObjectId obj) {
+  // Mini-graph over committed transactions, edges labeled obj.
+  std::map<TxnId, graph::NodeId> nodes;
+  graph::Digraph g;
+  std::vector<const Dependency*> edge_deps;
+  for (const Dependency& dep : deps) {
+    if (dep.object != obj) continue;
+    if (dep.kind != DepKind::kWW && dep.kind != DepKind::kRWItem) continue;
+    for (TxnId t : {dep.from, dep.to}) {
+      if (nodes.try_emplace(t, static_cast<graph::NodeId>(nodes.size()))
+              .second) {
+        g.AddNode();
+      }
+    }
+    g.AddEdge(nodes[dep.from], nodes[dep.to], Bit(dep.kind));
+    edge_deps.push_back(&dep);
+  }
+  auto cycle = graph::FindCycleWithExactlyOne(g, Bit(DepKind::kRWItem),
+                                              Bit(DepKind::kWW));
+  if (!cycle.has_value()) return std::nullopt;
+  Violation v;
+  v.phenomenon = Phenomenon::kGCursor;
+  std::vector<std::string> lines;
+  for (graph::EdgeId e : cycle->edges) {
+    lines.push_back(edge_deps[e]->Describe(h));
+  }
+  v.description = StrCat("G-cursor on ", h.object_name(obj), ":\n  ",
+                         StrJoin(lines, "\n  "));
+  return v;
+}
+
+}  // namespace phenomena_internal
 
 }  // namespace adya

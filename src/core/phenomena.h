@@ -88,6 +88,27 @@ class PhenomenaChecker {
   mutable std::unique_ptr<Dsg> ssg_;
 };
 
+/// Single-site building blocks shared by PhenomenaChecker and the parallel
+/// certification core (core/parallel.h): each inspects ONE event / edge /
+/// object and returns its violation, so a sharded scan that keeps the
+/// lowest-index hit reproduces the serial first-hit witness bit for bit.
+namespace phenomena_internal {
+
+/// G1a at one event (the event's committedness is checked inside; the
+/// caller applies any TxnFilter before calling).
+std::optional<Violation> G1aViolationAt(const History& h, EventId id);
+/// G1b at one event.
+std::optional<Violation> G1bViolationAt(const History& h, EventId id);
+/// G-SI(a) at one DSG edge.
+std::optional<Violation> GSIaViolationAt(const History& h, const Dsg& dsg,
+                                         graph::EdgeId edge);
+/// G-cursor restricted to one object, over a precomputed dependency set.
+std::optional<Violation> GCursorViolationAt(const History& h,
+                                            const std::vector<Dependency>& deps,
+                                            ObjectId obj);
+
+}  // namespace phenomena_internal
+
 }  // namespace adya
 
 #endif  // ADYA_CORE_PHENOMENA_H_

@@ -1,8 +1,11 @@
 #include "graph/cycles.h"
 
 #include <algorithm>
+#include <atomic>
 #include <deque>
 #include <limits>
+
+#include "common/thread_pool.h"
 
 namespace adya::graph {
 namespace {
@@ -206,6 +209,65 @@ std::optional<Cycle> FindCycleWithExactlyOne(const Digraph& g, KindMask pivot,
     return cycle;
   }
   return std::nullopt;
+}
+
+std::optional<Cycle> FindCycleWithExactlyOne(const Digraph& g, KindMask pivot,
+                                             KindMask rest,
+                                             ThreadPool* pool) {
+  if (pool == nullptr || pool->threads() <= 1) {
+    return FindCycleWithExactlyOne(g, pivot, rest);
+  }
+  SccResult scc = StronglyConnectedComponents(g, pivot | rest);
+  // Candidates in ascending edge-id order — the serial scan order.
+  std::vector<EdgeId> candidates;
+  for (EdgeId eid = 0; eid < g.edge_count(); ++eid) {
+    const Digraph::Edge& e = g.edge(eid);
+    if ((e.kinds & pivot) == 0) continue;
+    if (scc.component[e.from] != scc.component[e.to]) continue;
+    candidates.push_back(eid);
+  }
+  if (candidates.empty()) return std::nullopt;
+  // Candidate i goes to shard i % shard_count, so every shard holds an
+  // ascending subsequence and the shard owning the serial winner reaches it
+  // early. `best` is the lowest confirmed pivot edge id; shards stop once
+  // their next candidate cannot beat it.
+  size_t shard_count =
+      std::min(candidates.size(), static_cast<size_t>(pool->threads()) * 2);
+  constexpr EdgeId kNone = std::numeric_limits<EdgeId>::max();
+  std::atomic<EdgeId> best{kNone};
+  std::vector<std::optional<Cycle>> found(shard_count);
+  std::vector<EdgeId> found_edge(shard_count, kNone);
+  pool->ParallelFor(shard_count, [&](size_t s) {
+    for (size_t i = s; i < candidates.size(); i += shard_count) {
+      EdgeId eid = candidates[i];
+      if (eid >= best.load(std::memory_order_relaxed)) break;
+      const Digraph::Edge& e = g.edge(eid);
+      auto back = ShortestPathInComponent(g, e.to, e.from, rest, scc,
+                                          scc.component[e.from]);
+      if (!back.has_value()) continue;
+      Cycle cycle;
+      cycle.edges.push_back(eid);
+      cycle.edges.insert(cycle.edges.end(), back->begin(), back->end());
+      found[s] = std::move(cycle);
+      found_edge[s] = eid;
+      // Lower the global bound (monotone min via CAS).
+      EdgeId cur = best.load(std::memory_order_relaxed);
+      while (eid < cur &&
+             !best.compare_exchange_weak(cur, eid,
+                                         std::memory_order_relaxed)) {
+      }
+      break;  // later candidates in this shard have larger ids
+    }
+  });
+  size_t winner = shard_count;
+  for (size_t s = 0; s < shard_count; ++s) {
+    if (found_edge[s] == kNone) continue;
+    if (winner == shard_count || found_edge[s] < found_edge[winner]) {
+      winner = s;
+    }
+  }
+  if (winner == shard_count) return std::nullopt;
+  return found[winner];
 }
 
 std::optional<std::vector<NodeId>> TopologicalOrder(const Digraph& g,

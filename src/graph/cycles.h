@@ -6,6 +6,10 @@
 
 #include "graph/digraph.h"
 
+namespace adya {
+class ThreadPool;
+}  // namespace adya
+
 namespace adya::graph {
 
 /// A witness cycle: a closed walk through distinct edges. `edges[i].to ==
@@ -45,6 +49,18 @@ std::optional<Cycle> FindCycleWithRequiredKind(const Digraph& g,
 /// pivot and rest kinds may serve as a rest edge.
 std::optional<Cycle> FindCycleWithExactlyOne(const Digraph& g, KindMask pivot,
                                              KindMask rest);
+
+/// Parallel variant: computes the SCCs once, then fans the per-pivot-edge
+/// rest-path searches out across `pool`, one SCC-filtered candidate at a
+/// time. Returns the cycle closed from the LOWEST-id pivot edge that has a
+/// rest-path — exactly the edge the serial scan stops at — and builds the
+/// path with the same deterministic BFS, so the result is bit-identical to
+/// the serial overload's. (FindCycleWithRequiredKind needs no such variant:
+/// within an SCC every allowed edge closes a cycle, so the serial scan
+/// already stops at its first SCC-internal candidate without searching.)
+/// A null or single-thread pool falls back to the serial path.
+std::optional<Cycle> FindCycleWithExactlyOne(const Digraph& g, KindMask pivot,
+                                             KindMask rest, ThreadPool* pool);
 
 /// Shortest path (in edges) from `from` to `to` using edges intersecting
 /// `allowed`. Returns nullopt if unreachable. A path of length zero is

@@ -1,44 +1,121 @@
 #include "stress/certifier.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 #include "common/str_util.h"
 
 namespace adya::stress {
+namespace {
 
-std::vector<Violation> OnlineCertifier::Cycle() {
-  ++cycles_;
-  size_t before = cursor_;
-  cursor_ = db_->DrainRecorded(&replica_, cursor_);
-  bool saw_commit = false;
-  for (size_t i = before; i < cursor_; ++i) {
-    if (replica_.event(static_cast<EventId>(i)).type == EventType::kCommit) {
-      saw_commit = true;
-      ++commits_seen_;
-    }
+/// Copies the universe and the first `n` events of `full` into a fresh
+/// history (mirrors Recorder::DrainInto). `full` need not be finalized.
+History PrefixHistory(const History& full, size_t n) {
+  History prefix;
+  for (size_t r = 0; r < full.relation_count(); ++r) {
+    prefix.AddRelation(full.relation_name(static_cast<RelationId>(r)));
   }
-  if (!saw_commit) return {};
+  for (size_t o = 0; o < full.object_count(); ++o) {
+    ObjectId id = static_cast<ObjectId>(o);
+    prefix.AddObject(full.object_name(id), full.object_relation(id));
+  }
+  for (size_t p = 0; p < full.predicate_count(); ++p) {
+    PredicateId id = static_cast<PredicateId>(p);
+    prefix.AddPredicate(full.predicate_name(id), full.predicate_ptr(id),
+                        full.predicate_relations(id));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const Event& e = full.event(static_cast<EventId>(i));
+    if (e.type == EventType::kBegin) {
+      prefix.SetLevel(e.txn, full.txn_info(e.txn).level);
+    }
+    prefix.Append(e);
+  }
+  return prefix;
+}
 
-  History prefix = replica_;
+}  // namespace
+
+OnlineCertifier::OnlineCertifier(const engine::Database& db,
+                                 IsolationLevel target,
+                                 const CertifyOptions& options)
+    : db_(&db), target_(target), options_(options) {
+  if (options_.max_batch < 1) options_.max_batch = 1;
+  if (options_.threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.threads);
+  }
+}
+
+OnlineCertifier::~OnlineCertifier() = default;
+
+std::vector<Violation> OnlineCertifier::CertifyPrefix(size_t end) const {
+  History prefix = end == replica_.events().size()
+                       ? replica_
+                       : PrefixHistory(replica_, end);
   Status finalized = prefix.Finalize();
   // The engine reports exact version identities, so its recorded prefixes
   // are well-formed by construction; a failure here is an engine bug.
   ADYA_CHECK_MSG(finalized.ok(),
                  "recorded prefix failed to finalize: " << finalized);
-  ++checks_run_;
   // first_rw_pred_only keeps certification linear-ish in history size: a
   // stress run's overlapping predicate reads and writes would otherwise
   // yield quadratically many rw(pred) edges. The reduced edge set preserves
   // every phenomenon (see ConflictOptions), only witnesses may differ.
-  ConflictOptions conflict_options;
-  conflict_options.first_rw_pred_only = true;
-  conflict_options.reduced_start_edges = true;
-  PhenomenaChecker checker(prefix, conflict_options);
-  LevelCheckResult check = CheckLevel(checker, target_);
+  CheckOptions check_options;
+  check_options.conflicts.first_rw_pred_only = true;
+  check_options.conflicts.reduced_start_edges = true;
+  ParallelChecker checker(prefix, check_options, pool_.get());
+  return CheckLevel(checker, target_).violations;
+}
+
+std::vector<Violation> OnlineCertifier::Cycle() {
+  ++cycles_;
+  size_t before = cursor_;
+  cursor_ = db_->DrainRecorded(&replica_, cursor_);
+  // Prefix lengths ending just after each newly drained commit: the
+  // candidate snapshots of this batch.
+  std::vector<size_t> commit_ends;
+  for (size_t i = before; i < cursor_; ++i) {
+    if (replica_.event(static_cast<EventId>(i)).type == EventType::kCommit) {
+      ++commits_seen_;
+      commit_ends.push_back(i + 1);
+    }
+  }
+  if (commit_ends.empty()) return {};
+
+  // Snapshots to certify: up to max_batch - 1 evenly spaced (late-biased)
+  // commit prefixes, then always the full drained prefix — so a run whose
+  // last cycle drained everything has been checked end-to-end regardless of
+  // batching.
+  std::vector<size_t> ends;
+  size_t take = std::min(commit_ends.size(),
+                         static_cast<size_t>(options_.max_batch) - 1);
+  for (size_t k = 0; k < take; ++k) {
+    ends.push_back(commit_ends[(k + 1) * commit_ends.size() / take - 1]);
+  }
+  if (ends.empty() || ends.back() != cursor_) ends.push_back(cursor_);
+  ends.erase(std::unique(ends.begin(), ends.end()), ends.end());
+
+  checks_run_ += ends.size();
+  std::vector<std::vector<Violation>> batch(ends.size());
+  if (pool_ != nullptr && ends.size() > 1) {
+    pool_->ParallelFor(ends.size(),
+                       [&](size_t i) { batch[i] = CertifyPrefix(ends[i]); });
+  } else {
+    for (size_t i = 0; i < ends.size(); ++i) {
+      batch[i] = CertifyPrefix(ends[i]);
+    }
+  }
+
+  // Report in snapshot order, earliest prefix first — the finest available
+  // attribution of each phenomenon's introduction.
   std::vector<Violation> fresh;
-  for (Violation& v : check.violations) {
-    if (reported_.insert(v.phenomenon).second) {
-      violations_.push_back(v);
-      fresh.push_back(std::move(v));
+  for (std::vector<Violation>& snapshot : batch) {
+    for (Violation& v : snapshot) {
+      if (reported_.insert(v.phenomenon).second) {
+        violations_.push_back(v);
+        fresh.push_back(std::move(v));
+      }
     }
   }
   return fresh;

@@ -1,11 +1,77 @@
 #include "stress/metrics.h"
 
 #include <bit>
+#include <charconv>
 #include <cmath>
 
 #include "common/str_util.h"
 
 namespace adya::stress {
+namespace {
+
+/// Locale-independent fixed-precision double for JSON. ostream/printf honor
+/// the global C/C++ locale — a comma decimal separator (e.g. de_DE) would
+/// emit `0,5` and corrupt the record — so this formats via std::to_chars,
+/// which is locale-free by specification. Non-finite values have no JSON
+/// representation and degrade to 0.
+std::string JsonDouble(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  auto [ptr, ec] =
+      std::to_chars(buf, buf + sizeof(buf), v, std::chars_format::fixed, 3);
+  if (ec != std::errc()) return "0";
+  return std::string(buf, ptr);
+}
+
+/// Locale-independent integer for JSON: ostream-based formatting applies
+/// the global locale's digit grouping (e.g. 4352 → "4.352" under de_DE),
+/// which is not a JSON number.
+template <typename Int>
+std::string JsonInt(Int v) {
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc()) return "0";
+  return std::string(buf, ptr);
+}
+
+/// Escapes a string field per RFC 8259 (quotes, backslashes, control
+/// characters). Scheme/level names are ASCII identifiers today, but the
+/// writer must not rely on that.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xF];
+          out += kHex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
 
 size_t LatencyHistogram::BucketIndex(uint64_t v) {
   if (v < (uint64_t{1} << kSubBits)) return static_cast<size_t>(v);
@@ -54,10 +120,11 @@ uint64_t LatencyHistogram::PercentileMicros(double p) const {
 }
 
 std::string LatencyHistogram::ToJson() const {
-  return StrCat("{\"p50\":", PercentileMicros(50),
-                ",\"p95\":", PercentileMicros(95),
-                ",\"p99\":", PercentileMicros(99), ",\"max\":", max_,
-                ",\"count\":", count_, "}");
+  return StrCat("{\"p50\":", JsonInt(PercentileMicros(50)),
+                ",\"p95\":", JsonInt(PercentileMicros(95)),
+                ",\"p99\":", JsonInt(PercentileMicros(99)),
+                ",\"max\":", JsonInt(max_),
+                ",\"count\":", JsonInt(count_), "}");
 }
 
 void RunMetrics::Merge(const RunMetrics& other) {
@@ -80,25 +147,26 @@ void RunMetrics::Merge(const RunMetrics& other) {
 }
 
 std::string RunMetrics::ToJson() const {
-  std::ostringstream oss;
-  oss << "{\"scheme\":\"" << scheme << "\",\"level\":\"" << level
-      << "\",\"threads\":" << threads
-      << ",\"duration_seconds\":" << duration_seconds
-      << ",\"throughput_txn_per_sec\":" << Throughput()
-      << ",\"txns_started\":" << txns_started << ",\"committed\":" << committed
-      << ",\"aborted\":{\"voluntary\":" << aborted_voluntary
-      << ",\"deadlock\":" << aborted_deadlock
-      << ",\"validation\":" << aborted_validation
-      << ",\"other\":" << aborted_other << "}"
-      << ",\"operations\":{\"total\":" << operations << ",\"reads\":" << reads
-      << ",\"writes\":" << writes << ",\"deletes\":" << deletes
-      << ",\"predicate_reads\":" << predicate_reads
-      << ",\"would_block_retries\":" << would_block_retries << "}"
-      << ",\"faults\":{\"delays\":" << delays_injected
-      << ",\"holds\":" << holds_injected << "}"
-      << ",\"commit_latency_us\":" << commit_latency.ToJson()
-      << ",\"op_latency_us\":" << op_latency.ToJson() << "}";
-  return oss.str();
+  return StrCat(
+      "{\"scheme\":\"", JsonEscape(scheme), "\",\"level\":\"",
+      JsonEscape(level), "\",\"threads\":", JsonInt(threads),
+      ",\"duration_seconds\":", JsonDouble(duration_seconds),
+      ",\"throughput_txn_per_sec\":", JsonDouble(Throughput()),
+      ",\"txns_started\":", JsonInt(txns_started),
+      ",\"committed\":", JsonInt(committed),
+      ",\"aborted\":{\"voluntary\":", JsonInt(aborted_voluntary),
+      ",\"deadlock\":", JsonInt(aborted_deadlock),
+      ",\"validation\":", JsonInt(aborted_validation),
+      ",\"other\":", JsonInt(aborted_other),
+      "},\"operations\":{\"total\":", JsonInt(operations),
+      ",\"reads\":", JsonInt(reads), ",\"writes\":", JsonInt(writes),
+      ",\"deletes\":", JsonInt(deletes),
+      ",\"predicate_reads\":", JsonInt(predicate_reads),
+      ",\"would_block_retries\":", JsonInt(would_block_retries),
+      "},\"faults\":{\"delays\":", JsonInt(delays_injected),
+      ",\"holds\":", JsonInt(holds_injected),
+      "},\"commit_latency_us\":", commit_latency.ToJson(),
+      ",\"op_latency_us\":", op_latency.ToJson(), "}");
 }
 
 }  // namespace adya::stress

@@ -256,7 +256,10 @@ Result<StressReport> RunStress(Database& db, const StressOptions& options) {
 
   IsolationLevel certify_level =
       options.certify_level.value_or(options.level);
-  OnlineCertifier certifier(db, certify_level);
+  CertifyOptions certify_options;
+  certify_options.threads = options.check_threads;
+  certify_options.max_batch = options.certify_batch;
+  OnlineCertifier certifier(db, certify_level, certify_options);
 
   // Certifier thread: drain + check every certify_interval until stopped,
   // waking early on shutdown. The final end-to-end check happens after the

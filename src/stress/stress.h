@@ -49,6 +49,13 @@ struct StressOptions {
   /// Certify against a different level than the one transactions request
   /// (e.g. run PL-2 but demand PL-3 to watch the checker catch anomalies).
   std::optional<IsolationLevel> certify_level;
+  /// Total parallelism of the certifier's checker pool (core/parallel.h).
+  /// 1 = the serial checker, unchanged.
+  int check_threads = 1;
+  /// Committed-prefix snapshots the certifier may check per drain cycle
+  /// (CertifyOptions::max_batch). 1 = full prefix only, the original
+  /// behavior.
+  int certify_batch = 1;
   /// Preload every key with an initial row before workers start, so reads
   /// and predicate queries hit real data from the first transaction.
   bool preload = true;

@@ -1,0 +1,116 @@
+// Golden-corpus snapshot of the checker: every paper history through every
+// PL level, verdicts AND full witness text, serial and parallel. The
+// expectation file pins the exact cycles/events the checker reports, so an
+// innocent-looking change to edge emission order, cycle search or
+// description formatting shows up as a readable diff instead of a silent
+// witness change. Regenerate deliberately with:
+//
+//   ADYA_REGEN_GOLDEN=1 ./checker_golden_test
+//
+// and review the diff of tests/golden/checker_corpus.golden like code.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/str_util.h"
+#include "core/paper_histories.h"
+#include "core/parallel.h"
+
+namespace adya {
+namespace {
+
+#ifndef ADYA_GOLDEN_DIR
+#error "ADYA_GOLDEN_DIR must be defined by the build"
+#endif
+
+std::string GoldenPath() {
+  return std::string(ADYA_GOLDEN_DIR) + "/checker_corpus.golden";
+}
+
+constexpr IsolationLevel kAllLevels[] = {
+    IsolationLevel::kPL1,     IsolationLevel::kPL2,
+    IsolationLevel::kPLCS,    IsolationLevel::kPL2Plus,
+    IsolationLevel::kPL299,   IsolationLevel::kPLSI,
+    IsolationLevel::kPL3};
+
+/// Renders one history's complete check output (verdict per level plus
+/// every witness) from whichever checker is passed in — the serial and
+/// parallel renderings must already be identical before the golden compare.
+template <typename Checker>
+std::string Render(const PaperHistory& ph, const Checker& checker) {
+  std::ostringstream out;
+  out << "== " << ph.name << " (" << ph.paper_ref << ")\n";
+  for (IsolationLevel level : kAllLevels) {
+    LevelCheckResult r = CheckLevel(checker, level);
+    out << IsolationLevelName(level) << ": "
+        << (r.satisfied ? "satisfied" : "violated");
+    if (!r.satisfied) {
+      std::vector<std::string> names;
+      for (const Violation& v : r.violations) {
+        names.emplace_back(PhenomenonName(v.phenomenon));
+      }
+      out << " [" << StrJoin(names, ", ") << "]";
+    }
+    out << "\n";
+  }
+  for (const Violation& v : checker.CheckAll()) {
+    out << "witness " << PhenomenonName(v.phenomenon);
+    if (!v.events.empty()) {
+      std::vector<std::string> ids;
+      for (EventId e : v.events) ids.push_back(StrCat(e));
+      out << " events=[" << StrJoin(ids, ",") << "]";
+    }
+    if (!v.cycle.edges.empty()) {
+      std::vector<std::string> ids;
+      for (graph::EdgeId e : v.cycle.edges) ids.push_back(StrCat(e));
+      out << " cycle_edges=[" << StrJoin(ids, ",") << "]";
+    }
+    out << "\n" << v.description << "\n";
+  }
+  out << "\n";
+  return out.str();
+}
+
+std::string RenderCorpus() {
+  std::string out;
+  for (const PaperHistory& ph : AllPaperHistories()) {
+    PhenomenaChecker serial(ph.history);
+    std::string serial_text = Render(ph, serial);
+    // The parallel checker must reproduce the serial text bit for bit
+    // before it is worth comparing either against the golden file.
+    for (int threads : {2, 8}) {
+      CheckOptions options;
+      options.threads = threads;
+      ParallelChecker parallel(ph.history, options);
+      EXPECT_EQ(serial_text, Render(ph, parallel))
+          << ph.name << " diverges at " << threads << " threads";
+    }
+    out += serial_text;
+  }
+  return out;
+}
+
+TEST(CheckerGoldenTest, PaperCorpusMatchesGoldenFile) {
+  std::string rendered = RenderCorpus();
+  if (std::getenv("ADYA_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(GoldenPath(), std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << GoldenPath();
+    out << rendered;
+    GTEST_SKIP() << "regenerated " << GoldenPath();
+  }
+  std::ifstream in(GoldenPath());
+  ASSERT_TRUE(in.good())
+      << GoldenPath()
+      << " missing — regenerate with ADYA_REGEN_GOLDEN=1 and commit it";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), rendered)
+      << "checker output changed; if intentional, regenerate with "
+         "ADYA_REGEN_GOLDEN=1 and review the golden diff";
+}
+
+}  // namespace
+}  // namespace adya

@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <thread>
 
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/str_util.h"
+#include "common/thread_pool.h"
 
 namespace adya {
 namespace {
@@ -178,6 +181,78 @@ TEST(StrUtilTest, StartsEndsWith) {
   EXPECT_FALSE(StartsWith("hello", "hello!"));
   EXPECT_TRUE(EndsWith("hello", "lo"));
   EXPECT_FALSE(EndsWith("lo", "hello"));
+}
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.threads(), threads);
+    constexpr size_t kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    pool.ParallelFor(kN, [&](size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << ", " << threads
+                                   << " threads";
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ZeroAndSingleItemRunInline) {
+  ThreadPool pool(4);
+  pool.ParallelFor(0, [&](size_t) { FAIL() << "no items to run"; });
+  std::thread::id caller = std::this_thread::get_id();
+  pool.ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ThreadPoolTest, ClampsNonPositiveThreadCounts) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.threads(), 1);
+  int calls = 0;
+  pool.ParallelFor(5, [&](size_t) { ++calls; });  // inline — no data race
+  EXPECT_EQ(calls, 5);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.ParallelFor(8, [&](size_t) {
+    // Must not deadlock on the shared job slot; the nested loop runs on
+    // this task's thread.
+    std::thread::id self = std::this_thread::get_id();
+    pool.ParallelFor(4, [&](size_t) {
+      EXPECT_EQ(std::this_thread::get_id(), self);
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyJobs) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 100; ++round) {
+    std::atomic<size_t> sum{0};
+    pool.ParallelFor(17, [&](size_t i) {
+      sum.fetch_add(i + 1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 17u * 18u / 2u);
+  }
+}
+
+TEST(ThreadPoolTest, UnevenWorkloadsStillComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  pool.ParallelFor(32, [&](size_t i) {
+    // Make item costs wildly uneven so the atomic-counter stealing matters.
+    volatile uint64_t sink = 0;
+    for (size_t k = 0; k < (i % 4 == 0 ? 200000u : 10u); ++k) sink += k;
+    done.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(done.load(), 32);
 }
 
 }  // namespace

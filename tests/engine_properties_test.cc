@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <map>
+
 #include "common/str_util.h"
+#include "core/certifier.h"
 #include "core/levels.h"
 #include "core/msg.h"
 #include "core/preventative.h"
@@ -214,6 +218,200 @@ TEST(RandomHistoryTest, GeneratorProducesAnomaliesSomewhere) {
   EXPECT_GT(serializable, 0);
   EXPECT_GT(g2_only, 0);
   EXPECT_GT(g1, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Metamorphic properties of the checker itself: transformations that must
+// not change any level verdict, because the definitions consume only the
+// history's *shape* — read-from relationships, per-transaction order,
+// completion status and the version order — never incidental details like
+// transaction numbering or the particular linear extension recorded.
+// ---------------------------------------------------------------------------
+
+constexpr IsolationLevel kAllLevels[] = {
+    IsolationLevel::kPL1,     IsolationLevel::kPL2,
+    IsolationLevel::kPLCS,    IsolationLevel::kPL2Plus,
+    IsolationLevel::kPL299,   IsolationLevel::kPLSI,
+    IsolationLevel::kPL3};
+
+/// The per-level verdict vector of a history, as a comparable string.
+std::string VerdictSignature(const History& h) {
+  Classification c = Classify(h);
+  std::string sig;
+  for (IsolationLevel level : kAllLevels) {
+    sig += StrCat(IsolationLevelName(level), "=",
+                  c.Satisfies(level) ? "sat" : "violated", ";");
+  }
+  return sig;
+}
+
+/// Rebuilds a history from `h`'s universe with every TxnId passed through
+/// `rename` (kTxnInit stays itself), the given event list, `h`'s levels,
+/// and `h`'s version orders restricted to writers passing `keep_in_order`
+/// — pinned explicitly so the rebuild cannot fall back to a different
+/// default order.
+Result<History> RebuildHistory(const History& h,
+                               const std::function<TxnId(TxnId)>& rename,
+                               const std::vector<Event>& events,
+                               const std::function<bool(TxnId)>& keep_in_order) {
+  History out;
+  for (RelationId r = 0; r < h.relation_count(); ++r) {
+    out.AddRelation(h.relation_name(r));
+  }
+  for (ObjectId obj = 0; obj < h.object_count(); ++obj) {
+    out.AddObject(h.object_name(obj), h.object_relation(obj));
+  }
+  for (PredicateId p = 0; p < h.predicate_count(); ++p) {
+    out.AddPredicate(h.predicate_name(p), h.predicate_ptr(p),
+                     h.predicate_relations(p));
+  }
+  auto rename_version = [&](VersionId v) {
+    if (!v.is_init()) v.writer = rename(v.writer);
+    return v;
+  };
+  for (Event e : events) {
+    e.txn = rename(e.txn);
+    e.version = rename_version(e.version);
+    for (VersionId& v : e.vset) v = rename_version(v);
+    out.Append(std::move(e));
+  }
+  for (TxnId t : h.Transactions()) {
+    out.SetLevel(rename(t), h.txn_info(t).level);
+  }
+  for (ObjectId obj = 0; obj < h.object_count(); ++obj) {
+    std::vector<TxnId> order;
+    for (TxnId t : h.VersionOrder(obj)) {
+      if (keep_in_order(t)) order.push_back(rename(t));
+    }
+    out.SetVersionOrder(obj, std::move(order));
+  }
+  ADYA_RETURN_IF_ERROR(out.Finalize());
+  return out;
+}
+
+Result<History> RebuildHistory(const History& h,
+                               const std::function<TxnId(TxnId)>& rename,
+                               const std::vector<Event>& events) {
+  return RebuildHistory(h, rename, events, [](TxnId) { return true; });
+}
+
+/// Renaming transactions (here: reversing the id order with a stride, so
+/// ascending-id iteration orders genuinely change) preserves every verdict.
+TEST(MetamorphicTest, TxnRenamingPreservesVerdicts) {
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    RandomHistoryOptions options;
+    options.seed = seed;
+    options.realizable = (seed % 2) == 0;
+    History h = GenerateRandomHistory(options);
+    std::vector<TxnId> txns = h.Transactions();
+    std::map<TxnId, TxnId> renaming;
+    for (size_t i = 0; i < txns.size(); ++i) {
+      renaming[txns[i]] =
+          1000 + static_cast<TxnId>(txns.size() - 1 - i) * 7;
+    }
+    auto renamed = RebuildHistory(
+        h, [&](TxnId t) { return renaming.at(t); }, h.events());
+    ASSERT_TRUE(renamed.ok()) << "seed " << seed << ": " << renamed.status();
+    EXPECT_EQ(VerdictSignature(h), VerdictSignature(*renamed))
+        << "txn renaming changed a verdict, seed " << seed;
+  }
+}
+
+bool IsDataEvent(const Event& e) {
+  return e.type == EventType::kRead || e.type == EventType::kWrite ||
+         e.type == EventType::kPredicateRead;
+}
+
+/// Whether `reader` observes version `v` (item read or version-set pick).
+bool ReadsVersion(const Event& reader, const VersionId& v) {
+  if (reader.type == EventType::kRead) return reader.version == v;
+  if (reader.type == EventType::kPredicateRead) {
+    for (const VersionId& sel : reader.vset) {
+      if (sel == v) return true;
+    }
+  }
+  return false;
+}
+
+/// Swapping adjacent data events of *different* transactions — keeping
+/// every begin/commit/abort in place and the version orders pinned — yields
+/// another linear extension of the same partial order (§4.2), so every
+/// verdict must survive. (A read may not move ahead of the write that
+/// produced its version: that would leave the event list ill-formed, not a
+/// different extension of the same history.)
+TEST(MetamorphicTest, CommitEquivalentPermutationPreservesVerdicts) {
+  int total_swaps = 0;
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    RandomHistoryOptions options;
+    options.seed = seed;
+    options.realizable = (seed % 2) == 0;
+    History h = GenerateRandomHistory(options);
+    std::vector<Event> events = h.events();
+    int swapped = 0;
+    for (size_t i = 0; i + 1 < events.size(); ++i) {
+      const Event& a = events[i];
+      const Event& b = events[i + 1];
+      if (!IsDataEvent(a) || !IsDataEvent(b)) continue;
+      if (a.txn == b.txn) continue;
+      if (a.type == EventType::kWrite && ReadsVersion(b, a.version)) continue;
+      std::swap(events[i], events[i + 1]);
+      ++swapped;
+      ++i;  // one hop per event per pass
+    }
+    if (swapped == 0) continue;
+    total_swaps += swapped;
+    auto permuted =
+        RebuildHistory(h, [](TxnId t) { return t; }, events);
+    ASSERT_TRUE(permuted.ok()) << "seed " << seed << ": " << permuted.status();
+    EXPECT_EQ(VerdictSignature(h), VerdictSignature(*permuted))
+        << "commit-equivalent permutation changed a verdict, seed " << seed;
+  }
+  EXPECT_GT(total_swaps, 0) << "sweep never exercised the permutation";
+}
+
+/// WithCommitted followed by re-aborting the transaction must land back on
+/// the original history: same verdicts at every level and the same
+/// certification answer. Exercises the certifier's two directions against
+/// each other.
+TEST(MetamorphicTest, WithCommittedThenReAbortRoundTrips) {
+  int exercised = 0;
+  for (uint64_t seed = 1; seed <= 40 && exercised < 25; ++seed) {
+    RandomHistoryOptions options;
+    options.seed = seed;
+    History h = GenerateRandomHistory(options);
+    for (TxnId t : h.Transactions()) {
+      if (!h.IsAborted(t)) continue;
+      auto test = TestCommit(h, t, IsolationLevel::kPL3);
+      // Committing t may not even yield a well-formed history (e.g. it
+      // modified a deleted object); the round trip needs the forward leg.
+      if (!test.ok()) continue;
+      auto committed = WithCommitted(h, t);
+      ASSERT_TRUE(committed.ok())
+          << "seed " << seed << " txn " << t << ": " << committed.status();
+      std::vector<Event> events = committed->events();
+      for (Event& e : events) {
+        if (e.txn == t && e.type == EventType::kCommit) {
+          e.type = EventType::kAbort;
+        }
+      }
+      auto reverted = RebuildHistory(
+          *committed, [](TxnId x) { return x; }, events,
+          [&](TxnId writer) { return writer != t; });
+      ASSERT_TRUE(reverted.ok())
+          << "seed " << seed << " txn " << t << ": " << reverted.status();
+      EXPECT_EQ(VerdictSignature(h), VerdictSignature(*reverted))
+          << "round trip changed a verdict, seed " << seed << " txn " << t;
+      auto retest = TestCommit(*reverted, t, IsolationLevel::kPL3);
+      ASSERT_TRUE(retest.ok())
+          << "seed " << seed << " txn " << t << ": " << retest.status();
+      EXPECT_EQ(test->can_commit, retest->can_commit)
+          << "round trip changed the certification answer, seed " << seed
+          << " txn " << t;
+      EXPECT_EQ(test->new_violations.size(), retest->new_violations.size());
+      ++exercised;
+    }
+  }
+  EXPECT_GT(exercised, 0) << "sweep never found a certifiable aborted txn";
 }
 
 TEST(WorkloadTest, StatsAddUp) {

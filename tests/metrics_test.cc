@@ -1,0 +1,156 @@
+// RunMetrics/LatencyHistogram JSON writer: the output must be valid RFC
+// 8259 JSON regardless of the process locale (a comma-decimal locale broke
+// the old ostream-based writer) and with hostile string fields escaped.
+
+#include <gtest/gtest.h>
+
+#include <clocale>
+#include <cstdint>
+#include <limits>
+#include <locale>
+#include <string>
+
+#include "stress/metrics.h"
+
+namespace adya::stress {
+namespace {
+
+/// A numpunct facet with a comma decimal separator — what ostream/printf
+/// would honor under e.g. de_DE without needing that locale installed.
+class CommaDecimal : public std::numpunct<char> {
+ protected:
+  char do_decimal_point() const override { return ','; }
+  char do_thousands_sep() const override { return '.'; }
+  std::string do_grouping() const override { return "\3"; }
+};
+
+/// Minimal JSON structural validator: balanced braces/brackets outside
+/// strings, escapes legal, numbers contain no commas. Enough to prove the
+/// writer emits machine-parseable output without a JSON dependency.
+bool ValidateJson(const std::string& s, std::string* error) {
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (in_string) {
+      if (c == '\\') {
+        if (i + 1 >= s.size()) {
+          *error = "dangling backslash";
+          return false;
+        }
+        char next = s[i + 1];
+        if (next != '"' && next != '\\' && next != '/' && next != 'b' &&
+            next != 'f' && next != 'n' && next != 'r' && next != 't' &&
+            next != 'u') {
+          *error = "illegal escape";
+          return false;
+        }
+        ++i;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        *error = "raw control character inside string";
+        return false;
+      } else if (c == '"') {
+        in_string = false;
+      }
+    } else if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      if (--depth < 0) {
+        *error = "unbalanced close";
+        return false;
+      }
+    }
+  }
+  if (in_string) {
+    *error = "unterminated string";
+    return false;
+  }
+  if (depth != 0) {
+    *error = "unbalanced open";
+    return false;
+  }
+  return true;
+}
+
+/// Extracts the raw text of a top-level numeric field `"key":<value>`.
+std::string NumberField(const std::string& json, const std::string& key) {
+  std::string needle = "\"" + key + "\":";
+  size_t pos = json.find(needle);
+  if (pos == std::string::npos) return "";
+  pos += needle.size();
+  size_t end = json.find_first_of(",}", pos);
+  return json.substr(pos, end - pos);
+}
+
+RunMetrics SampleMetrics() {
+  RunMetrics m;
+  m.scheme = "locking";
+  m.level = "PL-3";
+  m.threads = 4;
+  m.duration_seconds = 1.5;
+  m.txns_started = 100;
+  m.committed = 90;
+  m.commit_latency.Record(120);
+  m.commit_latency.Record(4500);
+  m.op_latency.Record(7);
+  return m;
+}
+
+TEST(MetricsJsonTest, LocaleIndependentDoubles) {
+  // Swap in a comma-decimal global C++ locale (and try the C locale too)
+  // for the duration of the test; the JSON must come out identical.
+  RunMetrics m = SampleMetrics();
+  std::string reference = m.ToJson();
+
+  std::locale old = std::locale::global(
+      std::locale(std::locale::classic(), new CommaDecimal));
+  std::string under_comma_locale = m.ToJson();
+  std::locale::global(old);
+
+  EXPECT_EQ(reference, under_comma_locale);
+  EXPECT_EQ(under_comma_locale.find(','),
+            under_comma_locale.find(",\"level\""))
+      << "first comma must be the field separator, not a decimal point: "
+      << under_comma_locale;
+  EXPECT_EQ(NumberField(reference, "duration_seconds"), "1.500");
+  // 90 committed / 1.5 s = 60 txn/s, fixed 3 decimals.
+  EXPECT_EQ(NumberField(reference, "throughput_txn_per_sec"), "60.000");
+}
+
+TEST(MetricsJsonTest, OutputParsesAsJson) {
+  RunMetrics m = SampleMetrics();
+  std::string error;
+  EXPECT_TRUE(ValidateJson(m.ToJson(), &error)) << error << ": " << m.ToJson();
+  LatencyHistogram h;
+  h.Record(1);
+  h.Record(1u << 20);
+  EXPECT_TRUE(ValidateJson(h.ToJson(), &error)) << error;
+}
+
+TEST(MetricsJsonTest, EscapesHostileStringFields) {
+  RunMetrics m = SampleMetrics();
+  m.scheme = "lock\"ing\\";
+  m.level = "PL\n3\t";
+  std::string json = m.ToJson();
+  std::string error;
+  EXPECT_TRUE(ValidateJson(json, &error)) << error << ": " << json;
+  EXPECT_NE(json.find("lock\\\"ing\\\\"), std::string::npos) << json;
+  EXPECT_NE(json.find("PL\\n3\\t"), std::string::npos) << json;
+}
+
+TEST(MetricsJsonTest, NonFiniteDoublesDegradeToZero) {
+  RunMetrics m = SampleMetrics();
+  m.duration_seconds = std::numeric_limits<double>::infinity();
+  std::string json = m.ToJson();
+  std::string error;
+  EXPECT_TRUE(ValidateJson(json, &error)) << error << ": " << json;
+  // The infinite duration has no JSON representation and degrades to 0;
+  // the derived throughput (committed / inf) is an ordinary 0.0.
+  EXPECT_EQ(NumberField(json, "duration_seconds"), "0");
+  EXPECT_EQ(NumberField(json, "throughput_txn_per_sec"), "0.000");
+}
+
+}  // namespace
+}  // namespace adya::stress

@@ -1,0 +1,251 @@
+// Differential harness for the parallel certification core: over a corpus
+// of ~1k seeded histories — direct random histories (realizable and
+// multi-version-adversarial) plus recorded engine executions of every
+// scheme — the ParallelChecker at 2/4/8 threads must be BIT-identical to
+// the serial PhenomenaChecker: same verdict at every PL level, same
+// violations in the same order, same witness descriptions, events and
+// cycle edge ids. Also cross-checks the cycle-preserving conflict
+// reductions (first_rw_pred_only + reduced_start_edges) against the full
+// edge set on pass/fail per level.
+//
+// The full sweep is deliberately heavy and carries the ctest label `slow`
+// (excluded from the default `ctest -j`; scripts/ci.sh runs it explicitly).
+// ADYA_DIFF_SCALE=<percent> shrinks the corpus, e.g. 10 for a TSan run.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+
+#include "common/str_util.h"
+#include "common/thread_pool.h"
+#include "core/parallel.h"
+#include "workload/workload.h"
+
+namespace adya {
+namespace {
+
+using engine::Database;
+using engine::Scheme;
+
+constexpr IsolationLevel kAllLevels[] = {
+    IsolationLevel::kPL1,     IsolationLevel::kPL2,
+    IsolationLevel::kPLCS,    IsolationLevel::kPL2Plus,
+    IsolationLevel::kPL299,   IsolationLevel::kPLSI,
+    IsolationLevel::kPL3};
+
+/// Corpus size in percent; ADYA_DIFF_SCALE=10 runs a tenth of the seeds.
+int ScalePercent() {
+  const char* env = std::getenv("ADYA_DIFF_SCALE");
+  if (env == nullptr) return 100;
+  int v = std::atoi(env);
+  return v < 1 ? 1 : v;
+}
+
+int Scaled(int n) {
+  int scaled = n * ScalePercent() / 100;
+  return scaled < 1 ? 1 : scaled;
+}
+
+/// The shared pools: one per thread count, reused across the whole corpus
+/// (pool startup per history would dominate the run).
+ThreadPool* PoolFor(int threads) {
+  static ThreadPool pool2(2);
+  static ThreadPool pool4(4);
+  static ThreadPool pool8(8);
+  switch (threads) {
+    case 2:
+      return &pool2;
+    case 4:
+      return &pool4;
+    default:
+      return &pool8;
+  }
+}
+
+void ExpectSameViolations(const std::vector<Violation>& serial,
+                          const std::vector<Violation>& parallel,
+                          const std::string& context) {
+  ASSERT_EQ(serial.size(), parallel.size()) << context;
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].phenomenon, parallel[i].phenomenon) << context;
+    EXPECT_EQ(serial[i].description, parallel[i].description) << context;
+    EXPECT_EQ(serial[i].events, parallel[i].events) << context;
+    EXPECT_EQ(serial[i].cycle.edges, parallel[i].cycle.edges) << context;
+  }
+}
+
+/// The core differential assertion for one history.
+void DiffOneHistory(const History& h, const std::string& context) {
+  PhenomenaChecker serial(h);
+  std::vector<Violation> serial_all = serial.CheckAll();
+  std::vector<LevelCheckResult> serial_levels;
+  for (IsolationLevel level : kAllLevels) {
+    serial_levels.push_back(CheckLevel(serial, level));
+  }
+
+  // threads == 1 must be the serial checker by construction.
+  {
+    CheckOptions options;
+    options.threads = 1;
+    ParallelChecker one(h, options);
+    EXPECT_EQ(one.threads(), 1);
+    ExpectSameViolations(serial_all, one.CheckAll(),
+                         StrCat(context, " threads=1"));
+  }
+
+  for (int threads : {2, 4, 8}) {
+    CheckOptions options;
+    options.threads = threads;
+    ParallelChecker parallel(h, options, PoolFor(threads));
+    std::string ctx = StrCat(context, " threads=", threads);
+    ExpectSameViolations(serial_all, parallel.CheckAll(), ctx);
+    for (size_t li = 0; li < std::size(kAllLevels); ++li) {
+      LevelCheckResult pr = CheckLevel(parallel, kAllLevels[li]);
+      EXPECT_EQ(serial_levels[li].satisfied, pr.satisfied)
+          << ctx << " level " << IsolationLevelName(kAllLevels[li]);
+      ExpectSameViolations(
+          serial_levels[li].violations, pr.violations,
+          StrCat(ctx, " level ", IsolationLevelName(kAllLevels[li])));
+    }
+  }
+
+  // The reduced conflict options are cycle-preserving: witnesses may
+  // differ, but every level verdict must agree with the full edge set —
+  // and the parallel checker must again match the serial one under them.
+  ConflictOptions reduced;
+  reduced.first_rw_pred_only = true;
+  reduced.reduced_start_edges = true;
+  PhenomenaChecker serial_reduced(h, reduced);
+  CheckOptions reduced_parallel;
+  reduced_parallel.conflicts = reduced;
+  reduced_parallel.threads = 4;
+  ParallelChecker parallel_reduced(h, reduced_parallel, PoolFor(4));
+  for (size_t li = 0; li < std::size(kAllLevels); ++li) {
+    LevelCheckResult sr = CheckLevel(serial_reduced, kAllLevels[li]);
+    EXPECT_EQ(serial_levels[li].satisfied, sr.satisfied)
+        << context << " reduced-options disagreement at level "
+        << IsolationLevelName(kAllLevels[li]);
+    LevelCheckResult pr = CheckLevel(parallel_reduced, kAllLevels[li]);
+    EXPECT_EQ(sr.satisfied, pr.satisfied)
+        << context << " reduced-options parallel disagreement at level "
+        << IsolationLevelName(kAllLevels[li]);
+    ExpectSameViolations(
+        sr.violations, pr.violations,
+        StrCat(context, " reduced level ",
+               IsolationLevelName(kAllLevels[li])));
+  }
+}
+
+/// Chunked so `ctest -j` can spread the corpus over cores.
+constexpr int kChunks = 10;
+
+class RandomHistoryDiffTest : public ::testing::TestWithParam<int> {};
+
+// 600 direct random histories (60 per chunk): item-only, with aborted /
+// intermediate reads and adversarial version orders — the checker-facing
+// fuzz half of the corpus.
+TEST_P(RandomHistoryDiffTest, ParallelMatchesSerialBitForBit) {
+  int chunk = GetParam();
+  int per_chunk = Scaled(60);
+  for (int i = 0; i < per_chunk; ++i) {
+    uint64_t seed = static_cast<uint64_t>(chunk * 60 + i + 1);
+    workload::RandomHistoryOptions options;
+    options.seed = seed;
+    options.num_txns = 10;
+    options.num_objects = 6;
+    options.ops_per_txn = 4;
+    // Odd seeds explore the multi-version-only space, even seeds stay
+    // single-version realizable.
+    options.realizable = (seed % 2) == 0;
+    History h = workload::GenerateRandomHistory(options);
+    DiffOneHistory(h, StrCat("random seed ", seed));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomHistoryDiffTest,
+                         ::testing::Range(0, kChunks));
+
+struct EngineConfig {
+  Scheme scheme;
+  IsolationLevel level;
+};
+
+class EngineHistoryDiffTest : public ::testing::TestWithParam<int> {};
+
+// ~450 recorded engine histories (45 per chunk): every scheme × its
+// supported levels, through the deterministic workload driver — these carry
+// the predicate reads and version sets the random generator lacks.
+TEST_P(EngineHistoryDiffTest, ParallelMatchesSerialBitForBit) {
+  using L = IsolationLevel;
+  const EngineConfig configs[] = {
+      {Scheme::kLocking, L::kPL1},      {Scheme::kLocking, L::kPL2},
+      {Scheme::kLocking, L::kPL299},    {Scheme::kLocking, L::kPL3},
+      {Scheme::kOptimistic, L::kPL2},   {Scheme::kOptimistic, L::kPL299},
+      {Scheme::kOptimistic, L::kPL3},   {Scheme::kMultiversion, L::kPLSI},
+      // The multiversion scheduler implements exactly PL-SI; a second,
+      // seed-shifted sweep of it stands in for a second level.
+      {Scheme::kMultiversion, L::kPLSI},
+  };
+  int chunk = GetParam();
+  int seeds_per_config = Scaled(5);
+  int config_index = 0;
+  for (const EngineConfig& config : configs) {
+    ++config_index;
+    for (int i = 0; i < seeds_per_config; ++i) {
+      uint64_t seed =
+          static_cast<uint64_t>(chunk * 5 + i + 1 + 1000 * config_index);
+      auto db = Database::Create(config.scheme, Database::Options{});
+      workload::WorkloadOptions options;
+      options.seed = seed;
+      options.levels = {config.level};
+      options.num_txns = 12;
+      options.num_keys = 5;
+      options.ops_per_txn = 4;
+      options.max_active = 4;
+      workload::WorkloadStats stats = workload::RunWorkload(*db, options);
+      EXPECT_EQ(stats.aborted_stuck, 0);
+      auto history = db->RecordedHistory();
+      ASSERT_TRUE(history.ok()) << history.status();
+      DiffOneHistory(*history,
+                     StrCat(engine::SchemeName(config.scheme), " at ",
+                            IsolationLevelName(config.level), " seed ",
+                            seed));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EngineHistoryDiffTest,
+                         ::testing::Range(0, kChunks));
+
+// A history large enough that every shard boundary in the conflict phases
+// and scan paths is actually exercised with all pool sizes.
+TEST(ParallelDiffTest, LargeHistoryMatches) {
+  workload::RandomHistoryOptions options;
+  options.seed = 99;
+  options.num_txns = Scaled(300);
+  options.num_objects = options.num_txns / 2 + 1;
+  options.ops_per_txn = 5;
+  History h = workload::GenerateRandomHistory(options);
+  DiffOneHistory(h, "large random history");
+}
+
+// Sharing one external pool across several checkers (the certifier's usage
+// pattern) must not perturb results.
+TEST(ParallelDiffTest, SharedPoolAcrossCheckers) {
+  ThreadPool pool(4);
+  for (uint64_t seed = 1; seed <= static_cast<uint64_t>(Scaled(20)); ++seed) {
+    workload::RandomHistoryOptions options;
+    options.seed = seed;
+    History h = workload::GenerateRandomHistory(options);
+    PhenomenaChecker serial(h);
+    CheckOptions check_options;
+    check_options.threads = 4;
+    ParallelChecker parallel(h, check_options, &pool);
+    ExpectSameViolations(serial.CheckAll(), parallel.CheckAll(),
+                         StrCat("shared pool seed ", seed));
+  }
+}
+
+}  // namespace
+}  // namespace adya
