@@ -1,0 +1,150 @@
+// Incremental online certification vs naive re-checking: the tentpole
+// claim that folding each commit into a persistent DSG makes streaming
+// certification O(delta) per commit instead of O(history).
+//
+// Two numbers matter and both are printed as machine-readable `BENCH {…}`
+// JSON lines:
+//
+//   BENCH {"name":"online_incremental","txns":512,"events":3000,
+//          "incremental_wall_us":…,"naive_wall_us":…,"speedup":…,
+//          "per_commit_us":[q1,q2,q3,q4]}
+//
+// - speedup: one full stream through IncrementalChecker vs the naive
+//   baseline (copy the prefix, finalize, run the offline checker at every
+//   commit — exactly what OnlineChecker did before it became a facade
+//   over IncrementalChecker). Must be >= 10x at 512+ txns.
+// - per_commit_us: mean per-commit cost in each quarter of the stream.
+//   Flat-ish quarters show the per-commit cost does not grow with the
+//   length of the already-certified prefix.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "common/str_util.h"
+#include "core/incremental.h"
+#include "core/levels.h"
+#include "workload/workload.h"
+
+namespace adya {
+namespace {
+
+History MakeStream(int txns) {
+  workload::RandomHistoryOptions options;
+  options.seed = 13;
+  options.num_txns = txns;
+  options.num_objects = txns / 2 + 1;
+  options.ops_per_txn = 5;
+  options.realizable = true;  // commit-order installs: streamable as-is
+  return workload::GenerateRandomHistory(options);
+}
+
+void CloneUniverse(History& live, const History& h) {
+  for (RelationId r = 0; r < h.relation_count(); ++r) {
+    live.AddRelation(h.relation_name(r));
+  }
+  for (ObjectId o = 0; o < h.object_count(); ++o) {
+    live.AddObject(h.object_name(o), h.object_relation(o));
+  }
+  for (PredicateId p = 0; p < h.predicate_count(); ++p) {
+    live.AddPredicate(h.predicate_name(p), h.predicate_ptr(p),
+                      h.predicate_relations(p));
+  }
+}
+
+double MicrosSince(std::chrono::steady_clock::time_point start) {
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 std::chrono::steady_clock::now() - start)
+                 .count()) /
+         1000.0;
+}
+
+/// One full pass through the incremental checker; returns wall micros.
+double IncrementalPass(const History& h) {
+  auto start = std::chrono::steady_clock::now();
+  IncrementalChecker checker(IsolationLevel::kPL3);
+  CloneUniverse(checker.history(), h);
+  for (const Event& e : h.events()) {
+    auto fed = checker.Feed(e);
+    benchmark::DoNotOptimize(fed.ok());
+  }
+  return MicrosSince(start);
+}
+
+/// The pre-incremental online checker: copy the prefix, finalize, run the
+/// offline checker at every commit. Returns wall micros for a full pass.
+double NaivePass(const History& h) {
+  auto start = std::chrono::steady_clock::now();
+  History live;
+  CloneUniverse(live, h);
+  for (const Event& e : h.events()) {
+    live.Append(e);
+    if (e.type != EventType::kCommit) continue;
+    History prefix = live;
+    if (!prefix.Finalize().ok()) continue;
+    LevelCheckResult r = CheckLevel(prefix, IsolationLevel::kPL3);
+    benchmark::DoNotOptimize(r.satisfied);
+  }
+  return MicrosSince(start);
+}
+
+void BM_OnlineIncremental(benchmark::State& state) {
+  int txns = static_cast<int>(state.range(0));
+  History h = MakeStream(txns);
+  for (auto _ : state) {
+    IncrementalChecker checker(IsolationLevel::kPL3);
+    CloneUniverse(checker.history(), h);
+    for (const Event& e : h.events()) {
+      auto fed = checker.Feed(e);
+      benchmark::DoNotOptimize(fed.ok());
+    }
+  }
+
+  // Flatness probe: mean per-commit cost in each quarter of one pass.
+  size_t n = h.events().size();
+  double quarter_us[4] = {0, 0, 0, 0};
+  size_t quarter_commits[4] = {0, 0, 0, 0};
+  {
+    IncrementalChecker checker(IsolationLevel::kPL3);
+    CloneUniverse(checker.history(), h);
+    for (size_t q = 0; q < 4; ++q) {
+      size_t begin = n * q / 4, end = n * (q + 1) / 4;
+      auto start = std::chrono::steady_clock::now();
+      for (size_t i = begin; i < end; ++i) {
+        const Event& e = h.event(static_cast<EventId>(i));
+        if (e.type == EventType::kCommit) ++quarter_commits[q];
+        auto fed = checker.Feed(e);
+        benchmark::DoNotOptimize(fed.ok());
+      }
+      quarter_us[q] = MicrosSince(start);
+    }
+  }
+  double incremental_us = IncrementalPass(h);
+  double naive_us = NaivePass(h);
+  double speedup = incremental_us > 0 ? naive_us / incremental_us : 0;
+  std::printf(
+      "BENCH {\"name\":\"online_incremental\",\"txns\":%d,\"events\":%zu,"
+      "\"incremental_wall_us\":%.1f,\"naive_wall_us\":%.1f,"
+      "\"speedup\":%.2f,\"per_commit_us\":[%.2f,%.2f,%.2f,%.2f]}\n",
+      txns, n, incremental_us, naive_us, speedup,
+      quarter_commits[0] ? quarter_us[0] / quarter_commits[0] : 0,
+      quarter_commits[1] ? quarter_us[1] / quarter_commits[1] : 0,
+      quarter_commits[2] ? quarter_us[2] / quarter_commits[2] : 0,
+      quarter_commits[3] ? quarter_us[3] / quarter_commits[3] : 0);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+  state.SetLabel(StrCat(txns, " txns, ", n, " events"));
+}
+BENCHMARK(BM_OnlineIncremental)
+    ->Arg(128)
+    ->Arg(512)
+    ->Arg(1024)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace adya
+
+BENCHMARK_MAIN();

@@ -30,6 +30,10 @@
 //                              certification core, identical verdicts)
 //   --certify-batch=N          committed-prefix snapshots certified per
 //                              drain cycle (default 1 = full prefix only)
+//   --incremental              incremental certification: fold each commit
+//                              into a persistent DSG (exact per-commit
+//                              attribution, same verdicts; supersedes
+//                              --check-threads/--certify-batch)
 //   --quiet                    suppress the human-readable summary line
 
 #include <cstdio>
@@ -125,6 +129,10 @@ int main(int argc, char** argv) {
     std::string arg = argv[i];
     if (arg == "--quiet") {
       quiet = true;
+      continue;
+    }
+    if (arg == "--incremental") {
+      options.certify_incremental = true;
       continue;
     }
     size_t eq = arg.find('=');

@@ -18,7 +18,7 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 echo "=== plain ctest (fast suite) ==="
 ctest --test-dir build --output-on-failure -j "$JOBS" -LE slow
-echo "=== plain ctest (slow label: 1k-history differential sweep) ==="
+echo "=== plain ctest (slow label: parallel + incremental differential sweeps) ==="
 ctest --test-dir build --output-on-failure -j "$JOBS" -L slow
 
 echo "=== adya_stress smoke (locking @ PL-3, 8 threads, 2s) ==="
@@ -27,6 +27,9 @@ echo "=== adya_stress smoke (locking @ PL-3, 8 threads, 2s) ==="
 echo "=== adya_stress smoke (parallel certification: 8 check threads) ==="
 ./build/examples/adya_stress --scheme=locking --level=PL-3 --threads=8 \
   --duration=2s --certify-level=PL-3 --check-threads=8 --certify-batch=4
+echo "=== adya_stress smoke (incremental certification) ==="
+./build/examples/adya_stress --scheme=locking --level=PL-3 --threads=8 \
+  --duration=2s --certify-level=PL-3 --incremental
 
 if [[ "${CI_SKIP_TSAN:-0}" == "1" ]]; then
   echo "=== TSan skipped (CI_SKIP_TSAN=1) ==="
@@ -41,8 +44,9 @@ if [[ "${CI_TSAN_FULL:-0}" == "1" ]]; then
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
 else
   # The multi-threaded surface: stress runs, blocking-engine contention,
-  # the concurrent recorder tap, the thread pool, and the parallel-checker
-  # differential/property harness (at a tenth of the corpus — TSan is ~10x).
+  # the concurrent recorder tap, the thread pool, and the parallel- and
+  # incremental-checker differential harnesses (at a tenth of the corpus —
+  # TSan is ~10x).
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
     -R 'Stress|Blocking|Recorder|Concurrent|ThreadPool|Metrics'
   ADYA_DIFF_SCALE=10 ctest --test-dir build-tsan --output-on-failure \
@@ -56,4 +60,7 @@ echo "=== adya_stress under TSan (8 check threads, batched certify) ==="
 ./build-tsan/examples/adya_stress --scheme=locking --level=PL-3 \
   --threads=8 --duration=1s --certify-level=PL-3 --check-threads=8 \
   --certify-batch=4
+echo "=== adya_stress under TSan (incremental certification) ==="
+./build-tsan/examples/adya_stress --scheme=locking --level=PL-3 \
+  --threads=8 --duration=1s --certify-level=PL-3 --incremental
 echo "CI OK"

@@ -406,4 +406,398 @@ std::vector<Dependency> ComputeDependencies(const History& h,
   return merged;
 }
 
+// ---------------------------------------------------------------------------
+// ConflictDelta: the same five conflict rules, restated per commit.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void EmitDelta(Dependency dep, std::vector<Dependency>& out) {
+  if (dep.from == dep.to) return;  // conflicts relate distinct transactions
+  out.push_back(std::move(dep));
+}
+
+}  // namespace
+
+void ConflictDelta::SyncUniverse(const History& h) {
+  if (objects_by_relation_.size() < h.relation_count()) {
+    objects_by_relation_.resize(h.relation_count());
+    pred_reads_by_relation_.resize(h.relation_count());
+  }
+  if (objects_.size() == h.object_count()) return;
+  std::vector<Dependency> scratch;
+  for (ObjectId obj = static_cast<ObjectId>(objects_.size());
+       obj < h.object_count(); ++obj) {
+    objects_.emplace_back();
+    RelationId rel = h.object_relation(obj);
+    objects_by_relation_[rel].push_back(obj);
+    // Every committed predicate read over this relation implicitly selected
+    // the new object's x_init. The object has no installs yet, so this can
+    // only park rw(pred) watchers — never emit an edge.
+    for (const PredReadRef& ref : pred_reads_by_relation_[rel]) {
+      ProcessPredicateObject(h, ref.reader, ref.event, obj, InitVersion(obj),
+                             /*pos=*/-1, scratch);
+    }
+    ADYA_CHECK_MSG(scratch.empty(),
+                   "a fresh object cannot introduce conflict edges");
+  }
+}
+
+bool ConflictDelta::MatchesLive(const History& h, const VersionId& v,
+                                PredicateId pred) const {
+  // The offline analyzer asks History::Matches, which needs the finalized
+  // write-event index; the delta keeps its own version -> write-event map
+  // so it can answer on the live history.
+  auto it = produced_.find(v);
+  ADYA_CHECK_MSG(it != produced_.end(), "matches query for unseen version");
+  const Event& w = h.event(it->second);
+  if (w.written_kind != VersionKind::kVisible) return false;
+  return h.predicate(pred).Matches(w.row);
+}
+
+ConflictDelta::PredState& ConflictDelta::Materialize(const History& h,
+                                                     ObjectId obj,
+                                                     PredicateId pred) {
+  auto key = std::make_pair(obj, pred);
+  auto it = preds_.find(key);
+  if (it != preds_.end()) return it->second;
+  PredState state;
+  const std::vector<TxnId>& order = objects_[obj].order;
+  for (size_t i = 0; i < order.size(); ++i) {
+    VersionId installed{obj, order[i], h.FinalSeq(order[i], obj)};
+    bool match = MatchesLive(h, installed, pred);
+    if (match != state.last_match) {
+      state.changes.push_back(static_cast<std::ptrdiff_t>(i));
+    }
+    state.last_match = match;
+  }
+  return preds_.emplace(key, std::move(state)).first->second;
+}
+
+void ConflictDelta::ProcessPredicateObject(const History& h, TxnId reader,
+                                           EventId pred_event, ObjectId obj,
+                                           const VersionId& sel,
+                                           std::ptrdiff_t pos,
+                                           std::vector<Dependency>& out) {
+  PredicateId pred = h.event(pred_event).predicate;
+  PredState& state = Materialize(h, obj, pred);
+  const std::vector<TxnId>& order = objects_[obj].order;
+  auto next = std::upper_bound(state.changes.begin(), state.changes.end(),
+                               pos);
+  // wr(pred): the latest change at or before the selected version.
+  if (next != state.changes.begin()) {
+    size_t j = static_cast<size_t>(*(next - 1));
+    Dependency dep;
+    dep.from = order[j];
+    dep.to = reader;
+    dep.kind = DepKind::kWRPred;
+    dep.object = obj;
+    dep.from_version = VersionId{obj, order[j], h.FinalSeq(order[j], obj)};
+    dep.to_version = sel;
+    dep.predicate = pred;
+    dep.is_predicate = true;
+    EmitDelta(std::move(dep), out);
+  }
+  // rw(pred): every later change overwrites this read (Definition 4), or
+  // only the earliest real edge in first-only mode. Future changes are
+  // covered by a watcher: permanent in full mode, until the first real edge
+  // in first-only mode.
+  bool resolved = false;
+  for (auto it2 = next; it2 != state.changes.end(); ++it2) {
+    size_t j = static_cast<size_t>(*it2);
+    Dependency dep;
+    dep.from = reader;
+    dep.to = order[j];
+    dep.kind = DepKind::kRWPred;
+    dep.object = obj;
+    dep.from_version = sel;
+    dep.to_version = VersionId{obj, order[j], h.FinalSeq(order[j], obj)};
+    dep.predicate = pred;
+    dep.is_predicate = true;
+    bool real_edge = dep.from != dep.to;
+    EmitDelta(std::move(dep), out);
+    if (options_.first_rw_pred_only && real_edge) {
+      resolved = true;
+      break;
+    }
+  }
+  if (!options_.first_rw_pred_only || !resolved) {
+    state.watchers.push_back(PredState::Watch{reader, sel});
+  }
+}
+
+void ConflictDelta::Install(const History& h, TxnId txn,
+                            std::vector<Dependency>& out) {
+  const History::TxnInfo& info = h.txn_info(txn);
+  for (const auto& [obj, writes] : info.writes) {
+    ObjectState& os = objects_[obj];
+    VersionId installed{obj, txn, static_cast<uint32_t>(writes.size())};
+    if (!os.order.empty()) {
+      // A dead version being succeeded is exactly the "dead version must be
+      // the last version" Finalize() failure of the completed prefix.
+      if (os.tail_kind == VersionKind::kDead) dead_violations_.insert(obj);
+      TxnId prev = os.order.back();
+      Dependency dep;
+      dep.from = prev;
+      dep.to = txn;
+      dep.kind = DepKind::kWW;
+      dep.object = obj;
+      dep.from_version = VersionId{obj, prev, h.FinalSeq(prev, obj)};
+      dep.to_version = installed;
+      EmitDelta(std::move(dep), out);
+    }
+    // Readers of the old tail anti-depend on the new installer.
+    for (const ObjectState::TailWatch& watch : os.tail_watchers) {
+      Dependency dep;
+      dep.from = watch.reader;
+      dep.to = txn;
+      dep.kind = DepKind::kRWItem;
+      dep.object = obj;
+      dep.from_version = watch.version;
+      dep.to_version = installed;
+      EmitDelta(std::move(dep), out);
+    }
+    os.tail_watchers.clear();
+    os.index[txn] = os.order.size();
+    os.order.push_back(txn);
+    auto wit = produced_.find(installed);
+    ADYA_CHECK_MSG(wit != produced_.end(), "install of unseen version");
+    os.tail_kind = h.event(wit->second).written_kind;
+    // Advance every materialized predicate over this object; a match flip
+    // is a new change index and fires the parked rw(pred) watchers.
+    size_t position = os.order.size() - 1;
+    for (auto it = preds_.lower_bound(std::make_pair(obj, PredicateId{0}));
+         it != preds_.end() && it->first.first == obj; ++it) {
+      PredState& state = it->second;
+      bool match = MatchesLive(h, installed, it->first.second);
+      if (match == state.last_match) continue;
+      state.last_match = match;
+      state.changes.push_back(static_cast<std::ptrdiff_t>(position));
+      PredicateId pred = it->first.second;
+      auto emit_watch = [&](const PredState::Watch& watch) {
+        Dependency dep;
+        dep.from = watch.reader;
+        dep.to = txn;
+        dep.kind = DepKind::kRWPred;
+        dep.object = obj;
+        dep.from_version = watch.sel;
+        dep.to_version = installed;
+        dep.predicate = pred;
+        dep.is_predicate = true;
+        EmitDelta(std::move(dep), out);
+      };
+      if (options_.first_rw_pred_only) {
+        // Watchers whose reader is the installer stay parked: the edge that
+        // exists in the full set is the one to the next change by a
+        // *different* transaction.
+        std::vector<PredState::Watch> keep;
+        for (const PredState::Watch& watch : state.watchers) {
+          if (watch.reader == txn) {
+            keep.push_back(watch);
+          } else {
+            emit_watch(watch);
+          }
+        }
+        state.watchers = std::move(keep);
+      } else {
+        for (const PredState::Watch& watch : state.watchers) {
+          if (watch.reader != txn) emit_watch(watch);
+        }
+      }
+    }
+  }
+}
+
+void ConflictDelta::CommitOf(const History& h, TxnId txn,
+                             EventId commit_event,
+                             std::vector<Dependency>& out) {
+  const History::TxnInfo& info = h.txn_info(txn);
+  Install(h, txn, out);
+  // Readers that were parked on this transaction while it ran: their
+  // wr(item) materializes now, and their rw(item) tracks the next version
+  // (this transaction installed the current tail, so that means watching).
+  auto pending = pending_reads_.find(txn);
+  if (pending != pending_reads_.end()) {
+    for (const PendingRead& pr : pending->second) {
+      Dependency dep;
+      dep.from = txn;
+      dep.to = pr.reader;
+      dep.kind = DepKind::kWRItem;
+      dep.object = pr.version.object;
+      dep.from_version = pr.version;
+      dep.to_version = pr.version;
+      EmitDelta(std::move(dep), out);
+      ObjectState& os = objects_[pr.version.object];
+      auto idx = os.index.find(txn);
+      ADYA_CHECK(idx != os.index.end());
+      if (idx->second + 1 < os.order.size()) {
+        TxnId next = os.order[idx->second + 1];
+        Dependency rw;
+        rw.from = pr.reader;
+        rw.to = next;
+        rw.kind = DepKind::kRWItem;
+        rw.object = pr.version.object;
+        rw.from_version = pr.version;
+        rw.to_version =
+            VersionId{pr.version.object, next,
+                      h.FinalSeq(next, pr.version.object)};
+        EmitDelta(std::move(rw), out);
+      } else {
+        os.tail_watchers.push_back(
+            ObjectState::TailWatch{pr.reader, pr.version});
+      }
+    }
+    pending_reads_.erase(pending);
+  }
+  auto pending_sel = pending_selections_.find(txn);
+  if (pending_sel != pending_selections_.end()) {
+    // Take ownership first: processing may materialize predicate state.
+    std::vector<PendingSelection> sels = std::move(pending_sel->second);
+    pending_selections_.erase(pending_sel);
+    for (const PendingSelection& ps : sels) {
+      auto idx = objects_[ps.object].index.find(txn);
+      ADYA_CHECK(idx != objects_[ps.object].index.end());
+      ProcessPredicateObject(h, ps.reader, ps.pred_event, ps.object, ps.sel,
+                             static_cast<std::ptrdiff_t>(idx->second), out);
+    }
+  }
+  // The committing transaction's own item reads.
+  for (EventId rid : info.reads) {
+    const VersionId& v = h.event(rid).version;
+    TxnId writer = v.writer;
+    if (!h.IsCommitted(writer)) {
+      if (!h.IsAborted(writer)) {
+        pending_reads_[writer].push_back(PendingRead{txn, v});
+      }
+      continue;
+    }
+    Dependency dep;
+    dep.from = writer;
+    dep.to = txn;
+    dep.kind = DepKind::kWRItem;
+    dep.object = v.object;
+    dep.from_version = v;
+    dep.to_version = v;
+    EmitDelta(std::move(dep), out);
+    ObjectState& os = objects_[v.object];
+    auto idx = os.index.find(writer);
+    ADYA_CHECK_MSG(idx != os.index.end(),
+                   "committed writer must appear in the version order");
+    if (idx->second + 1 < os.order.size()) {
+      TxnId next = os.order[idx->second + 1];
+      Dependency rw;
+      rw.from = txn;
+      rw.to = next;
+      rw.kind = DepKind::kRWItem;
+      rw.object = v.object;
+      rw.from_version = v;
+      rw.to_version = VersionId{v.object, next, h.FinalSeq(next, v.object)};
+      EmitDelta(std::move(rw), out);
+    } else {
+      os.tail_watchers.push_back(ObjectState::TailWatch{txn, v});
+    }
+  }
+  // The committing transaction's own predicate reads.
+  for (EventId pid : info.predicate_reads) {
+    const Event& e = h.event(pid);
+    std::map<ObjectId, VersionId> selected;
+    for (const VersionId& v : e.vset) selected[v.object] = v;
+    const std::vector<RelationId>& rels = h.predicate_relations(e.predicate);
+    for (auto rel_it = rels.begin(); rel_it != rels.end(); ++rel_it) {
+      if (std::find(rels.begin(), rel_it, *rel_it) != rel_it) continue;
+      pred_reads_by_relation_[*rel_it].push_back(PredReadRef{txn, pid});
+      for (ObjectId obj : objects_by_relation_[*rel_it]) {
+        auto sel_it = selected.find(obj);
+        VersionId sel =
+            sel_it == selected.end() ? InitVersion(obj) : sel_it->second;
+        std::ptrdiff_t pos;
+        if (sel.is_init()) {
+          pos = -1;
+        } else {
+          if (!h.IsCommitted(sel.writer)) {
+            if (!h.IsAborted(sel.writer)) {
+              pending_selections_[sel.writer].push_back(
+                  PendingSelection{txn, pid, obj, sel});
+            }
+            continue;  // unpositionable until the writer commits
+          }
+          auto idx = objects_[obj].index.find(sel.writer);
+          ADYA_CHECK(idx != objects_[obj].index.end());
+          pos = static_cast<std::ptrdiff_t>(idx->second);
+        }
+        ProcessPredicateObject(h, txn, pid, obj, sel, pos, out);
+      }
+    }
+  }
+  // Start-dependencies (PL-SI): all committed predecessors whose commit
+  // precedes this begin, or just the transitive-reduction survivors.
+  if (options_.include_start_edges) {
+    EventId begin = info.begin_event;
+    size_t preds = static_cast<size_t>(
+        std::lower_bound(commit_events_.begin(), commit_events_.end(),
+                         begin) -
+        commit_events_.begin());
+    if (preds > 0) {
+      size_t first = 0;
+      if (options_.reduced_start_edges) {
+        first = static_cast<size_t>(
+            std::lower_bound(commit_events_.begin(),
+                             commit_events_.begin() + preds,
+                             prefix_max_begin_[preds - 1]) -
+            commit_events_.begin());
+      }
+      for (size_t i = first; i < preds; ++i) {
+        Dependency dep;
+        dep.from = by_commit_[i].txn;
+        dep.to = txn;
+        dep.kind = DepKind::kStart;
+        EmitDelta(std::move(dep), out);
+      }
+    }
+    by_commit_.push_back(CommittedSpan{begin, commit_event, txn});
+    commit_events_.push_back(commit_event);
+    prefix_max_begin_.push_back(
+        prefix_max_begin_.empty()
+            ? begin
+            : std::max(prefix_max_begin_.back(), begin));
+  }
+}
+
+std::vector<Dependency> ConflictDelta::OnEvent(const History& h, EventId id) {
+  SyncUniverse(h);
+  const Event& e = h.event(id);
+  std::vector<Dependency> out;
+  switch (e.type) {
+    case EventType::kWrite:
+      produced_[e.version] = id;
+      break;
+    case EventType::kCommit:
+      CommitOf(h, e.txn, id, out);
+      break;
+    case EventType::kAbort:
+      // Parked reads/selections of this writer's versions can never become
+      // edges.
+      pending_reads_.erase(e.txn);
+      pending_selections_.erase(e.txn);
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+const std::vector<TxnId>& ConflictDelta::Order(ObjectId obj) const {
+  static const std::vector<TxnId> kEmpty;
+  if (obj >= objects_.size()) return kEmpty;
+  return objects_[obj].order;
+}
+
+std::optional<size_t> ConflictDelta::OrderIndex(ObjectId obj,
+                                                TxnId txn) const {
+  if (obj >= objects_.size()) return std::nullopt;
+  auto it = objects_[obj].index.find(txn);
+  if (it == objects_[obj].index.end()) return std::nullopt;
+  return it->second;
+}
+
 }  // namespace adya

@@ -1,7 +1,12 @@
 #ifndef ADYA_CORE_CONFLICTS_H_
 #define ADYA_CORE_CONFLICTS_H_
 
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/digraph.h"
@@ -121,6 +126,129 @@ std::vector<Dependency> ComputeDependencies(
 std::vector<Dependency> ComputeDependencies(const History& h,
                                             const ConflictOptions& options,
                                             ThreadPool* pool);
+
+/// Incremental counterpart of ComputeDependencies for *event streams*: fed
+/// one appended event at a time, it emits exactly the direct conflicts the
+/// newly committed transaction introduces, so that over a whole stream the
+/// union of the deltas equals the offline edge set of the completed history
+/// (the live history with still-running transactions treated as aborted,
+/// finalized under commit-order version orders — the only version orders an
+/// event stream can carry).
+///
+/// Only commit events introduce edges: conflicts relate committed
+/// transactions, and a transaction's reads/writes are processed when it
+/// commits. Reads of a version whose writer is still running are parked and
+/// resolved at the writer's commit (or dropped at its abort). The caller
+/// must feed only well-formed events (an IncrementalChecker validates each
+/// event before forwarding it here); behaviour on malformed streams is
+/// unspecified, except that `dead_violations()` tracks the one
+/// stream-specific Finalize() failure — a deleted version that is not the
+/// last in its commit-order version order — which cannot be rejected at the
+/// offending event because it depends on later commits.
+///
+/// Honors ConflictOptions: first_rw_pred_only / reduced_start_edges trim
+/// the emitted set exactly as the offline analyzer does, and
+/// include_start_edges adds start-dependencies at each commit.
+///
+/// Value-semantic: copying a ConflictDelta checkpoints the derivation.
+class ConflictDelta {
+ public:
+  explicit ConflictDelta(const ConflictOptions& options = ConflictOptions())
+      : options_(options) {}
+
+  /// Observes `h.events()[id]`, which must be the event just appended to
+  /// the live history `h`, and returns the conflicts it introduced (empty
+  /// for anything but a commit). Events must be fed exactly once, in order.
+  std::vector<Dependency> OnEvent(const History& h, EventId id);
+
+  /// Committed-installer order of `obj` so far — the prefix of the version
+  /// order Finalize() would derive for the completed history.
+  const std::vector<TxnId>& Order(ObjectId obj) const;
+  /// Position of `txn` in Order(obj); nullopt while not installed.
+  std::optional<size_t> OrderIndex(ObjectId obj, TxnId txn) const;
+
+  /// Objects whose committed version order holds a dead (deleted) version
+  /// in a non-final position. Finalize() of the completed prefix rejects
+  /// exactly these; sticky and ascending (`begin()` is the object the
+  /// offline error message names).
+  const std::set<ObjectId>& dead_violations() const {
+    return dead_violations_;
+  }
+
+ private:
+  struct ObjectState {
+    std::vector<TxnId> order;       // committed installers, commit order
+    std::map<TxnId, size_t> index;  // installer -> position in `order`
+    VersionKind tail_kind = VersionKind::kUnborn;
+    /// Item reads of the current tail version, waiting for the installer of
+    /// the next version to materialize their rw(item) edge.
+    struct TailWatch {
+      TxnId reader;
+      VersionId version;
+    };
+    std::vector<TailWatch> tail_watchers;
+  };
+  /// A committed reader's item read of a still-running writer's version.
+  struct PendingRead {
+    TxnId reader;
+    VersionId version;
+  };
+  /// A committed predicate read whose Vset selection's writer still runs.
+  struct PendingSelection {
+    TxnId reader;
+    EventId pred_event;
+    ObjectId object;
+    VersionId sel;
+  };
+  /// Per (object, predicate): the match-change positions seen so far plus
+  /// the readers waiting for future match changes (Definition 4 rw(pred)).
+  struct PredState {
+    std::vector<ptrdiff_t> changes;
+    bool last_match = false;
+    struct Watch {
+      TxnId reader;
+      VersionId sel;
+    };
+    std::vector<Watch> watchers;
+  };
+  struct PredReadRef {
+    TxnId reader;
+    EventId event;
+  };
+
+  void SyncUniverse(const History& h);
+  bool MatchesLive(const History& h, const VersionId& v,
+                   PredicateId pred) const;
+  PredState& Materialize(const History& h, ObjectId obj, PredicateId pred);
+  void ProcessPredicateObject(const History& h, TxnId reader,
+                              EventId pred_event, ObjectId obj,
+                              const VersionId& sel, std::ptrdiff_t pos,
+                              std::vector<Dependency>& out);
+  void Install(const History& h, TxnId txn, std::vector<Dependency>& out);
+  void CommitOf(const History& h, TxnId txn, EventId commit_event,
+                std::vector<Dependency>& out);
+
+  ConflictOptions options_;
+  std::vector<ObjectState> objects_;
+  std::vector<std::vector<ObjectId>> objects_by_relation_;
+  std::map<VersionId, EventId> produced_;  // version -> its write event
+  std::map<TxnId, std::vector<PendingRead>> pending_reads_;  // keyed by writer
+  std::map<TxnId, std::vector<PendingSelection>> pending_selections_;
+  std::map<std::pair<ObjectId, PredicateId>, PredState> preds_;
+  /// Committed predicate reads per relation, so objects added to the
+  /// relation later still pick up their implicit x_init selection.
+  std::vector<std::vector<PredReadRef>> pred_reads_by_relation_;
+  // Start-dependency state (include_start_edges only), commit order.
+  struct CommittedSpan {
+    EventId begin;
+    EventId commit;
+    TxnId txn;
+  };
+  std::vector<CommittedSpan> by_commit_;
+  std::vector<EventId> commit_events_;
+  std::vector<EventId> prefix_max_begin_;
+  std::set<ObjectId> dead_violations_;
+};
 
 }  // namespace adya
 

@@ -1,0 +1,369 @@
+#include "core/incremental.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/str_util.h"
+
+namespace adya {
+
+IncrementalChecker::IncrementalChecker(IsolationLevel target)
+    : target_(target) {
+  // The detectors see the cycle-preserving reduced edge set: every
+  // phenomenon decision is unchanged (ConflictOptions documents why) and
+  // long streams of overlapping predicate reads / start orders stay linear
+  // instead of quadratic. Witnesses never come from these edges.
+  ConflictOptions options;
+  options.first_rw_pred_only = true;
+  options.reduced_start_edges = true;
+  for (Phenomenon p : ProscribedPhenomena(target_)) {
+    switch (p) {
+      case Phenomenon::kG0:
+        ww_graph_.emplace();
+        break;
+      case Phenomenon::kG1c:
+        dep_graph_.emplace();
+        break;
+      case Phenomenon::kG2Item:
+        item_graph_.emplace();
+        break;
+      case Phenomenon::kG2:
+        conflict_graph_.emplace();
+        break;
+      case Phenomenon::kGSingle:
+        gsingle_.emplace(kAntiMask, kDependencyMask);
+        break;
+      case Phenomenon::kGSIb:
+        options.include_start_edges = true;
+        gsib_.emplace(kAntiMask, kDependencyMask | kStartMask);
+        break;
+      case Phenomenon::kGSIa:
+        track_gsia_ = true;
+        break;
+      case Phenomenon::kGCursor:
+        track_gcursor_ = true;
+        break;
+      case Phenomenon::kG1a:
+      case Phenomenon::kG1b:
+        break;  // direct bookkeeping, always on
+    }
+  }
+  delta_ = ConflictDelta(options);
+}
+
+IncrementalChecker::IncrementalChecker(const History& finalized)
+    : target_(IsolationLevel::kPL3), audit_mode_(true), history_(finalized) {
+  ADYA_CHECK_MSG(history_.finalized(),
+                 "audit-mode IncrementalChecker requires a finalized history");
+}
+
+Result<std::vector<Violation>> IncrementalChecker::Feed(const Event& event) {
+  ADYA_CHECK_MSG(!audit_mode_, "Feed on an audit-mode IncrementalChecker");
+  EventId id = history_.Append(event);
+  const Event& e = history_.events()[id];
+  // Mirror of the offline prefix validation, one event at a time. The
+  // first malformation freezes the stream's fate: every later commit
+  // surfaces that same error (exactly what re-validating the growing
+  // prefix would report), and no malformed event reaches the delta.
+  if (!validate_error_.has_value()) ValidateEvent(e, id);
+  if (validate_error_.has_value()) {
+    if (e.type == EventType::kCommit) return *validate_error_;
+    return std::vector<Violation>();
+  }
+  if (e.type == EventType::kWrite) ObserveWrite(e);
+  for (const Dependency& dep : delta_.OnEvent(history_, id)) FeedEdge(dep);
+  if (e.type != EventType::kCommit) return std::vector<Violation>();
+  if (!delta_.dead_violations().empty()) {
+    // The one Finalize() failure a well-formed event stream can build up:
+    // report it verbatim, at every commit from the first affected one,
+    // without counting the commit as checked — as the naive strategy's
+    // prefix Finalize does.
+    return Status::InvalidArgument(
+        StrCat("version order of ",
+               history_.object_name(*delta_.dead_violations().begin()),
+               ": the dead version must be the last version"));
+  }
+  ++commits_checked_;
+  return OnCommit(e.txn);
+}
+
+void IncrementalChecker::ValidateEvent(const Event& e, EventId id) {
+  TxnValidation& ts = vstate_[e.txn];
+  auto fail = [&](std::string msg) {
+    validate_error_ = Status::InvalidArgument(std::move(msg));
+  };
+  if (ts.finished) {
+    fail(StrCat("event ", id, " of T", e.txn,
+                " occurs after the transaction finished"));
+    return;
+  }
+  switch (e.type) {
+    case EventType::kBegin:
+      if (ts.has_events) {
+        fail(StrCat("begin of T", e.txn, " is not its first event"));
+        return;
+      }
+      break;
+    case EventType::kWrite: {
+      uint32_t& count = ts.write_count[e.version.object];
+      if (e.version.seq != count + 1) {
+        fail(StrCat("write event ", id, ": version seq ", e.version.seq,
+                    " is not consecutive (expected ", count + 1,
+                    ") for object ", history_.object_name(e.version.object)));
+        return;
+      }
+      auto last = ts.last_kind.find(e.version.object);
+      if (last != ts.last_kind.end() && last->second == VersionKind::kDead) {
+        fail(StrCat("write event ", id, ": T", e.txn,
+                    " modifies an object it already deleted"));
+        return;
+      }
+      ++count;
+      ts.last_kind[e.version.object] = e.written_kind;
+      produced_[e.version] = e.written_kind;
+      break;
+    }
+    case EventType::kRead: {
+      if (e.version.is_init()) {
+        fail(StrCat("read event ", id, ": only visible versions may be ",
+                    "read, not the unborn x_init"));
+        return;
+      }
+      auto wit = produced_.find(e.version);
+      if (wit == produced_.end()) {
+        fail(StrCat("read event ", id, ": version ",
+                    history_.object_name(e.version.object), "_",
+                    e.version.writer, ".", e.version.seq,
+                    " has not been produced"));
+        return;
+      }
+      if (wit->second != VersionKind::kVisible) {
+        fail(StrCat("read event ", id, ": only visible versions may be ",
+                    "read (version is ", VersionKindName(wit->second), ")"));
+        return;
+      }
+      auto wc = ts.write_count.find(e.version.object);
+      if (wc != ts.write_count.end() && wc->second > 0) {
+        VersionId own{e.version.object, e.txn, wc->second};
+        if (!(e.version == own)) {
+          fail(StrCat("read event ", id, ": T", e.txn,
+                      " must observe its own latest write of ",
+                      history_.object_name(e.version.object)));
+          return;
+        }
+      }
+      break;
+    }
+    case EventType::kPredicateRead: {
+      const auto& rels = history_.predicate_relations(e.predicate);
+      std::set<ObjectId> seen;
+      for (const VersionId& v : e.vset) {
+        if (!seen.insert(v.object).second) {
+          fail(StrCat("predicate read event ", id, ": version set selects ",
+                      "two versions of ", history_.object_name(v.object)));
+          return;
+        }
+        if (std::find(rels.begin(), rels.end(),
+                      history_.object_relation(v.object)) == rels.end()) {
+          fail(StrCat("predicate read event ", id, ": object ",
+                      history_.object_name(v.object),
+                      " is not in the predicate's relations"));
+          return;
+        }
+        if (v.is_init()) continue;
+        if (produced_.find(v) == produced_.end()) {
+          fail(StrCat("predicate read event ", id, ": version of ",
+                      history_.object_name(v.object),
+                      " has not been produced"));
+          return;
+        }
+      }
+      break;
+    }
+    case EventType::kCommit:
+    case EventType::kAbort:
+      ts.finished = true;
+      break;
+  }
+  ts.has_events = true;
+}
+
+void IncrementalChecker::ObserveWrite(const Event& e) {
+  // A committed read that observed its writer's then-latest version turns
+  // intermediate the moment the writer writes the object again; the next
+  // commit's prefix is the first to exhibit the G1b.
+  if (g1b_fired_ || g1b_pending_ || g1b_watch_.empty()) return;
+  if (g1b_watch_.count({e.txn, e.version.object}) != 0) g1b_pending_ = true;
+}
+
+graph::NodeId IncrementalChecker::NodeOf(TxnId txn) {
+  auto [it, inserted] =
+      node_of_.try_emplace(txn, static_cast<graph::NodeId>(node_of_.size()));
+  return it->second;
+}
+
+void IncrementalChecker::FeedEdge(const Dependency& dep) {
+  // The delta can re-derive one logical edge from several reads/objects;
+  // the graphs need each (from, to, kind) once.
+  if (!seen_edges_.insert({dep.from, dep.to, dep.kind}).second) return;
+  graph::KindMask bit = Bit(dep.kind);
+  if (track_gsia_ && !gsia_fired_ && (bit & kDependencyMask) != 0) {
+    // G-SI(a): a dependency edge not backed by the start relation. Both
+    // endpoints are committed once the edge exists, so the commit/begin
+    // comparison is final at emission time.
+    const History::TxnInfo& fi = history_.txn_info(dep.from);
+    const History::TxnInfo& ti = history_.txn_info(dep.to);
+    if (!(fi.commit_event < ti.begin_event)) gsia_fired_ = true;
+  }
+  bool wants =
+      (ww_graph_ && (bit & Bit(DepKind::kWW)) != 0) ||
+      (dep_graph_ && (bit & kDependencyMask) != 0) ||
+      (item_graph_ && (bit & (kDependencyMask | Bit(DepKind::kRWItem))) != 0) ||
+      (conflict_graph_ && (bit & kConflictMask) != 0) ||
+      (gsingle_ && (bit & kConflictMask) != 0) ||
+      (gsib_ && (bit & (kConflictMask | kStartMask)) != 0);
+  if (!wants) return;
+  graph::NodeId from = NodeOf(dep.from);
+  graph::NodeId to = NodeOf(dep.to);
+  size_t nodes = node_of_.size();
+  auto feed = [&](std::optional<graph::DynamicSccDigraph>& g,
+                  graph::KindMask mask) {
+    if (g.has_value() && (bit & mask) != 0) {
+      g->EnsureNodes(nodes);
+      g->Insert(from, to, bit);
+    }
+  };
+  feed(ww_graph_, Bit(DepKind::kWW));
+  feed(dep_graph_, kDependencyMask);
+  feed(item_graph_, kDependencyMask | Bit(DepKind::kRWItem));
+  feed(conflict_graph_, kConflictMask);
+  if (gsingle_.has_value() && (bit & kConflictMask) != 0) {
+    gsingle_->EnsureNodes(nodes);
+    gsingle_->Insert(from, to, bit);
+  }
+  if (gsib_.has_value() && (bit & (kConflictMask | kStartMask)) != 0) {
+    gsib_->EnsureNodes(nodes);
+    gsib_->Insert(from, to, bit);
+  }
+}
+
+bool IncrementalChecker::PhenomenonHolds(Phenomenon p) {
+  switch (p) {
+    case Phenomenon::kG0:
+      return ww_graph_->intra_kinds() != 0;
+    case Phenomenon::kG1a:
+      return g1a_fired_;
+    case Phenomenon::kG1b:
+      return g1b_fired_;
+    case Phenomenon::kG1c:
+      return dep_graph_->intra_kinds() != 0;
+    case Phenomenon::kG2Item:
+      return (item_graph_->intra_kinds() & Bit(DepKind::kRWItem)) != 0;
+    case Phenomenon::kG2:
+      return (conflict_graph_->intra_kinds() & kAntiMask) != 0;
+    case Phenomenon::kGSingle:
+      return gsingle_->Check();
+    case Phenomenon::kGSIa:
+      return gsia_fired_;
+    case Phenomenon::kGSIb:
+      return gsib_->Check();
+    case Phenomenon::kGCursor:
+      return gcursor_fired_;
+  }
+  ADYA_UNREACHABLE();
+}
+
+std::vector<Violation> IncrementalChecker::OnCommit(TxnId txn) {
+  if (g1b_pending_) g1b_fired_ = true;
+  const History::TxnInfo& info = history_.txn_info(txn);
+  // G1a / G1b instances appear at the reader's own commit (the completion
+  // rule turns its reads of in-flight data into aborted reads right here)
+  // or, for G1b, at a watched later write — never from other commits,
+  // which only move writers from "treated as aborted" to committed.
+  auto observe = [&](const VersionId& v) {
+    if (v.is_init()) return;
+    if (!history_.IsCommitted(v.writer)) g1a_fired_ = true;
+    if (v.writer == txn || g1b_fired_) return;
+    if (v.seq != history_.FinalSeq(v.writer, v.object)) {
+      g1b_fired_ = true;
+    } else {
+      auto it = vstate_.find(v.writer);
+      if (it != vstate_.end() && !it->second.finished) {
+        g1b_watch_.insert({v.writer, v.object});
+      }
+    }
+  };
+  for (EventId rid : info.reads) {
+    const Event& e = history_.events()[rid];
+    observe(e.version);
+    if (track_gcursor_ && !gcursor_fired_) {
+      // G-cursor closed form: the object's ww edges form the chain of its
+      // installer order, so a cycle with exactly one rw(item) edge exists
+      // iff some read's version sits ≥ 2 positions before the reader's own
+      // installation — reader → next installer (rw), then the ww chain
+      // back up to the reader.
+      std::optional<size_t> p = delta_.OrderIndex(e.version.object,
+                                                  e.version.writer);
+      std::optional<size_t> q = delta_.OrderIndex(e.version.object, txn);
+      if (p.has_value() && q.has_value() && *q >= *p + 2) {
+        gcursor_fired_ = true;
+      }
+    }
+  }
+  for (EventId pid : info.predicate_reads) {
+    for (const VersionId& v : history_.events()[pid].vset) observe(v);
+  }
+
+  std::vector<Phenomenon> newly;
+  for (Phenomenon p : ProscribedPhenomena(target_)) {
+    if (reported_.count(p) != 0) continue;
+    if (PhenomenonHolds(p)) newly.push_back(p);
+  }
+  std::vector<Violation> fresh;
+  if (newly.empty()) return fresh;
+  // Witness extraction: run the offline checker on the finalized prefix —
+  // the detectors decided *that* a phenomenon holds; the offline checker
+  // says *why*, with the exact witness the naive strategy would emit at
+  // this commit. Amortized at most once per phenomenon kind.
+  History prefix = history_;
+  Status finalize = prefix.Finalize();
+  ADYA_CHECK_MSG(finalize.ok(), finalize.ToString());
+  PhenomenaChecker offline(prefix);
+  for (Phenomenon p : newly) {
+    std::optional<Violation> v = offline.Check(p);
+    ADYA_CHECK_MSG(v.has_value(),
+                   "incremental detector fired for "
+                       << PhenomenonName(p)
+                       << " but the offline checker finds no witness");
+    reported_.insert(p);
+    fresh.push_back(*std::move(v));
+  }
+  return fresh;
+}
+
+const PhenomenaChecker& IncrementalChecker::Offline() const {
+  size_t events = history_.events().size();
+  if (audit_.checker != nullptr && audit_.events == events) {
+    return *audit_.checker;
+  }
+  if (audit_mode_) {
+    audit_.checker = std::make_unique<PhenomenaChecker>(history_);
+  } else {
+    audit_.prefix = std::make_unique<History>(history_);
+    Status finalize = audit_.prefix->Finalize();
+    ADYA_CHECK_MSG(finalize.ok(), finalize.ToString());
+    audit_.checker = std::make_unique<PhenomenaChecker>(*audit_.prefix);
+  }
+  audit_.events = events;
+  return *audit_.checker;
+}
+
+std::vector<Violation> IncrementalChecker::CheckAll() const {
+  return Offline().CheckAll();
+}
+
+LevelCheckResult IncrementalChecker::Check(IsolationLevel level) const {
+  return CheckLevel(Offline(), level);
+}
+
+}  // namespace adya

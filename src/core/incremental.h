@@ -1,0 +1,205 @@
+#ifndef ADYA_CORE_INCREMENTAL_H_
+#define ADYA_CORE_INCREMENTAL_H_
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "common/result.h"
+#include "core/conflicts.h"
+#include "core/levels.h"
+#include "core/phenomena.h"
+#include "graph/dynamic_order.h"
+#include "history/history.h"
+
+namespace adya {
+
+/// Streaming certification with *incremental* DSG maintenance: feed events
+/// as a system executes; every commit event folds the newly committed
+/// transaction's direct conflicts (a ConflictDelta) into dynamic cycle
+/// detectors (Pearce–Kelly topological orders over the SCC condensation,
+/// src/graph/dynamic_order.h), so the per-commit cost is proportional to
+/// the new edges and the order region they disturb — not to the whole
+/// prefix, as the naive re-check-the-prefix strategy pays.
+///
+/// Semantics are those of an *enforcer*, identical to re-running
+/// CheckLevel on a completed copy of the prefix at every commit: in-flight
+/// transactions are treated as if they may still abort (the §4.2
+/// completion rule), so committing a reader of still-uncommitted data is
+/// flagged as G1a immediately — the paper's "T2's commit must be delayed
+/// until T1's commit has succeeded" (§5.2). Each proscribed phenomenon is
+/// reported once, at the first commit whose completed prefix exhibits it,
+/// with a witness bit-identical to the offline PhenomenaChecker's on that
+/// prefix (the detectors only *decide*; witnesses are extracted by running
+/// the offline checker on the finalized prefix copy, at most once per
+/// phenomenon kind over the checker's lifetime). The differential suite
+/// (tests/incremental_diff_test.cc) pins this equivalence against the
+/// naive strategy event by event.
+///
+/// How each phenomenon is decided incrementally:
+///  * G0/G1c/G2-item/G2 — "cycle whose edges all lie in mask A containing
+///    a kind in mask R": a DynamicSccDigraph per needed mask, fed the
+///    deduplicated conflict edges; the phenomenon holds iff the graph's
+///    intra-component kind union intersects R.
+///  * G-single / G-SI(b) — "cycle with exactly one anti edge": an
+///    ExactlyOneCycleDetector (candidate anti edges re-examined only when
+///    their component changes).
+///  * G-SI(a) — evaluated per emitted dependency edge against the commit-
+///    before-begin start relation; sticky.
+///  * G-cursor — closed form on the per-object installer order: a reader T
+///    of a version at order position p that itself installs at position
+///    q ≥ p+2 closes the single-object ww chain; checked at T's commit.
+///  * G1a/G1b — direct bookkeeping on the committing transaction's reads,
+///    plus a write-watch that re-flags a previously-final read version
+///    when its writer writes the object again (G1b instances are created
+///    only by the committing reader or by a later write of the writer).
+///
+/// The conflict deltas are derived with the cycle-preserving reductions
+/// (first_rw_pred_only, reduced_start_edges — see ConflictOptions): the
+/// detectors see fewer edges but decide every phenomenon identically, and
+/// witnesses never come from the reduced edge set.
+///
+/// Event streams derive version orders from commit order, so the completed
+/// prefix's DSG only gains edges as the stream extends; all cycle
+/// detectors are sticky by construction. The one Finalize() failure that
+/// cannot be rejected at its own event — a deleted version that is not
+/// last in its commit-order version order — is tracked by the delta and
+/// reported (as the offline error, verbatim) at every commit from the
+/// first affected one. Event-level malformations are rejected at the next
+/// commit with the exact History::ValidateEvents message.
+///
+/// Value-semantic: copying an IncrementalChecker checkpoints the whole
+/// certification, and both copies continue independently.
+class IncrementalChecker {
+ public:
+  /// Streaming mode: certify a stream of events against `target`.
+  explicit IncrementalChecker(IsolationLevel target);
+
+  /// Audit mode: wrap an already-finalized history for CheckAll()/
+  /// CheckLevel() queries (used by golden tests on histories whose
+  /// explicit version orders cannot arise from a stream). Feed() must not
+  /// be called on an audit-mode checker.
+  explicit IncrementalChecker(const History& finalized);
+
+  /// The live (unfinalized) history: declare relations, objects and
+  /// predicates here before feeding events that use them. Explicit
+  /// version orders (SetVersionOrder) are unsupported in streaming mode —
+  /// a stream's version orders are its commit order.
+  History& history() { return history_; }
+  const History& history() const { return history_; }
+
+  /// Feeds one event.
+  ///  * ok(empty)       — no new violation;
+  ///  * ok(violations)  — this commit introduced phenomena the target
+  ///    level proscribes (first report per phenomenon kind, in proscribed
+  ///    order; the checker keeps accepting events afterwards);
+  ///  * error           — the event stream is not a well-formed history.
+  Result<std::vector<Violation>> Feed(const Event& event);
+
+  IsolationLevel target() const { return target_; }
+  size_t commits_checked() const { return commits_checked_; }
+
+  /// Phenomena reported so far.
+  const std::set<Phenomenon>& reported() const { return reported_; }
+
+  /// Offline-equivalent queries over the history so far (the completed,
+  /// finalized prefix in streaming mode). Requires a well-formed stream.
+  /// Lazily builds one offline PhenomenaChecker, invalidated by Feed.
+  std::vector<Violation> CheckAll() const;
+  LevelCheckResult Check(IsolationLevel level) const;
+
+ private:
+  /// Mirror of History::ValidateEvents, run per event as it arrives; the
+  /// first failure is buffered and surfaced at every subsequent commit
+  /// (exactly when the naive strategy's prefix Finalize would fail).
+  struct TxnValidation {
+    bool finished = false;
+    bool has_events = false;
+    std::map<ObjectId, uint32_t> write_count;
+    std::map<ObjectId, VersionKind> last_kind;
+  };
+
+  void ValidateEvent(const Event& e, EventId id);
+  void ObserveWrite(const Event& e);
+  std::vector<Violation> OnCommit(TxnId txn);
+  void FeedEdge(const Dependency& dep);
+  graph::NodeId NodeOf(TxnId txn);
+  bool PhenomenonHolds(Phenomenon p);
+  const PhenomenaChecker& Offline() const;
+
+  IsolationLevel target_;
+  bool audit_mode_ = false;
+  History history_;
+  size_t commits_checked_ = 0;
+  std::set<Phenomenon> reported_;
+
+  // --- event-stream validation mirror ---
+  std::optional<Status> validate_error_;
+  std::map<TxnId, TxnValidation> vstate_;
+  std::map<VersionId, VersionKind> produced_;
+
+  // --- incremental conflict derivation + detectors ---
+  ConflictDelta delta_;
+  std::set<std::tuple<TxnId, TxnId, DepKind>> seen_edges_;
+  std::map<TxnId, graph::NodeId> node_of_;
+  std::optional<graph::DynamicSccDigraph> ww_graph_;        // G0
+  std::optional<graph::DynamicSccDigraph> dep_graph_;       // G1c
+  std::optional<graph::DynamicSccDigraph> item_graph_;      // G2-item
+  std::optional<graph::DynamicSccDigraph> conflict_graph_;  // G2
+  std::optional<graph::ExactlyOneCycleDetector> gsingle_;
+  std::optional<graph::ExactlyOneCycleDetector> gsib_;
+  bool track_gsia_ = false;
+  bool track_gcursor_ = false;
+  bool gsia_fired_ = false;
+  bool gcursor_fired_ = false;
+
+  // --- G1a / G1b bookkeeping ---
+  bool g1a_fired_ = false;
+  bool g1b_fired_ = false;
+  /// Committed reads that observed the writer's latest version while the
+  /// writer still ran: a later write of (writer, object) makes them
+  /// intermediate retroactively.
+  std::set<std::pair<TxnId, ObjectId>> g1b_watch_;
+  bool g1b_pending_ = false;
+
+  /// Cache for CheckAll()/Check(): the finalized prefix copy and its
+  /// offline checker. A copy of the IncrementalChecker resets the cache
+  /// (the offline checker points into the cached history).
+  struct AuditCache {
+    std::unique_ptr<History> prefix;
+    std::unique_ptr<PhenomenaChecker> checker;
+    size_t events = static_cast<size_t>(-1);
+    AuditCache() = default;
+    AuditCache(const AuditCache&) {}
+    AuditCache(AuditCache&&) noexcept {}
+    AuditCache& operator=(const AuditCache&) {
+      Reset();
+      return *this;
+    }
+    AuditCache& operator=(AuditCache&&) noexcept {
+      Reset();
+      return *this;
+    }
+    void Reset() {
+      checker.reset();
+      prefix.reset();
+      events = static_cast<size_t>(-1);
+    }
+  };
+  mutable AuditCache audit_;
+};
+
+/// Level check over an IncrementalChecker's history so far, so generic
+/// render/report code can treat it like a PhenomenaChecker.
+inline LevelCheckResult CheckLevel(const IncrementalChecker& checker,
+                                   IsolationLevel level) {
+  return checker.Check(level);
+}
+
+}  // namespace adya
+
+#endif  // ADYA_CORE_INCREMENTAL_H_

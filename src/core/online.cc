@@ -1,26 +1,4 @@
 #include "core/online.h"
 
-namespace adya {
-
-Result<std::vector<Violation>> OnlineChecker::Feed(const Event& event) {
-  bool is_commit = event.type == EventType::kCommit;
-  history_.Append(event);
-  if (!is_commit) {
-    // Structural validation happens when a prefix is completed, i.e. at
-    // the next commit; callers wanting per-event validation can snapshot.
-    return std::vector<Violation>();
-  }
-  History prefix = history_;  // completion aborts the still-running txns
-  ADYA_RETURN_IF_ERROR(prefix.Finalize());
-  ++commits_checked_;
-  LevelCheckResult check = CheckLevel(prefix, target_);
-  std::vector<Violation> fresh;
-  for (Violation& v : check.violations) {
-    if (reported_.insert(v.phenomenon).second) {
-      fresh.push_back(std::move(v));
-    }
-  }
-  return fresh;
-}
-
-}  // namespace adya
+// OnlineChecker is a thin facade over IncrementalChecker; all streaming
+// logic lives in core/incremental.cc.

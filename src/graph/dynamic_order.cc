@@ -1,0 +1,251 @@
+#include "graph/dynamic_order.h"
+
+#include <algorithm>
+
+namespace adya::graph {
+
+NodeId DynamicSccDigraph::AddNode() {
+  NodeId id = static_cast<NodeId>(out_.size());
+  out_.emplace_back();
+  in_.emplace_back();
+  parent_.push_back(id);
+  members_.push_back({id});
+  // New singleton components go to the end of the order: a fresh node has
+  // no edges yet, so any position past the existing ones is valid. Order
+  // indices need not be dense — merges retire indices permanently, and
+  // reorders only permute indices already handed out, so the counter stays
+  // an upper bound.
+  ord_.push_back(next_ord_++);
+  version_.push_back(0);
+  visited_.push_back(0);
+  return id;
+}
+
+void DynamicSccDigraph::EnsureNodes(size_t count) {
+  while (out_.size() < count) AddNode();
+}
+
+NodeId DynamicSccDigraph::Find(NodeId n) const {
+  NodeId root = n;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[n] != root) {
+    NodeId next = parent_[n];
+    parent_[n] = root;
+    n = next;
+  }
+  return root;
+}
+
+void DynamicSccDigraph::BoundedSearch(NodeId start, bool forward, uint32_t lb,
+                                      uint32_t ub,
+                                      std::vector<NodeId>* found) {
+  std::vector<NodeId> stack{start};
+  visited_[start] = epoch_;
+  while (!stack.empty()) {
+    NodeId root = stack.back();
+    stack.pop_back();
+    found->push_back(root);
+    const auto& adjacency = forward ? out_ : in_;
+    for (NodeId member : members_[root]) {
+      for (const auto& [other, kinds] : adjacency[member]) {
+        (void)kinds;
+        NodeId other_root = Find(other);
+        if (other_root == root || visited_[other_root] == epoch_) continue;
+        if (ord_[other_root] < lb || ord_[other_root] > ub) continue;
+        visited_[other_root] = epoch_;
+        stack.push_back(other_root);
+      }
+    }
+  }
+}
+
+void DynamicSccDigraph::Insert(NodeId from, NodeId to, KindMask kinds,
+                               std::vector<IntraEdge>* newly_intra) {
+  ADYA_CHECK(from < out_.size() && to < out_.size());
+  ADYA_CHECK_MSG(kinds != 0, "edge must carry at least one kind bit");
+  out_[from].push_back({to, kinds});
+  in_[to].push_back({from, kinds});
+  NodeId rf = Find(from);
+  NodeId rt = Find(to);
+  if (rf == rt) {
+    intra_kinds_ |= kinds;
+    ++version_[rf];
+    if (newly_intra != nullptr) newly_intra->push_back({from, to, kinds});
+    return;
+  }
+  if (ord_[rf] < ord_[rt]) return;  // order already valid
+
+  // Pearce–Kelly discovery: everything reachable forward from `to`'s
+  // component within (.., ord[rf]] and backward from `from`'s component
+  // within [ord[rt], ..) — the affected region. If the searches meet, the
+  // inserted edge closed one or more cycles and the meeting components
+  // collapse into one SCC.
+  uint32_t lb = ord_[rt];
+  uint32_t ub = ord_[rf];
+  std::vector<NodeId> fwd;
+  std::vector<NodeId> bwd;
+  ++epoch_;
+  BoundedSearch(rt, /*forward=*/true, lb, ub, &fwd);
+  ++epoch_;
+  BoundedSearch(rf, /*forward=*/false, lb, ub, &bwd);
+
+  // Meeting set M = fwd ∩ bwd (roots stamped by both searches). Without a
+  // cycle the sets are disjoint: a shared root would give to →* r →* from,
+  // i.e. a cycle through the inserted edge.
+  std::vector<NodeId> merge_set;
+  for (NodeId r : fwd) {
+    // visited_ holds the *latest* stamp; fwd members re-stamped by the
+    // backward pass are exactly the intersection.
+    if (visited_[r] == epoch_) merge_set.push_back(r);
+  }
+
+  constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+  NodeId base = kNoNode;
+  if (!merge_set.empty()) {
+    // Merge into the component with the largest member list so splicing is
+    // small-to-large amortized.
+    base = merge_set[0];
+    for (NodeId r : merge_set) {
+      if (members_[r].size() > members_[base].size()) base = r;
+    }
+    // Report every edge that just became intra-component: scan the members
+    // of the non-base components before any union, so Find still answers
+    // with pre-merge roots. Out-edges into any merge-set component are
+    // newly intra; in-edges are counted only when they come from the base
+    // component (out-scans of the other components already cover the rest).
+    ++epoch_;
+    for (NodeId r : merge_set) visited_[r] = epoch_;
+    uint64_t merged_version = version_[base];
+    KindMask gained = 0;
+    for (NodeId r : merge_set) {
+      merged_version = std::max(merged_version, version_[r]);
+      if (r == base) continue;
+      for (NodeId member : members_[r]) {
+        for (const auto& [other, ek] : out_[member]) {
+          NodeId other_root = Find(other);
+          if (other_root != r && visited_[other_root] == epoch_) {
+            gained |= ek;
+            if (newly_intra != nullptr)
+              newly_intra->push_back({member, other, ek});
+          }
+        }
+        for (const auto& [other, ek] : in_[member]) {
+          NodeId other_root = Find(other);
+          if (other_root == base) {
+            gained |= ek;
+            if (newly_intra != nullptr)
+              newly_intra->push_back({other, member, ek});
+          }
+        }
+      }
+    }
+    intra_kinds_ |= gained;
+    for (NodeId r : merge_set) {
+      if (r == base) continue;
+      parent_[r] = base;
+      members_[base].insert(members_[base].end(), members_[r].begin(),
+                            members_[r].end());
+      members_[r].clear();
+      members_[r].shrink_to_fit();
+    }
+    version_[base] = merged_version + 1;
+  }
+
+  // Reorder: the affected components permute among their own (sorted) old
+  // order indices — backward set first, then the merged component, then the
+  // forward set, each in old relative order. Unaffected components keep
+  // their indices, so the global order stays valid (PK's correctness
+  // argument).
+  std::vector<uint32_t> pool;
+  pool.reserve(fwd.size() + bwd.size());
+  std::vector<std::pair<uint32_t, NodeId>> bwd_sorted;
+  std::vector<std::pair<uint32_t, NodeId>> fwd_sorted;
+  ++epoch_;
+  for (NodeId r : merge_set) visited_[r] = epoch_;
+  for (NodeId r : bwd) {
+    pool.push_back(ord_[r]);
+    if (visited_[r] != epoch_) bwd_sorted.push_back({ord_[r], r});
+  }
+  for (NodeId r : fwd) {
+    pool.push_back(ord_[r]);
+    if (visited_[r] != epoch_) fwd_sorted.push_back({ord_[r], r});
+  }
+  std::sort(pool.begin(), pool.end());
+  // Merge-set roots appear in both searches; drop their duplicated indices.
+  pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+  std::sort(bwd_sorted.begin(), bwd_sorted.end());
+  std::sort(fwd_sorted.begin(), fwd_sorted.end());
+  // A merge leaves more indices than components (|M|-1 spares). The
+  // backward set must take the SMALLEST indices and the forward set the
+  // LARGEST: sliding a forward component down into a spare slot could drop
+  // it below an untouched predecessor that sat between the old positions.
+  // (With no merge the two runs tile the pool exactly — plain PK.)
+  size_t next = 0;
+  for (const auto& [old_ord, r] : bwd_sorted) {
+    (void)old_ord;
+    ord_[r] = pool[next++];
+  }
+  if (base != kNoNode) ord_[base] = pool[next];
+  size_t top = pool.size() - fwd_sorted.size();
+  for (const auto& [old_ord, r] : fwd_sorted) {
+    (void)old_ord;
+    ord_[r] = pool[top++];
+  }
+}
+
+void ExactlyOneCycleDetector::Insert(NodeId from, NodeId to, KindMask kinds) {
+  g_.EnsureNodes(std::max(from, to) + 1);
+  std::vector<DynamicSccDigraph::IntraEdge> newly_intra;
+  g_.Insert(from, to, kinds, &newly_intra);
+  if (fired_) return;
+  for (const auto& e : newly_intra) {
+    if ((e.kinds & pivot_) == 0) continue;
+    // version 0 can never match a live component's version once it has an
+    // intra edge, so the first Check() always resolves the candidate.
+    candidates_.push_back({e.from, e.to, e.from, 0});
+  }
+}
+
+bool ExactlyOneCycleDetector::Check() {
+  if (fired_) return true;
+  for (Candidate& c : candidates_) {
+    NodeId root = g_.Find(c.from);
+    uint64_t version = g_.ComponentVersion(c.from);
+    if (root == c.root && version == c.version) continue;
+    c.root = root;
+    c.version = version;
+    // The pivot edge c.from -> c.to closes a qualifying cycle iff a
+    // rest-path leads back from c.to to c.from.
+    if (HasRestPath(c.to, c.from, root)) {
+      fired_ = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ExactlyOneCycleDetector::HasRestPath(NodeId from, NodeId to,
+                                          NodeId root) {
+  if (from == to) return true;  // pivot self-loop: empty rest-path
+  if (bfs_visited_.size() < g_.node_count()) {
+    bfs_visited_.resize(g_.node_count(), 0);
+  }
+  ++bfs_epoch_;
+  std::vector<NodeId> stack{from};
+  bfs_visited_[from] = bfs_epoch_;
+  while (!stack.empty()) {
+    NodeId n = stack.back();
+    stack.pop_back();
+    for (const auto& [other, kinds] : g_.OutEdges(n)) {
+      if ((kinds & rest_) == 0) continue;
+      if (other == to) return true;
+      if (bfs_visited_[other] == bfs_epoch_) continue;
+      if (g_.Find(other) != root) continue;  // rest-path stays in the SCC
+      bfs_visited_[other] = bfs_epoch_;
+      stack.push_back(other);
+    }
+  }
+  return false;
+}
+
+}  // namespace adya::graph

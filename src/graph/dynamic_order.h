@@ -1,0 +1,137 @@
+#ifndef ADYA_GRAPH_DYNAMIC_ORDER_H_
+#define ADYA_GRAPH_DYNAMIC_ORDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace adya::graph {
+
+/// A directed multigraph maintained under edge insertions, tracking its
+/// strongly connected components and a topological order of their
+/// condensation without ever recomputing from scratch.
+///
+/// The structure keeps a Pearce–Kelly dynamic topological order over the
+/// SCC condensation: each component root carries an order index; inserting
+/// an edge whose endpoints respect the order costs O(1), and an order
+/// violation triggers a bounded forward/backward search limited to the
+/// affected order window. When the two searches meet, the components on the
+/// meeting set have become one SCC and are merged via union-find (the
+/// member lists are spliced small-to-large).
+///
+/// Edges that lie *inside* a component — i.e. edges on some cycle — are the
+/// interesting ones for phenomenon detection, so Insert reports every edge
+/// that became intra-component as a consequence of the insertion: either
+/// the inserted edge itself (endpoints already strongly connected) or
+/// previously inter-component edges captured by a merge.
+///
+/// All state is value-semantic: copying the structure checkpoints it.
+class DynamicSccDigraph {
+ public:
+  /// An edge that became intra-component, in original endpoint ids.
+  struct IntraEdge {
+    NodeId from;
+    NodeId to;
+    KindMask kinds;
+  };
+
+  /// Appends a node at the end of the topological order.
+  NodeId AddNode();
+  /// Grows the node set to at least `count` nodes.
+  void EnsureNodes(size_t count);
+  size_t node_count() const { return out_.size(); }
+
+  /// Inserts an edge. Every edge that became intra-component because of
+  /// this insertion is appended to `newly_intra` (when non-null): the
+  /// inserted edge if its endpoints were already strongly connected, plus
+  /// all edges captured inside a component merge (each reported once).
+  void Insert(NodeId from, NodeId to, KindMask kinds,
+              std::vector<IntraEdge>* newly_intra = nullptr);
+
+  /// Component representative of `n` (union-find root, path-compressed).
+  NodeId Find(NodeId n) const;
+  bool SameComponent(NodeId a, NodeId b) const { return Find(a) == Find(b); }
+
+  /// Union of the kind bits of every intra-component edge, i.e. every edge
+  /// lying on some cycle. A phenomenon "cycle containing a kind-K edge"
+  /// exists iff `intra_kinds() & K`.
+  KindMask intra_kinds() const { return intra_kinds_; }
+
+  /// Monotone counter bumped whenever `n`'s component gains an
+  /// intra-component edge or absorbs another component. Callers cache
+  /// (root, version) pairs to skip re-examining unchanged components.
+  uint64_t ComponentVersion(NodeId n) const { return version_[Find(n)]; }
+
+  /// Topological position of `n`'s component in the condensation order.
+  uint32_t OrderOf(NodeId n) const { return ord_[Find(n)]; }
+
+  /// Node-level out-edges of `n` as (target, kinds) pairs, insertion order.
+  const std::vector<std::pair<NodeId, KindMask>>& OutEdges(NodeId n) const {
+    return out_[n];
+  }
+
+ private:
+  /// Collects the component roots reachable from `start` (forward if
+  /// `forward`, else backward) through roots whose order index lies within
+  /// [lb, ub]. Roots are stamped with `epoch_` in visited_.
+  void BoundedSearch(NodeId start, bool forward, uint32_t lb, uint32_t ub,
+                     std::vector<NodeId>* found);
+
+  std::vector<std::vector<std::pair<NodeId, KindMask>>> out_;
+  std::vector<std::vector<std::pair<NodeId, KindMask>>> in_;
+  mutable std::vector<NodeId> parent_;     // union-find forest
+  std::vector<std::vector<NodeId>> members_;  // root -> member nodes
+  std::vector<uint32_t> ord_;              // root -> topological index
+  std::vector<uint64_t> version_;          // root -> change counter
+  std::vector<uint32_t> visited_;          // root -> epoch stamp
+  uint32_t next_ord_ = 0;                  // past-the-end order index
+  uint32_t epoch_ = 0;
+  KindMask intra_kinds_ = 0;
+};
+
+/// Incremental detector for "a cycle with exactly one `pivot` edge, every
+/// other edge usable as `rest`" — the shape of G-single and G-SI(b). Wraps
+/// a DynamicSccDigraph: pivot edges that become intra-component are
+/// candidates; a candidate fires when a rest-path closes it, which is
+/// re-examined only when the candidate's component has changed since the
+/// last look. Firing is sticky (phenomena never un-happen under edge
+/// insertion). Value-semantic, like the graph it wraps.
+class ExactlyOneCycleDetector {
+ public:
+  ExactlyOneCycleDetector(KindMask pivot, KindMask rest)
+      : pivot_(pivot), rest_(rest) {}
+
+  void EnsureNodes(size_t count) { g_.EnsureNodes(count); }
+  void Insert(NodeId from, NodeId to, KindMask kinds);
+
+  /// True iff some cycle with exactly one pivot edge exists. Re-resolves
+  /// stale candidates lazily; sticky once true.
+  bool Check();
+
+ private:
+  /// True iff a path from `from` to `to` exists using edges intersecting
+  /// `rest_`, staying inside the component rooted at `root`. (Any rest-path
+  /// closing a pivot edge lies entirely within the pivot's SCC, so the
+  /// restriction loses nothing.)
+  bool HasRestPath(NodeId from, NodeId to, NodeId root);
+
+  struct Candidate {
+    NodeId from;
+    NodeId to;
+    NodeId root;       // component root at last examination
+    uint64_t version;  // component version at last examination
+  };
+
+  KindMask pivot_;
+  KindMask rest_;
+  DynamicSccDigraph g_;
+  std::vector<Candidate> candidates_;
+  std::vector<uint32_t> bfs_visited_;  // node -> epoch stamp
+  uint32_t bfs_epoch_ = 0;
+  bool fired_ = false;
+};
+
+}  // namespace adya::graph
+
+#endif  // ADYA_GRAPH_DYNAMIC_ORDER_H_

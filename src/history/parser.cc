@@ -1,6 +1,7 @@
 #include "history/parser.h"
 
 #include <cctype>
+#include <charconv>
 #include <map>
 
 #include "common/str_util.h"
@@ -157,8 +158,26 @@ class Parser {
       relations.push_back(history_.AddRelation("R"));
     }
     ADYA_RETURN_IF_ERROR(Expect(':'));
-    size_t end = text_.find(';', pos_);
-    if (end == std::string_view::npos) {
+    // Find the terminating ';', skipping over string literals in the
+    // condition (a ';' inside quotes, e.g. name = "a;b", is data).
+    size_t end = pos_;
+    bool in_string = false;
+    while (end < text_.size()) {
+      char ch = text_[end];
+      if (in_string) {
+        if (ch == '\\' && end + 1 < text_.size()) {
+          end += 2;  // escaped character (both quote and backslash)
+          continue;
+        }
+        if (ch == '"') in_string = false;
+      } else if (ch == '"') {
+        in_string = true;
+      } else if (ch == ';') {
+        break;
+      }
+      ++end;
+    }
+    if (end >= text_.size()) {
       return Err("predicate condition must end with ';'");
     }
     std::string_view condition = text_.substr(pos_, end - pos_);
@@ -270,23 +289,53 @@ class Parser {
     }
     size_t start = pos_;
     if (c == '-' || c == '+') ++pos_;
-    bool saw_digit = false, saw_dot = false;
+    bool saw_digit = false, saw_dot = false, saw_exp = false;
     while (pos_ < text_.size()) {
       char d = text_[pos_];
       if (IsDigit(d)) {
         saw_digit = true;
         ++pos_;
-      } else if (d == '.' && !saw_dot) {
+      } else if (d == '.' && !saw_dot && !saw_exp) {
         saw_dot = true;
         ++pos_;
+      } else if ((d == 'e' || d == 'E') && saw_digit && !saw_exp) {
+        // Exponent only if [+-]?digit follows; otherwise 'e' starts the
+        // next token (e.g. an attribute name).
+        size_t look = pos_ + 1;
+        if (look < text_.size() &&
+            (text_[look] == '+' || text_[look] == '-')) {
+          ++look;
+        }
+        if (look >= text_.size() || !IsDigit(text_[look])) break;
+        saw_exp = true;
+        pos_ = look;
       } else {
         break;
       }
     }
     if (!saw_digit) return Err("expected a value literal");
     std::string token(text_.substr(start, pos_ - start));
-    if (saw_dot) return Value(std::stod(token));
-    return Value(static_cast<int64_t>(std::stoll(token)));
+    // from_chars: exception-free, exact for subnormals, rejects nothing a
+    // round-tripped Value::ToString can produce. It does not accept a
+    // leading '+', which the grammar does.
+    std::string_view digits = token;
+    if (digits.front() == '+') digits.remove_prefix(1);
+    if (saw_dot || saw_exp) {
+      double d = 0;
+      auto [p, ec] = std::from_chars(digits.data(),
+                                     digits.data() + digits.size(), d);
+      if (ec != std::errc() || p != digits.data() + digits.size()) {
+        return Err(StrCat("numeric literal '", token, "' is out of range"));
+      }
+      return Value(d);
+    }
+    int64_t i = 0;
+    auto [p, ec] =
+        std::from_chars(digits.data(), digits.data() + digits.size(), i);
+    if (ec != std::errc() || p != digits.data() + digits.size()) {
+      return Err(StrCat("integer literal '", token, "' is out of range"));
+    }
+    return Value(i);
   }
 
   Result<Row> ParseRowLiteral() {

@@ -1,6 +1,7 @@
 #include "history/predicate.h"
 
 #include <cctype>
+#include <charconv>
 
 #include "common/str_util.h"
 
@@ -301,18 +302,32 @@ class ExprParser {
       ++pos_;  // closing quote
       return Value(std::move(out));
     }
-    // Number: [-]digits[.digits]
+    // Number: [-]digits[.digits][(e|E)[+-]digits]
     size_t start = pos_;
     if (c == '-' || c == '+') ++pos_;
-    bool saw_digit = false, saw_dot = false;
+    bool saw_digit = false, saw_dot = false, saw_exp = false;
     while (pos_ < text_.size()) {
       char d = text_[pos_];
       if (std::isdigit(static_cast<unsigned char>(d))) {
         saw_digit = true;
         ++pos_;
-      } else if (d == '.' && !saw_dot) {
+      } else if (d == '.' && !saw_dot && !saw_exp) {
         saw_dot = true;
         ++pos_;
+      } else if ((d == 'e' || d == 'E') && saw_digit && !saw_exp) {
+        // Exponent only if [+-]?digit follows; otherwise the 'e' belongs
+        // to a following word.
+        size_t look = pos_ + 1;
+        if (look < text_.size() &&
+            (text_[look] == '+' || text_[look] == '-')) {
+          ++look;
+        }
+        if (look >= text_.size() ||
+            !std::isdigit(static_cast<unsigned char>(text_[look]))) {
+          break;
+        }
+        saw_exp = true;
+        pos_ = look;
       } else {
         break;
       }
@@ -322,8 +337,28 @@ class ExprParser {
           StrCat("expected literal at offset ", start));
     }
     std::string token(text_.substr(start, pos_ - start));
-    if (saw_dot) return Value(std::stod(token));
-    return Value(static_cast<int64_t>(std::stoll(token)));
+    // from_chars: exception-free, exact for subnormals; strip the leading
+    // '+' it does not accept.
+    std::string_view digits = token;
+    if (digits.front() == '+') digits.remove_prefix(1);
+    if (saw_dot || saw_exp) {
+      double d = 0;
+      auto [p, ec] = std::from_chars(digits.data(),
+                                     digits.data() + digits.size(), d);
+      if (ec != std::errc() || p != digits.data() + digits.size()) {
+        return Status::InvalidArgument(
+            StrCat("numeric literal '", token, "' is out of range"));
+      }
+      return Value(d);
+    }
+    int64_t i = 0;
+    auto [p, ec] =
+        std::from_chars(digits.data(), digits.data() + digits.size(), i);
+    if (ec != std::errc() || p != digits.data() + digits.size()) {
+      return Status::InvalidArgument(
+          StrCat("integer literal '", token, "' is out of range"));
+    }
+    return Value(i);
   }
 
   std::string_view text_;

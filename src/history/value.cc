@@ -1,5 +1,6 @@
 #include "history/value.h"
 
+#include <charconv>
 #include <cmath>
 #include <sstream>
 
@@ -32,14 +33,18 @@ std::string Value::ToString() const {
   if (is_int()) {
     oss << AsInt();
   } else if (is_double()) {
-    oss << AsDouble();
+    // Shortest decimal form that parses back to the exact same double.
+    char buf[32];
+    auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), AsDouble());
+    std::string repr(buf, ptr);
     // Make doubles round-trip distinguishably from ints.
-    if (oss.str().find('.') == std::string::npos &&
-        oss.str().find('e') == std::string::npos &&
-        oss.str().find("inf") == std::string::npos &&
-        oss.str().find("nan") == std::string::npos) {
-      oss << ".0";
+    if (repr.find('.') == std::string::npos &&
+        repr.find('e') == std::string::npos &&
+        repr.find("inf") == std::string::npos &&
+        repr.find("nan") == std::string::npos) {
+      repr += ".0";
     }
+    oss << repr;
   } else if (is_bool()) {
     oss << (AsBool() ? "true" : "false");
   } else {

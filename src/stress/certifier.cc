@@ -41,7 +41,9 @@ OnlineCertifier::OnlineCertifier(const engine::Database& db,
                                  const CertifyOptions& options)
     : db_(&db), target_(target), options_(options) {
   if (options_.max_batch < 1) options_.max_batch = 1;
-  if (options_.threads > 1) {
+  if (options_.incremental) {
+    incremental_ = std::make_unique<IncrementalChecker>(target_);
+  } else if (options_.threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.threads);
   }
 }
@@ -72,6 +74,7 @@ std::vector<Violation> OnlineCertifier::Cycle() {
   ++cycles_;
   size_t before = cursor_;
   cursor_ = db_->DrainRecorded(&replica_, cursor_);
+  if (options_.incremental) return IncrementalCycle(before);
   // Prefix lengths ending just after each newly drained commit: the
   // candidate snapshots of this batch.
   std::vector<size_t> commit_ends;
@@ -116,6 +119,52 @@ std::vector<Violation> OnlineCertifier::Cycle() {
         violations_.push_back(v);
         fresh.push_back(std::move(v));
       }
+    }
+  }
+  return fresh;
+}
+
+std::vector<Violation> OnlineCertifier::IncrementalCycle(size_t before) {
+  // Universe entries drained since the last cycle must exist in the
+  // checker's live history before any event references them.
+  History& live = incremental_->history();
+  for (; synced_relations_ < replica_.relation_count(); ++synced_relations_) {
+    live.AddRelation(
+        replica_.relation_name(static_cast<RelationId>(synced_relations_)));
+  }
+  for (; synced_objects_ < replica_.object_count(); ++synced_objects_) {
+    ObjectId id = static_cast<ObjectId>(synced_objects_);
+    live.AddObject(replica_.object_name(id), replica_.object_relation(id));
+  }
+  for (; synced_predicates_ < replica_.predicate_count();
+       ++synced_predicates_) {
+    PredicateId id = static_cast<PredicateId>(synced_predicates_);
+    live.AddPredicate(replica_.predicate_name(id), replica_.predicate_ptr(id),
+                      replica_.predicate_relations(id));
+  }
+  std::vector<Violation> fresh;
+  for (size_t i = before; i < cursor_; ++i) {
+    const Event& e = replica_.event(static_cast<EventId>(i));
+    if (e.type == EventType::kBegin) {
+      live.SetLevel(e.txn, replica_.txn_info(e.txn).level);
+    }
+    if (e.type == EventType::kCommit) {
+      ++commits_seen_;
+      ++checks_run_;
+    }
+    Result<std::vector<Violation>> out = incremental_->Feed(e);
+    // The engine reports exact version identities, so its recorded stream
+    // is well-formed by construction; a failure here is an engine bug.
+    ADYA_CHECK_MSG(out.ok(), "recorded stream failed incremental "
+                             "certification: "
+                                 << out.status());
+    for (Violation& v : *out) {
+      // The checker reports each phenomenon kind once, so every returned
+      // violation is fresh here too.
+      bool inserted = reported_.insert(v.phenomenon).second;
+      ADYA_CHECK(inserted);
+      violations_.push_back(v);
+      fresh.push_back(std::move(v));
     }
   }
   return fresh;

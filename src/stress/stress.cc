@@ -259,6 +259,7 @@ Result<StressReport> RunStress(Database& db, const StressOptions& options) {
   CertifyOptions certify_options;
   certify_options.threads = options.check_threads;
   certify_options.max_batch = options.certify_batch;
+  certify_options.incremental = options.certify_incremental;
   OnlineCertifier certifier(db, certify_level, certify_options);
 
   // Certifier thread: drain + check every certify_interval until stopped,

@@ -56,6 +56,11 @@ struct StressOptions {
   /// (CertifyOptions::max_batch). 1 = full prefix only, the original
   /// behavior.
   int certify_batch = 1;
+  /// Certify incrementally (CertifyOptions::incremental): fold every
+  /// drained commit into a persistent DSG instead of re-checking prefix
+  /// snapshots — exact per-commit attribution, same verdicts; ignores
+  /// check_threads / certify_batch.
+  bool certify_incremental = false;
   /// Preload every key with an initial row before workers start, so reads
   /// and predicate queries hit real data from the first transaction.
   bool preload = true;

@@ -16,6 +16,7 @@
 #include <sstream>
 
 #include "common/str_util.h"
+#include "core/incremental.h"
 #include "core/paper_histories.h"
 #include "core/parallel.h"
 
@@ -88,6 +89,11 @@ std::string RenderCorpus() {
       EXPECT_EQ(serial_text, Render(ph, parallel))
           << ph.name << " diverges at " << threads << " threads";
     }
+    // The incremental checker (audit mode over the finalized history) must
+    // also match bit for bit — same golden file, no third snapshot.
+    IncrementalChecker incremental(ph.history);
+    EXPECT_EQ(serial_text, Render(ph, incremental))
+        << ph.name << " diverges through the incremental checker";
     out += serial_text;
   }
   return out;

@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <tuple>
 
+#include "common/str_util.h"
 #include "core/conflicts.h"
+#include "core/paper_histories.h"
 #include "history/builder.h"
 #include "history/parser.h"
+#include "workload/workload.h"
 
 namespace adya {
 namespace {
@@ -236,6 +240,244 @@ TEST(ConflictsTest, DescribeMentionsTransactionsAndKind) {
   EXPECT_NE(text.find("T1"), std::string::npos);
   EXPECT_NE(text.find("T2"), std::string::npos);
   EXPECT_NE(text.find("wr"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// ConflictDelta: replaying a history event-by-event must accumulate EXACTLY
+// the offline edge multiset of the completed (commit-order) history, under
+// every option combination.
+// ---------------------------------------------------------------------------
+
+void CloneUniverse(const History& h, History& live) {
+  for (RelationId r = 0; r < h.relation_count(); ++r) {
+    live.AddRelation(h.relation_name(r));
+  }
+  for (ObjectId o = 0; o < h.object_count(); ++o) {
+    live.AddObject(h.object_name(o), h.object_relation(o));
+  }
+  for (PredicateId p = 0; p < h.predicate_count(); ++p) {
+    live.AddPredicate(h.predicate_name(p), h.predicate_ptr(p),
+                      h.predicate_relations(p));
+  }
+  for (TxnId t : h.Transactions()) live.SetLevel(t, h.txn_info(t).level);
+}
+
+auto DepSortKey(const Dependency& d) {
+  return std::make_tuple(d.from, d.to, d.kind, d.object, d.from_version,
+                         d.to_version, d.predicate, d.is_predicate);
+}
+
+void ExpectSameDepMultiset(std::vector<Dependency> offline,
+                           std::vector<Dependency> streamed,
+                           const std::string& context) {
+  auto less = [](const Dependency& a, const Dependency& b) {
+    return DepSortKey(a) < DepSortKey(b);
+  };
+  std::sort(offline.begin(), offline.end(), less);
+  std::sort(streamed.begin(), streamed.end(), less);
+  ASSERT_EQ(offline.size(), streamed.size()) << context;
+  for (size_t i = 0; i < offline.size(); ++i) {
+    EXPECT_EQ(DepSortKey(offline[i]), DepSortKey(streamed[i]))
+        << context << " at sorted index " << i << " (offline T"
+        << offline[i].from << " -> T" << offline[i].to << " kind "
+        << DepKindName(offline[i].kind) << ")";
+  }
+}
+
+/// Streams `h`'s events through a ConflictDelta and compares the
+/// accumulated deltas against ComputeDependencies of the completed replay.
+void DiffDelta(const History& h, const ConflictOptions& options,
+               const std::string& context) {
+  History live;
+  CloneUniverse(h, live);
+  ConflictDelta delta(options);
+  std::vector<Dependency> streamed;
+  for (EventId id = 0; id < h.events().size(); ++id) {
+    live.Append(h.event(id));
+    std::vector<Dependency> deps = delta.OnEvent(live, id);
+    streamed.insert(streamed.end(), deps.begin(), deps.end());
+  }
+  History completed = live;
+  Status finalize = completed.Finalize();
+  if (!finalize.ok()) {
+    // The only commit-order finalize failure is a dead version succeeded by
+    // another install — which the delta must have flagged.
+    EXPECT_FALSE(delta.dead_violations().empty())
+        << context << ": " << finalize;
+    return;
+  }
+  EXPECT_TRUE(delta.dead_violations().empty()) << context;
+  ExpectSameDepMultiset(ComputeDependencies(completed, options), streamed,
+                        context);
+}
+
+void DiffDeltaAllOptions(const History& h, const std::string& context) {
+  for (bool first_only : {false, true}) {
+    for (int start_mode : {0, 1, 2}) {
+      ConflictOptions options;
+      options.first_rw_pred_only = first_only;
+      options.include_start_edges = start_mode != 0;
+      options.reduced_start_edges = start_mode == 2;
+      DiffDelta(h, options,
+                StrCat(context, " first_only=", first_only, " start_mode=",
+                       start_mode));
+    }
+  }
+}
+
+TEST(ConflictDeltaTest, PendingReadResolvesAtWriterCommit) {
+  // T2 commits before its writer T1: the wr edge appears only at c1.
+  auto h = ParseHistory("w1(x1) r2(x1) c2 c1");
+  ASSERT_TRUE(h.ok());
+  History live;
+  CloneUniverse(*h, live);
+  ConflictDelta delta;
+  std::vector<size_t> per_event;
+  std::vector<Dependency> all;
+  for (EventId id = 0; id < h->events().size(); ++id) {
+    live.Append(h->event(id));
+    auto deps = delta.OnEvent(live, id);
+    per_event.push_back(deps.size());
+    all.insert(all.end(), deps.begin(), deps.end());
+  }
+  EXPECT_EQ(per_event[2], 0u);  // c2: writer still running, nothing yet
+  ASSERT_EQ(per_event[3], 1u);  // c1: the parked wr(item) materializes
+  EXPECT_EQ(all[0].kind, DepKind::kWRItem);
+  EXPECT_EQ(all[0].from, 1u);
+  EXPECT_EQ(all[0].to, 2u);
+}
+
+TEST(ConflictDeltaTest, AbortDropsParkedReads) {
+  auto h = ParseHistory("w1(x1) r2(x1) c2 a1");
+  ASSERT_TRUE(h.ok());
+  History live;
+  CloneUniverse(*h, live);
+  ConflictDelta delta;
+  std::vector<Dependency> all;
+  for (EventId id = 0; id < h->events().size(); ++id) {
+    live.Append(h->event(id));
+    auto deps = delta.OnEvent(live, id);
+    all.insert(all.end(), deps.begin(), deps.end());
+  }
+  EXPECT_TRUE(all.empty());
+}
+
+TEST(ConflictDeltaTest, DeadVersionSucceededIsFlagged) {
+  // T2 deletes x, then T3 installs another version: commit-order finalize
+  // of the completed prefix must fail, and the delta must notice exactly at
+  // T3's commit. (Unparseable on purpose — ParseHistory finalizes.)
+  History live;
+  ObjectId x = live.AddObject("x");
+  ConflictDelta delta;
+  auto feed = [&](Event e) {
+    EventId id = live.Append(std::move(e));
+    delta.OnEvent(live, id);
+  };
+  feed(Event::Write(1, VersionId{x, 1, 1}, Row()));
+  feed(Event::Commit(1));
+  feed(Event::Write(2, VersionId{x, 2, 1}, Row(), VersionKind::kDead));
+  feed(Event::Commit(2));
+  EXPECT_TRUE(delta.dead_violations().empty());
+  feed(Event::Write(3, VersionId{x, 3, 1}, Row()));
+  EXPECT_TRUE(delta.dead_violations().empty());
+  feed(Event::Commit(3));
+  ASSERT_EQ(delta.dead_violations().size(), 1u);
+  EXPECT_EQ(*delta.dead_violations().begin(), x);
+}
+
+TEST(ConflictDeltaTest, PaperCorpusMatchesOffline) {
+  for (const PaperHistory& ph : AllPaperHistories()) {
+    DiffDeltaAllOptions(ph.history, ph.name);
+  }
+}
+
+TEST(ConflictDeltaTest, RandomHistoriesMatchOffline) {
+  for (uint64_t seed = 1; seed <= 120; ++seed) {
+    workload::RandomHistoryOptions options;
+    options.seed = seed;
+    options.num_txns = 8;
+    options.num_objects = 5;
+    options.ops_per_txn = 4;
+    options.realizable = (seed % 2) == 0;
+    History h = workload::GenerateRandomHistory(options);
+    DiffDeltaAllOptions(h, StrCat("random seed ", seed));
+  }
+}
+
+TEST(ConflictDeltaTest, EngineHistoriesMatchOffline) {
+  using engine::Database;
+  using engine::Scheme;
+  struct Config {
+    Scheme scheme;
+    IsolationLevel level;
+  };
+  const Config configs[] = {
+      {Scheme::kLocking, IsolationLevel::kPL3},
+      {Scheme::kOptimistic, IsolationLevel::kPL2},
+      {Scheme::kMultiversion, IsolationLevel::kPLSI},
+  };
+  for (const Config& config : configs) {
+    for (uint64_t seed = 1; seed <= 12; ++seed) {
+      auto db = Database::Create(config.scheme, Database::Options{});
+      workload::WorkloadOptions options;
+      options.seed = seed;
+      options.levels = {config.level};
+      options.num_txns = 10;
+      options.num_keys = 4;
+      options.ops_per_txn = 4;
+      options.max_active = 4;
+      workload::RunWorkload(*db, options);
+      auto history = db->RecordedHistory();
+      ASSERT_TRUE(history.ok()) << history.status();
+      DiffDeltaAllOptions(*history,
+                          StrCat(engine::SchemeName(config.scheme), " seed ",
+                                 seed));
+    }
+  }
+}
+
+TEST(ConflictDeltaTest, CheckpointCopyContinuesIdentically) {
+  workload::RandomHistoryOptions options;
+  options.seed = 5;
+  options.num_txns = 8;
+  options.realizable = true;
+  History h = workload::GenerateRandomHistory(options);
+  History live;
+  CloneUniverse(h, live);
+  ConflictDelta whole;
+  ConflictDelta first_half;
+  std::vector<Dependency> whole_deps;
+  EventId split = static_cast<EventId>(h.events().size() / 2);
+  for (EventId id = 0; id < h.events().size(); ++id) {
+    live.Append(h.event(id));
+    auto deps = whole.OnEvent(live, id);
+    whole_deps.insert(whole_deps.end(), deps.begin(), deps.end());
+    if (id < split) first_half.OnEvent(live, id);
+  }
+  // Resume the copy over the second half: the union must be identical.
+  History live2;
+  CloneUniverse(h, live2);
+  for (EventId id = 0; id < split; ++id) live2.Append(h.event(id));
+  ConflictDelta resumed = first_half;  // checkpoint
+  std::vector<Dependency> resumed_deps;
+  for (EventId id = split; id < h.events().size(); ++id) {
+    live2.Append(h.event(id));
+    auto deps = resumed.OnEvent(live2, id);
+    resumed_deps.insert(resumed_deps.end(), deps.begin(), deps.end());
+  }
+  // Deltas of the first half were dropped; replay them for the union.
+  History live3;
+  CloneUniverse(h, live3);
+  ConflictDelta prefix_only;
+  std::vector<Dependency> prefix_deps;
+  for (EventId id = 0; id < split; ++id) {
+    live3.Append(h.event(id));
+    auto deps = prefix_only.OnEvent(live3, id);
+    prefix_deps.insert(prefix_deps.end(), deps.begin(), deps.end());
+  }
+  prefix_deps.insert(prefix_deps.end(), resumed_deps.begin(),
+                     resumed_deps.end());
+  ExpectSameDepMultiset(whole_deps, prefix_deps, "checkpoint/resume");
 }
 
 }  // namespace

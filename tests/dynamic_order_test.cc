@@ -1,0 +1,196 @@
+// Differential tests for the dynamically maintained SCC/topological-order
+// structure: after EVERY edge insertion the incremental state must agree
+// with a from-scratch recomputation (Tarjan SCCs, cycle searches on the
+// static Digraph). Random multigraphs with parallel edges, self-loops and
+// skewed kind masks drive the sweep.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "common/str_util.h"
+#include "graph/cycles.h"
+#include "graph/digraph.h"
+#include "graph/dynamic_order.h"
+
+namespace adya::graph {
+namespace {
+
+constexpr KindMask kA = 1;  // plays the role of "dependency"
+constexpr KindMask kB = 2;  // plays the role of "anti-dependency"
+constexpr KindMask kC = 4;  // extra kind (start edges)
+
+struct Mirror {
+  Digraph g;
+  DynamicSccDigraph dynamic;
+  ExactlyOneCycleDetector exactly_one{kB, kA | kC};
+  std::vector<Digraph::Edge> edges;
+
+  void AddNodes(size_t count) {
+    g.Resize(count);
+    dynamic.EnsureNodes(count);
+    exactly_one.EnsureNodes(count);
+  }
+
+  void Insert(NodeId from, NodeId to, KindMask kinds) {
+    g.AddEdge(from, to, kinds);
+    dynamic.Insert(from, to, kinds);
+    exactly_one.Insert(from, to, kinds);
+    edges.push_back({from, to, kinds});
+  }
+
+  /// The full agreement check against from-scratch recomputation.
+  void Verify(const std::string& context) {
+    SccResult scc = StronglyConnectedComponents(g, ~KindMask{0});
+    // 1. Same partition: nodes share a dynamic component iff they share a
+    //    Tarjan component.
+    for (NodeId a = 0; a < g.node_count(); ++a) {
+      for (NodeId b = a + 1; b < g.node_count(); ++b) {
+        EXPECT_EQ(scc.component[a] == scc.component[b],
+                  dynamic.SameComponent(a, b))
+            << context << " nodes " << a << "," << b;
+      }
+    }
+    // 2. The maintained order is a valid topological order of the
+    //    condensation.
+    KindMask intra = 0;
+    for (const Digraph::Edge& e : edges) {
+      if (scc.component[e.from] == scc.component[e.to]) {
+        intra |= e.kinds;
+      } else {
+        EXPECT_LT(dynamic.OrderOf(e.from), dynamic.OrderOf(e.to))
+            << context << " edge " << e.from << "->" << e.to;
+      }
+    }
+    // 3. intra_kinds is exactly the union over on-a-cycle edges.
+    EXPECT_EQ(intra, dynamic.intra_kinds()) << context;
+    // 4. The exactly-one detector agrees with the static search.
+    bool static_exactly_one =
+        FindCycleWithExactlyOne(g, kB, kA | kC).has_value();
+    EXPECT_EQ(static_exactly_one, exactly_one.Check()) << context;
+    // 5. Required-kind detection via intra_kinds matches the static search.
+    for (KindMask required : {kA, kB, kC}) {
+      bool has = FindCycleWithRequiredKind(g, ~KindMask{0}, required)
+                     .has_value();
+      EXPECT_EQ(has, (dynamic.intra_kinds() & required) != 0)
+          << context << " required=" << required;
+    }
+  }
+};
+
+TEST(DynamicOrderTest, ChainThenClosingEdgeMergesAll) {
+  Mirror m;
+  m.AddNodes(5);
+  for (NodeId i = 0; i + 1 < 5; ++i) m.Insert(i, i + 1, kA);
+  m.Verify("chain");
+  EXPECT_EQ(m.dynamic.intra_kinds(), 0u);
+  m.Insert(4, 0, kB);  // closes the whole chain into one SCC
+  m.Verify("closed chain");
+  EXPECT_TRUE(m.dynamic.SameComponent(0, 4));
+  EXPECT_TRUE(m.exactly_one.Check());
+}
+
+TEST(DynamicOrderTest, SelfLoopIsAnImmediateCycle) {
+  Mirror m;
+  m.AddNodes(2);
+  m.Insert(1, 1, kB);
+  m.Verify("self loop");
+  EXPECT_TRUE(m.exactly_one.Check());
+  EXPECT_EQ(m.dynamic.intra_kinds(), kB);
+}
+
+TEST(DynamicOrderTest, TwoPivotsOnOnlyCycleDoesNotFireExactlyOne) {
+  Mirror m;
+  m.AddNodes(2);
+  m.Insert(0, 1, kB);
+  m.Insert(1, 0, kB);  // 2-cycle, but both edges are pivots
+  m.Verify("double pivot");
+  EXPECT_FALSE(m.exactly_one.Check());
+  // A parallel rest edge now closes a one-pivot cycle.
+  m.Insert(1, 0, kA);
+  m.Verify("pivot plus rest");
+  EXPECT_TRUE(m.exactly_one.Check());
+}
+
+TEST(DynamicOrderTest, BackEdgeWithoutCycleOnlyReorders) {
+  Mirror m;
+  m.AddNodes(4);
+  m.Insert(0, 1, kA);
+  m.Insert(2, 3, kA);
+  // 3 -> 0 violates the insertion order 0,1,2,3 but creates no cycle.
+  m.Insert(3, 0, kA);
+  m.Verify("reorder");
+  EXPECT_EQ(m.dynamic.intra_kinds(), 0u);
+}
+
+TEST(DynamicOrderTest, GrowingComponentAbsorbsNeighbours) {
+  Mirror m;
+  m.AddNodes(6);
+  m.Insert(0, 1, kA);
+  m.Insert(1, 0, kA);  // {0,1}
+  m.Insert(2, 3, kA);
+  m.Insert(3, 2, kA);  // {2,3}
+  m.Verify("two pairs");
+  m.Insert(1, 2, kA);
+  m.Verify("bridge");
+  m.Insert(3, 0, kB);  // merges the two pairs through the bridge
+  m.Verify("merged");
+  EXPECT_TRUE(m.dynamic.SameComponent(0, 3));
+  EXPECT_TRUE(m.exactly_one.Check());
+}
+
+TEST(DynamicOrderTest, RandomInsertionSweepMatchesRecompute) {
+  std::mt19937_64 rng(7);
+  for (int round = 0; round < 40; ++round) {
+    Mirror m;
+    size_t nodes = 3 + rng() % 10;
+    m.AddNodes(nodes);
+    int edges = 2 + static_cast<int>(rng() % (4 * nodes));
+    for (int e = 0; e < edges; ++e) {
+      NodeId from = static_cast<NodeId>(rng() % nodes);
+      NodeId to = static_cast<NodeId>(rng() % nodes);
+      KindMask kinds = 1u << (rng() % 3);
+      if (rng() % 8 == 0) kinds |= 1u << (rng() % 3);  // multi-kind edges
+      m.Insert(from, to, kinds);
+      m.Verify(StrCat("round ", round, " edge ", e, ": ", from, "->", to,
+                      " kinds=", kinds));
+    }
+  }
+}
+
+TEST(DynamicOrderTest, LateNodesJoinExistingCycles) {
+  Mirror m;
+  m.AddNodes(2);
+  m.Insert(0, 1, kA);
+  m.Insert(1, 0, kA);
+  m.AddNodes(4);  // grow after a component exists
+  m.Insert(1, 2, kA);
+  m.Insert(2, 3, kA);
+  m.Insert(3, 0, kB);
+  m.Verify("grown");
+  EXPECT_TRUE(m.dynamic.SameComponent(0, 3));
+}
+
+TEST(DynamicOrderTest, CheckpointCopyKeepsEvolvingIndependently) {
+  Mirror m;
+  m.AddNodes(4);
+  m.Insert(0, 1, kA);
+  m.Insert(1, 2, kA);
+  DynamicSccDigraph snapshot = m.dynamic;  // value copy
+  ExactlyOneCycleDetector detector_snapshot = m.exactly_one;
+  m.Insert(2, 0, kB);
+  m.Verify("original after copy");
+  EXPECT_TRUE(m.dynamic.SameComponent(0, 2));
+  // The snapshot is unaffected…
+  EXPECT_FALSE(snapshot.SameComponent(0, 2));
+  EXPECT_FALSE(detector_snapshot.Check());
+  // …and can take the same insertion later with the same outcome.
+  snapshot.Insert(2, 0, kB);
+  detector_snapshot.Insert(2, 0, kB);
+  EXPECT_TRUE(snapshot.SameComponent(0, 2));
+  EXPECT_TRUE(detector_snapshot.Check());
+}
+
+}  // namespace
+}  // namespace adya::graph

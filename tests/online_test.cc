@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
+#include "core/incremental.h"
 #include "core/online.h"
 #include "core/paper_histories.h"
 #include "history/parser.h"
@@ -137,6 +141,118 @@ TEST(OnlineTest, EnforcementFlagsCommitOfUncommittedRead) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, OnlineSweepTest,
                          ::testing::Range<uint64_t>(1, 41));
+
+// ---------------------------------------------------------------------------
+// Streaming properties of the incremental checker.
+
+/// Clones `h`'s universe and transaction levels into `c`'s live history.
+void CloneInto(IncrementalChecker& c, const History& h) {
+  History& live = c.history();
+  for (RelationId r = 0; r < h.relation_count(); ++r) {
+    live.AddRelation(h.relation_name(r));
+  }
+  for (ObjectId o = 0; o < h.object_count(); ++o) {
+    live.AddObject(h.object_name(o), h.object_relation(o));
+  }
+  for (PredicateId p = 0; p < h.predicate_count(); ++p) {
+    live.AddPredicate(h.predicate_name(p), h.predicate_ptr(p),
+                      h.predicate_relations(p));
+  }
+  for (TxnId t : h.Transactions()) live.SetLevel(t, h.txn_info(t).level);
+}
+
+/// Feeds events [begin, end) of `h` into `c`; returns (event, phenomenon)
+/// pairs in report order.
+std::vector<std::pair<EventId, Phenomenon>> FeedRange(IncrementalChecker& c,
+                                                      const History& h,
+                                                      EventId begin,
+                                                      EventId end) {
+  std::vector<std::pair<EventId, Phenomenon>> out;
+  for (EventId id = begin; id < end; ++id) {
+    auto result = c.Feed(h.event(id));
+    EXPECT_TRUE(result.ok()) << result.status();
+    if (!result.ok()) continue;
+    for (const Violation& v : *result) out.push_back({id, v.phenomenon});
+  }
+  return out;
+}
+
+History RealizableHistory(uint64_t seed) {
+  workload::RandomHistoryOptions options;
+  options.seed = seed;
+  options.num_txns = 8;
+  options.realizable = true;  // commit-order installs: streamable as-is
+  return workload::GenerateRandomHistory(options);
+}
+
+// Cycle phenomena are final-monotone under prefixing: versions install in
+// commit order, so a longer stream's DSG is a supergraph of a shorter
+// one's — everything a prefix stream reports, the whole stream reports
+// too (at the same commit), and the prefix reports are exactly the whole
+// stream's reports that fall inside the prefix.
+TEST(OnlinePropertyTest, ReportsAreMonotoneUnderPrefixing) {
+  constexpr IsolationLevel kLevels[] = {IsolationLevel::kPL3,
+                                        IsolationLevel::kPLSI,
+                                        IsolationLevel::kPL2Plus};
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    History h = RealizableHistory(seed);
+    EventId n = static_cast<EventId>(h.events().size());
+    for (IsolationLevel level : kLevels) {
+      IncrementalChecker whole(level);
+      CloneInto(whole, h);
+      auto whole_reports = FeedRange(whole, h, 0, n);
+      for (EventId cut : {n / 3, n / 2, 2 * n / 3}) {
+        IncrementalChecker prefix(level);
+        CloneInto(prefix, h);
+        auto prefix_reports = FeedRange(prefix, h, 0, cut);
+        std::vector<std::pair<EventId, Phenomenon>> expected;
+        for (const auto& r : whole_reports) {
+          if (r.first < cut) expected.push_back(r);
+        }
+        EXPECT_EQ(prefix_reports, expected)
+            << "seed " << seed << " level " << IsolationLevelName(level)
+            << " cut " << cut;
+      }
+    }
+  }
+}
+
+// Feeding a stream in two chunks is indistinguishable from feeding it
+// whole, and a copy taken at the chunk boundary (a checkpoint) resumes
+// identically to the original — the incremental state is value-semantic.
+TEST(OnlinePropertyTest, ChunkedFeedingAndCheckpointResumeMatchWhole) {
+  constexpr IsolationLevel kLevels[] = {IsolationLevel::kPL3,
+                                        IsolationLevel::kPLSI};
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    History h = RealizableHistory(seed);
+    EventId n = static_cast<EventId>(h.events().size());
+    EventId half = n / 2;
+    for (IsolationLevel level : kLevels) {
+      IncrementalChecker whole(level);
+      CloneInto(whole, h);
+      auto whole_reports = FeedRange(whole, h, 0, n);
+
+      IncrementalChecker chunked(level);
+      CloneInto(chunked, h);
+      auto first = FeedRange(chunked, h, 0, half);
+      IncrementalChecker resumed = chunked;  // checkpoint
+      auto second = FeedRange(chunked, h, half, n);
+      auto second_resumed = FeedRange(resumed, h, half, n);
+
+      auto combined = first;
+      combined.insert(combined.end(), second.begin(), second.end());
+      EXPECT_EQ(combined, whole_reports)
+          << "seed " << seed << " level " << IsolationLevelName(level);
+      EXPECT_EQ(second_resumed, second)
+          << "checkpoint diverged: seed " << seed << " level "
+          << IsolationLevelName(level);
+      EXPECT_EQ(chunked.commits_checked(), whole.commits_checked());
+      EXPECT_EQ(resumed.commits_checked(), whole.commits_checked());
+      EXPECT_EQ(chunked.reported(), whole.reported());
+      EXPECT_EQ(resumed.reported(), whole.reported());
+    }
+  }
+}
 
 }  // namespace
 }  // namespace adya
