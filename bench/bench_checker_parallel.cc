@@ -1,4 +1,4 @@
-// Parallel certification core: serial vs ParallelChecker over a threads ×
+// Parallel certification core: serial vs parallel checking over a threads ×
 // history-size grid. Each grid cell also prints one machine-readable
 // `BENCH {…}` JSON line (median wall time and speedup vs the threads=1 cell
 // of the same size), so a trajectory file can be grepped out of the run:
@@ -16,12 +16,26 @@
 #include <cstdio>
 #include <map>
 
+#include "bench_util.h"
 #include "common/str_util.h"
+#include "common/thread_pool.h"
+#include "core/checker_api.h"
 #include "core/parallel.h"
 #include "workload/workload.h"
 
 namespace adya {
 namespace {
+
+/// Set from --stats before the benchmarks run; null = instrumentation off.
+obs::StatsRegistry* g_stats = nullptr;
+
+CheckerOptions ParallelOptions(int threads) {
+  CheckerOptions options;
+  options.mode = CheckMode::kParallel;
+  options.threads = threads;
+  options.stats = g_stats;
+  return options;
+}
 
 History MakeHistory(int txns) {
   workload::RandomHistoryOptions options;
@@ -45,13 +59,12 @@ void BM_ParallelCheckAll(benchmark::State& state) {
   int txns = static_cast<int>(state.range(0));
   int threads = static_cast<int>(state.range(1));
   History h = MakeHistory(txns);
-  CheckOptions options;
-  options.threads = threads;
+  CheckerOptions options = ParallelOptions(threads);
   // The pool outlives the timing loop: thread startup is a one-time cost a
   // long-lived certifier amortizes, so it is not what this grid measures.
   ThreadPool pool(threads);
   for (auto _ : state) {
-    ParallelChecker checker(h, options, threads > 1 ? &pool : nullptr);
+    Checker checker(h, options, threads > 1 ? &pool : nullptr);
     auto all = checker.CheckAll();
     benchmark::DoNotOptimize(all.size());
   }
@@ -60,7 +73,7 @@ void BM_ParallelCheckAll(benchmark::State& state) {
     // Re-time one iteration outside the benchmark loop for the JSON line
     // (state's timings are not readable from inside the benchmark).
     auto start = std::chrono::steady_clock::now();
-    ParallelChecker checker(h, options, threads > 1 ? &pool : nullptr);
+    Checker checker(h, options, threads > 1 ? &pool : nullptr);
     benchmark::DoNotOptimize(checker.CheckAll().size());
     wall_us = static_cast<double>(
                   std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -103,12 +116,11 @@ BENCHMARK(BM_ParallelDsgBuild)
 void BM_ParallelCheckLevel(benchmark::State& state) {
   int threads = static_cast<int>(state.range(0));
   History h = MakeHistory(500);
-  CheckOptions options;
-  options.threads = threads;
+  CheckerOptions options = ParallelOptions(threads);
   ThreadPool pool(threads);
   for (auto _ : state) {
-    ParallelChecker checker(h, options, threads > 1 ? &pool : nullptr);
-    LevelCheckResult r = CheckLevel(checker, IsolationLevel::kPL3);
+    Checker checker(h, options, threads > 1 ? &pool : nullptr);
+    CheckReport r = checker.Check(IsolationLevel::kPL3);
     benchmark::DoNotOptimize(r.satisfied);
   }
   state.SetLabel(StrCat("PL-3, ", threads, " threads"));
@@ -124,4 +136,12 @@ BENCHMARK(BM_ParallelCheckLevel)
 }  // namespace
 }  // namespace adya
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  adya::bench::BenchStats stats(&argc, argv);
+  adya::g_stats = stats.registry();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

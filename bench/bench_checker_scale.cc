@@ -8,13 +8,25 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench_util.h"
 #include "common/str_util.h"
+#include "core/checker_api.h"
 #include "core/levels.h"
 #include "core/online.h"
 #include "workload/workload.h"
 
 namespace adya {
 namespace {
+
+/// Set from --stats before the benchmarks run; null = instrumentation off
+/// (the default, and the configuration the regression gate measures).
+obs::StatsRegistry* g_stats = nullptr;
+
+CheckerOptions FacadeOptions() {
+  CheckerOptions options;
+  options.stats = g_stats;
+  return options;
+}
 
 History MakeHistory(int txns, double random_vorder) {
   workload::RandomHistoryOptions options;
@@ -42,7 +54,7 @@ BENCHMARK(BM_DsgBuild)->Arg(10)->Arg(50)->Arg(200)->Arg(1000);
 void BM_FullPhenomenaCheck(benchmark::State& state) {
   History h = MakeHistory(static_cast<int>(state.range(0)), 0.3);
   for (auto _ : state) {
-    PhenomenaChecker checker(h);
+    Checker checker(h, FacadeOptions());
     auto all = checker.CheckAll();
     benchmark::DoNotOptimize(all.size());
   }
@@ -67,7 +79,7 @@ void BM_VersionOrderAblation(benchmark::State& state) {
   double prob = static_cast<double>(state.range(0)) / 100.0;
   History h = MakeHistory(200, prob);
   for (auto _ : state) {
-    PhenomenaChecker checker(h);
+    Checker checker(h, FacadeOptions());
     auto all = checker.CheckAll();
     benchmark::DoNotOptimize(all.size());
   }
@@ -98,7 +110,7 @@ void BM_OnlineVsOffline(benchmark::State& state) {
         benchmark::DoNotOptimize(fed.ok());
       }
     } else {
-      LevelCheckResult r = CheckLevel(h, IsolationLevel::kPL3);
+      CheckReport r = Check(h, IsolationLevel::kPL3, FacadeOptions());
       benchmark::DoNotOptimize(r.satisfied);
     }
   }
@@ -119,7 +131,7 @@ void BM_OnlineVsOffline(benchmark::State& state) {
         benchmark::DoNotOptimize(fed.ok());
       }
     } else {
-      LevelCheckResult r = CheckLevel(h, IsolationLevel::kPL3);
+      CheckReport r = Check(h, IsolationLevel::kPL3, FacadeOptions());
       benchmark::DoNotOptimize(r.satisfied);
     }
     double wall_us =
@@ -147,4 +159,12 @@ BENCHMARK(BM_OnlineVsOffline)
 }  // namespace
 }  // namespace adya
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  adya::bench::BenchStats stats(&argc, argv);
+  adya::g_stats = stats.registry();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

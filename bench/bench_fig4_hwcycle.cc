@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
+#include "core/checker_api.h"
 #include "core/levels.h"
 #include "core/paper_histories.h"
 #include "history/format.h"
@@ -21,8 +22,8 @@ void PrintFigure4() {
   Dsg dsg(ph.history);
   std::printf("DSG edges:        %s\n", dsg.EdgeSummary().c_str());
   std::printf("Paper (Figure 4): T1 --ww--> T2, T2 --ww--> T1\n\n");
-  PhenomenaChecker checker(ph.history);
-  auto g0 = checker.Check(Phenomenon::kG0);
+  Checker checker(ph.history);
+  auto g0 = checker.CheckPhenomenon(Phenomenon::kG0);
   std::printf("%s\n\n", g0.has_value() ? g0->description.c_str()
                                        : "G0 NOT DETECTED (unexpected)");
   Classification c = Classify(ph.history);

@@ -6,6 +6,7 @@
 
 #include "bench_util.h"
 #include "common/str_util.h"
+#include "core/checker_api.h"
 #include "core/levels.h"
 #include "core/paper_histories.h"
 #include "history/builder.h"
@@ -30,8 +31,8 @@ void PrintFigure5() {
               "ruled out by PL-3)\n",
               c.Satisfies(IsolationLevel::kPL299) ? "satisfied" : "violated",
               c.Satisfies(IsolationLevel::kPL3) ? "satisfied" : "violated");
-  PhenomenaChecker checker(ph.history);
-  if (auto g2 = checker.Check(Phenomenon::kG2)) {
+  Checker checker(ph.history);
+  if (auto g2 = checker.CheckPhenomenon(Phenomenon::kG2)) {
     std::printf("\n%s\n", g2->description.c_str());
   }
 }

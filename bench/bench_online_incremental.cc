@@ -23,6 +23,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/str_util.h"
 #include "core/incremental.h"
 #include "core/levels.h"
@@ -30,6 +31,10 @@
 
 namespace adya {
 namespace {
+
+/// Set from --stats before the benchmarks run; null = instrumentation off
+/// (the default, and the configuration the regression gate measures).
+obs::StatsRegistry* g_stats = nullptr;
 
 History MakeStream(int txns) {
   workload::RandomHistoryOptions options;
@@ -65,7 +70,7 @@ double MicrosSince(std::chrono::steady_clock::time_point start) {
 /// One full pass through the incremental checker; returns wall micros.
 double IncrementalPass(const History& h) {
   auto start = std::chrono::steady_clock::now();
-  IncrementalChecker checker(IsolationLevel::kPL3);
+  IncrementalChecker checker(IsolationLevel::kPL3, g_stats);
   CloneUniverse(checker.history(), h);
   for (const Event& e : h.events()) {
     auto fed = checker.Feed(e);
@@ -95,7 +100,7 @@ void BM_OnlineIncremental(benchmark::State& state) {
   int txns = static_cast<int>(state.range(0));
   History h = MakeStream(txns);
   for (auto _ : state) {
-    IncrementalChecker checker(IsolationLevel::kPL3);
+    IncrementalChecker checker(IsolationLevel::kPL3, g_stats);
     CloneUniverse(checker.history(), h);
     for (const Event& e : h.events()) {
       auto fed = checker.Feed(e);
@@ -108,7 +113,7 @@ void BM_OnlineIncremental(benchmark::State& state) {
   double quarter_us[4] = {0, 0, 0, 0};
   size_t quarter_commits[4] = {0, 0, 0, 0};
   {
-    IncrementalChecker checker(IsolationLevel::kPL3);
+    IncrementalChecker checker(IsolationLevel::kPL3, g_stats);
     CloneUniverse(checker.history(), h);
     for (size_t q = 0; q < 4; ++q) {
       size_t begin = n * q / 4, end = n * (q + 1) / 4;
@@ -147,4 +152,12 @@ BENCHMARK(BM_OnlineIncremental)
 }  // namespace
 }  // namespace adya
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  adya::bench::BenchStats stats(&argc, argv);
+  adya::g_stats = stats.registry();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

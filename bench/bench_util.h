@@ -5,7 +5,69 @@
 #include <string>
 #include <vector>
 
+#include "obs/stats.h"
+
 namespace adya::bench {
+
+/// Shared --stats / --stats-out=FILE / --trace-out=FILE handling for the
+/// bench binaries (the same flag names adya_stress takes). Construct before
+/// benchmark::Initialize: recognized flags are consumed from argv so the
+/// benchmark library never sees them. registry() is null when stats are off
+/// — pass it straight into CheckerOptions::stats — and the snapshot is
+/// exported when the object goes out of scope at the end of main (JSON to
+/// stderr, or to the given files).
+class BenchStats {
+ public:
+  BenchStats(int* argc, char** argv) {
+    int kept = 1;
+    for (int i = 1; i < *argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--stats") {
+        enabled_ = true;
+      } else if (arg.rfind("--stats-out=", 0) == 0) {
+        enabled_ = true;
+        stats_out_ = arg.substr(12);
+      } else if (arg.rfind("--trace-out=", 0) == 0) {
+        enabled_ = true;
+        trace_out_ = arg.substr(12);
+      } else {
+        argv[kept++] = argv[i];
+      }
+    }
+    *argc = kept;
+  }
+
+  ~BenchStats() {
+    if (!enabled_) return;
+    obs::StatsSnapshot snapshot = registry_.Snapshot();
+    if (stats_out_.empty()) {
+      std::fprintf(stderr, "%s\n", snapshot.ToJson().c_str());
+    } else {
+      WriteFile(stats_out_, snapshot.ToJson());
+    }
+    if (!trace_out_.empty()) {
+      WriteFile(trace_out_, registry_.trace().ToJsonLines());
+    }
+  }
+
+  obs::StatsRegistry* registry() { return enabled_ ? &registry_ : nullptr; }
+
+ private:
+  static void WriteFile(const std::string& path, const std::string& content) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open '%s' for writing\n", path.c_str());
+      return;
+    }
+    std::fputs(content.c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+  }
+
+  bool enabled_ = false;
+  std::string stats_out_, trace_out_;
+  obs::StatsRegistry registry_;
+};
 
 /// Minimal fixed-width table printer for the paper-style tables the bench
 /// binaries emit before their timing sections.

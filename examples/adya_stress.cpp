@@ -30,10 +30,17 @@
 //                              certification core, identical verdicts)
 //   --certify-batch=N          committed-prefix snapshots certified per
 //                              drain cycle (default 1 = full prefix only)
+//   --check-mode=serial|parallel|incremental   checker implementation
 //   --incremental              incremental certification: fold each commit
 //                              into a persistent DSG (exact per-commit
 //                              attribution, same verdicts; supersedes
 //                              --check-threads/--certify-batch)
+//   --stats                    enable instrumentation (DESIGN.md §9) and
+//                              print the stats snapshot JSON to stderr
+//   --stats-out=FILE           write the stats snapshot JSON to FILE
+//   --prom-out=FILE            write the snapshot in Prometheus text format
+//   --trace-out=FILE           write the phase trace as JSON lines
+//                              (each of the three file flags implies --stats)
 //   --quiet                    suppress the human-readable summary line
 
 #include <cstdio>
@@ -44,6 +51,8 @@
 #include <vector>
 
 #include "common/str_util.h"
+#include "core/checker_api.h"
+#include "obs/stats.h"
 #include "stress/stress.h"
 
 namespace {
@@ -119,21 +128,42 @@ int64_t ParseInt(const std::string& flag, const std::string& text) {
   return v;
 }
 
+void WriteFileOrDie(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) Usage(StrCat("cannot open '", path, "' for writing"));
+  std::fputs(content.c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   StressOptions options;
   options.faults.voluntary_abort_prob = 0.05;
+  // The checker flag vocabulary (--check-mode, --check-threads,
+  // --certify-batch, --incremental) is owned by CheckerOptions so the
+  // stress driver and the benches cannot drift apart.
+  CheckerOptions checker_flags;
   bool quiet = false;
+  bool want_stats = false;
+  std::string stats_out, prom_out, trace_out;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--quiet") {
       quiet = true;
       continue;
     }
-    if (arg == "--incremental") {
-      options.certify_incremental = true;
+    if (arg == "--stats") {
+      want_stats = true;
       continue;
+    }
+    {
+      std::string error;
+      if (checker_flags.ParseFlag(arg, &error)) {
+        if (!error.empty()) Usage(error);
+        continue;
+      }
     }
     size_t eq = arg.find('=');
     if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
@@ -200,16 +230,24 @@ int main(int argc, char** argv) {
       auto d = ParseDuration(value);
       if (!d) Usage(StrCat("bad interval '", value, "'"));
       options.certify_interval = *d;
-    } else if (key == "--check-threads") {
-      options.check_threads = static_cast<int>(ParseInt(key, value));
-      if (options.check_threads < 1) Usage("--check-threads wants N >= 1");
-    } else if (key == "--certify-batch") {
-      options.certify_batch = static_cast<int>(ParseInt(key, value));
-      if (options.certify_batch < 1) Usage("--certify-batch wants N >= 1");
+    } else if (key == "--stats-out") {
+      stats_out = value;
+    } else if (key == "--prom-out") {
+      prom_out = value;
+    } else if (key == "--trace-out") {
+      trace_out = value;
     } else {
       Usage(StrCat("unknown flag '", key, "'"));
     }
   }
+  options.check_threads = checker_flags.threads;
+  options.certify_batch = checker_flags.certify_batch;
+  options.certify_incremental = checker_flags.mode == CheckMode::kIncremental;
+  if (!stats_out.empty() || !prom_out.empty() || !trace_out.empty()) {
+    want_stats = true;
+  }
+  obs::StatsRegistry registry;
+  if (want_stats) options.stats = &registry;
 
   auto report = stress::RunStress(options);
   if (!report.ok()) {
@@ -218,6 +256,18 @@ int main(int argc, char** argv) {
     return 2;
   }
   std::printf("%s\n", report->ToJson().c_str());
+  if (want_stats) {
+    obs::StatsSnapshot snapshot = registry.Snapshot();
+    if (stats_out.empty()) {
+      std::fprintf(stderr, "%s\n", snapshot.ToJson().c_str());
+    } else {
+      WriteFileOrDie(stats_out, snapshot.ToJson());
+    }
+    if (!prom_out.empty()) WriteFileOrDie(prom_out, snapshot.ToPrometheus());
+    if (!trace_out.empty()) {
+      WriteFileOrDie(trace_out, registry.trace().ToJsonLines());
+    }
+  }
   if (!quiet) {
     const stress::RunMetrics& m = report->metrics;
     std::fprintf(
@@ -229,9 +279,9 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(m.committed), m.Throughput(),
         static_cast<unsigned long long>(m.aborted_deadlock),
         static_cast<unsigned long long>(m.aborted_validation),
-        static_cast<unsigned long long>(m.commit_latency.PercentileMicros(50)),
-        static_cast<unsigned long long>(m.commit_latency.PercentileMicros(95)),
-        static_cast<unsigned long long>(m.commit_latency.PercentileMicros(99)),
+        static_cast<unsigned long long>(m.commit_latency.Percentile(50)),
+        static_cast<unsigned long long>(m.commit_latency.Percentile(95)),
+        static_cast<unsigned long long>(m.commit_latency.Percentile(99)),
         report->ok() ? "certified clean"
                      : "PROSCRIBED PHENOMENA OBSERVED");
   }

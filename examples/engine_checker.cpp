@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "core/checker_api.h"
 #include "core/levels.h"
 #include "history/format.h"
 #include "workload/workload.h"
@@ -34,7 +35,7 @@ void AuditScheme(Scheme scheme, IsolationLevel level) {
       std::string(SchemeName(scheme)).c_str(),
       std::string(IsolationLevelName(level)).c_str(), stats.committed,
       stats.aborted_engine, stats.would_block_retries, c.Summary().c_str());
-  LevelCheckResult check = CheckLevel(*history, level);
+  CheckReport check = Check(*history, level);
   ADYA_CHECK_MSG(check.satisfied, "engine violated its own level!");
 }
 
@@ -66,8 +67,8 @@ void WriteSkewUnderSI() {
               c.Satisfies(IsolationLevel::kPLSI) ? "satisfied" : "violated");
   std::printf("PL-3:  %s\n",
               c.Satisfies(IsolationLevel::kPL3) ? "satisfied" : "violated");
-  PhenomenaChecker checker(*history);
-  if (auto g2 = checker.Check(Phenomenon::kG2)) {
+  Checker checker(*history);
+  if (auto g2 = checker.CheckPhenomenon(Phenomenon::kG2)) {
     std::printf("\n%s\n", g2->description.c_str());
   }
 }

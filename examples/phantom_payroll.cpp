@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "core/checker_api.h"
 #include "core/levels.h"
 #include "core/paper_histories.h"
 #include "history/builder.h"
@@ -27,8 +28,8 @@ void AnalyzePhantom() {
               c.Satisfies(IsolationLevel::kPL299) ? "satisfied" : "violated");
   std::printf("PL-3:    %s\n\n",
               c.Satisfies(IsolationLevel::kPL3) ? "satisfied" : "violated");
-  PhenomenaChecker checker(ph.history);
-  if (auto g2 = checker.Check(Phenomenon::kG2)) {
+  Checker checker(ph.history);
+  if (auto g2 = checker.CheckPhenomenon(Phenomenon::kG2)) {
     std::printf("%s\n\n", g2->description.c_str());
   }
 }

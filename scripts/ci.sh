@@ -13,6 +13,24 @@ cd "$(dirname "$0")/.."
 
 JOBS="${1:-$(nproc)}"
 
+echo "=== facade guard (checker internals stay behind adya::Checker) ==="
+# Code outside src/core/ and tests/ must go through the adya::Checker
+# facade (core/checker_api.h) instead of constructing the checker
+# implementations directly. Streaming IncrementalChecker use is the one
+# legitimate exception: the online certifier embeds it, and
+# bench_online_incremental benchmarks it against its own naive baseline.
+if grep -rnE '(PhenomenaChecker|ParallelChecker) [a-z_]+\(' \
+    examples/ bench/ src/stress/ src/engine/ src/workload/ 2>/dev/null; then
+  echo "facade bypass: construct adya::Checker (core/checker_api.h) instead"
+  exit 1
+fi
+if grep -rnE 'IncrementalChecker [a-z_]+\(|make_unique<IncrementalChecker>' \
+    examples/ bench/ src/stress/ src/engine/ src/workload/ 2>/dev/null \
+    | grep -vE 'src/stress/certifier\.cc|bench/bench_online_incremental\.cc'; then
+  echo "facade bypass: construct adya::Checker (core/checker_api.h) instead"
+  exit 1
+fi
+
 echo "=== plain build ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
@@ -31,6 +49,21 @@ echo "=== adya_stress smoke (incremental certification) ==="
 ./build/examples/adya_stress --scheme=locking --level=PL-3 --threads=8 \
   --duration=2s --certify-level=PL-3 --incremental
 
+echo "=== adya_stress smoke (--stats: snapshot JSON + required metrics) ==="
+STATS_JSON="$(mktemp)"
+./build/examples/adya_stress --scheme=locking --level=PL-3 --threads=8 \
+  --duration=1s --certify-level=PL-3 --check-threads=4 \
+  --stats-out="$STATS_JSON" >/dev/null
+python3 -m json.tool "$STATS_JSON" >/dev/null
+for key in schema_version engine.commits engine.lock_wait_us \
+    checker.conflicts_us checker.check_us certifier.certify_us \
+    certifier.queue_depth; do
+  grep -q "\"$key\"" "$STATS_JSON" || {
+    echo "stats snapshot missing $key:"; cat "$STATS_JSON"; exit 1;
+  }
+done
+rm -f "$STATS_JSON"
+
 if [[ "${CI_SKIP_TSAN:-0}" == "1" ]]; then
   echo "=== TSan skipped (CI_SKIP_TSAN=1) ==="
   exit 0
@@ -44,11 +77,11 @@ if [[ "${CI_TSAN_FULL:-0}" == "1" ]]; then
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
 else
   # The multi-threaded surface: stress runs, blocking-engine contention,
-  # the concurrent recorder tap, the thread pool, and the parallel- and
-  # incremental-checker differential harnesses (at a tenth of the corpus —
-  # TSan is ~10x).
+  # the concurrent recorder tap, the thread pool, the obs counters and
+  # histograms, and the parallel- and incremental-checker differential
+  # harnesses (at a tenth of the corpus — TSan is ~10x).
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -R 'Stress|Blocking|Recorder|Concurrent|ThreadPool|Metrics'
+    -R 'Stress|Blocking|Recorder|Concurrent|ThreadPool|Metrics|Obs'
   ADYA_DIFF_SCALE=10 ctest --test-dir build-tsan --output-on-failure \
     -j "$JOBS" -L slow
 fi

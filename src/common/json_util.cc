@@ -1,0 +1,50 @@
+#include "common/json_util.h"
+
+#include <cmath>
+
+namespace adya {
+
+std::string JsonDouble(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  auto [ptr, ec] =
+      std::to_chars(buf, buf + sizeof(buf), v, std::chars_format::fixed, 3);
+  if (ec != std::errc()) return "0";
+  return std::string(buf, ptr);
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xF];
+          out += kHex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace adya

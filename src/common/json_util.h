@@ -1,0 +1,37 @@
+#ifndef ADYA_COMMON_JSON_UTIL_H_
+#define ADYA_COMMON_JSON_UTIL_H_
+
+#include <charconv>
+#include <string>
+#include <string_view>
+
+namespace adya {
+
+/// Locale-independent JSON value formatting. ostream/printf honor the global
+/// C/C++ locale — a comma decimal separator (e.g. de_DE) would emit `0,5`,
+/// and digit grouping would emit `4.352` — neither of which is a JSON
+/// number. Every JSON writer in the tree (stress RunMetrics, obs exporters,
+/// BENCH lines built by hand) must go through these helpers so the rules
+/// cannot drift between writers.
+
+/// Fixed-precision (3 decimal places) double. Non-finite values have no
+/// JSON representation and degrade to 0.
+std::string JsonDouble(double v);
+
+/// Integer via std::to_chars (locale-free by specification).
+template <typename Int>
+std::string JsonInt(Int v) {
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc()) return "0";
+  return std::string(buf, ptr);
+}
+
+/// Escapes a string field per RFC 8259 (quotes, backslashes, control
+/// characters). Identifiers in this codebase are ASCII today, but the
+/// writer must not rely on that.
+std::string JsonEscape(std::string_view s);
+
+}  // namespace adya
+
+#endif  // ADYA_COMMON_JSON_UTIL_H_

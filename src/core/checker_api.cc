@@ -1,0 +1,189 @@
+#include "core/checker_api.h"
+
+#include <charconv>
+
+#include "common/check.h"
+#include "common/str_util.h"
+#include "core/incremental.h"
+#include "core/parallel.h"
+
+namespace adya {
+namespace {
+
+bool ParseIntValue(std::string_view text, int* out) {
+  int v = 0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
+  if (ec != std::errc() || ptr != text.data() + text.size()) return false;
+  *out = v;
+  return true;
+}
+
+/// Splits "--key=value"; returns true and fills key/value on a match.
+bool SplitFlag(std::string_view arg, std::string_view* key,
+               std::string_view* value) {
+  size_t eq = arg.find('=');
+  if (eq == std::string_view::npos) return false;
+  *key = arg.substr(0, eq);
+  *value = arg.substr(eq + 1);
+  return true;
+}
+
+}  // namespace
+
+std::string_view CheckModeName(CheckMode mode) {
+  switch (mode) {
+    case CheckMode::kSerial:
+      return "serial";
+    case CheckMode::kParallel:
+      return "parallel";
+    case CheckMode::kIncremental:
+      return "incremental";
+  }
+  return "?";
+}
+
+Status CheckerOptions::Validate() const {
+  if (threads < 1) {
+    return Status::InvalidArgument(
+        StrCat("CheckerOptions.threads must be >= 1, got ", threads));
+  }
+  if (certify_batch < 1) {
+    return Status::InvalidArgument(
+        StrCat("CheckerOptions.certify_batch must be >= 1, got ",
+               certify_batch));
+  }
+  return Status::OK();
+}
+
+bool CheckerOptions::ParseFlag(std::string_view arg, std::string* error) {
+  error->clear();
+  if (arg == "--incremental") {
+    mode = CheckMode::kIncremental;
+    return true;
+  }
+  std::string_view key, value;
+  if (!SplitFlag(arg, &key, &value)) return false;
+  if (key == "--check-mode") {
+    if (value == "serial") {
+      mode = CheckMode::kSerial;
+    } else if (value == "parallel") {
+      mode = CheckMode::kParallel;
+    } else if (value == "incremental") {
+      mode = CheckMode::kIncremental;
+    } else {
+      *error = StrCat("--check-mode must be serial|parallel|incremental, got ",
+                      value);
+    }
+    return true;
+  }
+  if (key == "--check-threads") {
+    int v = 0;
+    if (!ParseIntValue(value, &v) || v < 1) {
+      *error = StrCat("--check-threads wants an integer >= 1, got ", value);
+      return true;
+    }
+    threads = v;
+    if (v > 1 && mode == CheckMode::kSerial) mode = CheckMode::kParallel;
+    return true;
+  }
+  if (key == "--certify-batch") {
+    int v = 0;
+    if (!ParseIntValue(value, &v) || v < 1) {
+      *error = StrCat("--certify-batch wants an integer >= 1, got ", value);
+      return true;
+    }
+    certify_batch = v;
+    return true;
+  }
+  return false;
+}
+
+Result<CheckerOptions> CheckerOptions::FromFlags(int argc,
+                                                 const char* const* argv) {
+  CheckerOptions options;
+  std::string error;
+  for (int i = 1; i < argc; ++i) {
+    if (options.ParseFlag(argv[i], &error) && !error.empty()) {
+      return Status::InvalidArgument(error);
+    }
+  }
+  Status valid = options.Validate();
+  if (!valid.ok()) return valid;
+  return options;
+}
+
+Checker::Checker(const History& h, const CheckerOptions& options)
+    : Checker(h, options, nullptr) {}
+
+Checker::Checker(const History& h, const CheckerOptions& options,
+                 ThreadPool* pool)
+    : history_(&h), options_(options) {
+  Status valid = options_.Validate();
+  ADYA_CHECK_MSG(valid.ok(), valid);
+  // One stats pointer rides through every layer on ConflictOptions.
+  options_.conflicts.stats = options_.stats;
+  switch (options_.mode) {
+    case CheckMode::kSerial:
+      serial_ = std::make_unique<PhenomenaChecker>(h, options_.conflicts);
+      break;
+    case CheckMode::kParallel: {
+      CheckOptions internal;
+      internal.conflicts = options_.conflicts;
+      internal.threads = options_.threads;
+      parallel_ = pool != nullptr
+                      ? std::make_unique<ParallelChecker>(h, internal, pool)
+                      : std::make_unique<ParallelChecker>(h, internal);
+      break;
+    }
+    case CheckMode::kIncremental:
+      incremental_ = std::make_unique<IncrementalChecker>(h,
+                                                          options_.conflicts);
+      break;
+  }
+}
+
+Checker::~Checker() = default;
+
+CheckReport Checker::Check(IsolationLevel level) const {
+  obs::StatsRegistry* stats = options_.stats;
+  LevelCheckResult result;
+  {
+    ADYA_TIMED_PHASE(stats, "checker.check_us");
+    if (serial_ != nullptr) {
+      result = CheckLevel(*serial_, level);
+    } else if (parallel_ != nullptr) {
+      result = CheckLevel(*parallel_, level);
+    } else {
+      result = incremental_->Check(level);
+    }
+  }
+  CheckReport report;
+  report.level = result.level;
+  report.satisfied = result.satisfied;
+  report.violations = std::move(result.violations);
+  report.mode = options_.mode;
+  if (stats != nullptr) {
+    stats->counter("checker.checks").Add();
+    report.stats = stats->Snapshot();
+  }
+  return report;
+}
+
+std::optional<Violation> Checker::CheckPhenomenon(Phenomenon p) const {
+  if (serial_ != nullptr) return serial_->Check(p);
+  if (parallel_ != nullptr) return parallel_->Check(p);
+  return incremental_->CheckPhenomenon(p);
+}
+
+std::vector<Violation> Checker::CheckAll() const {
+  if (serial_ != nullptr) return serial_->CheckAll();
+  if (parallel_ != nullptr) return parallel_->CheckAll();
+  return incremental_->CheckAll();
+}
+
+CheckReport Check(const History& h, IsolationLevel level,
+                  const CheckerOptions& options) {
+  return Checker(h, options).Check(level);
+}
+
+}  // namespace adya

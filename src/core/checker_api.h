@@ -1,0 +1,131 @@
+#ifndef ADYA_CORE_CHECKER_API_H_
+#define ADYA_CORE_CHECKER_API_H_
+
+// The one public checking surface. The paper's point is that the
+// definitions are implementation-independent; accordingly the checker
+// implementations (serial PhenomenaChecker, sharded ParallelChecker,
+// streaming IncrementalChecker) are interchangeable internals behind this
+// facade — same verdicts, same witness text, bit for bit — and callers
+// outside src/core/ select between them with CheckerOptions::mode instead
+// of naming classes (cf. Elle's single check(opts, history) entry point).
+// scripts/ci.sh guards against new direct uses of the internals.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/conflicts.h"
+#include "core/levels.h"
+#include "core/phenomena.h"
+#include "obs/stats.h"
+
+namespace adya {
+
+class ThreadPool;
+class ParallelChecker;
+class IncrementalChecker;
+
+/// Which checker implementation evaluates the history. All three produce
+/// bit-identical verdicts and witnesses (pinned by tests/checker_api_test.cc
+/// and the differential sweeps); they differ only in cost profile:
+///  * kSerial      — one thread, lowest constant factor;
+///  * kParallel    — shards conflict construction, scans and cycle searches
+///                   over `threads` workers;
+///  * kIncremental — builds the streaming IncrementalChecker's persistent
+///                   detectors; the right choice when the same history will
+///                   be extended and re-checked (the online certifier path).
+enum class CheckMode : uint8_t {
+  kSerial,
+  kParallel,
+  kIncremental,
+};
+
+std::string_view CheckModeName(CheckMode mode);
+
+/// The canonical option set for every checking entry point — this struct
+/// replaces the per-implementation knobs that used to live in
+/// core::CheckOptions and stress::CertifyOptions.
+struct CheckerOptions {
+  /// Conflict-edge construction tuning (shared by every mode).
+  ConflictOptions conflicts;
+  CheckMode mode = CheckMode::kSerial;
+  /// Total parallelism for kParallel (pool workers + calling thread).
+  int threads = 1;
+  /// Online certifier only: history snapshots certified per drain cycle.
+  int certify_batch = 1;
+  /// Metrics sink. Null (the default) disables all instrumentation; every
+  /// recording site is then a pointer null-check.
+  obs::StatsRegistry* stats = nullptr;
+
+  /// Rejects out-of-range knobs (threads < 1, certify_batch < 1).
+  Status Validate() const;
+
+  /// Consumes one `--key=value` command-line argument if it is a checker
+  /// flag (--check-mode=serial|parallel|incremental, --check-threads=N,
+  /// --certify-batch=N, --incremental). Returns true when the argument was
+  /// recognized; a recognized flag with a malformed or out-of-range value
+  /// also sets *error. Shared by adya_stress and the bench harness so the
+  /// flag vocabulary cannot fork.
+  bool ParseFlag(std::string_view arg, std::string* error);
+
+  /// Builds options from argv, ignoring arguments that are not checker
+  /// flags. Errors on a malformed value or failed Validate().
+  static Result<CheckerOptions> FromFlags(int argc, const char* const* argv);
+};
+
+/// The result of one facade check: the verdict and witnesses of
+/// LevelCheckResult, plus which mode ran and a stats snapshot (populated
+/// only when CheckerOptions::stats was set).
+struct CheckReport {
+  IsolationLevel level = IsolationLevel::kPL3;
+  bool satisfied = false;
+  /// The proscribed phenomena that occurred (empty iff satisfied).
+  std::vector<Violation> violations;
+  CheckMode mode = CheckMode::kSerial;
+  obs::StatsSnapshot stats;
+};
+
+/// Facade over the three checker implementations. Construct once per
+/// (finalized) history, then query levels or individual phenomena; the
+/// conflict graphs are built once and shared across queries.
+class Checker {
+ public:
+  /// `options` must Validate(); invalid options are a programmer error.
+  explicit Checker(const History& h,
+                   const CheckerOptions& options = CheckerOptions());
+  /// kParallel with an external pool (not owned; must outlive the checker).
+  /// The pool's thread count governs the sharding.
+  Checker(const History& h, const CheckerOptions& options, ThreadPool* pool);
+  ~Checker();
+
+  CheckReport Check(IsolationLevel level) const;
+  /// nullopt when the phenomenon does not occur; a witness otherwise.
+  std::optional<Violation> CheckPhenomenon(Phenomenon p) const;
+  /// Every phenomenon that occurs, in enum order.
+  std::vector<Violation> CheckAll() const;
+
+  const History& history() const { return *history_; }
+  CheckMode mode() const { return options_.mode; }
+  const CheckerOptions& options() const { return options_; }
+
+ private:
+  const History* history_;
+  CheckerOptions options_;
+  // Exactly one of these is non-null, per options_.mode.
+  std::unique_ptr<PhenomenaChecker> serial_;
+  std::unique_ptr<ParallelChecker> parallel_;
+  std::unique_ptr<IncrementalChecker> incremental_;
+};
+
+/// One-shot convenience: `Check(h, level, options)` — the facade's whole
+/// API in a single call.
+CheckReport Check(const History& h, IsolationLevel level,
+                  const CheckerOptions& options = CheckerOptions());
+
+}  // namespace adya
+
+#endif  // ADYA_CORE_CHECKER_API_H_

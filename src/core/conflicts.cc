@@ -7,6 +7,7 @@
 #include "common/str_util.h"
 #include "common/thread_pool.h"
 #include "history/format.h"
+#include "obs/stats.h"
 
 namespace adya {
 
@@ -344,12 +345,14 @@ struct ConflictShard {
 
 std::vector<Dependency> ComputeDependencies(const History& h,
                                             const ConflictOptions& options) {
+  ADYA_TIMED_PHASE(options.stats, "checker.conflicts_us");
   return Analyzer(h, options).Run();
 }
 
 std::vector<Dependency> ComputeDependencies(const History& h,
                                             const ConflictOptions& options,
                                             ThreadPool* pool) {
+  ADYA_TIMED_PHASE(options.stats, "checker.conflicts_us");
   if (pool == nullptr || pool->threads() <= 1) {
     return Analyzer(h, options).Run();
   }

@@ -16,6 +16,10 @@ namespace adya {
 
 class ThreadPool;
 
+namespace obs {
+class StatsRegistry;
+}  // namespace obs
+
 /// The direct-conflict kinds of §4.4 (Figure 2), plus the start-dependency
 /// used by the start-ordered serialization graph of the thesis's Snapshot
 /// Isolation definition. Values are single bits so graph algorithms can
@@ -97,6 +101,12 @@ struct ConflictOptions {
   /// full edge set stays the default for audit output; the online certifier
   /// opts in.
   bool reduced_start_edges = false;
+  /// Metrics sink threaded through every checker layer (conflict-edge
+  /// construction, phenomenon checks, incremental deltas) — the single
+  /// plumbing point, so serial, parallel, and incremental checking report
+  /// the same metric names. Null (the default) disables instrumentation;
+  /// options never own the registry. Does not affect results.
+  obs::StatsRegistry* stats = nullptr;
 };
 
 /// Computes every direct conflict of the history per §4.4. Only committed

@@ -4,11 +4,14 @@
 #include <utility>
 
 #include "common/str_util.h"
+#include "obs/stats.h"
 
 namespace adya {
 
-IncrementalChecker::IncrementalChecker(IsolationLevel target)
+IncrementalChecker::IncrementalChecker(IsolationLevel target,
+                                       obs::StatsRegistry* stats)
     : target_(target) {
+  offline_options_.stats = stats;
   // The detectors see the cycle-preserving reduced edge set: every
   // phenomenon decision is unchanged (ConflictOptions documents why) and
   // long streams of overlapping predicate reads / start orders stay linear
@@ -16,6 +19,7 @@ IncrementalChecker::IncrementalChecker(IsolationLevel target)
   ConflictOptions options;
   options.first_rw_pred_only = true;
   options.reduced_start_edges = true;
+  options.stats = stats;
   for (Phenomenon p : ProscribedPhenomena(target_)) {
     switch (p) {
       case Phenomenon::kG0:
@@ -52,7 +56,14 @@ IncrementalChecker::IncrementalChecker(IsolationLevel target)
 }
 
 IncrementalChecker::IncrementalChecker(const History& finalized)
-    : target_(IsolationLevel::kPL3), audit_mode_(true), history_(finalized) {
+    : IncrementalChecker(finalized, ConflictOptions()) {}
+
+IncrementalChecker::IncrementalChecker(const History& finalized,
+                                       const ConflictOptions& options)
+    : target_(IsolationLevel::kPL3),
+      audit_mode_(true),
+      offline_options_(options),
+      history_(finalized) {
   ADYA_CHECK_MSG(history_.finalized(),
                  "audit-mode IncrementalChecker requires a finalized history");
 }
@@ -71,8 +82,13 @@ Result<std::vector<Violation>> IncrementalChecker::Feed(const Event& event) {
     return std::vector<Violation>();
   }
   if (e.type == EventType::kWrite) ObserveWrite(e);
-  for (const Dependency& dep : delta_.OnEvent(history_, id)) FeedEdge(dep);
+  std::vector<Dependency> delta_edges = delta_.OnEvent(history_, id);
+  for (const Dependency& dep : delta_edges) FeedEdge(dep);
   if (e.type != EventType::kCommit) return std::vector<Violation>();
+  if (offline_options_.stats != nullptr) {
+    offline_options_.stats->histogram("checker.delta_edges")
+        .Record(delta_edges.size());
+  }
   if (!delta_.dead_violations().empty()) {
     // The one Finalize() failure a well-formed event stream can build up:
     // report it verbatim, at every commit from the first affected one,
@@ -326,9 +342,12 @@ std::vector<Violation> IncrementalChecker::OnCommit(TxnId txn) {
   // says *why*, with the exact witness the naive strategy would emit at
   // this commit. Amortized at most once per phenomenon kind.
   History prefix = history_;
-  Status finalize = prefix.Finalize();
-  ADYA_CHECK_MSG(finalize.ok(), finalize.ToString());
-  PhenomenaChecker offline(prefix);
+  {
+    ADYA_TIMED_PHASE(offline_options_.stats, "checker.version_order_us");
+    Status finalize = prefix.Finalize();
+    ADYA_CHECK_MSG(finalize.ok(), finalize.ToString());
+  }
+  PhenomenaChecker offline(prefix, offline_options_);
   for (Phenomenon p : newly) {
     std::optional<Violation> v = offline.Check(p);
     ADYA_CHECK_MSG(v.has_value(),
@@ -347,12 +366,17 @@ const PhenomenaChecker& IncrementalChecker::Offline() const {
     return *audit_.checker;
   }
   if (audit_mode_) {
-    audit_.checker = std::make_unique<PhenomenaChecker>(history_);
+    audit_.checker =
+        std::make_unique<PhenomenaChecker>(history_, offline_options_);
   } else {
     audit_.prefix = std::make_unique<History>(history_);
-    Status finalize = audit_.prefix->Finalize();
-    ADYA_CHECK_MSG(finalize.ok(), finalize.ToString());
-    audit_.checker = std::make_unique<PhenomenaChecker>(*audit_.prefix);
+    {
+      ADYA_TIMED_PHASE(offline_options_.stats, "checker.version_order_us");
+      Status finalize = audit_.prefix->Finalize();
+      ADYA_CHECK_MSG(finalize.ok(), finalize.ToString());
+    }
+    audit_.checker =
+        std::make_unique<PhenomenaChecker>(*audit_.prefix, offline_options_);
   }
   audit_.events = events;
   return *audit_.checker;
@@ -364,6 +388,11 @@ std::vector<Violation> IncrementalChecker::CheckAll() const {
 
 LevelCheckResult IncrementalChecker::Check(IsolationLevel level) const {
   return CheckLevel(Offline(), level);
+}
+
+std::optional<Violation> IncrementalChecker::CheckPhenomenon(
+    Phenomenon p) const {
+  return Offline().Check(p);
 }
 
 }  // namespace adya

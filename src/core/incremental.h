@@ -74,16 +74,27 @@ namespace adya {
 ///
 /// Value-semantic: copying an IncrementalChecker checkpoints the whole
 /// certification, and both copies continue independently.
+///
+/// Offline (non-streaming) callers outside src/core/ should go through the
+/// adya::Checker facade (core/checker_api.h, mode kIncremental) instead of
+/// constructing this class; streaming consumers use OnlineChecker or the
+/// stress OnlineCertifier. scripts/ci.sh guards against new direct uses.
 class IncrementalChecker {
  public:
-  /// Streaming mode: certify a stream of events against `target`.
-  explicit IncrementalChecker(IsolationLevel target);
+  /// Streaming mode: certify a stream of events against `target`. A
+  /// non-null `stats` records the per-commit phase timings and delta sizes
+  /// under the same metric names as the offline checkers (DESIGN.md §9).
+  explicit IncrementalChecker(IsolationLevel target,
+                              obs::StatsRegistry* stats = nullptr);
 
   /// Audit mode: wrap an already-finalized history for CheckAll()/
   /// CheckLevel() queries (used by golden tests on histories whose
   /// explicit version orders cannot arise from a stream). Feed() must not
   /// be called on an audit-mode checker.
   explicit IncrementalChecker(const History& finalized);
+  /// Audit mode with explicit conflict options (stats plumbing included) —
+  /// the facade's kIncremental entry point.
+  IncrementalChecker(const History& finalized, const ConflictOptions& options);
 
   /// The live (unfinalized) history: declare relations, objects and
   /// predicates here before feeding events that use them. Explicit
@@ -111,6 +122,7 @@ class IncrementalChecker {
   /// Lazily builds one offline PhenomenaChecker, invalidated by Feed.
   std::vector<Violation> CheckAll() const;
   LevelCheckResult Check(IsolationLevel level) const;
+  std::optional<Violation> CheckPhenomenon(Phenomenon p) const;
 
  private:
   /// Mirror of History::ValidateEvents, run per event as it arrives; the
@@ -133,6 +145,10 @@ class IncrementalChecker {
 
   IsolationLevel target_;
   bool audit_mode_ = false;
+  /// Options for the offline witness/audit checkers (default-valued in
+  /// streaming mode so witnesses stay bit-identical to PhenomenaChecker's;
+  /// carries the stats registry in both modes).
+  ConflictOptions offline_options_;
   History history_;
   size_t commits_checked_ = 0;
   std::set<Phenomenon> reported_;

@@ -4,17 +4,24 @@
 #include <limits>
 
 #include "common/str_util.h"
+#include "obs/stats.h"
 
 namespace adya {
 namespace {
 
 /// FindCycleWithRequiredKind wrapped into a Violation, mirroring
-/// PhenomenaChecker::CycleViolation.
+/// PhenomenaChecker::CycleViolation (same phase metric names too).
 std::optional<Violation> CycleViolation(Phenomenon p, const Dsg& dsg,
                                         graph::KindMask allowed,
-                                        graph::KindMask required) {
-  auto cycle = graph::FindCycleWithRequiredKind(dsg.graph(), allowed, required);
+                                        graph::KindMask required,
+                                        obs::StatsRegistry* stats) {
+  std::optional<graph::Cycle> cycle;
+  {
+    ADYA_TIMED_PHASE(stats, "checker.cycle_search_us");
+    cycle = graph::FindCycleWithRequiredKind(dsg.graph(), allowed, required);
+  }
   if (!cycle.has_value()) return std::nullopt;
+  ADYA_TIMED_PHASE(stats, "checker.witness_us");
   Violation v;
   v.phenomenon = p;
   v.cycle = *cycle;
@@ -123,20 +130,23 @@ const std::vector<Dependency>& ParallelChecker::cursor_deps() const {
 
 std::optional<Violation> ParallelChecker::Check(Phenomenon p) const {
   if (serial_) return serial_->Check(p);
+  obs::StatsRegistry* stats = options_.conflicts.stats;
+  ADYA_TIMED_PHASE(stats, "checker.phenomenon_us");
   switch (p) {
     // The pure SCC searches: within a component every candidate edge closes
     // a cycle, so the serial scan stops at its first SCC-internal candidate
     // with no per-edge search — nothing to parallelize beyond the sharded
     // graph build (already done in the constructor).
     case Phenomenon::kG0:
-      return CycleViolation(p, *dsg_, Bit(DepKind::kWW), Bit(DepKind::kWW));
+      return CycleViolation(p, *dsg_, Bit(DepKind::kWW), Bit(DepKind::kWW),
+                            stats);
     case Phenomenon::kG1c:
-      return CycleViolation(p, *dsg_, kDependencyMask, kDependencyMask);
+      return CycleViolation(p, *dsg_, kDependencyMask, kDependencyMask, stats);
     case Phenomenon::kG2Item:
       return CycleViolation(p, *dsg_, kDependencyMask | Bit(DepKind::kRWItem),
-                            Bit(DepKind::kRWItem));
+                            Bit(DepKind::kRWItem), stats);
     case Phenomenon::kG2:
-      return CycleViolation(p, *dsg_, kConflictMask, kAntiMask);
+      return CycleViolation(p, *dsg_, kConflictMask, kAntiMask, stats);
     case Phenomenon::kG1a:
       return CheckG1aParallel(nullptr);
     case Phenomenon::kG1b:
@@ -198,9 +208,14 @@ std::optional<Violation> ParallelChecker::CheckGSIaParallel() const {
 }
 
 std::optional<Violation> ParallelChecker::CheckGSingleParallel() const {
-  auto cycle = graph::FindCycleWithExactlyOne(dsg_->graph(), kAntiMask,
-                                              kDependencyMask, pool_);
+  std::optional<graph::Cycle> cycle;
+  {
+    ADYA_TIMED_PHASE(options_.conflicts.stats, "checker.cycle_search_us");
+    cycle = graph::FindCycleWithExactlyOne(dsg_->graph(), kAntiMask,
+                                           kDependencyMask, pool_);
+  }
   if (!cycle.has_value()) return std::nullopt;
+  ADYA_TIMED_PHASE(options_.conflicts.stats, "checker.witness_us");
   Violation v;
   v.phenomenon = Phenomenon::kGSingle;
   v.cycle = *cycle;
@@ -210,9 +225,14 @@ std::optional<Violation> ParallelChecker::CheckGSingleParallel() const {
 
 std::optional<Violation> ParallelChecker::CheckGSIbParallel() const {
   const Dsg& s = ssg();
-  auto cycle = graph::FindCycleWithExactlyOne(
-      s.graph(), kAntiMask, kDependencyMask | kStartMask, pool_);
+  std::optional<graph::Cycle> cycle;
+  {
+    ADYA_TIMED_PHASE(options_.conflicts.stats, "checker.cycle_search_us");
+    cycle = graph::FindCycleWithExactlyOne(
+        s.graph(), kAntiMask, kDependencyMask | kStartMask, pool_);
+  }
   if (!cycle.has_value()) return std::nullopt;
+  ADYA_TIMED_PHASE(options_.conflicts.stats, "checker.witness_us");
   Violation v;
   v.phenomenon = Phenomenon::kGSIb;
   v.cycle = *cycle;
@@ -223,6 +243,7 @@ std::optional<Violation> ParallelChecker::CheckGSIbParallel() const {
 std::optional<Violation> ParallelChecker::CheckGCursorParallel() const {
   const History& h = *history_;
   const std::vector<Dependency>& deps = cursor_deps();
+  ADYA_TIMED_PHASE(options_.conflicts.stats, "checker.cycle_search_us");
   return MinIndexScan(*pool_, h.object_count(), [&](size_t obj) {
     return phenomena_internal::GCursorViolationAt(h, deps, ObjectId(obj));
   });

@@ -17,6 +17,10 @@ namespace adya {
 /// parallelism (pool workers + the calling thread); the default of 1 runs
 /// the serial PhenomenaChecker unchanged, so every golden / audit output is
 /// byte-identical unless a caller explicitly opts in to more threads.
+///
+/// Internal: the canonical public option set is CheckerOptions
+/// (core/checker_api.h), which the adya::Checker facade translates into
+/// this struct for mode kParallel.
 struct CheckOptions {
   ConflictOptions conflicts;
   int threads = 1;
@@ -41,6 +45,10 @@ struct CheckOptions {
 ///
 /// With threads <= 1 every call delegates to an internal serial
 /// PhenomenaChecker, making the default path identical by construction.
+///
+/// Internal: code outside src/core/ should go through the adya::Checker
+/// facade (core/checker_api.h, mode kParallel) instead of constructing
+/// this class — scripts/ci.sh guards against new direct uses.
 class ParallelChecker {
  public:
   explicit ParallelChecker(const History& h,

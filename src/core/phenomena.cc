@@ -4,6 +4,7 @@
 
 #include "common/str_util.h"
 #include "history/format.h"
+#include "obs/stats.h"
 
 namespace adya {
 
@@ -56,6 +57,7 @@ const Dsg& PhenomenaChecker::ssg() const {
 }
 
 std::optional<Violation> PhenomenaChecker::Check(Phenomenon p) const {
+  ADYA_TIMED_PHASE(options_.stats, "checker.phenomenon_us");
   switch (p) {
     case Phenomenon::kG0:
       return CheckG0();
@@ -95,8 +97,13 @@ std::vector<Violation> PhenomenaChecker::CheckAll() const {
 std::optional<Violation> PhenomenaChecker::CycleViolation(
     Phenomenon p, const Dsg& dsg, graph::KindMask allowed,
     graph::KindMask required) const {
-  auto cycle = graph::FindCycleWithRequiredKind(dsg.graph(), allowed, required);
+  std::optional<graph::Cycle> cycle;
+  {
+    ADYA_TIMED_PHASE(options_.stats, "checker.cycle_search_us");
+    cycle = graph::FindCycleWithRequiredKind(dsg.graph(), allowed, required);
+  }
   if (!cycle.has_value()) return std::nullopt;
+  ADYA_TIMED_PHASE(options_.stats, "checker.witness_us");
   Violation v;
   v.phenomenon = p;
   v.cycle = *cycle;
@@ -162,9 +169,14 @@ std::optional<Violation> PhenomenaChecker::CheckG2() const {
 
 // G-single (thesis, PL-2+): a cycle with exactly one anti-dependency edge.
 std::optional<Violation> PhenomenaChecker::CheckGSingle() const {
-  auto cycle =
-      graph::FindCycleWithExactlyOne(dsg_->graph(), kAntiMask, kDependencyMask);
+  std::optional<graph::Cycle> cycle;
+  {
+    ADYA_TIMED_PHASE(options_.stats, "checker.cycle_search_us");
+    cycle = graph::FindCycleWithExactlyOne(dsg_->graph(), kAntiMask,
+                                           kDependencyMask);
+  }
   if (!cycle.has_value()) return std::nullopt;
+  ADYA_TIMED_PHASE(options_.stats, "checker.witness_us");
   Violation v;
   v.phenomenon = Phenomenon::kGSingle;
   v.cycle = *cycle;
@@ -193,9 +205,14 @@ std::optional<Violation> PhenomenaChecker::CheckGSIa() const {
 // anti-dependency edge (start edges count as dependency-like edges here).
 std::optional<Violation> PhenomenaChecker::CheckGSIb() const {
   const Dsg& s = ssg();
-  auto cycle = graph::FindCycleWithExactlyOne(
-      s.graph(), kAntiMask, kDependencyMask | kStartMask);
+  std::optional<graph::Cycle> cycle;
+  {
+    ADYA_TIMED_PHASE(options_.stats, "checker.cycle_search_us");
+    cycle = graph::FindCycleWithExactlyOne(s.graph(), kAntiMask,
+                                           kDependencyMask | kStartMask);
+  }
   if (!cycle.has_value()) return std::nullopt;
+  ADYA_TIMED_PHASE(options_.stats, "checker.witness_us");
   Violation v;
   v.phenomenon = Phenomenon::kGSIb;
   v.cycle = *cycle;
@@ -210,6 +227,7 @@ std::optional<Violation> PhenomenaChecker::CheckGSIb() const {
 std::optional<Violation> PhenomenaChecker::CheckGCursor() const {
   const History& h = *history_;
   std::vector<Dependency> deps = ComputeDependencies(h, options_);
+  ADYA_TIMED_PHASE(options_.stats, "checker.cycle_search_us");
   for (ObjectId obj = 0; obj < h.object_count(); ++obj) {
     if (auto v = phenomena_internal::GCursorViolationAt(h, deps, obj)) {
       return v;

@@ -46,6 +46,10 @@ using TxnFilter = std::function<bool(TxnId)>;
 
 /// Evaluates phenomena over one finalized history. Builds the DSG once and
 /// the SSG (start-ordered: needed only for G-SI) on first use.
+///
+/// Internal: code outside src/core/ should go through the adya::Checker
+/// facade (core/checker_api.h, mode kSerial) instead of constructing this
+/// class — scripts/ci.sh guards against new direct uses.
 class PhenomenaChecker {
  public:
   /// `options` tunes conflict computation (e.g. first_rw_pred_only for the

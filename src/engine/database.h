@@ -12,6 +12,7 @@
 
 #include "common/result.h"
 #include "engine/engine_common.h"
+#include "engine/engine_stats.h"
 #include "engine/recorder.h"
 #include "engine/store.h"
 
@@ -46,6 +47,10 @@ class Database {
     /// returning kWouldBlock. Deterministic drivers use false; the
     /// multi-threaded throughput benches use true.
     bool blocking = false;
+    /// Metrics sink for engine counters and lock-wait latency (DESIGN.md
+    /// §9). Null (the default) disables instrumentation; not owned, must
+    /// outlive the database.
+    obs::StatsRegistry* stats = nullptr;
   };
 
   /// Which isolation levels a scheme implements:
@@ -145,12 +150,22 @@ class Database {
     for (const auto& [object, sel] : selected) out->push_back(sel);
   }
 
+  /// Scheduler constructors call this instead of assigning options_
+  /// directly: it resolves the engine instruments once and points the
+  /// recorder's commit/abort sites at them.
+  void SetOptions(const Options& options) {
+    options_ = options;
+    stats_.Resolve(options.stats);
+    recorder_.set_stats(&stats_);
+  }
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
   Recorder recorder_;
   VersionedStore store_;
   uint64_t commit_clock_ = 0;
   Options options_;
+  EngineStats stats_;
 };
 
 }  // namespace adya::engine

@@ -1,0 +1,39 @@
+#ifndef ADYA_ENGINE_ENGINE_STATS_H_
+#define ADYA_ENGINE_ENGINE_STATS_H_
+
+#include "obs/stats.h"
+
+namespace adya::engine {
+
+/// Engine-side instruments, resolved once from a StatsRegistry at database
+/// creation so the per-operation hot paths never take the registry's name
+/// lookup. All-null (the default) when stats are disabled; every recording
+/// site checks enabled() first. The names are shared by all three schemes —
+/// one run uses one scheme, so per-scheme splits live in the run metadata,
+/// not the metric names.
+struct EngineStats {
+  obs::Counter* commits = nullptr;            // engine.commits
+  obs::Counter* aborts = nullptr;             // engine.aborts (all causes)
+  obs::Counter* aborts_deadlock = nullptr;    // engine.aborts_deadlock
+  obs::Counter* aborts_validation = nullptr;  // engine.aborts_validation
+  obs::Counter* lock_waits = nullptr;         // engine.lock_waits
+  obs::Counter* would_block = nullptr;        // engine.would_block
+  obs::Histogram* lock_wait_us = nullptr;     // engine.lock_wait_us
+
+  bool enabled() const { return commits != nullptr; }
+
+  void Resolve(obs::StatsRegistry* registry) {
+    if (registry == nullptr) return;
+    commits = &registry->counter("engine.commits");
+    aborts = &registry->counter("engine.aborts");
+    aborts_deadlock = &registry->counter("engine.aborts_deadlock");
+    aborts_validation = &registry->counter("engine.aborts_validation");
+    lock_waits = &registry->counter("engine.lock_waits");
+    would_block = &registry->counter("engine.would_block");
+    lock_wait_us = &registry->histogram("engine.lock_wait_us");
+  }
+};
+
+}  // namespace adya::engine
+
+#endif  // ADYA_ENGINE_ENGINE_STATS_H_

@@ -1,8 +1,10 @@
 #include "engine/lock_manager.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/check.h"
+#include "engine/engine_stats.h"
 
 namespace adya::engine {
 namespace {
@@ -82,13 +84,27 @@ Status LockManager::AcquireLoop(std::unique_lock<std::mutex>& lk, TxnId txn,
     waits_for_[txn].insert(holder);
     if (WouldDeadlock(txn)) {
       waits_for_.erase(txn);
+      if (stats_ != nullptr && stats_->enabled()) {
+        stats_->aborts_deadlock->Add();
+      }
       return Status::TxnAborted("deadlock victim");
     }
     if (!wait) {
       // Keep the edge: a later attempt by the holder may close the cycle.
+      if (stats_ != nullptr && stats_->enabled()) stats_->would_block->Add();
       return Status::WouldBlock("lock held by another transaction");
     }
-    cv_->wait(lk);
+    if (stats_ != nullptr && stats_->enabled()) {
+      stats_->lock_waits->Add();
+      auto start = std::chrono::steady_clock::now();
+      cv_->wait(lk);
+      stats_->lock_wait_us->Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count()));
+    } else {
+      cv_->wait(lk);
+    }
     waits_for_[txn].erase(holder);
   }
 }

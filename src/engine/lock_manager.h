@@ -15,6 +15,8 @@
 
 namespace adya::engine {
 
+struct EngineStats;
+
 enum class LockMode : uint8_t { kShared, kExclusive };
 
 /// A precision-locking lock manager (Gray & Reuter ch. 7 style): item locks
@@ -34,7 +36,11 @@ enum class LockMode : uint8_t { kShared, kExclusive };
 /// race on wakeup; fine at checker scale, documented as a non-goal.
 class LockManager {
  public:
-  explicit LockManager(std::condition_variable* cv) : cv_(cv) {}
+  /// `stats` (optional, not owned) records lock waits, blocked wall time,
+  /// would-block conflicts, and deadlock victims.
+  explicit LockManager(std::condition_variable* cv,
+                       const EngineStats* stats = nullptr)
+      : cv_(cv), stats_(stats) {}
 
   /// Acquires (or upgrades to) `mode` on `key` for `txn`.
   Status AcquireItem(std::unique_lock<std::mutex>& lk, TxnId txn,
@@ -99,6 +105,7 @@ class LockManager {
   bool WouldDeadlock(TxnId waiter) const;
 
   std::condition_variable* cv_;
+  const EngineStats* stats_;
   std::map<ObjKey, std::map<TxnId, LockMode>> item_locks_;
   std::vector<PredLock> predicate_locks_;
   std::map<TxnId, std::vector<Footprint>> footprints_;

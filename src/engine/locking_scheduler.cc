@@ -14,8 +14,8 @@ bool LongReadLocks(IsolationLevel level) {
 
 }  // namespace
 
-LockingScheduler::LockingScheduler(Options options) : locks_(&cv_) {
-  options_ = options;
+LockingScheduler::LockingScheduler(Options options) : locks_(&cv_, &stats_) {
+  SetOptions(options);
 }
 
 Result<TxnId> LockingScheduler::Begin(IsolationLevel level) {

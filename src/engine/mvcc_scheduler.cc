@@ -133,6 +133,7 @@ Status MvccScheduler::Commit(TxnId txn) {
   for (const auto& [key, pending] : ts->pending) {
     const VersionedStore::Stored* tip = store_.Latest(key);
     if (tip != nullptr && tip->commit_ts > ts->snapshot_ts) {
+      if (stats_.enabled()) stats_.aborts_validation->Add();
       recorder_.RecordAbort(txn);
       ts->status = TxnStatus::kAborted;
       return Status::TxnAborted(

@@ -20,7 +20,7 @@ namespace adya::engine {
 /// exactly what separates the levels in the thesis's hierarchy.
 class MvccScheduler : public Database {
  public:
-  explicit MvccScheduler(Options options) { options_ = options; }
+  explicit MvccScheduler(Options options) { SetOptions(options); }
 
   Result<TxnId> Begin(IsolationLevel level) override;
   Result<std::optional<Row>> Read(TxnId txn, const ObjKey& key) override;

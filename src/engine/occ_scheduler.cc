@@ -165,6 +165,7 @@ Status OccScheduler::Commit(TxnId txn) {
         }
       }
       if (conflict) {
+        if (stats_.enabled()) stats_.aborts_validation->Add();
         recorder_.RecordAbort(txn);
         ts->status = TxnStatus::kAborted;
         return Status::TxnAborted("backward validation failed");

@@ -27,7 +27,7 @@ namespace adya::engine {
 /// committed final versions, so G1 cannot occur.
 class OccScheduler : public Database {
  public:
-  explicit OccScheduler(Options options) { options_ = options; }
+  explicit OccScheduler(Options options) { SetOptions(options); }
 
   Result<TxnId> Begin(IsolationLevel level) override;
   Result<std::optional<Row>> Read(TxnId txn, const ObjKey& key) override;

@@ -1,6 +1,7 @@
 #include "engine/recorder.h"
 
 #include "common/str_util.h"
+#include "engine/engine_stats.h"
 
 namespace adya::engine {
 
@@ -55,11 +56,13 @@ void Recorder::RecordPredicateRead(TxnId txn, PredicateId predicate,
 }
 
 void Recorder::RecordCommit(TxnId txn) {
+  if (stats_ != nullptr && stats_->enabled()) stats_->commits->Add();
   std::lock_guard<std::mutex> guard(mu_);
   history_.Append(Event::Commit(txn));
 }
 
 void Recorder::RecordAbort(TxnId txn) {
+  if (stats_ != nullptr && stats_->enabled()) stats_->aborts->Add();
   std::lock_guard<std::mutex> guard(mu_);
   history_.Append(Event::Abort(txn));
 }

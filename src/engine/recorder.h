@@ -13,6 +13,8 @@
 
 namespace adya::engine {
 
+struct EngineStats;
+
 /// Materializes the History of an engine execution as it happens, so that
 /// the checker (core/) can validate what the engine actually did —
 /// Elle-style black-box checking, except the engine cooperates by reporting
@@ -36,6 +38,12 @@ namespace adya::engine {
 class Recorder {
  public:
   Recorder() { history_.AddRelation("R"); }
+
+  /// Points the commit/abort record sites at resolved engine counters (the
+  /// single place every scheme's outcomes flow through). Null or
+  /// unresolved stats disable the bumps; `stats` is not owned and must
+  /// outlive the recorder.
+  void set_stats(const EngineStats* stats) { stats_ = stats; }
 
   RelationId AddRelation(const std::string& name) {
     std::lock_guard<std::mutex> guard(mu_);
@@ -89,6 +97,7 @@ class Recorder {
  private:
   mutable std::mutex mu_;
   History history_;
+  const EngineStats* stats_ = nullptr;
   TxnId next_txn_ = 1;
   std::map<ObjKey, uint32_t> incarnation_count_;
   std::map<std::pair<TxnId, ObjectId>, uint32_t> write_seq_;

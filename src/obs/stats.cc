@@ -1,0 +1,266 @@
+#include "obs/stats.h"
+
+#include <bit>
+#include <cmath>
+
+#include "common/json_util.h"
+#include "common/str_util.h"
+
+namespace adya::obs {
+namespace {
+
+/// Small dense per-thread index: first use from a thread claims the next
+/// slot. Shared by Counter sharding and TraceEvent::thread so a trace can
+/// be correlated with the shard a thread wrote.
+size_t ThisThreadIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t index = next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+}  // namespace
+
+size_t Counter::ThisThreadShard() { return ThisThreadIndex() % kShards; }
+
+// --- Histogram -------------------------------------------------------------
+
+size_t Histogram::BucketIndex(uint64_t v) {
+  if (v < (uint64_t{1} << kSubBits)) return static_cast<size_t>(v);
+  int exp = 63 - std::countl_zero(v);  // position of the top bit, >= kSubBits
+  uint64_t sub = (v >> (exp - kSubBits)) & ((uint64_t{1} << kSubBits) - 1);
+  return (static_cast<size_t>(exp - kSubBits + 1) << kSubBits) |
+         static_cast<size_t>(sub);
+}
+
+uint64_t Histogram::BucketFloor(size_t index) {
+  size_t octave = index >> kSubBits;
+  uint64_t sub = index & ((uint64_t{1} << kSubBits) - 1);
+  if (octave == 0) return sub;
+  int exp = static_cast<int>(octave) + kSubBits - 1;
+  return (uint64_t{1} << exp) | (sub << (exp - kSubBits));
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t i = 0; i < kBuckets; ++i) {
+    uint64_t v = other.buckets_[i].load(std::memory_order_relaxed);
+    if (v != 0) buckets_[i].fetch_add(v, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  uint64_t other_max = other.max_.load(std::memory_order_relaxed);
+  uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (other_max > seen && !max_.compare_exchange_weak(
+                                 seen, other_max, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::CopyFrom(const Histogram& other) {
+  for (size_t i = 0; i < kBuckets; ++i) {
+    buckets_[i].store(other.buckets_[i].load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  }
+  count_.store(other.count_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+  max_.store(other.max_.load(std::memory_order_relaxed),
+             std::memory_order_relaxed);
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  uint64_t total = count();
+  if (total == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(total)));
+  if (rank == 0) rank = 1;
+  uint64_t max = max_value();
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      uint64_t floor = BucketFloor(i);
+      return floor < max ? floor : max;
+    }
+  }
+  return max;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot s;
+  s.count = count();
+  s.max = max_value();
+  s.p50 = Percentile(50);
+  s.p95 = Percentile(95);
+  s.p99 = Percentile(99);
+  return s;
+}
+
+std::string Histogram::ToJson() const {
+  HistogramSnapshot s = Snapshot();
+  return StrCat("{\"p50\":", JsonInt(s.p50), ",\"p95\":", JsonInt(s.p95),
+                ",\"p99\":", JsonInt(s.p99), ",\"max\":", JsonInt(s.max),
+                ",\"count\":", JsonInt(s.count), "}");
+}
+
+// --- TraceBuffer -----------------------------------------------------------
+
+TraceBuffer::TraceBuffer(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+void TraceBuffer::Record(std::string_view name, uint64_t value) {
+  TraceEvent event;
+  event.ts_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+  event.thread = static_cast<uint32_t>(ThisThreadIndex());
+  event.name.assign(name.data(), name.size());
+  event.value = value;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[next_] = std::move(event);
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++total_;
+}
+
+std::vector<TraceEvent> TraceBuffer::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    // Full ring: next_ points at the oldest surviving event.
+    for (size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(next_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+uint64_t TraceBuffer::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+uint64_t TraceBuffer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ > ring_.size() ? total_ - ring_.size() : 0;
+}
+
+std::string TraceBuffer::ToJsonLines() const {
+  std::string out;
+  for (const TraceEvent& e : Events()) {
+    out += StrCat("{\"ts_us\":", JsonInt(e.ts_us),
+                  ",\"thread\":", JsonInt(e.thread), ",\"name\":\"",
+                  JsonEscape(e.name), "\",\"value\":", JsonInt(e.value),
+                  "}\n");
+  }
+  return out;
+}
+
+// --- StatsSnapshot ---------------------------------------------------------
+
+std::string StatsSnapshot::ToJson() const {
+  std::string out = "{\"schema_version\":1,\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += StrCat("\"", JsonEscape(name), "\":", JsonInt(value));
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += StrCat("\"", JsonEscape(name), "\":{\"p50\":", JsonInt(h.p50),
+                  ",\"p95\":", JsonInt(h.p95), ",\"p99\":", JsonInt(h.p99),
+                  ",\"max\":", JsonInt(h.max), ",\"count\":", JsonInt(h.count),
+                  "}");
+  }
+  out += "}}";
+  return out;
+}
+
+namespace {
+
+/// "checker.cycle_search_us" -> "adya_checker_cycle_search_us". Prometheus
+/// metric names admit [a-zA-Z0-9_:]; everything else becomes '_'.
+std::string PrometheusName(const std::string& name) {
+  std::string out = "adya_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string StatsSnapshot::ToPrometheus() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    std::string prom = PrometheusName(name);
+    out += StrCat("# TYPE ", prom, " counter\n");
+    out += StrCat(prom, " ", JsonInt(value), "\n");
+  }
+  for (const auto& [name, h] : histograms) {
+    std::string prom = PrometheusName(name);
+    out += StrCat("# TYPE ", prom, " summary\n");
+    out += StrCat(prom, "{quantile=\"0.5\"} ", JsonInt(h.p50), "\n");
+    out += StrCat(prom, "{quantile=\"0.95\"} ", JsonInt(h.p95), "\n");
+    out += StrCat(prom, "{quantile=\"0.99\"} ", JsonInt(h.p99), "\n");
+    out += StrCat(prom, "_count ", JsonInt(h.count), "\n");
+    out += StrCat(prom, "_max ", JsonInt(h.max), "\n");
+  }
+  return out;
+}
+
+// --- StatsRegistry ---------------------------------------------------------
+
+Counter& StatsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& StatsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+StatsSnapshot StatsRegistry::Snapshot() const {
+  StatsSnapshot s;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) s.counters[name] = c->Value();
+  for (const auto& [name, h] : histograms_) {
+    s.histograms[name] = h->Snapshot();
+  }
+  return s;
+}
+
+}  // namespace adya::obs

@@ -1,0 +1,262 @@
+#ifndef ADYA_OBS_STATS_H_
+#define ADYA_OBS_STATS_H_
+
+// Low-overhead metrics and tracing for the engine, the checkers, and the
+// online certifier. Everything here is compiled in unconditionally and
+// enabled at runtime by handing a StatsRegistry* to the layer being
+// observed (CheckerOptions::stats, engine::Database::Options::stats,
+// stress::StressOptions::stats). A null registry is the default and every
+// instrumentation site reduces to a pointer null-check, so the
+// zero-instrumentation path costs nothing measurable.
+//
+// Design (DESIGN.md §9):
+//  - Counter: per-thread-sharded relaxed atomics, cacheline-padded. Add()
+//    never contends with other threads in steady state; Value() sums the
+//    shards (exact once writers are quiescent).
+//  - Histogram: the same log-bucketed layout as the stress
+//    LatencyHistogram (16 linear sub-buckets per power-of-two octave,
+//    <= ~6% relative quantile error) but with atomic buckets: Record() is
+//    a lock-free relaxed fetch_add, quantiles are computed merge-on-read.
+//  - StatsRegistry: process-wide name -> Counter/Histogram map. Lookup
+//    takes a mutex; hot paths resolve their instruments once and cache
+//    the pointer (see engine::Database). Returned references are stable
+//    for the registry's lifetime.
+//  - ScopedPhaseTimer / ADYA_TIMED_PHASE: RAII wall-clock timer that
+//    records elapsed microseconds into a histogram and appends a trace
+//    event on scope exit; a no-op when the registry is null.
+//  - TraceBuffer: bounded ring of recent phase events (mutex-protected —
+//    events are phase-granularity, far off any per-operation hot path).
+//
+// Exporters: StatsSnapshot::ToJson() emits one self-contained JSON object
+// per line (BENCH_*.json continuity), ToPrometheus() emits the Prometheus
+// text exposition format for scraping.
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adya::obs {
+
+/// A monotonically increasing counter sharded across cacheline-padded
+/// atomic cells; each thread hashes to a stable shard so concurrent Add()
+/// calls do not bounce a shared cacheline. Value() sums the shards with
+/// relaxed loads: exact once writers are quiescent, a consistent-enough
+/// approximation while they are not.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t delta = 1) {
+    shards_[ThisThreadShard()].value.fetch_add(delta,
+                                               std::memory_order_relaxed);
+  }
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  static constexpr size_t kShards = 16;
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+
+  /// A small dense per-thread index (assigned on first use, round-robin)
+  /// modulo the shard count. Threads outnumbering shards fold together,
+  /// which only costs contention, never correctness.
+  static size_t ThisThreadShard();
+
+  std::array<Shard, kShards> shards_{};
+};
+
+/// Percentile summary of one histogram at snapshot time (microseconds for
+/// the *_us histograms, unitless for size distributions).
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t max = 0;
+  uint64_t p50 = 0;
+  uint64_t p95 = 0;
+  uint64_t p99 = 0;
+};
+
+/// A fixed-size log-bucketed histogram (HdrHistogram-lite): 16 linear
+/// sub-buckets per power-of-two octave, so quantile estimates carry at most
+/// ~6% relative error at any magnitude, with no allocation. Record() is a
+/// single relaxed fetch_add on one bucket — lock-free and wait-free on the
+/// hot path; quantiles and Merge() read the buckets without stopping
+/// writers (merge-on-read), so concurrent reads are approximate and
+/// quiescent reads are exact.
+class Histogram {
+ public:
+  Histogram() = default;
+  /// Copyable so value types embedding one (stress::RunMetrics) keep value
+  /// semantics; the copy is a relaxed-load snapshot of the source.
+  Histogram(const Histogram& other) { CopyFrom(other); }
+  Histogram& operator=(const Histogram& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+
+  void Record(uint64_t value);
+  /// Folds a relaxed-load snapshot of `other` into this histogram.
+  void Merge(const Histogram& other);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t max_value() const { return max_.load(std::memory_order_relaxed); }
+
+  /// Approximate value at percentile `p` in [0, 100] (0 when empty).
+  uint64_t Percentile(double p) const;
+
+  HistogramSnapshot Snapshot() const;
+
+  /// {"p50":…,"p95":…,"p99":…,"max":…,"count":…} (all integers).
+  std::string ToJson() const;
+
+ private:
+  static constexpr int kSubBits = 4;  // 16 sub-buckets per octave
+  static constexpr size_t kBuckets = (64 - kSubBits) << kSubBits;
+
+  static size_t BucketIndex(uint64_t v);
+  /// Lower bound of the value range bucket `index` covers.
+  static uint64_t BucketFloor(size_t index);
+
+  void CopyFrom(const Histogram& other);
+
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// One phase event captured by a ScopedPhaseTimer (or recorded directly).
+struct TraceEvent {
+  uint64_t ts_us = 0;   // microseconds since the TraceBuffer was created
+  uint32_t thread = 0;  // small dense thread index (same as Counter shards)
+  std::string name;     // phase / metric name
+  uint64_t value = 0;   // elapsed microseconds (timers) or recorded value
+};
+
+/// A bounded ring buffer of recent TraceEvents. Once full, new events
+/// overwrite the oldest; dropped() reports how many fell off. Protected by
+/// a mutex — trace events are phase-granularity (one per checker phase or
+/// certifier cycle, not per operation), so lock cost is irrelevant and the
+/// structure stays trivially TSan-clean.
+class TraceBuffer {
+ public:
+  static constexpr size_t kDefaultCapacity = 8192;
+
+  explicit TraceBuffer(size_t capacity = kDefaultCapacity);
+
+  void Record(std::string_view name, uint64_t value);
+
+  /// Events in arrival order (oldest surviving first).
+  std::vector<TraceEvent> Events() const;
+  uint64_t total_recorded() const;
+  uint64_t dropped() const;
+
+  /// One JSON object per line: {"ts_us":…,"thread":…,"name":"…","value":…}.
+  std::string ToJsonLines() const;
+
+ private:
+  const size_t capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  size_t next_ = 0;         // ring slot the next event lands in
+  uint64_t total_ = 0;      // events ever recorded
+};
+
+/// Point-in-time copy of every registered instrument, safe to format or
+/// compare after the registry (or the run) is gone.
+struct StatsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  bool empty() const { return counters.empty() && histograms.empty(); }
+
+  /// One JSON object on a single line:
+  /// {"schema_version":1,"counters":{…},"histograms":{"name":{"p50":…}}}.
+  std::string ToJson() const;
+
+  /// Prometheus text exposition format. Metric names are sanitized
+  /// ("checker.cycle_search_us" -> "adya_checker_cycle_search_us");
+  /// histograms export as summaries (quantile labels + _count + _max).
+  std::string ToPrometheus() const;
+};
+
+/// Process-wide registry mapping metric names to instruments. Thread-safe;
+/// counter()/histogram() return a reference that stays valid for the
+/// registry's lifetime, so hot paths should resolve once and cache the
+/// pointer rather than re-looking-up per event.
+class StatsRegistry {
+ public:
+  StatsRegistry() = default;
+  StatsRegistry(const StatsRegistry&) = delete;
+  StatsRegistry& operator=(const StatsRegistry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Histogram& histogram(std::string_view name);
+  TraceBuffer& trace() { return trace_; }
+  const TraceBuffer& trace() const { return trace_; }
+
+  StatsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  TraceBuffer trace_;
+};
+
+/// RAII wall-clock timer: on destruction records elapsed microseconds into
+/// `stats->histogram(name)` and appends a trace event. When `stats` is
+/// null the constructor and destructor are empty — the disabled path never
+/// reads the clock.
+class ScopedPhaseTimer {
+ public:
+  ScopedPhaseTimer(StatsRegistry* stats, std::string_view name)
+      : stats_(stats), name_(name) {
+    if (stats_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedPhaseTimer() {
+    if (stats_ == nullptr) return;
+    uint64_t us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+    stats_->histogram(name_).Record(us);
+    stats_->trace().Record(name_, us);
+  }
+
+  ScopedPhaseTimer(const ScopedPhaseTimer&) = delete;
+  ScopedPhaseTimer& operator=(const ScopedPhaseTimer&) = delete;
+
+ private:
+  StatsRegistry* stats_;
+  std::string_view name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+#define ADYA_OBS_CONCAT_INNER(a, b) a##b
+#define ADYA_OBS_CONCAT(a, b) ADYA_OBS_CONCAT_INNER(a, b)
+
+/// Times the rest of the enclosing scope into histogram `name` (and the
+/// trace ring) of registry pointer `stats`; no-op when `stats` is null.
+#define ADYA_TIMED_PHASE(stats, name)                               \
+  ::adya::obs::ScopedPhaseTimer ADYA_OBS_CONCAT(adya_timed_phase_,  \
+                                                __LINE__)((stats), (name))
+
+}  // namespace adya::obs
+
+#endif  // ADYA_OBS_STATS_H_

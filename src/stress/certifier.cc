@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/str_util.h"
+#include "obs/stats.h"
 
 namespace adya::stress {
 namespace {
@@ -38,11 +39,12 @@ History PrefixHistory(const History& full, size_t n) {
 
 OnlineCertifier::OnlineCertifier(const engine::Database& db,
                                  IsolationLevel target,
-                                 const CertifyOptions& options)
+                                 const CheckerOptions& options)
     : db_(&db), target_(target), options_(options) {
-  if (options_.max_batch < 1) options_.max_batch = 1;
-  if (options_.incremental) {
-    incremental_ = std::make_unique<IncrementalChecker>(target_);
+  if (options_.certify_batch < 1) options_.certify_batch = 1;
+  if (options_.mode == CheckMode::kIncremental) {
+    incremental_ =
+        std::make_unique<IncrementalChecker>(target_, options_.stats);
   } else if (options_.threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.threads);
   }
@@ -51,10 +53,15 @@ OnlineCertifier::OnlineCertifier(const engine::Database& db,
 OnlineCertifier::~OnlineCertifier() = default;
 
 std::vector<Violation> OnlineCertifier::CertifyPrefix(size_t end) const {
+  ADYA_TIMED_PHASE(options_.stats, "certifier.certify_us");
   History prefix = end == replica_.events().size()
                        ? replica_
                        : PrefixHistory(replica_, end);
-  Status finalized = prefix.Finalize();
+  Status finalized;
+  {
+    ADYA_TIMED_PHASE(options_.stats, "checker.version_order_us");
+    finalized = prefix.Finalize();
+  }
   // The engine reports exact version identities, so its recorded prefixes
   // are well-formed by construction; a failure here is an engine bug.
   ADYA_CHECK_MSG(finalized.ok(),
@@ -63,18 +70,26 @@ std::vector<Violation> OnlineCertifier::CertifyPrefix(size_t end) const {
   // stress run's overlapping predicate reads and writes would otherwise
   // yield quadratically many rw(pred) edges. The reduced edge set preserves
   // every phenomenon (see ConflictOptions), only witnesses may differ.
-  CheckOptions check_options;
-  check_options.conflicts.first_rw_pred_only = true;
-  check_options.conflicts.reduced_start_edges = true;
-  ParallelChecker checker(prefix, check_options, pool_.get());
-  return CheckLevel(checker, target_).violations;
+  CheckerOptions check = options_;
+  check.mode = CheckMode::kParallel;
+  check.conflicts.first_rw_pred_only = true;
+  check.conflicts.reduced_start_edges = true;
+  Checker checker(prefix, check, pool_.get());
+  return checker.Check(target_).violations;
 }
 
 std::vector<Violation> OnlineCertifier::Cycle() {
   ++cycles_;
   size_t before = cursor_;
   cursor_ = db_->DrainRecorded(&replica_, cursor_);
-  if (options_.incremental) return IncrementalCycle(before);
+  if (options_.stats != nullptr) {
+    options_.stats->counter("certifier.cycles").Add();
+    options_.stats->histogram("certifier.drain_events")
+        .Record(cursor_ - before);
+  }
+  if (options_.mode == CheckMode::kIncremental) {
+    return IncrementalCycle(before);
+  }
   // Prefix lengths ending just after each newly drained commit: the
   // candidate snapshots of this batch.
   std::vector<size_t> commit_ends;
@@ -84,15 +99,19 @@ std::vector<Violation> OnlineCertifier::Cycle() {
       commit_ends.push_back(i + 1);
     }
   }
+  if (options_.stats != nullptr) {
+    options_.stats->histogram("certifier.queue_depth")
+        .Record(commit_ends.size());
+  }
   if (commit_ends.empty()) return {};
 
-  // Snapshots to certify: up to max_batch - 1 evenly spaced (late-biased)
-  // commit prefixes, then always the full drained prefix — so a run whose
-  // last cycle drained everything has been checked end-to-end regardless of
-  // batching.
+  // Snapshots to certify: up to certify_batch - 1 evenly spaced
+  // (late-biased) commit prefixes, then always the full drained prefix — so
+  // a run whose last cycle drained everything has been checked end-to-end
+  // regardless of batching.
   std::vector<size_t> ends;
   size_t take = std::min(commit_ends.size(),
-                         static_cast<size_t>(options_.max_batch) - 1);
+                         static_cast<size_t>(options_.certify_batch) - 1);
   for (size_t k = 0; k < take; ++k) {
     ends.push_back(commit_ends[(k + 1) * commit_ends.size() / take - 1]);
   }
@@ -100,6 +119,10 @@ std::vector<Violation> OnlineCertifier::Cycle() {
   ends.erase(std::unique(ends.begin(), ends.end()), ends.end());
 
   checks_run_ += ends.size();
+  if (options_.stats != nullptr) {
+    options_.stats->counter("certifier.checks").Add(ends.size());
+    options_.stats->histogram("certifier.batch_size").Record(ends.size());
+  }
   std::vector<std::vector<Violation>> batch(ends.size());
   if (pool_ != nullptr && ends.size() > 1) {
     pool_->ParallelFor(ends.size(),
@@ -148,11 +171,21 @@ std::vector<Violation> OnlineCertifier::IncrementalCycle(size_t before) {
     if (e.type == EventType::kBegin) {
       live.SetLevel(e.txn, replica_.txn_info(e.txn).level);
     }
-    if (e.type == EventType::kCommit) {
+    bool is_commit = e.type == EventType::kCommit;
+    if (is_commit) {
       ++commits_seen_;
       ++checks_run_;
+      if (options_.stats != nullptr) {
+        options_.stats->counter("certifier.checks").Add();
+      }
     }
-    Result<std::vector<Violation>> out = incremental_->Feed(e);
+    Result<std::vector<Violation>> out = [&] {
+      // Per-commit certify latency: the OnCommit path inside Feed is where
+      // the incremental detectors run; non-commit events are cheap folds.
+      ADYA_TIMED_PHASE(is_commit ? options_.stats : nullptr,
+                       "certifier.certify_us");
+      return incremental_->Feed(e);
+    }();
     // The engine reports exact version identities, so its recorded stream
     // is well-formed by construction; a failure here is an engine bug.
     ADYA_CHECK_MSG(out.ok(), "recorded stream failed incremental "

@@ -8,35 +8,13 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "core/checker_api.h"
 #include "core/incremental.h"
 #include "core/levels.h"
-#include "core/parallel.h"
 #include "engine/database.h"
 #include "history/history.h"
 
 namespace adya::stress {
-
-/// Tuning for OnlineCertifier. The defaults reproduce the original
-/// single-threaded, one-check-per-cycle behavior exactly.
-struct CertifyOptions {
-  /// Total parallelism of the certification pool (1 = no pool). With more
-  /// threads, the snapshots of one batch are certified concurrently, and a
-  /// single-snapshot cycle fans the per-phenomenon checks out instead.
-  int threads = 1;
-  /// Maximum committed-prefix snapshots certified per drain cycle. 1 checks
-  /// only the full drained prefix (the original behavior); N > 1 also
-  /// checks up to N-1 intermediate commit prefixes, which tightens the
-  /// attribution of a violation to the commit batch that introduced it.
-  int max_batch = 1;
-  /// Certify with the IncrementalChecker (core/incremental.h): every
-  /// drained event is folded into a persistent DSG whose cycle structure is
-  /// maintained across commits, so each commit costs its new conflict edges
-  /// instead of a full prefix re-check. Gives exact per-commit attribution
-  /// (finer than any max_batch) with verdicts identical to the snapshot
-  /// strategy; threads/max_batch are ignored — the incremental state is
-  /// inherently sequential and lives on the certifier thread.
-  bool incremental = false;
-};
 
 /// Online certification pipelined with execution: a replica of the engine's
 /// recorded history is grown incrementally through the thread-safe Recorder
@@ -53,13 +31,25 @@ struct CertifyOptions {
 /// batching never loses a violation — it only coarsens the attribution of
 /// which commit introduced it; the first witness per phenomenon kind is
 /// still reported. A run whose last cycle drained the complete history has
-/// therefore been checked end-to-end. CertifyOptions::max_batch recovers
-/// finer attribution by certifying up to N commit prefixes per cycle
-/// (fanned over the pool), still ending with the full drained prefix.
+/// therefore been checked end-to-end.
+///
+/// Tuning comes from the canonical CheckerOptions (core/checker_api.h):
+///  * threads — parallelism of the certification pool (1 = no pool);
+///  * certify_batch — snapshots certified per drain cycle: 1 checks only
+///    the full drained prefix, N > 1 also checks up to N-1 intermediate
+///    commit prefixes, tightening violation attribution;
+///  * mode == kIncremental — fold every drained event into a persistent
+///    IncrementalChecker DSG instead of snapshotting: each commit costs its
+///    new conflict edges, with exact per-commit attribution and verdicts
+///    identical to the snapshot strategy (threads/certify_batch are ignored
+///    — the incremental state is inherently sequential);
+///  * stats — optional StatsRegistry recording certifier.* metrics (drain
+///    sizes, queue depth, per-snapshot certify latency) plus the checker.*
+///    phase timings of every certification it runs.
 class OnlineCertifier {
  public:
   OnlineCertifier(const engine::Database& db, IsolationLevel target,
-                  const CertifyOptions& options = CertifyOptions());
+                  const CheckerOptions& options = CheckerOptions());
   ~OnlineCertifier();
 
   /// Drains newly recorded events and certifies the committed prefix if any
@@ -95,7 +85,7 @@ class OnlineCertifier {
 
   const engine::Database* db_;
   IsolationLevel target_;
-  CertifyOptions options_;
+  CheckerOptions options_;
   std::unique_ptr<ThreadPool> pool_;  // non-null iff options_.threads > 1
   History replica_;
   size_t cursor_ = 0;
@@ -104,7 +94,7 @@ class OnlineCertifier {
   size_t commits_seen_ = 0;
   std::set<Phenomenon> reported_;
   std::vector<Violation> violations_;
-  // Incremental mode (options_.incremental) only.
+  // Incremental mode (options_.mode == CheckMode::kIncremental) only.
   std::unique_ptr<IncrementalChecker> incremental_;
   size_t synced_relations_ = 0;
   size_t synced_objects_ = 0;

@@ -1,131 +1,9 @@
 #include "stress/metrics.h"
 
-#include <bit>
-#include <charconv>
-#include <cmath>
-
+#include "common/json_util.h"
 #include "common/str_util.h"
 
 namespace adya::stress {
-namespace {
-
-/// Locale-independent fixed-precision double for JSON. ostream/printf honor
-/// the global C/C++ locale — a comma decimal separator (e.g. de_DE) would
-/// emit `0,5` and corrupt the record — so this formats via std::to_chars,
-/// which is locale-free by specification. Non-finite values have no JSON
-/// representation and degrade to 0.
-std::string JsonDouble(double v) {
-  if (!std::isfinite(v)) return "0";
-  char buf[64];
-  auto [ptr, ec] =
-      std::to_chars(buf, buf + sizeof(buf), v, std::chars_format::fixed, 3);
-  if (ec != std::errc()) return "0";
-  return std::string(buf, ptr);
-}
-
-/// Locale-independent integer for JSON: ostream-based formatting applies
-/// the global locale's digit grouping (e.g. 4352 → "4.352" under de_DE),
-/// which is not a JSON number.
-template <typename Int>
-std::string JsonInt(Int v) {
-  char buf[32];
-  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
-  if (ec != std::errc()) return "0";
-  return std::string(buf, ptr);
-}
-
-/// Escapes a string field per RFC 8259 (quotes, backslashes, control
-/// characters). Scheme/level names are ASCII identifiers today, but the
-/// writer must not rely on that.
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          constexpr char kHex[] = "0123456789abcdef";
-          out += "\\u00";
-          out += kHex[(c >> 4) & 0xF];
-          out += kHex[c & 0xF];
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-}  // namespace
-
-size_t LatencyHistogram::BucketIndex(uint64_t v) {
-  if (v < (uint64_t{1} << kSubBits)) return static_cast<size_t>(v);
-  int exp = 63 - std::countl_zero(v);  // position of the top bit, >= kSubBits
-  uint64_t sub = (v >> (exp - kSubBits)) & ((uint64_t{1} << kSubBits) - 1);
-  return (static_cast<size_t>(exp - kSubBits + 1) << kSubBits) |
-         static_cast<size_t>(sub);
-}
-
-uint64_t LatencyHistogram::BucketFloor(size_t index) {
-  size_t octave = index >> kSubBits;
-  uint64_t sub = index & ((uint64_t{1} << kSubBits) - 1);
-  if (octave == 0) return sub;
-  int exp = static_cast<int>(octave) + kSubBits - 1;
-  return (uint64_t{1} << exp) | (sub << (exp - kSubBits));
-}
-
-void LatencyHistogram::Record(uint64_t micros) {
-  ++buckets_[BucketIndex(micros)];
-  ++count_;
-  if (micros > max_) max_ = micros;
-}
-
-void LatencyHistogram::Merge(const LatencyHistogram& other) {
-  for (size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
-  count_ += other.count_;
-  if (other.max_ > max_) max_ = other.max_;
-}
-
-uint64_t LatencyHistogram::PercentileMicros(double p) const {
-  if (count_ == 0) return 0;
-  if (p < 0) p = 0;
-  if (p > 100) p = 100;
-  uint64_t rank = static_cast<uint64_t>(std::ceil(p / 100.0 *
-                                                  static_cast<double>(count_)));
-  if (rank == 0) rank = 1;
-  uint64_t seen = 0;
-  for (size_t i = 0; i < kBuckets; ++i) {
-    seen += buckets_[i];
-    if (seen >= rank) {
-      uint64_t floor = BucketFloor(i);
-      return floor < max_ ? floor : max_;
-    }
-  }
-  return max_;
-}
-
-std::string LatencyHistogram::ToJson() const {
-  return StrCat("{\"p50\":", JsonInt(PercentileMicros(50)),
-                ",\"p95\":", JsonInt(PercentileMicros(95)),
-                ",\"p99\":", JsonInt(PercentileMicros(99)),
-                ",\"max\":", JsonInt(max_),
-                ",\"count\":", JsonInt(count_), "}");
-}
 
 void RunMetrics::Merge(const RunMetrics& other) {
   txns_started += other.txns_started;
@@ -148,7 +26,8 @@ void RunMetrics::Merge(const RunMetrics& other) {
 
 std::string RunMetrics::ToJson() const {
   return StrCat(
-      "{\"scheme\":\"", JsonEscape(scheme), "\",\"level\":\"",
+      "{\"schema_version\":", JsonInt(kSchemaVersion),
+      ",\"scheme\":\"", JsonEscape(scheme), "\",\"level\":\"",
       JsonEscape(level), "\",\"threads\":", JsonInt(threads),
       ",\"duration_seconds\":", JsonDouble(duration_seconds),
       ",\"throughput_txn_per_sec\":", JsonDouble(Throughput()),

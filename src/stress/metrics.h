@@ -1,44 +1,21 @@
 #ifndef ADYA_STRESS_METRICS_H_
 #define ADYA_STRESS_METRICS_H_
 
-#include <array>
 #include <cstdint>
 #include <string>
 
+#include "obs/stats.h"
+
 namespace adya::stress {
 
-/// A fixed-size log-bucketed latency histogram (HdrHistogram-lite): 16
-/// linear sub-buckets per power-of-two octave, so quantile estimates carry
-/// at most ~6% relative error at any magnitude, with no allocation and O(1)
-/// recording. Values are microseconds. Mergeable across worker threads —
-/// each worker records into its own histogram and the driver merges at the
-/// end, so the hot path is contention-free.
-class LatencyHistogram {
- public:
-  void Record(uint64_t micros);
-  void Merge(const LatencyHistogram& other);
-
-  uint64_t count() const { return count_; }
-  uint64_t max_micros() const { return max_; }
-
-  /// Approximate value at percentile `p` in [0, 100] (0 when empty).
-  uint64_t PercentileMicros(double p) const;
-
-  /// {"p50":…,"p95":…,"p99":…,"max":…,"count":…} (all integers, µs).
-  std::string ToJson() const;
-
- private:
-  static constexpr int kSubBits = 4;  // 16 sub-buckets per octave
-  static constexpr size_t kBuckets = (64 - kSubBits) << kSubBits;
-
-  static size_t BucketIndex(uint64_t v);
-  /// Lower bound of the value range bucket `index` covers.
-  static uint64_t BucketFloor(size_t index);
-
-  std::array<uint64_t, kBuckets> buckets_{};
-  uint64_t count_ = 0;
-  uint64_t max_ = 0;
-};
+/// The stress subsystem's latency histogram IS the observability histogram
+/// (obs/stats.h): same log-bucketed layout, same JSON shape, one
+/// implementation — the two writers cannot drift. Workers still each record
+/// into a private RunMetrics and the driver merges at the end, so worker
+/// hot paths stay contention-free; the atomic buckets additionally make
+/// shared recording safe where it happens (engine lock-wait timing). Values
+/// are microseconds here.
+using LatencyHistogram = obs::Histogram;
 
 /// Counters and latency distributions of one stress run. Workers each fill
 /// a private RunMetrics; the driver merges them and stamps the run
@@ -92,8 +69,14 @@ struct RunMetrics {
   /// left untouched).
   void Merge(const RunMetrics& other);
 
-  /// One JSON object with configuration, counters, throughput, and the
-  /// latency quantiles of both histograms.
+  /// The ToJson() record's schema version. Bump when a field is added,
+  /// removed, or renamed so BENCH_*.json consumers can dispatch. History:
+  /// 1 = the original (implicit, unversioned) record; 2 = added the
+  /// schema_version field itself.
+  static constexpr int kSchemaVersion = 2;
+
+  /// One JSON object with the schema version, configuration, counters,
+  /// throughput, and the latency quantiles of both histograms.
   std::string ToJson() const;
 };
 

@@ -256,10 +256,15 @@ Result<StressReport> RunStress(Database& db, const StressOptions& options) {
 
   IsolationLevel certify_level =
       options.certify_level.value_or(options.level);
-  CertifyOptions certify_options;
+  CheckerOptions certify_options;
   certify_options.threads = options.check_threads;
-  certify_options.max_batch = options.certify_batch;
-  certify_options.incremental = options.certify_incremental;
+  certify_options.certify_batch = options.certify_batch;
+  if (options.certify_incremental) {
+    certify_options.mode = CheckMode::kIncremental;
+  } else if (options.check_threads > 1) {
+    certify_options.mode = CheckMode::kParallel;
+  }
+  certify_options.stats = options.stats;
   OnlineCertifier certifier(db, certify_level, certify_options);
 
   // Certifier thread: drain + check every certify_interval until stopped,
@@ -334,6 +339,7 @@ Result<StressReport> RunStress(Database& db, const StressOptions& options) {
 Result<StressReport> RunStress(const StressOptions& options) {
   Database::Options db_options;
   db_options.blocking = true;
+  db_options.stats = options.stats;
   auto db = Database::Create(options.scheme, db_options);
   return RunStress(*db, options);
 }

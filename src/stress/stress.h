@@ -49,18 +49,22 @@ struct StressOptions {
   /// Certify against a different level than the one transactions request
   /// (e.g. run PL-2 but demand PL-3 to watch the checker catch anomalies).
   std::optional<IsolationLevel> certify_level;
-  /// Total parallelism of the certifier's checker pool (core/parallel.h).
-  /// 1 = the serial checker, unchanged.
+  /// Total parallelism of the certifier's checker pool
+  /// (CheckerOptions::threads). 1 = the serial checker, unchanged.
   int check_threads = 1;
   /// Committed-prefix snapshots the certifier may check per drain cycle
-  /// (CertifyOptions::max_batch). 1 = full prefix only, the original
+  /// (CheckerOptions::certify_batch). 1 = full prefix only, the original
   /// behavior.
   int certify_batch = 1;
-  /// Certify incrementally (CertifyOptions::incremental): fold every
-  /// drained commit into a persistent DSG instead of re-checking prefix
-  /// snapshots — exact per-commit attribution, same verdicts; ignores
-  /// check_threads / certify_batch.
+  /// Certify incrementally (CheckerOptions::mode == kIncremental): fold
+  /// every drained commit into a persistent DSG instead of re-checking
+  /// prefix snapshots — exact per-commit attribution, same verdicts;
+  /// ignores check_threads / certify_batch.
   bool certify_incremental = false;
+  /// Metrics sink shared by the engine, the workers, and the certifier
+  /// (DESIGN.md §9). Null (the default) disables all instrumentation; not
+  /// owned, must outlive the run.
+  obs::StatsRegistry* stats = nullptr;
   /// Preload every key with an initial row before workers start, so reads
   /// and predicate queries hit real data from the first transaction.
   bool preload = true;

@@ -1,0 +1,311 @@
+// The adya::Checker facade (core/checker_api.h): option validation and the
+// shared --check-* flag vocabulary, and — the API's core contract — a
+// differential sweep asserting that the three CheckMode implementations
+// return bit-identical CheckReport verdicts and witnesses on a seeded
+// corpus of random histories and recorded engine executions. Also pins the
+// instrumentation contract: every mode reports under the SAME checker.*
+// metric names, so dashboards survive a mode switch.
+//
+// This is the fast facade gate; the exhaustive corpus lives in the `slow`
+// parallel_diff_test / incremental_diff_test sweeps.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/str_util.h"
+#include "common/thread_pool.h"
+#include "core/checker_api.h"
+#include "workload/workload.h"
+
+namespace adya {
+namespace {
+
+using engine::Database;
+using engine::Scheme;
+
+constexpr IsolationLevel kAllLevels[] = {
+    IsolationLevel::kPL1,     IsolationLevel::kPL2,
+    IsolationLevel::kPLCS,    IsolationLevel::kPL2Plus,
+    IsolationLevel::kPL299,   IsolationLevel::kPLSI,
+    IsolationLevel::kPL3};
+
+constexpr CheckMode kAllModes[] = {CheckMode::kSerial, CheckMode::kParallel,
+                                   CheckMode::kIncremental};
+
+TEST(CheckerOptionsTest, DefaultsValidate) {
+  CheckerOptions options;
+  EXPECT_TRUE(options.Validate().ok());
+  EXPECT_EQ(options.mode, CheckMode::kSerial);
+  EXPECT_EQ(options.threads, 1);
+  EXPECT_EQ(options.certify_batch, 1);
+  EXPECT_EQ(options.stats, nullptr);
+}
+
+TEST(CheckerOptionsTest, RejectsOutOfRangeKnobs) {
+  CheckerOptions options;
+  options.threads = 0;
+  EXPECT_FALSE(options.Validate().ok());
+  options.threads = -4;
+  EXPECT_FALSE(options.Validate().ok());
+  options.threads = 1;
+  options.certify_batch = 0;
+  EXPECT_FALSE(options.Validate().ok());
+}
+
+TEST(CheckerOptionsTest, ParseFlagRecognizesTheCheckerVocabulary) {
+  CheckerOptions options;
+  std::string error;
+  EXPECT_TRUE(options.ParseFlag("--check-mode=parallel", &error));
+  EXPECT_TRUE(error.empty());
+  EXPECT_EQ(options.mode, CheckMode::kParallel);
+  EXPECT_TRUE(options.ParseFlag("--check-threads=8", &error));
+  EXPECT_TRUE(error.empty());
+  EXPECT_EQ(options.threads, 8);
+  EXPECT_TRUE(options.ParseFlag("--certify-batch=4", &error));
+  EXPECT_TRUE(error.empty());
+  EXPECT_EQ(options.certify_batch, 4);
+  EXPECT_TRUE(options.ParseFlag("--incremental", &error));
+  EXPECT_TRUE(error.empty());
+  EXPECT_EQ(options.mode, CheckMode::kIncremental);
+  // Not checker flags: untouched, left for the caller's own vocabulary.
+  EXPECT_FALSE(options.ParseFlag("--threads=8", &error));
+  EXPECT_FALSE(options.ParseFlag("--scheme=locking", &error));
+  EXPECT_FALSE(options.ParseFlag("--check-mode", &error));  // no '=value'
+}
+
+TEST(CheckerOptionsTest, ParseFlagThreadsPromoteSerialToParallel) {
+  CheckerOptions options;
+  std::string error;
+  // --check-threads=N>1 alone selects the parallel core (the historical
+  // adya_stress behavior)...
+  EXPECT_TRUE(options.ParseFlag("--check-threads=4", &error));
+  EXPECT_EQ(options.mode, CheckMode::kParallel);
+  // ...but never demotes an explicit mode choice.
+  CheckerOptions incremental;
+  EXPECT_TRUE(incremental.ParseFlag("--incremental", &error));
+  EXPECT_TRUE(incremental.ParseFlag("--check-threads=4", &error));
+  EXPECT_EQ(incremental.mode, CheckMode::kIncremental);
+  EXPECT_EQ(incremental.threads, 4);
+}
+
+TEST(CheckerOptionsTest, ParseFlagReportsMalformedValues) {
+  CheckerOptions options;
+  std::string error;
+  EXPECT_TRUE(options.ParseFlag("--check-mode=fast", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_TRUE(options.ParseFlag("--check-threads=zero", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_TRUE(options.ParseFlag("--check-threads=0", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_TRUE(options.ParseFlag("--certify-batch=-1", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(CheckerOptionsTest, FromFlagsSkipsForeignFlagsAndValidates) {
+  const char* good[] = {"adya_stress", "--scheme=locking",
+                        "--check-mode=incremental", "--duration=2s",
+                        "--certify-batch=3"};
+  Result<CheckerOptions> parsed = CheckerOptions::FromFlags(5, good);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->mode, CheckMode::kIncremental);
+  EXPECT_EQ(parsed->certify_batch, 3);
+  EXPECT_EQ(parsed->threads, 1);
+
+  const char* bad[] = {"adya_stress", "--check-threads=nope"};
+  EXPECT_FALSE(CheckerOptions::FromFlags(2, bad).ok());
+}
+
+TEST(CheckerApiTest, CheckModeNamesRoundTripTheFlagVocabulary) {
+  for (CheckMode mode : kAllModes) {
+    CheckerOptions options;
+    std::string error;
+    ASSERT_TRUE(options.ParseFlag(
+        StrCat("--check-mode=", CheckModeName(mode)), &error));
+    EXPECT_TRUE(error.empty());
+    EXPECT_EQ(options.mode, mode);
+  }
+}
+
+void ExpectSameViolations(const std::vector<Violation>& want,
+                          const std::vector<Violation>& got,
+                          const std::string& context) {
+  ASSERT_EQ(want.size(), got.size()) << context;
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want[i].phenomenon, got[i].phenomenon) << context;
+    EXPECT_EQ(want[i].description, got[i].description) << context;
+    EXPECT_EQ(want[i].events, got[i].events) << context;
+    EXPECT_EQ(want[i].cycle.edges, got[i].cycle.edges) << context;
+  }
+}
+
+/// The facade contract on one history: all three modes (parallel both with
+/// and without an external pool) agree bit for bit with the serial mode on
+/// CheckAll() and on the CheckReport of every level.
+void DiffModes(const History& h, ThreadPool* pool,
+               const std::string& context) {
+  CheckerOptions serial_options;
+  Checker serial(h, serial_options);
+  std::vector<Violation> serial_all = serial.CheckAll();
+  std::vector<CheckReport> serial_reports;
+  for (IsolationLevel level : kAllLevels) {
+    serial_reports.push_back(serial.Check(level));
+    EXPECT_EQ(serial_reports.back().mode, CheckMode::kSerial);
+    EXPECT_EQ(serial_reports.back().satisfied,
+              serial_reports.back().violations.empty())
+        << context;
+  }
+
+  for (CheckMode mode : {CheckMode::kParallel, CheckMode::kIncremental}) {
+    CheckerOptions options;
+    options.mode = mode;
+    options.threads = mode == CheckMode::kParallel ? 4 : 1;
+    Checker checker(h, options, mode == CheckMode::kParallel ? pool : nullptr);
+    std::string ctx = StrCat(context, " mode ", CheckModeName(mode));
+    EXPECT_EQ(checker.mode(), mode);
+    ExpectSameViolations(serial_all, checker.CheckAll(), ctx);
+    for (size_t li = 0; li < std::size(kAllLevels); ++li) {
+      CheckReport report = checker.Check(kAllLevels[li]);
+      std::string lctx =
+          StrCat(ctx, " level ", IsolationLevelName(kAllLevels[li]));
+      EXPECT_EQ(report.mode, mode) << lctx;
+      EXPECT_EQ(report.level, serial_reports[li].level) << lctx;
+      EXPECT_EQ(report.satisfied, serial_reports[li].satisfied) << lctx;
+      ExpectSameViolations(serial_reports[li].violations, report.violations,
+                           lctx);
+    }
+  }
+}
+
+TEST(CheckerApiDiffTest, ThreeModesAreBitIdenticalOnRandomHistories) {
+  ThreadPool pool(4);
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    workload::RandomHistoryOptions options;
+    options.seed = seed;
+    options.num_txns = 10;
+    options.num_objects = 6;
+    options.ops_per_txn = 4;
+    options.realizable = (seed % 2) == 0;
+    History h = workload::GenerateRandomHistory(options);
+    DiffModes(h, &pool, StrCat("random seed ", seed));
+  }
+}
+
+TEST(CheckerApiDiffTest, ThreeModesAreBitIdenticalOnEngineHistories) {
+  using L = IsolationLevel;
+  struct Config {
+    Scheme scheme;
+    L level;
+  };
+  const Config configs[] = {
+      {Scheme::kLocking, L::kPL1},     {Scheme::kLocking, L::kPL3},
+      {Scheme::kOptimistic, L::kPL3},  {Scheme::kMultiversion, L::kPLSI},
+  };
+  ThreadPool pool(4);
+  for (const Config& config : configs) {
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+      auto db = Database::Create(config.scheme, Database::Options{});
+      workload::WorkloadOptions options;
+      options.seed = seed;
+      options.levels = {config.level};
+      options.num_txns = 12;
+      options.num_keys = 5;
+      options.ops_per_txn = 4;
+      options.max_active = 4;
+      workload::RunWorkload(*db, options);
+      auto history = db->RecordedHistory();
+      ASSERT_TRUE(history.ok()) << history.status();
+      DiffModes(*history, &pool,
+                StrCat(engine::SchemeName(config.scheme), " at ",
+                       IsolationLevelName(config.level), " seed ", seed));
+    }
+  }
+}
+
+TEST(CheckerApiTest, CheckPhenomenonAgreesAcrossModes) {
+  workload::RandomHistoryOptions options;
+  options.seed = 7;
+  options.num_txns = 12;
+  options.num_objects = 6;
+  options.ops_per_txn = 4;
+  History h = workload::GenerateRandomHistory(options);
+  Checker serial(h);
+  for (CheckMode mode : kAllModes) {
+    CheckerOptions mode_options;
+    mode_options.mode = mode;
+    mode_options.threads = mode == CheckMode::kParallel ? 4 : 1;
+    Checker checker(h, mode_options);
+    for (Phenomenon p :
+         {Phenomenon::kG0, Phenomenon::kG1a, Phenomenon::kG1b,
+          Phenomenon::kG1c, Phenomenon::kG2, Phenomenon::kGSingle}) {
+      auto want = serial.CheckPhenomenon(p);
+      auto got = checker.CheckPhenomenon(p);
+      ASSERT_EQ(want.has_value(), got.has_value())
+          << CheckModeName(mode) << " " << PhenomenonName(p);
+      if (want.has_value()) {
+        EXPECT_EQ(want->description, got->description)
+            << CheckModeName(mode) << " " << PhenomenonName(p);
+      }
+    }
+  }
+}
+
+TEST(CheckerApiTest, OneShotCheckMatchesTheFacade) {
+  workload::RandomHistoryOptions options;
+  options.seed = 11;
+  History h = workload::GenerateRandomHistory(options);
+  Checker facade(h);
+  for (IsolationLevel level : kAllLevels) {
+    CheckReport one_shot = Check(h, level);
+    CheckReport via_facade = facade.Check(level);
+    EXPECT_EQ(one_shot.satisfied, via_facade.satisfied)
+        << IsolationLevelName(level);
+    ExpectSameViolations(via_facade.violations, one_shot.violations,
+                         StrCat("one-shot ", IsolationLevelName(level)));
+  }
+}
+
+TEST(CheckerApiStatsTest, EveryModeReportsTheSameMetricNames) {
+  workload::RandomHistoryOptions options;
+  options.seed = 3;
+  options.num_txns = 10;
+  History h = workload::GenerateRandomHistory(options);
+  for (CheckMode mode : kAllModes) {
+    obs::StatsRegistry registry;
+    CheckerOptions mode_options;
+    mode_options.mode = mode;
+    mode_options.threads = mode == CheckMode::kParallel ? 4 : 1;
+    mode_options.stats = &registry;
+    Checker checker(h, mode_options);
+    CheckReport report = checker.Check(IsolationLevel::kPL3);
+    std::string ctx(CheckModeName(mode));
+    // The dashboard contract: the phase histograms and the check counter
+    // carry the same names no matter which implementation ran.
+    EXPECT_EQ(report.stats.counters.at("checker.checks"), 1u) << ctx;
+    EXPECT_GE(report.stats.histograms.at("checker.conflicts_us").count, 1u)
+        << ctx;
+    ASSERT_TRUE(report.stats.histograms.count("checker.check_us")) << ctx;
+    // No implementation leaks a mode-specific name: everything the checker
+    // records lives under the shared checker.* namespace.
+    for (const auto& [name, value] : report.stats.counters) {
+      EXPECT_EQ(name.rfind("checker.", 0), 0u) << ctx << " " << name;
+    }
+    for (const auto& [name, snap] : report.stats.histograms) {
+      EXPECT_EQ(name.rfind("checker.", 0), 0u) << ctx << " " << name;
+    }
+  }
+}
+
+TEST(CheckerApiStatsTest, NullRegistryLeavesTheReportSnapshotEmpty) {
+  workload::RandomHistoryOptions options;
+  options.seed = 5;
+  History h = workload::GenerateRandomHistory(options);
+  Checker checker(h);
+  CheckReport report = checker.Check(IsolationLevel::kPL3);
+  EXPECT_TRUE(report.stats.empty());
+}
+
+}  // namespace
+}  // namespace adya

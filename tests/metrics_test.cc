@@ -111,12 +111,18 @@ TEST(MetricsJsonTest, LocaleIndependentDoubles) {
 
   EXPECT_EQ(reference, under_comma_locale);
   EXPECT_EQ(under_comma_locale.find(','),
-            under_comma_locale.find(",\"level\""))
+            under_comma_locale.find(",\"scheme\""))
       << "first comma must be the field separator, not a decimal point: "
       << under_comma_locale;
   EXPECT_EQ(NumberField(reference, "duration_seconds"), "1.500");
   // 90 committed / 1.5 s = 60 txn/s, fixed 3 decimals.
   EXPECT_EQ(NumberField(reference, "throughput_txn_per_sec"), "60.000");
+}
+
+TEST(MetricsJsonTest, RecordIsVersioned) {
+  std::string json = SampleMetrics().ToJson();
+  EXPECT_EQ(json.rfind("{\"schema_version\":2,", 0), 0u)
+      << "schema_version must lead the record: " << json;
 }
 
 TEST(MetricsJsonTest, OutputParsesAsJson) {

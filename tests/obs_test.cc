@@ -1,0 +1,229 @@
+// The observability primitives (obs/stats.h): exact counting and histogram
+// totals under heavy thread concurrency, bucket/quantile math at the log
+// bucket boundaries, registry instrument identity, trace-ring wrap-around,
+// and the two exporters. The Concurrent* suites are the TSan surface for
+// the sharded counter and the lock-free histogram (scripts/ci.sh runs them
+// under -DADYA_SANITIZE=thread).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/stats.h"
+
+namespace adya::obs {
+namespace {
+
+TEST(ObsCounterTest, StartsAtZeroAndAddsDeltas) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(ObsConcurrentCounterTest, NThreadsSumExactly) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 50'000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (uint64_t i = 0; i < kPerThread; ++i) c.Add();
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  // Sharding trades read-time consistency for write-time locality, never
+  // increments: once writers joined, the sum is exact.
+  EXPECT_EQ(c.Value(), kThreads * kPerThread);
+}
+
+TEST(ObsHistogramTest, EmptyHistogramIsAllZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max_value(), 0u);
+  EXPECT_EQ(h.Percentile(50), 0u);
+  EXPECT_EQ(h.Percentile(99.9), 0u);
+}
+
+TEST(ObsHistogramTest, PercentilesBracketTheDataWithinBucketError) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.max_value(), 1000u);
+  // 16 sub-buckets per octave bound the relative quantile error at ~6%.
+  uint64_t p50 = h.Percentile(50);
+  uint64_t p99 = h.Percentile(99);
+  EXPECT_GE(p50, 450u);
+  EXPECT_LE(p50, 560u);
+  EXPECT_GE(p99, 920u);
+  EXPECT_LE(p99, 1070u);
+  EXPECT_LE(h.Percentile(0), h.Percentile(50));
+  EXPECT_LE(h.Percentile(50), h.Percentile(95));
+  EXPECT_LE(h.Percentile(95), h.Percentile(100));
+}
+
+TEST(ObsHistogramTest, SmallValuesAreExact) {
+  // The first octave is linear: values below 2^kSubBits land in their own
+  // bucket, so small-sample quantiles are not approximations at all.
+  Histogram h;
+  h.Record(3);
+  h.Record(3);
+  h.Record(7);
+  EXPECT_EQ(h.Percentile(50), 3u);
+  EXPECT_EQ(h.Percentile(100), 7u);
+  EXPECT_EQ(h.max_value(), 7u);
+}
+
+TEST(ObsHistogramTest, MergeAndCopyPreserveCountsAndMax) {
+  Histogram a, b;
+  a.Record(10);
+  a.Record(100);
+  b.Record(1'000'000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.max_value(), 1'000'000u);
+  Histogram c = a;  // relaxed-load snapshot copy
+  EXPECT_EQ(c.count(), 3u);
+  EXPECT_EQ(c.max_value(), 1'000'000u);
+  EXPECT_EQ(c.Percentile(99), a.Percentile(99));
+}
+
+TEST(ObsConcurrentHistogramTest, NThreadsRecordExactCount) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20'000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<uint64_t>(t) * 1000 + (i % 997) + 1);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  EXPECT_GE(h.max_value(), 7000u);
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, h.count());
+  EXPECT_LE(snap.p50, snap.p95);
+  EXPECT_LE(snap.p95, snap.p99);
+  EXPECT_LE(snap.p99, snap.max);
+}
+
+TEST(ObsRegistryTest, SameNameResolvesToSameInstrument) {
+  StatsRegistry registry;
+  Counter& c1 = registry.counter("engine.commits");
+  Counter& c2 = registry.counter("engine.commits");
+  EXPECT_EQ(&c1, &c2);
+  Histogram& h1 = registry.histogram("checker.check_us");
+  Histogram& h2 = registry.histogram("checker.check_us");
+  EXPECT_EQ(&h1, &h2);
+  // Counter and histogram namespaces are independent maps.
+  registry.counter("dual.name").Add();
+  registry.histogram("dual.name").Record(1);
+  StatsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.at("dual.name"), 1u);
+  EXPECT_EQ(snap.histograms.at("dual.name").count, 1u);
+}
+
+TEST(ObsConcurrentRegistryTest, ParallelLookupAndRecordIsExact) {
+  StatsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry] {
+      // Resolve-once-then-record, the documented hot-path pattern — but the
+      // first lookups race on the registry mutex across all threads.
+      Counter& c = registry.counter("shared.counter");
+      Histogram& h = registry.histogram("shared.histogram");
+      for (int i = 0; i < kPerThread; ++i) {
+        c.Add();
+        h.Record(static_cast<uint64_t>(i) + 1);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  StatsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.at("shared.counter"),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(snap.histograms.at("shared.histogram").count,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ObsTraceBufferTest, RingWrapsAndCountsDrops) {
+  TraceBuffer trace(4);
+  for (uint64_t i = 0; i < 10; ++i) {
+    trace.Record("phase", i);
+  }
+  EXPECT_EQ(trace.total_recorded(), 10u);
+  EXPECT_EQ(trace.dropped(), 6u);
+  std::vector<TraceEvent> events = trace.Events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest surviving first: values 6, 7, 8, 9.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].value, 6u + i);
+    EXPECT_EQ(events[i].name, "phase");
+  }
+  std::string lines = trace.ToJsonLines();
+  size_t newline_count = 0;
+  for (char c : lines) {
+    if (c == '\n') ++newline_count;
+  }
+  // One newline-terminated object per surviving event.
+  EXPECT_EQ(newline_count, events.size());
+  EXPECT_NE(lines.find("\"name\":\"phase\""), std::string::npos);
+}
+
+TEST(ObsTimerTest, NullRegistryIsANoOp) {
+  // Must not crash, allocate instruments, or read the clock.
+  ADYA_TIMED_PHASE(nullptr, "never.recorded");
+  ScopedPhaseTimer timer(nullptr, "never.recorded");
+}
+
+TEST(ObsTimerTest, RecordsHistogramAndTraceOnScopeExit) {
+  StatsRegistry registry;
+  {
+    ADYA_TIMED_PHASE(&registry, "obs.test_phase_us");
+  }
+  StatsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.histograms.at("obs.test_phase_us").count, 1u);
+  std::vector<TraceEvent> events = registry.trace().Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "obs.test_phase_us");
+}
+
+TEST(ObsSnapshotTest, JsonIsVersionedAndListsEveryInstrument)  {
+  StatsRegistry registry;
+  registry.counter("engine.commits").Add(7);
+  registry.histogram("checker.check_us").Record(123);
+  std::string json = registry.Snapshot().ToJson();
+  EXPECT_EQ(json.rfind("{\"schema_version\":1,", 0), 0u) << json;
+  EXPECT_NE(json.find("\"engine.commits\":7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"checker.check_us\":{"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos) << json;
+}
+
+TEST(ObsSnapshotTest, PrometheusSanitizesNamesAndExportsSummaries) {
+  StatsRegistry registry;
+  registry.counter("certifier.cycles").Add(3);
+  Histogram& h = registry.histogram("checker.cycle_search_us");
+  h.Record(50);
+  h.Record(500);
+  std::string prom = registry.Snapshot().ToPrometheus();
+  // Dots become underscores under the adya_ namespace; no raw dotted names.
+  EXPECT_NE(prom.find("adya_certifier_cycles 3"), std::string::npos) << prom;
+  EXPECT_EQ(prom.find("certifier.cycles"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("adya_checker_cycle_search_us_count 2"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("quantile=\"0.5\""), std::string::npos) << prom;
+  EXPECT_NE(prom.find("quantile=\"0.99\""), std::string::npos) << prom;
+}
+
+}  // namespace
+}  // namespace adya::obs

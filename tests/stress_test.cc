@@ -171,15 +171,15 @@ TEST(LatencyHistogramTest, PercentilesAreOrderedAndBracketTheData) {
   LatencyHistogram h;
   for (uint64_t us = 1; us <= 1000; ++us) h.Record(us);
   EXPECT_EQ(h.count(), 1000u);
-  uint64_t p50 = h.PercentileMicros(50);
-  uint64_t p95 = h.PercentileMicros(95);
-  uint64_t p99 = h.PercentileMicros(99);
+  uint64_t p50 = h.Percentile(50);
+  uint64_t p95 = h.Percentile(95);
+  uint64_t p99 = h.Percentile(99);
   EXPECT_LE(p50, p95);
   EXPECT_LE(p95, p99);
   // Log bucketing is approximate but must land in the right ballpark.
   EXPECT_GE(p50, 256u);
   EXPECT_LE(p50, 1024u);
-  EXPECT_GE(h.max_micros(), 1000u);
+  EXPECT_GE(h.max_value(), 1000u);
 }
 
 TEST(RunMetricsTest, MergeAddsCountersAndHistograms) {
