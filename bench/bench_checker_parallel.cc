@@ -1,10 +1,12 @@
 // Parallel certification core: serial vs parallel checking over a threads ×
 // history-size grid. Each grid cell also prints one machine-readable
-// `BENCH {…}` JSON line (median wall time and speedup vs the threads=1 cell
-// of the same size), so a trajectory file can be grepped out of the run:
+// `BENCH {…}` JSON line (wall time over --repeats measured passes and
+// speedup vs the threads=1 cell of the same size), so a trajectory file can
+// be grepped out of the run:
 //
 //   BENCH {"name":"checker_parallel","txns":1000,"threads":4,
-//          "wall_us":1234.5,"speedup":2.31}
+//          "repeats":5,"wall_us":{"min":1234.5,"median":1301.2},
+//          "speedup":2.31}
 //
 // Speedups require real cores; on a single-CPU box the grid still validates
 // that the parallel path computes identical results, it just won't go
@@ -29,6 +31,9 @@ namespace {
 /// Set from --stats before the benchmarks run; null = instrumentation off.
 obs::StatsRegistry* g_stats = nullptr;
 
+/// Set from --repeats before the benchmarks run (bench::Repeats default).
+int g_repeats = 5;
+
 CheckerOptions ParallelOptions(int threads) {
   CheckerOptions options;
   options.mode = CheckMode::kParallel;
@@ -47,7 +52,7 @@ History MakeHistory(int txns) {
   return workload::GenerateRandomHistory(options);
 }
 
-/// Median wall time of the threads=1 cell per size, recorded so the
+/// Minimum wall time of the threads=1 cell per size, recorded so the
 /// parallel cells can report their speedup. Benchmarks run sequentially in
 /// registration order, so the serial cell of each size runs first.
 double* BaselineSlot(int txns) {
@@ -68,26 +73,29 @@ void BM_ParallelCheckAll(benchmark::State& state) {
     auto all = checker.CheckAll();
     benchmark::DoNotOptimize(all.size());
   }
-  double wall_us = 0;
-  {
-    // Re-time one iteration outside the benchmark loop for the JSON line
-    // (state's timings are not readable from inside the benchmark).
+  // Re-time --repeats iterations outside the benchmark loop for the JSON
+  // line (state's timings are not readable from inside the benchmark).
+  bench::RepeatSeries series;
+  for (int r = 0; r < g_repeats; ++r) {
     auto start = std::chrono::steady_clock::now();
     Checker checker(h, options, threads > 1 ? &pool : nullptr);
     benchmark::DoNotOptimize(checker.CheckAll().size());
-    wall_us = static_cast<double>(
-                  std::chrono::duration_cast<std::chrono::nanoseconds>(
-                      std::chrono::steady_clock::now() - start)
-                      .count()) /
-              1000.0;
+    series.Add("wall_us",
+               static_cast<double>(
+                   std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - start)
+                       .count()) /
+                   1000.0);
   }
+  bench::RepeatStat wall = series.Summary().at("wall_us");
   double* baseline = BaselineSlot(txns);
-  if (threads == 1) *baseline = wall_us;
-  double speedup = (*baseline > 0 && wall_us > 0) ? *baseline / wall_us : 0;
+  if (threads == 1) *baseline = wall.min;
+  double speedup = (*baseline > 0 && wall.min > 0) ? *baseline / wall.min : 0;
   std::printf(
       "BENCH {\"name\":\"checker_parallel\",\"txns\":%d,\"threads\":%d,"
-      "\"wall_us\":%.1f,\"speedup\":%.2f}\n",
-      txns, threads, wall_us, speedup);
+      "\"repeats\":%d,\"wall_us\":%s,\"speedup\":%.2f}\n",
+      txns, threads, g_repeats, bench::RepeatSeries::Json(wall).c_str(),
+      speedup);
   state.SetLabel(StrCat(txns, " txns, ", threads, " threads"));
 }
 BENCHMARK(BM_ParallelCheckAll)
@@ -138,7 +146,9 @@ BENCHMARK(BM_ParallelCheckLevel)
 
 int main(int argc, char** argv) {
   adya::bench::BenchStats stats(&argc, argv);
+  adya::bench::Repeats repeats(&argc, argv);
   adya::g_stats = stats.registry();
+  adya::g_repeats = repeats.count();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -7,6 +7,9 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/str_util.h"
@@ -21,6 +24,9 @@ namespace {
 /// Set from --stats before the benchmarks run; null = instrumentation off
 /// (the default, and the configuration the regression gate measures).
 obs::StatsRegistry* g_stats = nullptr;
+
+/// Set from --repeats before the benchmarks run (bench::Repeats default).
+int g_repeats = 5;
 
 CheckerOptions FacadeOptions() {
   CheckerOptions options;
@@ -115,36 +121,40 @@ void BM_OnlineVsOffline(benchmark::State& state) {
     }
   }
   {
-    // Re-time one pass outside the benchmark loop for the JSON line.
-    auto start = std::chrono::steady_clock::now();
-    if (online) {
-      OnlineChecker checker(IsolationLevel::kPL3);
-      History& live = checker.history();
-      for (RelationId r = 0; r < h.relation_count(); ++r) {
-        live.AddRelation(h.relation_name(r));
+    // Re-time --repeats passes outside the benchmark loop for the JSON line.
+    bench::RepeatSeries series;
+    for (int r = 0; r < g_repeats; ++r) {
+      auto start = std::chrono::steady_clock::now();
+      if (online) {
+        OnlineChecker checker(IsolationLevel::kPL3);
+        History& live = checker.history();
+        for (RelationId rel = 0; rel < h.relation_count(); ++rel) {
+          live.AddRelation(h.relation_name(rel));
+        }
+        for (ObjectId o = 0; o < h.object_count(); ++o) {
+          live.AddObject(h.object_name(o), h.object_relation(o));
+        }
+        for (const Event& e : h.events()) {
+          auto fed = checker.Feed(e);
+          benchmark::DoNotOptimize(fed.ok());
+        }
+      } else {
+        CheckReport report = Check(h, IsolationLevel::kPL3, FacadeOptions());
+        benchmark::DoNotOptimize(report.satisfied);
       }
-      for (ObjectId o = 0; o < h.object_count(); ++o) {
-        live.AddObject(h.object_name(o), h.object_relation(o));
-      }
-      for (const Event& e : h.events()) {
-        auto fed = checker.Feed(e);
-        benchmark::DoNotOptimize(fed.ok());
-      }
-    } else {
-      CheckReport r = Check(h, IsolationLevel::kPL3, FacadeOptions());
-      benchmark::DoNotOptimize(r.satisfied);
+      series.Add("wall_us",
+                 static_cast<double>(
+                     std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now() - start)
+                         .count()) /
+                     1000.0);
     }
-    double wall_us =
-        static_cast<double>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(
-                std::chrono::steady_clock::now() - start)
-                .count()) /
-        1000.0;
     std::printf(
         "BENCH {\"name\":\"online_vs_offline\",\"txns\":%d,"
-        "\"mode\":\"%s\",\"wall_us\":%.1f}\n",
+        "\"mode\":\"%s\",\"repeats\":%d,\"wall_us\":%s}\n",
         static_cast<int>(state.range(0)), online ? "online" : "offline",
-        wall_us);
+        g_repeats,
+        bench::RepeatSeries::Json(series.Summary().at("wall_us")).c_str());
   }
   state.SetLabel(StrCat(state.range(0), " txns, ",
                         online ? "online (check per commit)"
@@ -156,15 +166,100 @@ BENCHMARK(BM_OnlineVsOffline)
     ->Args({100, 0})
     ->Args({100, 1});
 
+// Phase-level cost of one full serial CheckAll, measured with the obs
+// phase timers (the sum of each checker.*_us histogram is the exact
+// microseconds that pass spent in the phase). This is the section the
+// checked-in CPU baseline bench/BENCH_checker_cpu.json records:
+// conflict_cycle_us = conflicts_us + cycle_search_us is the layout-gate
+// number. Each size reruns --repeats times; min/median land in the JSON.
+void RunCheckerPhases(int repeats, const std::vector<int>& sizes) {
+  bench::Section("checker phases (serial CheckAll, obs timer sums)");
+  for (int txns : sizes) {
+    History h = MakeHistory(txns, 0.3);
+    bench::RepeatSeries series;
+    for (int r = 0; r < repeats; ++r) {
+      obs::StatsRegistry registry;
+      CheckerOptions options;
+      options.stats = &registry;
+      auto start = std::chrono::steady_clock::now();
+      Checker checker(h, options);
+      auto all = checker.CheckAll();
+      benchmark::DoNotOptimize(all.size());
+      double wall_us =
+          static_cast<double>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - start)
+                  .count()) /
+          1000.0;
+      obs::StatsSnapshot snap = registry.Snapshot();
+      auto sum_of = [&](const char* name) {
+        auto it = snap.histograms.find(name);
+        return it == snap.histograms.end()
+                   ? 0.0
+                   : static_cast<double>(it->second.sum);
+      };
+      double conflicts_us = sum_of("checker.conflicts_us");
+      double cycle_us = sum_of("checker.cycle_search_us");
+      series.Add("conflicts_us", conflicts_us);
+      series.Add("cycle_search_us", cycle_us);
+      series.Add("conflict_cycle_us", conflicts_us + cycle_us);
+      series.Add("phenomenon_us", sum_of("checker.phenomenon_us"));
+      series.Add("witness_us", sum_of("checker.witness_us"));
+      series.Add("wall_us", wall_us);
+    }
+    auto summary = series.Summary();
+    // layout tags which checker-core data layout produced the line: "map"
+    // was the ordered-map/BFS era (kept in the checked-in baseline for the
+    // before/after comparison), "dense" is the dense-id/CSR/bitset core.
+    std::printf(
+        "BENCH {\"name\":\"checker_phases\",\"layout\":\"dense\","
+        "\"txns\":%d,\"events\":%zu,"
+        "\"repeats\":%d,\"conflicts_us\":%s,\"cycle_search_us\":%s,"
+        "\"conflict_cycle_us\":%s,\"phenomenon_us\":%s,\"witness_us\":%s,"
+        "\"wall_us\":%s}\n",
+        txns, h.events().size(), repeats,
+        bench::RepeatSeries::Json(summary.at("conflicts_us")).c_str(),
+        bench::RepeatSeries::Json(summary.at("cycle_search_us")).c_str(),
+        bench::RepeatSeries::Json(summary.at("conflict_cycle_us")).c_str(),
+        bench::RepeatSeries::Json(summary.at("phenomenon_us")).c_str(),
+        bench::RepeatSeries::Json(summary.at("witness_us")).c_str(),
+        bench::RepeatSeries::Json(summary.at("wall_us")).c_str());
+  }
+}
+
 }  // namespace
 }  // namespace adya
 
 int main(int argc, char** argv) {
   adya::bench::BenchStats stats(&argc, argv);
+  adya::bench::Repeats repeats(&argc, argv);
+  // --phase-txns=a,b,c overrides the sizes the phase section measures
+  // (CI smoke uses a small size; the checked-in baseline the full sweep).
+  std::vector<int> phase_txns = {1000, 4000, 10000};
+  {
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--phase-txns=", 0) == 0) {
+        phase_txns.clear();
+        for (size_t pos = 13; pos < arg.size();) {
+          size_t comma = arg.find(',', pos);
+          if (comma == std::string::npos) comma = arg.size();
+          phase_txns.push_back(std::atoi(arg.substr(pos, comma - pos).c_str()));
+          pos = comma + 1;
+        }
+      } else {
+        argv[kept++] = argv[i];
+      }
+    }
+    argc = kept;
+  }
   adya::g_stats = stats.registry();
+  adya::g_repeats = repeats.count();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
+  adya::RunCheckerPhases(repeats.count(), phase_txns);
   benchmark::Shutdown();
   return 0;
 }

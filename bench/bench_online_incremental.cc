@@ -6,13 +6,15 @@
 // JSON lines:
 //
 //   BENCH {"name":"online_incremental","txns":512,"events":3000,
-//          "incremental_wall_us":…,"naive_wall_us":…,"speedup":…,
+//          "repeats":5,"incremental_wall_us":{"min":…,"median":…},
+//          "naive_wall_us":{"min":…,"median":…},"speedup":…,
 //          "per_commit_us":[q1,q2,q3,q4]}
 //
-// - speedup: one full stream through IncrementalChecker vs the naive
-//   baseline (copy the prefix, finalize, run the offline checker at every
-//   commit — exactly what OnlineChecker did before it became a facade
-//   over IncrementalChecker). Must be >= 10x at 512+ txns.
+// - speedup (of the min wall times over --repeats passes): a full stream
+//   through IncrementalChecker vs the naive baseline (copy the prefix,
+//   finalize, run the offline checker at every commit — exactly what
+//   OnlineChecker did before it became a facade over IncrementalChecker).
+//   Must be >= 10x at 512+ txns.
 // - per_commit_us: mean per-commit cost in each quarter of the stream.
 //   Flat-ish quarters show the per-commit cost does not grow with the
 //   length of the already-certified prefix.
@@ -35,6 +37,9 @@ namespace {
 /// Set from --stats before the benchmarks run; null = instrumentation off
 /// (the default, and the configuration the regression gate measures).
 obs::StatsRegistry* g_stats = nullptr;
+
+/// Set from --repeats before the benchmarks run (bench::Repeats default).
+int g_repeats = 5;
 
 History MakeStream(int txns) {
   workload::RandomHistoryOptions options;
@@ -127,14 +132,21 @@ void BM_OnlineIncremental(benchmark::State& state) {
       quarter_us[q] = MicrosSince(start);
     }
   }
-  double incremental_us = IncrementalPass(h);
-  double naive_us = NaivePass(h);
-  double speedup = incremental_us > 0 ? naive_us / incremental_us : 0;
+  bench::RepeatSeries series;
+  for (int r = 0; r < g_repeats; ++r) {
+    series.Add("incremental_wall_us", IncrementalPass(h));
+    series.Add("naive_wall_us", NaivePass(h));
+  }
+  auto summary = series.Summary();
+  bench::RepeatStat incremental = summary.at("incremental_wall_us");
+  bench::RepeatStat naive = summary.at("naive_wall_us");
+  double speedup = incremental.min > 0 ? naive.min / incremental.min : 0;
   std::printf(
       "BENCH {\"name\":\"online_incremental\",\"txns\":%d,\"events\":%zu,"
-      "\"incremental_wall_us\":%.1f,\"naive_wall_us\":%.1f,"
+      "\"repeats\":%d,\"incremental_wall_us\":%s,\"naive_wall_us\":%s,"
       "\"speedup\":%.2f,\"per_commit_us\":[%.2f,%.2f,%.2f,%.2f]}\n",
-      txns, n, incremental_us, naive_us, speedup,
+      txns, n, g_repeats, bench::RepeatSeries::Json(incremental).c_str(),
+      bench::RepeatSeries::Json(naive).c_str(), speedup,
       quarter_commits[0] ? quarter_us[0] / quarter_commits[0] : 0,
       quarter_commits[1] ? quarter_us[1] / quarter_commits[1] : 0,
       quarter_commits[2] ? quarter_us[2] / quarter_commits[2] : 0,
@@ -154,7 +166,9 @@ BENCHMARK(BM_OnlineIncremental)
 
 int main(int argc, char** argv) {
   adya::bench::BenchStats stats(&argc, argv);
+  adya::bench::Repeats repeats(&argc, argv);
   adya::g_stats = stats.registry();
+  adya::g_repeats = repeats.count();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -1,7 +1,11 @@
 #ifndef ADYA_BENCH_BENCH_UTIL_H_
 #define ADYA_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -67,6 +71,78 @@ class BenchStats {
   bool enabled_ = false;
   std::string stats_out_, trace_out_;
   obs::StatsRegistry registry_;
+};
+
+/// Shared --repeats=N (or "--repeats N") handling for the bench binaries.
+/// Construct before benchmark::Initialize — the flag is consumed from argv.
+/// Every BENCH JSON section reruns its measured pass count() times and
+/// reports min/median per phase, so a checked-in baseline is not a single
+/// noisy sample. Default 5; CI smoke uses --repeats 2.
+class Repeats {
+ public:
+  Repeats(int* argc, char** argv, int default_count = 5)
+      : count_(default_count) {
+    int kept = 1;
+    for (int i = 1; i < *argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--repeats=", 0) == 0) {
+        count_ = std::atoi(arg.c_str() + 10);
+      } else if (arg == "--repeats" && i + 1 < *argc) {
+        count_ = std::atoi(argv[++i]);
+      } else {
+        argv[kept++] = argv[i];
+      }
+    }
+    if (count_ < 1) count_ = 1;
+    *argc = kept;
+  }
+
+  int count() const { return count_; }
+
+ private:
+  int count_;
+};
+
+/// min/median of one metric across the repeats of a measured pass.
+struct RepeatStat {
+  double min = 0;
+  double median = 0;
+};
+
+/// Collects named samples repeat by repeat and summarizes each metric.
+/// Usage: one Add(name, value) set per repeat, then Summary()/Json().
+class RepeatSeries {
+ public:
+  void Add(const std::string& name, double value) {
+    samples_[name].push_back(value);
+  }
+
+  std::map<std::string, RepeatStat> Summary() const {
+    std::map<std::string, RepeatStat> out;
+    for (const auto& [name, values] : samples_) {
+      std::vector<double> sorted = values;
+      std::sort(sorted.begin(), sorted.end());
+      RepeatStat s;
+      s.min = sorted.front();
+      size_t n = sorted.size();
+      s.median = (n % 2 == 1) ? sorted[n / 2]
+                              : (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0;
+      out[name] = s;
+    }
+    return out;
+  }
+
+  /// `"name":{"min":…,"median":…},…` fragments for a BENCH JSON line, in
+  /// the order the names were first added.
+  static std::string Json(const RepeatStat& s) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "{\"min\":%.1f,\"median\":%.1f}", s.min,
+                  s.median);
+    return buf;
+  }
+
+ private:
+  std::map<std::string, std::vector<double>> samples_;
 };
 
 /// Minimal fixed-width table printer for the paper-style tables the bench

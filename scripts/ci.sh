@@ -64,6 +64,31 @@ for key in schema_version engine.commits engine.lock_wait_us \
 done
 rm -f "$STATS_JSON"
 
+echo "=== perf smoke (bench_checker_scale phase timers, small size) ==="
+# Not a perf gate (CI machines are noisy) — verifies the phase-timer BENCH
+# pipeline end to end: the binary runs with --repeats, emits well-formed
+# checker_phases JSON lines with the min/median summaries the checked-in
+# bench/BENCH_checker_cpu.json baseline is built from.
+PERF_SMOKE="$(mktemp)"
+./build/bench/bench_checker_scale --repeats=2 --phase-txns=200 \
+  --benchmark_filter='^$' > "$PERF_SMOKE"
+python3 - "$PERF_SMOKE" <<'PYEOF'
+import json, sys
+lines = [l for l in open(sys.argv[1]) if l.startswith('BENCH ')]
+phases = [json.loads(l[len('BENCH '):]) for l in lines]
+phases = [d for d in phases if d['name'] == 'checker_phases']
+assert phases, 'no checker_phases BENCH line emitted'
+for d in phases:
+    assert d['repeats'] == 2, d
+    assert d['layout'] == 'dense', d
+    for key in ('conflicts_us', 'cycle_search_us', 'conflict_cycle_us',
+                'phenomenon_us', 'witness_us', 'wall_us'):
+        stat = d[key]
+        assert stat['min'] <= stat['median'], (key, stat)
+print(f'perf smoke OK: {len(phases)} checker_phases line(s)')
+PYEOF
+rm -f "$PERF_SMOKE"
+
 if [[ "${CI_SKIP_TSAN:-0}" == "1" ]]; then
   echo "=== TSan skipped (CI_SKIP_TSAN=1) ==="
   exit 0
@@ -80,8 +105,11 @@ else
   # the concurrent recorder tap, the thread pool, the obs counters and
   # histograms, and the parallel- and incremental-checker differential
   # harnesses (at a tenth of the corpus — TSan is ~10x).
+  # *Bitset* is the forced-cycle-oracle differential suite (forced-on and
+  # forced-off bitset reachability must stay bit-identical in every mode,
+  # including the parallel checker's fan-out — hence TSan).
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -R 'Stress|Blocking|Recorder|Concurrent|ThreadPool|Metrics|Obs'
+    -R 'Stress|Blocking|Recorder|Concurrent|ThreadPool|Metrics|Obs|Bitset'
   ADYA_DIFF_SCALE=10 ctest --test-dir build-tsan --output-on-failure \
     -j "$JOBS" -L slow
 fi

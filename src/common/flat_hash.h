@@ -1,0 +1,237 @@
+#ifndef ADYA_COMMON_FLAT_HASH_H_
+#define ADYA_COMMON_FLAT_HASH_H_
+
+// Open-addressing hash containers for the checker hot path. The ordered
+// std::map state the checker core grew up on costs a pointer chase per
+// tree level on every lookup; these replace it with a single flat slot
+// array probed linearly from a mixed hash, so the common hit touches one
+// or two cachelines. Deliberately minimal:
+//
+//   - power-of-two capacity, linear probing, ~0.7 max load factor;
+//   - tombstone deletion (erase is rare on our paths — pending-read
+//     buffers in ConflictDelta are the only user);
+//   - NO stable addresses across rehash: references returned by find()/
+//     operator[] are invalidated by any insert, exactly like
+//     std::vector iterators — callers must not hold them across inserts;
+//   - NO deterministic iteration order: code whose *output* order
+//     matters (edge emission, witness text) must keep its own ordered
+//     key list and treat the table purely as an index. Every such site
+//     in src/core keeps an insertion-order vector next to the table.
+//
+// Integral keys get a splitmix64 finalizer so dense ids (the common key
+// after the DenseTxnIndex refactor) do not cluster under power-of-two
+// masking; struct keys supply a Hash functor (e.g. std::hash<VersionId>)
+// whose result is re-mixed for the same reason.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace adya {
+
+/// splitmix64 finalizer: full-avalanche mixing so consecutive keys spread
+/// across the table instead of probing into each other.
+inline uint64_t MixHash(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Default hasher: integral keys go straight through MixHash, everything
+/// else through Hash then MixHash.
+template <typename K, typename Hash = std::hash<K>>
+struct FlatHashOf {
+  uint64_t operator()(const K& key) const {
+    if constexpr (std::is_integral_v<K> || std::is_enum_v<K>) {
+      return MixHash(static_cast<uint64_t>(key));
+    } else {
+      return MixHash(static_cast<uint64_t>(Hash{}(key)));
+    }
+  }
+};
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class FlatMap {
+ public:
+  FlatMap() = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void clear() {
+    state_.clear();
+    slots_.clear();
+    size_ = used_ = 0;
+  }
+
+  void reserve(size_t n) {
+    size_t needed = BucketCountFor(n);
+    if (needed > state_.size()) Rehash(needed);
+  }
+
+  V* find(const K& key) {
+    size_t slot = FindSlot(key);
+    return slot == kNotFound ? nullptr : &slots_[slot].value;
+  }
+  const V* find(const K& key) const {
+    size_t slot = FindSlot(key);
+    return slot == kNotFound ? nullptr : &slots_[slot].value;
+  }
+  bool contains(const K& key) const { return FindSlot(key) != kNotFound; }
+
+  /// Inserts {key, V{}} if absent. Returns {value*, inserted}.
+  std::pair<V*, bool> try_emplace(const K& key) {
+    GrowIfNeeded();
+    size_t slot = FindOrClaimSlot(key);
+    bool inserted = state_[slot] != kFull;
+    if (inserted) {
+      if (state_[slot] == kEmpty) ++used_;
+      state_[slot] = kFull;
+      slots_[slot].key = key;
+      slots_[slot].value = V{};
+      ++size_;
+    }
+    return {&slots_[slot].value, inserted};
+  }
+
+  V& operator[](const K& key) { return *try_emplace(key).first; }
+
+  /// Inserts or overwrites.
+  void insert_or_assign(const K& key, V value) {
+    auto [v, inserted] = try_emplace(key);
+    *v = std::move(value);
+  }
+
+  bool erase(const K& key) {
+    size_t slot = FindSlot(key);
+    if (slot == kNotFound) return false;
+    state_[slot] = kTombstone;
+    slots_[slot].value = V{};
+    --size_;
+    return true;
+  }
+
+  /// Visits every live entry (unordered — see the header comment).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < state_.size(); ++i) {
+      if (state_[i] == kFull) fn(slots_[i].key, slots_[i].value);
+    }
+  }
+
+ private:
+  struct Slot {
+    K key{};
+    V value{};
+  };
+
+  static constexpr size_t kNotFound = static_cast<size_t>(-1);
+  static constexpr uint8_t kEmpty = 0, kFull = 1, kTombstone = 2;
+
+  static size_t BucketCountFor(size_t n) {
+    size_t buckets = 16;
+    // Max load 0.7: grow while n exceeds 7/10 of the bucket count.
+    while (n * 10 > buckets * 7) buckets <<= 1;
+    return buckets;
+  }
+
+  size_t FindSlot(const K& key) const {
+    if (state_.empty()) return kNotFound;
+    size_t mask = state_.size() - 1;
+    size_t i = static_cast<size_t>(FlatHashOf<K, Hash>{}(key)) & mask;
+    while (true) {
+      if (state_[i] == kEmpty) return kNotFound;
+      if (state_[i] == kFull && slots_[i].key == key) return i;
+      i = (i + 1) & mask;
+    }
+  }
+
+  /// First slot holding `key`, else the first reusable slot on its probe
+  /// path. Only called when a free slot is guaranteed to exist.
+  size_t FindOrClaimSlot(const K& key) {
+    size_t mask = state_.size() - 1;
+    size_t i = static_cast<size_t>(FlatHashOf<K, Hash>{}(key)) & mask;
+    size_t claim = kNotFound;
+    while (true) {
+      if (state_[i] == kEmpty) {
+        return claim == kNotFound ? i : claim;
+      }
+      if (state_[i] == kTombstone) {
+        if (claim == kNotFound) claim = i;
+      } else if (slots_[i].key == key) {
+        return i;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  void GrowIfNeeded() {
+    if (state_.empty()) {
+      Rehash(16);
+    } else if ((used_ + 1) * 10 > state_.size() * 7) {
+      // Rehash drops tombstones; double only when live entries alone
+      // demand it, else rebuild at the current size.
+      Rehash(BucketCountFor(size_ + 1) > state_.size()
+                 ? state_.size() * 2
+                 : state_.size());
+    }
+  }
+
+  void Rehash(size_t buckets) {
+    std::vector<uint8_t> old_state = std::move(state_);
+    std::vector<Slot> old_slots = std::move(slots_);
+    state_.assign(buckets, kEmpty);
+    slots_.assign(buckets, Slot{});
+    size_ = used_ = 0;
+    size_t mask = buckets - 1;
+    for (size_t i = 0; i < old_state.size(); ++i) {
+      if (old_state[i] != kFull) continue;
+      size_t j =
+          static_cast<size_t>(FlatHashOf<K, Hash>{}(old_slots[i].key)) & mask;
+      while (state_[j] == kFull) j = (j + 1) & mask;
+      state_[j] = kFull;
+      slots_[j].key = std::move(old_slots[i].key);
+      slots_[j].value = std::move(old_slots[i].value);
+      ++size_;
+      ++used_;
+    }
+  }
+
+  std::vector<uint8_t> state_;
+  std::vector<Slot> slots_;
+  size_t size_ = 0;  // live entries
+  size_t used_ = 0;  // live + tombstones (probe-path occupancy)
+};
+
+/// Set facade over FlatMap (the value is a zero-byte struct the optimizer
+/// erases).
+template <typename K, typename Hash = std::hash<K>>
+class FlatSet {
+ public:
+  size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+  void clear() { map_.clear(); }
+  void reserve(size_t n) { map_.reserve(n); }
+  bool contains(const K& key) const { return map_.contains(key); }
+  /// Returns true when the key was newly inserted.
+  bool insert(const K& key) { return map_.try_emplace(key).second; }
+  bool erase(const K& key) { return map_.erase(key); }
+
+ private:
+  struct Empty {};
+  FlatMap<K, Empty, Hash> map_;
+};
+
+/// Packs two 32-bit ids into the canonical u64 composite key the dense
+/// refactor uses everywhere (object+txn, object+predicate, from+to, …).
+inline uint64_t PackKey(uint32_t hi, uint32_t lo) {
+  return (static_cast<uint64_t>(hi) << 32) | lo;
+}
+
+}  // namespace adya
+
+#endif  // ADYA_COMMON_FLAT_HASH_H_

@@ -1,9 +1,9 @@
 #include "core/conflicts.h"
 
 #include <algorithm>
-#include <map>
 #include <optional>
 
+#include "common/flat_hash.h"
 #include "common/str_util.h"
 #include "common/thread_pool.h"
 #include "history/format.h"
@@ -152,9 +152,10 @@ class Analyzer {
   // Ascending; cached per (object, predicate) so both predicate-dependency
   // rules reduce to a binary search instead of a walk over every version.
   const std::vector<ptrdiff_t>& ChangeIndices(ObjectId obj, PredicateId pred) {
-    auto key = std::make_pair(obj, pred);
-    auto it = change_cache_.find(key);
-    if (it != change_cache_.end()) return it->second;
+    uint64_t key = PackKey(obj, pred);
+    if (const std::vector<ptrdiff_t>* hit = change_cache_.find(key)) {
+      return *hit;
+    }
     std::vector<ptrdiff_t> changes;
     bool prev = false;
     const std::vector<TxnId>& order = h_.VersionOrder(obj);
@@ -163,7 +164,9 @@ class Analyzer {
       if (match != prev) changes.push_back(static_cast<ptrdiff_t>(i));
       prev = match;
     }
-    return change_cache_.emplace(key, std::move(changes)).first->second;
+    std::vector<ptrdiff_t>* slot = change_cache_.try_emplace(key).first;
+    *slot = std::move(changes);
+    return *slot;
   }
 
   // Definitions 3 (predicate case), 4 and 5 (predicate case). Events in
@@ -176,12 +179,13 @@ class Analyzer {
     for (ObjectId obj = 0; obj < h_.object_count(); ++obj) {
       by_relation[h_.object_relation(obj)].push_back(obj);
     }
+    FlatMap<ObjectId, VersionId> selected;  // hoisted: keeps its capacity
     for (EventId id = begin; id < end; ++id) {
       const Event& e = h_.event(id);
       if (e.type != EventType::kPredicateRead || !h_.IsCommitted(e.txn)) {
         continue;
       }
-      std::map<ObjectId, VersionId> selected;
+      selected.clear();
       for (const VersionId& v : e.vset) selected[v.object] = v;
       const std::vector<RelationId>& rels = h_.predicate_relations(e.predicate);
       for (auto rel_it = rels.begin(); rel_it != rels.end(); ++rel_it) {
@@ -189,9 +193,8 @@ class Analyzer {
         for (ObjectId obj : by_relation[*rel_it]) {
           // Position of the selected version in the version order; the
           // implicit selection is x_init (position "before index 0").
-          auto sel_it = selected.find(obj);
-          VersionId sel =
-              sel_it == selected.end() ? InitVersion(obj) : sel_it->second;
+          const VersionId* sel_hit = selected.find(obj);
+          VersionId sel = sel_hit == nullptr ? InitVersion(obj) : *sel_hit;
           ptrdiff_t pos;
           if (sel.is_init()) {
             pos = -1;
@@ -246,21 +249,23 @@ class Analyzer {
   }
 
   // Thesis start-depends (used by the PL-SI check): Tj start-depends on Ti
-  // iff Ti's commit precedes Tj's start.
+  // iff Ti's commit precedes Tj's start. The pairwise scan reads the dense
+  // index's flat event-anchor arrays, not txn_info's tree.
   void StartDependencies(std::vector<Dependency>& out) {
-    std::vector<TxnId> committed = h_.CommittedTransactions();
+    const DenseTxnIndex& dense = h_.dense();
+    const std::vector<TxnId>& committed = dense.committed_txns();
     if (options_.reduced_start_edges) {
       ReducedStartDependencies(committed, out);
       return;
     }
-    for (TxnId from : committed) {
-      EventId commit = h_.txn_info(from).commit_event;
-      for (TxnId to : committed) {
-        if (from == to) continue;
-        if (commit < h_.txn_info(to).begin_event) {
+    for (uint32_t i = 0; i < committed.size(); ++i) {
+      EventId commit = dense.committed_commit_event(i);
+      for (uint32_t j = 0; j < committed.size(); ++j) {
+        if (i == j) continue;
+        if (commit < dense.committed_begin_event(j)) {
           Dependency dep;
-          dep.from = from;
-          dep.to = to;
+          dep.from = committed[i];
+          dep.to = committed[j];
           dep.kind = DepKind::kStart;
           Emit(std::move(dep), out);
         }
@@ -280,11 +285,12 @@ class Analyzer {
       EventId begin, commit;
       TxnId txn;
     };
+    const DenseTxnIndex& dense = h_.dense();
     std::vector<Span> by_commit;
     by_commit.reserve(committed.size());
-    for (TxnId t : committed) {
-      by_commit.push_back(
-          Span{h_.txn_info(t).begin_event, h_.txn_info(t).commit_event, t});
+    for (uint32_t i = 0; i < committed.size(); ++i) {
+      by_commit.push_back(Span{dense.committed_begin_event(i),
+                               dense.committed_commit_event(i), committed[i]});
     }
     std::sort(by_commit.begin(), by_commit.end(),
               [](const Span& a, const Span& b) { return a.commit < b.commit; });
@@ -296,8 +302,9 @@ class Analyzer {
           i == 0 ? by_commit[i].begin
                  : std::max(prefix_max_begin[i - 1], by_commit[i].begin);
     }
-    for (TxnId to : committed) {
-      EventId begin = h_.txn_info(to).begin_event;
+    for (uint32_t ti = 0; ti < committed.size(); ++ti) {
+      TxnId to = committed[ti];
+      EventId begin = dense.committed_begin_event(ti);
       // Predecessors of `to`: commits before its begin.
       size_t preds = static_cast<size_t>(
           std::lower_bound(commits.begin(), commits.end(), begin) -
@@ -327,8 +334,9 @@ class Analyzer {
 
   const History& h_;
   ConflictOptions options_;
-  std::map<std::pair<ObjectId, PredicateId>, std::vector<ptrdiff_t>>
-      change_cache_;
+  // Keyed PackKey(object, predicate). Cache lookups only — never iterated,
+  // so the hash table's lack of order is fine here.
+  FlatMap<uint64_t, std::vector<ptrdiff_t>> change_cache_;
 };
 
 /// One unit of sharded conflict work: a phase plus the id range it covers.
@@ -451,9 +459,9 @@ bool ConflictDelta::MatchesLive(const History& h, const VersionId& v,
   // The offline analyzer asks History::Matches, which needs the finalized
   // write-event index; the delta keeps its own version -> write-event map
   // so it can answer on the live history.
-  auto it = produced_.find(v);
-  ADYA_CHECK_MSG(it != produced_.end(), "matches query for unseen version");
-  const Event& w = h.event(it->second);
+  const EventId* write = produced_.find(v);
+  ADYA_CHECK_MSG(write != nullptr, "matches query for unseen version");
+  const Event& w = h.event(*write);
   if (w.written_kind != VersionKind::kVisible) return false;
   return h.predicate(pred).Matches(w.row);
 }
@@ -461,9 +469,8 @@ bool ConflictDelta::MatchesLive(const History& h, const VersionId& v,
 ConflictDelta::PredState& ConflictDelta::Materialize(const History& h,
                                                      ObjectId obj,
                                                      PredicateId pred) {
-  auto key = std::make_pair(obj, pred);
-  auto it = preds_.find(key);
-  if (it != preds_.end()) return it->second;
+  uint64_t key = PackKey(obj, pred);
+  if (PredState* hit = preds_.find(key)) return *hit;
   PredState state;
   const std::vector<TxnId>& order = objects_[obj].order;
   for (size_t i = 0; i < order.size(); ++i) {
@@ -474,7 +481,14 @@ ConflictDelta::PredState& ConflictDelta::Materialize(const History& h,
     }
     state.last_match = match;
   }
-  return preds_.emplace(key, std::move(state)).first->second;
+  // Keep the object's materialized-predicate list sorted: Install() walks
+  // it in ascending PredicateId order, matching the ordered map's
+  // iteration this table replaced.
+  std::vector<PredicateId>& list = objects_[obj].preds;
+  list.insert(std::lower_bound(list.begin(), list.end(), pred), pred);
+  PredState* slot = preds_.try_emplace(key).first;
+  *slot = std::move(state);
+  return *slot;
 }
 
 void ConflictDelta::ProcessPredicateObject(const History& h, TxnId reader,
@@ -561,22 +575,23 @@ void ConflictDelta::Install(const History& h, TxnId txn,
       EmitDelta(std::move(dep), out);
     }
     os.tail_watchers.clear();
-    os.index[txn] = os.order.size();
+    os.index[txn] = static_cast<uint32_t>(os.order.size());
     os.order.push_back(txn);
-    auto wit = produced_.find(installed);
-    ADYA_CHECK_MSG(wit != produced_.end(), "install of unseen version");
-    os.tail_kind = h.event(wit->second).written_kind;
-    // Advance every materialized predicate over this object; a match flip
-    // is a new change index and fires the parked rw(pred) watchers.
+    const EventId* wit = produced_.find(installed);
+    ADYA_CHECK_MSG(wit != nullptr, "install of unseen version");
+    os.tail_kind = h.event(*wit).written_kind;
+    // Advance every materialized predicate over this object, in ascending
+    // PredicateId order (os.preds is the table's ordered key list); a match
+    // flip is a new change index and fires the parked rw(pred) watchers.
     size_t position = os.order.size() - 1;
-    for (auto it = preds_.lower_bound(std::make_pair(obj, PredicateId{0}));
-         it != preds_.end() && it->first.first == obj; ++it) {
-      PredState& state = it->second;
-      bool match = MatchesLive(h, installed, it->first.second);
+    for (PredicateId pred : os.preds) {
+      PredState* state_hit = preds_.find(PackKey(obj, pred));
+      ADYA_CHECK(state_hit != nullptr);
+      PredState& state = *state_hit;
+      bool match = MatchesLive(h, installed, pred);
       if (match == state.last_match) continue;
       state.last_match = match;
       state.changes.push_back(static_cast<std::ptrdiff_t>(position));
-      PredicateId pred = it->first.second;
       auto emit_watch = [&](const PredState::Watch& watch) {
         Dependency dep;
         dep.from = watch.reader;
@@ -619,9 +634,9 @@ void ConflictDelta::CommitOf(const History& h, TxnId txn,
   // Readers that were parked on this transaction while it ran: their
   // wr(item) materializes now, and their rw(item) tracks the next version
   // (this transaction installed the current tail, so that means watching).
-  auto pending = pending_reads_.find(txn);
-  if (pending != pending_reads_.end()) {
-    for (const PendingRead& pr : pending->second) {
+  std::vector<PendingRead>* pending = pending_reads_.find(txn);
+  if (pending != nullptr) {
+    for (const PendingRead& pr : *pending) {
       Dependency dep;
       dep.from = txn;
       dep.to = pr.reader;
@@ -631,10 +646,10 @@ void ConflictDelta::CommitOf(const History& h, TxnId txn,
       dep.to_version = pr.version;
       EmitDelta(std::move(dep), out);
       ObjectState& os = objects_[pr.version.object];
-      auto idx = os.index.find(txn);
-      ADYA_CHECK(idx != os.index.end());
-      if (idx->second + 1 < os.order.size()) {
-        TxnId next = os.order[idx->second + 1];
+      const uint32_t* idx = os.index.find(txn);
+      ADYA_CHECK(idx != nullptr);
+      if (*idx + 1 < os.order.size()) {
+        TxnId next = os.order[*idx + 1];
         Dependency rw;
         rw.from = pr.reader;
         rw.to = next;
@@ -650,18 +665,18 @@ void ConflictDelta::CommitOf(const History& h, TxnId txn,
             ObjectState::TailWatch{pr.reader, pr.version});
       }
     }
-    pending_reads_.erase(pending);
+    pending_reads_.erase(txn);
   }
-  auto pending_sel = pending_selections_.find(txn);
-  if (pending_sel != pending_selections_.end()) {
+  if (std::vector<PendingSelection>* pending_sel =
+          pending_selections_.find(txn)) {
     // Take ownership first: processing may materialize predicate state.
-    std::vector<PendingSelection> sels = std::move(pending_sel->second);
-    pending_selections_.erase(pending_sel);
+    std::vector<PendingSelection> sels = std::move(*pending_sel);
+    pending_selections_.erase(txn);
     for (const PendingSelection& ps : sels) {
-      auto idx = objects_[ps.object].index.find(txn);
-      ADYA_CHECK(idx != objects_[ps.object].index.end());
+      const uint32_t* idx = objects_[ps.object].index.find(txn);
+      ADYA_CHECK(idx != nullptr);
       ProcessPredicateObject(h, ps.reader, ps.pred_event, ps.object, ps.sel,
-                             static_cast<std::ptrdiff_t>(idx->second), out);
+                             static_cast<std::ptrdiff_t>(*idx), out);
     }
   }
   // The committing transaction's own item reads.
@@ -683,11 +698,11 @@ void ConflictDelta::CommitOf(const History& h, TxnId txn,
     dep.to_version = v;
     EmitDelta(std::move(dep), out);
     ObjectState& os = objects_[v.object];
-    auto idx = os.index.find(writer);
-    ADYA_CHECK_MSG(idx != os.index.end(),
+    const uint32_t* idx = os.index.find(writer);
+    ADYA_CHECK_MSG(idx != nullptr,
                    "committed writer must appear in the version order");
-    if (idx->second + 1 < os.order.size()) {
-      TxnId next = os.order[idx->second + 1];
+    if (*idx + 1 < os.order.size()) {
+      TxnId next = os.order[*idx + 1];
       Dependency rw;
       rw.from = txn;
       rw.to = next;
@@ -703,16 +718,15 @@ void ConflictDelta::CommitOf(const History& h, TxnId txn,
   // The committing transaction's own predicate reads.
   for (EventId pid : info.predicate_reads) {
     const Event& e = h.event(pid);
-    std::map<ObjectId, VersionId> selected;
+    FlatMap<ObjectId, VersionId> selected;
     for (const VersionId& v : e.vset) selected[v.object] = v;
     const std::vector<RelationId>& rels = h.predicate_relations(e.predicate);
     for (auto rel_it = rels.begin(); rel_it != rels.end(); ++rel_it) {
       if (std::find(rels.begin(), rel_it, *rel_it) != rel_it) continue;
       pred_reads_by_relation_[*rel_it].push_back(PredReadRef{txn, pid});
       for (ObjectId obj : objects_by_relation_[*rel_it]) {
-        auto sel_it = selected.find(obj);
-        VersionId sel =
-            sel_it == selected.end() ? InitVersion(obj) : sel_it->second;
+        const VersionId* sel_hit = selected.find(obj);
+        VersionId sel = sel_hit == nullptr ? InitVersion(obj) : *sel_hit;
         std::ptrdiff_t pos;
         if (sel.is_init()) {
           pos = -1;
@@ -724,9 +738,9 @@ void ConflictDelta::CommitOf(const History& h, TxnId txn,
             }
             continue;  // unpositionable until the writer commits
           }
-          auto idx = objects_[obj].index.find(sel.writer);
-          ADYA_CHECK(idx != objects_[obj].index.end());
-          pos = static_cast<std::ptrdiff_t>(idx->second);
+          const uint32_t* idx = objects_[obj].index.find(sel.writer);
+          ADYA_CHECK(idx != nullptr);
+          pos = static_cast<std::ptrdiff_t>(*idx);
         }
         ProcessPredicateObject(h, txn, pid, obj, sel, pos, out);
       }
@@ -798,9 +812,9 @@ const std::vector<TxnId>& ConflictDelta::Order(ObjectId obj) const {
 std::optional<size_t> ConflictDelta::OrderIndex(ObjectId obj,
                                                 TxnId txn) const {
   if (obj >= objects_.size()) return std::nullopt;
-  auto it = objects_[obj].index.find(txn);
-  if (it == objects_[obj].index.end()) return std::nullopt;
-  return it->second;
+  const uint32_t* idx = objects_[obj].index.find(txn);
+  if (idx == nullptr) return std::nullopt;
+  return *idx;
 }
 
 }  // namespace adya

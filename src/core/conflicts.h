@@ -2,13 +2,13 @@
 #define ADYA_CORE_CONFLICTS_H_
 
 #include <cstddef>
-#include <map>
 #include <optional>
 #include <set>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "graph/digraph.h"
 #include "history/history.h"
 
@@ -101,6 +101,15 @@ struct ConflictOptions {
   /// full edge set stays the default for audit output; the online certifier
   /// opts in.
   bool reduced_start_edges = false;
+  /// Threshold forwarded to graph::CycleOptions::bitset_max_scc by every
+  /// cycle-based phenomenon check (G-single / G-SI(b) / G-cursor): SCCs up
+  /// to this size answer per-pivot-edge existence with bitset reachability
+  /// rows instead of a BFS per candidate edge. Purely a performance knob —
+  /// the witness is always re-extracted by the deterministic BFS, so
+  /// verdicts and witness text are identical at any setting. 0 forces the
+  /// BFS path, UINT32_MAX forces the bitset path (the differential tests
+  /// pin both extremes against each other).
+  uint32_t cycle_bitset_max_scc = 4096;
   /// Metrics sink threaded through every checker layer (conflict-edge
   /// construction, phenomenon checks, incremental deltas) — the single
   /// plumbing point, so serial, parallel, and incremental checking report
@@ -187,8 +196,13 @@ class ConflictDelta {
 
  private:
   struct ObjectState {
-    std::vector<TxnId> order;       // committed installers, commit order
-    std::map<TxnId, size_t> index;  // installer -> position in `order`
+    std::vector<TxnId> order;  // committed installers, commit order
+    FlatMap<TxnId, uint32_t> index;  // installer -> position in `order`
+    /// Predicates materialized over this object, ascending. Install() walks
+    /// predicates in PredicateId order (emission order is part of the
+    /// bit-identical contract); the hash table `preds_` has no ordered
+    /// iteration, so the ordered key list lives here.
+    std::vector<PredicateId> preds;
     VersionKind tail_kind = VersionKind::kUnborn;
     /// Item reads of the current tail version, waiting for the installer of
     /// the next version to materialize their rw(item) edge.
@@ -241,10 +255,12 @@ class ConflictDelta {
   ConflictOptions options_;
   std::vector<ObjectState> objects_;
   std::vector<std::vector<ObjectId>> objects_by_relation_;
-  std::map<VersionId, EventId> produced_;  // version -> its write event
-  std::map<TxnId, std::vector<PendingRead>> pending_reads_;  // keyed by writer
-  std::map<TxnId, std::vector<PendingSelection>> pending_selections_;
-  std::map<std::pair<ObjectId, PredicateId>, PredState> preds_;
+  FlatMap<VersionId, EventId> produced_;  // version -> its write event
+  FlatMap<TxnId, std::vector<PendingRead>> pending_reads_;  // keyed by writer
+  FlatMap<TxnId, std::vector<PendingSelection>> pending_selections_;
+  // Keyed PackKey(object, predicate); ObjectState::preds holds each
+  // object's materialized predicates in the ascending order Install needs.
+  FlatMap<uint64_t, PredState> preds_;
   /// Committed predicate reads per relation, so objects added to the
   /// relation later still pick up their implicit x_init selection.
   std::vector<std::vector<PredReadRef>> pred_reads_by_relation_;

@@ -2,44 +2,74 @@
 
 #include <algorithm>
 
+#include "common/flat_hash.h"
 #include "common/str_util.h"
 #include "graph/dot.h"
 
 namespace adya {
+
+namespace {
+
+// Number of DepKind values; per-(from,to) edge-merge slots are indexed by
+// the kind so one hash probe covers all parallel edges of a pair.
+constexpr int kKindCount = static_cast<int>(DepKind::kStart) + 1;
+
+struct EdgeSlots {
+  uint32_t group[kKindCount];
+  EdgeSlots() {
+    for (int k = 0; k < kKindCount; ++k) group[k] = UINT32_MAX;
+  }
+};
+
+}  // namespace
 
 Dsg::Dsg(const History& h, const ConflictOptions& options)
     : Dsg(h, options, nullptr) {}
 
 Dsg::Dsg(const History& h, const ConflictOptions& options, ThreadPool* pool)
     : history_(&h) {
-  for (TxnId txn : h.CommittedTransactions()) {
-    txn_nodes_[txn] = static_cast<graph::NodeId>(node_txns_.size());
-    node_txns_.push_back(txn);
-  }
-  graph_.Resize(node_txns_.size());
+  const DenseTxnIndex& dense = h.dense();
+  graph_.Resize(dense.committed_count());
 
   // Merge conflicts into one edge per (from, to, kind), in deterministic
-  // order (conflicts come out of ComputeDependencies in event order).
-  std::map<std::tuple<TxnId, TxnId, DepKind>, std::vector<Dependency>> merged;
-  std::vector<std::tuple<TxnId, TxnId, DepKind>> keys;  // insertion order
+  // order (conflicts come out of ComputeDependencies in event order; edge
+  // ids are assigned in first-appearance order of the (from, to, kind)
+  // key, exactly as the ordered-map implementation this replaces). Keys
+  // pack the two dense node ids; the kind picks a slot within the entry.
+  FlatMap<uint64_t, EdgeSlots> merged;
+  // Parallel arrays per merged edge group, in insertion order.
+  std::vector<graph::NodeId> group_from;
+  std::vector<graph::NodeId> group_to;
   for (Dependency& dep : ComputeDependencies(h, options, pool)) {
-    auto key = std::make_tuple(dep.from, dep.to, dep.kind);
-    auto [it, inserted] = merged.try_emplace(key);
-    if (inserted) keys.push_back(key);
-    it->second.push_back(std::move(dep));
+    graph::NodeId from = *dense.CommittedIndexOf(dep.from);
+    graph::NodeId to = *dense.CommittedIndexOf(dep.to);
+    uint32_t& slot =
+        merged[PackKey(from, to)].group[static_cast<int>(dep.kind)];
+    if (slot == UINT32_MAX) {
+      slot = static_cast<uint32_t>(edge_reasons_.size());
+      group_from.push_back(from);
+      group_to.push_back(to);
+      edge_kinds_.push_back(dep.kind);
+      edge_reasons_.emplace_back();
+    }
+    edge_reasons_[slot].push_back(std::move(dep));
   }
-  for (const auto& key : keys) {
-    const auto& [from, to, kind] = key;
-    graph_.AddEdge(txn_nodes_.at(from), txn_nodes_.at(to), Bit(kind));
-    edge_reasons_.push_back(std::move(merged.at(key)));
-    edge_kinds_.push_back(kind);
+  for (uint32_t i = 0; i < edge_reasons_.size(); ++i) {
+    graph_.AddEdge(group_from[i], group_to[i], Bit(edge_kinds_[i]));
   }
+  graph_.Freeze();
+}
+
+size_t Dsg::node_count() const {
+  return history_->dense().committed_count();
+}
+
+TxnId Dsg::txn_of(graph::NodeId node) const {
+  return history_->dense().CommittedTxnOf(node);
 }
 
 std::optional<graph::NodeId> Dsg::node_of(TxnId txn) const {
-  auto it = txn_nodes_.find(txn);
-  if (it == txn_nodes_.end()) return std::nullopt;
-  return it->second;
+  return history_->dense().CommittedIndexOf(txn);
 }
 
 std::string Dsg::DescribeEdge(graph::EdgeId edge) const {

@@ -1,7 +1,6 @@
 #ifndef ADYA_CORE_DSG_H_
 #define ADYA_CORE_DSG_H_
 
-#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -34,8 +33,11 @@ class Dsg {
   const History& history() const { return *history_; }
   const graph::Digraph& graph() const { return graph_; }
 
-  size_t node_count() const { return node_txns_.size(); }
-  TxnId txn_of(graph::NodeId node) const { return node_txns_[node]; }
+  /// Node ids coincide with the history's dense committed-transaction
+  /// numbering (ascending TxnId), so both lookups are O(1) array/hash
+  /// probes against History::dense().
+  size_t node_count() const;
+  TxnId txn_of(graph::NodeId node) const;
   std::optional<graph::NodeId> node_of(TxnId txn) const;
 
   /// The direct conflicts merged into one edge.
@@ -63,8 +65,6 @@ class Dsg {
  private:
   const History* history_;
   graph::Digraph graph_;
-  std::vector<TxnId> node_txns_;
-  std::map<TxnId, graph::NodeId> txn_nodes_;
   std::vector<std::vector<Dependency>> edge_reasons_;  // per edge
   std::vector<DepKind> edge_kinds_;                    // per edge
 };

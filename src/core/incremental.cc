@@ -128,8 +128,8 @@ void IncrementalChecker::ValidateEvent(const Event& e, EventId id) {
                     ") for object ", history_.object_name(e.version.object)));
         return;
       }
-      auto last = ts.last_kind.find(e.version.object);
-      if (last != ts.last_kind.end() && last->second == VersionKind::kDead) {
+      const VersionKind* last = ts.last_kind.find(e.version.object);
+      if (last != nullptr && *last == VersionKind::kDead) {
         fail(StrCat("write event ", id, ": T", e.txn,
                     " modifies an object it already deleted"));
         return;
@@ -145,22 +145,22 @@ void IncrementalChecker::ValidateEvent(const Event& e, EventId id) {
                     "read, not the unborn x_init"));
         return;
       }
-      auto wit = produced_.find(e.version);
-      if (wit == produced_.end()) {
+      const VersionKind* wit = produced_.find(e.version);
+      if (wit == nullptr) {
         fail(StrCat("read event ", id, ": version ",
                     history_.object_name(e.version.object), "_",
                     e.version.writer, ".", e.version.seq,
                     " has not been produced"));
         return;
       }
-      if (wit->second != VersionKind::kVisible) {
+      if (*wit != VersionKind::kVisible) {
         fail(StrCat("read event ", id, ": only visible versions may be ",
-                    "read (version is ", VersionKindName(wit->second), ")"));
+                    "read (version is ", VersionKindName(*wit), ")"));
         return;
       }
-      auto wc = ts.write_count.find(e.version.object);
-      if (wc != ts.write_count.end() && wc->second > 0) {
-        VersionId own{e.version.object, e.txn, wc->second};
+      const uint32_t* wc = ts.write_count.find(e.version.object);
+      if (wc != nullptr && *wc > 0) {
+        VersionId own{e.version.object, e.txn, *wc};
         if (!(e.version == own)) {
           fail(StrCat("read event ", id, ": T", e.txn,
                       " must observe its own latest write of ",
@@ -187,7 +187,7 @@ void IncrementalChecker::ValidateEvent(const Event& e, EventId id) {
           return;
         }
         if (v.is_init()) continue;
-        if (produced_.find(v) == produced_.end()) {
+        if (!produced_.contains(v)) {
           fail(StrCat("predicate read event ", id, ": version of ",
                       history_.object_name(v.object),
                       " has not been produced"));
@@ -209,19 +209,24 @@ void IncrementalChecker::ObserveWrite(const Event& e) {
   // intermediate the moment the writer writes the object again; the next
   // commit's prefix is the first to exhibit the G1b.
   if (g1b_fired_ || g1b_pending_ || g1b_watch_.empty()) return;
-  if (g1b_watch_.count({e.txn, e.version.object}) != 0) g1b_pending_ = true;
+  if (g1b_watch_.contains(PackKey(e.txn, e.version.object))) {
+    g1b_pending_ = true;
+  }
 }
 
 graph::NodeId IncrementalChecker::NodeOf(TxnId txn) {
-  auto [it, inserted] =
-      node_of_.try_emplace(txn, static_cast<graph::NodeId>(node_of_.size()));
-  return it->second;
+  auto [slot, inserted] = node_of_.try_emplace(txn);
+  if (inserted) *slot = static_cast<graph::NodeId>(node_of_.size() - 1);
+  return *slot;
 }
 
 void IncrementalChecker::FeedEdge(const Dependency& dep) {
   // The delta can re-derive one logical edge from several reads/objects;
   // the graphs need each (from, to, kind) once.
-  if (!seen_edges_.insert({dep.from, dep.to, dep.kind}).second) return;
+  uint8_t& seen_kinds = seen_edges_[PackKey(dep.from, dep.to)];
+  uint8_t kind_bit = static_cast<uint8_t>(1u << static_cast<int>(dep.kind));
+  if ((seen_kinds & kind_bit) != 0) return;
+  seen_kinds |= kind_bit;
   graph::KindMask bit = Bit(dep.kind);
   if (track_gsia_ && !gsia_fired_ && (bit & kDependencyMask) != 0) {
     // G-SI(a): a dependency edge not backed by the start relation. Both
@@ -303,9 +308,9 @@ std::vector<Violation> IncrementalChecker::OnCommit(TxnId txn) {
     if (v.seq != history_.FinalSeq(v.writer, v.object)) {
       g1b_fired_ = true;
     } else {
-      auto it = vstate_.find(v.writer);
-      if (it != vstate_.end() && !it->second.finished) {
-        g1b_watch_.insert({v.writer, v.object});
+      const TxnValidation* ts = vstate_.find(v.writer);
+      if (ts != nullptr && !ts->finished) {
+        g1b_watch_.insert(PackKey(v.writer, v.object));
       }
     }
   };

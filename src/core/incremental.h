@@ -2,13 +2,12 @@
 #define ADYA_CORE_INCREMENTAL_H_
 
 #include <cstddef>
-#include <map>
 #include <memory>
 #include <optional>
 #include <set>
-#include <tuple>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "common/result.h"
 #include "core/conflicts.h"
 #include "core/levels.h"
@@ -131,8 +130,8 @@ class IncrementalChecker {
   struct TxnValidation {
     bool finished = false;
     bool has_events = false;
-    std::map<ObjectId, uint32_t> write_count;
-    std::map<ObjectId, VersionKind> last_kind;
+    FlatMap<ObjectId, uint32_t> write_count;
+    FlatMap<ObjectId, VersionKind> last_kind;
   };
 
   void ValidateEvent(const Event& e, EventId id);
@@ -155,13 +154,19 @@ class IncrementalChecker {
 
   // --- event-stream validation mirror ---
   std::optional<Status> validate_error_;
-  std::map<TxnId, TxnValidation> vstate_;
-  std::map<VersionId, VersionKind> produced_;
+  FlatMap<TxnId, TxnValidation> vstate_;
+  FlatMap<VersionId, VersionKind> produced_;
 
   // --- incremental conflict derivation + detectors ---
   ConflictDelta delta_;
-  std::set<std::tuple<TxnId, TxnId, DepKind>> seen_edges_;
-  std::map<TxnId, graph::NodeId> node_of_;
+  /// Deduplicates (from, to, kind) edge feeds: keyed PackKey(from, to),
+  /// the value a bitmask of DepKinds already fed for the pair.
+  FlatMap<uint64_t, uint8_t> seen_edges_;
+  /// Detector node ids, assigned in first-edge-feed order — deliberately
+  /// NOT the dense committed numbering: the dynamic detectors grow their
+  /// node space as edges arrive, and this is the order the original
+  /// running-counter implementation assigned.
+  FlatMap<TxnId, graph::NodeId> node_of_;
   std::optional<graph::DynamicSccDigraph> ww_graph_;        // G0
   std::optional<graph::DynamicSccDigraph> dep_graph_;       // G1c
   std::optional<graph::DynamicSccDigraph> item_graph_;      // G2-item
@@ -178,8 +183,8 @@ class IncrementalChecker {
   bool g1b_fired_ = false;
   /// Committed reads that observed the writer's latest version while the
   /// writer still ran: a later write of (writer, object) makes them
-  /// intermediate retroactively.
-  std::set<std::pair<TxnId, ObjectId>> g1b_watch_;
+  /// intermediate retroactively. Keyed PackKey(writer, object).
+  FlatSet<uint64_t> g1b_watch_;
   bool g1b_pending_ = false;
 
   /// Cache for CheckAll()/Check(): the finalized prefix copy and its

@@ -124,6 +124,8 @@ const std::vector<Dependency>& ParallelChecker::cursor_deps() const {
   std::call_once(cursor_deps_once_, [this] {
     cursor_deps_ = std::make_unique<std::vector<Dependency>>(
         ComputeDependencies(*history_, options_.conflicts));
+    cursor_plan_ =
+        phenomena_internal::BuildCursorPlan(*history_, *cursor_deps_);
   });
   return *cursor_deps_;
 }
@@ -211,8 +213,9 @@ std::optional<Violation> ParallelChecker::CheckGSingleParallel() const {
   std::optional<graph::Cycle> cycle;
   {
     ADYA_TIMED_PHASE(options_.conflicts.stats, "checker.cycle_search_us");
-    cycle = graph::FindCycleWithExactlyOne(dsg_->graph(), kAntiMask,
-                                           kDependencyMask, pool_);
+    cycle = graph::FindCycleWithExactlyOne(
+        dsg_->graph(), kAntiMask, kDependencyMask, pool_,
+        graph::CycleOptions{options_.conflicts.cycle_bitset_max_scc});
   }
   if (!cycle.has_value()) return std::nullopt;
   ADYA_TIMED_PHASE(options_.conflicts.stats, "checker.witness_us");
@@ -229,7 +232,8 @@ std::optional<Violation> ParallelChecker::CheckGSIbParallel() const {
   {
     ADYA_TIMED_PHASE(options_.conflicts.stats, "checker.cycle_search_us");
     cycle = graph::FindCycleWithExactlyOne(
-        s.graph(), kAntiMask, kDependencyMask | kStartMask, pool_);
+        s.graph(), kAntiMask, kDependencyMask | kStartMask, pool_,
+        graph::CycleOptions{options_.conflicts.cycle_bitset_max_scc});
   }
   if (!cycle.has_value()) return std::nullopt;
   ADYA_TIMED_PHASE(options_.conflicts.stats, "checker.witness_us");
@@ -244,8 +248,10 @@ std::optional<Violation> ParallelChecker::CheckGCursorParallel() const {
   const History& h = *history_;
   const std::vector<Dependency>& deps = cursor_deps();
   ADYA_TIMED_PHASE(options_.conflicts.stats, "checker.cycle_search_us");
+  graph::CycleOptions cycle_options{options_.conflicts.cycle_bitset_max_scc};
   return MinIndexScan(*pool_, h.object_count(), [&](size_t obj) {
-    return phenomena_internal::GCursorViolationAt(h, deps, ObjectId(obj));
+    return phenomena_internal::GCursorViolationAt(h, deps, cursor_plan_,
+                                                  ObjectId(obj), cycle_options);
   });
 }
 

@@ -91,8 +91,10 @@ class ParallelChecker {
   mutable std::unique_ptr<Dsg> ssg_;
   mutable std::once_flag ssg_once_;
   /// Raw dependency list for the per-object G-cursor graphs (the DSG merges
-  /// parallel conflicts into one edge, so it cannot be reused).
+  /// parallel conflicts into one edge, so it cannot be reused), plus the
+  /// per-object bucket plan the sharded object scan indexes into.
   mutable std::unique_ptr<std::vector<Dependency>> cursor_deps_;
+  mutable phenomena_internal::CursorPlan cursor_plan_;
   mutable std::once_flag cursor_deps_once_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "common/flat_hash.h"
 #include "common/str_util.h"
 #include "history/format.h"
 #include "obs/stats.h"
@@ -172,8 +173,9 @@ std::optional<Violation> PhenomenaChecker::CheckGSingle() const {
   std::optional<graph::Cycle> cycle;
   {
     ADYA_TIMED_PHASE(options_.stats, "checker.cycle_search_us");
-    cycle = graph::FindCycleWithExactlyOne(dsg_->graph(), kAntiMask,
-                                           kDependencyMask);
+    cycle = graph::FindCycleWithExactlyOne(
+        dsg_->graph(), kAntiMask, kDependencyMask,
+        graph::CycleOptions{options_.cycle_bitset_max_scc});
   }
   if (!cycle.has_value()) return std::nullopt;
   ADYA_TIMED_PHASE(options_.stats, "checker.witness_us");
@@ -208,8 +210,9 @@ std::optional<Violation> PhenomenaChecker::CheckGSIb() const {
   std::optional<graph::Cycle> cycle;
   {
     ADYA_TIMED_PHASE(options_.stats, "checker.cycle_search_us");
-    cycle = graph::FindCycleWithExactlyOne(s.graph(), kAntiMask,
-                                           kDependencyMask | kStartMask);
+    cycle = graph::FindCycleWithExactlyOne(
+        s.graph(), kAntiMask, kDependencyMask | kStartMask,
+        graph::CycleOptions{options_.cycle_bitset_max_scc});
   }
   if (!cycle.has_value()) return std::nullopt;
   ADYA_TIMED_PHASE(options_.stats, "checker.witness_us");
@@ -226,10 +229,16 @@ std::optional<Violation> PhenomenaChecker::CheckGSIb() const {
 // subgraph per object.
 std::optional<Violation> PhenomenaChecker::CheckGCursor() const {
   const History& h = *history_;
-  std::vector<Dependency> deps = ComputeDependencies(h, options_);
+  if (!cursor_built_) {
+    cursor_deps_ = ComputeDependencies(h, options_);
+    cursor_plan_ = phenomena_internal::BuildCursorPlan(h, cursor_deps_);
+    cursor_built_ = true;
+  }
   ADYA_TIMED_PHASE(options_.stats, "checker.cycle_search_us");
+  graph::CycleOptions cycle_options{options_.cycle_bitset_max_scc};
   for (ObjectId obj = 0; obj < h.object_count(); ++obj) {
-    if (auto v = phenomena_internal::GCursorViolationAt(h, deps, obj)) {
+    if (auto v = phenomena_internal::GCursorViolationAt(
+            h, cursor_deps_, cursor_plan_, obj, cycle_options)) {
       return v;
     }
   }
@@ -294,11 +303,14 @@ std::optional<Violation> GSIaViolationAt(const History& h, const Dsg& d,
   DepKind kind = d.kind_of(e);
   if ((Bit(kind) & kDependencyMask) == 0) return std::nullopt;
   const auto& edge = d.graph().edge(e);
-  TxnId from = d.txn_of(edge.from);
-  TxnId to = d.txn_of(edge.to);
-  if (h.txn_info(from).commit_event < h.txn_info(to).begin_event) {
+  // DSG NodeIds are dense committed indices, so the begin/commit anchors
+  // are two array reads per edge instead of txn_info tree walks.
+  if (h.dense().committed_commit_event(edge.from) <
+      h.dense().committed_begin_event(edge.to)) {
     return std::nullopt;
   }
+  TxnId from = d.txn_of(edge.from);
+  TxnId to = d.txn_of(edge.to);
   Violation v;
   v.phenomenon = Phenomenon::kGSIa;
   v.description = StrCat("G-SI(a): ", d.DescribeEdge(e), "\n  but T", from,
@@ -306,27 +318,53 @@ std::optional<Violation> GSIaViolationAt(const History& h, const Dsg& d,
   return v;
 }
 
-std::optional<Violation> GCursorViolationAt(const History& h,
-                                            const std::vector<Dependency>& deps,
-                                            ObjectId obj) {
-  // Mini-graph over committed transactions, edges labeled obj.
-  std::map<TxnId, graph::NodeId> nodes;
+CursorPlan BuildCursorPlan(const History& h,
+                           const std::vector<Dependency>& deps) {
+  CursorPlan plan;
+  plan.offsets.assign(h.object_count() + 1, 0);
+  auto cursor_kind = [](const Dependency& dep) {
+    return dep.kind == DepKind::kWW || dep.kind == DepKind::kRWItem;
+  };
+  for (const Dependency& dep : deps) {
+    if (cursor_kind(dep)) ++plan.offsets[dep.object + 1];
+  }
+  for (size_t o = 0; o < h.object_count(); ++o) {
+    plan.offsets[o + 1] += plan.offsets[o];
+  }
+  plan.dep_index.resize(plan.offsets.back());
+  std::vector<uint32_t> cursor(plan.offsets.begin(), plan.offsets.end() - 1);
+  // Ascending fill keeps each bucket in emission order, so the per-object
+  // mini-graph below gets the same node/edge numbering as the full-list
+  // scan it replaces — witnesses are unchanged.
+  for (uint32_t i = 0; i < deps.size(); ++i) {
+    if (cursor_kind(deps[i])) plan.dep_index[cursor[deps[i].object]++] = i;
+  }
+  return plan;
+}
+
+std::optional<Violation> GCursorViolationAt(
+    const History& h, const std::vector<Dependency>& deps,
+    const CursorPlan& plan, ObjectId obj,
+    const graph::CycleOptions& cycle_options) {
+  // Mini-graph over committed transactions, edges labeled obj. Nodes are
+  // numbered in first-appearance order over the object's bucket.
+  FlatMap<TxnId, graph::NodeId> nodes;
   graph::Digraph g;
   std::vector<const Dependency*> edge_deps;
-  for (const Dependency& dep : deps) {
-    if (dep.object != obj) continue;
-    if (dep.kind != DepKind::kWW && dep.kind != DepKind::kRWItem) continue;
-    for (TxnId t : {dep.from, dep.to}) {
-      if (nodes.try_emplace(t, static_cast<graph::NodeId>(nodes.size()))
-              .second) {
-        g.AddNode();
-      }
+  for (uint32_t di = plan.offsets[obj]; di < plan.offsets[obj + 1]; ++di) {
+    const Dependency& dep = deps[plan.dep_index[di]];
+    graph::NodeId ends[2];
+    TxnId txns[2] = {dep.from, dep.to};
+    for (int i = 0; i < 2; ++i) {
+      auto [slot, inserted] = nodes.try_emplace(txns[i]);
+      if (inserted) *slot = g.AddNode();
+      ends[i] = *slot;
     }
-    g.AddEdge(nodes[dep.from], nodes[dep.to], Bit(dep.kind));
+    g.AddEdge(ends[0], ends[1], Bit(dep.kind));
     edge_deps.push_back(&dep);
   }
   auto cycle = graph::FindCycleWithExactlyOne(g, Bit(DepKind::kRWItem),
-                                              Bit(DepKind::kWW));
+                                              Bit(DepKind::kWW), cycle_options);
   if (!cycle.has_value()) return std::nullopt;
   Violation v;
   v.phenomenon = Phenomenon::kGCursor;

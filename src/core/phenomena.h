@@ -44,6 +44,24 @@ struct Violation {
 /// obligations only to PL-2-and-above transactions.
 using TxnFilter = std::function<bool(TxnId)>;
 
+namespace phenomena_internal {
+
+/// Per-object index over a dependency list for the G-cursor check: which
+/// entries are cursor-relevant (ww / rw(item)) for each object, bucketed by
+/// one counting-sort pass. Built once per checker and shared across the
+/// per-object checks, which previously rescanned the entire dependency
+/// list — and rebuilt an ordered txn-to-node map — once per object.
+struct CursorPlan {
+  std::vector<uint32_t> offsets;    // object -> bucket [offsets[o], offsets[o+1])
+  std::vector<uint32_t> dep_index;  // bucketed indices into the dep list,
+                                    // emission order within each bucket
+};
+
+CursorPlan BuildCursorPlan(const History& h,
+                           const std::vector<Dependency>& deps);
+
+}  // namespace phenomena_internal
+
 /// Evaluates phenomena over one finalized history. Builds the DSG once and
 /// the SSG (start-ordered: needed only for G-SI) on first use.
 ///
@@ -90,6 +108,10 @@ class PhenomenaChecker {
   ConflictOptions options_;
   std::unique_ptr<Dsg> dsg_;
   mutable std::unique_ptr<Dsg> ssg_;
+  // G-cursor working set, built lazily on first use (checks are const).
+  mutable bool cursor_built_ = false;
+  mutable std::vector<Dependency> cursor_deps_;
+  mutable phenomena_internal::CursorPlan cursor_plan_;
 };
 
 /// Single-site building blocks shared by PhenomenaChecker and the parallel
@@ -106,10 +128,12 @@ std::optional<Violation> G1bViolationAt(const History& h, EventId id);
 /// G-SI(a) at one DSG edge.
 std::optional<Violation> GSIaViolationAt(const History& h, const Dsg& dsg,
                                          graph::EdgeId edge);
-/// G-cursor restricted to one object, over a precomputed dependency set.
-std::optional<Violation> GCursorViolationAt(const History& h,
-                                            const std::vector<Dependency>& deps,
-                                            ObjectId obj);
+/// G-cursor restricted to one object, over a precomputed dependency set
+/// and its CursorPlan buckets.
+std::optional<Violation> GCursorViolationAt(
+    const History& h, const std::vector<Dependency>& deps,
+    const CursorPlan& plan, ObjectId obj,
+    const graph::CycleOptions& cycle_options = {});
 
 }  // namespace phenomena_internal
 

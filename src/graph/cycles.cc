@@ -4,6 +4,7 @@
 #include <atomic>
 #include <deque>
 #include <limits>
+#include <memory>
 
 #include "common/thread_pool.h"
 
@@ -184,24 +185,252 @@ std::optional<std::vector<EdgeId>> ShortestPathInComponent(
   return std::nullopt;
 }
 
+/// Per-component reachability rows: local nodes are condensed into the
+/// SCCs of the component's rest-subgraph, and one uint64_t bitset row per
+/// rest-SCC holds every rest-SCC reachable from it. "Can a rest-path close
+/// the cycle for pivot candidate (u, v)?" then costs one bit probe.
+struct ComponentReach {
+  std::vector<uint32_t> rcomp;   // local node -> rest-SCC id
+  std::vector<uint64_t> rows;    // rcount rows of `words` uint64_t each
+  size_t words = 0;
+
+  /// ≥0-edge rest-reachability between two local node ids. Exact: within
+  /// one rest-SCC all nodes are mutually reachable, across rest-SCCs the
+  /// closure row answers.
+  bool CanReach(uint32_t lv, uint32_t lu) const {
+    uint32_t rv = rcomp[lv], ru = rcomp[lu];
+    if (rv == ru) return true;
+    return (rows[rv * words + (ru >> 6)] >> (ru & 63)) & 1;
+  }
+};
+
+/// Lazily answers "does a rest-path v ⇝ u exist inside component C?" for
+/// pivot|rest components no larger than `max_scc` nodes, sharing one
+/// closure per component across all candidates that land in it. Components
+/// above the threshold are not covered and the caller falls back to the
+/// BFS-per-candidate search.
+class BitsetReachOracle {
+ public:
+  BitsetReachOracle(const Digraph& g, KindMask rest, const SccResult& scc,
+                    uint32_t max_scc)
+      : g_(g), rest_(rest), scc_(scc), max_scc_(max_scc) {}
+
+  bool Covers(uint32_t comp) {
+    if (max_scc_ == 0) return false;
+    EnsureBuckets();
+    return ComponentSize(comp) <= max_scc_;
+  }
+
+  /// Rest-path existence (length >= 0) from v to u; both must lie in
+  /// `comp`, and Covers(comp) must hold.
+  bool CanReach(NodeId v, NodeId u, uint32_t comp) {
+    if (v == u) return true;
+    const ComponentReach& reach = Ensure(comp);
+    return reach.CanReach(local_of_[v], local_of_[u]);
+  }
+
+ private:
+  uint32_t ComponentSize(uint32_t comp) const {
+    return comp_offset_[comp + 1] - comp_offset_[comp];
+  }
+
+  /// Counting-sorts all nodes by component and records each node's local
+  /// index within its component slice. One O(n) pass, run on first use.
+  void EnsureBuckets() {
+    if (bucketed_) return;
+    bucketed_ = true;
+    size_t n = g_.node_count();
+    comp_offset_.assign(scc_.count + 1, 0);
+    for (NodeId v = 0; v < n; ++v) ++comp_offset_[scc_.component[v] + 1];
+    for (uint32_t c = 0; c < scc_.count; ++c) {
+      comp_offset_[c + 1] += comp_offset_[c];
+    }
+    members_.resize(n);
+    local_of_.resize(n);
+    std::vector<uint32_t> cursor(comp_offset_.begin(), comp_offset_.end() - 1);
+    for (NodeId v = 0; v < n; ++v) {
+      uint32_t c = scc_.component[v];
+      local_of_[v] = cursor[c] - comp_offset_[c];
+      members_[cursor[c]++] = v;
+    }
+    cache_.resize(scc_.count);
+  }
+
+  const ComponentReach& Ensure(uint32_t comp) {
+    if (cache_[comp] != nullptr) return *cache_[comp];
+    auto reach = std::make_unique<ComponentReach>();
+    const NodeId* members = members_.data() + comp_offset_[comp];
+    uint32_t m = ComponentSize(comp);
+
+    // Local rest-subgraph in CSR form (edges that leave the component are
+    // irrelevant: a closing path never leaves the pivot edge's SCC).
+    std::vector<uint32_t> adj_offset(m + 1, 0);
+    for (uint32_t lu = 0; lu < m; ++lu) {
+      for (EdgeId eid : g_.out_edges(members[lu])) {
+        const Digraph::Edge& e = g_.edge(eid);
+        if ((e.kinds & rest_) != 0 && scc_.component[e.to] == comp) {
+          ++adj_offset[lu + 1];
+        }
+      }
+    }
+    for (uint32_t lu = 0; lu < m; ++lu) adj_offset[lu + 1] += adj_offset[lu];
+    std::vector<uint32_t> adj(adj_offset[m]);
+    {
+      std::vector<uint32_t> cursor(adj_offset.begin(), adj_offset.end() - 1);
+      for (uint32_t lu = 0; lu < m; ++lu) {
+        for (EdgeId eid : g_.out_edges(members[lu])) {
+          const Digraph::Edge& e = g_.edge(eid);
+          if ((e.kinds & rest_) != 0 && scc_.component[e.to] == comp) {
+            adj[cursor[lu]++] = local_of_[e.to];
+          }
+        }
+      }
+    }
+
+    // Tarjan over the local rest-subgraph. Components complete in reverse
+    // topological order, so rest-SCC ids satisfy: every condensation edge
+    // goes from a higher id to a lower id.
+    reach->rcomp.assign(m, kUnvisited);
+    uint32_t rcount = 0;
+    {
+      std::vector<uint32_t> index(m, kUnvisited), lowlink(m, 0);
+      std::vector<bool> on_stack(m, false);
+      std::vector<uint32_t> stack;
+      uint32_t next_index = 0;
+      struct Frame {
+        uint32_t node;
+        uint32_t edge_pos;
+      };
+      std::vector<Frame> call_stack;
+      for (uint32_t root = 0; root < m; ++root) {
+        if (index[root] != kUnvisited) continue;
+        call_stack.push_back({root, adj_offset[root]});
+        while (!call_stack.empty()) {
+          Frame& frame = call_stack.back();
+          uint32_t v = frame.node;
+          if (frame.edge_pos == adj_offset[v] && index[v] == kUnvisited) {
+            index[v] = lowlink[v] = next_index++;
+            stack.push_back(v);
+            on_stack[v] = true;
+          }
+          bool descended = false;
+          while (frame.edge_pos < adj_offset[v + 1]) {
+            uint32_t w = adj[frame.edge_pos++];
+            if (index[w] == kUnvisited) {
+              call_stack.push_back({w, adj_offset[w]});
+              descended = true;
+              break;
+            }
+            if (on_stack[w]) lowlink[v] = std::min(lowlink[v], index[w]);
+          }
+          if (descended) continue;
+          if (lowlink[v] == index[v]) {
+            uint32_t rc = rcount++;
+            for (;;) {
+              uint32_t w = stack.back();
+              stack.pop_back();
+              on_stack[w] = false;
+              reach->rcomp[w] = rc;
+              if (w == v) break;
+            }
+          }
+          call_stack.pop_back();
+          if (!call_stack.empty()) {
+            uint32_t parent = call_stack.back().node;
+            lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+          }
+        }
+      }
+    }
+
+    // Bitset closure over the condensation: processing rest-SCC ids in
+    // ascending order means every successor row is already final when it
+    // is OR-ed in (condensation edges point to lower ids).
+    reach->words = (rcount + 63) / 64;
+    reach->rows.assign(static_cast<size_t>(rcount) * reach->words, 0);
+    // Nodes bucketed by rest-SCC so each id's out-edges are visited once.
+    std::vector<uint32_t> rc_offset(rcount + 1, 0);
+    for (uint32_t lu = 0; lu < m; ++lu) ++rc_offset[reach->rcomp[lu] + 1];
+    for (uint32_t rc = 0; rc < rcount; ++rc) rc_offset[rc + 1] += rc_offset[rc];
+    std::vector<uint32_t> rc_members(m);
+    {
+      std::vector<uint32_t> cursor(rc_offset.begin(), rc_offset.end() - 1);
+      for (uint32_t lu = 0; lu < m; ++lu) {
+        rc_members[cursor[reach->rcomp[lu]]++] = lu;
+      }
+    }
+    for (uint32_t rc = 0; rc < rcount; ++rc) {
+      uint64_t* row = reach->rows.data() + static_cast<size_t>(rc) *
+                                               reach->words;
+      for (uint32_t i = rc_offset[rc]; i < rc_offset[rc + 1]; ++i) {
+        uint32_t lu = rc_members[i];
+        for (uint32_t pos = adj_offset[lu]; pos < adj_offset[lu + 1]; ++pos) {
+          uint32_t rw = reach->rcomp[adj[pos]];
+          if (rw == rc) continue;
+          row[rw >> 6] |= uint64_t{1} << (rw & 63);
+          const uint64_t* succ =
+              reach->rows.data() + static_cast<size_t>(rw) * reach->words;
+          for (size_t wd = 0; wd < reach->words; ++wd) row[wd] |= succ[wd];
+        }
+      }
+    }
+
+    cache_[comp] = std::move(reach);
+    return *cache_[comp];
+  }
+
+  const Digraph& g_;
+  KindMask rest_;
+  const SccResult& scc_;
+  uint32_t max_scc_;
+  bool bucketed_ = false;
+  std::vector<uint32_t> comp_offset_;  // component -> begin in members_
+  std::vector<NodeId> members_;        // nodes grouped by component
+  std::vector<uint32_t> local_of_;     // node -> index within its slice
+  std::vector<std::unique_ptr<ComponentReach>> cache_;
+};
+
+/// Witness extraction for a confirmed candidate — shared by every path so
+/// the emitted cycle is the same BFS result regardless of how existence
+/// was established.
+Cycle CloseCycle(const Digraph& g, EdgeId eid, KindMask rest,
+                 const SccResult& scc) {
+  const Digraph::Edge& e = g.edge(eid);
+  auto back = ShortestPathInComponent(g, e.to, e.from, rest, scc,
+                                      scc.component[e.from]);
+  ADYA_CHECK_MSG(back.has_value(), "confirmed candidate must close a cycle");
+  Cycle cycle;
+  cycle.edges.push_back(eid);
+  cycle.edges.insert(cycle.edges.end(), back->begin(), back->end());
+  return cycle;
+}
+
 }  // namespace
 
 std::optional<Cycle> FindCycleWithExactlyOne(const Digraph& g, KindMask pivot,
-                                             KindMask rest) {
+                                             KindMask rest,
+                                             const CycleOptions& options) {
   // A cycle with exactly one pivot edge (u, v) is a rest-path v ⇝ u. Such a
   // path, concatenated with the pivot edge, puts every node it visits on a
   // cycle of the pivot|rest subgraph — so u and v must share an SCC of that
   // subgraph, and the path never leaves their component. The SCC pass thus
   // rejects every candidate without any per-edge search on acyclic graphs
   // (the common clean-history case), and bounds each search by the
-  // component size otherwise.
+  // component size otherwise. Within small components the existence test is
+  // a bitset probe (see BitsetReachOracle); the first passing candidate in
+  // edge-id order — identical under either test — gets the BFS witness.
   SccResult scc = StronglyConnectedComponents(g, pivot | rest);
+  BitsetReachOracle oracle(g, rest, scc, options.bitset_max_scc);
   for (EdgeId eid = 0; eid < g.edge_count(); ++eid) {
     const Digraph::Edge& e = g.edge(eid);
     if ((e.kinds & pivot) == 0) continue;
-    if (scc.component[e.from] != scc.component[e.to]) continue;
-    auto back = ShortestPathInComponent(g, e.to, e.from, rest, scc,
-                                        scc.component[e.from]);
+    uint32_t comp = scc.component[e.from];
+    if (comp != scc.component[e.to]) continue;
+    if (oracle.Covers(comp)) {
+      if (!oracle.CanReach(e.to, e.from, comp)) continue;
+      return CloseCycle(g, eid, rest, scc);
+    }
+    auto back = ShortestPathInComponent(g, e.to, e.from, rest, scc, comp);
     if (!back.has_value()) continue;
     Cycle cycle;
     cycle.edges.push_back(eid);
@@ -212,29 +441,46 @@ std::optional<Cycle> FindCycleWithExactlyOne(const Digraph& g, KindMask pivot,
 }
 
 std::optional<Cycle> FindCycleWithExactlyOne(const Digraph& g, KindMask pivot,
-                                             KindMask rest,
-                                             ThreadPool* pool) {
+                                             KindMask rest, ThreadPool* pool,
+                                             const CycleOptions& options) {
   if (pool == nullptr || pool->threads() <= 1) {
-    return FindCycleWithExactlyOne(g, pivot, rest);
+    return FindCycleWithExactlyOne(g, pivot, rest, options);
   }
   SccResult scc = StronglyConnectedComponents(g, pivot | rest);
-  // Candidates in ascending edge-id order — the serial scan order.
-  std::vector<EdgeId> candidates;
+  // Small components resolve inline on the bitset oracle (cheaper than
+  // dispatch); only above-threshold candidates are worth fanning out.
+  // best_small is the lowest pivot edge id the oracle confirmed — the
+  // serial winner unless a lower-id large-component candidate also closes.
+  BitsetReachOracle oracle(g, rest, scc, options.bitset_max_scc);
+  constexpr EdgeId kNone = std::numeric_limits<EdgeId>::max();
+  EdgeId best_small = kNone;
+  std::vector<EdgeId> candidates;  // large-component, ascending edge id
   for (EdgeId eid = 0; eid < g.edge_count(); ++eid) {
     const Digraph::Edge& e = g.edge(eid);
     if ((e.kinds & pivot) == 0) continue;
-    if (scc.component[e.from] != scc.component[e.to]) continue;
-    candidates.push_back(eid);
+    uint32_t comp = scc.component[e.from];
+    if (comp != scc.component[e.to]) continue;
+    if (oracle.Covers(comp)) {
+      if (best_small == kNone && oracle.CanReach(e.to, e.from, comp)) {
+        best_small = eid;
+      }
+      continue;
+    }
+    if (eid < best_small) candidates.push_back(eid);
   }
-  if (candidates.empty()) return std::nullopt;
+  if (candidates.empty()) {
+    if (best_small == kNone) return std::nullopt;
+    return CloseCycle(g, best_small, rest, scc);
+  }
   // Candidate i goes to shard i % shard_count, so every shard holds an
   // ascending subsequence and the shard owning the serial winner reaches it
   // early. `best` is the lowest confirmed pivot edge id; shards stop once
   // their next candidate cannot beat it.
   size_t shard_count =
       std::min(candidates.size(), static_cast<size_t>(pool->threads()) * 2);
-  constexpr EdgeId kNone = std::numeric_limits<EdgeId>::max();
-  std::atomic<EdgeId> best{kNone};
+  // Seeded with best_small: a shard whose next candidate cannot beat the
+  // bitset-confirmed winner stops immediately.
+  std::atomic<EdgeId> best{best_small};
   std::vector<std::optional<Cycle>> found(shard_count);
   std::vector<EdgeId> found_edge(shard_count, kNone);
   pool->ParallelFor(shard_count, [&](size_t s) {
@@ -266,7 +512,13 @@ std::optional<Cycle> FindCycleWithExactlyOne(const Digraph& g, KindMask pivot,
       winner = s;
     }
   }
-  if (winner == shard_count) return std::nullopt;
+  if (winner == shard_count) {
+    if (best_small == kNone) return std::nullopt;
+    return CloseCycle(g, best_small, rest, scc);
+  }
+  if (best_small < found_edge[winner]) {
+    return CloseCycle(g, best_small, rest, scc);
+  }
   return found[winner];
 }
 

@@ -41,6 +41,20 @@ std::optional<Cycle> FindCycleWithRequiredKind(const Digraph& g,
                                                KindMask allowed,
                                                KindMask required);
 
+/// Tuning for the exactly-one cycle search. The candidate test ("does a
+/// rest-path close a cycle through this pivot edge?") is pure existence —
+/// the witness is always re-extracted by the deterministic BFS — so how it
+/// is answered can never change a verdict or a witness, only its cost.
+struct CycleOptions {
+  /// Pivot|rest SCCs with at most this many nodes answer candidate
+  /// existence with uint64_t-bitset reachability rows over the component's
+  /// rest-SCC condensation (built once per component, O(1) lookups per
+  /// candidate); larger components fall back to a BFS per candidate.
+  /// 0 force-disables the bitset path, UINT32_MAX force-enables it at any
+  /// size (both used by the differential tests).
+  uint32_t bitset_max_scc = 4096;
+};
+
 /// Finds a cycle, if one exists, consisting of exactly one edge intersecting
 /// `pivot` followed by a (possibly empty set of) edges intersecting `rest`
 /// but used *as* rest-edges; i.e. a cycle with exactly one pivot-edge
@@ -48,11 +62,13 @@ std::optional<Cycle> FindCycleWithRequiredKind(const Digraph& g,
 /// with exactly one anti-dependency edge. A parallel edge that carries both
 /// pivot and rest kinds may serve as a rest edge.
 std::optional<Cycle> FindCycleWithExactlyOne(const Digraph& g, KindMask pivot,
-                                             KindMask rest);
+                                             KindMask rest,
+                                             const CycleOptions& options = {});
 
-/// Parallel variant: computes the SCCs once, then fans the per-pivot-edge
-/// rest-path searches out across `pool`, one SCC-filtered candidate at a
-/// time. Returns the cycle closed from the LOWEST-id pivot edge that has a
+/// Parallel variant: computes the SCCs once, answers small-component
+/// candidates with the shared bitset oracle inline, and fans only the
+/// above-threshold per-pivot-edge rest-path searches out across `pool`.
+/// Returns the cycle closed from the LOWEST-id pivot edge that has a
 /// rest-path — exactly the edge the serial scan stops at — and builds the
 /// path with the same deterministic BFS, so the result is bit-identical to
 /// the serial overload's. (FindCycleWithRequiredKind needs no such variant:
@@ -60,7 +76,8 @@ std::optional<Cycle> FindCycleWithExactlyOne(const Digraph& g, KindMask pivot,
 /// already stops at its first SCC-internal candidate without searching.)
 /// A null or single-thread pool falls back to the serial path.
 std::optional<Cycle> FindCycleWithExactlyOne(const Digraph& g, KindMask pivot,
-                                             KindMask rest, ThreadPool* pool);
+                                             KindMask rest, ThreadPool* pool,
+                                             const CycleOptions& options = {});
 
 /// Shortest path (in edges) from `from` to `to` using edges intersecting
 /// `allowed`. Returns nullopt if unreachable. A path of length zero is

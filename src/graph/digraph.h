@@ -16,11 +16,36 @@ using EdgeId = uint32_t;
 /// rw-item / rw-pred / start); the algorithms below are generic over masks.
 using KindMask = uint32_t;
 
+/// Lightweight view over one node's adjacency list (edge ids in insertion
+/// order). Valid until the graph is next mutated or frozen.
+class EdgeSpan {
+ public:
+  EdgeSpan(const EdgeId* data, size_t size) : data_(data), size_(size) {}
+  const EdgeId* begin() const { return data_; }
+  const EdgeId* end() const { return data_ + size_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  EdgeId operator[](size_t i) const { return data_[i]; }
+
+ private:
+  const EdgeId* data_;
+  size_t size_;
+};
+
 /// A directed multigraph with dense node ids and kind-labeled edges.
 ///
 /// Parallel edges are allowed and meaningful: in a DSG, `Ti --ww--> Tj` and
 /// `Ti --rw--> Tj` are distinct edges, and a cycle constrained to "exactly
 /// one anti-dependency edge" may use the former but not the latter.
+///
+/// Two phases: while building, adjacency lives in per-node vectors
+/// (mutation-friendly, one heap block per node). Freeze() converts it to
+/// compressed-sparse-row form — one offset array + one edge-id array per
+/// direction — and drops the per-node vectors, so the traversal loops the
+/// cycle/SCC algorithms run walk contiguous memory. Freezing preserves
+/// per-node edge order exactly (ascending edge id == insertion order), so
+/// every downstream traversal — and therefore every witness — is
+/// unchanged. A frozen graph rejects further mutation.
 class Digraph {
  public:
   struct Edge {
@@ -34,6 +59,8 @@ class Digraph {
 
   /// Grows the node set to at least `node_count` nodes (ids 0..count-1).
   void Resize(size_t node_count) {
+    ADYA_CHECK_MSG(!frozen_, "Resize on a frozen graph");
+    if (node_count > node_count_) node_count_ = node_count;
     if (node_count > out_.size()) {
       out_.resize(node_count);
       in_.resize(node_count);
@@ -41,15 +68,18 @@ class Digraph {
   }
 
   NodeId AddNode() {
+    ADYA_CHECK_MSG(!frozen_, "AddNode on a frozen graph");
     out_.emplace_back();
     in_.emplace_back();
-    return static_cast<NodeId>(out_.size() - 1);
+    ++node_count_;
+    return static_cast<NodeId>(node_count_ - 1);
   }
 
   /// Adds an edge carrying the given kind bits. Self-loops are permitted
   /// (callers that must exclude them filter at construction time).
   EdgeId AddEdge(NodeId from, NodeId to, KindMask kinds) {
-    ADYA_CHECK(from < out_.size() && to < out_.size());
+    ADYA_CHECK_MSG(!frozen_, "AddEdge on a frozen graph");
+    ADYA_CHECK(from < node_count_ && to < node_count_);
     ADYA_CHECK_MSG(kinds != 0, "edge must carry at least one kind bit");
     EdgeId id = static_cast<EdgeId>(edges_.size());
     edges_.push_back(Edge{from, to, kinds});
@@ -58,17 +88,65 @@ class Digraph {
     return id;
   }
 
-  size_t node_count() const { return out_.size(); }
+  /// Builds the CSR form and frees the per-node vectors. Idempotent.
+  void Freeze() {
+    if (frozen_) return;
+    BuildCsr(/*by_from=*/true, out_offsets_, out_ids_);
+    BuildCsr(/*by_from=*/false, in_offsets_, in_ids_);
+    out_.clear();
+    out_.shrink_to_fit();
+    in_.clear();
+    in_.shrink_to_fit();
+    frozen_ = true;
+  }
+
+  bool frozen() const { return frozen_; }
+
+  size_t node_count() const { return node_count_; }
   size_t edge_count() const { return edges_.size(); }
   const Edge& edge(EdgeId id) const { return edges_[id]; }
   const std::vector<Edge>& edges() const { return edges_; }
-  const std::vector<EdgeId>& out_edges(NodeId n) const { return out_[n]; }
-  const std::vector<EdgeId>& in_edges(NodeId n) const { return in_[n]; }
+
+  EdgeSpan out_edges(NodeId n) const {
+    if (frozen_) {
+      return EdgeSpan(out_ids_.data() + out_offsets_[n],
+                      out_offsets_[n + 1] - out_offsets_[n]);
+    }
+    return EdgeSpan(out_[n].data(), out_[n].size());
+  }
+  EdgeSpan in_edges(NodeId n) const {
+    if (frozen_) {
+      return EdgeSpan(in_ids_.data() + in_offsets_[n],
+                      in_offsets_[n + 1] - in_offsets_[n]);
+    }
+    return EdgeSpan(in_[n].data(), in_[n].size());
+  }
 
  private:
+  void BuildCsr(bool by_from, std::vector<uint32_t>& offsets,
+                std::vector<EdgeId>& ids) const {
+    offsets.assign(node_count_ + 1, 0);
+    for (const Edge& e : edges_) ++offsets[(by_from ? e.from : e.to) + 1];
+    for (size_t n = 0; n < node_count_; ++n) offsets[n + 1] += offsets[n];
+    ids.resize(edges_.size());
+    std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+    // Filling in ascending edge-id order keeps each node's slice in
+    // insertion order — identical to the vector-of-vectors it replaces.
+    for (EdgeId id = 0; id < edges_.size(); ++id) {
+      const Edge& e = edges_[id];
+      ids[cursor[by_from ? e.from : e.to]++] = id;
+    }
+  }
+
   std::vector<Edge> edges_;
+  size_t node_count_ = 0;
+  bool frozen_ = false;
+  // Building form: per-node adjacency vectors (empty once frozen).
   std::vector<std::vector<EdgeId>> out_;
   std::vector<std::vector<EdgeId>> in_;
+  // Frozen form: CSR offsets (node_count_+1) + edge ids grouped by node.
+  std::vector<uint32_t> out_offsets_, in_offsets_;
+  std::vector<EdgeId> out_ids_, in_ids_;
 };
 
 }  // namespace adya::graph

@@ -1,0 +1,31 @@
+#include "history/dense_index.h"
+
+namespace adya {
+
+void DenseTxnIndex::Add(TxnId txn, bool committed, EventId begin_event,
+                        EventId commit_event) {
+  uint32_t dense = static_cast<uint32_t>(txns_.size());
+  txns_.push_back(txn);
+  begin_events_.push_back(begin_event);
+  commit_events_.push_back(commit_event);
+  if (committed) {
+    committed_of_.push_back(static_cast<uint32_t>(committed_txns_.size()));
+    committed_txns_.push_back(txn);
+    dense_of_committed_.push_back(dense);
+  } else {
+    committed_of_.push_back(kNone);
+  }
+  index_[txn] = dense;
+}
+
+void DenseTxnIndex::Clear() {
+  txns_.clear();
+  committed_of_.clear();
+  begin_events_.clear();
+  commit_events_.clear();
+  committed_txns_.clear();
+  dense_of_committed_.clear();
+  index_.clear();
+}
+
+}  // namespace adya

@@ -1,0 +1,96 @@
+#ifndef ADYA_HISTORY_DENSE_INDEX_H_
+#define ADYA_HISTORY_DENSE_INDEX_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/flat_hash.h"
+#include "history/event.h"
+#include "history/ids.h"
+
+namespace adya {
+
+/// Dense u32 numbering of a finalized history's transactions, built once by
+/// History::Finalize(). Sparse TxnIds are whatever the workload chose;
+/// everything downstream of Finalize (conflict analysis, DSG nodes,
+/// phenomenon checks) wants array indices instead of ordered-map lookups,
+/// so this is the one translation point.
+///
+/// Two numberings, both in ascending-TxnId order:
+///   - the *dense* index covers every finished (committed or aborted)
+///     transaction that has events;
+///   - the *committed* index covers the committed subset. Because it is
+///     assigned in ascending-TxnId order it coincides exactly with the DSG
+///     node numbering (Dsg historically walked CommittedTransactions() —
+///     an ascending std::map — to assign NodeIds), so a committed index IS
+///     a graph::NodeId and witness text is unchanged by the translation.
+///
+/// Also carries the per-transaction event anchors (begin/commit) the hot
+/// start-dependency and G-SI scans need, so they read two flat arrays
+/// instead of probing txn_info's std::map per edge.
+class DenseTxnIndex {
+ public:
+  static constexpr uint32_t kNone = 0xFFFFFFFFu;
+
+  /// One finished transaction, appended in ascending-TxnId order.
+  void Add(TxnId txn, bool committed, EventId begin_event,
+           EventId commit_event);
+  void Clear();
+
+  uint32_t size() const { return static_cast<uint32_t>(txns_.size()); }
+  uint32_t committed_count() const {
+    return static_cast<uint32_t>(committed_txns_.size());
+  }
+
+  std::optional<uint32_t> IndexOf(TxnId txn) const {
+    const uint32_t* dense = index_.find(txn);
+    if (dense == nullptr) return std::nullopt;
+    return *dense;
+  }
+  TxnId TxnOf(uint32_t dense) const { return txns_[dense]; }
+  bool IsCommitted(uint32_t dense) const {
+    return committed_of_[dense] != kNone;
+  }
+  EventId begin_event(uint32_t dense) const { return begin_events_[dense]; }
+  EventId commit_event(uint32_t dense) const { return commit_events_[dense]; }
+
+  /// The committed index of `txn` (== its DSG NodeId); nullopt when `txn`
+  /// is unknown or aborted.
+  std::optional<uint32_t> CommittedIndexOf(TxnId txn) const {
+    const uint32_t* dense = index_.find(txn);
+    if (dense == nullptr || committed_of_[*dense] == kNone) {
+      return std::nullopt;
+    }
+    return committed_of_[*dense];
+  }
+  TxnId CommittedTxnOf(uint32_t committed) const {
+    return committed_txns_[committed];
+  }
+  /// Committed TxnIds ascending — the same list CommittedTransactions()
+  /// returns, without materializing a copy per call.
+  const std::vector<TxnId>& committed_txns() const { return committed_txns_; }
+
+  /// Event anchors addressed by *committed* index (two array reads), for
+  /// scans that walk the committed subset — start-dependency construction
+  /// touches every committed pair.
+  EventId committed_begin_event(uint32_t committed) const {
+    return begin_events_[dense_of_committed_[committed]];
+  }
+  EventId committed_commit_event(uint32_t committed) const {
+    return commit_events_[dense_of_committed_[committed]];
+  }
+
+ private:
+  std::vector<TxnId> txns_;              // dense -> TxnId, ascending
+  std::vector<uint32_t> committed_of_;   // dense -> committed index or kNone
+  std::vector<EventId> begin_events_;    // dense -> begin event
+  std::vector<EventId> commit_events_;   // dense -> commit event or kNoEvent
+  std::vector<TxnId> committed_txns_;    // committed index -> TxnId
+  std::vector<uint32_t> dense_of_committed_;  // committed index -> dense
+  FlatMap<TxnId, uint32_t> index_;       // TxnId -> dense
+};
+
+}  // namespace adya
+
+#endif  // ADYA_HISTORY_DENSE_INDEX_H_

@@ -181,6 +181,7 @@ const History::TxnInfo& History::txn_info(TxnId txn) const {
 
 bool History::IsCommitted(TxnId txn) const {
   if (txn == kTxnInit) return true;
+  if (finalized_) return dense_.CommittedIndexOf(txn).has_value();
   auto it = txns_.find(txn);
   return it != txns_.end() && it->second.commit_event != kNoEvent &&
          it->second.abort_event == kNoEvent;
@@ -217,9 +218,34 @@ Status History::Finalize(const FinalizeOptions& options) {
     for (TxnId txn : unfinished) Append(Event::Abort(txn));
   }
   ADYA_RETURN_IF_ERROR(ValidateEvents());
+  BuildDenseIndex();
   ADYA_RETURN_IF_ERROR(ComputeVersionOrders());
   finalized_ = true;
   return Status::OK();
+}
+
+void History::BuildDenseIndex() {
+  dense_.Clear();
+  final_seq_.clear();
+  // txns_ iterates ascending, so dense ids (and the committed sub-ids that
+  // become DSG NodeIds) are assigned in ascending-TxnId order.
+  for (const auto& [txn, info] : txns_) {
+    if (info.first_event == kNoEvent) continue;
+    bool committed =
+        info.commit_event != kNoEvent && info.abort_event == kNoEvent;
+    dense_.Add(txn, committed, info.begin_event, info.commit_event);
+    uint32_t d = dense_.size() - 1;
+    for (const auto& [obj, writes] : info.writes) {
+      if (!writes.empty()) {
+        final_seq_[PackKey(obj, d)] = static_cast<uint32_t>(writes.size());
+      }
+    }
+  }
+}
+
+const DenseTxnIndex& History::dense() const {
+  ADYA_CHECK_MSG(finalized_, "dense() requires a finalized history");
+  return dense_;
 }
 
 Status History::ValidateEvents() {
@@ -272,18 +298,18 @@ Status History::ValidateEvents() {
               StrCat("read event ", id, ": only visible versions may be ",
                      "read, not the unborn x_init"));
         }
-        auto wit = write_events_.find(e.version);
-        if (wit == write_events_.end()) {
+        const EventId* wit = write_events_.find(e.version);
+        if (wit == nullptr) {
           return Status::InvalidArgument(StrCat(
               "read event ", id, ": version ", object_name(e.version.object),
               "_", e.version.writer, ".", e.version.seq,
               " has not been produced"));
         }
-        if (events_[wit->second].written_kind != VersionKind::kVisible) {
+        if (events_[*wit].written_kind != VersionKind::kVisible) {
           return Status::InvalidArgument(
               StrCat("read event ", id, ": only visible versions may be ",
                      "read (version is ",
-                     VersionKindName(events_[wit->second].written_kind), ")"));
+                     VersionKindName(events_[*wit].written_kind), ")"));
         }
         // Read-your-writes (§4.2): after writing x, a transaction's reads of
         // x observe its own latest version.
@@ -314,7 +340,7 @@ Status History::ValidateEvents() {
                 object_name(v.object), " is not in the predicate's relations"));
           }
           if (v.is_init()) continue;
-          if (write_events_.find(v) == write_events_.end()) {
+          if (write_events_.find(v) == nullptr) {
             return Status::InvalidArgument(
                 StrCat("predicate read event ", id, ": version of ",
                        object_name(v.object), " has not been produced"));
@@ -334,7 +360,7 @@ Status History::ValidateEvents() {
 
 Status History::ComputeVersionOrders() {
   effective_order_.assign(objects_.size(), {});
-  order_index_.assign(objects_.size(), {});
+  order_index_.clear();
   // Committed installers per object, gathered in one pass over the
   // transactions (txns_ iterates in TxnId order, so each object's list is
   // ascending, matching the previous per-object scans).
@@ -379,15 +405,20 @@ Status History::ComputeVersionOrders() {
     for (size_t i = 0; i < order.size(); ++i) {
       auto installed = InstalledVersionInternal(order[i], obj);
       ADYA_CHECK(installed.has_value());
-      if (events_[write_events_.at(*installed)].written_kind ==
-              VersionKind::kDead &&
+      const EventId* install_event = write_events_.find(*installed);
+      ADYA_CHECK(install_event != nullptr);
+      if (events_[*install_event].written_kind == VersionKind::kDead &&
           i + 1 != order.size()) {
         return Status::InvalidArgument(
             StrCat("version order of ", object_name(obj),
                    ": the dead version must be the last version"));
       }
     }
-    for (size_t i = 0; i < order.size(); ++i) order_index_[obj][order[i]] = i;
+    for (size_t i = 0; i < order.size(); ++i) {
+      auto dense = dense_.IndexOf(order[i]);
+      ADYA_CHECK(dense.has_value());
+      order_index_[PackKey(obj, *dense)] = static_cast<uint32_t>(i);
+    }
     effective_order_[obj] = std::move(order);
   }
   return Status::OK();
@@ -395,6 +426,11 @@ Status History::ComputeVersionOrders() {
 
 std::optional<VersionId> History::InstalledVersionInternal(
     TxnId txn, ObjectId object) const {
+  if (finalized_) {
+    uint32_t seq = FinalSeq(txn, object);
+    if (seq == 0) return std::nullopt;
+    return VersionId{object, txn, seq};
+  }
   auto it = txns_.find(txn);
   if (it == txns_.end()) return std::nullopt;
   auto wit = it->second.writes.find(object);
@@ -413,13 +449,20 @@ const std::vector<TxnId>& History::VersionOrder(ObjectId object) const {
 std::optional<size_t> History::OrderIndex(ObjectId object, TxnId txn) const {
   ADYA_CHECK_MSG(finalized_, "OrderIndex requires a finalized history");
   ADYA_CHECK(object < objects_.size());
-  const std::map<TxnId, size_t>& index = order_index_[object];
-  auto it = index.find(txn);
-  if (it == index.end()) return std::nullopt;
-  return it->second;
+  auto dense = dense_.IndexOf(txn);
+  if (!dense.has_value()) return std::nullopt;
+  const uint32_t* pos = order_index_.find(PackKey(object, *dense));
+  if (pos == nullptr) return std::nullopt;
+  return *pos;
 }
 
 uint32_t History::FinalSeq(TxnId txn, ObjectId object) const {
+  if (finalized_) {
+    auto dense = dense_.IndexOf(txn);
+    if (!dense.has_value()) return 0;
+    const uint32_t* seq = final_seq_.find(PackKey(object, *dense));
+    return seq == nullptr ? 0 : *seq;
+  }
   auto it = txns_.find(txn);
   if (it == txns_.end()) return 0;
   auto wit = it->second.writes.find(object);
@@ -434,16 +477,16 @@ std::optional<VersionId> History::InstalledVersion(TxnId txn,
 
 VersionKind History::KindOf(const VersionId& version) const {
   if (version.is_init()) return VersionKind::kUnborn;
-  auto it = write_events_.find(version);
-  ADYA_CHECK_MSG(it != write_events_.end(), "unknown version");
-  return events_[it->second].written_kind;
+  const EventId* it = write_events_.find(version);
+  ADYA_CHECK_MSG(it != nullptr, "unknown version");
+  return events_[*it].written_kind;
 }
 
 const Row* History::RowOf(const VersionId& version) const {
   if (version.is_init()) return nullptr;
-  auto it = write_events_.find(version);
-  ADYA_CHECK_MSG(it != write_events_.end(), "unknown version");
-  const Event& e = events_[it->second];
+  const EventId* it = write_events_.find(version);
+  ADYA_CHECK_MSG(it != nullptr, "unknown version");
+  const Event& e = events_[*it];
   if (e.written_kind != VersionKind::kVisible) return nullptr;
   return &e.row;
 }
@@ -456,9 +499,9 @@ bool History::Matches(const VersionId& version, PredicateId pred) const {
 
 EventId History::WriteEventOf(const VersionId& version) const {
   if (version.is_init()) return kNoEvent;
-  auto it = write_events_.find(version);
-  ADYA_CHECK_MSG(it != write_events_.end(), "unknown version");
-  return it->second;
+  const EventId* it = write_events_.find(version);
+  ADYA_CHECK_MSG(it != nullptr, "unknown version");
+  return *it;
 }
 
 }  // namespace adya

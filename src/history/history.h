@@ -7,8 +7,10 @@
 #include <string>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "history/dense_index.h"
 #include "history/event.h"
 #include "history/ids.h"
 #include "history/predicate.h"
@@ -125,6 +127,11 @@ class History {
 
   bool finalized() const { return finalized_; }
 
+  /// Dense u32 numbering of the finished transactions (and the committed
+  /// subset, whose numbering doubles as the DSG NodeId space). Built by
+  /// Finalize(); requires finalized().
+  const DenseTxnIndex& dense() const;
+
   /// Committed installers of `object`'s versions in `<<` order (x_init
   /// implicit at front). Requires finalized().
   const std::vector<TxnId>& VersionOrder(ObjectId object) const;
@@ -155,6 +162,7 @@ class History {
 
  private:
   Status ValidateEvents();
+  void BuildDenseIndex();
   Status ComputeVersionOrders();
   std::optional<VersionId> InstalledVersionInternal(TxnId txn,
                                                     ObjectId object) const;
@@ -181,10 +189,18 @@ class History {
 
   std::map<ObjectId, std::vector<TxnId>> explicit_order_;
   std::vector<std::vector<TxnId>> effective_order_;  // per object; finalized
-  // txn -> position in effective_order_[obj]; keeps OrderIndex O(log n) on
-  // the long version chains concurrent stress runs produce.
-  std::vector<std::map<TxnId, size_t>> order_index_;
-  std::map<VersionId, EventId> write_events_;        // built by Finalize()
+  // (object, dense txn) -> position in effective_order_[obj]; one hash
+  // probe per OrderIndex query on the hot conflict path.
+  FlatMap<uint64_t, uint32_t> order_index_;
+  FlatMap<VersionId, EventId> write_events_;  // built by Finalize()
+
+  // Post-finalize acceleration, all built by Finalize(): the dense txn
+  // numbering plus (object, dense txn) -> final modification seq, so the
+  // conflict analyzer's FinalSeq/InstalledVersion/IsCommitted probes stop
+  // walking the txns_ tree. Pre-finalize callers (ConflictDelta runs
+  // against the live history) still take the std::map path.
+  DenseTxnIndex dense_;
+  FlatMap<uint64_t, uint32_t> final_seq_;
 
   bool finalized_ = false;
 };

@@ -43,6 +43,7 @@ uint64_t Histogram::BucketFloor(size_t index) {
 void Histogram::Record(uint64_t value) {
   buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
   uint64_t seen = max_.load(std::memory_order_relaxed);
   while (value > seen &&
          !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
@@ -56,6 +57,8 @@ void Histogram::Merge(const Histogram& other) {
   }
   count_.fetch_add(other.count_.load(std::memory_order_relaxed),
                    std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
   uint64_t other_max = other.max_.load(std::memory_order_relaxed);
   uint64_t seen = max_.load(std::memory_order_relaxed);
   while (other_max > seen && !max_.compare_exchange_weak(
@@ -70,6 +73,8 @@ void Histogram::CopyFrom(const Histogram& other) {
   }
   count_.store(other.count_.load(std::memory_order_relaxed),
                std::memory_order_relaxed);
+  sum_.store(other.sum_.load(std::memory_order_relaxed),
+             std::memory_order_relaxed);
   max_.store(other.max_.load(std::memory_order_relaxed),
              std::memory_order_relaxed);
 }
@@ -97,6 +102,7 @@ uint64_t Histogram::Percentile(double p) const {
 HistogramSnapshot Histogram::Snapshot() const {
   HistogramSnapshot s;
   s.count = count();
+  s.sum = sum();
   s.max = max_value();
   s.p50 = Percentile(50);
   s.p95 = Percentile(95);
@@ -108,7 +114,8 @@ std::string Histogram::ToJson() const {
   HistogramSnapshot s = Snapshot();
   return StrCat("{\"p50\":", JsonInt(s.p50), ",\"p95\":", JsonInt(s.p95),
                 ",\"p99\":", JsonInt(s.p99), ",\"max\":", JsonInt(s.max),
-                ",\"count\":", JsonInt(s.count), "}");
+                ",\"count\":", JsonInt(s.count), ",\"sum\":", JsonInt(s.sum),
+                "}");
 }
 
 // --- TraceBuffer -----------------------------------------------------------
@@ -190,7 +197,7 @@ std::string StatsSnapshot::ToJson() const {
     out += StrCat("\"", JsonEscape(name), "\":{\"p50\":", JsonInt(h.p50),
                   ",\"p95\":", JsonInt(h.p95), ",\"p99\":", JsonInt(h.p99),
                   ",\"max\":", JsonInt(h.max), ",\"count\":", JsonInt(h.count),
-                  "}");
+                  ",\"sum\":", JsonInt(h.sum), "}");
   }
   out += "}}";
   return out;
@@ -226,6 +233,7 @@ std::string StatsSnapshot::ToPrometheus() const {
     out += StrCat(prom, "{quantile=\"0.95\"} ", JsonInt(h.p95), "\n");
     out += StrCat(prom, "{quantile=\"0.99\"} ", JsonInt(h.p99), "\n");
     out += StrCat(prom, "_count ", JsonInt(h.count), "\n");
+    out += StrCat(prom, "_sum ", JsonInt(h.sum), "\n");
     out += StrCat(prom, "_max ", JsonInt(h.max), "\n");
   }
   return out;

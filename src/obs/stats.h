@@ -85,6 +85,7 @@ class Counter {
 /// the *_us histograms, unitless for size distributions).
 struct HistogramSnapshot {
   uint64_t count = 0;
+  uint64_t sum = 0;
   uint64_t max = 0;
   uint64_t p50 = 0;
   uint64_t p95 = 0;
@@ -114,6 +115,10 @@ class Histogram {
   void Merge(const Histogram& other);
 
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  /// Exact total of all recorded values — the number phase-time accounting
+  /// wants (a *_us histogram's sum is the total microseconds spent in that
+  /// phase), which no quantile can reconstruct from log buckets.
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
   uint64_t max_value() const { return max_.load(std::memory_order_relaxed); }
 
   /// Approximate value at percentile `p` in [0, 100] (0 when empty).
@@ -121,7 +126,7 @@ class Histogram {
 
   HistogramSnapshot Snapshot() const;
 
-  /// {"p50":…,"p95":…,"p99":…,"max":…,"count":…} (all integers).
+  /// {"p50":…,"p95":…,"p99":…,"max":…,"count":…,"sum":…} (all integers).
   std::string ToJson() const;
 
  private:
@@ -136,6 +141,7 @@ class Histogram {
 
   std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
   std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
   std::atomic<uint64_t> max_{0};
 };
 

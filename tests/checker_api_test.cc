@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <set>
 #include <string>
 #include <vector>
@@ -190,6 +191,54 @@ TEST(CheckerApiDiffTest, ThreeModesAreBitIdenticalOnRandomHistories) {
     options.realizable = (seed % 2) == 0;
     History h = workload::GenerateRandomHistory(options);
     DiffModes(h, &pool, StrCat("random seed ", seed));
+  }
+}
+
+// The bitset cycle oracle (CheckerOptions::conflicts.cycle_bitset_max_scc)
+// is purely a perf knob: forced on (UINT32_MAX — bitset reachability at any
+// SCC size) and forced off (0 — plain BFS everywhere) must produce the same
+// verdicts and witness text as the default in every mode. Named *Bitset* so
+// scripts/ci.sh can run the forced-oracle sweep under TSan.
+TEST(CheckerApiDiffTest, BitsetOracleForcedOnAndOffAreBitIdentical) {
+  ThreadPool pool(4);
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    workload::RandomHistoryOptions history_options;
+    history_options.seed = seed;
+    history_options.num_txns = 12;
+    history_options.num_objects = 5;
+    history_options.ops_per_txn = 4;
+    history_options.realizable = (seed % 2) == 0;
+    History h = workload::GenerateRandomHistory(history_options);
+
+    Checker default_serial(h);
+    std::vector<Violation> want_all = default_serial.CheckAll();
+    std::vector<CheckReport> want_reports;
+    for (IsolationLevel level : kAllLevels) {
+      want_reports.push_back(default_serial.Check(level));
+    }
+
+    for (uint32_t knob : {uint32_t{0}, UINT32_MAX}) {
+      for (CheckMode mode : kAllModes) {
+        CheckerOptions options;
+        options.conflicts.cycle_bitset_max_scc = knob;
+        options.mode = mode;
+        options.threads = mode == CheckMode::kParallel ? 4 : 1;
+        Checker checker(h, options,
+                        mode == CheckMode::kParallel ? &pool : nullptr);
+        std::string ctx =
+            StrCat("seed ", seed, " mode ", CheckModeName(mode),
+                   knob == 0 ? " forced-BFS" : " forced-bitset");
+        ExpectSameViolations(want_all, checker.CheckAll(), ctx);
+        for (size_t li = 0; li < std::size(kAllLevels); ++li) {
+          CheckReport report = checker.Check(kAllLevels[li]);
+          std::string lctx =
+              StrCat(ctx, " level ", IsolationLevelName(kAllLevels[li]));
+          EXPECT_EQ(report.satisfied, want_reports[li].satisfied) << lctx;
+          ExpectSameViolations(want_reports[li].violations, report.violations,
+                               lctx);
+        }
+      }
+    }
   }
 }
 

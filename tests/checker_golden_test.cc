@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -97,6 +98,34 @@ std::string RenderCorpus() {
     out += serial_text;
   }
   return out;
+}
+
+// The bitset cycle oracle (ConflictOptions::cycle_bitset_max_scc) is a pure
+// perf knob: forcing it on (any SCC size) or off (BFS everywhere) must not
+// move a single byte of the corpus rendering, in any checker mode. Named
+// *Bitset* so scripts/ci.sh can select the forced-oracle tests under TSan.
+TEST(CheckerGoldenTest, BitsetOracleForcedOnAndOffRenderIdentically) {
+  for (const PaperHistory& ph : AllPaperHistories()) {
+    PhenomenaChecker default_serial(ph.history);
+    std::string default_text = Render(ph, default_serial);
+    for (uint32_t knob : {uint32_t{0}, UINT32_MAX}) {
+      ConflictOptions conflicts;
+      conflicts.cycle_bitset_max_scc = knob;
+      const char* which = knob == 0 ? "forced-BFS" : "forced-bitset";
+      PhenomenaChecker serial(ph.history, conflicts);
+      EXPECT_EQ(default_text, Render(ph, serial))
+          << ph.name << " serial diverges " << which;
+      CheckOptions parallel_options;
+      parallel_options.conflicts = conflicts;
+      parallel_options.threads = 8;
+      ParallelChecker parallel(ph.history, parallel_options);
+      EXPECT_EQ(default_text, Render(ph, parallel))
+          << ph.name << " parallel diverges " << which;
+      IncrementalChecker incremental(ph.history, conflicts);
+      EXPECT_EQ(default_text, Render(ph, incremental))
+          << ph.name << " incremental diverges " << which;
+    }
+  }
 }
 
 TEST(CheckerGoldenTest, PaperCorpusMatchesGoldenFile) {

@@ -1,9 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
+#include <map>
 #include <set>
+#include <string>
 #include <thread>
+#include <vector>
 
+#include "common/flat_hash.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -181,6 +186,92 @@ TEST(StrUtilTest, StartsEndsWith) {
   EXPECT_FALSE(StartsWith("hello", "hello!"));
   EXPECT_TRUE(EndsWith("hello", "lo"));
   EXPECT_FALSE(EndsWith("lo", "hello"));
+}
+
+TEST(FlatMapTest, InsertFindEraseRoundTrip) {
+  FlatMap<uint32_t, std::string> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(1), nullptr);
+  auto [v, inserted] = m.try_emplace(1);
+  EXPECT_TRUE(inserted);
+  *v = "one";
+  EXPECT_FALSE(m.try_emplace(1).second);  // already present
+  m[2] = "two";
+  m.insert_or_assign(2, "TWO");
+  EXPECT_EQ(m.size(), 2u);
+  ASSERT_NE(m.find(2), nullptr);
+  EXPECT_EQ(*m.find(2), "TWO");
+  EXPECT_TRUE(m.contains(1));
+  EXPECT_TRUE(m.erase(1));
+  EXPECT_FALSE(m.erase(1));  // already gone
+  EXPECT_FALSE(m.contains(1));
+  EXPECT_EQ(m.size(), 1u);
+  // Reinserting an erased key reuses its tombstoned probe path.
+  m[1] = "again";
+  EXPECT_EQ(*m.find(1), "again");
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(2), nullptr);
+}
+
+TEST(FlatMapTest, SurvivesGrowthAndMatchesStdMap) {
+  // Dense sequential keys are the post-refactor common case; MixHash must
+  // keep them from clustering and rehashes must not lose entries.
+  FlatMap<uint64_t, uint64_t> flat;
+  std::map<uint64_t, uint64_t> reference;
+  uint64_t state = 7;
+  for (int i = 0; i < 5000; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    uint64_t key = (i % 2 == 0) ? static_cast<uint64_t>(i) : (state >> 20);
+    flat[key] = key * 3;
+    reference[key] = key * 3;
+    if (i % 7 == 0) {
+      uint64_t victim = state % (i + 1);
+      EXPECT_EQ(flat.erase(victim), reference.erase(victim) == 1);
+    }
+  }
+  EXPECT_EQ(flat.size(), reference.size());
+  for (const auto& [key, value] : reference) {
+    const uint64_t* got = flat.find(key);
+    ASSERT_NE(got, nullptr) << "key " << key;
+    EXPECT_EQ(*got, value) << "key " << key;
+  }
+  size_t visited = 0;
+  flat.ForEach([&](uint64_t key, uint64_t value) {
+    ++visited;
+    auto it = reference.find(key);
+    ASSERT_NE(it, reference.end()) << "key " << key;
+    EXPECT_EQ(it->second, value) << "key " << key;
+  });
+  EXPECT_EQ(visited, reference.size());
+}
+
+TEST(FlatSetTest, InsertContainsErase) {
+  FlatSet<uint64_t> s;
+  EXPECT_TRUE(s.insert(10));
+  EXPECT_FALSE(s.insert(10));  // duplicate
+  EXPECT_TRUE(s.insert(20));
+  EXPECT_TRUE(s.contains(10));
+  EXPECT_FALSE(s.contains(30));
+  EXPECT_TRUE(s.erase(10));
+  EXPECT_FALSE(s.erase(10));
+  EXPECT_FALSE(s.contains(10));
+  EXPECT_EQ(s.size(), 1u);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(FlatHashTest, PackKeyIsInjectiveOnThePairs) {
+  // The composite-key helper must keep (hi, lo) pairs distinct — in
+  // particular (a, b) vs (b, a) and high/low swaps.
+  std::set<uint64_t> seen;
+  for (uint32_t hi : {0u, 1u, 2u, 255u, 0xFFFFFFFFu}) {
+    for (uint32_t lo : {0u, 1u, 2u, 255u, 0xFFFFFFFFu}) {
+      EXPECT_TRUE(seen.insert(PackKey(hi, lo)).second)
+          << "collision at (" << hi << ", " << lo << ")";
+    }
+  }
+  EXPECT_NE(PackKey(1, 2), PackKey(2, 1));
 }
 
 TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {

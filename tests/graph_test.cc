@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <set>
+#include <vector>
 
 #include "graph/cycles.h"
 #include "graph/digraph.h"
@@ -194,6 +196,91 @@ TEST(FindCycleWithExactlyOneTest, SelfLoopPivot) {
   auto cycle = FindCycleWithExactlyOne(g, kB, kA);
   ASSERT_TRUE(cycle.has_value());
   EXPECT_EQ(cycle->edges.size(), 1u);
+}
+
+/// Deterministic multigraph generator for the freeze/oracle differential
+/// tests (plain LCG — no global randomness, same graph every run).
+Digraph RandomMultigraph(uint64_t seed, size_t nodes, size_t edges) {
+  Digraph g(nodes);
+  uint64_t state = seed;
+  auto next = [&state]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 33;
+  };
+  for (size_t i = 0; i < edges; ++i) {
+    NodeId from = static_cast<NodeId>(next() % nodes);
+    NodeId to = static_cast<NodeId>(next() % nodes);
+    KindMask kinds = (next() % 3 == 0) ? kB : kA;
+    g.AddEdge(from, to, kinds);
+  }
+  return g;
+}
+
+TEST(DigraphFreezeTest, FreezePreservesPerNodeAdjacencyOrder) {
+  Digraph g = RandomMultigraph(/*seed=*/99, /*nodes=*/23, /*edges=*/120);
+  std::vector<std::vector<EdgeId>> out_before(g.node_count());
+  std::vector<std::vector<EdgeId>> in_before(g.node_count());
+  for (NodeId n = 0; n < g.node_count(); ++n) {
+    out_before[n].assign(g.out_edges(n).begin(), g.out_edges(n).end());
+    in_before[n].assign(g.in_edges(n).begin(), g.in_edges(n).end());
+  }
+  EXPECT_FALSE(g.frozen());
+  g.Freeze();
+  EXPECT_TRUE(g.frozen());
+  for (NodeId n = 0; n < g.node_count(); ++n) {
+    EXPECT_EQ(out_before[n], std::vector<EdgeId>(g.out_edges(n).begin(),
+                                                 g.out_edges(n).end()))
+        << "out adjacency of node " << n << " changed across Freeze";
+    EXPECT_EQ(in_before[n], std::vector<EdgeId>(g.in_edges(n).begin(),
+                                                g.in_edges(n).end()))
+        << "in adjacency of node " << n << " changed across Freeze";
+  }
+  g.Freeze();  // idempotent
+  EXPECT_TRUE(g.frozen());
+  EXPECT_EQ(g.edge_count(), 120u);
+}
+
+TEST(DigraphFreezeTest, FrozenGraphAnswersCycleQueriesIdentically) {
+  for (uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+    Digraph building = RandomMultigraph(seed, 17, 60);
+    Digraph frozen = RandomMultigraph(seed, 17, 60);
+    frozen.Freeze();
+    SccResult scc_building = StronglyConnectedComponents(building, kAll);
+    SccResult scc_frozen = StronglyConnectedComponents(frozen, kAll);
+    EXPECT_EQ(scc_building.count, scc_frozen.count) << "seed " << seed;
+    EXPECT_EQ(scc_building.component, scc_frozen.component) << "seed " << seed;
+    EXPECT_EQ(HasCycle(building, kA), HasCycle(frozen, kA)) << "seed " << seed;
+    auto required_b = FindCycleWithRequiredKind(building, kAll, kB);
+    auto required_f = FindCycleWithRequiredKind(frozen, kAll, kB);
+    ASSERT_EQ(required_b.has_value(), required_f.has_value())
+        << "seed " << seed;
+    if (required_b.has_value()) {
+      EXPECT_EQ(required_b->edges, required_f->edges) << "seed " << seed;
+    }
+  }
+}
+
+// The bitset reachability oracle and the per-candidate BFS fallback must
+// pick the same pivot edge and extract the same cycle — CycleOptions is a
+// cost knob, never a behavior knob.
+TEST(FindCycleWithExactlyOneTest, BitsetOracleMatchesBfsFallback) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    Digraph g = RandomMultigraph(seed, 17, 60);
+    CycleOptions forced_bfs{0};
+    CycleOptions forced_bitset{UINT32_MAX};
+    auto with_default = FindCycleWithExactlyOne(g, kB, kA);
+    auto with_bfs = FindCycleWithExactlyOne(g, kB, kA, forced_bfs);
+    auto with_bitset = FindCycleWithExactlyOne(g, kB, kA, forced_bitset);
+    ASSERT_EQ(with_default.has_value(), with_bfs.has_value())
+        << "seed " << seed;
+    ASSERT_EQ(with_default.has_value(), with_bitset.has_value())
+        << "seed " << seed;
+    if (with_default.has_value()) {
+      ExpectValidCycle(g, *with_default);
+      EXPECT_EQ(with_default->edges, with_bfs->edges) << "seed " << seed;
+      EXPECT_EQ(with_default->edges, with_bitset->edges) << "seed " << seed;
+    }
+  }
 }
 
 TEST(TopologicalOrderTest, OrdersDag) {

@@ -1,6 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <optional>
+#include <vector>
+
 #include "history/builder.h"
+#include "history/dense_index.h"
 #include "history/history.h"
 
 namespace adya {
@@ -33,6 +38,68 @@ TEST(HistoryTest, TxnBookkeeping) {
   EXPECT_EQ(h.CommittedTransactions(), (std::vector<TxnId>{1, 2}));
   EXPECT_EQ(h.FinalSeq(1, x), 1u);
   EXPECT_EQ(h.FinalSeq(2, x), 0u);
+}
+
+TEST(DenseIndexTest, NumbersFinishedTxnsInAscendingTxnIdOrder) {
+  History h;
+  ObjectId x = h.AddObject("x");
+  ObjectId y = h.AddObject("y");
+  ObjectId z = h.AddObject("z");
+  // Sparse, out-of-order txn ids: 9 and 3 commit, 7 aborts.
+  h.Append(Event::Begin(9));
+  h.Append(Event::Write(9, VersionId{x, 9, 1}, ScalarRow(1)));
+  h.Append(Event::Begin(3));
+  h.Append(Event::Write(3, VersionId{y, 3, 1}, ScalarRow(2)));
+  h.Append(Event::Begin(7));
+  h.Append(Event::Write(7, VersionId{z, 7, 1}, ScalarRow(3)));
+  h.Append(Event::Commit(3));
+  h.Append(Event::Abort(7));
+  h.Append(Event::Commit(9));
+  ASSERT_TRUE(h.Finalize().ok());
+
+  const DenseTxnIndex& dense = h.dense();
+  // Dense index: every finished txn with events, ascending TxnId.
+  ASSERT_EQ(dense.size(), 3u);
+  EXPECT_EQ(dense.TxnOf(0), 3u);
+  EXPECT_EQ(dense.TxnOf(1), 7u);
+  EXPECT_EQ(dense.TxnOf(2), 9u);
+  EXPECT_EQ(dense.IndexOf(7), std::optional<uint32_t>(1));
+  EXPECT_FALSE(dense.IndexOf(42).has_value());
+  EXPECT_TRUE(dense.IsCommitted(0));
+  EXPECT_FALSE(dense.IsCommitted(1));
+
+  // Committed index: the committed subset in the same order — by
+  // construction identical to the DSG NodeId numbering.
+  ASSERT_EQ(dense.committed_count(), 2u);
+  EXPECT_EQ(dense.committed_txns(), (std::vector<TxnId>{3, 9}));
+  EXPECT_EQ(dense.CommittedIndexOf(3), std::optional<uint32_t>(0));
+  EXPECT_EQ(dense.CommittedIndexOf(9), std::optional<uint32_t>(1));
+  EXPECT_FALSE(dense.CommittedIndexOf(7).has_value());  // aborted
+  EXPECT_EQ(dense.CommittedTxnOf(1), 9u);
+  EXPECT_EQ(h.CommittedTransactions(), dense.committed_txns());
+}
+
+TEST(DenseIndexTest, EventAnchorsMatchTheEventLog) {
+  History h;
+  ObjectId x = h.AddObject("x");
+  h.Append(Event::Begin(5));                               // event 0
+  h.Append(Event::Write(5, VersionId{x, 5, 1}, ScalarRow(1)));  // event 1
+  h.Append(Event::Begin(2));                               // event 2
+  h.Append(Event::Read(2, VersionId{x, 5, 1}));            // event 3
+  h.Append(Event::Commit(5));                              // event 4
+  h.Append(Event::Commit(2));                              // event 5
+  ASSERT_TRUE(h.Finalize().ok());
+
+  const DenseTxnIndex& dense = h.dense();
+  ASSERT_EQ(dense.committed_count(), 2u);
+  // Committed index 0 is txn 2, index 1 is txn 5 (ascending TxnId).
+  EXPECT_EQ(dense.committed_begin_event(0), 2u);
+  EXPECT_EQ(dense.committed_commit_event(0), 5u);
+  EXPECT_EQ(dense.committed_begin_event(1), 0u);
+  EXPECT_EQ(dense.committed_commit_event(1), 4u);
+  // The dense-addressed anchors agree with the committed-addressed ones.
+  EXPECT_EQ(dense.begin_event(*dense.IndexOf(2)), 2u);
+  EXPECT_EQ(dense.commit_event(*dense.IndexOf(5)), 4u);
 }
 
 TEST(HistoryTest, TInitIsCommitted) {
