@@ -1,0 +1,168 @@
+// End-to-end adya_serve throughput and latency: an in-process Server on a
+// loopback TCP port (and a Unix-domain socket section), N concurrent
+// client sessions each streaming synthetic event batches, per-batch
+// round-trip latency in a shared histogram. Each section prints one
+// machine-readable line:
+//
+//   BENCH {"name":"serve_throughput","transport":"tcp","sessions":4,
+//          "workers":4,"batches_per_session":…,"events_per_batch":…,
+//          "repeats":…,"wall_us":{"min":…,"median":…},"events_per_s":…,
+//          "batches_per_s":…,"latency_us":{"p50":…,"p95":…,"p99":…,
+//          "max":…,"count":…}}
+//
+// The checked-in bench/BENCH_serve.json holds these lines for one
+// reference machine; scripts/ci.sh validates the JSON shape (not the
+// numbers — CI machines are noisy).
+
+#include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/check.h"
+#include "common/str_util.h"
+#include "obs/stats.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/stream_text.h"
+
+namespace adya {
+namespace {
+
+int g_repeats = 5;
+
+constexpr int kBatchesPerSession = 40;
+constexpr int kEventsPerBatch = 64;
+constexpr int kWorkers = 4;
+
+struct PassResult {
+  double wall_us = 0;
+  uint64_t events = 0;
+  uint64_t batches = 0;
+};
+
+/// One full pass: fresh server, `sessions` concurrent clients, everyone
+/// streams kBatchesPerSession batches and closes. Latencies accumulate
+/// into `latency` across passes (quantiles of all repeats).
+PassResult OnePass(bool unix_transport, int sessions,
+                   obs::Histogram* latency) {
+  serve::ServeOptions options;
+  options.workers = kWorkers;
+  std::string unix_path;
+  if (unix_transport) {
+    unix_path = StrCat("/tmp/adya_bench_serve_", ::getpid(), ".sock");
+    options.port = -1;
+    options.unix_path = unix_path;
+  }
+  serve::Server server(options);
+  Status started = server.Start();
+  ADYA_CHECK_MSG(started.ok(), started.ToString());
+
+  // Pre-generate every session's batches: generation stays off the clock.
+  std::vector<std::vector<std::string>> batches(
+      static_cast<size_t>(sessions));
+  for (int s = 0; s < sessions; ++s) {
+    serve::SyntheticLoad gen(1000 + static_cast<uint64_t>(s), 16,
+                             kEventsPerBatch);
+    for (int b = 0; b < kBatchesPerSession; ++b) {
+      batches[static_cast<size_t>(s)].push_back(gen.NextBatch());
+    }
+  }
+
+  PassResult result;
+  std::atomic<uint64_t> events{0};
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int s = 0; s < sessions; ++s) {
+    threads.emplace_back([&, s] {
+      Result<serve::Client> client =
+          unix_transport ? serve::Client::ConnectUnix(unix_path)
+                         : serve::Client::ConnectTcp("127.0.0.1",
+                                                     server.port());
+      ADYA_CHECK_MSG(client.ok(), client.status().ToString());
+      ADYA_CHECK(client->Handshake().ok());
+      ADYA_CHECK(client->Open(IsolationLevel::kPL3).ok());
+      for (const std::string& text : batches[static_cast<size_t>(s)]) {
+        auto t0 = std::chrono::steady_clock::now();
+        Result<serve::BatchReply> reply = client->Certify(text);
+        ADYA_CHECK_MSG(reply.ok(), reply.status().ToString());
+        latency->Record(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count()));
+        events.fetch_add(reply->events, std::memory_order_relaxed);
+      }
+      ADYA_CHECK(client->CloseSession().ok());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  result.wall_us = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  server.Shutdown();
+  result.events = events.load();
+  result.batches =
+      static_cast<uint64_t>(sessions) * static_cast<uint64_t>(kBatchesPerSession);
+  return result;
+}
+
+void RunSection(const char* transport, bool unix_transport, int sessions,
+                benchmark::State& state) {
+  for (auto _ : state) {
+    bench::RepeatSeries series;
+    obs::Histogram latency;
+    uint64_t events = 0;
+    uint64_t batches = 0;
+    for (int r = 0; r < g_repeats; ++r) {
+      PassResult pass = OnePass(unix_transport, sessions, &latency);
+      series.Add("wall_us", pass.wall_us);
+      events = pass.events;
+      batches = pass.batches;
+    }
+    bench::RepeatStat wall = series.Summary().at("wall_us");
+    double secs = wall.min / 1e6;
+    std::printf(
+        "BENCH {\"name\":\"serve_throughput\",\"transport\":\"%s\","
+        "\"sessions\":%d,\"workers\":%d,\"batches_per_session\":%d,"
+        "\"events_per_batch\":%d,\"repeats\":%d,\"wall_us\":%s,"
+        "\"events_per_s\":%.1f,\"batches_per_s\":%.1f,\"latency_us\":%s}\n",
+        transport, sessions, kWorkers, kBatchesPerSession, kEventsPerBatch,
+        g_repeats, bench::RepeatSeries::Json(wall).c_str(),
+        secs > 0 ? static_cast<double>(events) / secs : 0.0,
+        secs > 0 ? static_cast<double>(batches) / secs : 0.0,
+        bench::LatencyJson(latency).c_str());
+    state.SetItemsProcessed(static_cast<int64_t>(events));
+  }
+}
+
+void BM_ServeTcp(benchmark::State& state) {
+  RunSection("tcp", false, static_cast<int>(state.range(0)), state);
+}
+BENCHMARK(BM_ServeTcp)->Arg(1)->Arg(4)->Arg(8)->UseRealTime()
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_ServeUnix(benchmark::State& state) {
+  RunSection("unix", true, static_cast<int>(state.range(0)), state);
+}
+BENCHMARK(BM_ServeUnix)->Arg(4)->UseRealTime()
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace adya
+
+int main(int argc, char** argv) {
+  adya::bench::BenchStats stats(&argc, argv);
+  adya::bench::Repeats repeats(&argc, argv);
+  adya::g_repeats = repeats.count();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

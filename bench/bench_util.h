@@ -145,6 +145,22 @@ class RepeatSeries {
   std::map<std::string, std::vector<double>> samples_;
 };
 
+/// Latency summary fragment for a BENCH JSON line, built from a histogram
+/// with the interpolated Quantile accessor (not bucket-floor Percentile),
+/// so checked-in p50/p99 baselines do not snap to log-bucket boundaries.
+inline std::string LatencyJson(const obs::Histogram& h) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "{\"p50\":%llu,\"p95\":%llu,\"p99\":%llu,\"max\":%llu,"
+                "\"count\":%llu}",
+                static_cast<unsigned long long>(h.Quantile(0.50)),
+                static_cast<unsigned long long>(h.Quantile(0.95)),
+                static_cast<unsigned long long>(h.Quantile(0.99)),
+                static_cast<unsigned long long>(h.max_value()),
+                static_cast<unsigned long long>(h.count()));
+  return buf;
+}
+
 /// Minimal fixed-width table printer for the paper-style tables the bench
 /// binaries emit before their timing sections.
 class Table {

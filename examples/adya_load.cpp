@@ -1,0 +1,297 @@
+// adya_load: multi-process stress client for adya_serve. Forks N worker
+// processes, each running M concurrent sessions; every session connects
+// (TCP or Unix socket), opens at a PL level, and streams event batches —
+// synthetic transactions (default) or an engine-recorded workload replayed
+// through the wire. Per-batch round-trip latency lands in a histogram
+// shared across the processes (an anonymous shared mapping), so the final
+// p50/p95/p99 cover every batch of the whole fleet. Emits one JSON object
+// on stdout.
+//
+//   adya_load --port=7478 --processes=4 --sessions=8 --batches=100
+//   adya_load --unix=/tmp/adya.sock --mode=engine --level=PL-2
+//
+// Exit status is non-zero if any session failed.
+
+#include <sys/mman.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/str_util.h"
+#include "history/format.h"
+#include "obs/stats.h"
+#include "serve/client.h"
+#include "serve/stream_text.h"
+#include "workload/workload.h"
+
+namespace {
+
+using namespace adya;
+
+/// Cross-process result sink, placement-new'd into a MAP_SHARED mapping
+/// before the forks: obs instruments are flat arrays of atomics, so they
+/// work unchanged across processes.
+struct SharedResults {
+  obs::Histogram latency_us;
+  std::atomic<uint64_t> batches{0};
+  std::atomic<uint64_t> events{0};
+  std::atomic<uint64_t> commits{0};
+  std::atomic<uint64_t> violations{0};
+  std::atomic<uint64_t> busy_retries{0};
+  std::atomic<uint64_t> failed_sessions{0};
+};
+
+struct LoadOptions {
+  std::string host = "127.0.0.1";
+  int port = -1;
+  std::string unix_path;
+  int processes = 2;
+  int sessions = 4;
+  int batches = 50;
+  int events_per_batch = 48;
+  int objects = 16;
+  int write_skew_every = 0;  // 0 = clean stream
+  std::string mode = "synthetic";  // or "engine"
+  std::string level = "PL-3";
+  uint64_t seed = 42;
+  int max_pending = 0;
+};
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --host=ADDR --port=N | --unix=PATH   where adya_serve listens\n"
+      "  --processes=N     worker processes (default 2)\n"
+      "  --sessions=M      concurrent sessions per process (default 4)\n"
+      "  --batches=B       batches per session (default 50)\n"
+      "  --events-per-batch=E  events per batch (default 48)\n"
+      "  --objects=K       synthetic object universe (default 16)\n"
+      "  --write-skew-every=N  inject a G2 pair every Nth batch (default "
+      "off)\n"
+      "  --mode=synthetic|engine  workload source (default synthetic)\n"
+      "  --level=PL-x      session isolation level (default PL-3)\n"
+      "  --seed=S          base RNG seed (default 42)\n"
+      "  --max-pending=N   ask the server for a lower in-flight bound\n",
+      argv0);
+  std::exit(2);
+}
+
+Result<IsolationLevel> LevelFromFlag(const std::string& name) {
+  for (IsolationLevel level :
+       {IsolationLevel::kPL1, IsolationLevel::kPL2, IsolationLevel::kPLCS,
+        IsolationLevel::kPL2Plus, IsolationLevel::kPL299,
+        IsolationLevel::kPLSI, IsolationLevel::kPL3}) {
+    if (IsolationLevelName(level) == name) return level;
+  }
+  return Status::InvalidArgument(StrCat("unknown level '", name, "'"));
+}
+
+Result<serve::Client> Connect(const LoadOptions& options) {
+  if (!options.unix_path.empty()) {
+    return serve::Client::ConnectUnix(options.unix_path);
+  }
+  return serve::Client::ConnectTcp(options.host, options.port);
+}
+
+/// The batch texts one session will stream, derived before the clock
+/// starts so generation cost stays out of the latency numbers.
+std::vector<std::string> SessionBatches(const LoadOptions& options,
+                                        uint64_t session_seed) {
+  std::vector<std::string> batches;
+  batches.reserve(static_cast<size_t>(options.batches));
+  if (options.mode == "engine") {
+    // Record a real engine execution and replay its history (decls ride in
+    // the first batch). The recorded event count bounds how many batches
+    // the replay yields; short histories just mean shorter sessions.
+    auto db = engine::Database::Create(engine::Scheme::kLocking,
+                                       engine::Database::Options{});
+    workload::WorkloadOptions w;
+    w.seed = session_seed;
+    w.num_txns = options.batches * 4;
+    w.num_keys = options.objects;
+    workload::RunWorkload(*db, w);
+    auto history = db->RecordedHistory();
+    if (!history.ok()) return batches;
+    serve::StreamText text = serve::FormatForStream(
+        *history, static_cast<size_t>(options.events_per_batch));
+    for (size_t i = 0; i < text.batches.size() &&
+                       batches.size() < static_cast<size_t>(options.batches);
+         ++i) {
+      if (i == 0) {
+        batches.push_back(text.decls + text.batches[i]);
+      } else {
+        batches.push_back(text.batches[i]);
+      }
+    }
+    return batches;
+  }
+  serve::SyntheticLoad gen(session_seed, options.objects,
+                           options.events_per_batch,
+                           options.write_skew_every);
+  for (int b = 0; b < options.batches; ++b) batches.push_back(gen.NextBatch());
+  return batches;
+}
+
+Status RunSession(const LoadOptions& options, IsolationLevel level,
+                  uint64_t session_seed, SharedResults* results) {
+  std::vector<std::string> batches = SessionBatches(options, session_seed);
+  ADYA_ASSIGN_OR_RETURN(serve::Client client, Connect(options));
+  ADYA_RETURN_IF_ERROR(client.Handshake());
+  ADYA_RETURN_IF_ERROR(client.Open(level, options.max_pending).status());
+  for (const std::string& text : batches) {
+    auto start = std::chrono::steady_clock::now();
+    ADYA_ASSIGN_OR_RETURN(serve::BatchReply reply, client.Certify(text));
+    uint64_t us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    results->latency_us.Record(us);
+    results->batches.fetch_add(1, std::memory_order_relaxed);
+    results->events.fetch_add(reply.events, std::memory_order_relaxed);
+    results->commits.fetch_add(reply.commits, std::memory_order_relaxed);
+    results->violations.fetch_add(reply.fresh.size(),
+                                  std::memory_order_relaxed);
+  }
+  results->busy_retries.fetch_add(client.busy_retries(),
+                                  std::memory_order_relaxed);
+  ADYA_RETURN_IF_ERROR(client.CloseSession().status());
+  return Status::OK();
+}
+
+/// One forked worker: M session threads, exit code = failed session count.
+int RunProcess(const LoadOptions& options, IsolationLevel level,
+               int process_index, SharedResults* results) {
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int s = 0; s < options.sessions; ++s) {
+    uint64_t session_seed =
+        options.seed + 1000003u * static_cast<uint64_t>(process_index) +
+        static_cast<uint64_t>(s);
+    threads.emplace_back([&, session_seed] {
+      Status status = RunSession(options, level, session_seed, results);
+      if (!status.ok()) {
+        std::fprintf(stderr, "adya_load[%d]: session failed: %s\n",
+                     process_index, status.ToString().c_str());
+        failures.fetch_add(1, std::memory_order_relaxed);
+        results->failed_sessions.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  return failures.load() > 127 ? 127 : failures.load();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LoadOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto take = [&](const char* prefix, auto setter) {
+      std::string p = prefix;
+      if (arg.rfind(p, 0) != 0) return false;
+      setter(arg.substr(p.size()));
+      return true;
+    };
+    bool ok =
+        take("--host=", [&](std::string v) { options.host = v; }) ||
+        take("--port=", [&](std::string v) { options.port = std::atoi(v.c_str()); }) ||
+        take("--unix=", [&](std::string v) { options.unix_path = v; }) ||
+        take("--processes=", [&](std::string v) { options.processes = std::atoi(v.c_str()); }) ||
+        take("--sessions=", [&](std::string v) { options.sessions = std::atoi(v.c_str()); }) ||
+        take("--batches=", [&](std::string v) { options.batches = std::atoi(v.c_str()); }) ||
+        take("--events-per-batch=", [&](std::string v) { options.events_per_batch = std::atoi(v.c_str()); }) ||
+        take("--objects=", [&](std::string v) { options.objects = std::atoi(v.c_str()); }) ||
+        take("--write-skew-every=", [&](std::string v) { options.write_skew_every = std::atoi(v.c_str()); }) ||
+        take("--mode=", [&](std::string v) { options.mode = v; }) ||
+        take("--level=", [&](std::string v) { options.level = v; }) ||
+        take("--seed=", [&](std::string v) { options.seed = std::strtoull(v.c_str(), nullptr, 10); }) ||
+        take("--max-pending=", [&](std::string v) { options.max_pending = std::atoi(v.c_str()); });
+    if (!ok) Usage(argv[0]);
+  }
+  if (options.port < 0 && options.unix_path.empty()) {
+    std::fprintf(stderr, "adya_load: need --port or --unix\n");
+    Usage(argv[0]);
+  }
+  if (options.mode != "synthetic" && options.mode != "engine") Usage(argv[0]);
+  Result<IsolationLevel> level = LevelFromFlag(options.level);
+  if (!level.ok()) {
+    std::fprintf(stderr, "adya_load: %s\n", level.status().ToString().c_str());
+    return 2;
+  }
+  if (options.processes < 1) options.processes = 1;
+  if (options.sessions < 1) options.sessions = 1;
+
+  void* shared = mmap(nullptr, sizeof(SharedResults), PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (shared == MAP_FAILED) {
+    std::perror("adya_load: mmap");
+    return 1;
+  }
+  auto* results = new (shared) SharedResults();
+
+  auto start = std::chrono::steady_clock::now();
+  std::vector<pid_t> children;
+  for (int p = 0; p < options.processes; ++p) {
+    pid_t pid = fork();
+    if (pid < 0) {
+      std::perror("adya_load: fork");
+      return 1;
+    }
+    if (pid == 0) {
+      _exit(RunProcess(options, *level, p, results));
+    }
+    children.push_back(pid);
+  }
+  int failed_children = 0;
+  for (pid_t pid : children) {
+    int wstatus = 0;
+    if (waitpid(pid, &wstatus, 0) < 0 || !WIFEXITED(wstatus) ||
+        WEXITSTATUS(wstatus) != 0) {
+      ++failed_children;
+    }
+  }
+  uint64_t elapsed_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+
+  uint64_t batches = results->batches.load();
+  uint64_t events = results->events.load();
+  double secs = static_cast<double>(elapsed_us) / 1e6;
+  const obs::Histogram& lat = results->latency_us;
+  std::printf(
+      "{\"schema_version\":1,\"tool\":\"adya_load\",\"mode\":\"%s\","
+      "\"level\":\"%s\",\"processes\":%d,\"sessions_per_process\":%d,"
+      "\"batches\":%llu,\"events\":%llu,\"commits\":%llu,"
+      "\"violations\":%llu,\"busy_retries\":%llu,\"failed_sessions\":%llu,"
+      "\"elapsed_us\":%llu,\"batches_per_s\":%.1f,\"events_per_s\":%.1f,"
+      "\"latency_us\":{\"p50\":%llu,\"p95\":%llu,\"p99\":%llu,\"max\":%llu,"
+      "\"count\":%llu}}\n",
+      options.mode.c_str(), options.level.c_str(), options.processes,
+      options.sessions, static_cast<unsigned long long>(batches),
+      static_cast<unsigned long long>(events),
+      static_cast<unsigned long long>(results->commits.load()),
+      static_cast<unsigned long long>(results->violations.load()),
+      static_cast<unsigned long long>(results->busy_retries.load()),
+      static_cast<unsigned long long>(results->failed_sessions.load()),
+      static_cast<unsigned long long>(elapsed_us),
+      secs > 0 ? batches / secs : 0.0, secs > 0 ? events / secs : 0.0,
+      static_cast<unsigned long long>(lat.Quantile(0.50)),
+      static_cast<unsigned long long>(lat.Quantile(0.95)),
+      static_cast<unsigned long long>(lat.Quantile(0.99)),
+      static_cast<unsigned long long>(lat.max_value()),
+      static_cast<unsigned long long>(lat.count()));
+  int failed_sessions = static_cast<int>(results->failed_sessions.load());
+  munmap(shared, sizeof(SharedResults));
+  return failed_children > 0 || failed_sessions > 0 ? 1 : 0;
+}

@@ -1,0 +1,152 @@
+// adya_serve: certification as a long-running service. Clients connect over
+// TCP or a Unix-domain socket, open one session each (a PL level + an
+// IncrementalChecker), and stream event batches in the history notation;
+// the daemon streams verdicts and witnesses back (see src/serve/framing.h
+// for the protocol). Metrics are scrapable on a side HTTP port:
+// /metrics (Prometheus) and /statsz (JSON).
+//
+//   adya_serve --port=7478 --http-port=7479 --workers=4
+//   adya_serve --port=0 --unix=/tmp/adya.sock --port-file=/tmp/adya.port
+//
+// SIGTERM/SIGINT drain gracefully: listeners stop, in-flight batches still
+// certify and their verdicts still go out, then the process exits 0.
+
+#include <signal.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "serve/http.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace adya;
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --host=ADDR        listen address (default 127.0.0.1)\n"
+      "  --port=N           TCP port; 0 = ephemeral, -1 = no TCP (default 0)\n"
+      "  --unix=PATH        also listen on a Unix-domain socket\n"
+      "  --http-port=N      metrics HTTP port; 0 = ephemeral, -1 = none "
+      "(default 0)\n"
+      "  --workers=N        certification worker shards (default 4)\n"
+      "  --max-pending=N    per-connection in-flight batch bound (default "
+      "64)\n"
+      "  --drain-batches=N  batches one worker wakeup drains (default 8)\n"
+      "  --port-file=PATH   write \"tcp=PORT http=PORT\" once bound (for "
+      "scripts)\n",
+      argv0);
+  std::exit(2);
+}
+
+bool ParseInt(const std::string& value, int* out) {
+  try {
+    size_t pos = 0;
+    *out = std::stoi(value, &pos);
+    return pos == value.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  serve::ServeOptions options;
+  int http_port = 0;
+  std::string port_file;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> std::string {
+      return arg.substr(std::string(prefix).size());
+    };
+    if (arg.rfind("--host=", 0) == 0) {
+      options.host = value("--host=");
+    } else if (arg.rfind("--port=", 0) == 0) {
+      if (!ParseInt(value("--port="), &options.port)) Usage(argv[0]);
+    } else if (arg.rfind("--unix=", 0) == 0) {
+      options.unix_path = value("--unix=");
+    } else if (arg.rfind("--http-port=", 0) == 0) {
+      if (!ParseInt(value("--http-port="), &http_port)) Usage(argv[0]);
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      if (!ParseInt(value("--workers="), &options.workers)) Usage(argv[0]);
+    } else if (arg.rfind("--max-pending=", 0) == 0) {
+      if (!ParseInt(value("--max-pending="), &options.max_pending)) {
+        Usage(argv[0]);
+      }
+    } else if (arg.rfind("--drain-batches=", 0) == 0) {
+      if (!ParseInt(value("--drain-batches="), &options.drain_batches)) {
+        Usage(argv[0]);
+      }
+    } else if (arg.rfind("--port-file=", 0) == 0) {
+      port_file = value("--port-file=");
+    } else {
+      Usage(argv[0]);
+    }
+  }
+
+  // Block the termination signals before any thread starts, so every
+  // thread inherits the mask and only the sigwait below ever sees them.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGTERM);
+  sigaddset(&sigs, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  obs::StatsRegistry stats;
+  options.stats = &stats;
+  serve::Server server(options);
+  if (Status s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "adya_serve: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  serve::HttpExporter* http = nullptr;
+  serve::HttpExporter exporter(options.host, http_port < 0 ? 0 : http_port,
+                               &stats);
+  if (http_port >= 0) {
+    if (Status s = exporter.Start(); !s.ok()) {
+      std::fprintf(stderr, "adya_serve: metrics: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    http = &exporter;
+  }
+
+  if (server.port() >= 0) {
+    std::printf("adya_serve: listening on %s:%d\n", options.host.c_str(),
+                server.port());
+  }
+  if (!options.unix_path.empty()) {
+    std::printf("adya_serve: listening on unix:%s\n",
+                options.unix_path.c_str());
+  }
+  if (http != nullptr) {
+    std::printf("adya_serve: metrics on http://%s:%d/metrics\n",
+                options.host.c_str(), http->port());
+  }
+  std::fflush(stdout);
+  if (!port_file.empty()) {
+    if (std::FILE* f = std::fopen(port_file.c_str(), "w")) {
+      std::fprintf(f, "tcp=%d http=%d\n", server.port(),
+                   http != nullptr ? http->port() : -1);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "adya_serve: cannot write %s\n", port_file.c_str());
+      return 1;
+    }
+  }
+
+  int sig = 0;
+  sigwait(&sigs, &sig);
+  std::printf("adya_serve: %s, draining...\n",
+              sig == SIGTERM ? "SIGTERM" : "SIGINT");
+  std::fflush(stdout);
+  server.Shutdown();
+  if (http != nullptr) http->Shutdown();
+  std::printf("adya_serve: drained %llu connection(s), bye\n",
+              static_cast<unsigned long long>(server.connections_accepted()));
+  return 0;
+}

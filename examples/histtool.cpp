@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 
 #include "core/certifier.h"
@@ -26,15 +27,20 @@ int Usage() {
   std::fprintf(stderr,
                "usage: histtool check|dsg|fmt <file>\n"
                "       histtool minimize <file> <level>\n"
-               "levels: PL-1 PL-2 PL-CS PL-2+ PL-2.99 PL-SI PL-3\n");
+               "levels: PL-1 PL-2 PL-CS PL-2+ PL-2.99 PL-SI PL-3\n"
+               "<file> may be '-' to read the history from stdin\n");
   return 2;
 }
 
 Result<History> Load(const char* path) {
-  std::ifstream file(path);
-  if (!file) return Status::NotFound(std::string("cannot open ") + path);
   std::ostringstream buffer;
-  buffer << file.rdbuf();
+  if (std::strcmp(path, "-") == 0) {
+    buffer << std::cin.rdbuf();
+  } else {
+    std::ifstream file(path);
+    if (!file) return Status::NotFound(std::string("cannot open ") + path);
+    buffer << file.rdbuf();
+  }
   return ParseHistory(buffer.str());
 }
 

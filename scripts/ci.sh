@@ -64,6 +64,67 @@ for key in schema_version engine.commits engine.lock_wait_us \
 done
 rm -f "$STATS_JSON"
 
+echo "=== adya_serve smoke (daemon + adya_load + /metrics + SIGTERM drain) ==="
+SERVE_DIR="$(mktemp -d)"
+./build/examples/adya_serve --port=0 --http-port=0 \
+  --unix="$SERVE_DIR/serve.sock" --port-file="$SERVE_DIR/ports" \
+  > "$SERVE_DIR/daemon.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 50); do
+  [[ -s "$SERVE_DIR/ports" ]] && break
+  sleep 0.1
+done
+[[ -s "$SERVE_DIR/ports" ]] || { echo "adya_serve never wrote its port file"; cat "$SERVE_DIR/daemon.log"; exit 1; }
+# The port file is a single line: "tcp=PORT http=PORT".
+SERVE_TCP="$(tr ' ' '\n' < "$SERVE_DIR/ports" | sed -n 's/^tcp=//p')"
+SERVE_HTTP="$(tr ' ' '\n' < "$SERVE_DIR/ports" | sed -n 's/^http=//p')"
+./build/examples/adya_load --host=127.0.0.1 --port="$SERVE_TCP" \
+  --processes=2 --sessions=2 --batches=10 --write-skew-every=5
+./build/examples/adya_load --unix="$SERVE_DIR/serve.sock" --mode=engine \
+  --level=PL-2 --processes=1 --sessions=2 --batches=8
+python3 - "$SERVE_HTTP" <<'PYEOF'
+import json, sys, urllib.request
+port = sys.argv[1]
+prom = urllib.request.urlopen(f'http://127.0.0.1:{port}/metrics').read().decode()
+for key in ('adya_serve_connections', 'adya_serve_sessions',
+            'adya_serve_rx_batches', 'adya_serve_busy_replies',
+            'adya_serve_queue_depth', 'adya_serve_certify_us',
+            'adya_serve_reply_us'):
+    assert key in prom, f'/metrics missing {key}:\n{prom}'
+statsz = json.load(urllib.request.urlopen(f'http://127.0.0.1:{port}/statsz'))
+assert 'serve.connections' in json.dumps(statsz), statsz
+print('serve /metrics + /statsz OK')
+PYEOF
+kill -TERM "$SERVE_PID"
+SERVE_RC=0; wait "$SERVE_PID" || SERVE_RC=$?
+[[ "$SERVE_RC" == "0" ]] || { echo "adya_serve SIGTERM exit $SERVE_RC"; cat "$SERVE_DIR/daemon.log"; exit 1; }
+grep -q "drained" "$SERVE_DIR/daemon.log" || { echo "no drain message:"; cat "$SERVE_DIR/daemon.log"; exit 1; }
+rm -rf "$SERVE_DIR"
+
+echo "=== serve bench smoke + checked-in BENCH_serve.json shape ==="
+SERVE_BENCH="$(mktemp)"
+./build/bench/bench_serve --repeats=1 --benchmark_filter='BM_ServeTcp/1/' \
+  > "$SERVE_BENCH"
+python3 - "$SERVE_BENCH" bench/BENCH_serve.json <<'PYEOF'
+import json, sys
+for path, want_transports in ((sys.argv[1], {'tcp'}),
+                              (sys.argv[2], {'tcp', 'unix'})):
+    lines = [l for l in open(path) if l.startswith('BENCH ')]
+    rows = [json.loads(l[len('BENCH '):]) for l in lines]
+    rows = [d for d in rows if d['name'] == 'serve_throughput']
+    assert rows, f'no serve_throughput BENCH line in {path}'
+    assert {d['transport'] for d in rows} >= want_transports, rows
+    for d in rows:
+        assert d['sessions'] >= 1 and d['workers'] >= 1, d
+        assert d['wall_us']['min'] <= d['wall_us']['median'], d
+        assert d['events_per_s'] > 0 and d['batches_per_s'] > 0, d
+        lat = d['latency_us']
+        assert lat['p50'] <= lat['p95'] <= lat['p99'] <= lat['max'], d
+        assert lat['count'] > 0, d
+print('serve bench shapes OK')
+PYEOF
+rm -f "$SERVE_BENCH"
+
 echo "=== perf smoke (bench_checker_scale phase timers, small size) ==="
 # Not a perf gate (CI machines are noisy) — verifies the phase-timer BENCH
 # pipeline end to end: the binary runs with --repeats, emits well-formed
@@ -108,8 +169,10 @@ else
   # *Bitset* is the forced-cycle-oracle differential suite (forced-on and
   # forced-off bitset reachability must stay bit-identical in every mode,
   # including the parallel checker's fan-out — hence TSan).
+  # *Serve|Framing* is the adya_serve daemon: acceptor/reader/worker-shard
+  # threading with concurrent differential clients.
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -R 'Stress|Blocking|Recorder|Concurrent|ThreadPool|Metrics|Obs|Bitset'
+    -R 'Stress|Blocking|Recorder|Concurrent|ThreadPool|Metrics|Obs|Bitset|Serve|Framing'
   ADYA_DIFF_SCALE=10 ctest --test-dir build-tsan --output-on-failure \
     -j "$JOBS" -L slow
 fi

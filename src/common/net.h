@@ -1,0 +1,83 @@
+#ifndef ADYA_COMMON_NET_H_
+#define ADYA_COMMON_NET_H_
+
+// Thin POSIX socket utilities for the serve subsystem: TCP and Unix-domain
+// listeners and dials, plus full-read/full-write helpers that absorb EINTR
+// and partial transfers. Everything returns Status/Result — no exceptions,
+// no global state. File descriptors are plain ints wrapped in FdGuard where
+// ownership matters; the serve layer stores raw fds inside objects with
+// explicit close points (a connection's read and write sides shut down at
+// different times, which RAII alone cannot express).
+
+#include <cstddef>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace adya::net {
+
+/// Closes `fd` if >= 0, absorbing EINTR. Safe to call twice via FdGuard
+/// (the guard nulls itself).
+void CloseFd(int fd);
+
+/// RAII fd owner for scopes with a single close point.
+class FdGuard {
+ public:
+  FdGuard() = default;
+  explicit FdGuard(int fd) : fd_(fd) {}
+  ~FdGuard() { CloseFd(fd_); }
+  FdGuard(FdGuard&& other) noexcept : fd_(other.release()) {}
+  FdGuard& operator=(FdGuard&& other) noexcept {
+    if (this != &other) {
+      CloseFd(fd_);
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  FdGuard(const FdGuard&) = delete;
+  FdGuard& operator=(const FdGuard&) = delete;
+
+  int get() const { return fd_; }
+  int release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on `host:*port` (IPv4 dotted quad or "0.0.0.0").
+/// `*port` 0 picks an ephemeral port; the bound port is written back.
+/// SO_REUSEADDR is set so restarting a daemon does not trip TIME_WAIT.
+Result<int> ListenTcp(const std::string& host, int* port);
+
+/// Binds and listens on a Unix-domain stream socket at `path`, unlinking a
+/// stale socket file first.
+Result<int> ListenUnix(const std::string& path);
+
+/// Accepts one connection; blocks. An error (including the listener being
+/// shut down) returns a status, never crashes.
+Result<int> Accept(int listen_fd);
+
+Result<int> DialTcp(const std::string& host, int port);
+Result<int> DialUnix(const std::string& path);
+
+/// Reads exactly `n` bytes, absorbing EINTR and short reads. A clean EOF
+/// before the first byte returns kNotFound ("connection closed"); EOF
+/// mid-buffer or any socket error returns kInternal.
+Status ReadFull(int fd, void* buf, size_t n);
+
+/// Writes exactly `n` bytes, absorbing EINTR and short writes. SIGPIPE is
+/// suppressed (MSG_NOSIGNAL); a closed peer returns an error instead.
+Status WriteFull(int fd, const void* buf, size_t n);
+
+/// shutdown(2) wrappers; ignore errors (the fd may already be closed).
+void ShutdownRead(int fd);
+void ShutdownBoth(int fd);
+
+}  // namespace adya::net
+
+#endif  // ADYA_COMMON_NET_H_

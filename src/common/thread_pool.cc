@@ -73,4 +73,82 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+ShardedWorkerPool::ShardedWorkerPool(int shards, size_t drain_limit)
+    : drain_limit_(drain_limit == 0 ? static_cast<size_t>(-1) : drain_limit) {
+  if (shards < 1) shards = 1;
+  shards_.reserve(static_cast<size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+    Shard* s = shards_.back().get();
+    s->worker = std::thread([this, s] { ShardLoop(s); });
+  }
+}
+
+ShardedWorkerPool::~ShardedWorkerPool() { Shutdown(); }
+
+size_t ShardedWorkerPool::Post(size_t shard, std::function<void()> task) {
+  Shard& s = *shards_[shard % shards_.size()];
+  size_t depth;
+  {
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.queue.push_back(std::move(task));
+    depth = s.queue.size();
+  }
+  s.cv.notify_one();
+  return depth;
+}
+
+size_t ShardedWorkerPool::QueueDepth(size_t shard) const {
+  const Shard& s = *shards_[shard % shards_.size()];
+  std::lock_guard<std::mutex> lk(s.mu);
+  return s.queue.size();
+}
+
+void ShardedWorkerPool::Pause(bool paused) {
+  paused_.store(paused, std::memory_order_relaxed);
+  if (!paused) {
+    for (auto& s : shards_) s->cv.notify_one();
+  }
+}
+
+void ShardedWorkerPool::Shutdown() {
+  std::lock_guard<std::mutex> shutdown_lk(shutdown_mu_);
+  if (joined_) return;
+  paused_.store(false, std::memory_order_relaxed);
+  stopping_.store(true, std::memory_order_relaxed);
+  for (auto& s : shards_) s->cv.notify_one();
+  for (auto& s : shards_) s->worker.join();
+  joined_ = true;
+}
+
+void ShardedWorkerPool::ShardLoop(Shard* shard) {
+  std::vector<std::function<void()>> batch;
+  std::unique_lock<std::mutex> lk(shard->mu);
+  for (;;) {
+    shard->cv.wait(lk, [&] {
+      if (stopping_.load(std::memory_order_relaxed)) return true;
+      if (paused_.load(std::memory_order_relaxed)) return false;
+      return !shard->queue.empty();
+    });
+    // Stopping: keep draining until the queue is empty, then exit (the
+    // graceful-drain contract — queued certification work still completes
+    // and its replies still go out).
+    if (shard->queue.empty()) {
+      if (stopping_.load(std::memory_order_relaxed)) return;
+      continue;
+    }
+    size_t take = shard->queue.size();
+    if (take > drain_limit_) take = drain_limit_;
+    batch.clear();
+    batch.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(shard->queue.front()));
+      shard->queue.pop_front();
+    }
+    lk.unlock();
+    for (auto& task : batch) task();
+    lk.lock();
+  }
+}
+
 }  // namespace adya

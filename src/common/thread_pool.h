@@ -4,7 +4,9 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -56,6 +58,66 @@ class ThreadPool {
   size_t busy_workers_ = 0;                           // guarded by mu_
   bool shutdown_ = false;                             // guarded by mu_
   std::atomic<size_t> next_index_{0};
+};
+
+/// A pool of single-threaded FIFO shards for affinity-pinned task streams:
+/// tasks posted to one shard run in post order on that shard's one thread,
+/// so state pinned to a shard (a serve session, say) needs no locking. This
+/// is the complement of ThreadPool above — that one fans a single job out,
+/// this one keeps many independent streams serialized.
+///
+/// Workers drain up to `drain_limit` tasks per wakeup under one lock
+/// acquisition (request aggregation), so bursts of small tasks do not pay
+/// one mutex round-trip each. Queues are unbounded here; callers that need
+/// backpressure bound their own in-flight count using the depth Post()
+/// returns (the serve layer replies BUSY instead of queueing).
+class ShardedWorkerPool {
+ public:
+  /// `shards` threads (clamped to >= 1), each draining at most
+  /// `drain_limit` tasks per wakeup (0 means no limit).
+  explicit ShardedWorkerPool(int shards, size_t drain_limit = 0);
+  /// Drains every queue, then joins (same contract as Shutdown()).
+  ~ShardedWorkerPool();
+
+  ShardedWorkerPool(const ShardedWorkerPool&) = delete;
+  ShardedWorkerPool& operator=(const ShardedWorkerPool&) = delete;
+
+  int shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Enqueues `task` on `shard` (mod the shard count); returns the shard's
+  /// queue depth including this task. Posting after Shutdown() began still
+  /// enqueues — shutdown drains everything posted before it returns.
+  size_t Post(size_t shard, std::function<void()> task);
+
+  size_t QueueDepth(size_t shard) const;
+
+  /// Test hook: paused workers finish their in-flight drain batch but take
+  /// nothing more until unpaused, so a test can observe queue buildup and
+  /// backpressure deterministically.
+  void Pause(bool paused);
+
+  /// Stops accepting wakeups for new work *after* draining: each worker
+  /// exits once its queue is empty, and Shutdown returns when all have
+  /// joined. Idempotent. A paused pool is unpaused first (otherwise drain
+  /// would never finish).
+  void Shutdown();
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::function<void()>> queue;
+    std::thread worker;
+  };
+
+  void ShardLoop(Shard* shard);
+
+  const size_t drain_limit_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> paused_{false};
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::mutex shutdown_mu_;
+  bool joined_ = false;
 };
 
 }  // namespace adya

@@ -107,6 +107,11 @@ class Database {
     return recorder_.DrainInto(replica, cursor);
   }
 
+  /// Number of events recorded so far (thread-safe). With a drain cursor in
+  /// hand, `RecordedEventCount() - cursor` is the certifier's backlog — the
+  /// gauge the online certifier samples as `certifier.queue_depth`.
+  size_t RecordedEventCount() const { return recorder_.event_count(); }
+
  protected:
   /// One buffered (uncommitted) object-final: the last modification this
   /// transaction made to one incarnation of a key.

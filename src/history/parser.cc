@@ -15,16 +15,29 @@ bool IsNameChar(char c) {
 }
 bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
 
+using WriteCount = std::map<std::pair<TxnId, ObjectId>, uint32_t>;
+
 class Parser {
  public:
-  explicit Parser(std::string_view text) : text_(text) {}
+  /// One-shot mode: `sink` null (events are appended to *history).
+  /// Streaming mode: `sink` non-null (events go to the sink, never the
+  /// history) and version-order blocks are rejected — a stream's version
+  /// orders are its commit order.
+  Parser(std::string_view text, History* history, WriteCount* write_count,
+         const StreamParser::EventSink* sink)
+      : text_(text), history_(history), write_count_(*write_count),
+        sink_(sink) {}
 
-  Result<History> Parse() {
+  Status ParseAll() {
     while (true) {
       SkipSpaceAndComments();
       if (pos_ >= text_.size()) break;
       char c = text_[pos_];
       if (c == '[') {
+        if (sink_ != nullptr) {
+          return Err("version-order blocks are not allowed in a stream "
+                     "(a stream's version orders are its commit order)");
+        }
         ADYA_RETURN_IF_ERROR(ParseVersionOrderBlock());
         continue;
       }
@@ -44,12 +57,15 @@ class Parser {
         ADYA_RETURN_IF_ERROR(ParseEvent(word));
       }
     }
-    History h = std::move(history_);
-    ADYA_RETURN_IF_ERROR(h.Finalize());
-    return h;
+    return Status::OK();
   }
 
  private:
+  Status Emit(Event event) {
+    if (sink_ != nullptr) return (*sink_)(event);
+    history_->Append(std::move(event));
+    return Status::OK();
+  }
   Status Err(std::string message) const {
     // Report 1-based line number for the current position.
     size_t line = 1;
@@ -112,7 +128,7 @@ class Parser {
     SkipSpaceAndComments();
     std::string name = ReadName();
     if (name.empty()) return Err("relation declaration needs a name");
-    history_.AddRelation(name);
+    history_->AddRelation(name);
     return Expect(';');
   }
 
@@ -131,10 +147,10 @@ class Parser {
     } else {
       pos_ = saved;
     }
-    if (history_.FindObject(name).ok()) {
+    if (history_->FindObject(name).ok()) {
       return Err(StrCat("object '", name, "' declared twice"));
     }
-    history_.AddObject(name, history_.AddRelation(relation));
+    history_->AddObject(name, history_->AddRelation(relation));
     return Expect(';');
   }
 
@@ -151,11 +167,11 @@ class Parser {
         SkipSpaceAndComments();
         std::string rel = ReadName();
         if (rel.empty()) return Err("expected relation name after 'on'");
-        relations.push_back(history_.AddRelation(rel));
+        relations.push_back(history_->AddRelation(rel));
       } while (Consume(','));
     } else {
       pos_ = saved;
-      relations.push_back(history_.AddRelation("R"));
+      relations.push_back(history_->AddRelation("R"));
     }
     ADYA_RETURN_IF_ERROR(Expect(':'));
     // Find the terminating ';', skipping over string literals in the
@@ -184,10 +200,10 @@ class Parser {
     auto predicate = ParsePredicate(condition);
     if (!predicate.ok()) return Err(predicate.status().message());
     pos_ = end + 1;
-    if (history_.FindPredicate(name).ok()) {
+    if (history_->FindPredicate(name).ok()) {
       return Err(StrCat("predicate '", name, "' declared twice"));
     }
-    history_.AddPredicate(
+    history_->AddPredicate(
         name, std::shared_ptr<const Predicate>(std::move(*predicate)),
         std::move(relations));
     return Status::OK();
@@ -211,7 +227,7 @@ class Parser {
         IsolationLevel::kPL3};
     for (IsolationLevel level : kLevels) {
       if (IsolationLevelName(level) == level_name) {
-        history_.SetLevel(static_cast<TxnId>(txn), level);
+        history_->SetLevel(static_cast<TxnId>(txn), level);
         return Expect(';');
       }
     }
@@ -221,9 +237,9 @@ class Parser {
   // --- events ------------------------------------------------------------
 
   ObjectId EnsureObject(const std::string& name) {
-    auto found = history_.FindObject(name);
+    auto found = history_->FindObject(name);
     if (found.ok()) return *found;
-    return history_.AddObject(name);
+    return history_->AddObject(name);
   }
 
   /// Parses a version token: `x1`, `x2.3`, `xinit`. `for_write` resolves a
@@ -370,14 +386,11 @@ class Parser {
     if (txn == kTxnInit) return Err("transaction id is reserved for T_init");
     switch (kind) {
       case 'c':
-        history_.Append(Event::Commit(txn));
-        return Status::OK();
+        return Emit(Event::Commit(txn));
       case 'a':
-        history_.Append(Event::Abort(txn));
-        return Status::OK();
+        return Emit(Event::Abort(txn));
       case 'b':
-        history_.Append(Event::Begin(txn));
-        return Status::OK();
+        return Emit(Event::Begin(txn));
       case 'w': {
         ADYA_RETURN_IF_ERROR(Expect('('));
         ADYA_ASSIGN_OR_RETURN(VersionId v, ParseVersionToken(true, txn));
@@ -385,7 +398,7 @@ class Parser {
         if (v.seq != expected) {
           return Err(StrCat("write sequence mismatch: expected modification ",
                             expected, " of ",
-                            history_.object_name(v.object)));
+                            history_->object_name(v.object)));
         }
         Row row;
         VersionKind wkind = VersionKind::kVisible;
@@ -409,7 +422,8 @@ class Parser {
           }
         }
         ADYA_RETURN_IF_ERROR(Expect(')'));
-        history_.Append(Event::Write(txn, v, std::move(row), wkind));
+        ADYA_RETURN_IF_ERROR(Emit(Event::Write(txn, v, std::move(row),
+                                               wkind)));
         ++write_count_[{txn, v.object}];
         return Status::OK();
       }
@@ -424,7 +438,7 @@ class Parser {
         if (name.empty()) return Err("expected version or predicate name");
         if (Peek() == ':') {
           ++pos_;  // consume ':'
-          auto pid = history_.FindPredicate(name);
+          auto pid = history_->FindPredicate(name);
           if (!pid.ok()) {
             return Err(StrCat("unknown predicate '", name, "'"));
           }
@@ -436,8 +450,7 @@ class Parser {
             } while (Consume(','));
           }
           ADYA_RETURN_IF_ERROR(Expect(')'));
-          history_.Append(Event::PredicateRead(txn, *pid, std::move(vset)));
-          return Status::OK();
+          return Emit(Event::PredicateRead(txn, *pid, std::move(vset)));
         }
         pos_ = saved;
         ADYA_ASSIGN_OR_RETURN(VersionId v, ParseVersionToken(false, txn));
@@ -452,8 +465,7 @@ class Parser {
           }
         }
         ADYA_RETURN_IF_ERROR(Expect(')'));
-        history_.Append(Event::Read(txn, v, std::move(observed)));
-        return Status::OK();
+        return Emit(Event::Read(txn, v, std::move(observed)));
       }
       default:
         ADYA_UNREACHABLE();
@@ -483,21 +495,48 @@ class Parser {
         break;
       }
       ADYA_CHECK(obj.has_value());
-      history_.SetVersionOrder(*obj, std::move(writers));
+      history_->SetVersionOrder(*obj, std::move(writers));
     } while (Consume(','));
     return Expect(']');
   }
 
   std::string_view text_;
   size_t pos_ = 0;
-  History history_;
-  std::map<std::pair<TxnId, ObjectId>, uint32_t> write_count_;
+  History* history_;
+  WriteCount& write_count_;
+  const StreamParser::EventSink* sink_;
 };
 
 }  // namespace
 
 Result<History> ParseHistory(std::string_view text) {
-  return Parser(text).Parse();
+  History h;
+  WriteCount write_count;
+  ADYA_RETURN_IF_ERROR(
+      Parser(text, &h, &write_count, nullptr).ParseAll());
+  ADYA_RETURN_IF_ERROR(h.Finalize());
+  return h;
+}
+
+// --- StreamParser ----------------------------------------------------------
+
+struct StreamParser::State {
+  History* universe;
+  WriteCount write_count;
+};
+
+StreamParser::StreamParser(History* universe)
+    : state_(std::make_unique<State>()) {
+  state_->universe = universe;
+}
+
+StreamParser::~StreamParser() = default;
+StreamParser::StreamParser(StreamParser&&) noexcept = default;
+StreamParser& StreamParser::operator=(StreamParser&&) noexcept = default;
+
+Status StreamParser::Feed(std::string_view chunk, const EventSink& sink) {
+  return Parser(chunk, state_->universe, &state_->write_count, &sink)
+      .ParseAll();
 }
 
 }  // namespace adya

@@ -1,9 +1,12 @@
 #ifndef ADYA_HISTORY_PARSER_H_
 #define ADYA_HISTORY_PARSER_H_
 
+#include <functional>
+#include <memory>
 #include <string_view>
 
 #include "common/result.h"
+#include "common/status.h"
 #include "history/history.h"
 
 namespace adya {
@@ -42,6 +45,37 @@ namespace adya {
 ///
 /// The result is finalized (unfinished transactions are aborted).
 Result<History> ParseHistory(std::string_view text);
+
+/// Incremental front end over the same grammar for wire-framed event
+/// streams (the adya_serve sessions): each Feed() parses one complete chunk
+/// of declarations and events. Declarations apply to *universe immediately;
+/// events are handed to the sink in order instead of being appended — the
+/// serve sessions pass them to IncrementalChecker::Feed. Parser state
+/// persists across chunks (dot-less version tokens resolve against the
+/// writes seen so far), so feeding a text split at any event boundary
+/// parses identically to ParseHistory on the concatenation. Version-order
+/// blocks are rejected: a stream's version orders are its commit order.
+/// CRLF line endings and trailing whitespace are tolerated everywhere, so
+/// piped and wire-framed histories parse identically to files.
+class StreamParser {
+ public:
+  using EventSink = std::function<Status(const Event&)>;
+
+  /// `universe` must outlive the parser; declarations are added to it.
+  explicit StreamParser(History* universe);
+  ~StreamParser();
+  StreamParser(StreamParser&&) noexcept;
+  StreamParser& operator=(StreamParser&&) noexcept;
+
+  /// Parses one chunk; a sink error aborts the parse and is returned
+  /// verbatim. Chunks must split at token boundaries (frames carry whole
+  /// events), not mid-token.
+  Status Feed(std::string_view chunk, const EventSink& sink);
+
+ private:
+  struct State;
+  std::unique_ptr<State> state_;
+};
 
 }  // namespace adya
 

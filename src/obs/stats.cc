@@ -99,6 +99,40 @@ uint64_t Histogram::Percentile(double p) const {
   return max;
 }
 
+uint64_t Histogram::Quantile(double q) const {
+  uint64_t total = count();
+  if (total == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  uint64_t max = max_value();
+  if (q >= 1) return max;
+  // Fractional rank in [0, total): the value below which a q-fraction of
+  // the recorded samples fall.
+  double rank = q * static_cast<double>(total);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) <= rank) {
+      seen += in_bucket;
+      continue;
+    }
+    // The rank lands in this bucket: interpolate between the bucket's
+    // floor and the floor of the next bucket (the bucket's value range),
+    // by the rank's position among the bucket's samples.
+    uint64_t floor = BucketFloor(i);
+    uint64_t ceiling =
+        i + 1 < kBuckets ? BucketFloor(i + 1) : max;
+    double fraction =
+        (rank - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+    uint64_t value =
+        floor + static_cast<uint64_t>(
+                    fraction * static_cast<double>(ceiling - floor));
+    return value < max ? value : max;
+  }
+  return max;
+}
+
 HistogramSnapshot Histogram::Snapshot() const {
   HistogramSnapshot s;
   s.count = count();

@@ -122,7 +122,15 @@ class Histogram {
   uint64_t max_value() const { return max_.load(std::memory_order_relaxed); }
 
   /// Approximate value at percentile `p` in [0, 100] (0 when empty).
+  /// Returns the floor of the bucket holding the rank — the historical
+  /// accessor the snapshot p50/p95/p99 fields are built from.
   uint64_t Percentile(double p) const;
+
+  /// Approximate value at quantile `q` in [0, 1] (0 when empty), with
+  /// linear interpolation of the rank's position inside its log bucket —
+  /// the accessor benches use for p50/p99 so reported latencies do not
+  /// snap to bucket floors. Monotone in `q`; Quantile(1) is the exact max.
+  uint64_t Quantile(double q) const;
 
   HistogramSnapshot Snapshot() const;
 

@@ -1,0 +1,227 @@
+#include "serve/client.h"
+
+#include <charconv>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/net.h"
+#include "common/str_util.h"
+
+namespace adya::serve {
+namespace {
+
+/// Parses "key=<uint>" out of a space-separated "k=v k=v" payload.
+Result<uint64_t> KvField(std::string_view payload, std::string_view key) {
+  size_t pos = 0;
+  while (pos < payload.size()) {
+    size_t end = payload.find(' ', pos);
+    if (end == std::string_view::npos) end = payload.size();
+    std::string_view token = payload.substr(pos, end - pos);
+    pos = end + 1;
+    size_t eq = token.find('=');
+    if (eq == std::string_view::npos || token.substr(0, eq) != key) continue;
+    std::string_view value = token.substr(eq + 1);
+    uint64_t n = 0;
+    auto [ptr, ec] =
+        std::from_chars(value.data(), value.data() + value.size(), n);
+    if (ec != std::errc() || ptr != value.data() + value.size()) {
+      return Status::Internal(
+          StrCat("malformed server field '", token, "' in '", payload, "'"));
+    }
+    return n;
+  }
+  return Status::Internal(
+      StrCat("server reply '", payload, "' lacks field '", key, "'"));
+}
+
+}  // namespace
+
+Result<Client> Client::ConnectTcp(const std::string& host, int port) {
+  ADYA_ASSIGN_OR_RETURN(int fd, net::DialTcp(host, port));
+  return Client(fd);
+}
+
+Result<Client> Client::ConnectUnix(const std::string& path) {
+  ADYA_ASSIGN_OR_RETURN(int fd, net::DialUnix(path));
+  return Client(fd);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      next_seq_(other.next_seq_),
+      unacked_(std::move(other.unacked_)),
+      witnesses_(std::move(other.witnesses_)),
+      busy_retries_(other.busy_retries_) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    net::CloseFd(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    next_seq_ = other.next_seq_;
+    unacked_ = std::move(other.unacked_);
+    witnesses_ = std::move(other.witnesses_);
+    busy_retries_ = other.busy_retries_;
+  }
+  return *this;
+}
+
+Client::~Client() { net::CloseFd(fd_); }
+
+Status Client::Handshake() {
+  ADYA_RETURN_IF_ERROR(WriteFrame(fd_, FrameType::kHello, kProtocolId));
+  ADYA_ASSIGN_OR_RETURN(Frame reply, ReadFrame(fd_));
+  if (reply.type == FrameType::kError) {
+    return Status::Internal(StrCat("server: ", reply.payload));
+  }
+  if (reply.type != FrameType::kHelloOk || reply.payload != kProtocolId) {
+    return Status::Internal(StrCat("unexpected handshake reply ",
+                                   FrameTypeName(reply.type), " '",
+                                   reply.payload, "'"));
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> Client::Open(IsolationLevel level, int max_pending) {
+  std::string payload = StrCat("level=", IsolationLevelName(level));
+  if (max_pending > 0) payload += StrCat(" max_pending=", max_pending);
+  ADYA_RETURN_IF_ERROR(WriteFrame(fd_, FrameType::kOpen, payload));
+  ADYA_ASSIGN_OR_RETURN(Frame reply, ReadFrame(fd_));
+  if (reply.type == FrameType::kError) {
+    return Status::Internal(StrCat("server: ", reply.payload));
+  }
+  if (reply.type != FrameType::kOpenOk) {
+    return Status::Internal(
+        StrCat("unexpected OPEN reply ", FrameTypeName(reply.type)));
+  }
+  return KvField(reply.payload, "session");
+}
+
+Status Client::Send(std::string_view text) {
+  uint32_t seq = next_seq_++;
+  auto [it, inserted] = unacked_.emplace(seq, std::string(text));
+  (void)inserted;
+  return WriteFrame(fd_, FrameType::kEvents,
+                    EncodeEventsPayload(seq, it->second));
+}
+
+Status Client::ResendFrom(uint32_t expect) {
+  for (auto it = unacked_.lower_bound(expect); it != unacked_.end(); ++it) {
+    ADYA_RETURN_IF_ERROR(WriteFrame(
+        fd_, FrameType::kEvents, EncodeEventsPayload(it->first, it->second)));
+  }
+  return Status::OK();
+}
+
+Result<BatchReply> Client::AwaitVerdict() {
+  for (;;) {
+    ADYA_ASSIGN_OR_RETURN(Frame frame, ReadFrame(fd_));
+    switch (frame.type) {
+      case FrameType::kWitness: {
+        WitnessReply w;
+        size_t nl = frame.payload.find('\n');
+        if (nl == std::string::npos) {
+          w.description = std::move(frame.payload);
+        } else {
+          w.phenomenon = frame.payload.substr(0, nl);
+          w.description = frame.payload.substr(nl + 1);
+        }
+        witnesses_.push_back(std::move(w));
+        break;
+      }
+      case FrameType::kVerdict: {
+        BatchReply reply;
+        ADYA_ASSIGN_OR_RETURN(uint64_t seq, KvField(frame.payload, "seq"));
+        ADYA_ASSIGN_OR_RETURN(reply.events,
+                              KvField(frame.payload, "events"));
+        ADYA_ASSIGN_OR_RETURN(reply.commits,
+                              KvField(frame.payload, "commits"));
+        reply.seq = static_cast<uint32_t>(seq);
+        reply.fresh = std::move(witnesses_);
+        witnesses_.clear();
+        unacked_.erase(reply.seq);
+        return reply;
+      }
+      case FrameType::kBusy: {
+        ++busy_retries_;
+        ADYA_ASSIGN_OR_RETURN(uint64_t expect,
+                              KvField(frame.payload, "expect"));
+        // Brief pause so a saturated (or test-paused) server is not
+        // hammered with a resend storm; verdicts for already-admitted
+        // batches free capacity meanwhile.
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ADYA_RETURN_IF_ERROR(ResendFrom(static_cast<uint32_t>(expect)));
+        break;
+      }
+      case FrameType::kError:
+        return Status::Internal(StrCat("server: ", frame.payload));
+      default:
+        return Status::Internal(StrCat("unexpected server frame ",
+                                       FrameTypeName(frame.type),
+                                       " while awaiting a verdict"));
+    }
+  }
+}
+
+Result<Frame> Client::ReadNonBusyFrame() {
+  // A pipelined exchange can leave stale BUSY frames in the stream: the
+  // client resends on BUSY, the server may re-reject duplicates of batches
+  // it accepted meanwhile, and those rejections can trail the final
+  // verdict. With nothing unacknowledged they carry no obligation — skip
+  // them so STATS/CLOSE round trips stay aligned.
+  for (;;) {
+    ADYA_ASSIGN_OR_RETURN(Frame frame, ReadFrame(fd_));
+    if (frame.type != FrameType::kBusy) return frame;
+  }
+}
+
+Result<BatchReply> Client::Await() {
+  if (unacked_.empty()) {
+    return Status::Internal("Await with no batch outstanding");
+  }
+  return AwaitVerdict();
+}
+
+Result<BatchReply> Client::Certify(std::string_view text) {
+  if (!unacked_.empty()) {
+    return Status::Internal("Certify with pipelined batches outstanding");
+  }
+  ADYA_RETURN_IF_ERROR(Send(text));
+  return AwaitVerdict();
+}
+
+Result<std::string> Client::Stats() {
+  if (!unacked_.empty()) {
+    return Status::Internal("Stats with pipelined batches outstanding");
+  }
+  ADYA_RETURN_IF_ERROR(WriteFrame(fd_, FrameType::kStats, ""));
+  ADYA_ASSIGN_OR_RETURN(Frame reply, ReadNonBusyFrame());
+  if (reply.type == FrameType::kError) {
+    return Status::Internal(StrCat("server: ", reply.payload));
+  }
+  if (reply.type != FrameType::kStatsReply) {
+    return Status::Internal(
+        StrCat("unexpected STATS reply ", FrameTypeName(reply.type)));
+  }
+  return std::move(reply.payload);
+}
+
+Result<std::string> Client::CloseSession() {
+  if (!unacked_.empty()) {
+    return Status::Internal("CloseSession with batches outstanding");
+  }
+  ADYA_RETURN_IF_ERROR(WriteFrame(fd_, FrameType::kClose, ""));
+  ADYA_ASSIGN_OR_RETURN(Frame reply, ReadNonBusyFrame());
+  if (reply.type == FrameType::kError) {
+    return Status::Internal(StrCat("server: ", reply.payload));
+  }
+  if (reply.type != FrameType::kCloseOk) {
+    return Status::Internal(
+        StrCat("unexpected CLOSE reply ", FrameTypeName(reply.type)));
+  }
+  net::CloseFd(fd_);
+  fd_ = -1;
+  return std::move(reply.payload);
+}
+
+}  // namespace adya::serve

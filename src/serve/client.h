@@ -1,0 +1,105 @@
+#ifndef ADYA_SERVE_CLIENT_H_
+#define ADYA_SERVE_CLIENT_H_
+
+// Client side of the adya-serve protocol (framing.h): dial, handshake,
+// open a session, stream event batches, collect verdicts and witnesses.
+// Used by adya_load, the serve benches, and the differential tests.
+//
+// Two shapes of use:
+//  * Certify(text): send one batch and block for its verdict —
+//    backpressure (BUSY) is absorbed by resending until accepted.
+//  * Send(text) + Await(): pipelined. Send fires the next seq without
+//    waiting; Await blocks for the oldest outstanding verdict. A BUSY
+//    reply makes the client resend every unacknowledged batch from the
+//    seq the server named — batches are kept until their verdict lands.
+//
+// Single-threaded: one thread drives a Client.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "history/ids.h"
+#include "serve/framing.h"
+
+namespace adya::serve {
+
+/// One fresh violation pushed back by the server, split from the WITNESS
+/// payload ("<phenomenon>\n<description>").
+struct WitnessReply {
+  std::string phenomenon;
+  std::string description;
+};
+
+/// One batch's verdict, with the witnesses that preceded it.
+struct BatchReply {
+  uint32_t seq = 0;
+  uint64_t events = 0;
+  uint64_t commits = 0;
+  std::vector<WitnessReply> fresh;
+};
+
+class Client {
+ public:
+  static Result<Client> ConnectTcp(const std::string& host, int port);
+  static Result<Client> ConnectUnix(const std::string& path);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// HELLO / HELLO_OK protocol handshake.
+  Status Handshake();
+
+  /// Opens the session; returns the server-assigned session id.
+  /// `max_pending` > 0 asks the server for a lower in-flight bound.
+  Result<uint64_t> Open(IsolationLevel level, int max_pending = 0);
+
+  /// Sends one batch and blocks until its verdict arrives (absorbing BUSY
+  /// by resending). Requires no other batches outstanding.
+  Result<BatchReply> Certify(std::string_view text);
+
+  /// Pipelined interface: fire the next batch without waiting.
+  Status Send(std::string_view text);
+  /// Blocks for the oldest outstanding verdict; resends on BUSY.
+  Result<BatchReply> Await();
+  size_t outstanding() const { return unacked_.size(); }
+
+  /// STATS round-trip: the server's JSON stats payload. Requires no
+  /// batches outstanding (replies are not tagged).
+  Result<std::string> Stats();
+
+  /// CLOSE round-trip: returns the final session stats JSON and shuts the
+  /// connection down.
+  Result<std::string> CloseSession();
+
+  /// BUSY replies absorbed so far (load clients report this).
+  uint64_t busy_retries() const { return busy_retries_; }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  Status ResendFrom(uint32_t expect);
+  /// Next frame that is not a stale BUSY (see the definition for why those
+  /// can trail the final verdict of a pipelined exchange).
+  Result<Frame> ReadNonBusyFrame();
+  /// Reads frames until a VERDICT lands, absorbing WITNESS and BUSY.
+  Result<BatchReply> AwaitVerdict();
+
+  int fd_ = -1;
+  uint32_t next_seq_ = 0;
+  /// Sent but unacknowledged batches, by seq (resent on BUSY).
+  std::map<uint32_t, std::string> unacked_;
+  std::vector<WitnessReply> witnesses_;  // collected before their verdict
+  uint64_t busy_retries_ = 0;
+};
+
+}  // namespace adya::serve
+
+#endif  // ADYA_SERVE_CLIENT_H_

@@ -1,0 +1,162 @@
+#include "serve/framing.h"
+
+#include <cstring>
+
+#include "common/net.h"
+#include "common/str_util.h"
+
+namespace adya::serve {
+namespace {
+
+uint32_t LoadLe32(const char* p) {
+  // Byte-wise assembly: independent of host endianness and alignment.
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+void StoreLe32(char* p, uint32_t v) {
+  p[0] = static_cast<char>(v & 0xFF);
+  p[1] = static_cast<char>((v >> 8) & 0xFF);
+  p[2] = static_cast<char>((v >> 16) & 0xFF);
+  p[3] = static_cast<char>((v >> 24) & 0xFF);
+}
+
+constexpr size_t kHeaderSize = 5;  // u32 length + u8 type
+
+}  // namespace
+
+bool IsKnownFrameType(uint8_t type) {
+  switch (static_cast<FrameType>(type)) {
+    case FrameType::kHello:
+    case FrameType::kOpen:
+    case FrameType::kEvents:
+    case FrameType::kStats:
+    case FrameType::kClose:
+    case FrameType::kHelloOk:
+    case FrameType::kOpenOk:
+    case FrameType::kVerdict:
+    case FrameType::kWitness:
+    case FrameType::kBusy:
+    case FrameType::kStatsReply:
+    case FrameType::kCloseOk:
+    case FrameType::kError:
+      return true;
+  }
+  return false;
+}
+
+std::string_view FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kHello: return "HELLO";
+    case FrameType::kOpen: return "OPEN";
+    case FrameType::kEvents: return "EVENTS";
+    case FrameType::kStats: return "STATS";
+    case FrameType::kClose: return "CLOSE";
+    case FrameType::kHelloOk: return "HELLO_OK";
+    case FrameType::kOpenOk: return "OPEN_OK";
+    case FrameType::kVerdict: return "VERDICT";
+    case FrameType::kWitness: return "WITNESS";
+    case FrameType::kBusy: return "BUSY";
+    case FrameType::kStatsReply: return "STATS_REPLY";
+    case FrameType::kCloseOk: return "CLOSE_OK";
+    case FrameType::kError: return "ERROR";
+  }
+  return "?";
+}
+
+void AppendFrame(std::string* out, FrameType type, std::string_view payload) {
+  char header[kHeaderSize];
+  StoreLe32(header, static_cast<uint32_t>(payload.size()));
+  header[4] = static_cast<char>(type);
+  out->append(header, kHeaderSize);
+  out->append(payload);
+}
+
+std::string EncodeFrame(FrameType type, std::string_view payload) {
+  std::string out;
+  out.reserve(kHeaderSize + payload.size());
+  AppendFrame(&out, type, payload);
+  return out;
+}
+
+Result<std::optional<Frame>> FrameDecoder::Next() {
+  if (!error_.ok()) return error_;
+  // Reclaim consumed prefix lazily, once it dominates the buffer.
+  if (consumed_ > 4096 && consumed_ * 2 > buffer_.size()) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  if (buffer_.size() - consumed_ < kHeaderSize) return std::optional<Frame>(std::nullopt);
+  const char* base = buffer_.data() + consumed_;
+  uint32_t length = LoadLe32(base);
+  uint8_t type = static_cast<uint8_t>(base[4]);
+  if (length > max_payload_) {
+    error_ = Status::InvalidArgument(
+        StrCat("frame payload of ", length, " bytes exceeds the ",
+               max_payload_, "-byte limit"));
+    return error_;
+  }
+  if (!IsKnownFrameType(type)) {
+    error_ = Status::InvalidArgument(
+        StrCat("unknown frame type ", static_cast<int>(type)));
+    return error_;
+  }
+  if (buffer_.size() - consumed_ < kHeaderSize + length) return std::optional<Frame>(std::nullopt);
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  frame.payload.assign(base + kHeaderSize, length);
+  consumed_ += kHeaderSize + length;
+  return std::optional<Frame>(std::move(frame));
+}
+
+Result<Frame> ReadFrame(int fd, uint32_t max_payload) {
+  char header[kHeaderSize];
+  ADYA_RETURN_IF_ERROR(net::ReadFull(fd, header, kHeaderSize));
+  uint32_t length = LoadLe32(header);
+  uint8_t type = static_cast<uint8_t>(header[4]);
+  if (length > max_payload) {
+    return Status::InvalidArgument(
+        StrCat("frame payload of ", length, " bytes exceeds the ",
+               max_payload, "-byte limit"));
+  }
+  if (!IsKnownFrameType(type)) {
+    return Status::InvalidArgument(
+        StrCat("unknown frame type ", static_cast<int>(type)));
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  frame.payload.resize(length);
+  if (length > 0) {
+    ADYA_RETURN_IF_ERROR(net::ReadFull(fd, frame.payload.data(), length));
+  }
+  return frame;
+}
+
+Status WriteFrame(int fd, FrameType type, std::string_view payload) {
+  std::string wire = EncodeFrame(type, payload);
+  return net::WriteFull(fd, wire.data(), wire.size());
+}
+
+std::string EncodeEventsPayload(uint32_t seq, std::string_view text) {
+  std::string out;
+  out.reserve(4 + text.size());
+  char prefix[4];
+  StoreLe32(prefix, seq);
+  out.append(prefix, 4);
+  out.append(text);
+  return out;
+}
+
+Result<std::pair<uint32_t, std::string_view>> DecodeEventsPayload(
+    std::string_view payload) {
+  if (payload.size() < 4) {
+    return Status::InvalidArgument(
+        "EVENTS payload shorter than its 4-byte batch seq");
+  }
+  uint32_t seq = LoadLe32(payload.data());
+  return std::pair<uint32_t, std::string_view>(seq, payload.substr(4));
+}
+
+}  // namespace adya::serve

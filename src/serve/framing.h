@@ -1,0 +1,120 @@
+#ifndef ADYA_SERVE_FRAMING_H_
+#define ADYA_SERVE_FRAMING_H_
+
+// The adya_serve wire protocol: length-prefixed frames over a byte stream
+// (TCP or a Unix-domain socket).
+//
+//   frame := u32 payload_length (little endian) | u8 type | payload
+//
+// One session per connection. The client speaks first:
+//
+//   -> kHello   "adya-serve/1"                (protocol handshake)
+//   <- kHelloOk "adya-serve/1"
+//   -> kOpen    "level=PL-3 [max_pending=N]"  (session open: PL level +
+//   <- kOpenOk  "session=7"                    checker/session options)
+//   -> kEvents  u32 seq | history-notation text
+//   <- kWitness "G1a\n<witness text>"         (one per fresh violation,
+//   <- kVerdict "seq=0 events=12 commits=3 fresh=1"    before the verdict)
+//   <- kBusy    "expect=4 pending=64 limit=64" (backpressure: the batch
+//                                              was rejected; resend from
+//                                              seq `expect` after draining)
+//   -> kStats   ""                            (any time after open)
+//   <- kStatsReply <JSON>
+//   -> kClose   ""                            (graceful session close;
+//   <- kCloseOk "..."                          sent after pending batches
+//                                              drain)
+//   <- kError   <message>                     (connection-scoped: the
+//                                              server closes this
+//                                              connection, nothing else)
+//
+// Event batches carry the history notation of src/history/parser.h;
+// verdict seq numbers echo the client's kEvents seq. Witness text is
+// byte-identical to the offline adya::Checker's Violation::description on
+// the same event stream (pinned by tests/serve_test.cc).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace adya::serve {
+
+inline constexpr std::string_view kProtocolId = "adya-serve/1";
+
+/// Hard ceiling on one frame's payload. A length prefix above the
+/// connection's limit (default this) is rejected without allocating.
+inline constexpr uint32_t kMaxFramePayload = 8u << 20;
+
+enum class FrameType : uint8_t {
+  // client -> server
+  kHello = 1,
+  kOpen = 2,
+  kEvents = 3,
+  kStats = 4,
+  kClose = 5,
+  // server -> client
+  kHelloOk = 65,
+  kOpenOk = 66,
+  kVerdict = 67,
+  kWitness = 68,
+  kBusy = 69,
+  kStatsReply = 70,
+  kCloseOk = 71,
+  kError = 72,
+};
+
+bool IsKnownFrameType(uint8_t type);
+std::string_view FrameTypeName(FrameType type);
+
+struct Frame {
+  FrameType type = FrameType::kHello;
+  std::string payload;
+};
+
+/// Wire bytes for one frame, appended to `*out` (batching several frames
+/// into one write is the reply hot path).
+void AppendFrame(std::string* out, FrameType type, std::string_view payload);
+std::string EncodeFrame(FrameType type, std::string_view payload);
+
+/// Incremental decoder: feed arbitrary byte slices, take whole frames out.
+/// Oversized length prefixes and unknown frame types are permanent errors —
+/// the stream is unsynchronized and the connection must be dropped (every
+/// later Next() keeps returning the error).
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(uint32_t max_payload = kMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  void Append(std::string_view bytes) { buffer_ += bytes; }
+
+  /// The next whole frame, nullopt when more bytes are needed, or the
+  /// stream error.
+  Result<std::optional<Frame>> Next();
+
+  /// Bytes buffered but not yet consumed by Next().
+  size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  const uint32_t max_payload_;
+  std::string buffer_;
+  size_t consumed_ = 0;
+  Status error_;
+};
+
+/// Blocking single-frame transfer over an fd (client library, tests). Reads
+/// absorb partial delivery; a length prefix above `max_payload` is an
+/// error. ReadFrame returns kNotFound on clean EOF between frames.
+Result<Frame> ReadFrame(int fd, uint32_t max_payload = kMaxFramePayload);
+Status WriteFrame(int fd, FrameType type, std::string_view payload);
+
+/// kEvents payload helpers: u32 little-endian batch seq + notation text.
+std::string EncodeEventsPayload(uint32_t seq, std::string_view text);
+Result<std::pair<uint32_t, std::string_view>> DecodeEventsPayload(
+    std::string_view payload);
+
+}  // namespace adya::serve
+
+#endif  // ADYA_SERVE_FRAMING_H_

@@ -1,0 +1,97 @@
+#include "serve/http.h"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+
+#include "common/net.h"
+#include "common/str_util.h"
+
+namespace adya::serve {
+namespace {
+
+std::string Response(int code, std::string_view reason,
+                     std::string_view content_type, std::string_view body) {
+  return StrCat("HTTP/1.0 ", code, " ", reason,
+                "\r\nContent-Type: ", content_type,
+                "\r\nContent-Length: ", body.size(),
+                "\r\nConnection: close\r\n\r\n", body);
+}
+
+}  // namespace
+
+HttpExporter::HttpExporter(std::string host, int port,
+                           const obs::StatsRegistry* stats)
+    : host_(std::move(host)), port_(port), stats_(stats) {}
+
+HttpExporter::~HttpExporter() { Shutdown(); }
+
+Status HttpExporter::Start() {
+  ADYA_ASSIGN_OR_RETURN(listen_fd_, net::ListenTcp(host_, &port_));
+  started_ = true;
+  acceptor_ = std::thread([this] { Loop(); });
+  return Status::OK();
+}
+
+void HttpExporter::Shutdown() {
+  if (!started_) return;
+  started_ = false;
+  stopping_.store(true, std::memory_order_relaxed);
+  net::ShutdownBoth(listen_fd_);
+  acceptor_.join();
+  net::CloseFd(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void HttpExporter::Loop() {
+  for (;;) {
+    Result<int> fd = net::Accept(listen_fd_);
+    if (stopping_.load(std::memory_order_relaxed)) {
+      if (fd.ok()) net::CloseFd(*fd);
+      return;
+    }
+    if (!fd.ok()) return;
+    Handle(*fd);
+    net::CloseFd(*fd);
+  }
+}
+
+void HttpExporter::Handle(int fd) {
+  // Read until the header terminator (scrape requests have no body) or a
+  // small cap; a slow or garbage client just gets the connection closed.
+  std::string request;
+  char buf[2048];
+  while (request.size() < 16 * 1024 &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    ssize_t got = ::recv(fd, buf, sizeof(buf), 0);
+    if (got <= 0) {
+      if (got < 0 && errno == EINTR) continue;
+      break;
+    }
+    request.append(buf, static_cast<size_t>(got));
+  }
+  size_t sp1 = request.find(' ');
+  size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                        : request.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos || request.compare(0, sp1, "GET") != 0) {
+    std::string resp =
+        Response(400, "Bad Request", "text/plain", "only GET is served\n");
+    net::WriteFull(fd, resp.data(), resp.size());
+    return;
+  }
+  std::string path = request.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string resp;
+  if (path == "/metrics") {
+    resp = Response(200, "OK", "text/plain; version=0.0.4",
+                    stats_->Snapshot().ToPrometheus());
+  } else if (path == "/statsz") {
+    resp = Response(200, "OK", "application/json",
+                    stats_->Snapshot().ToJson() + "\n");
+  } else {
+    resp = Response(404, "Not Found", "text/plain",
+                    "try /metrics or /statsz\n");
+  }
+  net::WriteFull(fd, resp.data(), resp.size());
+}
+
+}  // namespace adya::serve

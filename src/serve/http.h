@@ -1,0 +1,48 @@
+#ifndef ADYA_SERVE_HTTP_H_
+#define ADYA_SERVE_HTTP_H_
+
+// Minimal HTTP/1.0 exporter for the serve daemon's side port: GET /metrics
+// returns the StatsRegistry snapshot in Prometheus text exposition format,
+// GET /statsz returns it as one JSON object. Requests are tiny and rare
+// (scrapes), so the acceptor thread handles them inline — no keep-alive,
+// no pipelining, connection closed after each response.
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "obs/stats.h"
+
+namespace adya::serve {
+
+class HttpExporter {
+ public:
+  /// `*port` as in net::ListenTcp (0 = ephemeral, written back on Start).
+  HttpExporter(std::string host, int port, const obs::StatsRegistry* stats);
+  ~HttpExporter();  // implies Shutdown()
+
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  Status Start();
+  void Shutdown();
+
+  int port() const { return port_; }
+
+ private:
+  void Loop();
+  void Handle(int fd);
+
+  const std::string host_;
+  int port_;
+  const obs::StatsRegistry* stats_;
+  int listen_fd_ = -1;
+  std::thread acceptor_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+};
+
+}  // namespace adya::serve
+
+#endif  // ADYA_SERVE_HTTP_H_

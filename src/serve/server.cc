@@ -1,0 +1,353 @@
+#include "serve/server.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "common/str_util.h"
+#include "core/phenomena.h"
+
+namespace adya::serve {
+
+namespace {
+enum class ConnState { kAwaitHello, kAwaitOpen, kReady };
+}  // namespace
+
+/// Per-connection state. The reader thread owns everything except
+/// `session` (worker-shard-owned once opened) and the write side (shared,
+/// guarded by write_mu). `pending` is the reader/worker handoff: the
+/// reader admits a batch only below the limit, the worker decrements after
+/// replying.
+struct Server::Connection {
+  uint64_t id = 0;
+  int fd = -1;
+  ConnState state = ConnState::kAwaitHello;
+  FrameDecoder decoder;
+  std::unique_ptr<Session> session;
+  int max_pending = 0;
+
+  uint32_t next_seq = 0;  // reader-owned: seq the next EVENTS must carry
+  std::atomic<int> pending{0};
+  std::atomic<bool> dead{false};
+
+  std::mutex write_mu;
+
+  explicit Connection(uint32_t max_frame_payload)
+      : decoder(max_frame_payload) {}
+  ~Connection() { net::CloseFd(fd); }
+
+  /// One frame (or a pre-batched buffer) out, serialized against the other
+  /// writer. Returns false (and marks the connection dead) on send failure.
+  bool Write(FrameType type, std::string_view payload) {
+    std::string wire = EncodeFrame(type, payload);
+    return WriteWire(wire);
+  }
+  bool WriteWire(std::string_view wire) {
+    std::lock_guard<std::mutex> lk(write_mu);
+    if (dead.load(std::memory_order_relaxed)) return false;
+    if (!net::WriteFull(fd, wire.data(), wire.size()).ok()) {
+      dead.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+};
+
+Server::Server(const ServeOptions& options) : options_(options) {
+  if (options_.workers < 1) options_.workers = 1;
+  if (options_.max_pending < 1) options_.max_pending = 1;
+  if (options_.drain_batches < 1) options_.drain_batches = 1;
+  if (obs::StatsRegistry* stats = options_.stats) {
+    connections_total_ = &stats->counter("serve.connections");
+    sessions_total_ = &stats->counter("serve.sessions");
+    rx_batches_ = &stats->counter("serve.rx_batches");
+    busy_replies_ = &stats->counter("serve.busy_replies");
+    queue_depth_ = &stats->histogram("serve.queue_depth");
+    certify_us_ = &stats->histogram("serve.certify_us");
+    reply_us_ = &stats->histogram("serve.reply_us");
+  }
+}
+
+Server::~Server() { Shutdown(); }
+
+Status Server::Start() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (started_) return Status::Internal("Server::Start called twice");
+    started_ = true;
+  }
+  if (options_.port < 0 && options_.unix_path.empty()) {
+    return Status::InvalidArgument("no listener configured");
+  }
+  if (options_.port >= 0) {
+    int port = options_.port;
+    ADYA_ASSIGN_OR_RETURN(tcp_listen_fd_, net::ListenTcp(options_.host, &port));
+    port_ = port;
+  }
+  if (!options_.unix_path.empty()) {
+    ADYA_ASSIGN_OR_RETURN(unix_listen_fd_, net::ListenUnix(options_.unix_path));
+  }
+  pool_ = std::make_unique<ShardedWorkerPool>(
+      options_.workers, static_cast<size_t>(options_.drain_batches));
+  if (tcp_listen_fd_ >= 0) {
+    acceptors_.emplace_back([this] { AcceptLoop(tcp_listen_fd_); });
+  }
+  if (unix_listen_fd_ >= 0) {
+    acceptors_.emplace_back([this] { AcceptLoop(unix_listen_fd_); });
+  }
+  return Status::OK();
+}
+
+void Server::AcceptLoop(int listen_fd) {
+  for (;;) {
+    Result<int> fd = net::Accept(listen_fd);
+    if (stopping_.load(std::memory_order_relaxed)) {
+      if (fd.ok()) net::CloseFd(*fd);
+      return;
+    }
+    if (!fd.ok()) return;  // listener broke outside shutdown: stop accepting
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    if (connections_total_ != nullptr) connections_total_->Add();
+    StartConnection(*fd);
+  }
+}
+
+void Server::StartConnection(int fd) {
+  auto conn = std::make_shared<Connection>(options_.max_frame_payload);
+  conn->id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
+  conn->fd = fd;
+  conn->max_pending = options_.max_pending;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (stopping_.load(std::memory_order_relaxed)) return;  // dtor closes fd
+  conns_.emplace(conn->id, conn);
+  readers_.emplace_back([this, conn] { ReaderLoop(conn); });
+}
+
+void Server::ReaderLoop(std::shared_ptr<Connection> conn) {
+  char buf[64 * 1024];
+  bool open = true;
+  while (open && !conn->dead.load(std::memory_order_relaxed)) {
+    ssize_t got = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (got <= 0) {
+      if (got < 0 && errno == EINTR) continue;
+      break;  // EOF or error: the peer (or Shutdown) closed the read side
+    }
+    conn->decoder.Append(std::string_view(buf, static_cast<size_t>(got)));
+    // Drain every whole frame this read delivered (request aggregation:
+    // one recv often carries many pipelined EVENTS frames).
+    for (;;) {
+      Result<std::optional<Frame>> next = conn->decoder.Next();
+      if (!next.ok()) {
+        FailConnection(conn, next.status());
+        open = false;
+        break;
+      }
+      if (!next->has_value()) break;
+      if (!HandleFrame(conn, std::move(**next))) {
+        open = false;
+        break;
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  conns_.erase(conn->id);
+  // The Connection outlives this erase while worker tasks hold it; the fd
+  // closes when the last reference drops.
+}
+
+bool Server::HandleFrame(const std::shared_ptr<Connection>& conn,
+                         Frame frame) {
+  switch (frame.type) {
+    case FrameType::kHello: {
+      if (conn->state != ConnState::kAwaitHello) {
+        FailConnection(conn, Status::InvalidArgument("duplicate HELLO"));
+        return false;
+      }
+      if (frame.payload != kProtocolId) {
+        FailConnection(conn, Status::InvalidArgument(StrCat(
+                                 "protocol mismatch: client speaks '",
+                                 frame.payload, "', server speaks '",
+                                 kProtocolId, "'")));
+        return false;
+      }
+      conn->state = ConnState::kAwaitOpen;
+      return conn->Write(FrameType::kHelloOk, kProtocolId);
+    }
+    case FrameType::kOpen: {
+      if (conn->state != ConnState::kAwaitOpen) {
+        FailConnection(conn, Status::InvalidArgument(
+                                 conn->state == ConnState::kAwaitHello
+                                     ? "OPEN before HELLO"
+                                     : "duplicate OPEN"));
+        return false;
+      }
+      Result<SessionOptions> parsed = SessionOptions::Parse(frame.payload);
+      if (!parsed.ok()) {
+        FailConnection(conn, parsed.status());
+        return false;
+      }
+      if (parsed->max_pending > 0 && parsed->max_pending < conn->max_pending) {
+        conn->max_pending = parsed->max_pending;
+      }
+      uint64_t id = next_session_id_.fetch_add(1, std::memory_order_relaxed);
+      conn->session = std::make_unique<Session>(id, *parsed, options_.stats);
+      conn->state = ConnState::kReady;
+      if (sessions_total_ != nullptr) sessions_total_->Add();
+      return conn->Write(FrameType::kOpenOk, StrCat("session=", id));
+    }
+    case FrameType::kEvents: {
+      if (conn->state != ConnState::kReady) {
+        FailConnection(conn,
+                       Status::InvalidArgument("EVENTS before session open"));
+        return false;
+      }
+      Result<std::pair<uint32_t, std::string_view>> decoded =
+          DecodeEventsPayload(frame.payload);
+      if (!decoded.ok()) {
+        FailConnection(conn, decoded.status());
+        return false;
+      }
+      auto [seq, text] = *decoded;
+      int pending = conn->pending.load(std::memory_order_relaxed);
+      if (seq != conn->next_seq || pending >= conn->max_pending) {
+        // Out of order means the client pipelined past an earlier BUSY;
+        // either way the remedy is the same: resend from next_seq once
+        // in-flight work drains. Nothing is queued for a rejected batch.
+        if (busy_replies_ != nullptr) busy_replies_->Add();
+        return conn->Write(
+            FrameType::kBusy,
+            StrCat("expect=", conn->next_seq, " pending=", pending,
+                   " limit=", conn->max_pending));
+      }
+      conn->next_seq = seq + 1;
+      conn->pending.fetch_add(1, std::memory_order_relaxed);
+      if (rx_batches_ != nullptr) rx_batches_->Add();
+      size_t depth = pool_->Post(
+          conn->id,
+          [this, conn, seq, text = std::string(text)]() mutable {
+            ProcessBatch(conn, seq, std::move(text));
+          });
+      if (queue_depth_ != nullptr) queue_depth_->Record(depth);
+      return true;
+    }
+    case FrameType::kStats: {
+      if (conn->state != ConnState::kReady) {
+        FailConnection(conn,
+                       Status::InvalidArgument("STATS before session open"));
+        return false;
+      }
+      // Through the shard queue so the reply reflects (and orders after)
+      // every batch already admitted.
+      pool_->Post(conn->id, [conn] {
+        if (conn->dead.load(std::memory_order_relaxed)) return;
+        conn->Write(FrameType::kStatsReply,
+                    StrCat("{\"session\":", conn->session->ToJson(),
+                           ",\"pending\":",
+                           conn->pending.load(std::memory_order_relaxed),
+                           "}"));
+      });
+      return true;
+    }
+    case FrameType::kClose: {
+      if (conn->state != ConnState::kReady) {
+        FailConnection(conn,
+                       Status::InvalidArgument("CLOSE before session open"));
+        return false;
+      }
+      pool_->Post(conn->id, [conn] {
+        if (conn->dead.load(std::memory_order_relaxed)) return;
+        conn->Write(FrameType::kCloseOk, conn->session->ToJson());
+        net::ShutdownBoth(conn->fd);
+        conn->dead.store(true, std::memory_order_relaxed);
+      });
+      // Stop reading: anything after CLOSE is a protocol violation anyway.
+      return false;
+    }
+    default:
+      FailConnection(conn, Status::InvalidArgument(
+                               StrCat("unexpected client frame ",
+                                      FrameTypeName(frame.type))));
+      return false;
+  }
+}
+
+void Server::ProcessBatch(const std::shared_ptr<Connection>& conn,
+                          uint32_t seq, std::string text) {
+  if (conn->dead.load(std::memory_order_relaxed)) {
+    conn->pending.fetch_sub(1, std::memory_order_relaxed);
+    return;
+  }
+  Result<BatchOutcome> outcome = [&] {
+    ADYA_TIMED_PHASE(options_.stats, "serve.certify_us");
+    return conn->session->Apply(seq, text);
+  }();
+  if (!outcome.ok()) {
+    // Connection-scoped failure: this stream is not a well-formed history,
+    // so this session cannot continue — but only this session.
+    FailConnection(conn, outcome.status());
+    conn->pending.fetch_sub(1, std::memory_order_relaxed);
+    return;
+  }
+  {
+    ADYA_TIMED_PHASE(options_.stats, "serve.reply_us");
+    std::string wire;
+    for (const Violation& v : outcome->fresh) {
+      AppendFrame(&wire, FrameType::kWitness,
+                  StrCat(PhenomenonName(v.phenomenon), "\n", v.description));
+    }
+    AppendFrame(&wire, FrameType::kVerdict, outcome->VerdictPayload());
+    conn->WriteWire(wire);
+  }
+  conn->pending.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Server::FailConnection(const std::shared_ptr<Connection>& conn,
+                            const Status& error) {
+  conn->Write(FrameType::kError, error.message());
+  conn->dead.store(true, std::memory_order_relaxed);
+  net::ShutdownBoth(conn->fd);
+}
+
+void Server::PauseWorkersForTest(bool paused) {
+  if (pool_ != nullptr) pool_->Pause(paused);
+}
+
+void Server::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!started_ || stopped_) return;
+    stopped_ = true;
+  }
+  stopping_.store(true, std::memory_order_relaxed);
+  // Break the accept loops: shutdown() on a listening socket makes a
+  // blocked accept return, unlike close() (which would race fd reuse).
+  net::ShutdownBoth(tcp_listen_fd_);
+  net::ShutdownBoth(unix_listen_fd_);
+  for (std::thread& t : acceptors_) t.join();
+  acceptors_.clear();
+  net::CloseFd(tcp_listen_fd_);
+  net::CloseFd(unix_listen_fd_);
+  tcp_listen_fd_ = unix_listen_fd_ = -1;
+  if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
+
+  // Wake every reader (read-side shutdown → recv returns 0) and join them.
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& [id, conn] : conns_) net::ShutdownRead(conn->fd);
+    readers.swap(readers_);
+  }
+  for (std::thread& t : readers) t.join();
+
+  // Drain the worker pool: batches admitted before shutdown still certify
+  // and their verdicts still go out.
+  if (pool_ != nullptr) pool_->Shutdown();
+
+  // Now nothing references the connections but the map.
+  std::lock_guard<std::mutex> lk(mu_);
+  conns_.clear();
+}
+
+}  // namespace adya::serve

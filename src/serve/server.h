@@ -1,0 +1,142 @@
+#ifndef ADYA_SERVE_SERVER_H_
+#define ADYA_SERVE_SERVER_H_
+
+// The adya_serve daemon core: accepts connections on TCP and/or a
+// Unix-domain socket, runs one certification Session per connection, and
+// shards sessions across a ShardedWorkerPool so certification work for
+// different sessions proceeds in parallel while each session stays
+// single-threaded (no locks around the IncrementalChecker).
+//
+// Thread shape:
+//   * one acceptor thread per listener;
+//   * one reader thread per connection: recv into a buffer, feed the
+//     FrameDecoder, dispatch frames (handshake and backpressure replies go
+//     out directly from the reader; certification work is posted to the
+//     connection's worker shard);
+//   * N worker shards (connection id mod N): apply event batches to the
+//     session, write witness + verdict frames.
+// The reader and the worker can both write to one connection, so each
+// connection carries a write mutex; replies for one batch are encoded into
+// a single buffer and written with one send.
+//
+// Backpressure: the reader tracks in-flight batches per connection; a
+// batch arriving above `max_pending` (or out of order) is rejected with a
+// BUSY frame naming the seq to resend from — nothing is queued, so a slow
+// session cannot grow server memory without bound.
+//
+// Graceful drain (SIGTERM path): Shutdown() stops the listeners, wakes the
+// readers (read-side shutdown), joins them, then drains the worker pool —
+// every batch accepted before shutdown still gets its verdict written —
+// and finally closes the connection fds.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/net.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "obs/stats.h"
+#include "serve/framing.h"
+#include "serve/session.h"
+
+namespace adya::serve {
+
+struct ServeOptions {
+  /// TCP listen address. `port` 0 binds an ephemeral port (read it back
+  /// with Server::port()); -1 disables the TCP listener.
+  std::string host = "127.0.0.1";
+  int port = 0;
+  /// Unix-domain socket path; empty disables the Unix listener.
+  std::string unix_path;
+
+  /// Worker shards certification work is distributed over.
+  int workers = 4;
+  /// Default per-connection bound on in-flight event batches; OPEN's
+  /// max_pending option can lower (never raise) it.
+  int max_pending = 64;
+  /// Batches one worker wakeup drains from its shard queue at most.
+  int drain_batches = 8;
+  uint32_t max_frame_payload = kMaxFramePayload;
+
+  /// Registry for the serve.* metrics (DESIGN.md §9); also handed to every
+  /// session's IncrementalChecker. May be null.
+  obs::StatsRegistry* stats = nullptr;
+};
+
+class Server {
+ public:
+  explicit Server(const ServeOptions& options);
+  ~Server();  // implies Shutdown()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the listeners and starts the acceptor and worker threads.
+  Status Start();
+
+  /// Graceful drain; idempotent, also run by the destructor.
+  void Shutdown();
+
+  /// The bound TCP port (after Start; -1 when TCP is disabled).
+  int port() const { return port_; }
+
+  uint64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+
+  /// Test hook: freeze the worker shards so queued batches pile up and
+  /// BUSY replies can be observed deterministically.
+  void PauseWorkersForTest(bool paused);
+
+ private:
+  struct Connection;
+
+  void AcceptLoop(int listen_fd);
+  void StartConnection(int fd);
+  void ReaderLoop(std::shared_ptr<Connection> conn);
+  /// Dispatches one decoded frame; returns false when the connection is
+  /// done (error replied or close under way).
+  bool HandleFrame(const std::shared_ptr<Connection>& conn, Frame frame);
+  void ProcessBatch(const std::shared_ptr<Connection>& conn, uint32_t seq,
+                    std::string text);
+  /// Writes an ERROR frame (best effort) and severs the connection.
+  void FailConnection(const std::shared_ptr<Connection>& conn,
+                      const Status& error);
+
+  ServeOptions options_;
+  int port_ = -1;
+
+  int tcp_listen_fd_ = -1;
+  int unix_listen_fd_ = -1;
+  std::unique_ptr<ShardedWorkerPool> pool_;
+  std::vector<std::thread> acceptors_;
+
+  std::mutex mu_;  // guards conns_, readers_, started_/stopped_ transitions
+  std::map<uint64_t, std::shared_ptr<Connection>> conns_;
+  std::vector<std::thread> readers_;
+  bool started_ = false;
+  bool stopped_ = false;
+  std::atomic<bool> stopping_{false};
+
+  std::atomic<uint64_t> next_conn_id_{0};
+  std::atomic<uint64_t> next_session_id_{1};
+  std::atomic<uint64_t> connections_accepted_{0};
+
+  // serve.* instruments, resolved once (null when options_.stats is null).
+  obs::Counter* connections_total_ = nullptr;
+  obs::Counter* sessions_total_ = nullptr;
+  obs::Counter* rx_batches_ = nullptr;
+  obs::Counter* busy_replies_ = nullptr;
+  obs::Histogram* queue_depth_ = nullptr;
+  obs::Histogram* certify_us_ = nullptr;
+  obs::Histogram* reply_us_ = nullptr;
+};
+
+}  // namespace adya::serve
+
+#endif  // ADYA_SERVE_SERVER_H_

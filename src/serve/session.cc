@@ -1,0 +1,110 @@
+#include "serve/session.h"
+
+#include <array>
+#include <charconv>
+
+#include "common/str_util.h"
+#include "history/event.h"
+
+namespace adya::serve {
+namespace {
+
+constexpr std::array<IsolationLevel, 7> kAllLevels = {
+    IsolationLevel::kPL1,    IsolationLevel::kPL2,  IsolationLevel::kPLCS,
+    IsolationLevel::kPL2Plus, IsolationLevel::kPL299, IsolationLevel::kPLSI,
+    IsolationLevel::kPL3,
+};
+
+Result<IsolationLevel> LevelFromName(std::string_view name) {
+  for (IsolationLevel level : kAllLevels) {
+    if (IsolationLevelName(level) == name) return level;
+  }
+  return Status::InvalidArgument(StrCat("unknown isolation level '", name,
+                                        "' (expected PL-1 .. PL-3)"));
+}
+
+}  // namespace
+
+Result<SessionOptions> SessionOptions::Parse(std::string_view text) {
+  SessionOptions options;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(
+                                    text[pos]))) {
+      ++pos;
+    }
+    if (pos >= text.size()) break;
+    size_t end = pos;
+    while (end < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[end]))) {
+      ++end;
+    }
+    std::string_view token = text.substr(pos, end - pos);
+    pos = end;
+    size_t eq = token.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument(
+          StrCat("malformed OPEN option '", token, "' (expected key=value)"));
+    }
+    std::string_view key = token.substr(0, eq);
+    std::string_view value = token.substr(eq + 1);
+    if (key == "level") {
+      ADYA_ASSIGN_OR_RETURN(options.level, LevelFromName(value));
+    } else if (key == "max_pending") {
+      int n = 0;
+      auto [ptr, ec] =
+          std::from_chars(value.data(), value.data() + value.size(), n);
+      if (ec != std::errc() || ptr != value.data() + value.size() || n < 0) {
+        return Status::InvalidArgument(
+            StrCat("bad max_pending '", value, "'"));
+      }
+      options.max_pending = n;
+    } else {
+      return Status::InvalidArgument(
+          StrCat("unknown OPEN option '", key, "'"));
+    }
+  }
+  return options;
+}
+
+std::string BatchOutcome::VerdictPayload() const {
+  return StrCat("seq=", seq, " events=", events, " commits=", commits,
+                " fresh=", fresh.size());
+}
+
+Session::Session(uint64_t id, const SessionOptions& options,
+                 obs::StatsRegistry* stats)
+    : id_(id),
+      options_(options),
+      checker_(options.level, stats),
+      parser_(&checker_.history()) {}
+
+Result<BatchOutcome> Session::Apply(uint32_t seq, std::string_view text) {
+  BatchOutcome outcome;
+  outcome.seq = seq;
+  Status status = parser_.Feed(text, [&](const Event& event) -> Status {
+    ++outcome.events;
+    if (event.type == EventType::kCommit) ++outcome.commits;
+    ADYA_ASSIGN_OR_RETURN(std::vector<Violation> fresh,
+                          checker_.Feed(event));
+    for (Violation& v : fresh) outcome.fresh.push_back(std::move(v));
+    return Status::OK();
+  });
+  // Even a failed batch counted against the session before dying; the
+  // connection closes right after, so the tallies are diagnostics only.
+  batches_ += 1;
+  events_ += outcome.events;
+  commits_ += outcome.commits;
+  violations_ += outcome.fresh.size();
+  ADYA_RETURN_IF_ERROR(status);
+  return outcome;
+}
+
+std::string Session::ToJson() const {
+  return StrCat("{\"id\":", id_, ",\"level\":\"",
+                IsolationLevelName(options_.level), "\",\"batches\":",
+                batches_, ",\"events\":", events_, ",\"commits\":", commits_,
+                ",\"violations\":", violations_, "}");
+}
+
+}  // namespace adya::serve

@@ -1,0 +1,85 @@
+#ifndef ADYA_SERVE_SESSION_H_
+#define ADYA_SERVE_SESSION_H_
+
+// One certification session: the server-side state behind one client
+// connection. A session wraps a streaming IncrementalChecker plus a
+// StreamParser whose state persists across event batches, so a history
+// split into wire frames at any event boundary certifies identically to
+// the offline adya::Checker on the concatenated text (the serve
+// differential test pins this, witnesses byte for byte).
+//
+// Sessions are single-threaded by construction: the server pins each
+// session to one worker shard, so Apply() needs no locking.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "core/incremental.h"
+#include "core/levels.h"
+#include "history/parser.h"
+#include "obs/stats.h"
+
+namespace adya::serve {
+
+/// Parsed kOpen payload: `level=PL-3 [max_pending=N]`. Unknown keys are
+/// rejected (a client talking a newer dialect should fail loudly).
+struct SessionOptions {
+  IsolationLevel level = IsolationLevel::kPL3;
+  /// Per-session pending-batch bound; 0 means "server default". Values
+  /// above the server's limit are clamped to it.
+  int max_pending = 0;
+
+  static Result<SessionOptions> Parse(std::string_view text);
+};
+
+/// What one applied batch produced: the counts for the kVerdict line and
+/// the fresh violations for kWitness frames.
+struct BatchOutcome {
+  uint32_t seq = 0;
+  uint64_t events = 0;
+  uint64_t commits = 0;
+  std::vector<Violation> fresh;
+
+  /// The kVerdict payload: `seq=N events=E commits=C fresh=K`.
+  std::string VerdictPayload() const;
+};
+
+class Session {
+ public:
+  Session(uint64_t id, const SessionOptions& options,
+          obs::StatsRegistry* stats);
+
+  uint64_t id() const { return id_; }
+  IsolationLevel level() const { return options_.level; }
+
+  /// Parses and certifies one event batch. An error (malformed notation,
+  /// ill-formed stream) poisons nothing server-wide — the caller replies
+  /// kError and closes the connection.
+  Result<BatchOutcome> Apply(uint32_t seq, std::string_view text);
+
+  uint64_t batches() const { return batches_; }
+  uint64_t events() const { return events_; }
+  uint64_t commits() const { return commits_; }
+  uint64_t violations() const { return violations_; }
+
+  /// {"id":…,"level":"PL-3","batches":…,"events":…,"commits":…,
+  ///  "violations":…} for the kStatsReply session section.
+  std::string ToJson() const;
+
+ private:
+  const uint64_t id_;
+  const SessionOptions options_;
+  IncrementalChecker checker_;
+  StreamParser parser_;
+  uint64_t batches_ = 0;
+  uint64_t events_ = 0;
+  uint64_t commits_ = 0;
+  uint64_t violations_ = 0;
+};
+
+}  // namespace adya::serve
+
+#endif  // ADYA_SERVE_SESSION_H_

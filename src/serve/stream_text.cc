@@ -1,0 +1,258 @@
+#include "serve/stream_text.h"
+
+#include <set>
+#include <sstream>
+
+#include "common/str_util.h"
+#include "history/format.h"
+
+namespace adya::serve {
+
+namespace {
+
+std::string LetterSuffix(size_t i) {
+  std::string out;
+  do {
+    out += static_cast<char>('a' + i % 26);
+    i /= 26;
+  } while (i > 0);
+  return out;
+}
+
+/// The notation's names are letters and underscores only (digits belong to
+/// the version token's writer id, '#' starts a comment), but recorded
+/// names are often "P1" or a reinsertion's "ke#2". Streamed text renames
+/// every predicate, and every object whose recorded name the notation
+/// cannot carry.
+std::string StreamPredicateName(PredicateId p) {
+  return StrCat("P", LetterSuffix(p));
+}
+
+bool NotationSafeName(const std::string& name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    if (!std::isalpha(static_cast<unsigned char>(c)) && c != '_') {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Wire name per object: the recorded name when the notation can carry it,
+/// else "o" + letter suffix (picked to collide with nothing kept).
+std::vector<std::string> BuildObjectNames(const History& h) {
+  std::vector<std::string> names(h.object_count());
+  std::set<std::string> taken;
+  for (ObjectId o = 0; o < h.object_count(); ++o) {
+    const std::string& name = h.object_name(o);
+    if (NotationSafeName(name)) {
+      names[o] = name;
+      taken.insert(name);
+    }
+  }
+  size_t next = 0;
+  for (ObjectId o = 0; o < h.object_count(); ++o) {
+    if (!names[o].empty()) continue;
+    std::string fresh;
+    do {
+      fresh = StrCat("o", LetterSuffix(next++));
+    } while (taken.count(fresh) > 0);
+    names[o] = fresh;
+    taken.insert(fresh);
+  }
+  return names;
+}
+
+/// FormatVersion with the sanitized object name.
+std::string StreamVersion(const History& h,
+                          const std::vector<std::string>& names,
+                          const VersionId& v) {
+  const std::string& name = names[v.object];
+  if (v.is_init()) return StrCat(name, "init");
+  if (v.seq <= 1 && h.FinalSeq(v.writer, v.object) <= 1) {
+    return StrCat(name, v.writer);
+  }
+  return StrCat(name, v.writer, ".", v.seq);
+}
+
+/// FormatEvent with sanitized object and predicate names.
+std::string FormatStreamEvent(const History& h,
+                              const std::vector<std::string>& names,
+                              const Event& e) {
+  switch (e.type) {
+    case EventType::kRead: {
+      std::string out =
+          StrCat("r", e.txn, "(", StreamVersion(h, names, e.version));
+      if (!e.row.empty()) out += StrCat(", ", e.row.ToString());
+      return out + ")";
+    }
+    case EventType::kWrite: {
+      std::string out =
+          StrCat("w", e.txn, "(", StreamVersion(h, names, e.version));
+      if (e.written_kind == VersionKind::kDead) {
+        out += ", dead";
+      } else if (!e.row.empty()) {
+        out += StrCat(", ", e.row.ToString());
+      }
+      return out + ")";
+    }
+    case EventType::kPredicateRead: {
+      std::string out =
+          StrCat("r", e.txn, "(", StreamPredicateName(e.predicate), ":");
+      bool first = true;
+      for (const VersionId& v : e.vset) {
+        out += first ? " " : ", ";
+        first = false;
+        out += StreamVersion(h, names, v);
+      }
+      return out + ")";
+    }
+    default:
+      return FormatEvent(h, e);
+  }
+}
+
+}  // namespace
+
+StreamText FormatForStream(const History& h, size_t events_per_batch) {
+  if (events_per_batch == 0) events_per_batch = 1;
+  StreamText out;
+  std::vector<std::string> names = BuildObjectNames(h);
+  std::ostringstream decls;
+  for (RelationId r = 0; r < h.relation_count(); ++r) {
+    if (h.relation_name(r) != "R") {
+      decls << "relation " << h.relation_name(r) << ";\n";
+    }
+  }
+  for (ObjectId o = 0; o < h.object_count(); ++o) {
+    RelationId r = h.object_relation(o);
+    if (h.relation_name(r) != "R") {
+      decls << "object " << names[o] << " in " << h.relation_name(r) << ";\n";
+    }
+  }
+  for (PredicateId p = 0; p < h.predicate_count(); ++p) {
+    decls << "pred " << StreamPredicateName(p) << " on ";
+    bool first = true;
+    for (RelationId r : h.predicate_relations(p)) {
+      if (!first) decls << ", ";
+      first = false;
+      decls << h.relation_name(r);
+    }
+    decls << ": " << h.predicate(p).Description() << ";\n";
+  }
+  for (TxnId txn : h.Transactions()) {
+    IsolationLevel level = h.txn_info(txn).level;
+    if (level != IsolationLevel::kPL3) {
+      decls << "level " << txn << " " << IsolationLevelName(level) << ";\n";
+    }
+  }
+  out.decls = decls.str();
+
+  std::string batch;
+  size_t in_batch = 0;
+  for (const Event& e : h.events()) {
+    if (!batch.empty()) batch += ' ';
+    batch += FormatStreamEvent(h, names, e);
+    if (++in_batch >= events_per_batch) {
+      batch += '\n';
+      out.batches.push_back(std::move(batch));
+      batch.clear();
+      in_batch = 0;
+    }
+  }
+  if (!batch.empty()) {
+    batch += '\n';
+    out.batches.push_back(std::move(batch));
+  }
+  return out;
+}
+
+SyntheticLoad::SyntheticLoad(uint64_t seed, int objects, int events_per_batch,
+                             int write_skew_every)
+    : rng_(seed),
+      events_per_batch_(events_per_batch < 4 ? 4 : events_per_batch),
+      write_skew_every_(write_skew_every),
+      last_writer_(static_cast<size_t>(objects < 2 ? 2 : objects), 0) {}
+
+std::string SyntheticLoad::ObjectName(size_t index) const {
+  // Letters only: version tokens append the writer's txn id, so an object
+  // name must not end in a digit.
+  std::string name = "k";
+  size_t i = index;
+  do {
+    name += static_cast<char>('a' + i % 26);
+    i /= 26;
+  } while (i > 0);
+  return name;
+}
+
+std::string SyntheticLoad::CurrentVersion(size_t index) const {
+  uint64_t writer = last_writer_[index];
+  if (writer == 0) return StrCat(ObjectName(index), "init");
+  return StrCat(ObjectName(index), writer);
+}
+
+std::string SyntheticLoad::NextBatch() {
+  ++batches_;
+  std::string out;
+  size_t events = 0;
+  if (next_txn_ == 1) {
+    // Install every object first: the init version is unborn and cannot be
+    // read, so later transactions always have a committed version to see.
+    uint64_t t = next_txn_++;
+    for (size_t obj = 0; obj < last_writer_.size(); ++obj) {
+      out += StrCat("w", t, "(", ObjectName(obj), t, ", ",
+                    rng_.NextBelow(1000), ") ");
+      ++events;
+    }
+    out += StrCat("c", t, "\n");
+    ++events;
+    for (size_t obj = 0; obj < last_writer_.size(); ++obj) {
+      last_writer_[obj] = t;
+    }
+  }
+  if (write_skew_every_ > 0 && batches_ % write_skew_every_ == 0) {
+    // The canonical write-skew interleaving on two distinct objects.
+    size_t i = rng_.NextBelow(last_writer_.size());
+    size_t j = (i + 1 + rng_.NextBelow(last_writer_.size() - 1)) %
+               last_writer_.size();
+    uint64_t t1 = next_txn_++;
+    uint64_t t2 = next_txn_++;
+    out += StrCat("b", t1, " b", t2, " r", t1, "(", CurrentVersion(i), ") r",
+                  t1, "(", CurrentVersion(j), ") r", t2, "(",
+                  CurrentVersion(i), ") r", t2, "(", CurrentVersion(j), ") w",
+                  t1, "(", ObjectName(i), t1, ", ", rng_.NextBelow(1000),
+                  ") w", t2, "(", ObjectName(j), t2, ", ",
+                  rng_.NextBelow(1000), ") c", t1, " c", t2, "\n");
+    last_writer_[i] = t1;
+    last_writer_[j] = t2;
+    events += 10;
+  }
+  while (events < static_cast<size_t>(events_per_batch_)) {
+    uint64_t t = next_txn_++;
+    size_t reads = 1 + rng_.NextBelow(2);
+    size_t writes = 1 + rng_.NextBelow(2);
+    for (size_t r = 0; r < reads; ++r) {
+      size_t obj = rng_.NextBelow(last_writer_.size());
+      out += StrCat("r", t, "(", CurrentVersion(obj), ") ");
+      ++events;
+    }
+    // Distinct write targets: a second write of the same object by the
+    // same transaction would need x<t>.2 tokens.
+    size_t first = rng_.NextBelow(last_writer_.size());
+    for (size_t w = 0; w < writes; ++w) {
+      size_t obj = (first + w) % last_writer_.size();
+      out += StrCat("w", t, "(", ObjectName(obj), t, ", ",
+                    rng_.NextBelow(1000), ") ");
+      ++events;
+    }
+    out += StrCat("c", t, "\n");
+    ++events;
+    for (size_t w = 0; w < writes; ++w) {
+      last_writer_[(first + w) % last_writer_.size()] = t;
+    }
+  }
+  return out;
+}
+
+}  // namespace adya::serve

@@ -1,0 +1,68 @@
+#ifndef ADYA_SERVE_STREAM_TEXT_H_
+#define ADYA_SERVE_STREAM_TEXT_H_
+
+// Producing event-batch text for serve sessions: turn a recorded history
+// into streamable chunks (engine-recorded workloads), or synthesize an
+// endless deterministic stream (load generation). Shared by adya_load,
+// bench_serve, and the serve tests.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "history/history.h"
+
+namespace adya::serve {
+
+/// A finalized history rendered for streaming: declarations (relations,
+/// objects, predicates, per-transaction levels) followed by event chunks
+/// split at token boundaries, every `events_per_batch` events. Unlike
+/// FormatHistory this emits NO version-order block — a stream's version
+/// orders are its commit order — so histories whose recorded version order
+/// deviates from commit order certify as the commit-order reading.
+/// Concatenating `decls` and all `batches` parses to the same events in
+/// the same order as the source history.
+struct StreamText {
+  std::string decls;
+  std::vector<std::string> batches;
+};
+StreamText FormatForStream(const History& h, size_t events_per_batch);
+
+/// Deterministic synthetic event-stream generator for load and benches:
+/// short serial transactions (a few reads of the latest committed
+/// versions, a few writes, commit) over a fixed object universe, one
+/// commit-terminated batch per NextBatch() call. With `write_skew_every`
+/// > 0, every Nth batch interleaves a classic write-skew pair (both
+/// transactions read both objects' current versions, then each blind-
+/// writes a different one) — a G2 the session reports on first occurrence,
+/// exercising the witness path. Two generators with the same construction
+/// arguments produce byte-identical streams.
+class SyntheticLoad {
+ public:
+  SyntheticLoad(uint64_t seed, int objects, int events_per_batch,
+                int write_skew_every = 0);
+
+  /// The next batch's notation text (always ends in commits; never splits
+  /// a transaction across batches).
+  std::string NextBatch();
+
+  uint64_t txns_generated() const { return next_txn_ - 1; }
+
+ private:
+  std::string ObjectName(size_t index) const;
+  /// `<name><writer>` or `<name>init` for the latest committed version.
+  std::string CurrentVersion(size_t index) const;
+
+  Rng rng_;
+  const int events_per_batch_;
+  int write_skew_every_;
+  uint64_t batches_ = 0;
+  uint64_t next_txn_ = 1;
+  /// Latest committed writer per object; 0 = only the init version exists.
+  std::vector<uint64_t> last_writer_;
+};
+
+}  // namespace adya::serve
+
+#endif  // ADYA_SERVE_STREAM_TEXT_H_

@@ -81,9 +81,16 @@ std::vector<Violation> OnlineCertifier::CertifyPrefix(size_t end) const {
 std::vector<Violation> OnlineCertifier::Cycle() {
   ++cycles_;
   size_t before = cursor_;
+  // Queue depth is a gauge sampled at drain time: how far the recorder has
+  // run ahead of the certifier at the moment this cycle starts draining.
+  // (It was previously the per-cycle count of pending commit snapshots,
+  // which is only meaningful at batch boundaries and is already covered by
+  // certifier.batch_size.)
+  size_t backlog = db_->RecordedEventCount() - cursor_;
   cursor_ = db_->DrainRecorded(&replica_, cursor_);
   if (options_.stats != nullptr) {
     options_.stats->counter("certifier.cycles").Add();
+    options_.stats->histogram("certifier.queue_depth").Record(backlog);
     options_.stats->histogram("certifier.drain_events")
         .Record(cursor_ - before);
   }
@@ -98,10 +105,6 @@ std::vector<Violation> OnlineCertifier::Cycle() {
       ++commits_seen_;
       commit_ends.push_back(i + 1);
     }
-  }
-  if (options_.stats != nullptr) {
-    options_.stats->histogram("certifier.queue_depth")
-        .Record(commit_ends.size());
   }
   if (commit_ends.empty()) return {};
 

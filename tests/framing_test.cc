@@ -1,0 +1,167 @@
+#include "serve/framing.h"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/net.h"
+
+namespace adya::serve {
+namespace {
+
+TEST(FramingTest, EncodeDecodeRoundTrip) {
+  std::string wire = EncodeFrame(FrameType::kOpen, "level=PL-3");
+  // 4-byte length + 1-byte type + payload.
+  ASSERT_EQ(wire.size(), 4 + 1 + 10);
+  EXPECT_EQ(static_cast<uint8_t>(wire[0]), 10);
+  EXPECT_EQ(static_cast<uint8_t>(wire[1]), 0);
+  EXPECT_EQ(static_cast<uint8_t>(wire[4]), static_cast<uint8_t>(FrameType::kOpen));
+
+  FrameDecoder decoder;
+  decoder.Append(wire);
+  auto frame = decoder.Next();
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  ASSERT_TRUE(frame->has_value());
+  EXPECT_EQ((*frame)->type, FrameType::kOpen);
+  EXPECT_EQ((*frame)->payload, "level=PL-3");
+
+  auto empty = decoder.Next();
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(empty->has_value());
+}
+
+TEST(FramingTest, DecoderHandlesArbitrarySplits) {
+  std::string wire;
+  AppendFrame(&wire, FrameType::kHello, std::string(kProtocolId));
+  AppendFrame(&wire, FrameType::kEvents, EncodeEventsPayload(7, "w1(x1) c1\n"));
+  AppendFrame(&wire, FrameType::kClose, "");
+
+  // Every split point, including mid-length-prefix and mid-payload.
+  for (size_t split = 0; split <= wire.size(); ++split) {
+    FrameDecoder decoder;
+    decoder.Append(std::string_view(wire).substr(0, split));
+    std::vector<Frame> got;
+    for (;;) {
+      auto next = decoder.Next();
+      ASSERT_TRUE(next.ok()) << next.status();
+      if (!next->has_value()) break;
+      got.push_back(std::move(**next));
+    }
+    decoder.Append(std::string_view(wire).substr(split));
+    for (;;) {
+      auto next = decoder.Next();
+      ASSERT_TRUE(next.ok()) << next.status();
+      if (!next->has_value()) break;
+      got.push_back(std::move(**next));
+    }
+    ASSERT_EQ(got.size(), 3u) << "split at " << split;
+    EXPECT_EQ(got[0].type, FrameType::kHello);
+    EXPECT_EQ(got[0].payload, kProtocolId);
+    EXPECT_EQ(got[1].type, FrameType::kEvents);
+    auto events = DecodeEventsPayload(got[1].payload);
+    ASSERT_TRUE(events.ok());
+    EXPECT_EQ(events->first, 7u);
+    EXPECT_EQ(events->second, "w1(x1) c1\n");
+    EXPECT_EQ(got[2].type, FrameType::kClose);
+    EXPECT_TRUE(got[2].payload.empty());
+  }
+}
+
+TEST(FramingTest, TruncatedFrameYieldsNothing) {
+  std::string wire = EncodeFrame(FrameType::kStats, "payload");
+  FrameDecoder decoder;
+  decoder.Append(std::string_view(wire).substr(0, wire.size() - 1));
+  auto next = decoder.Next();
+  ASSERT_TRUE(next.ok());
+  EXPECT_FALSE(next->has_value());
+  EXPECT_GT(decoder.buffered(), 0u);
+}
+
+TEST(FramingTest, OversizedLengthRejectedWithoutAllocating) {
+  // Length prefix claims 1 GiB; the decoder must reject it from the prefix
+  // alone, and the error must be sticky.
+  FrameDecoder decoder(/*max_payload=*/1024);
+  std::string prefix({'\x00', '\x00', '\x00', '\x40'});  // 1 GiB little endian
+  prefix += static_cast<char>(FrameType::kStats);
+  decoder.Append(prefix);
+  auto next = decoder.Next();
+  EXPECT_FALSE(next.ok());
+
+  decoder.Append(EncodeFrame(FrameType::kClose, ""));
+  auto after = decoder.Next();
+  EXPECT_FALSE(after.ok()) << "decoder error must be sticky";
+}
+
+TEST(FramingTest, UnknownFrameTypeRejected) {
+  std::string wire;
+  wire += '\x00';
+  wire += '\x00';
+  wire += '\x00';
+  wire += '\x00';
+  wire += '\x7f';  // no such frame type
+  FrameDecoder decoder;
+  decoder.Append(wire);
+  auto next = decoder.Next();
+  EXPECT_FALSE(next.ok());
+}
+
+TEST(FramingTest, EventsPayloadTooShortRejected) {
+  auto decoded = DecodeEventsPayload("ab");  // needs at least the u32 seq
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(FramingTest, ReadWriteFrameAcrossSocketPair) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+
+  // A payload large enough that the kernel splits delivery, exercising the
+  // partial-read loop in ReadFrame.
+  std::string big(3u << 20, 'x');
+  std::thread writer([&] {
+    Status s = WriteFrame(fds[0], FrameType::kEvents,
+                          EncodeEventsPayload(42, big));
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    ::close(fds[0]);
+  });
+  Result<Frame> frame = ReadFrame(fds[1]);
+  writer.join();
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  EXPECT_EQ(frame->type, FrameType::kEvents);
+  auto events = DecodeEventsPayload(frame->payload);
+  ASSERT_TRUE(events.ok());
+  EXPECT_EQ(events->first, 42u);
+  EXPECT_EQ(events->second.size(), big.size());
+
+  // Clean EOF between frames reads back as kNotFound.
+  Result<Frame> eof = ReadFrame(fds[1]);
+  EXPECT_FALSE(eof.ok());
+  EXPECT_EQ(eof.status().code(), StatusCode::kNotFound) << eof.status();
+  ::close(fds[1]);
+}
+
+TEST(FramingTest, ReadFrameRejectsOversizedPrefix) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::string prefix = "\xff\xff\xff\xff";
+  prefix += static_cast<char>(FrameType::kEvents);
+  ASSERT_TRUE(net::WriteFull(fds[0], prefix.data(), prefix.size()).ok());
+  Result<Frame> frame = ReadFrame(fds[1], /*max_payload=*/1 << 20);
+  EXPECT_FALSE(frame.ok());
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(FramingTest, FrameTypeNames) {
+  EXPECT_EQ(FrameTypeName(FrameType::kHello), "HELLO");
+  EXPECT_EQ(FrameTypeName(FrameType::kVerdict), "VERDICT");
+  EXPECT_TRUE(IsKnownFrameType(static_cast<uint8_t>(FrameType::kBusy)));
+  EXPECT_FALSE(IsKnownFrameType(0));
+  EXPECT_FALSE(IsKnownFrameType(200));
+}
+
+}  // namespace
+}  // namespace adya::serve

@@ -225,5 +225,52 @@ TEST(ObsSnapshotTest, PrometheusSanitizesNamesAndExportsSummaries) {
   EXPECT_NE(prom.find("quantile=\"0.99\""), std::string::npos) << prom;
 }
 
+TEST(ObsHistogramQuantileTest, EmptyIsZeroAndOneIsExactMax) {
+  Histogram h;
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+  h.Record(17);
+  h.Record(9000);
+  EXPECT_EQ(h.Quantile(1.0), 9000u);
+  EXPECT_EQ(h.Quantile(2.0), 9000u);  // clamped
+  EXPECT_LE(h.Quantile(-1.0), 17u);   // clamped to 0
+}
+
+TEST(ObsHistogramQuantileTest, MonotoneInQ) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 5000; ++v) h.Record(v);
+  uint64_t prev = 0;
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0}) {
+    uint64_t value = h.Quantile(q);
+    EXPECT_GE(value, prev) << "q=" << q;
+    prev = value;
+  }
+  EXPECT_EQ(prev, 5000u);
+}
+
+TEST(ObsHistogramQuantileTest, InterpolatesInsideTheBucket) {
+  // 1..1000 recorded once each: the interpolated quantiles track the true
+  // values to within a log-bucket's resolution instead of snapping to the
+  // bucket floor the way Percentile does.
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  uint64_t q50 = h.Quantile(0.50);
+  uint64_t q99 = h.Quantile(0.99);
+  EXPECT_GE(q50, 400u);
+  EXPECT_LE(q50, 600u);
+  EXPECT_GE(q99, 900u);
+  EXPECT_LE(q99, 1000u);
+  // Never above the recorded maximum, unlike a raw bucket ceiling.
+  EXPECT_LE(h.Quantile(0.9999), 1000u);
+}
+
+TEST(ObsHistogramQuantileTest, AgreesWithPercentileAtBucketScale) {
+  Histogram h;
+  for (uint64_t v : {1u, 2u, 3u, 4u, 5u, 6u, 7u}) h.Record(v);
+  // Small exact-bucket values: interpolation degenerates to the exact
+  // answer Percentile already gives.
+  EXPECT_EQ(h.Quantile(1.0), h.Percentile(100));
+  EXPECT_GE(h.Quantile(0.5), h.Percentile(50));
+}
+
 }  // namespace
 }  // namespace adya::obs

@@ -625,5 +625,155 @@ TEST(FormatFuzzTest, DoubleValuesRoundTripExactly) {
   }
 }
 
+// --- StreamParser (the adya_serve session front end) ------------------------
+
+constexpr char kStreamText[] =
+    "relation Accts;\n"
+    "object a in Accts; object b in Accts;\n"
+    "level 2 PL-2;\n"
+    "w1(a1, 5) w1(b1, 5) c1 "
+    "r2(a1, 5) w2(a2, 6) c2 "
+    "r3(b1, 5) w3(b3, 7) c3";
+
+/// Feeds `text` split into `pieces` chunks at event boundaries and returns
+/// the events the sink saw, appended to *universe.
+Status FeedChunked(std::string_view text, size_t pieces, History* universe) {
+  StreamParser parser(universe);
+  // Split at whitespace near the i/pieces marks so chunks end on whole
+  // statements (frames carry whole events; see parser.h): after a ';'
+  // (declarations), a top-level ')' (read/write events), or a bare
+  // begin/commit/abort token ending in its transaction number.
+  std::vector<size_t> boundaries;
+  size_t token_begin = 0;
+  int depth = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i < text.size() && text[i] != ' ' && text[i] != '\n') {
+      if (text[i] == '(') ++depth;
+      if (text[i] == ')') --depth;
+      continue;
+    }
+    std::string_view token = text.substr(token_begin, i - token_begin);
+    token_begin = i + 1;
+    if (depth != 0 || token.empty()) continue;
+    bool bare_txn_event =
+        (token[0] == 'c' || token[0] == 'b' || token[0] == 'a') &&
+        token.size() > 1 &&
+        token.find_first_not_of("0123456789", 1) == std::string_view::npos;
+    if (token.back() == ';' || token.back() == ')' || bare_txn_event) {
+      boundaries.push_back(i);
+    }
+  }
+  std::vector<std::string_view> chunks;
+  size_t begin = 0;
+  for (size_t i = 1; i < pieces && begin < text.size(); ++i) {
+    size_t want = text.size() * i / pieces;
+    size_t target = text.size();
+    for (size_t b : boundaries) {
+      if (b >= want) {
+        target = b;
+        break;
+      }
+    }
+    if (target <= begin || target >= text.size()) continue;
+    chunks.push_back(text.substr(begin, target - begin));
+    begin = target;
+  }
+  chunks.push_back(text.substr(begin));
+  for (std::string_view chunk : chunks) {
+    Status s = parser.Feed(chunk, [&](const Event& e) -> Status {
+      universe->Append(e);
+      return Status();
+    });
+    ADYA_RETURN_IF_ERROR(s);
+  }
+  return Status();
+}
+
+TEST(StreamParserTest, ChunkedFeedMatchesWholeParse) {
+  auto whole = ParseHistory(kStreamText);
+  ASSERT_TRUE(whole.ok()) << whole.status();
+  for (size_t pieces : {1u, 2u, 3u, 5u, 9u}) {
+    History streamed;
+    Status s = FeedChunked(kStreamText, pieces, &streamed);
+    ASSERT_TRUE(s.ok()) << "pieces=" << pieces << ": " << s.ToString();
+    ASSERT_TRUE(streamed.Finalize().ok());
+    ASSERT_EQ(streamed.events().size(), whole->events().size())
+        << "pieces=" << pieces;
+    for (EventId id = 0; id < whole->events().size(); ++id) {
+      EXPECT_EQ(FormatEvent(streamed, streamed.event(id)),
+                FormatEvent(*whole, whole->event(id)))
+          << "pieces=" << pieces << " event " << id;
+    }
+    EXPECT_EQ(streamed.txn_info(2).level, IsolationLevel::kPL2);
+  }
+}
+
+TEST(StreamParserTest, DeclarationsApplyAcrossChunks) {
+  History universe;
+  StreamParser parser(&universe);
+  auto sink = [&](const Event& e) {
+    universe.Append(e);
+    return Status();
+  };
+  ASSERT_TRUE(parser.Feed("relation Accts;\n", sink).ok());
+  ASSERT_TRUE(parser.Feed("object a in Accts;\n", sink).ok());
+  ASSERT_TRUE(parser.Feed("w1(a1) c1\n", sink).ok());
+  ASSERT_TRUE(universe.FindObject("a").ok());
+  EXPECT_EQ(universe.events().size(), 2u);
+}
+
+TEST(StreamParserTest, VersionOrderBlockRejectedInStream) {
+  History universe;
+  StreamParser parser(&universe);
+  auto sink = [&](const Event& e) {
+    universe.Append(e);
+    return Status();
+  };
+  ASSERT_TRUE(parser.Feed("w1(x1) c1 w2(x2) c2\n", sink).ok());
+  Status s = parser.Feed("[x1 << x2]\n", sink);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("stream"), std::string::npos) << s.ToString();
+}
+
+TEST(StreamParserTest, SinkErrorAbortsTheParse) {
+  History universe;
+  StreamParser parser(&universe);
+  int fed = 0;
+  Status s = parser.Feed("w1(x1) c1", [&](const Event&) {
+    ++fed;
+    return Status::Internal("sink says no");
+  });
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("sink says no"), std::string::npos);
+  EXPECT_EQ(fed, 1);
+}
+
+TEST(ParserTest, CrlfLineEndingsTolerated) {
+  auto h = ParseHistory(
+      "relation Accts;\r\n"
+      "object a in Accts;\r\n"
+      "w1(a1, 5)\r\nc1\r\nr2(a1, 5) c2\r\n");
+  ASSERT_TRUE(h.ok()) << h.status();
+  EXPECT_EQ(h->events().size(), 4u);
+}
+
+TEST(ParserTest, TrailingWhitespaceTolerated) {
+  auto h = ParseHistory("w1(x1) c1 \t \nr2(x1) c2\t\r\n   ");
+  ASSERT_TRUE(h.ok()) << h.status();
+  EXPECT_EQ(h->events().size(), 4u);
+}
+
+TEST(StreamParserTest, CrlfChunksTolerated) {
+  History universe;
+  StreamParser parser(&universe);
+  auto sink = [&](const Event& e) {
+    universe.Append(e);
+    return Status();
+  };
+  ASSERT_TRUE(parser.Feed("w1(x1, 5)\r\n", sink).ok());
+  ASSERT_TRUE(parser.Feed("c1\r\n", sink).ok());
+  EXPECT_EQ(universe.events().size(), 2u);
+}
+
 }  // namespace
 }  // namespace adya
