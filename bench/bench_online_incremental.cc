@@ -18,9 +18,25 @@
 // - per_commit_us: mean per-commit cost in each quarter of the stream.
 //   Flat-ish quarters show the per-commit cost does not grow with the
 //   length of the already-certified prefix.
+//
+// The bounded-memory companion claim — the certified-stable-prefix GC of
+// DESIGN.md §12 keeps a long-running stream's footprint flat instead of
+// growing with history length — is measured by BM_OnlineGcBoundedMemory
+// over a serve-style synthetic stream, GC on vs off:
+//
+//   BENCH {"name":"online_gc","commits":…,"events":…,"repeats":…,
+//          "gc":{"wall_us":{…},"peak_rss_kb":…,"live_events":…,
+//                "gc_runs":…,"gc_freed_events":…},
+//          "nogc":{"wall_us":{…},"peak_rss_kb":…,"live_events":…}}
+//
+// live_events is the checker's retained-event count after the pass (the
+// deterministic memory proxy: bounded with GC, equal to the whole stream
+// without); peak_rss_kb samples /proc/self/statm across the pass.
 
 #include <benchmark/benchmark.h>
+#include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <vector>
@@ -29,6 +45,8 @@
 #include "common/str_util.h"
 #include "core/incremental.h"
 #include "core/levels.h"
+#include "history/parser.h"
+#include "serve/stream_text.h"
 #include "workload/workload.h"
 
 namespace adya {
@@ -160,6 +178,108 @@ BENCHMARK(BM_OnlineIncremental)
     ->Arg(1024)
     ->UseRealTime()
     ->Unit(benchmark::kMicrosecond);
+
+/// Resident set size in KiB from /proc/self/statm (0 if unreadable).
+uint64_t RssKb() {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long size = 0, resident = 0;
+  int got = std::fscanf(f, "%llu %llu", &size, &resident);
+  std::fclose(f);
+  if (got != 2) return 0;
+  long page = ::sysconf(_SC_PAGESIZE);
+  return resident * static_cast<uint64_t>(page > 0 ? page : 4096) / 1024;
+}
+
+struct GcPassResult {
+  double wall_us = 0;
+  uint64_t peak_rss_kb = 0;
+  uint64_t live_events = 0;
+  uint64_t gc_runs = 0;
+  uint64_t gc_freed_events = 0;
+};
+
+/// Streams `commits` commits of a serve-style synthetic load through one
+/// IncrementalChecker, sampling RSS every few thousand commits.
+GcPassResult GcPass(uint64_t commits, const GcOptions& gc) {
+  GcPassResult out;
+  auto start = std::chrono::steady_clock::now();
+  IncrementalChecker checker(IsolationLevel::kPL3, g_stats, gc);
+  StreamParser parser(&checker.history());
+  serve::SyntheticLoad load(/*seed=*/29, /*objects=*/32,
+                            /*events_per_batch=*/256, /*write_skew_every=*/0);
+  uint64_t seen = 0;
+  uint64_t next_sample = 0;
+  out.peak_rss_kb = RssKb();
+  while (seen < commits) {
+    Status s = parser.Feed(load.NextBatch(), [&](const Event& e) -> Status {
+      auto fed = checker.Feed(e);
+      benchmark::DoNotOptimize(fed.ok());
+      if (e.type == EventType::kCommit) ++seen;
+      return Status::OK();
+    });
+    if (!s.ok()) break;
+    if (seen >= next_sample) {
+      out.peak_rss_kb = std::max(out.peak_rss_kb, RssKb());
+      next_sample = seen + 4096;
+    }
+  }
+  out.wall_us = MicrosSince(start);
+  out.peak_rss_kb = std::max(out.peak_rss_kb, RssKb());
+  out.live_events = checker.history().events().size();
+  out.gc_runs = checker.gc_runs();
+  out.gc_freed_events = checker.gc_freed_events();
+  return out;
+}
+
+void BM_OnlineGcBoundedMemory(benchmark::State& state) {
+  const uint64_t commits = static_cast<uint64_t>(state.range(0));
+  GcOptions gc_on;
+  gc_on.enabled = true;
+  gc_on.watermark_interval = 1024;
+  gc_on.min_window_events = 8192;
+  const GcOptions gc_off;  // disabled
+
+  for (auto _ : state) {
+    GcPassResult r = GcPass(commits, gc_on);
+    benchmark::DoNotOptimize(r.live_events);
+  }
+
+  bench::RepeatSeries series;
+  GcPassResult with_gc, without_gc;
+  for (int r = 0; r < g_repeats; ++r) {
+    with_gc = GcPass(commits, gc_on);
+    series.Add("gc_wall_us", with_gc.wall_us);
+    without_gc = GcPass(commits, gc_off);
+    series.Add("nogc_wall_us", without_gc.wall_us);
+  }
+  auto summary = series.Summary();
+  uint64_t events = without_gc.live_events;  // whole stream retained
+  std::printf(
+      "BENCH {\"name\":\"online_gc\",\"commits\":%llu,\"events\":%llu,"
+      "\"repeats\":%d,\"gc\":{\"wall_us\":%s,\"peak_rss_kb\":%llu,"
+      "\"live_events\":%llu,\"gc_runs\":%llu,\"gc_freed_events\":%llu},"
+      "\"nogc\":{\"wall_us\":%s,\"peak_rss_kb\":%llu,"
+      "\"live_events\":%llu}}\n",
+      static_cast<unsigned long long>(commits),
+      static_cast<unsigned long long>(events), g_repeats,
+      bench::RepeatSeries::Json(summary.at("gc_wall_us")).c_str(),
+      static_cast<unsigned long long>(with_gc.peak_rss_kb),
+      static_cast<unsigned long long>(with_gc.live_events),
+      static_cast<unsigned long long>(with_gc.gc_runs),
+      static_cast<unsigned long long>(with_gc.gc_freed_events),
+      bench::RepeatSeries::Json(summary.at("nogc_wall_us")).c_str(),
+      static_cast<unsigned long long>(without_gc.peak_rss_kb),
+      static_cast<unsigned long long>(without_gc.live_events));
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(commits));
+  state.SetLabel(StrCat(commits, " commits, gc watermark ",
+                        gc_on.watermark_interval, ", window ",
+                        gc_on.min_window_events));
+}
+BENCHMARK(BM_OnlineGcBoundedMemory)
+    ->Arg(50000)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace adya

@@ -37,6 +37,10 @@ using namespace adya;
       "  --max-pending=N    per-connection in-flight batch bound (default "
       "64)\n"
       "  --drain-batches=N  batches one worker wakeup drains (default 8)\n"
+      "  --gc-watermark=N   enable the checkers' prefix GC, attempted every "
+      "N commits\n"
+      "  --gc-min-window=N  minimum trailing events the prefix GC keeps "
+      "(default 8192)\n"
       "  --port-file=PATH   write \"tcp=PORT http=PORT\" once bound (for "
       "scripts)\n",
       argv0);
@@ -82,6 +86,15 @@ int main(int argc, char** argv) {
       if (!ParseInt(value("--drain-batches="), &options.drain_batches)) {
         Usage(argv[0]);
       }
+    } else if (arg.rfind("--gc-watermark=", 0) == 0) {
+      int n = 0;
+      if (!ParseInt(value("--gc-watermark="), &n) || n < 1) Usage(argv[0]);
+      options.gc.enabled = true;
+      options.gc.watermark_interval = static_cast<uint64_t>(n);
+    } else if (arg.rfind("--gc-min-window=", 0) == 0) {
+      int n = 0;
+      if (!ParseInt(value("--gc-min-window="), &n) || n < 1) Usage(argv[0]);
+      options.gc.min_window_events = static_cast<uint64_t>(n);
     } else if (arg.rfind("--port-file=", 0) == 0) {
       port_file = value("--port-file=");
     } else {

@@ -35,6 +35,9 @@
 //                              into a persistent DSG (exact per-commit
 //                              attribution, same verdicts; supersedes
 //                              --check-threads/--certify-batch)
+//   --gc-watermark=N           certified-stable-prefix GC every N commits
+//                              (incremental only; default off, DESIGN §12)
+//   --gc-min-window=N          min live events GC keeps (default 8192)
 //   --stats                    enable instrumentation (DESIGN.md §9) and
 //                              print the stats snapshot JSON to stderr
 //   --stats-out=FILE           write the stats snapshot JSON to FILE
@@ -243,6 +246,7 @@ int main(int argc, char** argv) {
   options.check_threads = checker_flags.threads;
   options.certify_batch = checker_flags.certify_batch;
   options.certify_incremental = checker_flags.mode == CheckMode::kIncremental;
+  options.gc = checker_flags.gc;
   if (!stats_out.empty() || !prom_out.empty() || !trace_out.empty()) {
     want_stats = true;
   }

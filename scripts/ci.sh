@@ -125,6 +125,37 @@ print('serve bench shapes OK')
 PYEOF
 rm -f "$SERVE_BENCH"
 
+echo "=== gc bench smoke + checked-in BENCH_gc.json shape ==="
+# Structure gate, not a perf gate: the online_gc line must show the GC
+# really bounding memory (live_events well under the stream length,
+# gc_runs/gc_freed_events nonzero) in both the fresh smoke run and the
+# checked-in baseline.
+GC_BENCH="$(mktemp)"
+./build/bench/bench_online_incremental --repeats=1 \
+  --benchmark_filter='BM_OnlineGcBoundedMemory' > "$GC_BENCH"
+python3 - "$GC_BENCH" bench/BENCH_gc.json <<'PYEOF'
+import json, sys
+for path in sys.argv[1:]:
+    lines = [l for l in open(path) if l.startswith('BENCH ')]
+    rows = [json.loads(l[len('BENCH '):]) for l in lines]
+    rows = [d for d in rows if d['name'] == 'online_gc']
+    assert rows, f'no online_gc BENCH line in {path}'
+    for d in rows:
+        assert d['commits'] > 0 and d['events'] > d['commits'], d
+        for tier in ('gc', 'nogc'):
+            t = d[tier]
+            assert t['wall_us']['min'] <= t['wall_us']['median'], d
+            assert t['peak_rss_kb'] > 0 and t['live_events'] > 0, d
+        gc, nogc = d['gc'], d['nogc']
+        assert nogc['live_events'] == d['events'], d
+        assert gc['live_events'] * 4 < d['events'], \
+            f'GC did not bound the live window: {d}'
+        assert gc['gc_runs'] > 0 and gc['gc_freed_events'] > 0, d
+        assert gc['gc_freed_events'] + gc['live_events'] == d['events'], d
+print('gc bench shapes OK')
+PYEOF
+rm -f "$GC_BENCH"
+
 echo "=== perf smoke (bench_checker_scale phase timers, small size) ==="
 # Not a perf gate (CI machines are noisy) — verifies the phase-timer BENCH
 # pipeline end to end: the binary runs with --repeats, emits well-formed

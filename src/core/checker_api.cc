@@ -1,6 +1,7 @@
 #include "core/checker_api.h"
 
 #include <charconv>
+#include <cstdint>
 
 #include "common/check.h"
 #include "common/str_util.h"
@@ -12,6 +13,14 @@ namespace {
 
 bool ParseIntValue(std::string_view text, int* out) {
   int v = 0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
+  if (ec != std::errc() || ptr != text.data() + text.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseU64Value(std::string_view text, uint64_t* out) {
+  uint64_t v = 0;
   auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
   if (ec != std::errc() || ptr != text.data() + text.size()) return false;
   *out = v;
@@ -51,6 +60,14 @@ Status CheckerOptions::Validate() const {
     return Status::InvalidArgument(
         StrCat("CheckerOptions.certify_batch must be >= 1, got ",
                certify_batch));
+  }
+  if (gc.enabled && gc.watermark_interval < 1) {
+    return Status::InvalidArgument(
+        "CheckerOptions.gc.watermark_interval must be >= 1");
+  }
+  if (gc.enabled && gc.min_window_events < 1) {
+    return Status::InvalidArgument(
+        "CheckerOptions.gc.min_window_events must be >= 1");
   }
   return Status::OK();
 }
@@ -93,6 +110,25 @@ bool CheckerOptions::ParseFlag(std::string_view arg, std::string* error) {
       return true;
     }
     certify_batch = v;
+    return true;
+  }
+  if (key == "--gc-watermark") {
+    uint64_t v = 0;
+    if (!ParseU64Value(value, &v) || v < 1) {
+      *error = StrCat("--gc-watermark wants an integer >= 1, got ", value);
+      return true;
+    }
+    gc.enabled = true;
+    gc.watermark_interval = v;
+    return true;
+  }
+  if (key == "--gc-min-window") {
+    uint64_t v = 0;
+    if (!ParseU64Value(value, &v) || v < 1) {
+      *error = StrCat("--gc-min-window wants an integer >= 1, got ", value);
+      return true;
+    }
+    gc.min_window_events = v;
     return true;
   }
   return false;

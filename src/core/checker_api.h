@@ -19,6 +19,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "core/conflicts.h"
+#include "core/incremental.h"
 #include "core/levels.h"
 #include "core/phenomena.h"
 #include "obs/stats.h"
@@ -27,7 +28,6 @@ namespace adya {
 
 class ThreadPool;
 class ParallelChecker;
-class IncrementalChecker;
 
 /// Which checker implementation evaluates the history. All three produce
 /// bit-identical verdicts and witnesses (pinned by tests/checker_api_test.cc
@@ -60,13 +60,19 @@ struct CheckerOptions {
   /// Metrics sink. Null (the default) disables all instrumentation; every
   /// recording site is then a pointer null-check.
   obs::StatsRegistry* stats = nullptr;
+  /// Streaming consumers only (online certifier, serve sessions):
+  /// certified-stable-prefix GC for the IncrementalChecker (DESIGN.md §12).
+  /// Ignored by the one-shot audit modes, whose history is already whole.
+  GcOptions gc;
 
-  /// Rejects out-of-range knobs (threads < 1, certify_batch < 1).
+  /// Rejects out-of-range knobs (threads < 1, certify_batch < 1,
+  /// zero-valued GC intervals when GC is enabled).
   Status Validate() const;
 
   /// Consumes one `--key=value` command-line argument if it is a checker
   /// flag (--check-mode=serial|parallel|incremental, --check-threads=N,
-  /// --certify-batch=N, --incremental). Returns true when the argument was
+  /// --certify-batch=N, --incremental, --gc-watermark=N which also enables
+  /// the prefix GC, --gc-min-window=N). Returns true when the argument was
   /// recognized; a recognized flag with a malformed or out-of-range value
   /// also sets *error. Shared by adya_stress and the bench harness so the
   /// flag vocabulary cannot fork.

@@ -78,9 +78,8 @@ class Analyzer {
   std::vector<Dependency> Run() {
     std::vector<Dependency> out;
     WriteDependencies(0, static_cast<ObjectId>(h_.object_count()), out);
-    ItemReadAndAntiDependencies(0, static_cast<EventId>(h_.events().size()),
-                                out);
-    PredicateDependencies(0, static_cast<EventId>(h_.events().size()), out);
+    ItemReadAndAntiDependencies(h_.event_begin(), h_.event_end(), out);
+    PredicateDependencies(h_.event_begin(), h_.event_end(), out);
     if (options_.include_start_edges) StartDependencies(out);
     return out;
   }
@@ -396,11 +395,16 @@ std::vector<Dependency> ComputeDependencies(const History& h,
         analyzer.WriteDependencies(shard.begin, shard.end, shard.out);
         break;
       case ConflictShard::kItem:
-        analyzer.ItemReadAndAntiDependencies(shard.begin, shard.end,
+        // Event shards are chunked over events().size(); truncated suffixes
+        // address events from event_begin() up.
+        analyzer.ItemReadAndAntiDependencies(h.event_begin() + shard.begin,
+                                             h.event_begin() + shard.end,
                                              shard.out);
         break;
       case ConflictShard::kPredicate:
-        analyzer.PredicateDependencies(shard.begin, shard.end, shard.out);
+        analyzer.PredicateDependencies(h.event_begin() + shard.begin,
+                                       h.event_begin() + shard.end,
+                                       shard.out);
         break;
       case ConflictShard::kStart:
         analyzer.StartDependencies(shard.out);
@@ -461,6 +465,13 @@ bool ConflictDelta::MatchesLive(const History& h, const VersionId& v,
   // so it can answer on the live history.
   const EventId* write = produced_.find(v);
   ADYA_CHECK_MSG(write != nullptr, "matches query for unseen version");
+  if (*write < h.event_begin()) {
+    // The write event was collected; the seed summary carries kind + row.
+    const History::SeedVersion* seed = h.seed_version(v);
+    ADYA_CHECK_MSG(seed != nullptr, "collected version has no seed");
+    if (seed->kind != VersionKind::kVisible) return false;
+    return h.predicate(pred).Matches(seed->row);
+  }
   const Event& w = h.event(*write);
   if (w.written_kind != VersionKind::kVisible) return false;
   return h.predicate(pred).Matches(w.row);
@@ -579,7 +590,13 @@ void ConflictDelta::Install(const History& h, TxnId txn,
     os.order.push_back(txn);
     const EventId* wit = produced_.find(installed);
     ADYA_CHECK_MSG(wit != nullptr, "install of unseen version");
-    os.tail_kind = h.event(*wit).written_kind;
+    if (*wit < h.event_begin()) {
+      const History::SeedVersion* seed = h.seed_version(installed);
+      ADYA_CHECK_MSG(seed != nullptr, "collected version has no seed");
+      os.tail_kind = seed->kind;
+    } else {
+      os.tail_kind = h.event(*wit).written_kind;
+    }
     // Advance every materialized predicate over this object, in ascending
     // PredicateId order (os.preds is the table's ordered key list); a match
     // flip is a new change index and fires the parked rw(pred) watchers.
@@ -778,6 +795,26 @@ void ConflictDelta::CommitOf(const History& h, TxnId txn,
             ? begin
             : std::max(prefix_max_begin_.back(), begin));
   }
+}
+
+void ConflictDelta::SeedPhantom(const History& h, TxnId txn) {
+  SyncUniverse(h);
+  const History::TxnInfo& info = h.txn_info(txn);
+  for (const auto& [obj, writes] : info.writes) {
+    for (size_t i = 0; i < writes.size(); ++i) {
+      produced_[VersionId{obj, txn, static_cast<uint32_t>(i + 1)}] =
+          writes[i];
+    }
+  }
+  // Committing the phantom installs its seed versions and registers its
+  // start-edge anchors. Phantoms have no reads, each object has at most one
+  // seed install, and no predicate state is materialized yet, so no
+  // dependency can come out of this commit — but any kept<-collected edges
+  // a later retained commit derives from this state are harmless: with no
+  // kept->collected edges (the GC frontier invariant), they can never lie
+  // on a cycle of retained transactions.
+  std::vector<Dependency> discard;
+  CommitOf(h, txn, info.commit_event, discard);
 }
 
 std::vector<Dependency> ConflictDelta::OnEvent(const History& h, EventId id) {

@@ -180,6 +180,14 @@ class ConflictDelta {
   /// for anything but a commit). Events must be fed exactly once, in order.
   std::vector<Dependency> OnEvent(const History& h, EventId id);
 
+  /// Replays one seed writer of the truncated history `h` (see
+  /// History::CollectPrefix) into a fresh delta: registers its versions as
+  /// produced and commits it, installing each seeded object's surviving
+  /// version at the front of the rebuilt order. Call once per
+  /// h.SeedTransactions() entry, in that (commit) order, before feeding
+  /// retained events.
+  void SeedPhantom(const History& h, TxnId txn);
+
   /// Committed-installer order of `obj` so far — the prefix of the version
   /// order Finalize() would derive for the completed history.
   const std::vector<TxnId>& Order(ObjectId obj) const;

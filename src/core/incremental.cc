@@ -1,6 +1,7 @@
 #include "core/incremental.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "common/str_util.h"
@@ -9,17 +10,18 @@
 namespace adya {
 
 IncrementalChecker::IncrementalChecker(IsolationLevel target,
-                                       obs::StatsRegistry* stats)
-    : target_(target) {
+                                       obs::StatsRegistry* stats,
+                                       const GcOptions& gc)
+    : target_(target), gc_(gc) {
   offline_options_.stats = stats;
   // The detectors see the cycle-preserving reduced edge set: every
   // phenomenon decision is unchanged (ConflictOptions documents why) and
   // long streams of overlapping predicate reads / start orders stay linear
-  // instead of quadratic. Witnesses never come from these edges.
-  ConflictOptions options;
-  options.first_rw_pred_only = true;
-  options.reduced_start_edges = true;
-  options.stats = stats;
+  // instead of quadratic. Witnesses never come from these edges. The
+  // options are kept: a prefix GC rebuilds the delta with them.
+  delta_options_.first_rw_pred_only = true;
+  delta_options_.reduced_start_edges = true;
+  delta_options_.stats = stats;
   for (Phenomenon p : ProscribedPhenomena(target_)) {
     switch (p) {
       case Phenomenon::kG0:
@@ -38,7 +40,7 @@ IncrementalChecker::IncrementalChecker(IsolationLevel target,
         gsingle_.emplace(kAntiMask, kDependencyMask);
         break;
       case Phenomenon::kGSIb:
-        options.include_start_edges = true;
+        delta_options_.include_start_edges = true;
         gsib_.emplace(kAntiMask, kDependencyMask | kStartMask);
         break;
       case Phenomenon::kGSIa:
@@ -52,7 +54,7 @@ IncrementalChecker::IncrementalChecker(IsolationLevel target,
         break;  // direct bookkeeping, always on
     }
   }
-  delta_ = ConflictDelta(options);
+  delta_ = ConflictDelta(delta_options_);
 }
 
 IncrementalChecker::IncrementalChecker(const History& finalized)
@@ -71,7 +73,7 @@ IncrementalChecker::IncrementalChecker(const History& finalized,
 Result<std::vector<Violation>> IncrementalChecker::Feed(const Event& event) {
   ADYA_CHECK_MSG(!audit_mode_, "Feed on an audit-mode IncrementalChecker");
   EventId id = history_.Append(event);
-  const Event& e = history_.events()[id];
+  const Event& e = history_.event(id);
   // Mirror of the offline prefix validation, one event at a time. The
   // first malformation freezes the stream's fate: every later commit
   // surfaces that same error (exactly what re-validating the growing
@@ -100,7 +102,15 @@ Result<std::vector<Violation>> IncrementalChecker::Feed(const Event& event) {
                ": the dead version must be the last version"));
   }
   ++commits_checked_;
-  return OnCommit(e.txn);
+  // OnCommit before GC, and copy the txn id first: a GC rebuilds history_,
+  // invalidating `e`.
+  TxnId committed = e.txn;
+  std::vector<Violation> fresh = OnCommit(committed);
+  if (gc_.enabled && ++commits_since_gc_ >= gc_.watermark_interval) {
+    commits_since_gc_ = 0;
+    MaybeGc();
+  }
+  return fresh;
 }
 
 void IncrementalChecker::ValidateEvent(const Event& e, EventId id) {
@@ -147,10 +157,21 @@ void IncrementalChecker::ValidateEvent(const Event& e, EventId id) {
       }
       const VersionKind* wit = produced_.find(e.version);
       if (wit == nullptr) {
-        fail(StrCat("read event ", id, ": version ",
-                    history_.object_name(e.version.object), "_",
-                    e.version.writer, ".", e.version.seq,
-                    " has not been produced"));
+        if (history_.HasSeed(e.version.object)) {
+          // Only the object's last pre-frontier committed version survives
+          // a prefix GC; any other collected version — and, conflated with
+          // them, a never-produced version of a collected object — is
+          // unavailable, the stream analogue of ORA-01555.
+          fail(StrCat("read event ", id, ": version ",
+                      history_.object_name(e.version.object), "_",
+                      e.version.writer, ".", e.version.seq,
+                      " was collected by the prefix GC (snapshot too old)"));
+        } else {
+          fail(StrCat("read event ", id, ": version ",
+                      history_.object_name(e.version.object), "_",
+                      e.version.writer, ".", e.version.seq,
+                      " has not been produced"));
+        }
         return;
       }
       if (*wit != VersionKind::kVisible) {
@@ -186,13 +207,47 @@ void IncrementalChecker::ValidateEvent(const Event& e, EventId id) {
                       " is not in the predicate's relations"));
           return;
         }
-        if (v.is_init()) continue;
+        if (v.is_init()) {
+          if (history_.HasSeed(v.object)) {
+            // x_init's version-order position lies before the collected
+            // installers; no truncated prefix can expose it faithfully.
+            fail(StrCat("predicate read event ", id, ": selection of ",
+                        history_.object_name(v.object),
+                        "_init was collected by the prefix GC (snapshot ",
+                        "too old)"));
+            return;
+          }
+          continue;
+        }
         if (!produced_.contains(v)) {
-          fail(StrCat("predicate read event ", id, ": version of ",
-                      history_.object_name(v.object),
-                      " has not been produced"));
+          if (history_.HasSeed(v.object)) {
+            fail(StrCat("predicate read event ", id, ": version of ",
+                        history_.object_name(v.object),
+                        " was collected by the prefix GC (snapshot too ",
+                        "old)"));
+          } else {
+            fail(StrCat("predicate read event ", id, ": version of ",
+                        history_.object_name(v.object),
+                        " has not been produced"));
+          }
           return;
         }
+      }
+      // Objects of the predicate's relations absent from the version set
+      // implicitly selected x_init — the same snapshot-too-old exposure as
+      // an explicit init entry when the object was seeded.
+      for (const auto& entry : history_.seed_writers()) {
+        ObjectId obj = entry.first;
+        if (seen.count(obj) != 0) continue;
+        if (std::find(rels.begin(), rels.end(),
+                      history_.object_relation(obj)) == rels.end()) {
+          continue;
+        }
+        fail(StrCat("predicate read event ", id, ": implicit selection of ",
+                    history_.object_name(obj),
+                    "_init was collected by the prefix GC (snapshot too ",
+                    "old)"));
+        return;
       }
       break;
     }
@@ -200,6 +255,11 @@ void IncrementalChecker::ValidateEvent(const Event& e, EventId id) {
     case EventType::kAbort:
       ts.finished = true;
       break;
+  }
+  if (e.type == EventType::kCommit || e.type == EventType::kAbort) {
+    live_txns_.erase(e.txn);
+  } else if (!ts.has_events) {
+    live_txns_.insert(e.txn);
   }
   ts.has_events = true;
 }
@@ -315,7 +375,7 @@ std::vector<Violation> IncrementalChecker::OnCommit(TxnId txn) {
     }
   };
   for (EventId rid : info.reads) {
-    const Event& e = history_.events()[rid];
+    const Event& e = history_.event(rid);
     observe(e.version);
     if (track_gcursor_ && !gcursor_fired_) {
       // G-cursor closed form: the object's ww edges form the chain of its
@@ -332,7 +392,7 @@ std::vector<Violation> IncrementalChecker::OnCommit(TxnId txn) {
     }
   }
   for (EventId pid : info.predicate_reads) {
-    for (const VersionId& v : history_.events()[pid].vset) observe(v);
+    for (const VersionId& v : history_.event(pid).vset) observe(v);
   }
 
   std::vector<Phenomenon> newly;
@@ -363,6 +423,187 @@ std::vector<Violation> IncrementalChecker::OnCommit(TxnId txn) {
     fresh.push_back(*std::move(v));
   }
   return fresh;
+}
+
+void IncrementalChecker::MaybeGc() {
+  // A buffered stream error or a pending dead-version violation keeps
+  // replaying state verbatim at each commit; leave the prefix untouched so
+  // the messages (which quote collected structure) stay exact.
+  if (validate_error_.has_value()) return;
+  if (!delta_.dead_violations().empty()) return;
+  EventId base = history_.event_begin();
+  EventId end = history_.event_end();
+  uint64_t min_window = std::max<uint64_t>(gc_.min_window_events, 1);
+  if (end - base <= min_window) return;
+  EventId frontier = end - static_cast<EventId>(min_window);
+  // Fixpoint: each pass lowers the frontier to clear every pin found in
+  // the then-retained window; lowering retains more events, which can pin
+  // further. Converges almost immediately in practice; a pathological
+  // chain just skips this watermark.
+  bool stable = false;
+  for (int pass = 0; pass < 16 && !stable; ++pass) {
+    if (frontier <= base) return;
+    EventId pinned = PinFrontier(frontier);
+    ADYA_CHECK(pinned <= frontier);
+    stable = pinned == frontier;
+    frontier = pinned;
+  }
+  if (!stable || frontier <= base) return;
+  RunGc(frontier);
+}
+
+EventId IncrementalChecker::PinFrontier(EventId candidate) const {
+  EventId pinned = candidate;
+  auto pin = [&](EventId e) {
+    if (e < pinned) pinned = e;
+  };
+  // No live transaction's events may be collected: its eventual commit
+  // derives conflicts from all of them.
+  for (TxnId txn : live_txns_) {
+    pin(history_.txn_info(txn).first_event);
+  }
+  for (EventId id = candidate; id < history_.event_end(); ++id) {
+    const Event& e = history_.event(id);
+    // Finished straddlers: a retained event whose transaction started
+    // before the candidate keeps the whole transaction (its commit-time
+    // conflict derivation revisits every one of its events). No-op when
+    // the transaction starts inside the window.
+    pin(history_.txn_info(e.txn).first_event);
+    if (e.type == EventType::kRead) {
+      pin(PinVersion(e.version, candidate));
+    } else if (e.type == EventType::kPredicateRead) {
+      FlatSet<ObjectId> selected;
+      for (const VersionId& v : e.vset) {
+        selected.insert(v.object);
+        pin(v.is_init() ? PinInitSelection(v.object, candidate)
+                        : PinVersion(v, candidate));
+      }
+      // Objects of the predicate's relations absent from the version set
+      // implicitly selected x_init.
+      const auto& rels = history_.predicate_relations(e.predicate);
+      for (ObjectId obj = 0;
+           obj < static_cast<ObjectId>(history_.object_count()); ++obj) {
+        if (selected.contains(obj)) continue;
+        if (std::find(rels.begin(), rels.end(),
+                      history_.object_relation(obj)) == rels.end()) {
+          continue;
+        }
+        pin(PinInitSelection(obj, candidate));
+      }
+    }
+  }
+  return pinned;
+}
+
+EventId IncrementalChecker::PinVersion(const VersionId& v,
+                                       EventId frontier) const {
+  if (v.is_init()) return frontier;
+  const History::TxnInfo& wi = history_.txn_info(v.writer);
+  if (wi.first_event >= frontier) return frontier;
+  // The version survives collection only as its object's seed: the last
+  // committed pre-frontier installation. Anything else — an uncommitted
+  // or aborted writer, an intermediate version, a superseded installer —
+  // pins the writer's whole transaction into the window.
+  bool committed_pre = wi.commit_event != kNoEvent &&
+                       wi.commit_event < frontier && wi.abort_event == kNoEvent;
+  if (!committed_pre) return wi.first_event;
+  if (v.seq != history_.FinalSeq(v.writer, v.object)) return wi.first_event;
+  std::optional<size_t> idx = delta_.OrderIndex(v.object, v.writer);
+  if (!idx.has_value()) return wi.first_event;
+  const std::vector<TxnId>& order = delta_.Order(v.object);
+  if (*idx + 1 < order.size() &&
+      history_.txn_info(order[*idx + 1]).commit_event < frontier) {
+    // A later pre-frontier installer supersedes it as the seed.
+    return wi.first_event;
+  }
+  return frontier;
+}
+
+EventId IncrementalChecker::PinInitSelection(ObjectId obj,
+                                             EventId frontier) const {
+  // Selecting x_init exposes the front of the object's version order; a
+  // collected installer would sit between x_init and the seed, shifting
+  // the order positions wr-pred/rw-pred derivation compares. Keep the
+  // first installer (and via the straddler rule everything after it).
+  const std::vector<TxnId>& order = delta_.Order(obj);
+  if (order.empty()) return frontier;
+  const History::TxnInfo& first = history_.txn_info(order.front());
+  if (first.commit_event >= frontier) return frontier;
+  return std::min(frontier, first.first_event);
+}
+
+void IncrementalChecker::RunGc(EventId frontier) {
+  auto t0 = std::chrono::steady_clock::now();
+  EventId old_base = history_.event_begin();
+  History old = std::move(history_);
+  history_ = old.CollectPrefix(frontier);
+  // produced_ shrinks to the survivors: the per-object seeds plus every
+  // retained write. Collected versions now draw the snapshot-too-old
+  // validation error instead of feeding conflicts.
+  produced_.clear();
+  for (const auto& [obj, txn] : history_.seed_writers()) {
+    VersionId v{obj, txn, history_.FinalSeq(txn, obj)};
+    const History::SeedVersion* s = history_.seed_version(v);
+    ADYA_CHECK(s != nullptr);
+    produced_[v] = s->kind;
+  }
+  for (EventId id = frontier; id < old.event_end(); ++id) {
+    const Event& e = old.event(id);
+    if (e.type == EventType::kWrite) produced_[e.version] = e.written_kind;
+  }
+  // Rebuild the delta and detectors over the truncated history: seed
+  // phantoms first (registering the surviving versions and the front of
+  // each version order), then replay the retained events. The replay goes
+  // through OnEvent/FeedEdge only — validation, produced_ and the G1a/G1b
+  // bookkeeping already hold their post-prefix state and must not be
+  // re-applied.
+  delta_ = ConflictDelta(delta_options_);
+  seen_edges_.clear();
+  node_of_.clear();
+  if (ww_graph_.has_value()) ww_graph_.emplace();
+  if (dep_graph_.has_value()) dep_graph_.emplace();
+  if (item_graph_.has_value()) item_graph_.emplace();
+  if (conflict_graph_.has_value()) conflict_graph_.emplace();
+  if (gsingle_.has_value()) {
+    gsingle_.emplace(kAntiMask, kDependencyMask);
+    if (reported_.count(Phenomenon::kGSingle) != 0) gsingle_->MarkFired();
+  }
+  if (gsib_.has_value()) {
+    gsib_.emplace(kAntiMask, kDependencyMask | kStartMask);
+    if (reported_.count(Phenomenon::kGSIb) != 0) gsib_->MarkFired();
+  }
+  for (TxnId txn : history_.SeedTransactions()) {
+    delta_.SeedPhantom(history_, txn);
+  }
+  // Retained events re-enter one at a time — Append then OnEvent — so the
+  // delta only ever sees the prefix a live feed would have shown it. A
+  // pre-built suffix would leak later events into the replay: a commit
+  // replaying at position i would see a writer whose own commit sits at
+  // j > i as already committed, and take the committed-lookup path before
+  // that writer's install has replayed.
+  for (EventId id = frontier; id < old.event_end(); ++id) {
+    EventId nid = history_.Append(old.event(id));
+    ADYA_CHECK(nid == id);
+    std::vector<Dependency> edges = delta_.OnEvent(history_, id);
+    for (const Dependency& dep : edges) FeedEdge(dep);
+  }
+  // MaybeGc skipped when a dead-version violation was pending, and the
+  // frontier keeps every non-final read version's writer, so the rebuild
+  // can never surface one that the full checker would not.
+  ADYA_CHECK_MSG(delta_.dead_violations().empty(),
+                 "prefix GC resurrected a dead-version violation");
+  audit_.Reset();
+  ++gc_runs_;
+  gc_freed_events_ += frontier - old_base;
+  if (offline_options_.stats != nullptr) {
+    obs::StatsRegistry& stats = *offline_options_.stats;
+    stats.counter("checker.gc_runs").Add();
+    stats.counter("checker.gc_freed_events").Add(frontier - old_base);
+    stats.histogram("checker.gc_live_window").Record(history_.events().size());
+    auto pause = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - t0);
+    stats.histogram("checker.gc_pause_us").Record(pause.count());
+  }
 }
 
 const PhenomenaChecker& IncrementalChecker::Offline() const {

@@ -17,6 +17,28 @@
 
 namespace adya {
 
+/// Certified-stable-prefix garbage collection for the streaming
+/// IncrementalChecker (DESIGN.md §12). Off by default; when enabled, every
+/// `watermark_interval` commits the checker computes the latest frontier
+/// such that the collected prefix can no longer influence any future
+/// verdict or witness — no live transaction started before it, every
+/// retained read's version survives as its object's seed, and no retained
+/// predicate read exposes a collected version-order position — then folds
+/// the prefix into per-object seed summaries and rebuilds the conflict
+/// delta and cycle detectors over the retained window. Verdicts and
+/// witness text for post-GC commits are byte-identical to the full
+/// checker's (pinned by tests/gc_diff_test.cc); new events that reference
+/// collected state draw a sticky "snapshot too old" stream error instead
+/// of a wrong answer.
+struct GcOptions {
+  bool enabled = false;
+  /// Commits between GC attempts.
+  uint64_t watermark_interval = 4096;
+  /// Minimum number of trailing events kept live; the frontier only ever
+  /// moves further back from end-of-stream minus this window.
+  uint64_t min_window_events = 8192;
+};
+
 /// Streaming certification with *incremental* DSG maintenance: feed events
 /// as a system executes; every commit event folds the newly committed
 /// transaction's direct conflicts (a ConflictDelta) into dynamic cycle
@@ -82,9 +104,11 @@ class IncrementalChecker {
  public:
   /// Streaming mode: certify a stream of events against `target`. A
   /// non-null `stats` records the per-commit phase timings and delta sizes
-  /// under the same metric names as the offline checkers (DESIGN.md §9).
+  /// under the same metric names as the offline checkers (DESIGN.md §9),
+  /// plus the checker.gc_* series when `gc` enables prefix collection.
   explicit IncrementalChecker(IsolationLevel target,
-                              obs::StatsRegistry* stats = nullptr);
+                              obs::StatsRegistry* stats = nullptr,
+                              const GcOptions& gc = GcOptions());
 
   /// Audit mode: wrap an already-finalized history for CheckAll()/
   /// CheckLevel() queries (used by golden tests on histories whose
@@ -112,6 +136,12 @@ class IncrementalChecker {
 
   IsolationLevel target() const { return target_; }
   size_t commits_checked() const { return commits_checked_; }
+
+  /// Prefix-GC observability (streaming mode; all zero with GC off). The
+  /// live window size is history().events().size().
+  const GcOptions& gc_options() const { return gc_; }
+  uint64_t gc_runs() const { return gc_runs_; }
+  uint64_t gc_freed_events() const { return gc_freed_events_; }
 
   /// Phenomena reported so far.
   const std::set<Phenomenon>& reported() const { return reported_; }
@@ -142,6 +172,21 @@ class IncrementalChecker {
   bool PhenomenonHolds(Phenomenon p);
   const PhenomenaChecker& Offline() const;
 
+  // --- certified-stable-prefix GC (DESIGN.md §12) ---
+  void MaybeGc();
+  /// One frontier-lowering pass: the largest f <= candidate such that no
+  /// retained event in [f, event_end()) pins the frontier below f. Returns
+  /// candidate when candidate is already stable.
+  EventId PinFrontier(EventId candidate) const;
+  /// Frontier pin for one retained read (item read or vset selection) of
+  /// `v`: the version must survive the collection as its object's seed.
+  EventId PinVersion(const VersionId& v, EventId frontier) const;
+  /// Frontier pin for a retained predicate read selecting x_init of `obj`
+  /// (explicitly or implicitly): collected installers would shift the
+  /// version-order positions the selection exposes.
+  EventId PinInitSelection(ObjectId obj, EventId frontier) const;
+  void RunGc(EventId frontier);
+
   IsolationLevel target_;
   bool audit_mode_ = false;
   /// Options for the offline witness/audit checkers (default-valued in
@@ -156,6 +201,19 @@ class IncrementalChecker {
   std::optional<Status> validate_error_;
   FlatMap<TxnId, TxnValidation> vstate_;
   FlatMap<VersionId, VersionKind> produced_;
+
+  // --- certified-stable-prefix GC state ---
+  GcOptions gc_;
+  /// The reduced conflict options the streaming delta was built with, so a
+  /// GC rebuild constructs an identical delta.
+  ConflictOptions delta_options_;
+  uint64_t commits_since_gc_ = 0;
+  uint64_t gc_runs_ = 0;
+  uint64_t gc_freed_events_ = 0;
+  /// Unfinished transactions that have events — the frontier may never
+  /// pass one's first event. Small (in-flight only), unlike vstate_,
+  /// which keeps every finished transaction's validation residue.
+  std::set<TxnId> live_txns_;
 
   // --- incremental conflict derivation + detectors ---
   ConflictDelta delta_;

@@ -38,7 +38,7 @@ std::optional<History> Rebuild(const History& h, TxnId removed_txn,
     if (txn == removed_txn) continue;
     out.SetLevel(txn, h.txn_info(txn).level);
   }
-  for (EventId id = 0; id < h.events().size(); ++id) {
+  for (EventId id = h.event_begin(); id < h.event_end(); ++id) {
     if (id == removed_event) continue;
     const Event& e = h.event(id);
     if (removed_txn != kTxnInit && e.txn == removed_txn) continue;
@@ -96,7 +96,8 @@ History Minimize(const History& h, const ViolationTest& still_violates) {
     }
     if (progress) continue;
     // 2. Individual reads / predicate reads / begin markers.
-    for (EventId id = 0; id < current.events().size(); ++id) {
+    for (EventId id = current.event_begin(); id < current.event_end();
+         ++id) {
       if (!DroppableEvent(current.event(id))) continue;
       auto candidate = Rebuild(current, kTxnInit, id, kNoEvent, 0);
       if (candidate.has_value() && still_violates(*candidate)) {
@@ -107,7 +108,8 @@ History Minimize(const History& h, const ViolationTest& still_violates) {
     }
     if (progress) continue;
     // 3. Single version-set entries.
-    for (EventId id = 0; id < current.events().size() && !progress; ++id) {
+    for (EventId id = current.event_begin();
+         id < current.event_end() && !progress; ++id) {
       const Event& e = current.event(id);
       if (e.type != EventType::kPredicateRead) continue;
       for (size_t i = 0; i < e.vset.size(); ++i) {

@@ -35,7 +35,13 @@ namespace adya {
 /// `bench_online_incremental` binary measures the gap this closes).
 class OnlineChecker {
  public:
-  explicit OnlineChecker(IsolationLevel target) : inner_(target) {}
+  /// `stats` and `gc` ride straight through to the IncrementalChecker:
+  /// metrics under the checker.* names, and (when `gc.enabled`) the
+  /// certified-stable-prefix GC of DESIGN.md §12.
+  explicit OnlineChecker(IsolationLevel target,
+                         obs::StatsRegistry* stats = nullptr,
+                         const GcOptions& gc = GcOptions())
+      : inner_(target, stats, gc) {}
 
   /// The live (unfinalized) history: declare relations, objects and
   /// predicates here before feeding events that use them.
@@ -54,6 +60,11 @@ class OnlineChecker {
 
   IsolationLevel target() const { return inner_.target(); }
   size_t commits_checked() const { return inner_.commits_checked(); }
+
+  /// Prefix-GC observability (all zero with GC off).
+  const GcOptions& gc_options() const { return inner_.gc_options(); }
+  uint64_t gc_runs() const { return inner_.gc_runs(); }
+  uint64_t gc_freed_events() const { return inner_.gc_freed_events(); }
 
   /// Phenomena reported so far.
   const std::set<Phenomenon>& reported() const { return inner_.reported(); }

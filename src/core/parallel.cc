@@ -181,11 +181,12 @@ std::optional<Violation> ParallelChecker::CheckG1aParallel(
     const TxnFilter* filter) const {
   const History& h = *history_;
   return MinIndexScan(
-      *pool_, h.events().size(), [&](size_t id) -> std::optional<Violation> {
+      *pool_, h.events().size(), [&](size_t i) -> std::optional<Violation> {
+        EventId id = h.event_begin() + static_cast<EventId>(i);
         if (filter != nullptr && !(*filter)(h.event(id).txn)) {
           return std::nullopt;
         }
-        return phenomena_internal::G1aViolationAt(h, EventId(id));
+        return phenomena_internal::G1aViolationAt(h, id);
       });
 }
 
@@ -193,11 +194,12 @@ std::optional<Violation> ParallelChecker::CheckG1bParallel(
     const TxnFilter* filter) const {
   const History& h = *history_;
   return MinIndexScan(
-      *pool_, h.events().size(), [&](size_t id) -> std::optional<Violation> {
+      *pool_, h.events().size(), [&](size_t i) -> std::optional<Violation> {
+        EventId id = h.event_begin() + static_cast<EventId>(i);
         if (filter != nullptr && !(*filter)(h.event(id).txn)) {
           return std::nullopt;
         }
-        return phenomena_internal::G1bViolationAt(h, EventId(id));
+        return phenomena_internal::G1bViolationAt(h, id);
       });
 }
 

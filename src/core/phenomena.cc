@@ -124,7 +124,7 @@ std::optional<Violation> PhenomenaChecker::CheckG0() const {
 std::optional<Violation> PhenomenaChecker::CheckG1a(
     const TxnFilter& filter) const {
   const History& h = *history_;
-  for (EventId id = 0; id < h.events().size(); ++id) {
+  for (EventId id = h.event_begin(); id < h.event_end(); ++id) {
     if (!filter(h.event(id).txn)) continue;
     if (auto v = phenomena_internal::G1aViolationAt(h, id)) return v;
   }
@@ -136,7 +136,7 @@ std::optional<Violation> PhenomenaChecker::CheckG1a(
 std::optional<Violation> PhenomenaChecker::CheckG1b(
     const TxnFilter& filter) const {
   const History& h = *history_;
-  for (EventId id = 0; id < h.events().size(); ++id) {
+  for (EventId id = h.event_begin(); id < h.event_end(); ++id) {
     if (!filter(h.event(id).txn)) continue;
     if (auto v = phenomena_internal::G1bViolationAt(h, id)) return v;
   }

@@ -69,7 +69,7 @@ std::optional<PreventativeViolation> CheckItemInterleaving(
   // unfinished at a given point. We scan once, keeping all first-ops and
   // testing finish positions lazily (histories are short; clarity first).
   std::map<ObjectId, std::vector<EventId>> first_ops;
-  for (EventId j = 0; j < h.events().size(); ++j) {
+  for (EventId j = h.event_begin(); j < h.event_end(); ++j) {
     const Event& e = h.event(j);
     if (e.type == second_type &&
         (e.type == EventType::kRead || e.type == EventType::kWrite)) {
@@ -110,7 +110,7 @@ std::optional<PreventativeViolation> CheckPreventative(
     case PreventativePhenomenon::kP3: {
       // r1[P] … w2[y in P] … before T1 finishes. "y in P" holds when the
       // write's new contents match P or the state it supersedes matched P.
-      for (EventId j = 0; j < h.events().size(); ++j) {
+      for (EventId j = h.event_begin(); j < h.event_end(); ++j) {
         const Event& w = h.event(j);
         if (w.type != EventType::kWrite) continue;
         // Previous state of the object in event order, single-version

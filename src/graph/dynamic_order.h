@@ -109,6 +109,11 @@ class ExactlyOneCycleDetector {
   /// stale candidates lazily; sticky once true.
   bool Check();
 
+  /// Latches the sticky fired state without a cycle — used when a rebuilt
+  /// detector (after the checker's prefix GC) must remember that a cycle
+  /// already existed in the collected prefix.
+  void MarkFired() { fired_ = true; }
+
  private:
   /// True iff a path from `from` to `to` exists using edges intersecting
   /// `rest_`, staying inside the component rooted at `root`. (Any rest-path

@@ -112,7 +112,7 @@ const std::vector<RelationId>& History::predicate_relations(
 EventId History::Append(Event event) {
   ADYA_CHECK_MSG(!finalized_, "Append on a finalized history");
   ADYA_CHECK_MSG(event.txn != kTxnInit, "T_init cannot appear in events");
-  EventId id = static_cast<EventId>(events_.size());
+  EventId id = event_base_ + static_cast<EventId>(events_.size());
   TxnInfo& info = txns_[event.txn];
   if (info.first_event == kNoEvent) {
     info.first_event = id;
@@ -250,6 +250,12 @@ const DenseTxnIndex& History::dense() const {
 
 Status History::ValidateEvents() {
   write_events_.clear();
+  // Seed versions of a truncated history are producible reads: register
+  // their (collected) write events so retained reads resolve, with the
+  // kind deref below falling back to the seed table for pre-base ids.
+  seeds_.ForEach([this](const VersionId& v, const SeedVersion& s) {
+    write_events_[v] = s.write_event;
+  });
   struct TxnState {
     bool finished = false;
     bool has_events = false;
@@ -258,8 +264,9 @@ Status History::ValidateEvents() {
   };
   std::map<TxnId, TxnState> state;
 
-  for (EventId id = 0; id < events_.size(); ++id) {
-    const Event& e = events_[id];
+  for (size_t i = 0; i < events_.size(); ++i) {
+    EventId id = event_base_ + static_cast<EventId>(i);
+    const Event& e = events_[i];
     TxnState& ts = state[e.txn];
     if (ts.finished) {
       return Status::InvalidArgument(
@@ -305,11 +312,11 @@ Status History::ValidateEvents() {
               "_", e.version.writer, ".", e.version.seq,
               " has not been produced"));
         }
-        if (events_[*wit].written_kind != VersionKind::kVisible) {
+        VersionKind kind = WrittenKindAt(e.version, *wit);
+        if (kind != VersionKind::kVisible) {
           return Status::InvalidArgument(
               StrCat("read event ", id, ": only visible versions may be ",
-                     "read (version is ",
-                     VersionKindName(events_[*wit].written_kind), ")"));
+                     "read (version is ", VersionKindName(kind), ")"));
         }
         // Read-your-writes (§4.2): after writing x, a transaction's reads of
         // x observe its own latest version.
@@ -407,7 +414,7 @@ Status History::ComputeVersionOrders() {
       ADYA_CHECK(installed.has_value());
       const EventId* install_event = write_events_.find(*installed);
       ADYA_CHECK(install_event != nullptr);
-      if (events_[*install_event].written_kind == VersionKind::kDead &&
+      if (WrittenKindAt(*installed, *install_event) == VersionKind::kDead &&
           i + 1 != order.size()) {
         return Status::InvalidArgument(
             StrCat("version order of ", object_name(obj),
@@ -475,18 +482,37 @@ std::optional<VersionId> History::InstalledVersion(TxnId txn,
   return InstalledVersionInternal(txn, object);
 }
 
+VersionKind History::WrittenKindAt(const VersionId& version,
+                                   EventId write_event) const {
+  if (write_event < event_base_) {
+    const SeedVersion* s = seeds_.find(version);
+    ADYA_CHECK_MSG(s != nullptr, "collected version has no seed");
+    return s->kind;
+  }
+  return events_[write_event - event_base_].written_kind;
+}
+
 VersionKind History::KindOf(const VersionId& version) const {
   if (version.is_init()) return VersionKind::kUnborn;
   const EventId* it = write_events_.find(version);
-  ADYA_CHECK_MSG(it != nullptr, "unknown version");
-  return events_[*it].written_kind;
+  if (it == nullptr) {
+    const SeedVersion* s = seeds_.find(version);
+    ADYA_CHECK_MSG(s != nullptr, "unknown version");
+    return s->kind;
+  }
+  return WrittenKindAt(version, *it);
 }
 
 const Row* History::RowOf(const VersionId& version) const {
   if (version.is_init()) return nullptr;
   const EventId* it = write_events_.find(version);
-  ADYA_CHECK_MSG(it != nullptr, "unknown version");
-  const Event& e = events_[*it];
+  if (it == nullptr || *it < event_base_) {
+    const SeedVersion* s = seeds_.find(version);
+    ADYA_CHECK_MSG(s != nullptr, "unknown version");
+    if (s->kind != VersionKind::kVisible) return nullptr;
+    return &s->row;
+  }
+  const Event& e = events_[*it - event_base_];
   if (e.written_kind != VersionKind::kVisible) return nullptr;
   return &e.row;
 }
@@ -500,8 +526,108 @@ bool History::Matches(const VersionId& version, PredicateId pred) const {
 EventId History::WriteEventOf(const VersionId& version) const {
   if (version.is_init()) return kNoEvent;
   const EventId* it = write_events_.find(version);
-  ADYA_CHECK_MSG(it != nullptr, "unknown version");
+  if (it == nullptr) {
+    const SeedVersion* s = seeds_.find(version);
+    ADYA_CHECK_MSG(s != nullptr, "unknown version");
+    return s->write_event;
+  }
   return *it;
+}
+
+History History::CollectPrefix(EventId frontier) const {
+  ADYA_CHECK_MSG(!finalized_, "CollectPrefix on a finalized history");
+  ADYA_CHECK_MSG(explicit_order_.empty(),
+                 "CollectPrefix with explicit version orders");
+  ADYA_CHECK(frontier >= event_base_ && frontier <= event_end());
+  // The frontier must split no transaction: everything that started before
+  // it has finished before it.
+  for (const auto& [txn, info] : txns_) {
+    if (info.first_event == kNoEvent || info.first_event >= frontier) {
+      continue;
+    }
+    EventId finish = info.commit_event != kNoEvent ? info.commit_event
+                                                   : info.abort_event;
+    ADYA_CHECK_MSG(finish != kNoEvent && finish < frontier,
+                   "CollectPrefix frontier splits T" << txn);
+  }
+
+  History out;
+  // The universe is shared verbatim: same ids, same names.
+  out.relations_ = relations_;
+  out.relation_by_name_ = relation_by_name_;
+  out.objects_ = objects_;
+  out.object_by_name_ = object_by_name_;
+  out.predicates_ = predicates_;
+  out.predicate_by_name_ = predicate_by_name_;
+  out.event_base_ = frontier;
+
+  // Each object's seed: its last committed pre-frontier installer. A prior
+  // truncation's phantom writers compete on their (collected) commit
+  // events, so nested truncation picks the newest installer overall.
+  for (const auto& [txn, info] : txns_) {
+    if (info.commit_event == kNoEvent || info.commit_event >= frontier ||
+        info.abort_event != kNoEvent) {
+      continue;
+    }
+    for (const auto& [obj, writes] : info.writes) {
+      if (writes.empty()) continue;
+      auto it = out.seed_writer_.find(obj);
+      if (it == out.seed_writer_.end() ||
+          txns_.at(it->second).commit_event < info.commit_event) {
+        out.seed_writer_[obj] = txn;
+      }
+    }
+  }
+
+  // Seed writers survive as phantom transactions: real event anchors and
+  // write lists for the objects they seed (so FinalSeq / InstalledVersion /
+  // version orders and witness text keep answering), but no reads — every
+  // retained read's writer is retained or a seed, which the GC frontier
+  // guarantees.
+  for (const auto& [obj, txn] : out.seed_writer_) {
+    const TxnInfo& info = txns_.at(txn);
+    TxnInfo& phantom = out.txns_[txn];
+    phantom.first_event = info.first_event;
+    phantom.begin_event = info.begin_event;
+    phantom.commit_event = info.commit_event;
+    phantom.level = info.level;
+    const std::vector<EventId>& writes = info.writes.at(obj);
+    phantom.writes[obj] = writes;
+    VersionId seeded{obj, txn, static_cast<uint32_t>(writes.size())};
+    EventId write_event = writes.back();
+    if (write_event >= event_base_) {
+      const Event& e = events_[write_event - event_base_];
+      out.seeds_[seeded] = SeedVersion{e.written_kind, e.row, write_event};
+    } else {
+      const SeedVersion* s = seeds_.find(seeded);
+      ADYA_CHECK_MSG(s != nullptr, "collected version has no seed");
+      out.seeds_[seeded] = *s;
+    }
+  }
+  for (const auto& [txn, info] : out.txns_) {
+    out.seed_txns_.push_back(txn);
+  }
+  std::sort(out.seed_txns_.begin(), out.seed_txns_.end(),
+            [&out](TxnId a, TxnId b) {
+              return out.txns_.at(a).commit_event <
+                     out.txns_.at(b).commit_event;
+            });
+
+  // Level declarations outlive the collection: retained transactions, and
+  // declarations for transactions with no events yet. Append never touches
+  // level, so declaring them before the caller replays the retained events
+  // mirrors the live feed (levels are declared before a txn's first event).
+  for (const auto& [txn, info] : txns_) {
+    if (info.first_event == kNoEvent || info.first_event >= frontier) {
+      out.txns_[txn].level = info.level;
+    }
+  }
+  // The retained events themselves are NOT appended here: the caller
+  // replays them one at a time (ids resume at `frontier` verbatim), so that
+  // consumers observing the history mid-replay — ConflictDelta's
+  // IsCommitted checks in particular — see exactly the prefix a live feed
+  // would have shown them, never a retrospective view of later events.
+  return out;
 }
 
 }  // namespace adya

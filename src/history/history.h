@@ -37,6 +37,18 @@ class History {
     bool auto_abort_unfinished = true;
   };
 
+  /// Summary of a collected pre-frontier version carried by a truncated
+  /// history (built by CollectPrefix): enough to answer KindOf / RowOf /
+  /// Matches for the last committed pre-frontier version of an object.
+  /// `write_event` is the id the creating write had in the original
+  /// history — ids are never renumbered, so it compares correctly against
+  /// retained event ids (it is always < event_begin()).
+  struct SeedVersion {
+    VersionKind kind = VersionKind::kVisible;
+    Row row;
+    EventId write_event = kNoEvent;
+  };
+
   struct TxnInfo {
     EventId first_event = kNoEvent;
     EventId begin_event = kNoEvent;  // explicit kBegin or first event
@@ -92,7 +104,50 @@ class History {
   EventId Append(Event event);
 
   const std::vector<Event>& events() const { return events_; }
-  const Event& event(EventId id) const { return events_[id]; }
+  const Event& event(EventId id) const { return events_[id - event_base_]; }
+
+  // --- truncation (certified-stable-prefix GC) ----------------------------
+
+  /// First retained event id — 0 unless this history is a truncated suffix
+  /// built by CollectPrefix(). event(id) accepts ids in
+  /// [event_begin(), event_end()); collected prefixes keep their original
+  /// ids, so error and witness text quoting event ids is unchanged.
+  EventId event_begin() const { return event_base_; }
+  /// One past the last event id (== events().size() + event_begin()).
+  EventId event_end() const {
+    return event_base_ + static_cast<EventId>(events_.size());
+  }
+
+  /// Summary of a collected pre-frontier version; nullptr when `version`
+  /// was not seeded. Seeds exist only in truncated histories.
+  const SeedVersion* seed_version(const VersionId& version) const {
+    return seeds_.find(version);
+  }
+  /// Whether `object` has a collected pre-frontier committed version.
+  bool HasSeed(ObjectId object) const {
+    return seed_writer_.count(object) != 0;
+  }
+  /// Writers of the per-object seed versions, ascending by commit event.
+  const std::vector<TxnId>& SeedTransactions() const { return seed_txns_; }
+  /// Seeded object -> seed writer, for scans over the collected summary.
+  const std::map<ObjectId, TxnId>& seed_writers() const {
+    return seed_writer_;
+  }
+
+  /// Builds the truncated base history for a prefix collection: shares the
+  /// universe, summarizes each object's last committed pre-frontier version
+  /// as a seed, and carries over level declarations for surviving
+  /// transactions — but holds no events. The caller replays the retained
+  /// events [frontier, event_end()) itself via Append (ids resume at
+  /// `frontier` verbatim), one at a time, so mid-replay observers see only
+  /// the prefix a live feed would have shown. Seed writers survive as
+  /// phantom transactions whose writes are restricted to the objects they
+  /// seed; other pre-frontier transactions are dropped. Requires an
+  /// unfinalized history with no explicit version orders and a frontier
+  /// that splits no transaction; the caller must pick a frontier that keeps
+  /// future verdicts unchanged (see the IncrementalChecker GC invariants in
+  /// DESIGN.md §12).
+  History CollectPrefix(EventId frontier) const;
 
   // --- transactions ------------------------------------------------------
 
@@ -166,6 +221,10 @@ class History {
   Status ComputeVersionOrders();
   std::optional<VersionId> InstalledVersionInternal(TxnId txn,
                                                     ObjectId object) const;
+  /// Kind written by `version`'s creating event, tolerating a collected
+  /// (pre-event_base_) write event by falling back to the seed table.
+  VersionKind WrittenKindAt(const VersionId& version,
+                            EventId write_event) const;
 
   struct ObjectInfo {
     std::string name;
@@ -186,6 +245,14 @@ class History {
 
   std::vector<Event> events_;
   std::map<TxnId, TxnInfo> txns_;
+
+  // Truncation state (all empty/zero for ordinary histories): events_[i]
+  // holds the event with id event_base_ + i, and the seed tables summarize
+  // the collected prefix's surviving versions.
+  EventId event_base_ = 0;
+  FlatMap<VersionId, SeedVersion> seeds_;
+  std::map<ObjectId, TxnId> seed_writer_;
+  std::vector<TxnId> seed_txns_;  // distinct seed writers, by commit event
 
   std::map<ObjectId, std::vector<TxnId>> explicit_order_;
   std::vector<std::vector<TxnId>> effective_order_;  // per object; finalized

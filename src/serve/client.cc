@@ -82,9 +82,11 @@ Status Client::Handshake() {
   return Status::OK();
 }
 
-Result<uint64_t> Client::Open(IsolationLevel level, int max_pending) {
+Result<uint64_t> Client::Open(IsolationLevel level, int max_pending,
+                              std::string_view extra) {
   std::string payload = StrCat("level=", IsolationLevelName(level));
   if (max_pending > 0) payload += StrCat(" max_pending=", max_pending);
+  if (!extra.empty()) payload += StrCat(" ", extra);
   ADYA_RETURN_IF_ERROR(WriteFrame(fd_, FrameType::kOpen, payload));
   ADYA_ASSIGN_OR_RETURN(Frame reply, ReadFrame(fd_));
   if (reply.type == FrameType::kError) {

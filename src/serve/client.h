@@ -59,7 +59,11 @@ class Client {
 
   /// Opens the session; returns the server-assigned session id.
   /// `max_pending` > 0 asks the server for a lower in-flight bound.
-  Result<uint64_t> Open(IsolationLevel level, int max_pending = 0);
+  /// `extra` appends further OPEN key=value pairs verbatim (e.g.
+  /// "gc_watermark=1024 gc_min_window=8192" to enable the session
+  /// checker's prefix GC).
+  Result<uint64_t> Open(IsolationLevel level, int max_pending = 0,
+                        std::string_view extra = {});
 
   /// Sends one batch and blocks until its verdict arrives (absorbing BUSY
   /// by resending). Requires no other batches outstanding.

@@ -191,6 +191,7 @@ bool Server::HandleFrame(const std::shared_ptr<Connection>& conn,
       if (parsed->max_pending > 0 && parsed->max_pending < conn->max_pending) {
         conn->max_pending = parsed->max_pending;
       }
+      if (!parsed->gc_from_open) parsed->gc = options_.gc;
       uint64_t id = next_session_id_.fetch_add(1, std::memory_order_relaxed);
       conn->session = std::make_unique<Session>(id, *parsed, options_.stats);
       conn->state = ConnState::kReady;

@@ -63,6 +63,11 @@ struct ServeOptions {
   int drain_batches = 8;
   uint32_t max_frame_payload = kMaxFramePayload;
 
+  /// Default prefix-GC options for sessions whose OPEN names no gc_* key
+  /// (--gc-watermark / --gc-min-window on adya_serve). Off by default:
+  /// long-lived sessions then grow with their history, as before.
+  GcOptions gc;
+
   /// Registry for the serve.* metrics (DESIGN.md §9); also handed to every
   /// session's IncrementalChecker. May be null.
   obs::StatsRegistry* stats = nullptr;

@@ -59,6 +59,27 @@ Result<SessionOptions> SessionOptions::Parse(std::string_view text) {
             StrCat("bad max_pending '", value, "'"));
       }
       options.max_pending = n;
+    } else if (key == "gc_watermark") {
+      uint64_t n = 0;
+      auto [ptr, ec] =
+          std::from_chars(value.data(), value.data() + value.size(), n);
+      if (ec != std::errc() || ptr != value.data() + value.size() || n < 1) {
+        return Status::InvalidArgument(
+            StrCat("bad gc_watermark '", value, "'"));
+      }
+      options.gc.enabled = true;
+      options.gc.watermark_interval = n;
+      options.gc_from_open = true;
+    } else if (key == "gc_min_window") {
+      uint64_t n = 0;
+      auto [ptr, ec] =
+          std::from_chars(value.data(), value.data() + value.size(), n);
+      if (ec != std::errc() || ptr != value.data() + value.size() || n < 1) {
+        return Status::InvalidArgument(
+            StrCat("bad gc_min_window '", value, "'"));
+      }
+      options.gc.min_window_events = n;
+      options.gc_from_open = true;
     } else {
       return Status::InvalidArgument(
           StrCat("unknown OPEN option '", key, "'"));
@@ -76,7 +97,7 @@ Session::Session(uint64_t id, const SessionOptions& options,
                  obs::StatsRegistry* stats)
     : id_(id),
       options_(options),
-      checker_(options.level, stats),
+      checker_(options.level, stats, options.gc),
       parser_(&checker_.history()) {}
 
 Result<BatchOutcome> Session::Apply(uint32_t seq, std::string_view text) {

@@ -24,13 +24,22 @@
 
 namespace adya::serve {
 
-/// Parsed kOpen payload: `level=PL-3 [max_pending=N]`. Unknown keys are
-/// rejected (a client talking a newer dialect should fail loudly).
+/// Parsed kOpen payload: `level=PL-3 [max_pending=N] [gc_watermark=N]
+/// [gc_min_window=N]`. Unknown keys are rejected (a client talking a newer
+/// dialect should fail loudly).
 struct SessionOptions {
   IsolationLevel level = IsolationLevel::kPL3;
   /// Per-session pending-batch bound; 0 means "server default". Values
   /// above the server's limit are clamped to it.
   int max_pending = 0;
+  /// Prefix GC for this session's checker (DESIGN.md §12). OPEN's
+  /// gc_watermark=N enables it, gc_min_window=N sizes the retained
+  /// window; when OPEN names neither key the server's --gc-* defaults
+  /// apply instead (see ServeOptions::gc).
+  GcOptions gc;
+  /// Whether OPEN carried an explicit gc_* key (so the server knows not
+  /// to overwrite with its defaults).
+  bool gc_from_open = false;
 
   static Result<SessionOptions> Parse(std::string_view text);
 };
@@ -64,6 +73,10 @@ class Session {
   uint64_t events() const { return events_; }
   uint64_t commits() const { return commits_; }
   uint64_t violations() const { return violations_; }
+
+  /// Prefix-GC observability for the session's checker (zero with GC off).
+  uint64_t gc_runs() const { return checker_.gc_runs(); }
+  uint64_t gc_freed_events() const { return checker_.gc_freed_events(); }
 
   /// {"id":…,"level":"PL-3","batches":…,"events":…,"commits":…,
   ///  "violations":…} for the kStatsReply session section.

@@ -26,7 +26,7 @@ History PrefixHistory(const History& full, size_t n) {
                         full.predicate_relations(id));
   }
   for (size_t i = 0; i < n; ++i) {
-    const Event& e = full.event(static_cast<EventId>(i));
+    const Event& e = full.event(full.event_begin() + static_cast<EventId>(i));
     if (e.type == EventType::kBegin) {
       prefix.SetLevel(e.txn, full.txn_info(e.txn).level);
     }
@@ -43,8 +43,9 @@ OnlineCertifier::OnlineCertifier(const engine::Database& db,
     : db_(&db), target_(target), options_(options) {
   if (options_.certify_batch < 1) options_.certify_batch = 1;
   if (options_.mode == CheckMode::kIncremental) {
-    incremental_ =
-        std::make_unique<IncrementalChecker>(target_, options_.stats);
+    incremental_ = std::make_unique<IncrementalChecker>(target_,
+                                                        options_.stats,
+                                                        options_.gc);
   } else if (options_.threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.threads);
   }

@@ -261,6 +261,7 @@ Result<StressReport> RunStress(Database& db, const StressOptions& options) {
   certify_options.certify_batch = options.certify_batch;
   if (options.certify_incremental) {
     certify_options.mode = CheckMode::kIncremental;
+    certify_options.gc = options.gc;
   } else if (options.check_threads > 1) {
     certify_options.mode = CheckMode::kParallel;
   }

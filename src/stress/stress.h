@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/incremental.h"
 #include "core/levels.h"
 #include "engine/database.h"
 #include "stress/fault_plan.h"
@@ -61,6 +62,10 @@ struct StressOptions {
   /// prefix snapshots — exact per-commit attribution, same verdicts;
   /// ignores check_threads / certify_batch.
   bool certify_incremental = false;
+  /// Certified-stable-prefix GC for the incremental certifier
+  /// (CheckerOptions::gc, DESIGN.md §12). Off by default; only
+  /// meaningful with certify_incremental.
+  GcOptions gc;
   /// Metrics sink shared by the engine, the workers, and the certifier
   /// (DESIGN.md §9). Null (the default) disables all instrumentation; not
   /// owned, must outlive the run.

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <utility>
 #include <vector>
 
@@ -185,24 +187,57 @@ History RealizableHistory(uint64_t seed) {
   return workload::GenerateRandomHistory(options);
 }
 
+/// Smallest GC min_window that keeps every read's version un-collected
+/// when it arrives on this (item-only) stream: the longest read-to-write
+/// lookback plus one. A read of a never-produced version pins event 0.
+uint64_t SafeGcWindow(const History& h) {
+  std::map<VersionId, EventId> wrote;
+  uint64_t lookback = 0;
+  for (EventId id = 0; id < h.events().size(); ++id) {
+    const Event& e = h.event(id);
+    if (e.type == EventType::kWrite) {
+      wrote[e.version] = id;
+    } else if (e.type == EventType::kRead) {
+      auto it = wrote.find(e.version);
+      EventId w = it != wrote.end() ? it->second : 0;
+      lookback = std::max<uint64_t>(lookback, id - w);
+    }
+  }
+  return lookback + 1;
+}
+
+GcOptions GcFor(const History& h, bool with_gc) {
+  GcOptions gc;
+  if (with_gc) {
+    gc.enabled = true;
+    gc.watermark_interval = 1;  // attempt a collection at every commit
+    gc.min_window_events = SafeGcWindow(h);
+  }
+  return gc;
+}
+
 // Cycle phenomena are final-monotone under prefixing: versions install in
 // commit order, so a longer stream's DSG is a supergraph of a shorter
 // one's — everything a prefix stream reports, the whole stream reports
 // too (at the same commit), and the prefix reports are exactly the whole
-// stream's reports that fall inside the prefix.
-TEST(OnlinePropertyTest, ReportsAreMonotoneUnderPrefixing) {
+// stream's reports that fall inside the prefix. With the prefix GC on
+// (watermark 1, per-history safe window) the property must survive
+// unchanged: both checkers collect behind themselves, and at any shared
+// commit count their GC decisions are identical.
+void CheckMonotoneUnderPrefixing(bool with_gc) {
   constexpr IsolationLevel kLevels[] = {IsolationLevel::kPL3,
                                         IsolationLevel::kPLSI,
                                         IsolationLevel::kPL2Plus};
   for (uint64_t seed = 1; seed <= 20; ++seed) {
     History h = RealizableHistory(seed);
+    GcOptions gc = GcFor(h, with_gc);
     EventId n = static_cast<EventId>(h.events().size());
     for (IsolationLevel level : kLevels) {
-      IncrementalChecker whole(level);
+      IncrementalChecker whole(level, nullptr, gc);
       CloneInto(whole, h);
       auto whole_reports = FeedRange(whole, h, 0, n);
       for (EventId cut : {n / 3, n / 2, 2 * n / 3}) {
-        IncrementalChecker prefix(level);
+        IncrementalChecker prefix(level, nullptr, gc);
         CloneInto(prefix, h);
         auto prefix_reports = FeedRange(prefix, h, 0, cut);
         std::vector<std::pair<EventId, Phenomenon>> expected;
@@ -211,28 +246,40 @@ TEST(OnlinePropertyTest, ReportsAreMonotoneUnderPrefixing) {
         }
         EXPECT_EQ(prefix_reports, expected)
             << "seed " << seed << " level " << IsolationLevelName(level)
-            << " cut " << cut;
+            << " cut " << cut << (with_gc ? " (gc)" : "");
       }
     }
   }
 }
 
+TEST(OnlinePropertyTest, ReportsAreMonotoneUnderPrefixing) {
+  CheckMonotoneUnderPrefixing(/*with_gc=*/false);
+}
+
+TEST(OnlinePropertyTest, ReportsAreMonotoneUnderPrefixingWithGc) {
+  CheckMonotoneUnderPrefixing(/*with_gc=*/true);
+}
+
 // Feeding a stream in two chunks is indistinguishable from feeding it
 // whole, and a copy taken at the chunk boundary (a checkpoint) resumes
 // identically to the original — the incremental state is value-semantic.
-TEST(OnlinePropertyTest, ChunkedFeedingAndCheckpointResumeMatchWhole) {
+// With the prefix GC on, the checkpoint copies the collected state (seed
+// summaries, truncated window, GC counters) and the resumed copy keeps
+// collecting on its own schedule.
+void CheckChunkedFeedingAndCheckpointResume(bool with_gc) {
   constexpr IsolationLevel kLevels[] = {IsolationLevel::kPL3,
                                         IsolationLevel::kPLSI};
   for (uint64_t seed = 1; seed <= 20; ++seed) {
     History h = RealizableHistory(seed);
+    GcOptions gc = GcFor(h, with_gc);
     EventId n = static_cast<EventId>(h.events().size());
     EventId half = n / 2;
     for (IsolationLevel level : kLevels) {
-      IncrementalChecker whole(level);
+      IncrementalChecker whole(level, nullptr, gc);
       CloneInto(whole, h);
       auto whole_reports = FeedRange(whole, h, 0, n);
 
-      IncrementalChecker chunked(level);
+      IncrementalChecker chunked(level, nullptr, gc);
       CloneInto(chunked, h);
       auto first = FeedRange(chunked, h, 0, half);
       IncrementalChecker resumed = chunked;  // checkpoint
@@ -242,16 +289,31 @@ TEST(OnlinePropertyTest, ChunkedFeedingAndCheckpointResumeMatchWhole) {
       auto combined = first;
       combined.insert(combined.end(), second.begin(), second.end());
       EXPECT_EQ(combined, whole_reports)
-          << "seed " << seed << " level " << IsolationLevelName(level);
+          << "seed " << seed << " level " << IsolationLevelName(level)
+          << (with_gc ? " (gc)" : "");
       EXPECT_EQ(second_resumed, second)
           << "checkpoint diverged: seed " << seed << " level "
-          << IsolationLevelName(level);
+          << IsolationLevelName(level) << (with_gc ? " (gc)" : "");
       EXPECT_EQ(chunked.commits_checked(), whole.commits_checked());
       EXPECT_EQ(resumed.commits_checked(), whole.commits_checked());
       EXPECT_EQ(chunked.reported(), whole.reported());
       EXPECT_EQ(resumed.reported(), whole.reported());
+      if (with_gc) {
+        // Same stream, same options: the checkpoint and the original made
+        // identical collection decisions.
+        EXPECT_EQ(resumed.gc_runs(), chunked.gc_runs());
+        EXPECT_EQ(resumed.gc_freed_events(), chunked.gc_freed_events());
+      }
     }
   }
+}
+
+TEST(OnlinePropertyTest, ChunkedFeedingAndCheckpointResumeMatchWhole) {
+  CheckChunkedFeedingAndCheckpointResume(/*with_gc=*/false);
+}
+
+TEST(OnlinePropertyTest, ChunkedFeedingAndCheckpointResumeMatchWholeWithGc) {
+  CheckChunkedFeedingAndCheckpointResume(/*with_gc=*/true);
 }
 
 }  // namespace

@@ -10,7 +10,8 @@
 //
 // The full sweep is deliberately heavy and carries the ctest label `slow`
 // (excluded from the default `ctest -j`; scripts/ci.sh runs it explicitly).
-// ADYA_DIFF_SCALE=<percent> shrinks the corpus, e.g. 10 for a TSan run.
+// ADYA_DIFF_SCALE=<percent> shrinks the corpus, e.g. 10 for a TSan run;
+// ADYA_SEED=<n> replays a single failing seed from a failure message.
 
 #include <gtest/gtest.h>
 
@@ -45,6 +46,15 @@ int ScalePercent() {
 int Scaled(int n) {
   int scaled = n * ScalePercent() / 100;
   return scaled < 1 ? 1 : scaled;
+}
+
+/// ADYA_SEED=<n> pins the sweeps to that one seed: every other iteration is
+/// skipped, so a failure line — which always names its seed — reproduces
+/// with a single-seed rerun instead of the whole corpus.
+bool SeedSelected(uint64_t seed) {
+  static const char* env = std::getenv("ADYA_SEED");
+  if (env == nullptr) return true;
+  return std::strtoull(env, nullptr, 10) == seed;
 }
 
 /// The shared pools: one per thread count, reused across the whole corpus
@@ -150,6 +160,7 @@ TEST_P(RandomHistoryDiffTest, ParallelMatchesSerialBitForBit) {
   int per_chunk = Scaled(60);
   for (int i = 0; i < per_chunk; ++i) {
     uint64_t seed = static_cast<uint64_t>(chunk * 60 + i + 1);
+    if (!SeedSelected(seed)) continue;
     workload::RandomHistoryOptions options;
     options.seed = seed;
     options.num_txns = 10;
@@ -195,6 +206,7 @@ TEST_P(EngineHistoryDiffTest, ParallelMatchesSerialBitForBit) {
     for (int i = 0; i < seeds_per_config; ++i) {
       uint64_t seed =
           static_cast<uint64_t>(chunk * 5 + i + 1 + 1000 * config_index);
+      if (!SeedSelected(seed)) continue;
       auto db = Database::Create(config.scheme, Database::Options{});
       workload::WorkloadOptions options;
       options.seed = seed;
@@ -235,6 +247,7 @@ TEST(ParallelDiffTest, LargeHistoryMatches) {
 TEST(ParallelDiffTest, SharedPoolAcrossCheckers) {
   ThreadPool pool(4);
   for (uint64_t seed = 1; seed <= static_cast<uint64_t>(Scaled(20)); ++seed) {
+    if (!SeedSelected(seed)) continue;
     workload::RandomHistoryOptions options;
     options.seed = seed;
     History h = workload::GenerateRandomHistory(options);
