@@ -36,7 +36,7 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 echo "=== plain ctest (fast suite) ==="
 ctest --test-dir build --output-on-failure -j "$JOBS" -LE slow
-echo "=== plain ctest (slow label: parallel + incremental differential sweeps) ==="
+echo "=== plain ctest (slow label: phenomenon/parallel/incremental differential sweeps) ==="
 ctest --test-dir build --output-on-failure -j "$JOBS" -L slow
 
 echo "=== adya_stress smoke (locking @ PL-3, 8 threads, 2s) ==="
@@ -156,28 +156,45 @@ print('gc bench shapes OK')
 PYEOF
 rm -f "$GC_BENCH"
 
-echo "=== perf smoke (bench_checker_scale phase timers, small size) ==="
-# Not a perf gate (CI machines are noisy) — verifies the phase-timer BENCH
-# pipeline end to end: the binary runs with --repeats, emits well-formed
-# checker_phases JSON lines with the min/median summaries the checked-in
-# bench/BENCH_checker_cpu.json baseline is built from.
+echo "=== perf smoke (bench_checker_scale phase timers + regression gate) ==="
+# Verifies the phase-timer BENCH pipeline end to end AND gates the
+# phenomenon phase against gross regressions: the fresh min-of-repeats
+# phenomenon_us at the smoke size may not exceed 3x the checked-in
+# bench/BENCH_checker_cpu.json baseline. 3x is deliberately loose — CI
+# machines are noisy and min-of-2 is a rough statistic — so only a real
+# algorithmic regression (e.g. an artifact silently rebuilt per query)
+# trips it, not scheduler jitter.
 PERF_SMOKE="$(mktemp)"
-./build/bench/bench_checker_scale --repeats=2 --phase-txns=200 \
+./build/bench/bench_checker_scale --repeats=2 --phase-txns=1000 \
   --benchmark_filter='^$' > "$PERF_SMOKE"
-python3 - "$PERF_SMOKE" <<'PYEOF'
+python3 - "$PERF_SMOKE" bench/BENCH_checker_cpu.json <<'PYEOF'
 import json, sys
-lines = [l for l in open(sys.argv[1]) if l.startswith('BENCH ')]
-phases = [json.loads(l[len('BENCH '):]) for l in lines]
-phases = [d for d in phases if d['name'] == 'checker_phases']
-assert phases, 'no checker_phases BENCH line emitted'
-for d in phases:
+
+def bench_rows(path):
+    lines = [l for l in open(path) if l.startswith('BENCH ')]
+    rows = [json.loads(l[len('BENCH '):]) for l in lines]
+    return [d for d in rows if d['name'] == 'checker_phases']
+
+fresh = bench_rows(sys.argv[1])
+assert fresh, 'no checker_phases BENCH line emitted'
+for d in fresh:
     assert d['repeats'] == 2, d
-    assert d['layout'] == 'dense', d
+    assert d['layout'] == 'artifacts', d
     for key in ('conflicts_us', 'cycle_search_us', 'conflict_cycle_us',
                 'phenomenon_us', 'witness_us', 'wall_us'):
         stat = d[key]
         assert stat['min'] <= stat['median'], (key, stat)
-print(f'perf smoke OK: {len(phases)} checker_phases line(s)')
+smoke = fresh[0]
+base = [d for d in bench_rows(sys.argv[2])
+        if d['layout'] == 'artifacts' and d['txns'] == smoke['txns']]
+assert base, f"baseline has no artifacts line at {smoke['txns']} txns"
+baseline_us = base[0]['phenomenon_us']['min']
+fresh_us = smoke['phenomenon_us']['min']
+assert fresh_us <= 3.0 * baseline_us, (
+    f"phenomenon phase regressed: {fresh_us:.0f}us fresh vs "
+    f"{baseline_us:.0f}us baseline min (>3x)")
+print(f"perf smoke OK: phenomenon_us {fresh_us:.0f}us "
+      f"<= 3x baseline {baseline_us:.0f}us")
 PYEOF
 rm -f "$PERF_SMOKE"
 
@@ -195,8 +212,10 @@ if [[ "${CI_TSAN_FULL:-0}" == "1" ]]; then
 else
   # The multi-threaded surface: stress runs, blocking-engine contention,
   # the concurrent recorder tap, the thread pool, the obs counters and
-  # histograms, and the parallel- and incremental-checker differential
-  # harnesses (at a tenth of the corpus — TSan is ~10x).
+  # histograms, and the slow-label differential harnesses — the
+  # phenomenon-phase wall (old rescan vs shared-artifacts, all modes), the
+  # parallel- and the incremental-checker sweeps — at a tenth of the
+  # corpus (TSan is ~10x).
   # *Bitset* is the forced-cycle-oracle differential suite (forced-on and
   # forced-off bitset reachability must stay bit-identical in every mode,
   # including the parallel checker's fan-out — hence TSan).

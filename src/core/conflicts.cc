@@ -356,6 +356,18 @@ std::vector<Dependency> ComputeDependencies(const History& h,
   return Analyzer(h, options).Run();
 }
 
+std::vector<Dependency> ComputeStartDependencies(const History& h,
+                                                 bool reduced) {
+  ConflictOptions options;
+  options.include_start_edges = true;
+  options.reduced_start_edges = reduced;
+  Analyzer analyzer(h, options);
+  std::vector<Dependency> out;
+  analyzer.StartDependencies(out);
+  return out;
+}
+
+
 std::vector<Dependency> ComputeDependencies(const History& h,
                                             const ConflictOptions& options,
                                             ThreadPool* pool) {

@@ -110,6 +110,16 @@ struct ConflictOptions {
   /// BFS path, UINT32_MAX forces the bitset path (the differential tests
   /// pin both extremes against each other).
   uint32_t cycle_bitset_max_scc = 4096;
+  /// TEST-ONLY knob: run the pre-PhenomenonArtifacts phenomenon phase —
+  /// per-call rescans with no cross-phenomenon memoization, G-SI(b) on the
+  /// fully materialized O(committed²)-edge SSG, a separate conflict pass for
+  /// the G-cursor plan. Verdicts and witnesses are byte-identical either way
+  /// (tests/phenomena_diff_test.cc sweeps both paths against each other);
+  /// the knob exists only so that wall can compare them for one PR and is
+  /// scheduled for removal together with the legacy code it gates
+  /// (DESIGN.md §13). Quadratic in committed transactions — never enable
+  /// outside tests.
+  bool legacy_phenomenon_rescan = false;
   /// Metrics sink threaded through every checker layer (conflict-edge
   /// construction, phenomenon checks, incremental deltas) — the single
   /// plumbing point, so serial, parallel, and incremental checking report
@@ -145,6 +155,17 @@ std::vector<Dependency> ComputeDependencies(
 std::vector<Dependency> ComputeDependencies(const History& h,
                                             const ConflictOptions& options,
                                             ThreadPool* pool);
+
+/// Just the start-dependency phase of ComputeDependencies — the kStart
+/// conflicts, in the exact order the full analyzer emits them after the
+/// conflict phases. `reduced` selects the transitive reduction of the start
+/// order (see ConflictOptions::reduced_start_edges); false emits all
+/// O(committed²) pairs. Appending the result to a start-edge-free
+/// dependency list reproduces ComputeDependencies with include_start_edges
+/// byte for byte, which is how PhenomenonArtifacts assembles its reduced
+/// SSG from the conflict pass it already ran.
+std::vector<Dependency> ComputeStartDependencies(const History& h,
+                                                 bool reduced);
 
 /// Incremental counterpart of ComputeDependencies for *event streams*: fed
 /// one appended event at a time, it emits exactly the direct conflicts the

@@ -27,7 +27,9 @@ Dsg::Dsg(const History& h, const ConflictOptions& options)
     : Dsg(h, options, nullptr) {}
 
 Dsg::Dsg(const History& h, const ConflictOptions& options, ThreadPool* pool)
-    : history_(&h) {
+    : Dsg(h, ComputeDependencies(h, options, pool)) {}
+
+Dsg::Dsg(const History& h, std::vector<Dependency> deps) : history_(&h) {
   const DenseTxnIndex& dense = h.dense();
   graph_.Resize(dense.committed_count());
 
@@ -40,7 +42,7 @@ Dsg::Dsg(const History& h, const ConflictOptions& options, ThreadPool* pool)
   // Parallel arrays per merged edge group, in insertion order.
   std::vector<graph::NodeId> group_from;
   std::vector<graph::NodeId> group_to;
-  for (Dependency& dep : ComputeDependencies(h, options, pool)) {
+  for (Dependency& dep : deps) {
     graph::NodeId from = *dense.CommittedIndexOf(dep.from);
     graph::NodeId to = *dense.CommittedIndexOf(dep.to);
     uint32_t& slot =

@@ -29,6 +29,12 @@ class Dsg {
   /// overload); the merge is unchanged, so the graph — edge ids included —
   /// is bit-identical to the serial constructor's.
   Dsg(const History& h, const ConflictOptions& options, ThreadPool* pool);
+  /// Builds the graph from an already-computed dependency list instead of
+  /// running ComputeDependencies — the merge (and so every edge id) is the
+  /// same as if the other constructors had computed `deps` themselves.
+  /// PhenomenonArtifacts uses this to share one conflict pass between the
+  /// DSG, the G-cursor plan, and the SSG variants.
+  Dsg(const History& h, std::vector<Dependency> deps);
 
   const History& history() const { return *history_; }
   const graph::Digraph& graph() const { return graph_; }

@@ -405,7 +405,10 @@ std::vector<Violation> IncrementalChecker::OnCommit(TxnId txn) {
   // Witness extraction: run the offline checker on the finalized prefix —
   // the detectors decided *that* a phenomenon holds; the offline checker
   // says *why*, with the exact witness the naive strategy would emit at
-  // this commit. Amortized at most once per phenomenon kind.
+  // this commit. Amortized at most once per phenomenon kind, and every
+  // phenomenon extracted here answers from the checker's one shared
+  // PhenomenonArtifacts pass (conflicts, DSG, SCC partitions) rather than
+  // per-phenomenon rescans of the prefix.
   History prefix = history_;
   {
     ADYA_TIMED_PHASE(offline_options_.stats, "checker.version_order_us");

@@ -148,7 +148,9 @@ class IncrementalChecker {
 
   /// Offline-equivalent queries over the history so far (the completed,
   /// finalized prefix in streaming mode). Requires a well-formed stream.
-  /// Lazily builds one offline PhenomenaChecker, invalidated by Feed.
+  /// Lazily builds one offline PhenomenaChecker, invalidated by Feed; that
+  /// checker's shared PhenomenonArtifacts pass memoizes across CheckAll,
+  /// per-level, and per-phenomenon queries on the same prefix.
   std::vector<Violation> CheckAll() const;
   LevelCheckResult Check(IsolationLevel level) const;
   std::optional<Violation> CheckPhenomenon(Phenomenon p) const;

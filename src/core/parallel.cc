@@ -10,15 +10,22 @@ namespace adya {
 namespace {
 
 /// FindCycleWithRequiredKind wrapped into a Violation, mirroring
-/// PhenomenaChecker::CycleViolation (same phase metric names too).
+/// PhenomenaChecker::CycleViolation (same phase metric names too). A
+/// non-null `scc` must be the allowed-subgraph partition (shared Tarjan
+/// pass); the result is bit-identical either way.
 std::optional<Violation> CycleViolation(Phenomenon p, const Dsg& dsg,
                                         graph::KindMask allowed,
                                         graph::KindMask required,
-                                        obs::StatsRegistry* stats) {
+                                        obs::StatsRegistry* stats,
+                                        const graph::SccResult* scc = nullptr) {
   std::optional<graph::Cycle> cycle;
   {
     ADYA_TIMED_PHASE(stats, "checker.cycle_search_us");
-    cycle = graph::FindCycleWithRequiredKind(dsg.graph(), allowed, required);
+    cycle = scc != nullptr
+                ? graph::FindCycleWithRequiredKind(dsg.graph(), allowed,
+                                                   required, *scc)
+                : graph::FindCycleWithRequiredKind(dsg.graph(), allowed,
+                                                   required);
   }
   if (!cycle.has_value()) return std::nullopt;
   ADYA_TIMED_PHASE(stats, "checker.witness_us");
@@ -82,7 +89,8 @@ ParallelChecker::ParallelChecker(const History& h, const CheckOptions& options)
   }
   owned_pool_ = std::make_unique<ThreadPool>(options_.threads);
   pool_ = owned_pool_.get();
-  dsg_ = std::make_unique<Dsg>(h, options_.conflicts, pool_);
+  artifacts_ =
+      std::make_unique<PhenomenonArtifacts>(h, options_.conflicts, pool_);
 }
 
 ParallelChecker::ParallelChecker(const History& h, const CheckOptions& options,
@@ -95,7 +103,8 @@ ParallelChecker::ParallelChecker(const History& h, const CheckOptions& options,
   }
   options_.threads = pool->threads();
   pool_ = pool;
-  dsg_ = std::make_unique<Dsg>(h, options_.conflicts, pool_);
+  artifacts_ =
+      std::make_unique<PhenomenonArtifacts>(h, options_.conflicts, pool_);
 }
 
 ParallelChecker::~ParallelChecker() = default;
@@ -103,21 +112,25 @@ ParallelChecker::~ParallelChecker() = default;
 int ParallelChecker::threads() const { return serial_ ? 1 : pool_->threads(); }
 
 const Dsg& ParallelChecker::dsg() const {
-  return serial_ ? serial_->dsg() : *dsg_;
+  return serial_ ? serial_->dsg() : artifacts_->dsg();
 }
 
 const Dsg& ParallelChecker::ssg() const {
-  if (serial_) return serial_->ssg();
-  // call_once: CheckAll runs G-SI(b) concurrently with other checks.
-  std::call_once(ssg_once_, [this] {
-    ConflictOptions options = options_.conflicts;
-    options.include_start_edges = true;
-    // Built serially even on the parallel path: a pool task may get here
-    // (nested ParallelFor would run inline anyway), and the SSG build is
-    // one pass over the conflicts.
-    ssg_ = std::make_unique<Dsg>(*history_, options);
-  });
-  return *ssg_;
+  // The fully materialized SSG (audit output; the G-SI(b) hot path never
+  // builds it — see PhenomenonArtifacts::CheckGSIb). Built serially even on
+  // the parallel path: a pool task may get here (nested ParallelFor would
+  // run inline anyway), and the build is one pass over the conflicts.
+  return serial_ ? serial_->ssg() : artifacts_->full_ssg();
+}
+
+void ParallelChecker::PrewarmGSIb() const {
+  if (serial_) return;
+  if (options_.conflicts.legacy_phenomenon_rescan) {
+    ssg();
+    return;
+  }
+  if (options_.conflicts.reduced_start_edges) artifacts_->reduced_ssg();
+  artifacts_->ssg_scc();
 }
 
 const std::vector<Dependency>& ParallelChecker::cursor_deps() const {
@@ -134,21 +147,32 @@ std::optional<Violation> ParallelChecker::Check(Phenomenon p) const {
   if (serial_) return serial_->Check(p);
   obs::StatsRegistry* stats = options_.conflicts.stats;
   ADYA_TIMED_PHASE(stats, "checker.phenomenon_us");
+  ADYA_TIMED_PHASE(stats, phenomena_internal::PhenomenonMetricName(p));
+  if (options_.conflicts.legacy_phenomenon_rescan) return CheckDispatch(p);
+  return artifacts_->Memo(p, [&] { return CheckDispatch(p); });
+}
+
+std::optional<Violation> ParallelChecker::CheckDispatch(Phenomenon p) const {
+  obs::StatsRegistry* stats = options_.conflicts.stats;
+  const Dsg& d = artifacts_->dsg();
   switch (p) {
     // The pure SCC searches: within a component every candidate edge closes
     // a cycle, so the serial scan stops at its first SCC-internal candidate
     // with no per-edge search — nothing to parallelize beyond the sharded
     // graph build (already done in the constructor).
     case Phenomenon::kG0:
-      return CycleViolation(p, *dsg_, Bit(DepKind::kWW), Bit(DepKind::kWW),
+      return CycleViolation(p, d, Bit(DepKind::kWW), Bit(DepKind::kWW),
                             stats);
     case Phenomenon::kG1c:
-      return CycleViolation(p, *dsg_, kDependencyMask, kDependencyMask, stats);
+      return CycleViolation(p, d, kDependencyMask, kDependencyMask, stats);
     case Phenomenon::kG2Item:
-      return CycleViolation(p, *dsg_, kDependencyMask | Bit(DepKind::kRWItem),
+      return CycleViolation(p, d, kDependencyMask | Bit(DepKind::kRWItem),
                             Bit(DepKind::kRWItem), stats);
     case Phenomenon::kG2:
-      return CycleViolation(p, *dsg_, kConflictMask, kAntiMask, stats);
+      return CycleViolation(p, d, kConflictMask, kAntiMask, stats,
+                            options_.conflicts.legacy_phenomenon_rescan
+                                ? nullptr
+                                : &artifacts_->conflict_scc());
     case Phenomenon::kG1a:
       return CheckG1aParallel(nullptr);
     case Phenomenon::kG1b:
@@ -205,30 +229,43 @@ std::optional<Violation> ParallelChecker::CheckG1bParallel(
 
 std::optional<Violation> ParallelChecker::CheckGSIaParallel() const {
   const History& h = *history_;
-  const Dsg& d = *dsg_;
+  const Dsg& d = artifacts_->dsg();
   return MinIndexScan(*pool_, d.graph().edge_count(), [&](size_t e) {
     return phenomena_internal::GSIaViolationAt(h, d, graph::EdgeId(e));
   });
 }
 
 std::optional<Violation> ParallelChecker::CheckGSingleParallel() const {
+  const Dsg& d = artifacts_->dsg();
+  const graph::SccResult* scc = options_.conflicts.legacy_phenomenon_rescan
+                                    ? nullptr
+                                    : &artifacts_->conflict_scc();
   std::optional<graph::Cycle> cycle;
   {
     ADYA_TIMED_PHASE(options_.conflicts.stats, "checker.cycle_search_us");
-    cycle = graph::FindCycleWithExactlyOne(
-        dsg_->graph(), kAntiMask, kDependencyMask, pool_,
-        graph::CycleOptions{options_.conflicts.cycle_bitset_max_scc});
+    graph::CycleOptions cycle_options{options_.conflicts.cycle_bitset_max_scc};
+    cycle = scc != nullptr
+                ? graph::FindCycleWithExactlyOne(d.graph(), kAntiMask,
+                                                 kDependencyMask, *scc, pool_,
+                                                 cycle_options)
+                : graph::FindCycleWithExactlyOne(d.graph(), kAntiMask,
+                                                 kDependencyMask, pool_,
+                                                 cycle_options);
   }
   if (!cycle.has_value()) return std::nullopt;
   ADYA_TIMED_PHASE(options_.conflicts.stats, "checker.witness_us");
   Violation v;
   v.phenomenon = Phenomenon::kGSingle;
   v.cycle = *cycle;
-  v.description = StrCat("G-single: ", dsg_->DescribeCycle(*cycle));
+  v.description = StrCat("G-single: ", d.DescribeCycle(*cycle));
   return v;
 }
 
 std::optional<Violation> ParallelChecker::CheckGSIbParallel() const {
+  if (!options_.conflicts.legacy_phenomenon_rescan) {
+    return artifacts_->CheckGSIb(pool_);
+  }
+  // Legacy path: search the fully materialized SSG directly.
   const Dsg& s = ssg();
   std::optional<graph::Cycle> cycle;
   {
@@ -248,11 +285,15 @@ std::optional<Violation> ParallelChecker::CheckGSIbParallel() const {
 
 std::optional<Violation> ParallelChecker::CheckGCursorParallel() const {
   const History& h = *history_;
-  const std::vector<Dependency>& deps = cursor_deps();
+  const bool legacy = options_.conflicts.legacy_phenomenon_rescan;
+  const std::vector<Dependency>& deps =
+      legacy ? cursor_deps() : artifacts_->deps();
+  const phenomena_internal::CursorPlan& plan =
+      legacy ? cursor_plan_ : artifacts_->cursor_plan();
   ADYA_TIMED_PHASE(options_.conflicts.stats, "checker.cycle_search_us");
   graph::CycleOptions cycle_options{options_.conflicts.cycle_bitset_max_scc};
   return MinIndexScan(*pool_, h.object_count(), [&](size_t obj) {
-    return phenomena_internal::GCursorViolationAt(h, deps, cursor_plan_,
+    return phenomena_internal::GCursorViolationAt(h, deps, plan,
                                                   ObjectId(obj), cycle_options);
   });
 }
@@ -268,8 +309,14 @@ std::vector<Violation> ParallelChecker::CheckAll() const {
   // Prewarm the shared lazy state so the fanned-out checks only read it.
   // (call_once makes the lazy init safe regardless; warming just avoids one
   // check serializing the others behind the build.)
-  ssg();
-  cursor_deps();
+  if (options_.conflicts.legacy_phenomenon_rescan) {
+    ssg();
+    cursor_deps();
+  } else {
+    PrewarmGSIb();
+    artifacts_->cursor_plan();
+    artifacts_->conflict_scc();
+  }
   std::vector<std::optional<Violation>> results(kCount);
   pool_->ParallelFor(kCount, [&](size_t i) { results[i] = Check(kAll[i]); });
   std::vector<Violation> out;
@@ -291,7 +338,7 @@ LevelCheckResult CheckLevel(const ParallelChecker& checker,
       }
     }
   } else {
-    if (level == IsolationLevel::kPLSI) checker.ssg();
+    if (level == IsolationLevel::kPLSI) checker.PrewarmGSIb();
     std::vector<std::optional<Violation>> results(proscribed.size());
     checker.pool()->ParallelFor(proscribed.size(), [&](size_t i) {
       results[i] = checker.Check(proscribed[i]);

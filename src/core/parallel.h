@@ -71,8 +71,14 @@ class ParallelChecker {
   int threads() const;
   /// The pool in use; nullptr on the serial path.
   ThreadPool* pool() const { return pool_; }
+  /// Builds the lazy state the G-SI(b) check consumes (the reduced SSG and
+  /// its SCCs; the full SSG under the legacy knob) so a subsequent fan-out
+  /// does not serialize the other checks behind that build. No-op on the
+  /// serial path.
+  void PrewarmGSIb() const;
 
  private:
+  std::optional<Violation> CheckDispatch(Phenomenon p) const;
   std::optional<Violation> CheckG1aParallel(const TxnFilter* filter) const;
   std::optional<Violation> CheckG1bParallel(const TxnFilter* filter) const;
   std::optional<Violation> CheckGSIaParallel() const;
@@ -87,12 +93,12 @@ class ParallelChecker {
   std::unique_ptr<PhenomenaChecker> serial_;
   std::unique_ptr<ThreadPool> owned_pool_;
   ThreadPool* pool_ = nullptr;  // owned_pool_.get() or the shared pool
-  std::unique_ptr<Dsg> dsg_;
-  mutable std::unique_ptr<Dsg> ssg_;
-  mutable std::once_flag ssg_once_;
-  /// Raw dependency list for the per-object G-cursor graphs (the DSG merges
-  /// parallel conflicts into one edge, so it cannot be reused), plus the
-  /// per-object bucket plan the sharded object scan indexes into.
+  /// Shared per-history pass (conflicts sharded over pool_, bit-identical
+  /// to the serial computation); answers every check, memoized.
+  std::unique_ptr<PhenomenonArtifacts> artifacts_;
+  /// Legacy-rescan working set (ConflictOptions::legacy_phenomenon_rescan
+  /// only): the separate G-cursor conflict pass the pre-artifacts code ran.
+  /// Removed with the knob (DESIGN.md §13).
   mutable std::unique_ptr<std::vector<Dependency>> cursor_deps_;
   mutable phenomena_internal::CursorPlan cursor_plan_;
   mutable std::once_flag cursor_deps_once_;

@@ -1,5 +1,9 @@
 #include "core/phenomena.h"
 
+#include <algorithm>
+#include <deque>
+#include <iterator>
+#include <limits>
 #include <set>
 
 #include "common/flat_hash.h"
@@ -39,26 +43,463 @@ namespace {
 
 bool AcceptAll(TxnId) { return true; }
 
+/// SCC partition of the start-ordered graph — the DSG's conflict edges plus
+/// every start edge (u, j) with c_u < b_j — without materializing a single
+/// start edge. The start order is dense even after transitive reduction
+/// (tens of millions of pairs at 100k txns for concurrent workloads), so
+/// any materialization loses; instead this runs Kosaraju with the start
+/// edges enumerated implicitly. A neighbor that is already visited
+/// contributes nothing to a DFS forest, so each pass erases nodes from a
+/// skip-pointer structure (path halving over the begin- or commit-sorted
+/// order) as it visits them, and "next unvisited start target" costs
+/// amortized near-constant time: pass 1 scans the begin-suffix past c_u,
+/// pass 2 (transpose) the commit-prefix before b_j. Component ids follow
+/// Kosaraju's discovery order — a relabeling of Tarjan's; every consumer
+/// keys on equality, size, or bucketing, all invariant under relabeling.
+graph::SccResult StartOrderScc(const graph::Digraph& g,
+                               const DenseTxnIndex& dense) {
+  const uint32_t n = static_cast<uint32_t>(g.node_count());
+  graph::SccResult scc;
+  if (n == 0) return scc;
+
+  std::vector<uint32_t> by_begin(n), by_commit(n);
+  for (uint32_t v = 0; v < n; ++v) by_begin[v] = by_commit[v] = v;
+  std::sort(by_begin.begin(), by_begin.end(), [&](uint32_t a, uint32_t b) {
+    return dense.committed_begin_event(a) < dense.committed_begin_event(b);
+  });
+  std::sort(by_commit.begin(), by_commit.end(), [&](uint32_t a, uint32_t b) {
+    return dense.committed_commit_event(a) < dense.committed_commit_event(b);
+  });
+  std::vector<EventId> begins(n), commits(n);
+  std::vector<uint32_t> begin_pos(n), commit_pos(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    begins[i] = dense.committed_begin_event(by_begin[i]);
+    commits[i] = dense.committed_commit_event(by_commit[i]);
+    begin_pos[by_begin[i]] = i;
+    commit_pos[by_commit[i]] = i;
+  }
+  // lo[u]: first begin position past c_u (u's implicit out-targets are the
+  // unvisited suffix from there). hi[u]: count of commit positions before
+  // b_u (u's implicit in-sources are the unvisited prefix below it).
+  std::vector<uint32_t> lo(n), hi(n);
+  for (uint32_t v = 0; v < n; ++v) {
+    lo[v] = static_cast<uint32_t>(
+        std::upper_bound(begins.begin(), begins.end(),
+                         dense.committed_commit_event(v)) -
+        begins.begin());
+    hi[v] = static_cast<uint32_t>(
+        std::lower_bound(commits.begin(), commits.end(),
+                         dense.committed_begin_event(v)) -
+        commits.begin());
+  }
+
+  // up[p] = first live begin-position >= p; down[s] = last live
+  // commit-position <= s-1, in coordinates shifted by one so 0 is "none".
+  std::vector<uint32_t> up(n + 1), down(n + 1);
+  for (uint32_t i = 0; i <= n; ++i) up[i] = down[i] = i;
+  auto find_up = [&up](uint32_t p) {
+    while (up[p] != p) {
+      up[p] = up[up[p]];
+      p = up[p];
+    }
+    return p;
+  };
+  auto find_down = [&down](uint32_t s) {
+    while (down[s] != s) {
+      down[s] = down[down[s]];
+      s = down[s];
+    }
+    return s;
+  };
+
+  // Pass 1: iterative forward DFS recording finishing order.
+  std::vector<bool> visited(n, false);
+  std::vector<uint32_t> ecur(n, 0);  // per-node conflict-edge cursor
+  std::vector<uint32_t> order, stack;
+  order.reserve(n);
+  auto visit1 = [&](uint32_t v) {
+    visited[v] = true;
+    up[begin_pos[v]] = begin_pos[v] + 1;
+    stack.push_back(v);
+  };
+  for (uint32_t root = 0; root < n; ++root) {
+    if (visited[root]) continue;
+    visit1(root);
+    while (!stack.empty()) {
+      uint32_t u = stack.back();
+      bool advanced = false;
+      graph::EdgeSpan out = g.out_edges(u);
+      while (ecur[u] < out.size()) {
+        uint32_t v = g.edge(out[ecur[u]++]).to;
+        if (!visited[v]) {
+          visit1(v);
+          advanced = true;
+          break;
+        }
+      }
+      if (advanced) continue;
+      uint32_t p = find_up(lo[u]);
+      if (p < n) {
+        visit1(by_begin[p]);
+        continue;
+      }
+      order.push_back(u);
+      stack.pop_back();
+    }
+  }
+
+  // Pass 2: transpose DFS in reverse finishing order; each tree is one SCC.
+  constexpr uint32_t kUnassigned = std::numeric_limits<uint32_t>::max();
+  scc.component.assign(n, kUnassigned);
+  std::fill(ecur.begin(), ecur.end(), 0);
+  auto visit2 = [&](uint32_t v, uint32_t c) {
+    scc.component[v] = c;
+    down[commit_pos[v] + 1] = commit_pos[v];
+    stack.push_back(v);
+  };
+  for (uint32_t i = n; i-- > 0;) {
+    uint32_t root = order[i];
+    if (scc.component[root] != kUnassigned) continue;
+    uint32_t c = scc.count++;
+    visit2(root, c);
+    while (!stack.empty()) {
+      uint32_t u = stack.back();
+      bool advanced = false;
+      graph::EdgeSpan in = g.in_edges(u);
+      while (ecur[u] < in.size()) {
+        uint32_t v = g.edge(in[ecur[u]++]).from;
+        if (scc.component[v] == kUnassigned) {
+          visit2(v, c);
+          advanced = true;
+          break;
+        }
+      }
+      if (advanced) continue;
+      uint32_t s = find_down(hi[u]);
+      if (s > 0) {
+        visit2(by_commit[s - 1], c);
+        continue;
+      }
+      stack.pop_back();
+    }
+  }
+  return scc;
+}
+
 }  // namespace
+
+PhenomenonArtifacts::PhenomenonArtifacts(const History& h,
+                                         const ConflictOptions& options,
+                                         ThreadPool* pool)
+    : history_(&h), options_(options) {
+  options_.include_start_edges = false;
+  deps_ = ComputeDependencies(h, options_, pool);
+  // The Dsg constructor consumes its list, so hand it a copy: `deps_` also
+  // feeds the G-cursor plan and the reduced SSG.
+  dsg_ = std::make_unique<Dsg>(h, deps_);
+}
+
+const Dsg& PhenomenonArtifacts::reduced_ssg() const {
+  std::call_once(reduced_ssg_once_, [&] {
+    ADYA_TIMED_PHASE(options_.stats, "checker.phenomenon.ssg_build_us");
+    // Conflicts are already in hand; only the start phase runs here. The
+    // concatenation reproduces ComputeDependencies with include_start_edges
+    // + reduced_start_edges byte for byte (start conflicts are emitted
+    // after every conflict phase), so the merged graph — edge ids included
+    // — matches a Dsg built from scratch under those options.
+    std::vector<Dependency> all = deps_;
+    std::vector<Dependency> starts =
+        ComputeStartDependencies(*history_, /*reduced=*/true);
+    all.insert(all.end(), std::make_move_iterator(starts.begin()),
+               std::make_move_iterator(starts.end()));
+    reduced_ssg_ = std::make_unique<Dsg>(*history_, std::move(all));
+  });
+  return *reduced_ssg_;
+}
+
+const graph::SccResult& PhenomenonArtifacts::ssg_scc() const {
+  std::call_once(ssg_scc_once_, [&] {
+    ADYA_TIMED_PHASE(options_.stats, "checker.phenomenon.ssg_build_us");
+    ssg_scc_ = StartOrderScc(dsg_->graph(), history_->dense());
+  });
+  return ssg_scc_;
+}
+
+const Dsg& PhenomenonArtifacts::full_ssg() const {
+  std::call_once(full_ssg_once_, [&] {
+    ADYA_TIMED_PHASE(options_.stats, "checker.phenomenon.ssg_build_us");
+    ConflictOptions options = options_;
+    options.include_start_edges = true;
+    full_ssg_ = std::make_unique<Dsg>(*history_, options);
+  });
+  return *full_ssg_;
+}
+
+const phenomena_internal::CursorPlan& PhenomenonArtifacts::cursor_plan() const {
+  std::call_once(cursor_plan_once_, [&] {
+    ADYA_TIMED_PHASE(options_.stats, "checker.phenomenon.cursor_build_us");
+    cursor_plan_ = phenomena_internal::BuildCursorPlan(*history_, deps_);
+  });
+  return cursor_plan_;
+}
+
+const graph::SccResult& PhenomenonArtifacts::conflict_scc() const {
+  std::call_once(conflict_scc_once_, [&] {
+    ADYA_TIMED_PHASE(options_.stats, "checker.cycle_search_us");
+    conflict_scc_ =
+        graph::StronglyConnectedComponents(dsg_->graph(), kConflictMask);
+  });
+  return conflict_scc_;
+}
+
+std::optional<Violation> PhenomenonArtifacts::Memo(
+    Phenomenon p,
+    const std::function<std::optional<Violation>()>& compute) const {
+  MemoSlot& slot = memo_[static_cast<size_t>(p)];
+  std::call_once(slot.once, [&] { slot.result = compute(); });
+  return slot.result;
+}
+
+std::optional<Violation> PhenomenonArtifacts::CheckGSIb(
+    ThreadPool* pool) const {
+  const graph::SccResult& scc = ssg_scc();
+  if (options_.reduced_start_edges) {
+    // Under this option the SSG *is* the reduced graph (the online
+    // certifier's configuration): search it and return its cycle. The
+    // light partition is the reduced graph's own partition (same edges),
+    // relabeled at most — every consumer keys on component equality.
+    const Dsg& r = reduced_ssg();
+    std::optional<graph::Cycle> cycle;
+    {
+      ADYA_TIMED_PHASE(options_.stats, "checker.cycle_search_us");
+      cycle = graph::FindCycleWithExactlyOne(
+          r.graph(), kAntiMask, kDependencyMask | kStartMask, scc, pool,
+          graph::CycleOptions{options_.cycle_bitset_max_scc});
+    }
+    if (!cycle.has_value()) return std::nullopt;
+    ADYA_TIMED_PHASE(options_.stats, "checker.witness_us");
+    Violation v;
+    v.phenomenon = Phenomenon::kGSIb;
+    v.cycle = *cycle;
+    v.description = StrCat("G-SI(b): ", r.DescribeCycle(*cycle));
+    return v;
+  }
+  // Implicit full-SSG search. Candidate pivot (anti) edges are scanned in
+  // ascending id — their ids in the materialized SSG equal their DSG ids
+  // (conflicts merge first) — and filtered by the shared partition, exactly
+  // like FindCycleWithExactlyOne's scan. Per candidate, the BFS answers
+  // rest-path existence AND extracts the witness in one pass; existence is
+  // a pure predicate, so the first confirmed pivot here is the same edge
+  // the full-graph search stops at, and the BFS is the same BFS.
+  const graph::Digraph& g = dsg_->graph();
+  std::optional<FullSsgWitness> w;
+  {
+    ADYA_TIMED_PHASE(options_.stats, "checker.cycle_search_us");
+    for (graph::EdgeId eid = 0; eid < g.edge_count() && !w.has_value();
+         ++eid) {
+      const graph::Digraph::Edge& e = g.edge(eid);
+      if ((e.kinds & kAntiMask) == 0) continue;
+      if (scc.component[e.from] != scc.component[e.to]) continue;
+      w = ReconstructFullSsgWitness(eid);
+    }
+  }
+  if (!w.has_value()) return std::nullopt;
+  ADYA_TIMED_PHASE(options_.stats, "checker.witness_us");
+  Violation v;
+  v.phenomenon = Phenomenon::kGSIb;
+  v.cycle = std::move(w->cycle);
+  v.description = StrCat("G-SI(b): ", w->description);
+  return v;
+}
+
+std::optional<PhenomenonArtifacts::FullSsgWitness>
+PhenomenonArtifacts::ReconstructFullSsgWitness(graph::EdgeId pivot) const {
+  // Replays CloseCycle over the fully materialized SSG without building its
+  // O(committed²) start edges: the BFS back from the pivot edge's head
+  // treats "every unvisited in-component node whose begin follows u's
+  // commit" as u's start out-edges. Three facts make the replay exact:
+  //  * conflict edges keep their DSG ids in the SSG (conflicts are merged
+  //    first), and each node's adjacency lists them before its start edges;
+  //  * a node's start edges are inserted in ascending dense-id order of the
+  //    target, so processing the implicit targets sorted by dense id
+  //    reproduces the queue order (skipped out-of-component or seen targets
+  //    are never marked, exactly as ShortestPathInComponent skips them);
+  //  * the full-SSG id of start edge (u, j) is recoverable arithmetically:
+  //    conflict_edge_count + Σ_{i<u} |{j' : c_i < b_{j'}}| + rank of j
+  //    among u's targets — the emission order of the start phase.
+  const Dsg& d = *dsg_;
+  const graph::Digraph& g = d.graph();
+  const DenseTxnIndex& dense = history_->dense();
+  const graph::SccResult& scc = ssg_scc();  // partition == full SSG's
+  const graph::Digraph::Edge& pe = g.edge(pivot);
+  const uint32_t comp = scc.component[pe.from];
+  const graph::NodeId n = static_cast<graph::NodeId>(dense.committed_count());
+  constexpr graph::EdgeId kNoEdge = std::numeric_limits<graph::EdgeId>::max();
+
+  struct PathEdge {
+    graph::NodeId from;
+    graph::NodeId to;
+    graph::EdgeId dsg_edge;  // kNoEdge for a start edge
+  };
+  std::vector<PathEdge> path;  // pe.to ⇝ pe.from, in order
+
+  if (pe.from != pe.to) {
+    // In-component nodes ordered by begin event; a skip-pointer structure
+    // over this order hands each node to the first popped u whose commit
+    // precedes its begin, so every node is gathered exactly once.
+    std::vector<graph::NodeId> by_begin;
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (scc.component[v] == comp) by_begin.push_back(v);
+    }
+    std::sort(by_begin.begin(), by_begin.end(),
+              [&](graph::NodeId a, graph::NodeId b) {
+                return dense.committed_begin_event(a) <
+                       dense.committed_begin_event(b);
+              });
+    const uint32_t m = static_cast<uint32_t>(by_begin.size());
+    std::vector<EventId> begins(m);
+    for (uint32_t i = 0; i < m; ++i) {
+      begins[i] = dense.committed_begin_event(by_begin[i]);
+    }
+    std::vector<uint32_t> next(m + 1);
+    for (uint32_t i = 0; i <= m; ++i) next[i] = i;
+    auto find = [&next](uint32_t pos) {  // first live position >= pos
+      while (next[pos] != pos) {
+        next[pos] = next[next[pos]];  // path halving
+        pos = next[pos];
+      }
+      return pos;
+    };
+
+    std::vector<bool> seen(n, false);
+    std::vector<graph::NodeId> parent_node(n, 0);
+    std::vector<graph::EdgeId> parent_edge(n, kNoEdge);
+    std::deque<graph::NodeId> queue;
+    seen[pe.to] = true;
+    queue.push_back(pe.to);
+    bool found = false;
+    std::vector<graph::NodeId> gathered;
+    while (!queue.empty() && !found) {
+      graph::NodeId u = queue.front();
+      queue.pop_front();
+      for (graph::EdgeId eid : g.out_edges(u)) {
+        const graph::Digraph::Edge& e = g.edge(eid);
+        if ((e.kinds & (kDependencyMask | kStartMask)) == 0 || seen[e.to]) {
+          continue;
+        }
+        if (scc.component[e.to] != comp) continue;
+        seen[e.to] = true;
+        parent_node[e.to] = u;
+        parent_edge[e.to] = eid;
+        if (e.to == pe.from) {
+          found = true;
+          break;
+        }
+        queue.push_back(e.to);
+      }
+      if (found) break;
+      EventId cu = dense.committed_commit_event(u);
+      uint32_t lo = static_cast<uint32_t>(
+          std::upper_bound(begins.begin(), begins.end(), cu) - begins.begin());
+      gathered.clear();
+      for (uint32_t pos = find(lo); pos < m; pos = find(pos + 1)) {
+        graph::NodeId j = by_begin[pos];
+        next[pos] = pos + 1;  // erased: marked below, or already seen
+        if (!seen[j]) gathered.push_back(j);
+      }
+      std::sort(gathered.begin(), gathered.end());
+      for (graph::NodeId j : gathered) {
+        seen[j] = true;
+        parent_node[j] = u;
+        parent_edge[j] = kNoEdge;
+        if (j == pe.from) {
+          found = true;
+          break;
+        }
+        queue.push_back(j);
+      }
+    }
+    if (!found) return std::nullopt;
+
+    graph::NodeId cur = pe.from;
+    while (cur != pe.to) {
+      path.push_back({parent_node[cur], cur, parent_edge[cur]});
+      cur = parent_node[cur];
+    }
+    std::reverse(path.begin(), path.end());
+  }
+
+  // Synthesized start-edge ids: the start phase emits, per source i in
+  // dense order, one edge to every j with c_i < b_j in ascending j order,
+  // after all conflict edges (which dedup; start pairs are unique). Only
+  // needed when the path actually uses a start edge.
+  bool has_start = false;
+  for (const PathEdge& e : path) has_start |= e.dsg_edge == kNoEdge;
+  std::vector<uint64_t> start_offset;
+  std::vector<EventId> sorted_begins;
+  if (has_start) {
+    sorted_begins.resize(n);
+    for (graph::NodeId v = 0; v < n; ++v) {
+      sorted_begins[v] = dense.committed_begin_event(v);
+    }
+    std::sort(sorted_begins.begin(), sorted_begins.end());
+    start_offset.assign(static_cast<size_t>(n) + 1, 0);
+    for (graph::NodeId u = 0; u < n; ++u) {
+      EventId cu = dense.committed_commit_event(u);
+      uint64_t cnt = n - (std::upper_bound(sorted_begins.begin(),
+                                           sorted_begins.end(), cu) -
+                          sorted_begins.begin());
+      start_offset[u + 1] = start_offset[u] + cnt;
+    }
+  }
+  auto start_edge_id = [&](graph::NodeId u, graph::NodeId j) {
+    EventId cu = dense.committed_commit_event(u);
+    uint64_t rank = 0;
+    for (graph::NodeId v = 0; v < j; ++v) {
+      if (dense.committed_begin_event(v) > cu) ++rank;
+    }
+    // uint64 arithmetic: at scales where the materialized graph could not
+    // exist the synthesized id only needs to be self-consistent.
+    return static_cast<graph::EdgeId>(g.edge_count() + start_offset[u] + rank);
+  };
+
+  FullSsgWitness out;
+  out.cycle.edges.push_back(pivot);
+  out.description = StrCat("cycle:\n  ", d.DescribeEdge(pivot));
+  for (const PathEdge& e : path) {
+    if (e.dsg_edge != kNoEdge) {
+      out.cycle.edges.push_back(e.dsg_edge);
+      out.description += StrCat("\n  ", d.DescribeEdge(e.dsg_edge));
+      continue;
+    }
+    out.cycle.edges.push_back(start_edge_id(e.from, e.to));
+    Dependency dep;
+    dep.from = d.txn_of(e.from);
+    dep.to = d.txn_of(e.to);
+    dep.kind = DepKind::kStart;
+    out.description +=
+        StrCat("\n  T", dep.from, " --", DepKindName(DepKind::kStart),
+               "--> T", dep.to, "\n    ", dep.Describe(*history_));
+  }
+  return out;
+}
 
 PhenomenaChecker::PhenomenaChecker(const History& h,
                                    const ConflictOptions& options)
     : history_(&h), options_(options) {
   options_.include_start_edges = false;
-  dsg_ = std::make_unique<Dsg>(h, options_);
-}
-
-const Dsg& PhenomenaChecker::ssg() const {
-  if (ssg_ == nullptr) {
-    ConflictOptions options = options_;
-    options.include_start_edges = true;
-    ssg_ = std::make_unique<Dsg>(*history_, options);
-  }
-  return *ssg_;
+  artifacts_ = std::make_unique<PhenomenonArtifacts>(h, options_);
 }
 
 std::optional<Violation> PhenomenaChecker::Check(Phenomenon p) const {
   ADYA_TIMED_PHASE(options_.stats, "checker.phenomenon_us");
+  ADYA_TIMED_PHASE(options_.stats,
+                   phenomena_internal::PhenomenonMetricName(p));
+  if (options_.legacy_phenomenon_rescan) return CheckDispatch(p);
+  return artifacts_->Memo(p, [&] { return CheckDispatch(p); });
+}
+
+std::optional<Violation> PhenomenaChecker::CheckDispatch(Phenomenon p) const {
   switch (p) {
     case Phenomenon::kG0:
       return CheckG0();
@@ -97,11 +538,15 @@ std::vector<Violation> PhenomenaChecker::CheckAll() const {
 
 std::optional<Violation> PhenomenaChecker::CycleViolation(
     Phenomenon p, const Dsg& dsg, graph::KindMask allowed,
-    graph::KindMask required) const {
+    graph::KindMask required, const graph::SccResult* scc) const {
   std::optional<graph::Cycle> cycle;
   {
     ADYA_TIMED_PHASE(options_.stats, "checker.cycle_search_us");
-    cycle = graph::FindCycleWithRequiredKind(dsg.graph(), allowed, required);
+    cycle = scc != nullptr
+                ? graph::FindCycleWithRequiredKind(dsg.graph(), allowed,
+                                                   required, *scc)
+                : graph::FindCycleWithRequiredKind(dsg.graph(), allowed,
+                                                   required);
   }
   if (!cycle.has_value()) return std::nullopt;
   ADYA_TIMED_PHASE(options_.stats, "checker.witness_us");
@@ -115,7 +560,7 @@ std::optional<Violation> PhenomenaChecker::CycleViolation(
 
 // G0: Write Cycles — a cycle consisting entirely of write-dependency edges.
 std::optional<Violation> PhenomenaChecker::CheckG0() const {
-  return CycleViolation(Phenomenon::kG0, *dsg_, Bit(DepKind::kWW),
+  return CycleViolation(Phenomenon::kG0, dsg(), Bit(DepKind::kWW),
                         Bit(DepKind::kWW));
 }
 
@@ -123,6 +568,7 @@ std::optional<Violation> PhenomenaChecker::CheckG0() const {
 // in a predicate read's version set) produced by an aborted transaction.
 std::optional<Violation> PhenomenaChecker::CheckG1a(
     const TxnFilter& filter) const {
+  ADYA_TIMED_PHASE(options_.stats, "checker.phenomenon.g1a_scan_us");
   const History& h = *history_;
   for (EventId id = h.event_begin(); id < h.event_end(); ++id) {
     if (!filter(h.event(id).txn)) continue;
@@ -135,6 +581,7 @@ std::optional<Violation> PhenomenaChecker::CheckG1a(
 // that was not the writer's final modification of x.
 std::optional<Violation> PhenomenaChecker::CheckG1b(
     const TxnFilter& filter) const {
+  ADYA_TIMED_PHASE(options_.stats, "checker.phenomenon.g1b_scan_us");
   const History& h = *history_;
   for (EventId id = h.event_begin(); id < h.event_end(); ++id) {
     if (!filter(h.event(id).txn)) continue;
@@ -145,7 +592,7 @@ std::optional<Violation> PhenomenaChecker::CheckG1b(
 
 // G1c: Circular Information Flow — a cycle of dependency (ww/wr) edges.
 std::optional<Violation> PhenomenaChecker::CheckG1c() const {
-  return CycleViolation(Phenomenon::kG1c, *dsg_, kDependencyMask,
+  return CycleViolation(Phenomenon::kG1c, dsg(), kDependencyMask,
                         kDependencyMask);
 }
 
@@ -158,24 +605,36 @@ std::optional<Violation> PhenomenaChecker::CheckG1c() const {
 // Figure 1's REPEATABLE READ locking — long item locks, short phantom
 // locks — actually produces; the engine property tests exhibit one.)
 std::optional<Violation> PhenomenaChecker::CheckG2Item() const {
-  return CycleViolation(Phenomenon::kG2Item, *dsg_,
+  return CycleViolation(Phenomenon::kG2Item, dsg(),
                         kDependencyMask | Bit(DepKind::kRWItem),
                         Bit(DepKind::kRWItem));
 }
 
 // G2: a cycle with one or more anti-dependency edges of either flavor.
+// Shares the conflict-mask SCC partition with the G-single search.
 std::optional<Violation> PhenomenaChecker::CheckG2() const {
-  return CycleViolation(Phenomenon::kG2, *dsg_, kConflictMask, kAntiMask);
+  const graph::SccResult* scc = options_.legacy_phenomenon_rescan
+                                    ? nullptr
+                                    : &artifacts_->conflict_scc();
+  return CycleViolation(Phenomenon::kG2, dsg(), kConflictMask, kAntiMask, scc);
 }
 
 // G-single (thesis, PL-2+): a cycle with exactly one anti-dependency edge.
 std::optional<Violation> PhenomenaChecker::CheckGSingle() const {
+  const graph::SccResult* scc = options_.legacy_phenomenon_rescan
+                                    ? nullptr
+                                    : &artifacts_->conflict_scc();
   std::optional<graph::Cycle> cycle;
   {
     ADYA_TIMED_PHASE(options_.stats, "checker.cycle_search_us");
-    cycle = graph::FindCycleWithExactlyOne(
-        dsg_->graph(), kAntiMask, kDependencyMask,
-        graph::CycleOptions{options_.cycle_bitset_max_scc});
+    graph::CycleOptions cycle_options{options_.cycle_bitset_max_scc};
+    cycle = scc != nullptr
+                ? graph::FindCycleWithExactlyOne(dsg().graph(), kAntiMask,
+                                                 kDependencyMask, *scc,
+                                                 cycle_options)
+                : graph::FindCycleWithExactlyOne(dsg().graph(), kAntiMask,
+                                                 kDependencyMask,
+                                                 cycle_options);
   }
   if (!cycle.has_value()) return std::nullopt;
   ADYA_TIMED_PHASE(options_.stats, "checker.witness_us");
@@ -183,7 +642,7 @@ std::optional<Violation> PhenomenaChecker::CheckGSingle() const {
   v.phenomenon = Phenomenon::kGSingle;
   v.cycle = *cycle;
   v.description =
-      StrCat("G-single: ", dsg_->DescribeCycle(*cycle));
+      StrCat("G-single: ", dsg().DescribeCycle(*cycle));
   return v;
 }
 
@@ -195,8 +654,9 @@ std::optional<Violation> PhenomenaChecker::CheckGSIa() const {
   // materialized SSG start edges: it is exact either way, avoids building
   // the SSG just for this check, and stays correct when the SSG carries
   // only the transitive reduction of the start order (reduced_start_edges).
+  ADYA_TIMED_PHASE(options_.stats, "checker.phenomenon.gsia_scan_us");
   const History& h = *history_;
-  const Dsg& d = *dsg_;
+  const Dsg& d = dsg();
   for (graph::EdgeId e = 0; e < d.graph().edge_count(); ++e) {
     if (auto v = phenomena_internal::GSIaViolationAt(h, d, e)) return v;
   }
@@ -206,6 +666,8 @@ std::optional<Violation> PhenomenaChecker::CheckGSIa() const {
 // G-SI(b) (thesis, PL-SI "missed effects"): an SSG cycle with exactly one
 // anti-dependency edge (start edges count as dependency-like edges here).
 std::optional<Violation> PhenomenaChecker::CheckGSIb() const {
+  if (!options_.legacy_phenomenon_rescan) return artifacts_->CheckGSIb(nullptr);
+  // Legacy path: search the fully materialized SSG directly.
   const Dsg& s = ssg();
   std::optional<graph::Cycle> cycle;
   {
@@ -229,16 +691,28 @@ std::optional<Violation> PhenomenaChecker::CheckGSIb() const {
 // subgraph per object.
 std::optional<Violation> PhenomenaChecker::CheckGCursor() const {
   const History& h = *history_;
-  if (!cursor_built_) {
-    cursor_deps_ = ComputeDependencies(h, options_);
-    cursor_plan_ = phenomena_internal::BuildCursorPlan(h, cursor_deps_);
-    cursor_built_ = true;
+  const std::vector<Dependency>* deps;
+  const phenomena_internal::CursorPlan* plan;
+  if (options_.legacy_phenomenon_rescan) {
+    // Legacy path: a second conflict pass of its own.
+    if (!cursor_built_) {
+      ADYA_TIMED_PHASE(options_.stats, "checker.phenomenon.cursor_build_us");
+      cursor_deps_ = ComputeDependencies(h, options_);
+      cursor_plan_ = phenomena_internal::BuildCursorPlan(h, cursor_deps_);
+      cursor_built_ = true;
+    }
+    deps = &cursor_deps_;
+    plan = &cursor_plan_;
+  } else {
+    deps = &artifacts_->deps();
+    plan = &artifacts_->cursor_plan();
   }
+  ADYA_TIMED_PHASE(options_.stats, "checker.phenomenon.cursor_scan_us");
   ADYA_TIMED_PHASE(options_.stats, "checker.cycle_search_us");
   graph::CycleOptions cycle_options{options_.cycle_bitset_max_scc};
   for (ObjectId obj = 0; obj < h.object_count(); ++obj) {
-    if (auto v = phenomena_internal::GCursorViolationAt(
-            h, cursor_deps_, cursor_plan_, obj, cycle_options)) {
+    if (auto v = phenomena_internal::GCursorViolationAt(h, *deps, *plan, obj,
+                                                        cycle_options)) {
       return v;
     }
   }
@@ -246,6 +720,32 @@ std::optional<Violation> PhenomenaChecker::CheckGCursor() const {
 }
 
 namespace phenomena_internal {
+
+std::string_view PhenomenonMetricName(Phenomenon p) {
+  switch (p) {
+    case Phenomenon::kG0:
+      return "checker.phenomenon.g0_us";
+    case Phenomenon::kG1a:
+      return "checker.phenomenon.g1a_us";
+    case Phenomenon::kG1b:
+      return "checker.phenomenon.g1b_us";
+    case Phenomenon::kG1c:
+      return "checker.phenomenon.g1c_us";
+    case Phenomenon::kG2Item:
+      return "checker.phenomenon.g2item_us";
+    case Phenomenon::kG2:
+      return "checker.phenomenon.g2_us";
+    case Phenomenon::kGSingle:
+      return "checker.phenomenon.gsingle_us";
+    case Phenomenon::kGSIa:
+      return "checker.phenomenon.gsia_us";
+    case Phenomenon::kGSIb:
+      return "checker.phenomenon.gsib_us";
+    case Phenomenon::kGCursor:
+      return "checker.phenomenon.gcursor_us";
+  }
+  return "checker.phenomenon.unknown_us";
+}
 
 std::optional<Violation> G1aViolationAt(const History& h, EventId id) {
   const Event& e = h.event(id);

@@ -1,8 +1,10 @@
 #ifndef ADYA_CORE_PHENOMENA_H_
 #define ADYA_CORE_PHENOMENA_H_
 
+#include <array>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -60,10 +62,113 @@ struct CursorPlan {
 CursorPlan BuildCursorPlan(const History& h,
                            const std::vector<Dependency>& deps);
 
+/// Stable metric name for the per-phenomenon wall breakdown
+/// (checker.phenomenon.<name>_us in /metrics; DESIGN.md §9). Shared by the
+/// serial and parallel checkers so both modes report the same names.
+std::string_view PhenomenonMetricName(Phenomenon p);
+
 }  // namespace phenomena_internal
 
-/// Evaluates phenomena over one finalized history. Builds the DSG once and
-/// the SSG (start-ordered: needed only for G-SI) on first use.
+/// The shared per-history artifact pass every phenomenon check answers
+/// from (DESIGN.md §13). One conflict-dependency computation feeds the DSG,
+/// the G-cursor plan, and the SSG variants; the conflict-mask SCC partition
+/// is shared by the G2 and G-single searches; and per-phenomenon results
+/// are memoized so CheckLevel / Classify stop re-running identical checks
+/// once per PL level. Everything derived is built lazily behind call_once,
+/// so concurrent checks (the parallel fan-out) race-freely share one copy.
+///
+/// G-SI(b) is answered without materializing the SSG at all: the SCC
+/// partition is computed over a lightweight adjacency of conflict edges
+/// plus the *reduced* start order (transitive reduction — reachability-
+/// and therefore partition-preserving, see
+/// ConflictOptions::reduced_start_edges), candidate anti edges are scanned
+/// in the same id order the full-graph search uses, and the witness BFS
+/// runs over implicit start edges — yielding the byte-identical cycle of
+/// the fully materialized SSG without ever building that graph's
+/// O(committed²) start edges.
+///
+/// Internal, like the checkers that own it: use the adya::Checker facade.
+class PhenomenonArtifacts {
+ public:
+  /// `options.include_start_edges` is ignored (managed internally).
+  /// `pool` shards the conflict computation (null = serial; the result is
+  /// bit-identical either way).
+  PhenomenonArtifacts(const History& h, const ConflictOptions& options,
+                      ThreadPool* pool = nullptr);
+
+  const History& history() const { return *history_; }
+  /// The conflict dependency list (no start edges), computed once in the
+  /// constructor and shared by the DSG and the G-cursor plan.
+  const std::vector<Dependency>& deps() const { return deps_; }
+  const Dsg& dsg() const { return *dsg_; }
+  /// SSG carrying the transitive reduction of the start order (lazy;
+  /// consumed only under ConflictOptions::reduced_start_edges, where it IS
+  /// the configured SSG and witnesses come straight from it).
+  const Dsg& reduced_ssg() const;
+  /// SCC partition of the SSG over all edge kinds (lazy), computed on a
+  /// lightweight conflict-edges-plus-reduced-start-pairs adjacency.
+  /// Identical as a *partition* to the full SSG's: the reduction preserves
+  /// start-reachability and the conflict edges are the same. (Component
+  /// ids may be numbered differently; every consumer keys on equality.)
+  const graph::SccResult& ssg_scc() const;
+  /// The fully materialized SSG (lazy; audit output and the legacy test
+  /// knob only — O(committed²) start edges unless reduced_start_edges).
+  const Dsg& full_ssg() const;
+  /// G-cursor bucket plan over deps() (lazy).
+  const phenomena_internal::CursorPlan& cursor_plan() const;
+  /// SCC partition of the DSG over kConflictMask (lazy) — the partition
+  /// both the G2 and the G-single search key on.
+  const graph::SccResult& conflict_scc() const;
+
+  /// Runs `compute` at most once per phenomenon (thread-safe), caches its
+  /// result, and returns a copy. Every caller must supply a computation
+  /// that yields the same result for the same phenomenon (the serial and
+  /// parallel check bodies do, bit for bit).
+  std::optional<Violation> Memo(
+      Phenomenon p,
+      const std::function<std::optional<Violation>()>& compute) const;
+
+  /// G-SI(b) from the shared artifacts: candidate anti edges filtered by
+  /// ssg_scc(), existence and witness established by the implicit-SSG BFS
+  /// (edge ids and description byte-identical to a search over the
+  /// materialized graph). `pool` fans the reduced_start_edges
+  /// configuration's materialized search out (null = serial, same result).
+  std::optional<Violation> CheckGSIb(ThreadPool* pool) const;
+
+ private:
+  struct FullSsgWitness {
+    graph::Cycle cycle;
+    std::string description;  // DescribeCycle text of the full SSG
+  };
+  /// The full-SSG BFS back from `pivot`'s head; nullopt when no
+  /// dependency|start path inside the pivot's component closes the cycle.
+  std::optional<FullSsgWitness> ReconstructFullSsgWitness(
+      graph::EdgeId pivot) const;
+
+  const History* history_;
+  ConflictOptions options_;
+  std::vector<Dependency> deps_;
+  std::unique_ptr<Dsg> dsg_;
+  mutable std::unique_ptr<Dsg> reduced_ssg_;
+  mutable std::once_flag reduced_ssg_once_;
+  mutable graph::SccResult ssg_scc_;
+  mutable std::once_flag ssg_scc_once_;
+  mutable std::unique_ptr<Dsg> full_ssg_;
+  mutable std::once_flag full_ssg_once_;
+  mutable phenomena_internal::CursorPlan cursor_plan_;
+  mutable std::once_flag cursor_plan_once_;
+  mutable graph::SccResult conflict_scc_;
+  mutable std::once_flag conflict_scc_once_;
+  struct MemoSlot {
+    std::once_flag once;
+    std::optional<Violation> result;
+  };
+  mutable std::array<MemoSlot, 10> memo_;
+};
+
+/// Evaluates phenomena over one finalized history, answering every check
+/// from one shared PhenomenonArtifacts pass (memoized per phenomenon, so
+/// repeated CheckLevel calls across the PL lattice cost one run each).
 ///
 /// Internal: code outside src/core/ should go through the adya::Checker
 /// facade (core/checker_api.h, mode kSerial) instead of constructing this
@@ -79,7 +184,8 @@ class PhenomenaChecker {
   /// nullopt when the phenomenon does not occur; a witness otherwise.
   std::optional<Violation> Check(Phenomenon p) const;
 
-  /// G1a/G1b restricted to readers accepted by `filter`.
+  /// G1a/G1b restricted to readers accepted by `filter`. Not memoized (the
+  /// filter varies per call); scans the events directly.
   std::optional<Violation> CheckG1a(const TxnFilter& filter) const;
   std::optional<Violation> CheckG1b(const TxnFilter& filter) const;
 
@@ -87,14 +193,17 @@ class PhenomenaChecker {
   std::vector<Violation> CheckAll() const;
 
   const History& history() const { return *history_; }
-  const Dsg& dsg() const { return *dsg_; }
-  /// The start-ordered graph (built lazily).
-  const Dsg& ssg() const;
+  const Dsg& dsg() const { return artifacts_->dsg(); }
+  /// The start-ordered graph, fully materialized (built lazily; audit
+  /// output — the G-SI(b) hot path uses the artifacts' reduced SSG).
+  const Dsg& ssg() const { return artifacts_->full_ssg(); }
+  const PhenomenonArtifacts& artifacts() const { return *artifacts_; }
 
  private:
-  std::optional<Violation> CycleViolation(Phenomenon p, const Dsg& dsg,
-                                          graph::KindMask allowed,
-                                          graph::KindMask required) const;
+  std::optional<Violation> CheckDispatch(Phenomenon p) const;
+  std::optional<Violation> CycleViolation(
+      Phenomenon p, const Dsg& dsg, graph::KindMask allowed,
+      graph::KindMask required, const graph::SccResult* scc = nullptr) const;
   std::optional<Violation> CheckG0() const;
   std::optional<Violation> CheckG1c() const;
   std::optional<Violation> CheckG2Item() const;
@@ -106,9 +215,11 @@ class PhenomenaChecker {
 
   const History* history_;
   ConflictOptions options_;
-  std::unique_ptr<Dsg> dsg_;
-  mutable std::unique_ptr<Dsg> ssg_;
-  // G-cursor working set, built lazily on first use (checks are const).
+  std::unique_ptr<PhenomenonArtifacts> artifacts_;
+  // Legacy-rescan working set (ConflictOptions::legacy_phenomenon_rescan
+  // only): the old lazily-rebuilt G-cursor state, kept so the differential
+  // wall exercises the genuine pre-artifacts code path. Removed with the
+  // knob (DESIGN.md §13).
   mutable bool cursor_built_ = false;
   mutable std::vector<Dependency> cursor_deps_;
   mutable phenomena_internal::CursorPlan cursor_plan_;

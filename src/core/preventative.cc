@@ -1,6 +1,6 @@
 #include "core/preventative.h"
 
-#include <map>
+#include <vector>
 
 #include "common/str_util.h"
 #include "history/format.h"
@@ -65,22 +65,32 @@ PreventativeViolation MakeViolation(const History& h,
 std::optional<PreventativeViolation> CheckItemInterleaving(
     const History& h, PreventativePhenomenon p, EventType first_type,
     EventType second_type, const std::string& what) {
-  // Per object: the (event id) of each first_type op whose txn is still
-  // unfinished at a given point. We scan once, keeping all first-ops and
-  // testing finish positions lazily (histories are short; clarity first).
-  std::map<ObjectId, std::vector<EventId>> first_ops;
+  // Per object, the first_type ops whose transactions may still be live,
+  // in event order — the probe order decides the witness, so buckets are
+  // scanned ascending exactly like the flat rescan this replaces. An entry
+  // whose transaction has finished at or before the probe position can
+  // never pair again (finish positions are fixed; the scan only advances),
+  // so probes compact those away in place: every op enters and leaves its
+  // bucket at most once, and a probe that reaches a live foreign entry
+  // returns. Keeps the whole check linear-ish where the lazy rescan was
+  // quadratic per object.
+  std::vector<std::vector<EventId>> first_ops(h.object_count());
   for (EventId j = h.event_begin(); j < h.event_end(); ++j) {
     const Event& e = h.event(j);
     if (e.type == second_type &&
         (e.type == EventType::kRead || e.type == EventType::kWrite)) {
-      ObjectId obj = e.version.object;
-      for (EventId i : first_ops[obj]) {
+      std::vector<EventId>& bucket = first_ops[e.version.object];
+      size_t keep = 0;
+      for (size_t k = 0; k < bucket.size(); ++k) {
+        EventId i = bucket[k];
         const Event& first = h.event(i);
-        if (first.txn == e.txn) continue;
-        if (FinishPos(h, first.txn) > j) {
+        if (FinishPos(h, first.txn) <= j) continue;  // finished: drop forever
+        if (first.txn != e.txn) {
           return MakeViolation(h, p, i, j, what);
         }
+        bucket[keep++] = i;
       }
+      bucket.resize(keep);
     }
     // Record after testing so an event cannot pair with itself (relevant
     // when first_type == second_type, i.e. P0).
@@ -110,31 +120,46 @@ std::optional<PreventativeViolation> CheckPreventative(
     case PreventativePhenomenon::kP3: {
       // r1[P] … w2[y in P] … before T1 finishes. "y in P" holds when the
       // write's new contents match P or the state it supersedes matched P.
+      //
+      // Previous state of the object, single-version semantics: the most
+      // recent write whose writer has not aborted before the current
+      // position (a rolled-back write does not count as the state this
+      // write supersedes). Rollbacks are permanent as the scan advances,
+      // so per-object stacks popped from the top visit each write O(1)
+      // times where the rescan-from-zero re-derived the whole prefix per
+      // write; the pending predicate reads compact the same way the item
+      // buckets above do. The probe orders are unchanged, so so is the
+      // first (i, j) pair returned.
+      struct TopWrite {
+        TxnId txn;
+        const Row* row;  // null for invisible versions
+      };
+      std::vector<std::vector<TopWrite>> last_writes(h.object_count());
+      std::vector<EventId> pred_reads;  // may-still-be-live, event order
       for (EventId j = h.event_begin(); j < h.event_end(); ++j) {
         const Event& w = h.event(j);
+        if (w.type == EventType::kPredicateRead) {
+          pred_reads.push_back(j);
+          continue;
+        }
         if (w.type != EventType::kWrite) continue;
-        // Previous state of the object in event order, single-version
-        // semantics: a write by a transaction that aborted before this
-        // point has been rolled back and does not count as the state this
-        // write supersedes.
-        const Row* prev_row = nullptr;
-        for (EventId k = 0; k < j; ++k) {
-          const Event& pe = h.event(k);
-          if (pe.type != EventType::kWrite ||
-              pe.version.object != w.version.object) {
+        std::vector<TopWrite>& stack = last_writes[w.version.object];
+        while (!stack.empty()) {
+          const History::TxnInfo& writer = h.txn_info(stack.back().txn);
+          if (writer.abort_event != kNoEvent && writer.abort_event < j) {
+            stack.pop_back();  // rolled back before the write under test
             continue;
           }
-          const History::TxnInfo& writer = h.txn_info(pe.txn);
-          if (writer.abort_event != kNoEvent && writer.abort_event < j) {
-            continue;  // rolled back before the write under test
-          }
-          prev_row =
-              pe.written_kind == VersionKind::kVisible ? &pe.row : nullptr;
+          break;
         }
-        for (EventId i = 0; i < j; ++i) {
+        const Row* prev_row = stack.empty() ? nullptr : stack.back().row;
+        size_t keep = 0;
+        for (size_t k = 0; k < pred_reads.size(); ++k) {
+          EventId i = pred_reads[k];
           const Event& r = h.event(i);
-          if (r.type != EventType::kPredicateRead || r.txn == w.txn) continue;
-          if (FinishPos(h, r.txn) <= j) continue;
+          if (FinishPos(h, r.txn) <= j) continue;  // finished: drop forever
+          pred_reads[keep++] = i;
+          if (r.txn == w.txn) continue;
           const std::vector<RelationId>& rels =
               h.predicate_relations(r.predicate);
           RelationId obj_rel = h.object_relation(w.version.object);
@@ -149,6 +174,10 @@ std::optional<PreventativeViolation> CheckPreventative(
             return MakeViolation(h, p, i, j, "phantom");
           }
         }
+        pred_reads.resize(keep);
+        stack.push_back(TopWrite{
+            w.txn,
+            w.written_kind == VersionKind::kVisible ? &w.row : nullptr});
       }
       return std::nullopt;
     }

@@ -127,7 +127,14 @@ std::optional<std::vector<EdgeId>> ShortestPath(const Digraph& g, NodeId from,
 std::optional<Cycle> FindCycleWithRequiredKind(const Digraph& g,
                                                KindMask allowed,
                                                KindMask required) {
-  SccResult scc = StronglyConnectedComponents(g, allowed);
+  return FindCycleWithRequiredKind(g, allowed, required,
+                                   StronglyConnectedComponents(g, allowed));
+}
+
+std::optional<Cycle> FindCycleWithRequiredKind(const Digraph& g,
+                                               KindMask allowed,
+                                               KindMask required,
+                                               const SccResult& scc) {
   for (EdgeId eid = 0; eid < g.edge_count(); ++eid) {
     const Digraph::Edge& e = g.edge(eid);
     if ((e.kinds & allowed) == 0 || (e.kinds & required) == 0) continue;
@@ -410,6 +417,14 @@ Cycle CloseCycle(const Digraph& g, EdgeId eid, KindMask rest,
 std::optional<Cycle> FindCycleWithExactlyOne(const Digraph& g, KindMask pivot,
                                              KindMask rest,
                                              const CycleOptions& options) {
+  return FindCycleWithExactlyOne(
+      g, pivot, rest, StronglyConnectedComponents(g, pivot | rest), options);
+}
+
+std::optional<Cycle> FindCycleWithExactlyOne(const Digraph& g, KindMask pivot,
+                                             KindMask rest,
+                                             const SccResult& scc,
+                                             const CycleOptions& options) {
   // A cycle with exactly one pivot edge (u, v) is a rest-path v ⇝ u. Such a
   // path, concatenated with the pivot edge, puts every node it visits on a
   // cycle of the pivot|rest subgraph — so u and v must share an SCC of that
@@ -419,7 +434,6 @@ std::optional<Cycle> FindCycleWithExactlyOne(const Digraph& g, KindMask pivot,
   // component size otherwise. Within small components the existence test is
   // a bitset probe (see BitsetReachOracle); the first passing candidate in
   // edge-id order — identical under either test — gets the BFS witness.
-  SccResult scc = StronglyConnectedComponents(g, pivot | rest);
   BitsetReachOracle oracle(g, rest, scc, options.bitset_max_scc);
   for (EdgeId eid = 0; eid < g.edge_count(); ++eid) {
     const Digraph::Edge& e = g.edge(eid);
@@ -446,7 +460,19 @@ std::optional<Cycle> FindCycleWithExactlyOne(const Digraph& g, KindMask pivot,
   if (pool == nullptr || pool->threads() <= 1) {
     return FindCycleWithExactlyOne(g, pivot, rest, options);
   }
-  SccResult scc = StronglyConnectedComponents(g, pivot | rest);
+  return FindCycleWithExactlyOne(
+      g, pivot, rest, StronglyConnectedComponents(g, pivot | rest), pool,
+      options);
+}
+
+std::optional<Cycle> FindCycleWithExactlyOne(const Digraph& g, KindMask pivot,
+                                             KindMask rest,
+                                             const SccResult& scc,
+                                             ThreadPool* pool,
+                                             const CycleOptions& options) {
+  if (pool == nullptr || pool->threads() <= 1) {
+    return FindCycleWithExactlyOne(g, pivot, rest, scc, options);
+  }
   // Small components resolve inline on the bitset oracle (cheaper than
   // dispatch); only above-threshold candidates are worth fanning out.
   // best_small is the lowest pivot edge id the oracle confirmed — the

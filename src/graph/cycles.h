@@ -41,6 +41,17 @@ std::optional<Cycle> FindCycleWithRequiredKind(const Digraph& g,
                                                KindMask allowed,
                                                KindMask required);
 
+/// Variant over a precomputed SCC partition, which MUST be
+/// StronglyConnectedComponents(g, allowed) — callers running several
+/// searches over the same allowed-subgraph share one Tarjan pass this way
+/// (e.g. G2 and G-single both partition by the full conflict mask). The
+/// scan and witness extraction are the same code, so the result is
+/// bit-identical to the self-computing overload's.
+std::optional<Cycle> FindCycleWithRequiredKind(const Digraph& g,
+                                               KindMask allowed,
+                                               KindMask required,
+                                               const SccResult& scc);
+
 /// Tuning for the exactly-one cycle search. The candidate test ("does a
 /// rest-path close a cycle through this pivot edge?") is pure existence —
 /// the witness is always re-extracted by the deterministic BFS — so how it
@@ -65,6 +76,15 @@ std::optional<Cycle> FindCycleWithExactlyOne(const Digraph& g, KindMask pivot,
                                              KindMask rest,
                                              const CycleOptions& options = {});
 
+/// Variant over a precomputed SCC partition, which MUST be
+/// StronglyConnectedComponents(g, pivot | rest). Bit-identical to the
+/// self-computing overload (same scan order, same oracle, same witness
+/// BFS); it only skips the Tarjan pass.
+std::optional<Cycle> FindCycleWithExactlyOne(const Digraph& g, KindMask pivot,
+                                             KindMask rest,
+                                             const SccResult& scc,
+                                             const CycleOptions& options = {});
+
 /// Parallel variant: computes the SCCs once, answers small-component
 /// candidates with the shared bitset oracle inline, and fans only the
 /// above-threshold per-pivot-edge rest-path searches out across `pool`.
@@ -77,6 +97,14 @@ std::optional<Cycle> FindCycleWithExactlyOne(const Digraph& g, KindMask pivot,
 /// A null or single-thread pool falls back to the serial path.
 std::optional<Cycle> FindCycleWithExactlyOne(const Digraph& g, KindMask pivot,
                                              KindMask rest, ThreadPool* pool,
+                                             const CycleOptions& options = {});
+
+/// Parallel variant over a precomputed SCC partition (the pivot|rest SCCs;
+/// see the serial SccResult overload).
+std::optional<Cycle> FindCycleWithExactlyOne(const Digraph& g, KindMask pivot,
+                                             KindMask rest,
+                                             const SccResult& scc,
+                                             ThreadPool* pool,
                                              const CycleOptions& options = {});
 
 /// Shortest path (in edges) from `from` to `to` using edges intersecting

@@ -57,6 +57,24 @@ class Digraph {
   Digraph() = default;
   explicit Digraph(size_t node_count) { Resize(node_count); }
 
+  /// Builds a frozen graph directly from a pre-collected edge list (edge
+  /// ids = vector order). Equivalent to Resize + AddEdge-in-order + Freeze,
+  /// but skips the per-node build vectors and their ~2·|E| small-vector
+  /// appends — the fast path for large graphs assembled in one shot.
+  static Digraph FromEdges(size_t node_count, std::vector<Edge> edges) {
+    Digraph g;
+    g.node_count_ = node_count;
+    for (const Edge& e : edges) {
+      ADYA_CHECK(e.from < node_count && e.to < node_count);
+      ADYA_CHECK_MSG(e.kinds != 0, "edge must carry at least one kind bit");
+    }
+    g.edges_ = std::move(edges);
+    g.BuildCsr(/*by_from=*/true, g.out_offsets_, g.out_ids_);
+    g.BuildCsr(/*by_from=*/false, g.in_offsets_, g.in_ids_);
+    g.frozen_ = true;
+    return g;
+  }
+
   /// Grows the node set to at least `node_count` nodes (ids 0..count-1).
   void Resize(size_t node_count) {
     ADYA_CHECK_MSG(!frozen_, "Resize on a frozen graph");

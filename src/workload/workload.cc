@@ -179,8 +179,15 @@ History GenerateRandomHistory(const RandomHistoryOptions& options) {
     txns.push_back(std::move(t));
   }
   // All versions produced so far (all visible: the generator does not
-  // delete, so explicit version orders stay trivially dead-free).
-  std::vector<VersionId> produced;
+  // delete, so explicit version orders stay trivially dead-free), bucketed
+  // per object in production order. A read's candidate set is exactly one
+  // bucket — same contents and order a scan over the flat production list
+  // would yield, so the Pick draw is unchanged — without the O(|produced|)
+  // rescan per read that made big histories quadratic.
+  ObjectId max_object = 0;
+  for (ObjectId o : objects) max_object = std::max(max_object, o);
+  std::vector<std::vector<VersionId>> produced_by_object(
+      objects.empty() ? 0 : static_cast<size_t>(max_object) + 1);
 
   int unfinished = static_cast<int>(txns.size());
   while (unfinished > 0) {
@@ -205,21 +212,19 @@ History GenerateRandomHistory(const RandomHistoryOptions& options) {
         h.Append(Event::Read(t.id, VersionId{obj, t.id, own->second}));
         continue;
       }
+      const std::vector<VersionId>& bucket = produced_by_object[obj];
       std::vector<VersionId> candidates;
       if (options.realizable) {
         // Single-version semantics: the current version is the latest write
         // whose writer has not already aborted (aborted writes are rolled
         // back in place).
-        for (auto it = produced.rbegin(); it != produced.rend(); ++it) {
-          if (it->object != obj) continue;
+        for (auto it = bucket.rbegin(); it != bucket.rend(); ++it) {
           if (h.IsAborted(it->writer)) continue;
           candidates.push_back(*it);
           break;
         }
       } else {
-        for (const VersionId& v : produced) {
-          if (v.object == obj) candidates.push_back(v);
-        }
+        candidates = bucket;
       }
       if (candidates.empty()) {
         do_write = true;  // nothing to read yet: write instead
@@ -233,22 +238,31 @@ History GenerateRandomHistory(const RandomHistoryOptions& options) {
       VersionId vid{obj, t.id, seq};
       h.Append(Event::Write(t.id, vid,
                             ScalarRow(Value(rng.NextInRange(0, 99)))));
-      produced.push_back(vid);
+      produced_by_object[obj].push_back(vid);
     }
   }
-  // Adversarial version orders (multi-version-only histories).
-  for (ObjectId obj : objects) {
-    if (options.realizable) break;
-    if (!rng.NextBool(options.random_version_order_prob)) continue;
-    std::vector<TxnId> installers;
+  // Adversarial version orders (multi-version-only histories). Writers per
+  // object come from one pass over the transactions (each TxnGen's write
+  // map is object-sorted, so every per-object list ends up in ascending
+  // txn id — the order the old per-object rescan over all txns produced);
+  // the NextBool draw stays one-per-object regardless, so the RNG sequence
+  // matches the quadratic loop this replaces.
+  if (!options.realizable) {
+    std::vector<std::vector<TxnId>> writers_by_object(
+        produced_by_object.size());
     for (const TxnGen& t : txns) {
-      if (t.writes.count(obj) != 0 && h.IsCommitted(t.id)) {
-        installers.push_back(t.id);
+      if (!h.IsCommitted(t.id)) continue;
+      for (const auto& [obj, seq] : t.writes) {
+        writers_by_object[obj].push_back(t.id);
       }
     }
-    if (installers.size() < 2) continue;
-    rng.Shuffle(installers);
-    h.SetVersionOrder(obj, installers);
+    for (ObjectId obj : objects) {
+      if (!rng.NextBool(options.random_version_order_prob)) continue;
+      std::vector<TxnId>& installers = writers_by_object[obj];
+      if (installers.size() < 2) continue;
+      rng.Shuffle(installers);
+      h.SetVersionOrder(obj, installers);
+    }
   }
   Status st = h.Finalize();
   ADYA_CHECK_MSG(st.ok(), "generated history must be well-formed: " << st);

@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <functional>
 #include <map>
+#include <set>
+#include <utility>
 
 #include "common/str_util.h"
 #include "core/certifier.h"
+#include "core/checker_api.h"
 #include "core/levels.h"
 #include "core/msg.h"
 #include "core/preventative.h"
@@ -412,6 +416,115 @@ TEST(MetamorphicTest, WithCommittedThenReAbortRoundTrips) {
     }
   }
   EXPECT_GT(exercised, 0) << "sweep never found a certifiable aborted txn";
+}
+
+// ---------------------------------------------------------------------------
+// Level-lattice metamorphic properties, asked through the facade (so they
+// hold whichever checker implementation answers): verdicts must be monotone
+// along the thesis lattice, and every witness must talk about the history
+// it came from.
+// ---------------------------------------------------------------------------
+
+/// Stronger-level ⇒ weaker-level edges of the thesis lattice (Figure 2);
+/// the same table tests/lattice_test.cc fuzzes against Classify.
+constexpr std::pair<IsolationLevel, IsolationLevel> kLatticeEdges[] = {
+    {IsolationLevel::kPL3, IsolationLevel::kPL299},
+    {IsolationLevel::kPL299, IsolationLevel::kPL2},
+    {IsolationLevel::kPL2, IsolationLevel::kPL1},
+    {IsolationLevel::kPL3, IsolationLevel::kPL2Plus},
+    {IsolationLevel::kPLSI, IsolationLevel::kPL2Plus},
+    {IsolationLevel::kPL2Plus, IsolationLevel::kPL2},
+    {IsolationLevel::kPL299, IsolationLevel::kPLCS},
+    {IsolationLevel::kPLCS, IsolationLevel::kPL2},
+};
+
+/// A history satisfying a level must satisfy everything below it in the
+/// lattice. The facade mode rotates per seed so all three implementations
+/// answer for a third of the sweep each.
+TEST(MetamorphicTest, FacadeVerdictsAreMonotoneAlongLattice) {
+  const CheckMode kModes[] = {CheckMode::kSerial, CheckMode::kParallel,
+                              CheckMode::kIncremental};
+  for (uint64_t seed = 1; seed <= 60; ++seed) {
+    RandomHistoryOptions options;
+    options.seed = seed;
+    options.realizable = (seed % 2) == 0;
+    History h = GenerateRandomHistory(options);
+    CheckerOptions copts;
+    copts.mode = kModes[seed % 3];
+    copts.threads = copts.mode == CheckMode::kParallel ? 4 : 1;
+    Checker checker(h, copts);
+    std::map<IsolationLevel, bool> satisfied;
+    for (IsolationLevel level : kAllLevels) {
+      satisfied[level] = checker.Check(level).satisfied;
+    }
+    for (const auto& [stronger, weaker] : kLatticeEdges) {
+      if (satisfied[stronger]) {
+        EXPECT_TRUE(satisfied[weaker])
+            << IsolationLevelName(stronger) << " satisfied but "
+            << IsolationLevelName(weaker) << " violated (seed " << seed
+            << ", mode " << CheckModeName(copts.mode) << ")";
+      }
+    }
+  }
+}
+
+/// Every witness — event list and every "T<n>" the description names —
+/// must reference the checked history: its event ids in range, its
+/// transactions real. Guards against a witness path reading stale or
+/// foreign state out of the shared artifact pass.
+TEST(MetamorphicTest, WitnessesNameOnlyHistoryTransactions) {
+  const CheckMode kModes[] = {CheckMode::kSerial, CheckMode::kParallel,
+                              CheckMode::kIncremental};
+  int witnessed = 0;
+  for (uint64_t seed = 1; seed <= 60; ++seed) {
+    RandomHistoryOptions options;
+    options.seed = seed;
+    options.realizable = (seed % 2) == 0;
+    History h = GenerateRandomHistory(options);
+    std::set<TxnId> txns;
+    for (TxnId t : h.Transactions()) txns.insert(t);
+    CheckerOptions copts;
+    copts.mode = kModes[seed % 3];
+    copts.threads = copts.mode == CheckMode::kParallel ? 4 : 1;
+    Checker checker(h, copts);
+    std::vector<Violation> violations = checker.CheckAll();
+    for (IsolationLevel level : kAllLevels) {
+      CheckReport report = checker.Check(level);
+      violations.insert(violations.end(), report.violations.begin(),
+                        report.violations.end());
+    }
+    for (const Violation& v : violations) {
+      ++witnessed;
+      std::string context =
+          StrCat("seed ", seed, " mode ", CheckModeName(copts.mode), " ",
+                 PhenomenonName(v.phenomenon), ": ", v.description);
+      for (EventId e : v.events) {
+        EXPECT_GE(e, h.event_begin()) << context;
+        EXPECT_LT(e, h.event_end()) << context;
+        EXPECT_TRUE(txns.count(h.event(e).txn)) << context;
+      }
+      // Scan the description for T<digits> transaction references.
+      const std::string& d = v.description;
+      for (size_t i = 0; i + 1 < d.size(); ++i) {
+        if (d[i] != 'T' || !std::isdigit(static_cast<unsigned char>(d[i + 1])))
+          continue;
+        if (i > 0 && std::isalnum(static_cast<unsigned char>(d[i - 1])))
+          continue;
+        TxnId id = 0;
+        size_t j = i + 1;
+        while (j < d.size() &&
+               std::isdigit(static_cast<unsigned char>(d[j]))) {
+          id = id * 10 + static_cast<TxnId>(d[j] - '0');
+          ++j;
+        }
+        EXPECT_TRUE(txns.count(id) || id == kTxnInit)
+            << context << " (names T" << id << ")";
+        i = j - 1;
+      }
+    }
+  }
+  // The sweep is only meaningful if it actually saw witnesses.
+  EXPECT_GT(witnessed, 0);
 }
 
 TEST(WorkloadTest, StatsAddUp) {

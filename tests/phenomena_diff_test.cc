@@ -1,0 +1,263 @@
+// Phase-equivalence wall for the PhenomenonArtifacts rewrite: every history
+// in the corpus — the paper's worked examples, seeded random histories
+// (realizable and multi-version-adversarial), and recorded engine
+// executions of every scheme — is checked through the OLD phenomenon phase
+// (per-check rescans, materialized SSG; preserved for one PR behind the
+// test-only ConflictOptions::legacy_phenomenon_rescan knob) and through the
+// NEW artifact-sharing phase in all three CheckModes of the adya::Checker
+// facade. Verdicts, violation order, witness descriptions, events, and
+// cycle edge ids must be BIT-identical at every PL level and for every
+// individual phenomenon.
+//
+// The sweep carries the ctest label `slow` (excluded from the default
+// `ctest -j`; scripts/ci.sh runs it explicitly, and again under TSan at
+// ADYA_DIFF_SCALE=10). ADYA_SEED=<n> replays a single failing seed from a
+// failure message, which always names its seed.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <iterator>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/str_util.h"
+#include "common/thread_pool.h"
+#include "core/checker_api.h"
+#include "core/paper_histories.h"
+#include "workload/workload.h"
+
+namespace adya {
+namespace {
+
+using engine::Database;
+using engine::Scheme;
+
+constexpr IsolationLevel kAllLevels[] = {
+    IsolationLevel::kPL1,   IsolationLevel::kPL2,  IsolationLevel::kPLCS,
+    IsolationLevel::kPL2Plus, IsolationLevel::kPL299, IsolationLevel::kPLSI,
+    IsolationLevel::kPL3};
+
+constexpr Phenomenon kAllPhenomena[] = {
+    Phenomenon::kG0,      Phenomenon::kG1a,  Phenomenon::kG1b,
+    Phenomenon::kG1c,     Phenomenon::kG2Item, Phenomenon::kG2,
+    Phenomenon::kGSingle, Phenomenon::kGSIa, Phenomenon::kGSIb,
+    Phenomenon::kGCursor};
+
+/// Corpus size in percent; ADYA_DIFF_SCALE=10 runs a tenth of the seeds.
+int ScalePercent() {
+  const char* env = std::getenv("ADYA_DIFF_SCALE");
+  if (env == nullptr) return 100;
+  int v = std::atoi(env);
+  return v < 1 ? 1 : v;
+}
+
+int Scaled(int n) {
+  int scaled = n * ScalePercent() / 100;
+  return scaled < 1 ? 1 : scaled;
+}
+
+/// ADYA_SEED=<n> pins the sweeps to that one seed.
+bool SeedSelected(uint64_t seed) {
+  static const char* env = std::getenv("ADYA_SEED");
+  if (env == nullptr) return true;
+  return std::strtoull(env, nullptr, 10) == seed;
+}
+
+ThreadPool* SharedPool() {
+  static ThreadPool pool(4);
+  return &pool;
+}
+
+void ExpectSameViolations(const std::vector<Violation>& expected,
+                          const std::vector<Violation>& actual,
+                          const std::string& context) {
+  ASSERT_EQ(expected.size(), actual.size()) << context;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].phenomenon, actual[i].phenomenon) << context;
+    EXPECT_EQ(expected[i].description, actual[i].description) << context;
+    EXPECT_EQ(expected[i].events, actual[i].events) << context;
+    EXPECT_EQ(expected[i].cycle.edges, actual[i].cycle.edges) << context;
+  }
+}
+
+void ExpectSameViolation(const std::optional<Violation>& expected,
+                         const std::optional<Violation>& actual,
+                         const std::string& context) {
+  ASSERT_EQ(expected.has_value(), actual.has_value()) << context;
+  if (!expected.has_value()) return;
+  EXPECT_EQ(expected->phenomenon, actual->phenomenon) << context;
+  EXPECT_EQ(expected->description, actual->description) << context;
+  EXPECT_EQ(expected->events, actual->events) << context;
+  EXPECT_EQ(expected->cycle.edges, actual->cycle.edges) << context;
+}
+
+/// The wall for one history: the legacy rescan phase is the baseline; the
+/// artifact phase must match it bit for bit in every facade mode.
+void DiffOneHistory(const History& h, const std::string& context) {
+  ConflictOptions legacy;
+  legacy.legacy_phenomenon_rescan = true;
+  PhenomenaChecker old_phase(h, legacy);
+  std::vector<Violation> old_all = old_phase.CheckAll();
+  std::vector<LevelCheckResult> old_levels;
+  for (IsolationLevel level : kAllLevels) {
+    old_levels.push_back(CheckLevel(old_phase, level));
+  }
+  std::vector<std::optional<Violation>> old_each;
+  for (Phenomenon p : kAllPhenomena) old_each.push_back(old_phase.Check(p));
+
+  for (CheckMode mode :
+       {CheckMode::kSerial, CheckMode::kParallel, CheckMode::kIncremental}) {
+    CheckerOptions options;
+    options.mode = mode;
+    options.threads = mode == CheckMode::kParallel ? 4 : 1;
+    Checker checker =
+        mode == CheckMode::kParallel
+            ? Checker(h, options, SharedPool())
+            : Checker(h, options);
+    std::string ctx = StrCat(context, " mode=", CheckModeName(mode));
+    ExpectSameViolations(old_all, checker.CheckAll(), ctx);
+    for (size_t li = 0; li < std::size(kAllLevels); ++li) {
+      CheckReport report = checker.Check(kAllLevels[li]);
+      EXPECT_EQ(old_levels[li].satisfied, report.satisfied)
+          << ctx << " level " << IsolationLevelName(kAllLevels[li]);
+      ExpectSameViolations(
+          old_levels[li].violations, report.violations,
+          StrCat(ctx, " level ", IsolationLevelName(kAllLevels[li])));
+    }
+    for (size_t pi = 0; pi < std::size(kAllPhenomena); ++pi) {
+      ExpectSameViolation(
+          old_each[pi], checker.CheckPhenomenon(kAllPhenomena[pi]),
+          StrCat(ctx, " phenomenon ", PhenomenonName(kAllPhenomena[pi])));
+    }
+  }
+
+  // The knob also gates the parallel checker's legacy paths: old-parallel
+  // must equal old-serial, so the wall pins all four phase combinations.
+  {
+    CheckerOptions options;
+    options.mode = CheckMode::kParallel;
+    options.threads = 4;
+    options.conflicts = legacy;
+    Checker old_parallel(h, options, SharedPool());
+    std::string ctx = StrCat(context, " mode=parallel(legacy)");
+    ExpectSameViolations(old_all, old_parallel.CheckAll(), ctx);
+    for (size_t li = 0; li < std::size(kAllLevels); ++li) {
+      CheckReport report = old_parallel.Check(kAllLevels[li]);
+      EXPECT_EQ(old_levels[li].satisfied, report.satisfied)
+          << ctx << " level " << IsolationLevelName(kAllLevels[li]);
+      ExpectSameViolations(
+          old_levels[li].violations, report.violations,
+          StrCat(ctx, " level ", IsolationLevelName(kAllLevels[li])));
+    }
+  }
+}
+
+// Every worked example from the paper: small, but they carry the exact
+// G-SI / G-cursor / phantom structures the artifact pass special-cases.
+TEST(PhenomenaDiffTest, PaperCorpus) {
+  for (const PaperHistory& ph : AllPaperHistories()) {
+    DiffOneHistory(ph.history, StrCat("paper ", ph.name));
+  }
+}
+
+/// Chunked so `ctest -j` can spread the corpus over cores.
+constexpr int kChunks = 10;
+
+class PhenomenaRandomDiffTest : public ::testing::TestWithParam<int> {};
+
+// 300 direct random histories (30 per chunk). Odd seeds explore the
+// multi-version-only space (adversarial version orders included), even
+// seeds stay single-version realizable.
+TEST_P(PhenomenaRandomDiffTest, ArtifactPhaseMatchesRescanBitForBit) {
+  int chunk = GetParam();
+  int per_chunk = Scaled(30);
+  for (int i = 0; i < per_chunk; ++i) {
+    uint64_t seed = static_cast<uint64_t>(chunk * 30 + i + 1);
+    if (!SeedSelected(seed)) continue;
+    workload::RandomHistoryOptions options;
+    options.seed = seed;
+    options.num_txns = 12;
+    options.num_objects = 6;
+    options.ops_per_txn = 4;
+    options.realizable = (seed % 2) == 0;
+    options.random_version_order_prob = 0.5;
+    History h = workload::GenerateRandomHistory(options);
+    DiffOneHistory(h, StrCat("random seed ", seed));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PhenomenaRandomDiffTest,
+                         ::testing::Range(0, kChunks));
+
+struct EngineConfig {
+  Scheme scheme;
+  IsolationLevel level;
+};
+
+class PhenomenaEngineDiffTest : public ::testing::TestWithParam<int> {};
+
+// ~180 recorded engine histories (18 per chunk): every scheme × its
+// supported levels — these carry the predicate reads and version sets the
+// random generator lacks, which is where the cursor plans and G-SI
+// artifacts diverge first if anything drifts.
+TEST_P(PhenomenaEngineDiffTest, ArtifactPhaseMatchesRescanBitForBit) {
+  using L = IsolationLevel;
+  const EngineConfig configs[] = {
+      {Scheme::kLocking, L::kPL1},      {Scheme::kLocking, L::kPL2},
+      {Scheme::kLocking, L::kPL299},    {Scheme::kLocking, L::kPL3},
+      {Scheme::kOptimistic, L::kPL2},   {Scheme::kOptimistic, L::kPL299},
+      {Scheme::kOptimistic, L::kPL3},   {Scheme::kMultiversion, L::kPLSI},
+      // The multiversion scheduler implements exactly PL-SI; a second,
+      // seed-shifted sweep of it stands in for a second level.
+      {Scheme::kMultiversion, L::kPLSI},
+  };
+  int chunk = GetParam();
+  int seeds_per_config = Scaled(2);
+  int config_index = 0;
+  for (const EngineConfig& config : configs) {
+    ++config_index;
+    for (int i = 0; i < seeds_per_config; ++i) {
+      uint64_t seed =
+          static_cast<uint64_t>(chunk * 2 + i + 1 + 1000 * config_index);
+      if (!SeedSelected(seed)) continue;
+      auto db = Database::Create(config.scheme, Database::Options{});
+      workload::WorkloadOptions options;
+      options.seed = seed;
+      options.levels = {config.level};
+      options.num_txns = 12;
+      options.num_keys = 5;
+      options.ops_per_txn = 4;
+      options.max_active = 4;
+      workload::WorkloadStats stats = workload::RunWorkload(*db, options);
+      EXPECT_EQ(stats.aborted_stuck, 0);
+      auto history = db->RecordedHistory();
+      ASSERT_TRUE(history.ok()) << history.status();
+      DiffOneHistory(*history,
+                     StrCat(engine::SchemeName(config.scheme), " at ",
+                            IsolationLevelName(config.level), " seed ",
+                            seed));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PhenomenaEngineDiffTest,
+                         ::testing::Range(0, kChunks));
+
+// A history large enough that the artifact pass's SCC partitions, cursor
+// buckets, and implicit-SSG searches all have real work to do, and that
+// parallel conflict sharding crosses chunk boundaries.
+TEST(PhenomenaDiffTest, LargeHistoryMatches) {
+  workload::RandomHistoryOptions options;
+  options.seed = 424242;
+  options.num_txns = Scaled(400);
+  options.num_objects = options.num_txns / 2 + 1;
+  options.ops_per_txn = 5;
+  options.random_version_order_prob = 0.3;
+  History h = workload::GenerateRandomHistory(options);
+  DiffOneHistory(h, "large random history");
+}
+
+}  // namespace
+}  // namespace adya

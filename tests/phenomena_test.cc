@@ -1,34 +1,76 @@
+// Unit corpus for the individual phenomenon definitions (§5 of the paper),
+// run through the adya::Checker facade parameterized over every checker
+// implementation and both extremes of the cycle-bitset threshold — the same
+// tiny history must produce the same verdict from the serial, parallel and
+// incremental checkers, with per-candidate BFS (knob 0) and with bitset
+// reachability rows forced on (knob UINT32_MAX).
+
 #include <gtest/gtest.h>
 
-#include "core/phenomena.h"
+#include <cstdint>
+#include <string>
+
+#include "core/checker_api.h"
 #include "history/parser.h"
 
 namespace adya {
 namespace {
 
-bool Occurs(const std::string& text, Phenomenon p) {
-  auto h = ParseHistory(text);
-  EXPECT_TRUE(h.ok()) << h.status();
-  if (!h.ok()) return false;
-  PhenomenaChecker checker(*h);
-  return checker.Check(p).has_value();
-}
+struct CheckerVariant {
+  const char* name;
+  CheckMode mode = CheckMode::kSerial;
+  /// ConflictOptions::cycle_bitset_max_scc: 0 forces the per-candidate BFS,
+  /// UINT32_MAX forces the bitset reachability rows.
+  uint32_t cycle_bitset_max_scc = 4096;
+};
+
+class PhenomenaTest : public ::testing::TestWithParam<CheckerVariant> {
+ protected:
+  CheckerOptions Options() const {
+    const CheckerVariant& variant = GetParam();
+    CheckerOptions options;
+    options.mode = variant.mode;
+    options.threads = variant.mode == CheckMode::kParallel ? 4 : 1;
+    options.conflicts.cycle_bitset_max_scc = variant.cycle_bitset_max_scc;
+    return options;
+  }
+
+  bool Occurs(const std::string& text, Phenomenon p) const {
+    auto h = ParseHistory(text);
+    EXPECT_TRUE(h.ok()) << h.status();
+    if (!h.ok()) return false;
+    Checker checker(*h, Options());
+    return checker.CheckPhenomenon(p).has_value();
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, PhenomenaTest,
+    ::testing::Values(
+        CheckerVariant{"Serial", CheckMode::kSerial},
+        CheckerVariant{"Parallel", CheckMode::kParallel},
+        CheckerVariant{"Incremental", CheckMode::kIncremental},
+        CheckerVariant{"SerialBfsOnly", CheckMode::kSerial, 0},
+        CheckerVariant{"SerialBitsetAlways", CheckMode::kSerial, UINT32_MAX},
+        CheckerVariant{"ParallelBitsetAlways", CheckMode::kParallel,
+                       UINT32_MAX}),
+    [](const auto& info) { return std::string(info.param.name); });
 
 // --- G0 --------------------------------------------------------------------
 
-TEST(PhenomenaTest, G0WriteCycle) {
+TEST_P(PhenomenaTest, G0WriteCycle) {
   EXPECT_TRUE(Occurs(
       "w1(x1) w2(x2) w2(y2) c2 w1(y1) c1 [x1 << x2, y2 << y1]",
       Phenomenon::kG0));
 }
 
-TEST(PhenomenaTest, G0AbsentWhenWritesAligned) {
+TEST_P(PhenomenaTest, G0AbsentWhenWritesAligned) {
   EXPECT_FALSE(Occurs(
       "w1(x1) w2(x2) w2(y2) c2 w1(y1) c1 [x1 << x2, y1 << y2]",
       Phenomenon::kG0));
 }
 
-TEST(PhenomenaTest, G0AbsentWhenOneWriterAborts) {
+TEST_P(PhenomenaTest, G0AbsentWhenOneWriterAborts) {
   // The would-be cycle partner aborted: no node, no cycle.
   EXPECT_FALSE(Occurs(
       "w1(x1) w2(x2) w2(y2) a2 w1(y1) c1", Phenomenon::kG0));
@@ -36,42 +78,42 @@ TEST(PhenomenaTest, G0AbsentWhenOneWriterAborts) {
 
 // --- G1a -------------------------------------------------------------------
 
-TEST(PhenomenaTest, G1aAbortedRead) {
+TEST_P(PhenomenaTest, G1aAbortedRead) {
   EXPECT_TRUE(Occurs("w1(x1) r2(x1) a1 c2", Phenomenon::kG1a));
 }
 
-TEST(PhenomenaTest, G1aViaPredicate) {
+TEST_P(PhenomenaTest, G1aViaPredicate) {
   EXPECT_TRUE(Occurs(
       "relation Emp; object x in Emp; pred P on Emp: dept = \"Sales\";\n"
       "w1(x1, {dept: \"Sales\"}) r2(P: x1) a1 c2",
       Phenomenon::kG1a));
 }
 
-TEST(PhenomenaTest, G1aAbsentWhenReaderAborts) {
+TEST_P(PhenomenaTest, G1aAbsentWhenReaderAborts) {
   EXPECT_FALSE(Occurs("w1(x1) r2(x1) a1 a2", Phenomenon::kG1a));
 }
 
-TEST(PhenomenaTest, G1aAbsentWhenWriterCommits) {
+TEST_P(PhenomenaTest, G1aAbsentWhenWriterCommits) {
   EXPECT_FALSE(Occurs("w1(x1) r2(x1) c1 c2", Phenomenon::kG1a));
 }
 
 // --- G1b -------------------------------------------------------------------
 
-TEST(PhenomenaTest, G1bIntermediateRead) {
+TEST_P(PhenomenaTest, G1bIntermediateRead) {
   // T2 reads x1:1 although T1's final modification is x1:2.
   EXPECT_TRUE(Occurs("w1(x1) r2(x1) w1(x1.2) c1 c2", Phenomenon::kG1b));
 }
 
-TEST(PhenomenaTest, G1bAbsentForFinalRead) {
+TEST_P(PhenomenaTest, G1bAbsentForFinalRead) {
   EXPECT_FALSE(Occurs("w1(x1) w1(x1.2) r2(x1.2) c1 c2", Phenomenon::kG1b));
 }
 
-TEST(PhenomenaTest, G1bAbsentForOwnIntermediateRead) {
+TEST_P(PhenomenaTest, G1bAbsentForOwnIntermediateRead) {
   // Reading your own latest-so-far version is required by §4.2, not G1b.
   EXPECT_FALSE(Occurs("w1(x1) r1(x1) w1(x1.2) c1", Phenomenon::kG1b));
 }
 
-TEST(PhenomenaTest, G1bViaPredicate) {
+TEST_P(PhenomenaTest, G1bViaPredicate) {
   EXPECT_TRUE(Occurs(
       "relation Emp; object x in Emp; pred P on Emp: dept = \"Sales\";\n"
       "w1(x1, {dept: \"Sales\"}) r2(P: x1) w1(x1.2, {dept: \"Legal\"}) "
@@ -81,25 +123,25 @@ TEST(PhenomenaTest, G1bViaPredicate) {
 
 // --- G1c -------------------------------------------------------------------
 
-TEST(PhenomenaTest, G1cReadWriteInformationCycle) {
+TEST_P(PhenomenaTest, G1cReadWriteInformationCycle) {
   // T1 reads from T2 and T2 reads from T1.
   EXPECT_TRUE(Occurs("w1(x1) w2(y2) r2(x1) r1(y2) c1 c2",
                      Phenomenon::kG1c));
 }
 
-TEST(PhenomenaTest, G1cIncludesG0) {
+TEST_P(PhenomenaTest, G1cIncludesG0) {
   EXPECT_TRUE(Occurs(
       "w1(x1) w2(x2) w2(y2) c2 w1(y1) c1 [x1 << x2, y2 << y1]",
       Phenomenon::kG1c));
 }
 
-TEST(PhenomenaTest, G1cAbsentForOneWayFlow) {
+TEST_P(PhenomenaTest, G1cAbsentForOneWayFlow) {
   EXPECT_FALSE(Occurs("w1(x1) c1 r2(x1) w2(y2) c2", Phenomenon::kG1c));
 }
 
 // --- G2 / G2-item ----------------------------------------------------------
 
-TEST(PhenomenaTest, G2ItemAntiCycle) {
+TEST_P(PhenomenaTest, G2ItemAntiCycle) {
   // Classic write skew: T1 reads x,y writes x; T2 reads x,y writes y.
   const char* kWriteSkew =
       "w0(x0) w0(y0) c0 "
@@ -110,7 +152,7 @@ TEST(PhenomenaTest, G2ItemAntiCycle) {
   EXPECT_FALSE(Occurs(kWriteSkew, Phenomenon::kG1c));
 }
 
-TEST(PhenomenaTest, G2PredicateOnlyCycleIsNotG2Item) {
+TEST_P(PhenomenaTest, G2PredicateOnlyCycleIsNotG2Item) {
   // Phantom cycle: the only anti edge is predicate-based.
   const char* kPhantom =
       "relation Emp; object z in Emp;\n"
@@ -124,7 +166,7 @@ TEST(PhenomenaTest, G2PredicateOnlyCycleIsNotG2Item) {
   EXPECT_TRUE(Occurs(kPhantom, Phenomenon::kGSingle));
 }
 
-TEST(PhenomenaTest, MixedItemAndPredicateAntiCycleIsNotG2Item) {
+TEST_P(PhenomenaTest, MixedItemAndPredicateAntiCycleIsNotG2Item) {
   // Regression: REPEATABLE READ locking (long item locks, short phantom
   // locks) can produce this — T7 predicate-reads an empty match set, T5
   // then creates a matching row (phantom, allowed), reads its own write,
@@ -141,13 +183,13 @@ TEST(PhenomenaTest, MixedItemAndPredicateAntiCycleIsNotG2Item) {
   EXPECT_FALSE(Occurs(kMixed, Phenomenon::kG2Item));
 }
 
-TEST(PhenomenaTest, G2AbsentForSerializableHistory) {
+TEST_P(PhenomenaTest, G2AbsentForSerializableHistory) {
   EXPECT_FALSE(Occurs("w1(x1) c1 r2(x1) w2(x2) c2", Phenomenon::kG2));
 }
 
 // --- G-single ---------------------------------------------------------------
 
-TEST(PhenomenaTest, GSingleReadSkew) {
+TEST_P(PhenomenaTest, GSingleReadSkew) {
   // Read skew (Adya's PL-2+ motivating anomaly): T2 reads x0, T1 updates
   // x and y, commits; T2 then reads y1.
   const char* kReadSkew =
@@ -157,7 +199,7 @@ TEST(PhenomenaTest, GSingleReadSkew) {
   EXPECT_TRUE(Occurs(kReadSkew, Phenomenon::kG2));
 }
 
-TEST(PhenomenaTest, GSingleAbsentForWriteSkew) {
+TEST_P(PhenomenaTest, GSingleAbsentForWriteSkew) {
   // Write skew needs TWO anti edges: G2 but not G-single.
   const char* kWriteSkew =
       "w0(x0) w0(y0) c0 "
@@ -168,16 +210,16 @@ TEST(PhenomenaTest, GSingleAbsentForWriteSkew) {
 
 // --- G-SI -------------------------------------------------------------------
 
-TEST(PhenomenaTest, GSIaReadWithoutSnapshot) {
+TEST_P(PhenomenaTest, GSIaReadWithoutSnapshot) {
   // T2 reads T1's write although T1 committed after T2 began.
   EXPECT_TRUE(Occurs("b1 b2 w1(x1) c1 r2(x1) c2", Phenomenon::kGSIa));
 }
 
-TEST(PhenomenaTest, GSIaAbsentWithProperSnapshots) {
+TEST_P(PhenomenaTest, GSIaAbsentWithProperSnapshots) {
   EXPECT_FALSE(Occurs("b1 w1(x1) c1 b2 r2(x1) c2", Phenomenon::kGSIa));
 }
 
-TEST(PhenomenaTest, GSIbWriteSkewAllowed) {
+TEST_P(PhenomenaTest, GSIbWriteSkewAllowed) {
   // Snapshot isolation's hallmark: write skew passes G-SI (two anti edges)…
   const char* kWriteSkewSI =
       "w0(x0) w0(y0) c0 "
@@ -186,7 +228,7 @@ TEST(PhenomenaTest, GSIbWriteSkewAllowed) {
   EXPECT_TRUE(Occurs(kWriteSkewSI, Phenomenon::kG2));
 }
 
-TEST(PhenomenaTest, GSIbCatchesReadSkewUnderSI) {
+TEST_P(PhenomenaTest, GSIbCatchesReadSkewUnderSI) {
   // …but a lost-update/read-skew cycle (one anti edge) violates G-SI(b).
   const char* kLostUpdate =
       "w0(x0) c0 "
@@ -196,7 +238,7 @@ TEST(PhenomenaTest, GSIbCatchesReadSkewUnderSI) {
 
 // --- G-cursor ---------------------------------------------------------------
 
-TEST(PhenomenaTest, GCursorLostUpdate) {
+TEST_P(PhenomenaTest, GCursorLostUpdate) {
   // Lost update on a single object: r1(x0) r2(x0) w1(x1) w2(x2).
   const char* kLostUpdate =
       "w0(x0) c0 r1(x0) r2(x0) w1(x1) c1 w2(x2) c2";
@@ -204,7 +246,7 @@ TEST(PhenomenaTest, GCursorLostUpdate) {
   EXPECT_TRUE(Occurs(kLostUpdate, Phenomenon::kG2Item));
 }
 
-TEST(PhenomenaTest, GCursorAbsentForCrossObjectSkew) {
+TEST_P(PhenomenaTest, GCursorAbsentForCrossObjectSkew) {
   // Write skew spans two objects: cursor stability does not forbid it.
   const char* kWriteSkew =
       "w0(x0) w0(y0) c0 "
@@ -214,20 +256,20 @@ TEST(PhenomenaTest, GCursorAbsentForCrossObjectSkew) {
 
 // --- misc -------------------------------------------------------------------
 
-TEST(PhenomenaTest, CheckAllListsEveryOccurringPhenomenon) {
+TEST_P(PhenomenaTest, CheckAllListsEveryOccurringPhenomenon) {
   auto h = ParseHistory("w1(x1) r2(x1) a1 c2");
   ASSERT_TRUE(h.ok());
-  PhenomenaChecker checker(*h);
+  Checker checker(*h, Options());
   auto all = checker.CheckAll();
   ASSERT_EQ(all.size(), 1u);
   EXPECT_EQ(all[0].phenomenon, Phenomenon::kG1a);
 }
 
-TEST(PhenomenaTest, ViolationDescriptionsAreInformative) {
+TEST_P(PhenomenaTest, ViolationDescriptionsAreInformative) {
   auto h = ParseHistory("w1(x1) r2(x1) a1 c2");
   ASSERT_TRUE(h.ok());
-  PhenomenaChecker checker(*h);
-  auto v = checker.Check(Phenomenon::kG1a);
+  Checker checker(*h, Options());
+  auto v = checker.CheckPhenomenon(Phenomenon::kG1a);
   ASSERT_TRUE(v.has_value());
   EXPECT_NE(v->description.find("G1a"), std::string::npos);
   EXPECT_NE(v->description.find("aborted"), std::string::npos);
@@ -235,21 +277,23 @@ TEST(PhenomenaTest, ViolationDescriptionsAreInformative) {
   EXPECT_EQ(h->event(v->events[0]).type, EventType::kRead);
 }
 
-TEST(PhenomenaTest, TxnFilterRestrictsG1a) {
+TEST_P(PhenomenaTest, CleanSerializableHistoryHasNoPhenomena) {
+  auto h = ParseHistory(
+      "b1 w1(x1) w1(y1) c1 b2 r2(x1) w2(x2) c2 b3 r3(x2) r3(y1) c3");
+  ASSERT_TRUE(h.ok());
+  Checker checker(*h, Options());
+  EXPECT_TRUE(checker.CheckAll().empty());
+}
+
+// The TxnFilter hook is serial-only API (mixing-correctness calls it on the
+// PhenomenaChecker directly), so it stays outside the variant sweep.
+TEST(PhenomenaFilterTest, TxnFilterRestrictsG1a) {
   auto h = ParseHistory("w1(x1) r2(x1) a1 c2");
   ASSERT_TRUE(h.ok());
   PhenomenaChecker checker(*h);
   EXPECT_TRUE(checker.CheckG1a([](TxnId) { return true; }).has_value());
   EXPECT_FALSE(
       checker.CheckG1a([](TxnId t) { return t != 2; }).has_value());
-}
-
-TEST(PhenomenaTest, CleanSerializableHistoryHasNoPhenomena) {
-  auto h = ParseHistory(
-      "b1 w1(x1) w1(y1) c1 b2 r2(x1) w2(x2) c2 b3 r3(x2) r3(y1) c3");
-  ASSERT_TRUE(h.ok());
-  PhenomenaChecker checker(*h);
-  EXPECT_TRUE(checker.CheckAll().empty());
 }
 
 }  // namespace
