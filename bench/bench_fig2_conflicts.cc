@@ -7,7 +7,7 @@
 #include "bench_util.h"
 #include "common/str_util.h"
 #include "core/conflicts.h"
-#include "history/parser.h"
+#include "history/source.h"
 #include "workload/workload.h"
 
 namespace adya {
@@ -52,10 +52,10 @@ void PrintFigure2() {
   Table table({"Conflict", "Description (Tj conflicts on Ti)", "Edge",
                "Minimal history", "Detected"});
   for (const ConflictDemo& demo : kDemos) {
-    auto h = ParseHistory(demo.history);
+    auto h = LoadHistory(demo.history);
     bool found = false;
     if (h.ok()) {
-      for (const Dependency& dep : ComputeDependencies(*h)) {
+      for (const Dependency& dep : ComputeDependencies(h->history)) {
         found |= dep.kind == demo.kind && dep.from == demo.from &&
                  dep.to == demo.to;
       }

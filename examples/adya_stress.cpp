@@ -45,16 +45,30 @@
 //   --trace-out=FILE           write the phase trace as JSON lines
 //                              (each of the three file flags implies --stats)
 //   --quiet                    suppress the human-readable summary line
+//
+// Offline certification (no engine run): --certify-file=FILE loads a
+// recorded history through the HistorySource registry — the paper notation
+// or an Elle/Jepsen log — and certifies it with the configured checker:
+//   adya_stress --certify-file=run.edn --input-format=elle-append
+//               --certify-level=PL-SI --check-mode=parallel
+//   --certify-file=FILE        certify FILE instead of running a stress
+//                              workload ('-' reads stdin)
+//   --input-format=auto|adya|elle-append|elle-register   (default auto)
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/str_util.h"
 #include "core/checker_api.h"
+#include "history/source.h"
+#include "ingest/elle.h"
 #include "obs/stats.h"
 #include "stress/stress.h"
 
@@ -150,6 +164,7 @@ int main(int argc, char** argv) {
   CheckerOptions checker_flags;
   bool quiet = false;
   bool want_stats = false;
+  std::string certify_file;
   std::string stats_out, prom_out, trace_out;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -233,6 +248,9 @@ int main(int argc, char** argv) {
       auto d = ParseDuration(value);
       if (!d) Usage(StrCat("bad interval '", value, "'"));
       options.certify_interval = *d;
+    } else if (key == "--certify-file") {
+      if (value.empty()) Usage("--certify-file wants a path (or -)");
+      certify_file = value;
     } else if (key == "--stats-out") {
       stats_out = value;
     } else if (key == "--prom-out") {
@@ -252,6 +270,62 @@ int main(int argc, char** argv) {
   }
   obs::StatsRegistry registry;
   if (want_stats) options.stats = &registry;
+
+  if (!certify_file.empty()) {
+    ingest::RegisterElleFormats();
+    std::ostringstream buffer;
+    if (certify_file == "-") {
+      buffer << std::cin.rdbuf();
+    } else {
+      std::ifstream file(certify_file);
+      if (!file) {
+        std::fprintf(stderr, "adya_stress: cannot open %s\n",
+                     certify_file.c_str());
+        return 2;
+      }
+      buffer << file.rdbuf();
+    }
+    if (want_stats) checker_flags.stats = &registry;
+    auto loaded = LoadHistory(buffer.str(), checker_flags.input_format,
+                              checker_flags.stats);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "adya_stress: %s\n",
+                   loaded.status().ToString().c_str());
+      return 2;
+    }
+    std::string ingested = loaded->report.ToString();
+    if (!ingested.empty() && !quiet) {
+      std::fprintf(stderr, "%s\n", ingested.c_str());
+    }
+    IsolationLevel level = options.certify_level.value_or(options.level);
+    Checker checker(loaded->history, checker_flags);
+    CheckReport result = checker.Check(level);
+    std::printf(
+        "{\"certify_file\": \"%s\", \"format\": \"%s\", \"level\": \"%s\", "
+        "\"mode\": \"%s\", \"txns\": %llu, \"ops\": %llu, \"satisfied\": %s, "
+        "\"violations\": %zu}\n",
+        certify_file.c_str(), loaded->report.format.c_str(),
+        std::string(IsolationLevelName(level)).c_str(),
+        std::string(CheckModeName(result.mode)).c_str(),
+        static_cast<unsigned long long>(loaded->report.txns),
+        static_cast<unsigned long long>(loaded->report.ops),
+        result.satisfied ? "true" : "false", result.violations.size());
+    if (want_stats) {
+      obs::StatsSnapshot snapshot = registry.Snapshot();
+      if (stats_out.empty()) {
+        std::fprintf(stderr, "%s\n", snapshot.ToJson().c_str());
+      } else {
+        WriteFileOrDie(stats_out, snapshot.ToJson());
+      }
+      if (!prom_out.empty()) WriteFileOrDie(prom_out, snapshot.ToPrometheus());
+    }
+    for (const Violation& v : result.violations) {
+      std::fprintf(stderr, "violation %s: %s\n",
+                   std::string(PhenomenonName(v.phenomenon)).c_str(),
+                   v.description.c_str());
+    }
+    return result.satisfied ? 0 : 1;
+  }
 
   auto report = stress::RunStress(options);
   if (!report.ok()) {

@@ -3,21 +3,29 @@
 //   histtool check <file>          classify a history against every level
 //   histtool dsg <file>            print the DSG edges and Graphviz DOT
 //   histtool minimize <file> <PL>  shrink to a minimal witness violating PL
-//   histtool fmt <file>            reformat canonically
+//   histtool fmt <file>            reformat canonically (paper notation)
 //
-// History files use the paper notation (see src/history/parser.h).
+// Histories load through the HistorySource registry (history/source.h):
+// the native paper notation plus the Elle/Jepsen adapters. The format is
+// sniffed from the content by default; --input-format=NAME pins it. A
+// non-native input prints its ingestion report (inference diagnostics) to
+// stderr before the command output.
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "core/certifier.h"
 #include "core/levels.h"
 #include "core/minimize.h"
 #include "history/format.h"
-#include "history/parser.h"
+#include "history/source.h"
+#include "ingest/elle.h"
 
 namespace {
 
@@ -27,31 +35,33 @@ int Usage() {
   std::fprintf(stderr,
                "usage: histtool check|dsg|fmt <file>\n"
                "       histtool minimize <file> <level>\n"
+               "options: --input-format=auto|adya|elle-append|elle-register\n"
                "levels: PL-1 PL-2 PL-CS PL-2+ PL-2.99 PL-SI PL-3\n"
                "<file> may be '-' to read the history from stdin\n");
   return 2;
 }
 
-Result<History> Load(const char* path) {
+Result<LoadedHistory> Load(const std::string& path,
+                           const std::string& format) {
   std::ostringstream buffer;
-  if (std::strcmp(path, "-") == 0) {
+  if (path == "-") {
     buffer << std::cin.rdbuf();
   } else {
     std::ifstream file(path);
-    if (!file) return Status::NotFound(std::string("cannot open ") + path);
+    if (!file) return Status::NotFound("cannot open " + path);
     buffer << file.rdbuf();
   }
-  return ParseHistory(buffer.str());
+  return LoadHistory(buffer.str(), format);
 }
 
-Result<IsolationLevel> LevelByName(const char* name) {
+Result<IsolationLevel> LevelByName(const std::string& name) {
   for (IsolationLevel level :
        {IsolationLevel::kPL1, IsolationLevel::kPL2, IsolationLevel::kPLCS,
         IsolationLevel::kPL2Plus, IsolationLevel::kPL299,
         IsolationLevel::kPLSI, IsolationLevel::kPL3}) {
     if (IsolationLevelName(level) == name) return level;
   }
-  return Status::InvalidArgument(std::string("unknown level ") + name);
+  return Status::InvalidArgument("unknown level " + name);
 }
 
 int Check(const History& h) {
@@ -99,25 +109,43 @@ int MinimizeCmd(const History& h, IsolationLevel level) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return Usage();
-  auto history = Load(argv[2]);
-  if (!history.ok()) {
-    std::fprintf(stderr, "%s\n", history.status().ToString().c_str());
+  ingest::RegisterElleFormats();
+  std::string format;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.rfind("--input-format=", 0) == 0) {
+      format = std::string(arg.substr(std::strlen("--input-format=")));
+      if (format.empty()) return Usage();
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option %s\n", argv[i]);
+      return Usage();
+    } else {
+      args.push_back(std::string(arg));
+    }
+  }
+  if (args.size() < 2) return Usage();
+  auto loaded = Load(args[1], format);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
     return 2;
   }
-  if (std::strcmp(argv[1], "check") == 0) return Check(*history);
-  if (std::strcmp(argv[1], "dsg") == 0) return PrintDsg(*history);
-  if (std::strcmp(argv[1], "fmt") == 0) {
-    std::printf("%s", FormatHistory(*history).c_str());
+  std::string report = loaded->report.ToString();
+  if (!report.empty()) std::fprintf(stderr, "%s\n", report.c_str());
+  const History& history = loaded->history;
+  if (args[0] == "check") return Check(history);
+  if (args[0] == "dsg") return PrintDsg(history);
+  if (args[0] == "fmt") {
+    std::printf("%s", FormatHistory(history).c_str());
     return 0;
   }
-  if (std::strcmp(argv[1], "minimize") == 0 && argc >= 4) {
-    auto level = LevelByName(argv[3]);
+  if (args[0] == "minimize" && args.size() >= 3) {
+    auto level = LevelByName(args[2]);
     if (!level.ok()) {
       std::fprintf(stderr, "%s\n", level.status().ToString().c_str());
       return 2;
     }
-    return MinimizeCmd(*history, *level);
+    return MinimizeCmd(history, *level);
   }
   return Usage();
 }

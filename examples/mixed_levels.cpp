@@ -11,7 +11,7 @@
 #include "core/levels.h"
 #include "core/msg.h"
 #include "history/format.h"
-#include "history/parser.h"
+#include "history/source.h"
 
 namespace {
 
@@ -19,19 +19,20 @@ using namespace adya;
 
 void Analyze(const char* title, const char* text) {
   std::printf("---- %s ----\n", title);
-  auto h = ParseHistory(text);
-  ADYA_CHECK_MSG(h.ok(), h.status());
-  std::printf("%s\n", FormatHistory(*h).c_str());
-  Dsg dsg(*h);
+  auto loaded = LoadHistory(text);
+  ADYA_CHECK_MSG(loaded.ok(), loaded.status());
+  const History& h = loaded->history;
+  std::printf("%s\n", FormatHistory(h).c_str());
+  Dsg dsg(h);
   std::printf("DSG edges: %s\n", dsg.EdgeSummary().c_str());
-  auto msg = Msg::Build(*h);
+  auto msg = Msg::Build(h);
   ADYA_CHECK(msg.ok());
   std::printf("MSG edges: %s\n", msg->EdgeSummary().c_str());
-  auto mix = CheckMixingCorrect(*h);
+  auto mix = CheckMixingCorrect(h);
   ADYA_CHECK(mix.ok());
   std::printf("mixing-correct: %s\n", mix->mixing_correct ? "yes" : "NO");
   for (const std::string& p : mix->problems) std::printf("  %s\n", p.c_str());
-  Classification c = Classify(*h);
+  Classification c = Classify(h);
   std::printf("(for reference, as an all-PL-3 history it would be: %s)\n\n",
               c.Summary().c_str());
 }

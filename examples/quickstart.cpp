@@ -10,7 +10,7 @@
 
 #include "core/levels.h"
 #include "history/format.h"
-#include "history/parser.h"
+#include "history/source.h"
 
 namespace {
 
@@ -41,19 +41,20 @@ int main(int argc, char** argv) {
     text = buffer.str();
   }
 
-  auto history = adya::ParseHistory(text);
-  if (!history.ok()) {
+  auto loaded = adya::LoadHistory(text);
+  if (!loaded.ok()) {
     std::fprintf(stderr, "parse error: %s\n",
-                 history.status().ToString().c_str());
+                 loaded.status().ToString().c_str());
     return 1;
   }
+  const adya::History& history = loaded->history;
 
-  std::printf("History:\n%s\n", adya::FormatHistory(*history).c_str());
+  std::printf("History:\n%s\n", adya::FormatHistory(history).c_str());
 
-  adya::Dsg dsg(*history);
+  adya::Dsg dsg(history);
   std::printf("DSG edges: %s\n\n", dsg.EdgeSummary().c_str());
 
-  adya::Classification c = adya::Classify(*history);
+  adya::Classification c = adya::Classify(history);
   std::printf("%s\n\n", c.Summary().c_str());
   for (const auto& [level, ok] : c.satisfied) {
     std::printf("  %-8s %s\n", std::string(IsolationLevelName(level)).c_str(),

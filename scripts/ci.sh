@@ -31,6 +31,21 @@ if grep -rnE 'IncrementalChecker [a-z_]+\(|make_unique<IncrementalChecker>' \
   exit 1
 fi
 
+echo "=== input facade guard (history text enters through LoadHistory) ==="
+# The input-side mirror of the checker facade rule: history text is parsed
+# through the HistorySource registry (history/source.h), never by naming a
+# parser. Direct ParseHistory / ParseElle* calls are allowed only inside
+# src/history/ and src/ingest/ (the sources themselves); src/serve/ keeps
+# the streaming StreamParser, which has no one-shot facade equivalent.
+if grep -rnE '\b(ParseHistory|ParseElleAppend|ParseElleRegister)\(' \
+    examples/ bench/ src/core/ src/stress/ src/engine/ src/workload/ \
+    src/serve/ src/common/ src/obs/ src/graph/ 2>/dev/null \
+    | grep -v 'src/common/result\.h'; then
+  echo "input facade bypass: load history text through adya::LoadHistory" \
+       "(history/source.h) instead"
+  exit 1
+fi
+
 echo "=== plain build ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
@@ -48,6 +63,39 @@ echo "=== adya_stress smoke (parallel certification: 8 check threads) ==="
 echo "=== adya_stress smoke (incremental certification) ==="
 ./build/examples/adya_stress --scheme=locking --level=PL-3 --threads=8 \
   --duration=2s --certify-level=PL-3 --incremental
+
+echo "=== histtool ingestion smoke (Elle list-append fixtures) ==="
+# The checked-in read-skew log must convict with witnesses that speak in
+# the log's own op ids (T0, T1) — and the clean log must certify clean.
+HIST_OUT="$(mktemp)"
+if ./build/examples/histtool check --input-format=elle-append \
+    examples/histories/elle_g_single.edn > "$HIST_OUT" 2>&1; then
+  echo "elle_g_single.edn unexpectedly certified clean:"
+  cat "$HIST_OUT"; exit 1
+fi
+for want in 'ingest[elle-append]: 2 ops' 'G-single' 'T1 --rw(item)--> T0' \
+    'T0 --wr(item)--> T1' 'synthetic initial-state writer: T2'; do
+  grep -qF -- "$want" "$HIST_OUT" || {
+    echo "ingestion smoke output missing '$want':"; cat "$HIST_OUT"; exit 1;
+  }
+done
+./build/examples/histtool check examples/histories/elle_clean.edn \
+    > "$HIST_OUT" 2>&1 || {
+  echo "elle_clean.edn (auto-sniffed) failed to certify:"
+  cat "$HIST_OUT"; exit 1
+}
+grep -q 'strongest ANSI level: PL-3' "$HIST_OUT" || {
+  echo "clean fixture not at PL-3:"; cat "$HIST_OUT"; exit 1;
+}
+rm -f "$HIST_OUT"
+
+echo "=== adya_stress ingestion smoke (--certify-file over an Elle log) ==="
+if ./build/examples/adya_stress --certify-file=examples/histories/elle_g1a.edn \
+    --certify-level=PL-2 --quiet; then
+  echo "elle_g1a.edn unexpectedly satisfied PL-2"; exit 1
+fi
+./build/examples/adya_stress --certify-file=examples/histories/elle_g1a.edn \
+  --certify-level=PL-1 --quiet
 
 echo "=== adya_stress smoke (--stats: snapshot JSON + required metrics) ==="
 STATS_JSON="$(mktemp)"
@@ -221,8 +269,10 @@ else
   # including the parallel checker's fan-out — hence TSan).
   # *Serve|Framing* is the adya_serve daemon: acceptor/reader/worker-shard
   # threading with concurrent differential clients.
+  # *Ingest* is the Elle ingestion unit suite; the slow label below adds
+  # the export⇄import round-trip wall at a tenth of its corpus.
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -R 'Stress|Blocking|Recorder|Concurrent|ThreadPool|Metrics|Obs|Bitset|Serve|Framing'
+    -R 'Stress|Blocking|Recorder|Concurrent|ThreadPool|Metrics|Obs|Bitset|Serve|Framing|Ingest'
   ADYA_DIFF_SCALE=10 ctest --test-dir build-tsan --output-on-failure \
     -j "$JOBS" -L slow
 fi

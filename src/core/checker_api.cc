@@ -122,6 +122,14 @@ bool CheckerOptions::ParseFlag(std::string_view arg, std::string* error) {
     gc.watermark_interval = v;
     return true;
   }
+  if (key == "--input-format") {
+    if (value.empty()) {
+      *error = "--input-format wants a format name (or auto)";
+      return true;
+    }
+    input_format = std::string(value);
+    return true;
+  }
   if (key == "--gc-min-window") {
     uint64_t v = 0;
     if (!ParseU64Value(value, &v) || v < 1) {

@@ -64,6 +64,11 @@ struct CheckerOptions {
   /// certified-stable-prefix GC for the IncrementalChecker (DESIGN.md §12).
   /// Ignored by the one-shot audit modes, whose history is already whole.
   GcOptions gc;
+  /// Input format name for tools that load history text through the
+  /// HistorySource registry (history/source.h): "adya", "elle-append",
+  /// "elle-register", or "auto"/"" to sniff the content. Resolution happens
+  /// at load time — the checker itself consumes only finalized histories.
+  std::string input_format;
 
   /// Rejects out-of-range knobs (threads < 1, certify_batch < 1,
   /// zero-valued GC intervals when GC is enabled).
@@ -72,7 +77,10 @@ struct CheckerOptions {
   /// Consumes one `--key=value` command-line argument if it is a checker
   /// flag (--check-mode=serial|parallel|incremental, --check-threads=N,
   /// --certify-batch=N, --incremental, --gc-watermark=N which also enables
-  /// the prefix GC, --gc-min-window=N). Returns true when the argument was
+  /// the prefix GC, --gc-min-window=N,
+  /// --input-format=auto|adya|elle-append|elle-register; format names are
+  /// validated at load time against the registry). Returns true when the
+  /// argument was
   /// recognized; a recognized flag with a malformed or out-of-range value
   /// also sets *error. Shared by adya_stress and the bench harness so the
   /// flag vocabulary cannot fork.

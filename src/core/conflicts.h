@@ -110,16 +110,6 @@ struct ConflictOptions {
   /// BFS path, UINT32_MAX forces the bitset path (the differential tests
   /// pin both extremes against each other).
   uint32_t cycle_bitset_max_scc = 4096;
-  /// TEST-ONLY knob: run the pre-PhenomenonArtifacts phenomenon phase —
-  /// per-call rescans with no cross-phenomenon memoization, G-SI(b) on the
-  /// fully materialized O(committed²)-edge SSG, a separate conflict pass for
-  /// the G-cursor plan. Verdicts and witnesses are byte-identical either way
-  /// (tests/phenomena_diff_test.cc sweeps both paths against each other);
-  /// the knob exists only so that wall can compare them for one PR and is
-  /// scheduled for removal together with the legacy code it gates
-  /// (DESIGN.md §13). Quadratic in committed transactions — never enable
-  /// outside tests.
-  bool legacy_phenomenon_rescan = false;
   /// Metrics sink threaded through every checker layer (conflict-edge
   /// construction, phenomenon checks, incremental deltas) — the single
   /// plumbing point, so serial, parallel, and incremental checking report

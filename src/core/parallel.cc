@@ -115,32 +115,10 @@ const Dsg& ParallelChecker::dsg() const {
   return serial_ ? serial_->dsg() : artifacts_->dsg();
 }
 
-const Dsg& ParallelChecker::ssg() const {
-  // The fully materialized SSG (audit output; the G-SI(b) hot path never
-  // builds it — see PhenomenonArtifacts::CheckGSIb). Built serially even on
-  // the parallel path: a pool task may get here (nested ParallelFor would
-  // run inline anyway), and the build is one pass over the conflicts.
-  return serial_ ? serial_->ssg() : artifacts_->full_ssg();
-}
-
 void ParallelChecker::PrewarmGSIb() const {
   if (serial_) return;
-  if (options_.conflicts.legacy_phenomenon_rescan) {
-    ssg();
-    return;
-  }
   if (options_.conflicts.reduced_start_edges) artifacts_->reduced_ssg();
   artifacts_->ssg_scc();
-}
-
-const std::vector<Dependency>& ParallelChecker::cursor_deps() const {
-  std::call_once(cursor_deps_once_, [this] {
-    cursor_deps_ = std::make_unique<std::vector<Dependency>>(
-        ComputeDependencies(*history_, options_.conflicts));
-    cursor_plan_ =
-        phenomena_internal::BuildCursorPlan(*history_, *cursor_deps_);
-  });
-  return *cursor_deps_;
 }
 
 std::optional<Violation> ParallelChecker::Check(Phenomenon p) const {
@@ -148,7 +126,6 @@ std::optional<Violation> ParallelChecker::Check(Phenomenon p) const {
   obs::StatsRegistry* stats = options_.conflicts.stats;
   ADYA_TIMED_PHASE(stats, "checker.phenomenon_us");
   ADYA_TIMED_PHASE(stats, phenomena_internal::PhenomenonMetricName(p));
-  if (options_.conflicts.legacy_phenomenon_rescan) return CheckDispatch(p);
   return artifacts_->Memo(p, [&] { return CheckDispatch(p); });
 }
 
@@ -170,9 +147,7 @@ std::optional<Violation> ParallelChecker::CheckDispatch(Phenomenon p) const {
                             Bit(DepKind::kRWItem), stats);
     case Phenomenon::kG2:
       return CycleViolation(p, d, kConflictMask, kAntiMask, stats,
-                            options_.conflicts.legacy_phenomenon_rescan
-                                ? nullptr
-                                : &artifacts_->conflict_scc());
+                            &artifacts_->conflict_scc());
     case Phenomenon::kG1a:
       return CheckG1aParallel(nullptr);
     case Phenomenon::kG1b:
@@ -237,20 +212,14 @@ std::optional<Violation> ParallelChecker::CheckGSIaParallel() const {
 
 std::optional<Violation> ParallelChecker::CheckGSingleParallel() const {
   const Dsg& d = artifacts_->dsg();
-  const graph::SccResult* scc = options_.conflicts.legacy_phenomenon_rescan
-                                    ? nullptr
-                                    : &artifacts_->conflict_scc();
   std::optional<graph::Cycle> cycle;
   {
     ADYA_TIMED_PHASE(options_.conflicts.stats, "checker.cycle_search_us");
     graph::CycleOptions cycle_options{options_.conflicts.cycle_bitset_max_scc};
-    cycle = scc != nullptr
-                ? graph::FindCycleWithExactlyOne(d.graph(), kAntiMask,
-                                                 kDependencyMask, *scc, pool_,
-                                                 cycle_options)
-                : graph::FindCycleWithExactlyOne(d.graph(), kAntiMask,
-                                                 kDependencyMask, pool_,
-                                                 cycle_options);
+    cycle = graph::FindCycleWithExactlyOne(d.graph(), kAntiMask,
+                                           kDependencyMask,
+                                           artifacts_->conflict_scc(), pool_,
+                                           cycle_options);
   }
   if (!cycle.has_value()) return std::nullopt;
   ADYA_TIMED_PHASE(options_.conflicts.stats, "checker.witness_us");
@@ -262,34 +231,13 @@ std::optional<Violation> ParallelChecker::CheckGSingleParallel() const {
 }
 
 std::optional<Violation> ParallelChecker::CheckGSIbParallel() const {
-  if (!options_.conflicts.legacy_phenomenon_rescan) {
-    return artifacts_->CheckGSIb(pool_);
-  }
-  // Legacy path: search the fully materialized SSG directly.
-  const Dsg& s = ssg();
-  std::optional<graph::Cycle> cycle;
-  {
-    ADYA_TIMED_PHASE(options_.conflicts.stats, "checker.cycle_search_us");
-    cycle = graph::FindCycleWithExactlyOne(
-        s.graph(), kAntiMask, kDependencyMask | kStartMask, pool_,
-        graph::CycleOptions{options_.conflicts.cycle_bitset_max_scc});
-  }
-  if (!cycle.has_value()) return std::nullopt;
-  ADYA_TIMED_PHASE(options_.conflicts.stats, "checker.witness_us");
-  Violation v;
-  v.phenomenon = Phenomenon::kGSIb;
-  v.cycle = *cycle;
-  v.description = StrCat("G-SI(b): ", s.DescribeCycle(*cycle));
-  return v;
+  return artifacts_->CheckGSIb(pool_);
 }
 
 std::optional<Violation> ParallelChecker::CheckGCursorParallel() const {
   const History& h = *history_;
-  const bool legacy = options_.conflicts.legacy_phenomenon_rescan;
-  const std::vector<Dependency>& deps =
-      legacy ? cursor_deps() : artifacts_->deps();
-  const phenomena_internal::CursorPlan& plan =
-      legacy ? cursor_plan_ : artifacts_->cursor_plan();
+  const std::vector<Dependency>& deps = artifacts_->deps();
+  const phenomena_internal::CursorPlan& plan = artifacts_->cursor_plan();
   ADYA_TIMED_PHASE(options_.conflicts.stats, "checker.cycle_search_us");
   graph::CycleOptions cycle_options{options_.conflicts.cycle_bitset_max_scc};
   return MinIndexScan(*pool_, h.object_count(), [&](size_t obj) {
@@ -309,14 +257,9 @@ std::vector<Violation> ParallelChecker::CheckAll() const {
   // Prewarm the shared lazy state so the fanned-out checks only read it.
   // (call_once makes the lazy init safe regardless; warming just avoids one
   // check serializing the others behind the build.)
-  if (options_.conflicts.legacy_phenomenon_rescan) {
-    ssg();
-    cursor_deps();
-  } else {
-    PrewarmGSIb();
-    artifacts_->cursor_plan();
-    artifacts_->conflict_scc();
-  }
+  PrewarmGSIb();
+  artifacts_->cursor_plan();
+  artifacts_->conflict_scc();
   std::vector<std::optional<Violation>> results(kCount);
   pool_->ParallelFor(kCount, [&](size_t i) { results[i] = Check(kAll[i]); });
   std::vector<Violation> out;

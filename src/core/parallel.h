@@ -2,7 +2,6 @@
 #define ADYA_CORE_PARALLEL_H_
 
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -66,15 +65,13 @@ class ParallelChecker {
 
   const History& history() const { return *history_; }
   const Dsg& dsg() const;
-  const Dsg& ssg() const;
   /// The effective total parallelism (1 when delegating to the serial path).
   int threads() const;
   /// The pool in use; nullptr on the serial path.
   ThreadPool* pool() const { return pool_; }
   /// Builds the lazy state the G-SI(b) check consumes (the reduced SSG and
-  /// its SCCs; the full SSG under the legacy knob) so a subsequent fan-out
-  /// does not serialize the other checks behind that build. No-op on the
-  /// serial path.
+  /// its SCCs) so a subsequent fan-out does not serialize the other checks
+  /// behind that build. No-op on the serial path.
   void PrewarmGSIb() const;
 
  private:
@@ -85,7 +82,6 @@ class ParallelChecker {
   std::optional<Violation> CheckGSIbParallel() const;
   std::optional<Violation> CheckGSingleParallel() const;
   std::optional<Violation> CheckGCursorParallel() const;
-  const std::vector<Dependency>& cursor_deps() const;
 
   const History* history_;
   CheckOptions options_;
@@ -96,12 +92,6 @@ class ParallelChecker {
   /// Shared per-history pass (conflicts sharded over pool_, bit-identical
   /// to the serial computation); answers every check, memoized.
   std::unique_ptr<PhenomenonArtifacts> artifacts_;
-  /// Legacy-rescan working set (ConflictOptions::legacy_phenomenon_rescan
-  /// only): the separate G-cursor conflict pass the pre-artifacts code ran.
-  /// Removed with the knob (DESIGN.md §13).
-  mutable std::unique_ptr<std::vector<Dependency>> cursor_deps_;
-  mutable phenomena_internal::CursorPlan cursor_plan_;
-  mutable std::once_flag cursor_deps_once_;
 };
 
 /// CheckLevel / Classify over the parallel checker; same result layout as

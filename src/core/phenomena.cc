@@ -225,16 +225,6 @@ const graph::SccResult& PhenomenonArtifacts::ssg_scc() const {
   return ssg_scc_;
 }
 
-const Dsg& PhenomenonArtifacts::full_ssg() const {
-  std::call_once(full_ssg_once_, [&] {
-    ADYA_TIMED_PHASE(options_.stats, "checker.phenomenon.ssg_build_us");
-    ConflictOptions options = options_;
-    options.include_start_edges = true;
-    full_ssg_ = std::make_unique<Dsg>(*history_, options);
-  });
-  return *full_ssg_;
-}
-
 const phenomena_internal::CursorPlan& PhenomenonArtifacts::cursor_plan() const {
   std::call_once(cursor_plan_once_, [&] {
     ADYA_TIMED_PHASE(options_.stats, "checker.phenomenon.cursor_build_us");
@@ -495,7 +485,6 @@ std::optional<Violation> PhenomenaChecker::Check(Phenomenon p) const {
   ADYA_TIMED_PHASE(options_.stats, "checker.phenomenon_us");
   ADYA_TIMED_PHASE(options_.stats,
                    phenomena_internal::PhenomenonMetricName(p));
-  if (options_.legacy_phenomenon_rescan) return CheckDispatch(p);
   return artifacts_->Memo(p, [&] { return CheckDispatch(p); });
 }
 
@@ -613,28 +602,20 @@ std::optional<Violation> PhenomenaChecker::CheckG2Item() const {
 // G2: a cycle with one or more anti-dependency edges of either flavor.
 // Shares the conflict-mask SCC partition with the G-single search.
 std::optional<Violation> PhenomenaChecker::CheckG2() const {
-  const graph::SccResult* scc = options_.legacy_phenomenon_rescan
-                                    ? nullptr
-                                    : &artifacts_->conflict_scc();
-  return CycleViolation(Phenomenon::kG2, dsg(), kConflictMask, kAntiMask, scc);
+  return CycleViolation(Phenomenon::kG2, dsg(), kConflictMask, kAntiMask,
+                        &artifacts_->conflict_scc());
 }
 
 // G-single (thesis, PL-2+): a cycle with exactly one anti-dependency edge.
 std::optional<Violation> PhenomenaChecker::CheckGSingle() const {
-  const graph::SccResult* scc = options_.legacy_phenomenon_rescan
-                                    ? nullptr
-                                    : &artifacts_->conflict_scc();
   std::optional<graph::Cycle> cycle;
   {
     ADYA_TIMED_PHASE(options_.stats, "checker.cycle_search_us");
     graph::CycleOptions cycle_options{options_.cycle_bitset_max_scc};
-    cycle = scc != nullptr
-                ? graph::FindCycleWithExactlyOne(dsg().graph(), kAntiMask,
-                                                 kDependencyMask, *scc,
-                                                 cycle_options)
-                : graph::FindCycleWithExactlyOne(dsg().graph(), kAntiMask,
-                                                 kDependencyMask,
-                                                 cycle_options);
+    cycle = graph::FindCycleWithExactlyOne(dsg().graph(), kAntiMask,
+                                           kDependencyMask,
+                                           artifacts_->conflict_scc(),
+                                           cycle_options);
   }
   if (!cycle.has_value()) return std::nullopt;
   ADYA_TIMED_PHASE(options_.stats, "checker.witness_us");
@@ -666,23 +647,7 @@ std::optional<Violation> PhenomenaChecker::CheckGSIa() const {
 // G-SI(b) (thesis, PL-SI "missed effects"): an SSG cycle with exactly one
 // anti-dependency edge (start edges count as dependency-like edges here).
 std::optional<Violation> PhenomenaChecker::CheckGSIb() const {
-  if (!options_.legacy_phenomenon_rescan) return artifacts_->CheckGSIb(nullptr);
-  // Legacy path: search the fully materialized SSG directly.
-  const Dsg& s = ssg();
-  std::optional<graph::Cycle> cycle;
-  {
-    ADYA_TIMED_PHASE(options_.stats, "checker.cycle_search_us");
-    cycle = graph::FindCycleWithExactlyOne(
-        s.graph(), kAntiMask, kDependencyMask | kStartMask,
-        graph::CycleOptions{options_.cycle_bitset_max_scc});
-  }
-  if (!cycle.has_value()) return std::nullopt;
-  ADYA_TIMED_PHASE(options_.stats, "checker.witness_us");
-  Violation v;
-  v.phenomenon = Phenomenon::kGSIb;
-  v.cycle = *cycle;
-  v.description = StrCat("G-SI(b): ", s.DescribeCycle(*cycle));
-  return v;
+  return artifacts_->CheckGSIb(nullptr);
 }
 
 // G-cursor (thesis, PL-CS): a cycle of write-dependency edges on a single
@@ -691,22 +656,8 @@ std::optional<Violation> PhenomenaChecker::CheckGSIb() const {
 // subgraph per object.
 std::optional<Violation> PhenomenaChecker::CheckGCursor() const {
   const History& h = *history_;
-  const std::vector<Dependency>* deps;
-  const phenomena_internal::CursorPlan* plan;
-  if (options_.legacy_phenomenon_rescan) {
-    // Legacy path: a second conflict pass of its own.
-    if (!cursor_built_) {
-      ADYA_TIMED_PHASE(options_.stats, "checker.phenomenon.cursor_build_us");
-      cursor_deps_ = ComputeDependencies(h, options_);
-      cursor_plan_ = phenomena_internal::BuildCursorPlan(h, cursor_deps_);
-      cursor_built_ = true;
-    }
-    deps = &cursor_deps_;
-    plan = &cursor_plan_;
-  } else {
-    deps = &artifacts_->deps();
-    plan = &artifacts_->cursor_plan();
-  }
+  const std::vector<Dependency>* deps = &artifacts_->deps();
+  const phenomena_internal::CursorPlan* plan = &artifacts_->cursor_plan();
   ADYA_TIMED_PHASE(options_.stats, "checker.phenomenon.cursor_scan_us");
   ADYA_TIMED_PHASE(options_.stats, "checker.cycle_search_us");
   graph::CycleOptions cycle_options{options_.cycle_bitset_max_scc};

@@ -111,9 +111,6 @@ class PhenomenonArtifacts {
   /// start-reachability and the conflict edges are the same. (Component
   /// ids may be numbered differently; every consumer keys on equality.)
   const graph::SccResult& ssg_scc() const;
-  /// The fully materialized SSG (lazy; audit output and the legacy test
-  /// knob only — O(committed²) start edges unless reduced_start_edges).
-  const Dsg& full_ssg() const;
   /// G-cursor bucket plan over deps() (lazy).
   const phenomena_internal::CursorPlan& cursor_plan() const;
   /// SCC partition of the DSG over kConflictMask (lazy) — the partition
@@ -153,8 +150,6 @@ class PhenomenonArtifacts {
   mutable std::once_flag reduced_ssg_once_;
   mutable graph::SccResult ssg_scc_;
   mutable std::once_flag ssg_scc_once_;
-  mutable std::unique_ptr<Dsg> full_ssg_;
-  mutable std::once_flag full_ssg_once_;
   mutable phenomena_internal::CursorPlan cursor_plan_;
   mutable std::once_flag cursor_plan_once_;
   mutable graph::SccResult conflict_scc_;
@@ -194,9 +189,6 @@ class PhenomenaChecker {
 
   const History& history() const { return *history_; }
   const Dsg& dsg() const { return artifacts_->dsg(); }
-  /// The start-ordered graph, fully materialized (built lazily; audit
-  /// output — the G-SI(b) hot path uses the artifacts' reduced SSG).
-  const Dsg& ssg() const { return artifacts_->full_ssg(); }
   const PhenomenonArtifacts& artifacts() const { return *artifacts_; }
 
  private:
@@ -216,13 +208,6 @@ class PhenomenaChecker {
   const History* history_;
   ConflictOptions options_;
   std::unique_ptr<PhenomenonArtifacts> artifacts_;
-  // Legacy-rescan working set (ConflictOptions::legacy_phenomenon_rescan
-  // only): the old lazily-rebuilt G-cursor state, kept so the differential
-  // wall exercises the genuine pre-artifacts code path. Removed with the
-  // knob (DESIGN.md §13).
-  mutable bool cursor_built_ = false;
-  mutable std::vector<Dependency> cursor_deps_;
-  mutable phenomena_internal::CursorPlan cursor_plan_;
 };
 
 /// Single-site building blocks shared by PhenomenaChecker and the parallel

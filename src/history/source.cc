@@ -1,0 +1,140 @@
+#include "history/source.h"
+
+#include <utility>
+
+#include "common/str_util.h"
+#include "history/parser.h"
+#include "obs/stats.h"
+
+namespace adya {
+namespace {
+
+/// The native paper notation (history/parser.h). Sniffs by exclusion: the
+/// notation never opens with '{' or '[' (declarations and events start
+/// with a letter or digit; the version-order block '[' only appears after
+/// events), while the Elle op-map formats always do — so the two families
+/// are syntactically disjoint at the first significant character.
+class AdyaSource : public HistorySource {
+ public:
+  std::string_view name() const override { return "adya"; }
+
+  bool Sniffs(std::string_view text) const override {
+    char c = FirstSignificantChar(text);
+    if (c == '\0') return true;  // the empty history is ours
+    return c != '{' && c != '[';
+  }
+
+  Result<LoadedHistory> Parse(std::string_view text,
+                              obs::StatsRegistry* stats) const override {
+    (void)stats;  // the native parser observes everything; nothing to infer
+    ADYA_ASSIGN_OR_RETURN(History h, ParseHistory(text));
+    LoadedHistory loaded{std::move(h), IngestReport{}};
+    loaded.report.format = std::string(name());
+    loaded.report.txns = loaded.history.Transactions().size();
+    return loaded;
+  }
+};
+
+}  // namespace
+
+std::string IngestReport::ToString() const {
+  std::vector<std::string> lines;
+  if (ops != 0 || inferred_edges != 0 || indeterminate_ops != 0 ||
+      dropped_reads != 0) {
+    lines.push_back(StrCat("ingest[", format, "]: ", ops, " ops -> ", txns,
+                           " txns, ", inferred_edges, " inferred edges, ",
+                           indeterminate_ops, " indeterminate ops, ",
+                           dropped_reads, " dropped reads"));
+  }
+  if (init_writer.has_value()) {
+    lines.push_back(
+        StrCat("  synthetic initial-state writer: T", *init_writer));
+  }
+  for (const std::string& note : notes) lines.push_back(StrCat("  ", note));
+  return StrJoin(lines, "\n");
+}
+
+char FirstSignificantChar(std::string_view text) {
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() : eol + 1;
+    size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string_view::npos) continue;
+    if (line[first] == '#' || line[first] == ';') continue;
+    return line[first];
+  }
+  return '\0';
+}
+
+HistoryFormatRegistry& HistoryFormatRegistry::Global() {
+  static HistoryFormatRegistry* registry = [] {
+    auto* r = new HistoryFormatRegistry();
+    r->Register(std::make_unique<AdyaSource>());
+    return r;
+  }();
+  return *registry;
+}
+
+void HistoryFormatRegistry::Register(std::unique_ptr<HistorySource> source) {
+  if (Find(source->name()) != nullptr) return;
+  sources_.push_back(std::move(source));
+}
+
+const HistorySource* HistoryFormatRegistry::Find(
+    std::string_view name) const {
+  for (const auto& source : sources_) {
+    if (source->name() == name) return source.get();
+  }
+  return nullptr;
+}
+
+const HistorySource* HistoryFormatRegistry::Sniff(
+    std::string_view text) const {
+  for (const auto& source : sources_) {
+    if (source->Sniffs(text)) return source.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string_view> HistoryFormatRegistry::names() const {
+  std::vector<std::string_view> out;
+  for (const auto& source : sources_) out.push_back(source->name());
+  return out;
+}
+
+Result<LoadedHistory> LoadHistory(std::string_view text,
+                                  std::string_view format,
+                                  obs::StatsRegistry* stats) {
+  const HistoryFormatRegistry& registry = HistoryFormatRegistry::Global();
+  const HistorySource* source = nullptr;
+  if (format.empty() || format == "auto") {
+    source = registry.Sniff(text);
+    if (source == nullptr) {
+      return Status::InvalidArgument(
+          "no registered input format recognizes this history");
+    }
+  } else {
+    source = registry.Find(format);
+    if (source == nullptr) {
+      return Status::InvalidArgument(
+          StrCat("unknown input format '", format, "' (registered: ",
+                 StrJoin(registry.names(), ", "), ")"));
+    }
+  }
+  Result<LoadedHistory> loaded = [&] {
+    ADYA_TIMED_PHASE(stats, "ingest.parse_us");
+    return source->Parse(text, stats);
+  }();
+  if (loaded.ok() && stats != nullptr) {
+    stats->counter("ingest.ops").Add(loaded->report.ops);
+    stats->counter("ingest.inferred_edges").Add(loaded->report.inferred_edges);
+    stats->counter("ingest.indeterminate_ops")
+        .Add(loaded->report.indeterminate_ops);
+  }
+  return loaded;
+}
+
+}  // namespace adya

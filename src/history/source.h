@@ -1,0 +1,131 @@
+#ifndef ADYA_HISTORY_SOURCE_H_
+#define ADYA_HISTORY_SOURCE_H_
+
+// The checker's one input surface. A HistorySource adapts one external
+// observation format into a finalized History; the HistoryFormatRegistry
+// maps format names (and content sniffing, for --input-format=auto) onto
+// sources, so tools construct histories through LoadHistory instead of
+// naming a parser — scripts/ci.sh guards against new direct ParseHistory
+// callers outside the facade, mirroring the checker-side facade rule.
+//
+// The native "adya" notation registers itself here; the Elle/Jepsen
+// adapters live in src/ingest/ and register through
+// ingest::RegisterElleFormats() (explicit registration: static-initializer
+// tricks silently drop under static linking).
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "history/history.h"
+
+namespace adya {
+
+namespace obs {
+class StatsRegistry;
+}  // namespace obs
+
+/// Diagnostics accumulated while adapting an external observation into a
+/// History. The native notation observes everything directly, so its
+/// reports are all zeros; the inference-based adapters (Elle list-append)
+/// account here for every judgement call they make — the counters feed the
+/// ingest.* metrics and the notes print in histtool's audit output.
+struct IngestReport {
+  /// Resolved format name ("adya", "elle-append", "elle-register").
+  std::string format;
+  /// External operations consumed (op lines for the Elle formats).
+  uint64_t ops = 0;
+  /// Transactions synthesized into the History.
+  uint64_t txns = 0;
+  /// Version-order edges inferred rather than observed (longest-observed-
+  /// prefix ordering; zero for formats that carry the order explicitly).
+  uint64_t inferred_edges = 0;
+  /// Ops with indeterminate outcome (Elle `:info`) resolved conservatively.
+  uint64_t indeterminate_ops = 0;
+  /// Observed reads no well-formed Adya event could carry (dropped, with a
+  /// note each).
+  uint64_t dropped_reads = 0;
+  /// The synthetic initial-state writer, when the adapter had to create one
+  /// so that reads of the initial value map onto a visible version.
+  std::optional<TxnId> init_writer;
+  /// Human-readable diagnostics (ambiguous versions, unobservable writes,
+  /// indeterminacy resolutions).
+  std::vector<std::string> notes;
+
+  /// Multi-line summary for audit output; empty string when the report has
+  /// nothing to say (the native format's usual case).
+  std::string ToString() const;
+};
+
+/// A parsed history plus the report describing how it was obtained.
+struct LoadedHistory {
+  History history;
+  IngestReport report;
+};
+
+/// One input format: cheap content detection plus the actual parse. Parse
+/// returns a *finalized* History whose transaction ids witnesses can be
+/// traced back to the source observations with (the Elle adapters reuse the
+/// source op indices as TxnIds for exactly this reason).
+class HistorySource {
+ public:
+  virtual ~HistorySource() = default;
+
+  /// Registry key and --input-format value, e.g. "elle-append".
+  virtual std::string_view name() const = 0;
+
+  /// Cheap syntactic detection for --input-format=auto; sources must be
+  /// mutually exclusive on well-formed inputs (the registry probes in
+  /// registration order and takes the first claim).
+  virtual bool Sniffs(std::string_view text) const = 0;
+
+  /// Parses `text` into a finalized History. `stats` may be null; adapters
+  /// record parse phases under it but never own it.
+  virtual Result<LoadedHistory> Parse(std::string_view text,
+                                      obs::StatsRegistry* stats) const = 0;
+};
+
+/// Name -> source registry behind --input-format. Registration is
+/// append-only and idempotent by name (re-registering a name is a no-op, so
+/// RegisterElleFormats() can be called from every entry point).
+class HistoryFormatRegistry {
+ public:
+  /// The process-wide registry, with the native "adya" format always
+  /// registered. Thread-compatible: register formats before concurrent use.
+  static HistoryFormatRegistry& Global();
+
+  void Register(std::unique_ptr<HistorySource> source);
+  /// nullptr when no source has the name.
+  const HistorySource* Find(std::string_view name) const;
+  /// First registered source whose Sniffs claims `text`; nullptr otherwise.
+  const HistorySource* Sniff(std::string_view text) const;
+  /// Registered format names, registration order.
+  std::vector<std::string_view> names() const;
+
+ private:
+  std::vector<std::unique_ptr<HistorySource>> sources_;
+};
+
+/// Sniffing helper: the first character of `text` that starts a
+/// significant line — blank lines and comment lines ('#' is the native
+/// notation's comment, ';' is EDN's) are skipped, so sniffers see through
+/// a leading banner. '\0' when the text has no significant content.
+char FirstSignificantChar(std::string_view text);
+
+/// The one history-loading entry point: resolves `format` ("" or "auto"
+/// sniffs the content; unknown names error with the registered list),
+/// parses, and records the ingest.* metrics (ingest.parse_us,
+/// ingest.ops, ingest.inferred_edges, ingest.indeterminate_ops) under
+/// `stats` when it is non-null.
+Result<LoadedHistory> LoadHistory(std::string_view text,
+                                  std::string_view format = {},
+                                  obs::StatsRegistry* stats = nullptr);
+
+}  // namespace adya
+
+#endif  // ADYA_HISTORY_SOURCE_H_

@@ -1,0 +1,243 @@
+#include "ingest/edn.h"
+
+#include <cctype>
+#include <charconv>
+
+#include "common/str_util.h"
+#include "common/status.h"
+
+namespace adya::ingest {
+namespace {
+
+/// Characters that may appear inside a keyword/symbol token. Covers EDN
+/// symbols as Jepsen emits them (:ok, :list-append, :r, wr-register) —
+/// not the full EDN symbol grammar, which nothing in this corpus uses.
+bool IsSymbolChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+         c == '_' || c == '.' || c == '*' || c == '+' || c == '!' ||
+         c == '?' || c == '/' || c == '<' || c == '>' || c == '=';
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<EdnValue> ParseAll() {
+    ADYA_ASSIGN_OR_RETURN(EdnValue value, ParseValue());
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("trailing content after value");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(std::string_view message) const {
+    return Status::InvalidArgument(
+        StrCat("edn: ", message, " at byte ", pos_));
+  }
+
+  /// Commas count as whitespace (EDN rule; JSON separators fall out). A
+  /// bare ':' not starting a keyword is a JSON key separator — equally
+  /// skippable, since map structure is recovered positionally.
+  void SkipSpace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == ',') {
+        ++pos_;
+      } else if (c == ':' &&
+                 (pos_ + 1 >= text_.size() || !IsSymbolChar(text_[pos_ + 1]))) {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool AtEnd() { return pos_ >= text_.size(); }
+
+  Result<EdnValue> ParseValue() {
+    SkipSpace();
+    if (AtEnd()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    if (c == '{') return ParseMap();
+    if (c == '[' || c == '(') return ParseList(c == '[' ? ']' : ')');
+    if (c == '"') return ParseString();
+    if (c == ':') return ParseKeyword();
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      return ParseInt();
+    }
+    if (IsSymbolChar(c)) return ParseSymbol();
+    return Error(StrCat("unexpected character '", std::string(1, c), "'"));
+  }
+
+  Result<EdnValue> ParseMap() {
+    ++pos_;  // '{'
+    EdnValue value;
+    value.kind = EdnValue::Kind::kMap;
+    while (true) {
+      SkipSpace();
+      if (AtEnd()) return Error("unterminated map");
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return value;
+      }
+      ADYA_ASSIGN_OR_RETURN(EdnValue key, ParseValue());
+      ADYA_ASSIGN_OR_RETURN(EdnValue val, ParseValue());
+      value.entries.emplace_back(std::move(key), std::move(val));
+    }
+  }
+
+  Result<EdnValue> ParseList(char close) {
+    ++pos_;  // '[' or '('
+    EdnValue value;
+    value.kind = EdnValue::Kind::kList;
+    while (true) {
+      SkipSpace();
+      if (AtEnd()) return Error("unterminated list");
+      if (text_[pos_] == close) {
+        ++pos_;
+        return value;
+      }
+      ADYA_ASSIGN_OR_RETURN(EdnValue item, ParseValue());
+      value.items.push_back(std::move(item));
+    }
+  }
+
+  Result<EdnValue> ParseString() {
+    ++pos_;  // '"'
+    EdnValue value;
+    value.kind = EdnValue::Kind::kString;
+    while (true) {
+      if (AtEnd()) return Error("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return value;
+      if (c != '\\') {
+        value.text.push_back(c);
+        continue;
+      }
+      if (AtEnd()) return Error("unterminated escape");
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          value.text.push_back(esc);
+          break;
+        case 'n':
+          value.text.push_back('\n');
+          break;
+        case 't':
+          value.text.push_back('\t');
+          break;
+        case 'r':
+          value.text.push_back('\r');
+          break;
+        default:
+          return Error(StrCat("unsupported escape '\\", std::string(1, esc),
+                              "'"));
+      }
+    }
+  }
+
+  Result<EdnValue> ParseKeyword() {
+    ++pos_;  // ':'
+    size_t start = pos_;
+    while (!AtEnd() && IsSymbolChar(text_[pos_])) ++pos_;
+    if (pos_ == start) return Error("empty keyword");
+    EdnValue value;
+    value.kind = EdnValue::Kind::kKeyword;
+    value.text = std::string(text_.substr(start, pos_ - start));
+    return value;
+  }
+
+  Result<EdnValue> ParseInt() {
+    size_t start = pos_;
+    if (text_[pos_] == '-') ++pos_;
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (!AtEnd() && (text_[pos_] == '.' || text_[pos_] == 'e' ||
+                     text_[pos_] == 'E')) {
+      return Error("floating-point values are not supported");
+    }
+    int64_t out = 0;
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    auto [ptr, ec] = std::from_chars(first, last, out);
+    if (ec != std::errc() || ptr != last) return Error("malformed integer");
+    EdnValue value;
+    value.kind = EdnValue::Kind::kInt;
+    value.integer = out;
+    return value;
+  }
+
+  /// Bare words: nil/null/true/false get their literal meaning; anything
+  /// else (a symbol) is kept as keyword-kind text so :f values written
+  /// without a colon still compare with IsName.
+  Result<EdnValue> ParseSymbol() {
+    size_t start = pos_;
+    while (!AtEnd() && IsSymbolChar(text_[pos_])) ++pos_;
+    std::string_view word = text_.substr(start, pos_ - start);
+    EdnValue value;
+    if (word == "nil" || word == "null") {
+      value.kind = EdnValue::Kind::kNil;
+    } else if (word == "true" || word == "false") {
+      value.kind = EdnValue::Kind::kBool;
+      value.boolean = (word == "true");
+    } else {
+      value.kind = EdnValue::Kind::kKeyword;
+      value.text = std::string(word);
+    }
+    return value;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const EdnValue* EdnValue::Get(std::string_view key) const {
+  if (kind != Kind::kMap) return nullptr;
+  for (const auto& [k, v] : entries) {
+    if (k.IsName(key)) return &v;
+  }
+  return nullptr;
+}
+
+std::string EdnValue::ToString() const {
+  switch (kind) {
+    case Kind::kNil:
+      return "nil";
+    case Kind::kBool:
+      return boolean ? "true" : "false";
+    case Kind::kInt:
+      return StrCat(integer);
+    case Kind::kString:
+      return StrCat("\"", text, "\"");
+    case Kind::kKeyword:
+      return StrCat(":", text);
+    case Kind::kList: {
+      std::vector<std::string> parts;
+      parts.reserve(items.size());
+      for (const EdnValue& item : items) parts.push_back(item.ToString());
+      return StrCat("[", StrJoin(parts, " "), "]");
+    }
+    case Kind::kMap: {
+      std::vector<std::string> parts;
+      parts.reserve(entries.size());
+      for (const auto& [k, v] : entries) {
+        parts.push_back(StrCat(k.ToString(), " ", v.ToString()));
+      }
+      return StrCat("{", StrJoin(parts, " "), "}");
+    }
+  }
+  return "?";
+}
+
+Result<EdnValue> ParseEdn(std::string_view text) {
+  return Parser(text).ParseAll();
+}
+
+}  // namespace adya::ingest

@@ -1,0 +1,70 @@
+#ifndef ADYA_INGEST_EDN_H_
+#define ADYA_INGEST_EDN_H_
+
+// A tolerant reader for the one value syntax the Elle/Jepsen ecosystem
+// actually emits: EDN op maps ({:type :ok, :f :txn, :value [[:append :x 1]]})
+// and their JSON-lines transliteration ({"type": "ok", "f": "txn", ...}).
+// Rather than two grammars, one reader covers both dialects: commas are
+// whitespace (true in EDN, harmless in JSON), a ':' that is immediately
+// followed by a symbol character starts a keyword while a bare ':' is
+// skipped as a JSON key separator, and map lookups treat the keyword :type
+// and the string "type" as the same key. The reader covers exactly the
+// subset the adapters consume — nil/null, booleans, integers, strings,
+// keywords/symbols, vectors/lists, maps — and rejects the rest loudly.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace adya::ingest {
+
+/// One parsed EDN/JSON value. A tagged tree, deliberately small: the
+/// adapters walk it once and throw it away, so lookup is linear and keys
+/// stay in insertion order (useful for error messages).
+struct EdnValue {
+  enum class Kind : uint8_t {
+    kNil,      // nil / null
+    kBool,     // true / false
+    kInt,      // 64-bit signed integer
+    kString,   // "text"
+    kKeyword,  // :text (stored without the colon); bare symbols land here too
+    kList,     // [...] or (...)
+    kMap,      // {...}
+  };
+
+  Kind kind = Kind::kNil;
+  bool boolean = false;
+  int64_t integer = 0;
+  std::string text;                                    // kString / kKeyword
+  std::vector<EdnValue> items;                         // kList
+  std::vector<std::pair<EdnValue, EdnValue>> entries;  // kMap
+
+  bool IsNil() const { return kind == Kind::kNil; }
+  bool IsInt() const { return kind == Kind::kInt; }
+  bool IsList() const { return kind == Kind::kList; }
+  bool IsMap() const { return kind == Kind::kMap; }
+  /// True for the keyword :name and the string "name" alike — the two
+  /// dialects' spellings of the same token.
+  bool IsName(std::string_view name) const {
+    return (kind == Kind::kString || kind == Kind::kKeyword) && text == name;
+  }
+
+  /// Map lookup by normalized key (keyword or string). Null when absent or
+  /// when this value is not a map.
+  const EdnValue* Get(std::string_view key) const;
+
+  /// Debug rendering (EDN-flavored), used in ingest error messages.
+  std::string ToString() const;
+};
+
+/// Parses one complete value; trailing whitespace is allowed, trailing
+/// content is an error. Errors carry a byte offset.
+Result<EdnValue> ParseEdn(std::string_view text);
+
+}  // namespace adya::ingest
+
+#endif  // ADYA_INGEST_EDN_H_

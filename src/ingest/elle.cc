@@ -1,0 +1,1052 @@
+#include "ingest/elle.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <queue>
+#include <set>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/str_util.h"
+#include "history/event.h"
+#include "history/history.h"
+#include "ingest/edn.h"
+
+namespace adya::ingest {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Front end: op-map lines -> paired logical ops.
+// ---------------------------------------------------------------------------
+
+enum class Outcome : uint8_t { kOk, kFail, kInfo };
+
+struct Mop {
+  enum class Kind : uint8_t { kAppend, kWrite, kRead };
+  Kind kind = Kind::kRead;
+  std::string key;
+  int64_t value = 0;          // kAppend / kWrite payload
+  bool observed_nil = false;  // kRead: observation was nil / empty
+  std::vector<int64_t> list;  // kRead, elle-append: observed list
+  int64_t reg = 0;            // kRead, elle-register: observed value
+  bool has_reg = false;
+};
+
+struct ElleOp {
+  TxnId id = 0;
+  uint32_t invoke_rank = 0;    // input order of the invoke line
+  uint32_t complete_rank = 0;  // input order of the completion line
+  Outcome outcome = Outcome::kInfo;
+  bool committed = false;  // resolved by ResolveOutcomes
+  std::vector<Mop> mops;
+};
+
+Result<std::string> KeyName(const EdnValue& key, size_t line_no) {
+  if (key.kind == EdnValue::Kind::kKeyword ||
+      key.kind == EdnValue::Kind::kString) {
+    if (key.text.empty()) {
+      return Status::InvalidArgument(
+          StrCat("line ", line_no, ": empty object key"));
+    }
+    return key.text;
+  }
+  if (key.IsInt()) return StrCat(key.integer);
+  return Status::InvalidArgument(StrCat("line ", line_no,
+                                        ": unsupported object key ",
+                                        key.ToString()));
+}
+
+Result<Mop> ParseMop(const EdnValue& m, bool append_mode, size_t line_no) {
+  if (!m.IsList() || m.items.size() < 2 || m.items.size() > 3) {
+    return Status::InvalidArgument(
+        StrCat("line ", line_no, ": malformed micro-op ", m.ToString()));
+  }
+  Mop mop;
+  ADYA_ASSIGN_OR_RETURN(mop.key, KeyName(m.items[1], line_no));
+  const EdnValue* arg = m.items.size() == 3 ? &m.items[2] : nullptr;
+  if (m.items[0].IsName("append")) {
+    if (!append_mode) {
+      return Status::InvalidArgument(StrCat(
+          "line ", line_no, ": :append micro-op in an elle-register history"));
+    }
+    if (arg == nullptr || !arg->IsInt()) {
+      return Status::InvalidArgument(StrCat(
+          "line ", line_no, ": append wants an integer value, got ",
+          m.ToString()));
+    }
+    mop.kind = Mop::Kind::kAppend;
+    mop.value = arg->integer;
+    return mop;
+  }
+  if (m.items[0].IsName("w")) {
+    if (append_mode) {
+      return Status::InvalidArgument(StrCat(
+          "line ", line_no, ": :w micro-op in an elle-append history"));
+    }
+    if (arg == nullptr || !arg->IsInt()) {
+      return Status::InvalidArgument(StrCat(
+          "line ", line_no, ": w wants an integer value, got ", m.ToString()));
+    }
+    mop.kind = Mop::Kind::kWrite;
+    mop.value = arg->integer;
+    return mop;
+  }
+  if (m.items[0].IsName("r")) {
+    mop.kind = Mop::Kind::kRead;
+    if (arg == nullptr || arg->IsNil()) {
+      mop.observed_nil = true;
+      return mop;
+    }
+    if (append_mode) {
+      if (!arg->IsList()) {
+        return Status::InvalidArgument(StrCat(
+            "line ", line_no, ": list-append read wants nil or a list, got ",
+            arg->ToString()));
+      }
+      if (arg->items.empty()) mop.observed_nil = true;
+      for (const EdnValue& v : arg->items) {
+        if (!v.IsInt()) {
+          return Status::InvalidArgument(StrCat(
+              "line ", line_no, ": non-integer value ", v.ToString(),
+              " in observed list"));
+        }
+        mop.list.push_back(v.integer);
+      }
+      return mop;
+    }
+    if (!arg->IsInt()) {
+      return Status::InvalidArgument(StrCat(
+          "line ", line_no, ": register read wants nil or an integer, got ",
+          arg->ToString()));
+    }
+    mop.reg = arg->integer;
+    mop.has_reg = true;
+    return mop;
+  }
+  return Status::InvalidArgument(
+      StrCat("line ", line_no, ": unknown micro-op ", m.items[0].ToString()));
+}
+
+Result<std::vector<Mop>> ParseMops(const EdnValue& value, bool append_mode,
+                                   size_t line_no) {
+  std::vector<Mop> mops;
+  if (value.IsNil()) return mops;
+  if (!value.IsList()) {
+    return Status::InvalidArgument(StrCat(
+        "line ", line_no, ": :value wants a vector of micro-ops, got ",
+        value.ToString()));
+  }
+  // Tolerate a single bare micro-op ([:append :x 1] instead of [[...]]).
+  if (!value.items.empty() && !value.items[0].IsList()) {
+    ADYA_ASSIGN_OR_RETURN(Mop mop, ParseMop(value, append_mode, line_no));
+    mops.push_back(std::move(mop));
+    return mops;
+  }
+  for (const EdnValue& m : value.items) {
+    ADYA_ASSIGN_OR_RETURN(Mop mop, ParseMop(m, append_mode, line_no));
+    mops.push_back(std::move(mop));
+  }
+  return mops;
+}
+
+/// Completion mops must mirror the invoke's shape (same count, kinds,
+/// keys); Elle emits them that way, and a mismatch means a corrupt log.
+Status CheckShape(const std::vector<Mop>& invoke, const std::vector<Mop>& ok,
+                  size_t line_no) {
+  if (invoke.size() != ok.size()) {
+    return Status::InvalidArgument(StrCat(
+        "line ", line_no, ": completion has ", ok.size(),
+        " micro-ops but the invocation had ", invoke.size()));
+  }
+  for (size_t i = 0; i < invoke.size(); ++i) {
+    if (invoke[i].kind != ok[i].kind || invoke[i].key != ok[i].key) {
+      return Status::InvalidArgument(StrCat(
+          "line ", line_no, ": completion micro-op ", i,
+          " does not mirror the invocation"));
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<ElleOp>> ReadOps(std::string_view text, bool append_mode,
+                                    IngestReport* report) {
+  std::vector<ElleOp> ops;
+  std::vector<std::optional<int64_t>> indexes;  // per op, invoke :index
+  std::map<int64_t, size_t> pending;            // process -> op slot
+  uint64_t skipped = 0;
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+    size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string_view::npos) continue;
+    if (line[first] == ';' || line[first] == '#') continue;
+    Result<EdnValue> parsed = ParseEdn(line);
+    if (!parsed.ok()) {
+      return Status::InvalidArgument(
+          StrCat("line ", line_no, ": ", parsed.status().message()));
+    }
+    const EdnValue& op = *parsed;
+    if (!op.IsMap()) {
+      return Status::InvalidArgument(
+          StrCat("line ", line_no, ": expected an op map, got ",
+                 op.ToString()));
+    }
+    const EdnValue* type = op.Get("type");
+    if (type == nullptr) {
+      return Status::InvalidArgument(
+          StrCat("line ", line_no, ": op map has no :type"));
+    }
+    // Non-transactional actors (the nemesis) carry a keyword :process;
+    // their lines are part of the log but not of the history.
+    const EdnValue* process = op.Get("process");
+    if (process == nullptr || !process->IsInt()) {
+      ++skipped;
+      continue;
+    }
+    const EdnValue* value = op.Get("value");
+    if (type->IsName("invoke")) {
+      auto [it, inserted] = pending.emplace(process->integer, ops.size());
+      if (!inserted) {
+        return Status::InvalidArgument(StrCat(
+            "line ", line_no, ": process ", process->integer,
+            " invoked again before its previous op completed"));
+      }
+      ElleOp next;
+      next.invoke_rank = static_cast<uint32_t>(line_no);
+      ADYA_ASSIGN_OR_RETURN(
+          next.mops,
+          ParseMops(value == nullptr ? EdnValue{} : *value, append_mode,
+                    line_no));
+      const EdnValue* index = op.Get("index");
+      indexes.push_back(index != nullptr && index->IsInt()
+                            ? std::optional<int64_t>(index->integer)
+                            : std::nullopt);
+      ops.push_back(std::move(next));
+      continue;
+    }
+    Outcome outcome;
+    if (type->IsName("ok")) {
+      outcome = Outcome::kOk;
+    } else if (type->IsName("fail")) {
+      outcome = Outcome::kFail;
+    } else if (type->IsName("info")) {
+      outcome = Outcome::kInfo;
+    } else {
+      return Status::InvalidArgument(StrCat(
+          "line ", line_no, ": unknown op :type ", type->ToString()));
+    }
+    auto it = pending.find(process->integer);
+    if (it == pending.end()) {
+      return Status::InvalidArgument(StrCat(
+          "line ", line_no, ": completion for process ", process->integer,
+          " without a pending invocation"));
+    }
+    ElleOp& completed = ops[it->second];
+    pending.erase(it);
+    completed.outcome = outcome;
+    completed.complete_rank = static_cast<uint32_t>(line_no);
+    if (outcome == Outcome::kOk) {
+      // The :ok line carries the observations; take its micro-ops.
+      ADYA_ASSIGN_OR_RETURN(
+          std::vector<Mop> observed,
+          ParseMops(value == nullptr ? EdnValue{} : *value, append_mode,
+                    line_no));
+      ADYA_RETURN_IF_ERROR(CheckShape(completed.mops, observed, line_no));
+      completed.mops = std::move(observed);
+    }
+    // :fail / :info keep the invocation's micro-ops (their reads returned
+    // nothing; their writes are what the invocation attempted).
+  }
+  // Invocations with no completion are indeterminate, like :info.
+  for (const auto& [process, slot] : pending) {
+    ElleOp& op = ops[slot];
+    op.outcome = Outcome::kInfo;
+    op.complete_rank = static_cast<uint32_t>(++line_no);
+    report->notes.push_back(StrCat(
+        "op invoked by process ", process,
+        " never completed; treated as indeterminate"));
+  }
+  // Transaction ids: the ops' :index when every invocation carries one
+  // (witnesses then name the original Elle ops); input order otherwise.
+  bool all_indexed = !ops.empty();
+  for (const auto& index : indexes) all_indexed &= index.has_value();
+  std::set<TxnId> used;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    int64_t id = all_indexed ? *indexes[i]
+                             : static_cast<int64_t>(ops[i].invoke_rank);
+    if (id < 0 || id >= static_cast<int64_t>(kTxnInit)) {
+      return Status::InvalidArgument(
+          StrCat("op :index ", id, " is out of the transaction-id range"));
+    }
+    ops[i].id = static_cast<TxnId>(id);
+    if (!used.insert(ops[i].id).second) {
+      return Status::InvalidArgument(
+          StrCat("duplicate op :index ", id, " in the log"));
+    }
+  }
+  if (skipped != 0) {
+    report->notes.push_back(StrCat(
+        "skipped ", skipped, " non-transactional op lines (nemesis etc.)"));
+  }
+  report->ops = ops.size();
+  return ops;
+}
+
+// ---------------------------------------------------------------------------
+// Translation: logical ops -> a finalized History.
+// ---------------------------------------------------------------------------
+
+/// Where one external value came from: the op (by slot) and its position
+/// among that op's writes to the key (1-based, i.e. the version seq).
+struct ValueSite {
+  size_t op = 0;
+  uint32_t seq = 0;
+};
+
+class Translator {
+ public:
+  Translator(std::vector<ElleOp> ops, bool append_mode, IngestReport* report)
+      : ops_(std::move(ops)), append_mode_(append_mode), report_(report) {}
+
+  Result<History> Run() {
+    ADYA_RETURN_IF_ERROR(IndexWrites());
+    ResolveOutcomes();
+    if (append_mode_) {
+      ADYA_RETURN_IF_ERROR(PlanVersionOrders());
+    } else {
+      ADYA_RETURN_IF_ERROR(PlanRegisterOrders());
+    }
+    return Build();
+  }
+
+ private:
+  struct KeyPlan {
+    /// Committed writers in version order (op slots; elle-append only).
+    std::vector<size_t> order;
+    /// Some read observed the initial (empty / nil) state.
+    bool needs_init = false;
+  };
+
+  std::string ModeName() const {
+    return append_mode_ ? "elle-append" : "elle-register";
+  }
+
+  Status Error(std::string msg) const {
+    return Status::InvalidArgument(StrCat(ModeName(), ": ", std::move(msg)));
+  }
+
+  /// Registers every write of every op — including :fail and :info ops,
+  /// whose writes still produce (aborted) versions that committed reads
+  /// may observe (that is exactly G1a). Distinguishable writes are the
+  /// recoverability precondition of both workloads.
+  Status IndexWrites() {
+    for (size_t i = 0; i < ops_.size(); ++i) {
+      std::map<std::string, uint32_t> seq;
+      for (const Mop& mop : ops_[i].mops) {
+        if (mop.kind == Mop::Kind::kRead) continue;
+        auto [it, inserted] =
+            values_[mop.key].emplace(mop.value, ValueSite{i, ++seq[mop.key]});
+        if (!inserted) {
+          return Error(StrCat("value ", mop.value, " written to ", mop.key,
+                              " twice (ops ", ops_[it->second.op].id, " and ",
+                              ops_[i].id,
+                              "); writes must be distinguishable"));
+        }
+        writes_[mop.key][i].push_back(mop.value);
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Commits :ok ops; aborts :fail ops; resolves :info conservatively —
+  /// committed iff any of the op's written values was observed by some
+  /// :ok read (observed effects prove the commit; unobserved effects are
+  /// assumed absent, keeping the translated history checkable).
+  void ResolveOutcomes() {
+    std::map<std::string, std::set<int64_t>> observed;
+    for (const ElleOp& op : ops_) {
+      if (op.outcome != Outcome::kOk) continue;
+      for (const Mop& mop : op.mops) {
+        if (mop.kind != Mop::Kind::kRead) continue;
+        for (int64_t v : mop.list) observed[mop.key].insert(v);
+        if (mop.has_reg) observed[mop.key].insert(mop.reg);
+      }
+    }
+    for (ElleOp& op : ops_) {
+      switch (op.outcome) {
+        case Outcome::kOk:
+          op.committed = true;
+          break;
+        case Outcome::kFail:
+          op.committed = false;
+          break;
+        case Outcome::kInfo: {
+          op.committed = false;
+          for (const Mop& mop : op.mops) {
+            if (mop.kind == Mop::Kind::kRead) continue;
+            auto it = observed.find(mop.key);
+            if (it != observed.end() && it->second.count(mop.value) != 0) {
+              op.committed = true;
+              break;
+            }
+          }
+          ++report_->indeterminate_ops;
+          report_->notes.push_back(StrCat(
+              "indeterminate op ", op.id, " resolved to ",
+              op.committed ? "commit (its effects were observed)"
+                           : "abort (no effects observed)"));
+          break;
+        }
+      }
+    }
+  }
+
+  std::string RenderList(const std::vector<int64_t>& list) const {
+    std::vector<std::string> parts;
+    parts.reserve(list.size());
+    for (int64_t v : list) parts.push_back(StrCat(v));
+    return StrCat("[", StrJoin(parts, " "), "]");
+  }
+
+  /// elle-append: derives each key's version order from its reads. The
+  /// committed values of every observed list must form a common prefix
+  /// chain; the longest chain, grouped by writer, is the version order of
+  /// the observed writers. Committed appends never observed by any read
+  /// are placed after the observed prefix in completion order (noted).
+  Status PlanVersionOrders() {
+    // Longest committed-filtered observation per key, with provenance.
+    struct Longest {
+      std::vector<int64_t> values;
+      TxnId reader = 0;
+    };
+    std::map<std::string, Longest> longest;
+    for (const ElleOp& op : ops_) {
+      if (op.outcome != Outcome::kOk) continue;
+      for (const Mop& mop : op.mops) {
+        if (mop.kind != Mop::Kind::kRead) continue;
+        if (mop.observed_nil || mop.list.empty()) {
+          plans_[mop.key].needs_init = true;
+          continue;
+        }
+        ADYA_ASSIGN_OR_RETURN(std::vector<int64_t> committed,
+                              CommittedFilter(mop, op.id));
+        Longest& best = longest[mop.key];
+        if (committed.size() > best.values.size()) {
+          best.values = std::move(committed);
+          best.reader = op.id;
+        }
+      }
+    }
+    // Every other observation must be a prefix of the longest one.
+    for (const ElleOp& op : ops_) {
+      if (op.outcome != Outcome::kOk) continue;
+      for (const Mop& mop : op.mops) {
+        if (mop.kind != Mop::Kind::kRead || mop.observed_nil ||
+            mop.list.empty()) {
+          continue;
+        }
+        ADYA_ASSIGN_OR_RETURN(std::vector<int64_t> committed,
+                              CommittedFilter(mop, op.id));
+        const Longest& best = longest[mop.key];
+        if (!std::equal(committed.begin(), committed.end(),
+                        best.values.begin())) {
+          return Error(StrCat(
+              "divergent observed prefixes of ", mop.key, ": op ", op.id,
+              " read ", RenderList(committed), " but op ", best.reader,
+              " read ", RenderList(best.values)));
+        }
+      }
+    }
+    for (auto& [key, best] : longest) {
+      ADYA_RETURN_IF_ERROR(GroupWriters(key, best.values, &plans_[key]));
+    }
+    // Committed writers nobody observed: order unobservable, so they are
+    // appended after the observed prefix, in completion order.
+    for (const auto& [key, by_op] : writes_) {
+      KeyPlan& plan = plans_[key];
+      std::set<size_t> placed(plan.order.begin(), plan.order.end());
+      std::vector<size_t> unobserved;
+      for (const auto& [slot, vals] : by_op) {
+        if (ops_[slot].committed && placed.count(slot) == 0) {
+          unobserved.push_back(slot);
+        }
+      }
+      std::sort(unobserved.begin(), unobserved.end(), [&](size_t a, size_t b) {
+        return ops_[a].complete_rank != ops_[b].complete_rank
+                   ? ops_[a].complete_rank < ops_[b].complete_rank
+                   : a < b;
+      });
+      for (size_t slot : unobserved) {
+        report_->notes.push_back(StrCat(
+            "committed append(s) of op ", ops_[slot].id, " to ", key,
+            " were never observed; placed after the observed prefix"));
+        plan.order.push_back(slot);
+      }
+      if (!plan.order.empty()) {
+        report_->inferred_edges += plan.order.size() - 1;
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Drops values written by aborted ops from an observed list, diagnosing
+  /// unknown values and aborted values in non-final positions (a final
+  /// aborted value is the read's target and becomes a G1a read).
+  Result<std::vector<int64_t>> CommittedFilter(const Mop& mop,
+                                               TxnId reader) const {
+    std::vector<int64_t> committed;
+    auto known = values_.find(mop.key);
+    for (size_t i = 0; i < mop.list.size(); ++i) {
+      int64_t v = mop.list[i];
+      if (known == values_.end() || known->second.count(v) == 0) {
+        return Error(StrCat("op ", reader, " read value ", v, " of ",
+                            mop.key, " that no op wrote"));
+      }
+      const ValueSite& site = known->second.at(v);
+      if (ops_[site.op].committed) {
+        committed.push_back(v);
+      } else if (i + 1 < mop.list.size()) {
+        report_->notes.push_back(StrCat(
+            "op ", reader, " observed aborted value ", v, " of ", mop.key,
+            " (from op ", ops_[site.op].id, ") mid-list"));
+      }
+    }
+    return committed;
+  }
+
+  /// Groups a committed value chain by writer: each writer's appends must
+  /// be contiguous, in order, starting at its first append (list-append
+  /// writes are atomic, so anything else is corrupt input); only the last
+  /// group may be a proper prefix (an intermediate read — G1b).
+  Status GroupWriters(const std::string& key,
+                      const std::vector<int64_t>& chain, KeyPlan* plan) {
+    const auto& sites = values_.at(key);
+    std::set<size_t> seen;
+    size_t group_op = SIZE_MAX;
+    uint32_t group_len = 0;
+    for (int64_t v : chain) {
+      const ValueSite& site = sites.at(v);
+      if (site.op != group_op) {
+        if (group_op != SIZE_MAX &&
+            group_len < writes_.at(key).at(group_op).size()) {
+          return Error(StrCat(
+              "observed list of ", key, " continues past an incomplete ",
+              "group of op ", ops_[group_op].id,
+              "'s appends; committed appends are atomic"));
+        }
+        if (!seen.insert(site.op).second) {
+          return Error(StrCat(
+              "observed list of ", key, " interleaves the appends of op ",
+              ops_[site.op].id, " with another writer's"));
+        }
+        group_op = site.op;
+        group_len = 0;
+        plan->order.push_back(site.op);
+      }
+      if (site.seq != ++group_len) {
+        return Error(StrCat(
+            "observed list of ", key, " shows op ", ops_[site.op].id,
+            "'s append #", site.seq, " out of order"));
+      }
+    }
+    return Status::OK();
+  }
+
+  /// elle-register: version orders are assumed to follow commit order —
+  /// the same convention the native streaming parser uses — because
+  /// overwrites destroy the evidence a list carries. The assumption is
+  /// accounted per adjacent installer pair. Also validates that every
+  /// observed value has a known writer.
+  Status PlanRegisterOrders() {
+    bool any = false;
+    for (const auto& [key, by_op] : writes_) {
+      size_t installers = 0;
+      for (const auto& [slot, vals] : by_op) {
+        if (ops_[slot].committed) ++installers;
+      }
+      if (installers > 1) {
+        report_->inferred_edges += installers - 1;
+        any = true;
+      }
+    }
+    for (const ElleOp& op : ops_) {
+      if (op.outcome != Outcome::kOk) continue;
+      for (const Mop& mop : op.mops) {
+        if (mop.kind != Mop::Kind::kRead) continue;
+        if (mop.observed_nil) {
+          plans_[mop.key].needs_init = true;
+        } else if (mop.has_reg) {
+          auto known = values_.find(mop.key);
+          if (known == values_.end() || known->second.count(mop.reg) == 0) {
+            return Error(StrCat("op ", op.id, " read value ", mop.reg,
+                                " of ", mop.key, " that no op wrote"));
+          }
+        }
+      }
+    }
+    if (any) {
+      report_->notes.push_back(
+          "register version orders assumed to follow commit order");
+    }
+    return Status::OK();
+  }
+
+  /// Maps one :ok read onto the version it observed, enforcing the Adya
+  /// read-your-writes rule (a transaction's reads after its own write of x
+  /// observe its own latest version — observations that contradict the
+  /// op's own earlier writes cannot be represented and are dropped).
+  /// `own` is the count of the reader's earlier writes to the key.
+  /// Returns nullopt for a dropped read.
+  std::optional<VersionId> MapRead(const ElleOp& op, const Mop& mop,
+                                   ObjectId obj, uint32_t own,
+                                   TxnId init_txn) {
+    std::optional<VersionId> version;
+    if (mop.observed_nil) {
+      if (own == 0) version = VersionId{obj, init_txn, 1};
+    } else {
+      int64_t v = append_mode_ ? mop.list.back() : mop.reg;
+      const ValueSite& site = values_.at(mop.key).at(v);
+      if (own == 0 || (ops_[site.op].id == op.id && site.seq == own)) {
+        version = VersionId{obj, ops_[site.op].id, site.seq};
+      }
+    }
+    if (!version.has_value()) {
+      ++report_->dropped_reads;
+      report_->notes.push_back(StrCat(
+          "dropped read of ", mop.key, " by op ", op.id,
+          ": observation contradicts the op's own earlier writes"));
+    }
+    return version;
+  }
+
+  /// Event scheduling. An op's begin carries its invoke rank; its writes,
+  /// reads, and commit/abort carry its completion rank (the op's effects
+  /// are only known to have happened by then). Reads must follow the write
+  /// that produced their version, which can force a writer's events ahead
+  /// of its completion line (a dirty read proves the write happened
+  /// early); priority inheritance pulls exactly those events forward while
+  /// every other event keeps its log position, so the relative order of
+  /// begin and commit anchors — what start-dependencies are made of — is
+  /// disturbed as little as the observations allow.
+  struct Node {
+    Event event;
+    uint32_t rank = 0;
+    uint32_t eff = 0;
+    uint32_t indegree = 0;
+    std::vector<uint32_t> out;
+  };
+
+  Result<History> Build() {
+    History h;
+    // Object ids in key order (std::map iteration), so translation is
+    // deterministic for a given log.
+    std::map<std::string, ObjectId> objects;
+    for (const auto& [key, sites] : values_) {
+      objects.emplace(key, 0);
+    }
+    for (const auto& [key, plan] : plans_) objects.emplace(key, 0);
+    for (const ElleOp& op : ops_) {
+      for (const Mop& mop : op.mops) objects.emplace(mop.key, 0);
+    }
+    for (auto& [key, id] : objects) id = h.AddObject(key);
+
+    // The synthetic initial-state writer: reads of nil / [] need a visible
+    // version to observe, and a committed first writer per such key is
+    // sink-free — it has no reads and precedes everything, so it can join
+    // no cycle and introduce no phenomenon.
+    // kTxnInit doubles as "no init writer": op ids are validated to stay
+    // below it, so the sentinel can never collide with a real op.
+    TxnId init_txn = kTxnInit;
+    bool needs_init = false;
+    for (const auto& [key, plan] : plans_) needs_init |= plan.needs_init;
+    if (needs_init) {
+      TxnId max_id = 0;
+      for (const ElleOp& op : ops_) max_id = std::max(max_id, op.id);
+      init_txn = max_id + 1;
+      if (init_txn >= kTxnInit) {
+        return Error("op indexes leave no room for the initial-state writer");
+      }
+      h.Append(Event::Begin(init_txn));
+      for (const auto& [key, plan] : plans_) {
+        if (!plan.needs_init) continue;
+        h.Append(Event::Write(init_txn, VersionId{objects.at(key), init_txn, 1},
+                              ScalarRow(Value(int64_t{0}))));
+      }
+      h.Append(Event::Commit(init_txn));
+      report_->init_writer = init_txn;
+    }
+
+    // Build the event graph.
+    std::vector<Node> nodes;
+    std::map<VersionId, uint32_t> write_node;
+    std::vector<std::pair<VersionId, uint32_t>> read_deps;
+    auto chain = [&nodes](uint32_t from, uint32_t to) {
+      nodes[from].out.push_back(to);
+      ++nodes[to].indegree;
+    };
+    auto add_node = [&nodes](Event event, uint32_t rank) {
+      Node node;
+      node.event = std::move(event);
+      node.rank = rank;
+      nodes.push_back(std::move(node));
+      return static_cast<uint32_t>(nodes.size() - 1);
+    };
+    for (const ElleOp& op : ops_) {
+      uint32_t prev = add_node(Event::Begin(op.id), op.invoke_rank);
+      std::map<std::string, uint32_t> own_writes;
+      for (const Mop& mop : op.mops) {
+        if (mop.kind == Mop::Kind::kRead) {
+          if (op.outcome != Outcome::kOk) continue;  // nothing was observed
+          std::optional<VersionId> version = MapRead(
+              op, mop, objects.at(mop.key), own_writes[mop.key], init_txn);
+          if (!version.has_value()) continue;
+          Row observed = mop.observed_nil
+                             ? Row()
+                             : ScalarRow(Value(append_mode_ ? mop.list.back()
+                                                            : mop.reg));
+          uint32_t node = add_node(
+              Event::Read(op.id, *version, std::move(observed)),
+              op.complete_rank);
+          if (version->writer != init_txn && version->writer != op.id) {
+            read_deps.emplace_back(*version, node);
+          }
+          chain(prev, node);
+          prev = node;
+          continue;
+        }
+        VersionId version{objects.at(mop.key), op.id, ++own_writes[mop.key]};
+        uint32_t node =
+            add_node(Event::Write(op.id, version, ScalarRow(Value(mop.value))),
+                     op.complete_rank);
+        write_node[version] = node;
+        chain(prev, node);
+        prev = node;
+      }
+      uint32_t end = add_node(
+          op.committed ? Event::Commit(op.id) : Event::Abort(op.id),
+          op.complete_rank);
+      chain(prev, end);
+    }
+    for (const auto& [version, reader] : read_deps) {
+      auto it = write_node.find(version);
+      if (it == write_node.end()) {
+        // Unreachable: MapRead only produces versions from values_.
+        return Error(StrCat("internal: no write node for a read of ",
+                            h.object_name(version.object)));
+      }
+      chain(it->second, reader);
+    }
+
+    // Pass 1: plain Kahn for a topological order (and cycle detection).
+    std::vector<uint32_t> topo;
+    topo.reserve(nodes.size());
+    {
+      std::vector<uint32_t> indegree(nodes.size());
+      std::queue<uint32_t> queue;
+      for (uint32_t i = 0; i < nodes.size(); ++i) {
+        indegree[i] = nodes[i].indegree;
+        if (indegree[i] == 0) queue.push(i);
+      }
+      while (!queue.empty()) {
+        uint32_t u = queue.front();
+        queue.pop();
+        topo.push_back(u);
+        for (uint32_t v : nodes[u].out) {
+          if (--indegree[v] == 0) queue.push(v);
+        }
+      }
+      if (topo.size() != nodes.size()) {
+        return Error(
+            "cyclic observation dependencies: some op observes a value "
+            "whose write cannot precede it in any event order");
+      }
+    }
+    // Pass 2: priority inheritance — an event needed by an earlier
+    // observation inherits that observation's priority.
+    for (Node& node : nodes) node.eff = node.rank;
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+      Node& u = nodes[*it];
+      for (uint32_t v : u.out) u.eff = std::min(u.eff, nodes[v].eff);
+    }
+    // Pass 3: priority-ordered Kahn emits the events.
+    {
+      using Entry = std::tuple<uint32_t, uint32_t, uint32_t>;  // eff rank id
+      std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
+          ready;
+      std::vector<uint32_t> indegree(nodes.size());
+      for (uint32_t i = 0; i < nodes.size(); ++i) {
+        indegree[i] = nodes[i].indegree;
+        if (indegree[i] == 0) ready.emplace(nodes[i].eff, nodes[i].rank, i);
+      }
+      while (!ready.empty()) {
+        uint32_t u = std::get<2>(ready.top());
+        ready.pop();
+        h.Append(nodes[u].event);
+        for (uint32_t v : nodes[u].out) {
+          if (--indegree[v] == 0) {
+            ready.emplace(nodes[v].eff, nodes[v].rank, v);
+          }
+        }
+      }
+    }
+
+    // Version orders: explicit for elle-append (the inferred orders); the
+    // register family keeps the finalizer's default — installation order,
+    // which is commit order by construction of the emitted events.
+    if (append_mode_) {
+      for (const auto& [key, plan] : plans_) {
+        std::vector<TxnId> order;
+        if (plan.needs_init) order.push_back(init_txn);
+        for (size_t slot : plan.order) order.push_back(ops_[slot].id);
+        if (!order.empty()) h.SetVersionOrder(objects.at(key), order);
+      }
+    }
+    Status finalized = h.Finalize();
+    if (!finalized.ok()) {
+      return Error(StrCat("translated history rejected: ",
+                          finalized.message()));
+    }
+    report_->txns = h.Transactions().size();
+    return h;
+  }
+
+  std::vector<ElleOp> ops_;
+  const bool append_mode_;
+  IngestReport* report_;
+  /// key -> value -> producing write site (all outcomes).
+  std::map<std::string, std::map<int64_t, ValueSite>> values_;
+  /// key -> op slot -> that op's values for the key, in write order.
+  std::map<std::string, std::map<size_t, std::vector<int64_t>>> writes_;
+  std::map<std::string, KeyPlan> plans_;
+};
+
+Result<LoadedHistory> ParseElle(std::string_view text, bool append_mode) {
+  LoadedHistory loaded;
+  loaded.report.format = append_mode ? "elle-append" : "elle-register";
+  ADYA_ASSIGN_OR_RETURN(std::vector<ElleOp> ops,
+                        ReadOps(text, append_mode, &loaded.report));
+  Translator translator(std::move(ops), append_mode, &loaded.report);
+  ADYA_ASSIGN_OR_RETURN(loaded.history, translator.Run());
+  return loaded;
+}
+
+// ---------------------------------------------------------------------------
+// Registry sources.
+// ---------------------------------------------------------------------------
+
+bool LooksLikeOpMap(std::string_view text) {
+  char c = FirstSignificantChar(text);
+  return c == '{' || c == '[';
+}
+
+bool MentionsAppend(std::string_view text) {
+  return text.find(":append") != std::string_view::npos ||
+         text.find("\"append\"") != std::string_view::npos;
+}
+
+class ElleAppendSource : public HistorySource {
+ public:
+  std::string_view name() const override { return "elle-append"; }
+  bool Sniffs(std::string_view text) const override {
+    return LooksLikeOpMap(text) && MentionsAppend(text);
+  }
+  Result<LoadedHistory> Parse(std::string_view text,
+                              obs::StatsRegistry* stats) const override {
+    return ParseElleAppend(text, stats);
+  }
+};
+
+class ElleRegisterSource : public HistorySource {
+ public:
+  std::string_view name() const override { return "elle-register"; }
+  bool Sniffs(std::string_view text) const override {
+    return LooksLikeOpMap(text) && !MentionsAppend(text);
+  }
+  Result<LoadedHistory> Parse(std::string_view text,
+                              obs::StatsRegistry* stats) const override {
+    return ParseElleRegister(text, stats);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Export (round-trip support).
+// ---------------------------------------------------------------------------
+
+std::string JsonString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string OpLine(std::string_view type, TxnId txn,
+                   const std::vector<std::string>& mops) {
+  return StrCat("{\"type\": \"", type, "\", \"f\": \"txn\", \"process\": ",
+                txn, ", \"index\": ", txn, ", \"value\": [",
+                StrJoin(mops, ", "), "]}");
+}
+
+}  // namespace
+
+Result<LoadedHistory> ParseElleAppend(std::string_view text,
+                                      obs::StatsRegistry* stats) {
+  (void)stats;  // metric accounting happens centrally in LoadHistory
+  return ParseElle(text, /*append_mode=*/true);
+}
+
+Result<LoadedHistory> ParseElleRegister(std::string_view text,
+                                        obs::StatsRegistry* stats) {
+  (void)stats;
+  return ParseElle(text, /*append_mode=*/false);
+}
+
+void RegisterElleFormats() {
+  HistoryFormatRegistry& registry = HistoryFormatRegistry::Global();
+  registry.Register(std::make_unique<ElleAppendSource>());
+  registry.Register(std::make_unique<ElleRegisterSource>());
+}
+
+Result<std::string> ExportElleAppend(const History& h) {
+  if (h.event_begin() != 0 || !h.SeedTransactions().empty()) {
+    return Status::InvalidArgument(
+        "ExportElleAppend: GC-truncated histories reference collected "
+        "versions and have no faithful rendering");
+  }
+  // The appended "value" of each write is its event id — unique per
+  // history, so the per-key recovery precondition holds by construction.
+  std::map<VersionId, EventId> value_of;
+  for (EventId e = h.event_begin(); e < h.event_end(); ++e) {
+    const Event& event = h.event(e);
+    if (event.type == EventType::kPredicateRead) {
+      return Status::InvalidArgument(
+          "ExportElleAppend: predicate reads have no list-append rendering");
+    }
+    if (event.type == EventType::kWrite) {
+      if (event.written_kind != VersionKind::kVisible) {
+        return Status::InvalidArgument(
+            "ExportElleAppend: deletes have no list-append rendering");
+      }
+      value_of[event.version] = e;
+    }
+  }
+  // One read renders as the observed prefix of its key's version order,
+  // ending at the version it read; reads of aborted versions render as
+  // the aborted writer's values alone (their position in the committed
+  // list is unknowable — exactly what ingestion assumes back).
+  // Every read is renderable: History validation (§4.2) already enforces
+  // read-your-writes and rejects reads of the unborn initial version, so a
+  // read either observes another writer's version (its prefix renders) or
+  // the reader's own latest append — there is no observation an Elle read
+  // of the rendered log could contradict.
+  auto render_read = [&](const Event& event) {
+    std::vector<std::string> values;
+    const VersionId& v = event.version;
+    if (h.IsCommitted(v.writer)) {
+      for (TxnId w : h.VersionOrder(v.object)) {
+        uint32_t upto = w == v.writer ? v.seq : h.FinalSeq(w, v.object);
+        for (uint32_t s = 1; s <= upto; ++s) {
+          values.push_back(StrCat(value_of.at(VersionId{v.object, w, s})));
+        }
+        if (w == v.writer) break;
+      }
+    } else {
+      for (uint32_t s = 1; s <= v.seq; ++s) {
+        values.push_back(StrCat(value_of.at(VersionId{v.object, v.writer, s})));
+      }
+    }
+    return StrCat("[\"r\", ", JsonString(h.object_name(v.object)), ", [",
+                  StrJoin(values, ", "), "]]");
+  };
+
+  // One pass over the events collects each transaction's micro-ops in
+  // order: invoke lines show attempted writes and blind (null) reads; the
+  // completion line carries the observations.
+  std::map<TxnId, std::pair<std::vector<std::string>,
+                            std::vector<std::string>>> mops_of;
+  for (EventId e = h.event_begin(); e < h.event_end(); ++e) {
+    const Event& event = h.event(e);
+    auto& [invoke, complete] = mops_of[event.txn];
+    if (event.type == EventType::kWrite) {
+      std::string mop = StrCat(
+          "[\"append\", ", JsonString(h.object_name(event.version.object)),
+          ", ", e, "]");
+      invoke.push_back(mop);
+      complete.push_back(std::move(mop));
+    } else if (event.type == EventType::kRead) {
+      invoke.push_back(StrCat(
+          "[\"r\", ", JsonString(h.object_name(event.version.object)),
+          ", null]"));
+      complete.push_back(render_read(event));
+    }
+  }
+  std::vector<std::pair<EventId, std::string>> lines;
+  TxnId max_txn = 0;
+  for (TxnId txn : h.Transactions()) {
+    const History::TxnInfo& info = h.txn_info(txn);
+    if (info.first_event == kNoEvent) continue;
+    max_txn = std::max(max_txn, txn);
+    auto& [invoke, complete] = mops_of[txn];
+    EventId end = h.IsCommitted(txn) ? info.commit_event : info.abort_event;
+    if (end == kNoEvent) {
+      return Status::InvalidArgument(
+          "ExportElleAppend: history must be finalized (every transaction "
+          "committed or aborted)");
+    }
+    lines.emplace_back(info.begin_event, OpLine("invoke", txn, invoke));
+    lines.emplace_back(end, h.IsCommitted(txn)
+                                ? OpLine("ok", txn, complete)
+                                : OpLine("fail", txn, invoke));
+  }
+  std::sort(lines.begin(), lines.end(), [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  });
+  std::vector<std::string> out;
+  out.reserve(lines.size() + 2);
+  for (auto& [rank, line] : lines) out.push_back(std::move(line));
+
+  // Trailing audit transaction: a read-only observer of every key's full
+  // list, begun after every commit. It reads only final versions and
+  // nothing follows it, so it adds no dependency cycles — but it lets
+  // ingestion recover every key's complete version order.
+  std::vector<std::string> audit_invoke, audit_complete;
+  for (ObjectId obj = 0; obj < h.object_count(); ++obj) {
+    const std::vector<TxnId>& order = h.VersionOrder(obj);
+    if (order.empty()) continue;
+    std::vector<std::string> values;
+    for (TxnId w : order) {
+      for (uint32_t s = 1; s <= h.FinalSeq(w, obj); ++s) {
+        values.push_back(StrCat(value_of.at(VersionId{obj, w, s})));
+      }
+    }
+    audit_invoke.push_back(StrCat("[\"r\", ", JsonString(h.object_name(obj)),
+                                  ", null]"));
+    audit_complete.push_back(StrCat("[\"r\", ", JsonString(h.object_name(obj)),
+                                    ", [", StrJoin(values, ", "), "]]"));
+  }
+  if (!audit_invoke.empty()) {
+    TxnId audit = max_txn + 1;
+    if (audit >= kTxnInit) {
+      return Status::InvalidArgument(
+          "ExportElleAppend: transaction ids leave no room for the audit op");
+    }
+    out.push_back(OpLine("invoke", audit, audit_invoke));
+    out.push_back(OpLine("ok", audit, audit_complete));
+  }
+  return StrCat(StrJoin(out, "\n"), "\n");
+}
+
+}  // namespace adya::ingest

@@ -1,0 +1,67 @@
+#ifndef ADYA_INGEST_ELLE_H_
+#define ADYA_INGEST_ELLE_H_
+
+// Elle/Jepsen history adapters (cf. Kingsbury & Alvaro, "Elle: Inferring
+// Isolation Anomalies from Experimental Observations"). Jepsen records a
+// client-side observation log — op maps with :invoke/:ok/:fail/:info
+// outcomes — rather than the system-side history Adya's definitions
+// consume. These adapters recover an Adya History from such a log:
+//
+//  * elle-append — the list-append workload. Every appended value is
+//    unique per key and reads return the whole list, so the version order
+//    of each key is recoverable from the longest observed prefix: a read
+//    of [1 2 3] proves x_a << x_b whenever a's appends precede b's.
+//    Reads map onto the version that produced their last element, which
+//    makes Adya's phenomena fall out of the translation: a read whose
+//    last element was appended by a :fail op reads an aborted version
+//    (G1a); a read observing a proper prefix of a committed writer's
+//    appends reads an intermediate version (G1b); contradictory prefixes
+//    across reads are rejected as corrupt input.
+//  * elle-register — the rw-register workload. Writes are opaque, so the
+//    adapter requires distinguishable (key, value) writes, maps each read
+//    onto the write that produced its value, and assumes version orders
+//    follow commit order (the same convention as the native streaming
+//    parser); the assumption is accounted in IngestReport::inferred_edges.
+//
+// Indeterminate ops (:info, or invokes that never completed) are resolved
+// conservatively: committed when any of their effects was observed by a
+// committed read, aborted otherwise — each resolution is a report note
+// and counts into IngestReport::indeterminate_ops.
+//
+// Transaction ids reuse the ops' :index (falling back to input order), so
+// checker witnesses name the original Elle ops directly.
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "history/source.h"
+
+namespace adya::ingest {
+
+/// Registers "elle-append" and "elle-register" with
+/// HistoryFormatRegistry::Global(). Idempotent; entry points call it
+/// explicitly because static-initializer registration silently drops under
+/// static linking.
+void RegisterElleFormats();
+
+/// Direct parse entry points behind the registry (tests use them too).
+/// `stats` may be null; metric accounting happens in LoadHistory.
+Result<LoadedHistory> ParseElleAppend(std::string_view text,
+                                      obs::StatsRegistry* stats = nullptr);
+Result<LoadedHistory> ParseElleRegister(std::string_view text,
+                                        obs::StatsRegistry* stats = nullptr);
+
+/// Renders a finalized, delete-free, predicate-free History as an Elle
+/// list-append log (JSON lines): one invoke/:ok (or :fail) pair per
+/// transaction, ordered by the transactions' begin/commit events; every
+/// append writes its event id (unique per history, so per-key recovery is
+/// exact); reads render the observed prefix of the version order ending at
+/// the version they read; a trailing read-only audit transaction observes
+/// each key's full list so ingestion recovers the complete version orders.
+/// Ops carry :index = TxnId, so the round trip preserves transaction ids.
+Result<std::string> ExportElleAppend(const History& h);
+
+}  // namespace adya::ingest
+
+#endif  // ADYA_INGEST_ELLE_H_

@@ -1,0 +1,566 @@
+// The ingestion subsystem: the EDN/JSON op-map reader, the Elle
+// list-append and rw-register adapters behind the HistorySource registry,
+// and the list-append exporter. The fixture tests pin exact verdicts and
+// witness transaction ids for the checked-in corpus under
+// examples/histories/ (the same files README's quickstart and the CI
+// smoke run through histtool); the error tests pin the malformed-input
+// vocabulary; the export tests pin the round-trip contract the slow
+// ingest_roundtrip_test fuzzes at scale.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "core/levels.h"
+#include "history/source.h"
+#include "ingest/edn.h"
+#include "ingest/elle.h"
+
+namespace adya {
+namespace {
+
+using ingest::EdnValue;
+using ingest::ParseEdn;
+
+#ifndef ADYA_HISTORIES_DIR
+#error "ADYA_HISTORIES_DIR must be defined by the build"
+#endif
+
+std::string ReadFixture(const std::string& name) {
+  std::string path = std::string(ADYA_HISTORIES_DIR) + "/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Every test loads through the registry facade, exactly like the tools.
+Result<LoadedHistory> Load(std::string_view text, std::string_view format) {
+  ingest::RegisterElleFormats();
+  return LoadHistory(text, format);
+}
+
+std::set<Phenomenon> Kinds(const Classification& c) {
+  std::set<Phenomenon> kinds;
+  for (const Violation& v : c.violations) kinds.insert(v.phenomenon);
+  return kinds;
+}
+
+bool Contains(std::string_view haystack, std::string_view needle) {
+  return haystack.find(needle) != std::string_view::npos;
+}
+
+// ---------------------------------------------------------------- EDN --
+
+TEST(IngestEdnTest, ParsesEdnOpMap) {
+  auto v = ParseEdn(
+      "{:type :invoke, :process 0, :f :txn,"
+      " :value [[:append :x 1] [:r :y nil]], :index 3}");
+  ASSERT_TRUE(v.ok()) << v.status();
+  ASSERT_TRUE(v->IsMap());
+  ASSERT_NE(v->Get("type"), nullptr);
+  EXPECT_TRUE(v->Get("type")->IsName("invoke"));
+  ASSERT_NE(v->Get("process"), nullptr);
+  EXPECT_EQ(v->Get("process")->integer, 0);
+  EXPECT_EQ(v->Get("index")->integer, 3);
+  const EdnValue* value = v->Get("value");
+  ASSERT_NE(value, nullptr);
+  ASSERT_TRUE(value->IsList());
+  ASSERT_EQ(value->items.size(), 2u);
+  const EdnValue& append = value->items[0];
+  ASSERT_EQ(append.items.size(), 3u);
+  EXPECT_TRUE(append.items[0].IsName("append"));
+  EXPECT_TRUE(append.items[1].IsName("x"));
+  EXPECT_EQ(append.items[2].integer, 1);
+  EXPECT_TRUE(value->items[1].items[2].IsNil());
+}
+
+TEST(IngestEdnTest, ParsesJsonDialect) {
+  auto v = ParseEdn(
+      "{\"type\": \"ok\", \"process\": 2,"
+      " \"value\": [[\"r\", \"x\", [1, 2]]]}");
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_TRUE(v->Get("type")->IsName("ok"));
+  EXPECT_EQ(v->Get("process")->integer, 2);
+  const EdnValue& read = v->Get("value")->items[0];
+  EXPECT_TRUE(read.items[0].IsName("r"));
+  ASSERT_TRUE(read.items[2].IsList());
+  EXPECT_EQ(read.items[2].items[1].integer, 2);
+}
+
+TEST(IngestEdnTest, KeywordAndStringAreTheSameKey) {
+  auto edn = ParseEdn("{:type :ok}");
+  auto json = ParseEdn("{\"type\": \"ok\"}");
+  ASSERT_TRUE(edn.ok() && json.ok());
+  ASSERT_NE(edn->Get("type"), nullptr);
+  ASSERT_NE(json->Get("type"), nullptr);
+  EXPECT_TRUE(edn->Get("type")->IsName("ok"));
+  EXPECT_TRUE(json->Get("type")->IsName("ok"));
+}
+
+TEST(IngestEdnTest, RejectsFloats) {
+  EXPECT_FALSE(ParseEdn("{:value 1.5}").ok());
+}
+
+TEST(IngestEdnTest, RejectsTrailingContent) {
+  EXPECT_FALSE(ParseEdn("1 2").ok());
+}
+
+TEST(IngestEdnTest, RejectsUnterminatedString) {
+  EXPECT_FALSE(ParseEdn("\"abc").ok());
+}
+
+// ----------------------------------------------- checked-in fixtures --
+
+TEST(IngestFixtureTest, CleanHistorySatisfiesEveryLevel) {
+  auto loaded = Load(ReadFixture("elle_clean.edn"), "auto");
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->report.format, "elle-append");
+  EXPECT_EQ(loaded->report.ops, 3u);
+  EXPECT_EQ(loaded->report.txns, 3u);
+  EXPECT_EQ(loaded->report.indeterminate_ops, 0u);
+  EXPECT_EQ(loaded->report.dropped_reads, 0u);
+  Classification c = Classify(loaded->history);
+  for (const auto& [level, satisfied] : c.satisfied) {
+    EXPECT_TRUE(satisfied) << IsolationLevelName(level);
+  }
+}
+
+TEST(IngestFixtureTest, GSingleFixtureIsReadSkew) {
+  auto loaded = Load(ReadFixture("elle_g_single.edn"), "auto");
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  // Op 1 read x as [] — before op 0's append — so a synthetic
+  // initial-state writer (the next free id, 2) supplies the version.
+  ASSERT_TRUE(loaded->report.init_writer.has_value());
+  EXPECT_EQ(*loaded->report.init_writer, 2u);
+  Classification c = Classify(loaded->history);
+  EXPECT_TRUE(c.Satisfies(IsolationLevel::kPL1));
+  EXPECT_TRUE(c.Satisfies(IsolationLevel::kPL2));
+  EXPECT_TRUE(c.Satisfies(IsolationLevel::kPLCS));
+  EXPECT_FALSE(c.Satisfies(IsolationLevel::kPL2Plus));
+  EXPECT_FALSE(c.Satisfies(IsolationLevel::kPL299));
+  EXPECT_FALSE(c.Satisfies(IsolationLevel::kPLSI));
+  EXPECT_FALSE(c.Satisfies(IsolationLevel::kPL3));
+  // Witnesses speak in the log's own op ids.
+  bool found = false;
+  for (const Violation& v : c.violations) {
+    if (v.phenomenon != Phenomenon::kGSingle) continue;
+    found = true;
+    EXPECT_TRUE(Contains(v.description, "T1")) << v.description;
+    EXPECT_TRUE(Contains(v.description, "T0")) << v.description;
+  }
+  EXPECT_TRUE(found) << "no G-single witness reported";
+}
+
+TEST(IngestFixtureTest, AbortedReadFixtureIsG1a) {
+  auto loaded = Load(ReadFixture("elle_g1a.edn"), "auto");
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  Classification c = Classify(loaded->history);
+  EXPECT_TRUE(c.Satisfies(IsolationLevel::kPL1));
+  EXPECT_FALSE(c.Satisfies(IsolationLevel::kPL2));
+  EXPECT_EQ(Kinds(c), std::set<Phenomenon>{Phenomenon::kG1a});
+  ASSERT_EQ(c.violations.size(), 1u);
+  EXPECT_TRUE(Contains(c.violations[0].description, "aborted T0"))
+      << c.violations[0].description;
+}
+
+// -------------------------------------------------- elle-append logs --
+
+TEST(IngestElleAppendTest, IntermediateReadIsG1b) {
+  auto loaded = Load(
+      "{:type :invoke, :process 0, :value [[:append :x 1] [:append :x 2]],"
+      " :index 0}\n"
+      "{:type :ok, :process 0, :value [[:append :x 1] [:append :x 2]],"
+      " :index 0}\n"
+      "{:type :invoke, :process 1, :value [[:r :x nil]], :index 1}\n"
+      "{:type :ok, :process 1, :value [[:r :x [1]]], :index 1}\n",
+      "elle-append");
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  Classification c = Classify(loaded->history);
+  EXPECT_EQ(Kinds(c), std::set<Phenomenon>{Phenomenon::kG1b});
+}
+
+TEST(IngestElleAppendTest, CircularObservationIsG1c) {
+  auto loaded = Load(
+      "{:type :invoke, :process 0, :value [[:append :x 1] [:r :y nil]],"
+      " :index 0}\n"
+      "{:type :invoke, :process 1, :value [[:append :y 2] [:r :x nil]],"
+      " :index 1}\n"
+      "{:type :ok, :process 0, :value [[:append :x 1] [:r :y [2]]],"
+      " :index 0}\n"
+      "{:type :ok, :process 1, :value [[:append :y 2] [:r :x [1]]],"
+      " :index 1}\n",
+      "elle-append");
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  Classification c = Classify(loaded->history);
+  EXPECT_TRUE(c.Satisfies(IsolationLevel::kPL1));
+  EXPECT_FALSE(c.Satisfies(IsolationLevel::kPL2));
+  EXPECT_TRUE(Kinds(c).count(Phenomenon::kG1c));
+}
+
+TEST(IngestElleAppendTest, InfoResolvesCommittedWhenEffectsObserved) {
+  auto loaded = Load(
+      "{:type :invoke, :process 0, :value [[:append :x 1]], :index 0}\n"
+      "{:type :info, :process 0, :value [[:append :x 1]], :index 0}\n"
+      "{:type :invoke, :process 1, :value [[:r :x nil]], :index 1}\n"
+      "{:type :ok, :process 1, :value [[:r :x [1]]], :index 1}\n",
+      "elle-append");
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->report.indeterminate_ops, 1u);
+  EXPECT_TRUE(loaded->history.IsCommitted(0));
+  Classification c = Classify(loaded->history);
+  EXPECT_TRUE(c.Satisfies(IsolationLevel::kPL3));
+}
+
+TEST(IngestElleAppendTest, InfoResolvesAbortedWhenUnobserved) {
+  auto loaded = Load(
+      "{:type :invoke, :process 0, :value [[:append :x 1]], :index 0}\n"
+      "{:type :info, :process 0, :value [[:append :x 1]], :index 0}\n"
+      "{:type :invoke, :process 1, :value [[:r :x nil]], :index 1}\n"
+      "{:type :ok, :process 1, :value [[:r :x []]], :index 1}\n",
+      "elle-append");
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->report.indeterminate_ops, 1u);
+  EXPECT_FALSE(loaded->history.IsCommitted(0));
+  EXPECT_TRUE(loaded->report.init_writer.has_value());
+  Classification c = Classify(loaded->history);
+  EXPECT_TRUE(c.Satisfies(IsolationLevel::kPL3));
+}
+
+TEST(IngestElleAppendTest, UnpairedInvokeIsIndeterminate) {
+  auto loaded = Load(
+      "{:type :invoke, :process 0, :value [[:append :x 1]], :index 0}\n",
+      "elle-append");
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->report.ops, 1u);
+  EXPECT_EQ(loaded->report.indeterminate_ops, 1u);
+  EXPECT_FALSE(loaded->history.IsCommitted(0));
+}
+
+TEST(IngestElleAppendTest, ContradictoryReadOfOwnWriteIsDropped) {
+  // Op 0 appended to x, then observed x as empty: no Adya read event can
+  // carry that observation (reads after your own write see your write).
+  auto loaded = Load(
+      "{:type :invoke, :process 0, :value [[:append :x 1] [:r :x nil]],"
+      " :index 0}\n"
+      "{:type :ok, :process 0, :value [[:append :x 1] [:r :x []]],"
+      " :index 0}\n",
+      "elle-append");
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->report.dropped_reads, 1u);
+  bool noted = false;
+  for (const std::string& note : loaded->report.notes) {
+    noted |= Contains(note, "contradicts");
+  }
+  EXPECT_TRUE(noted);
+}
+
+TEST(IngestElleAppendTest, WitnessesNameOriginalIndexes) {
+  // The G-single fixture's shape with sparse Elle :index values: the
+  // witness must name T100/T205, not renumbered ids.
+  auto loaded = Load(
+      "{:type :invoke, :process 0, :value [[:append :x 1] [:append :y 2]],"
+      " :index 100}\n"
+      "{:type :ok, :process 0, :value [[:append :x 1] [:append :y 2]],"
+      " :index 100}\n"
+      "{:type :invoke, :process 1, :value [[:r :x nil] [:r :y nil]],"
+      " :index 205}\n"
+      "{:type :ok, :process 1, :value [[:r :x []] [:r :y [2]]],"
+      " :index 205}\n",
+      "elle-append");
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  Classification c = Classify(loaded->history);
+  ASSERT_FALSE(c.violations.empty());
+  bool named = false;
+  for (const Violation& v : c.violations) {
+    named |= Contains(v.description, "T205") && Contains(v.description, "T100");
+  }
+  EXPECT_TRUE(named);
+}
+
+TEST(IngestElleAppendTest, NemesisLinesAreSkipped) {
+  auto loaded = Load(
+      "{:type :info, :process :nemesis, :value :start}\n"
+      "{:type :invoke, :process 0, :value [[:append :x 1]], :index 0}\n"
+      "{:type :ok, :process 0, :value [[:append :x 1]], :index 0}\n",
+      "elle-append");
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->report.ops, 1u);
+  bool noted = false;
+  for (const std::string& note : loaded->report.notes) {
+    noted |= Contains(note, "non-transactional");
+  }
+  EXPECT_TRUE(noted);
+}
+
+TEST(IngestElleAppendTest, JsonLinesDialectParsesIdentically) {
+  auto loaded = Load(
+      "{\"type\": \"invoke\", \"process\": 0,"
+      " \"value\": [[\"append\", \"x\", 1]], \"index\": 0}\n"
+      "{\"type\": \"fail\", \"process\": 0,"
+      " \"value\": [[\"append\", \"x\", 1]], \"index\": 0}\n"
+      "{\"type\": \"invoke\", \"process\": 1,"
+      " \"value\": [[\"r\", \"x\", null]], \"index\": 1}\n"
+      "{\"type\": \"ok\", \"process\": 1,"
+      " \"value\": [[\"r\", \"x\", [1]]], \"index\": 1}\n",
+      "elle-append");
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  Classification c = Classify(loaded->history);
+  EXPECT_EQ(Kinds(c), std::set<Phenomenon>{Phenomenon::kG1a});
+}
+
+// ------------------------------------------------- malformed inputs --
+
+void ExpectRejected(std::string_view text, std::string_view message) {
+  auto loaded = Load(text, "elle-append");
+  ASSERT_FALSE(loaded.ok()) << "expected rejection mentioning '" << message
+                            << "'";
+  EXPECT_TRUE(Contains(loaded.status().message(), message))
+      << loaded.status();
+}
+
+TEST(IngestElleErrorTest, IndistinguishableWritesRejected) {
+  ExpectRejected(
+      "{:type :invoke, :process 0, :value [[:append :x 1]], :index 0}\n"
+      "{:type :ok, :process 0, :value [[:append :x 1]], :index 0}\n"
+      "{:type :invoke, :process 1, :value [[:append :x 1]], :index 1}\n"
+      "{:type :ok, :process 1, :value [[:append :x 1]], :index 1}\n",
+      "distinguishable");
+}
+
+TEST(IngestElleErrorTest, DivergentPrefixesRejected) {
+  ExpectRejected(
+      "{:type :invoke, :process 0, :value [[:append :x 1]], :index 0}\n"
+      "{:type :ok, :process 0, :value [[:append :x 1]], :index 0}\n"
+      "{:type :invoke, :process 1, :value [[:append :x 2]], :index 1}\n"
+      "{:type :ok, :process 1, :value [[:append :x 2]], :index 1}\n"
+      "{:type :invoke, :process 2, :value [[:append :x 3]], :index 2}\n"
+      "{:type :ok, :process 2, :value [[:append :x 3]], :index 2}\n"
+      "{:type :invoke, :process 3, :value [[:r :x nil]], :index 3}\n"
+      "{:type :ok, :process 3, :value [[:r :x [1 2]]], :index 3}\n"
+      "{:type :invoke, :process 4, :value [[:r :x nil]], :index 4}\n"
+      "{:type :ok, :process 4, :value [[:r :x [1 3]]], :index 4}\n",
+      "divergent observed prefixes");
+}
+
+TEST(IngestElleErrorTest, TornAppendGroupRejected) {
+  // Op 0's two appends with op 1's in between: committed appends are
+  // atomic, so the observed list is corrupt.
+  ExpectRejected(
+      "{:type :invoke, :process 0, :value [[:append :x 1] [:append :x 3]],"
+      " :index 0}\n"
+      "{:type :ok, :process 0, :value [[:append :x 1] [:append :x 3]],"
+      " :index 0}\n"
+      "{:type :invoke, :process 1, :value [[:append :x 2]], :index 1}\n"
+      "{:type :ok, :process 1, :value [[:append :x 2]], :index 1}\n"
+      "{:type :invoke, :process 2, :value [[:r :x nil]], :index 2}\n"
+      "{:type :ok, :process 2, :value [[:r :x [1 2 3]]], :index 2}\n",
+      "incomplete");
+}
+
+TEST(IngestElleErrorTest, InterleavedWriterGroupsRejected) {
+  ExpectRejected(
+      "{:type :invoke, :process 0, :value [[:append :x 1]], :index 0}\n"
+      "{:type :ok, :process 0, :value [[:append :x 1]], :index 0}\n"
+      "{:type :invoke, :process 1, :value [[:append :x 2]], :index 1}\n"
+      "{:type :ok, :process 1, :value [[:append :x 2]], :index 1}\n"
+      "{:type :invoke, :process 2, :value [[:r :x nil]], :index 2}\n"
+      "{:type :ok, :process 2, :value [[:r :x [1 2 1]]], :index 2}\n",
+      "interleaves");
+}
+
+TEST(IngestElleErrorTest, UnknownObservedValueRejected) {
+  ExpectRejected(
+      "{:type :invoke, :process 0, :value [[:r :x nil]], :index 0}\n"
+      "{:type :ok, :process 0, :value [[:r :x [7]]], :index 0}\n",
+      "read value 7");
+}
+
+TEST(IngestElleErrorTest, DoubleInvokeRejected) {
+  ExpectRejected(
+      "{:type :invoke, :process 0, :value [[:append :x 1]], :index 0}\n"
+      "{:type :invoke, :process 0, :value [[:append :x 2]], :index 1}\n",
+      "invoked again");
+}
+
+TEST(IngestElleErrorTest, CompletionWithoutInvocationRejected) {
+  ExpectRejected(
+      "{:type :ok, :process 0, :value [[:append :x 1]], :index 0}\n",
+      "without a pending invocation");
+}
+
+TEST(IngestElleErrorTest, MismatchedCompletionShapeRejected) {
+  auto loaded = Load(
+      "{:type :invoke, :process 0, :value [[:append :x 1]], :index 0}\n"
+      "{:type :ok, :process 0, :value [[:r :x [1]]], :index 0}\n",
+      "elle-append");
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(IngestElleErrorTest, DuplicateIndexRejected) {
+  ExpectRejected(
+      "{:type :invoke, :process 0, :value [[:append :x 1]], :index 7}\n"
+      "{:type :ok, :process 0, :value [[:append :x 1]], :index 7}\n"
+      "{:type :invoke, :process 1, :value [[:append :x 2]], :index 7}\n"
+      "{:type :ok, :process 1, :value [[:append :x 2]], :index 7}\n",
+      "duplicate op :index");
+}
+
+TEST(IngestElleErrorTest, BadEdnNamesItsLine) {
+  ExpectRejected("{:type\n", "line 1");
+}
+
+// ------------------------------------------------ elle-register logs --
+
+TEST(IngestElleRegisterTest, CommitOrderVersionOrders) {
+  auto loaded = Load(
+      "{:type :invoke, :process 0, :value [[:w :x 1]], :index 0}\n"
+      "{:type :ok, :process 0, :value [[:w :x 1]], :index 0}\n"
+      "{:type :invoke, :process 1, :value [[:w :x 2]], :index 1}\n"
+      "{:type :ok, :process 1, :value [[:w :x 2]], :index 1}\n"
+      "{:type :invoke, :process 2, :value [[:r :x nil]], :index 2}\n"
+      "{:type :ok, :process 2, :value [[:r :x 2]], :index 2}\n",
+      "auto");
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->report.format, "elle-register");
+  // Two committed installers of x, ordered by commit: one assumed edge.
+  EXPECT_EQ(loaded->report.inferred_edges, 1u);
+  Classification c = Classify(loaded->history);
+  EXPECT_TRUE(c.Satisfies(IsolationLevel::kPL3));
+}
+
+TEST(IngestElleRegisterTest, AbortedReadIsG1a) {
+  auto loaded = Load(
+      "{:type :invoke, :process 0, :value [[:w :x 1]], :index 0}\n"
+      "{:type :fail, :process 0, :value [[:w :x 1]], :index 0}\n"
+      "{:type :invoke, :process 1, :value [[:r :x nil]], :index 1}\n"
+      "{:type :ok, :process 1, :value [[:r :x 1]], :index 1}\n",
+      "elle-register");
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  Classification c = Classify(loaded->history);
+  EXPECT_EQ(Kinds(c), std::set<Phenomenon>{Phenomenon::kG1a});
+}
+
+TEST(IngestElleRegisterTest, DuplicateWriteRejected) {
+  auto loaded = Load(
+      "{:type :invoke, :process 0, :value [[:w :x 1]], :index 0}\n"
+      "{:type :ok, :process 0, :value [[:w :x 1]], :index 0}\n"
+      "{:type :invoke, :process 1, :value [[:w :x 1]], :index 1}\n"
+      "{:type :ok, :process 1, :value [[:w :x 1]], :index 1}\n",
+      "elle-register");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(Contains(loaded.status().message(), "distinguishable"))
+      << loaded.status();
+}
+
+TEST(IngestElleRegisterTest, UnknownValueRejected) {
+  auto loaded = Load(
+      "{:type :invoke, :process 0, :value [[:r :x nil]], :index 0}\n"
+      "{:type :ok, :process 0, :value [[:r :x 7]], :index 0}\n",
+      "elle-register");
+  EXPECT_FALSE(loaded.ok());
+}
+
+// ------------------------------------------------------ the registry --
+
+TEST(IngestRegistryTest, AutoSniffRoutesByContent) {
+  auto elle = Load(ReadFixture("elle_g_single.edn"), "");
+  ASSERT_TRUE(elle.ok()) << elle.status();
+  EXPECT_EQ(elle->report.format, "elle-append");
+
+  auto native = Load("w1(x1) c1 r2(x1) c2\n", "");
+  ASSERT_TRUE(native.ok()) << native.status();
+  EXPECT_EQ(native->report.format, "adya");
+}
+
+TEST(IngestRegistryTest, ExplicitFormatOverridesSniffing) {
+  // Native notation forced through the Elle reader: a loud error, not a
+  // silent misparse.
+  auto loaded = Load("w1(x1) c1\n", "elle-append");
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(IngestRegistryTest, UnknownFormatListsRegisteredNames) {
+  auto loaded = Load("w1(x1) c1\n", "elle-bogus");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(Contains(loaded.status().message(), "elle-append"))
+      << loaded.status();
+  EXPECT_TRUE(Contains(loaded.status().message(), "adya")) << loaded.status();
+}
+
+// -------------------------------------------------------- the export --
+
+TEST(IngestExportTest, RoundTripPreservesClassification) {
+  // Write skew between two overlapping transactions: T1 and T2 each read
+  // both keys' initial state and update one of them — PL-SI satisfied,
+  // PL-3 violated. The interleaving matters: begins and commits must
+  // overlap, or a start-dependency turns this into G-SI(b).
+  auto direct = Load(
+      "w0(x0) w0(y0) c0\n"
+      "r1(x0) r1(y0) r2(x0) r2(y0) w1(x1) w2(y2) c1 c2\n",
+      "adya");
+  ASSERT_TRUE(direct.ok()) << direct.status();
+  auto log = ingest::ExportElleAppend(direct->history);
+  ASSERT_TRUE(log.ok()) << log.status();
+  auto back = Load(*log, "elle-append");
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->report.dropped_reads, 0u);
+  Classification a = Classify(direct->history);
+  Classification b = Classify(back->history);
+  EXPECT_EQ(a.satisfied, b.satisfied);
+  EXPECT_EQ(Kinds(a), Kinds(b));
+  EXPECT_FALSE(b.Satisfies(IsolationLevel::kPL3));
+  EXPECT_TRUE(b.Satisfies(IsolationLevel::kPLSI));
+}
+
+TEST(IngestExportTest, IngestedFixtureRoundTrips) {
+  // The G-single fixture's translation contains a synthetic initial-state
+  // writer; exporting that history and re-ingesting it must preserve the
+  // verdicts (the init writer renders as an ordinary first appender).
+  auto direct = Load(ReadFixture("elle_g_single.edn"), "auto");
+  ASSERT_TRUE(direct.ok()) << direct.status();
+  auto log = ingest::ExportElleAppend(direct->history);
+  ASSERT_TRUE(log.ok()) << log.status();
+  auto back = Load(*log, "elle-append");
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(Classify(direct->history).satisfied,
+            Classify(back->history).satisfied);
+}
+
+TEST(IngestExportTest, RejectsPredicateReads) {
+  auto direct = Load(
+      "relation Emp; object x in Emp; pred P on Emp: dept = \"Sales\";\n"
+      "w1(x1, {dept: \"Sales\"}) c1 r2(P: x1) c2\n",
+      "adya");
+  ASSERT_TRUE(direct.ok()) << direct.status();
+  auto log = ingest::ExportElleAppend(direct->history);
+  ASSERT_FALSE(log.ok());
+  EXPECT_TRUE(Contains(log.status().message(), "predicate")) << log.status();
+}
+
+TEST(IngestExportTest, RejectsDeletes) {
+  auto direct = Load("w1(x1, dead) c1\n", "adya");
+  ASSERT_TRUE(direct.ok()) << direct.status();
+  auto log = ingest::ExportElleAppend(direct->history);
+  ASSERT_FALSE(log.ok());
+  EXPECT_TRUE(Contains(log.status().message(), "delete")) << log.status();
+}
+
+TEST(IngestExportTest, ContradictoryReadsAreUnconstructible) {
+  // The exporter needs no read-your-writes guard because the History
+  // layer enforces §4.2 at construction: a transaction that wrote x and
+  // then observes someone else's version is not a history at all. (This
+  // is the invariant that lets export succeed ⇒ round trip exactly.)
+  auto direct = Load("w1(x1) w2(x2) r1(x2) c1 c2\n", "adya");
+  ASSERT_FALSE(direct.ok());
+  EXPECT_TRUE(
+      Contains(direct.status().message(), "must observe its own latest"))
+      << direct.status();
+}
+
+}  // namespace
+}  // namespace adya

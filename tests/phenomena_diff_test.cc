@@ -1,13 +1,13 @@
-// Phase-equivalence wall for the PhenomenonArtifacts rewrite: every history
-// in the corpus — the paper's worked examples, seeded random histories
-// (realizable and multi-version-adversarial), and recorded engine
-// executions of every scheme — is checked through the OLD phenomenon phase
-// (per-check rescans, materialized SSG; preserved for one PR behind the
-// test-only ConflictOptions::legacy_phenomenon_rescan knob) and through the
-// NEW artifact-sharing phase in all three CheckModes of the adya::Checker
-// facade. Verdicts, violation order, witness descriptions, events, and
-// cycle edge ids must be BIT-identical at every PL level and for every
-// individual phenomenon.
+// Mode-equivalence wall for the phenomenon phase: every history in the
+// corpus — the paper's worked examples, seeded random histories (realizable
+// and multi-version-adversarial), and recorded engine executions of every
+// scheme — is checked through all three CheckModes of the adya::Checker
+// facade, with the serial artifact phase as the baseline. Verdicts,
+// violation order, witness descriptions, events, and cycle edge ids must be
+// BIT-identical at every PL level and for every individual phenomenon.
+// (The original PR-8 wall additionally diffed against the pre-artifacts
+// rescan phase; that code baked for one PR and was then deleted, so the
+// wall now pins serial ≡ parallel ≡ incremental.)
 //
 // The sweep carries the ctest label `slow` (excluded from the default
 // `ctest -j`; scripts/ci.sh runs it explicitly, and again under TSan at
@@ -93,22 +93,23 @@ void ExpectSameViolation(const std::optional<Violation>& expected,
   EXPECT_EQ(expected->cycle.edges, actual->cycle.edges) << context;
 }
 
-/// The wall for one history: the legacy rescan phase is the baseline; the
-/// artifact phase must match it bit for bit in every facade mode.
+/// The wall for one history: the serial facade mode is the baseline; the
+/// parallel and incremental modes must match it bit for bit.
 void DiffOneHistory(const History& h, const std::string& context) {
-  ConflictOptions legacy;
-  legacy.legacy_phenomenon_rescan = true;
-  PhenomenaChecker old_phase(h, legacy);
-  std::vector<Violation> old_all = old_phase.CheckAll();
-  std::vector<LevelCheckResult> old_levels;
+  CheckerOptions serial_options;
+  serial_options.mode = CheckMode::kSerial;
+  Checker serial(h, serial_options);
+  std::vector<Violation> base_all = serial.CheckAll();
+  std::vector<CheckReport> base_levels;
   for (IsolationLevel level : kAllLevels) {
-    old_levels.push_back(CheckLevel(old_phase, level));
+    base_levels.push_back(serial.Check(level));
   }
-  std::vector<std::optional<Violation>> old_each;
-  for (Phenomenon p : kAllPhenomena) old_each.push_back(old_phase.Check(p));
+  std::vector<std::optional<Violation>> base_each;
+  for (Phenomenon p : kAllPhenomena) {
+    base_each.push_back(serial.CheckPhenomenon(p));
+  }
 
-  for (CheckMode mode :
-       {CheckMode::kSerial, CheckMode::kParallel, CheckMode::kIncremental}) {
+  for (CheckMode mode : {CheckMode::kParallel, CheckMode::kIncremental}) {
     CheckerOptions options;
     options.mode = mode;
     options.threads = mode == CheckMode::kParallel ? 4 : 1;
@@ -117,39 +118,19 @@ void DiffOneHistory(const History& h, const std::string& context) {
             ? Checker(h, options, SharedPool())
             : Checker(h, options);
     std::string ctx = StrCat(context, " mode=", CheckModeName(mode));
-    ExpectSameViolations(old_all, checker.CheckAll(), ctx);
+    ExpectSameViolations(base_all, checker.CheckAll(), ctx);
     for (size_t li = 0; li < std::size(kAllLevels); ++li) {
       CheckReport report = checker.Check(kAllLevels[li]);
-      EXPECT_EQ(old_levels[li].satisfied, report.satisfied)
+      EXPECT_EQ(base_levels[li].satisfied, report.satisfied)
           << ctx << " level " << IsolationLevelName(kAllLevels[li]);
       ExpectSameViolations(
-          old_levels[li].violations, report.violations,
+          base_levels[li].violations, report.violations,
           StrCat(ctx, " level ", IsolationLevelName(kAllLevels[li])));
     }
     for (size_t pi = 0; pi < std::size(kAllPhenomena); ++pi) {
       ExpectSameViolation(
-          old_each[pi], checker.CheckPhenomenon(kAllPhenomena[pi]),
+          base_each[pi], checker.CheckPhenomenon(kAllPhenomena[pi]),
           StrCat(ctx, " phenomenon ", PhenomenonName(kAllPhenomena[pi])));
-    }
-  }
-
-  // The knob also gates the parallel checker's legacy paths: old-parallel
-  // must equal old-serial, so the wall pins all four phase combinations.
-  {
-    CheckerOptions options;
-    options.mode = CheckMode::kParallel;
-    options.threads = 4;
-    options.conflicts = legacy;
-    Checker old_parallel(h, options, SharedPool());
-    std::string ctx = StrCat(context, " mode=parallel(legacy)");
-    ExpectSameViolations(old_all, old_parallel.CheckAll(), ctx);
-    for (size_t li = 0; li < std::size(kAllLevels); ++li) {
-      CheckReport report = old_parallel.Check(kAllLevels[li]);
-      EXPECT_EQ(old_levels[li].satisfied, report.satisfied)
-          << ctx << " level " << IsolationLevelName(kAllLevels[li]);
-      ExpectSameViolations(
-          old_levels[li].violations, report.violations,
-          StrCat(ctx, " level ", IsolationLevelName(kAllLevels[li])));
     }
   }
 }
@@ -170,7 +151,7 @@ class PhenomenaRandomDiffTest : public ::testing::TestWithParam<int> {};
 // 300 direct random histories (30 per chunk). Odd seeds explore the
 // multi-version-only space (adversarial version orders included), even
 // seeds stay single-version realizable.
-TEST_P(PhenomenaRandomDiffTest, ArtifactPhaseMatchesRescanBitForBit) {
+TEST_P(PhenomenaRandomDiffTest, ModesMatchBitForBit) {
   int chunk = GetParam();
   int per_chunk = Scaled(30);
   for (int i = 0; i < per_chunk; ++i) {
@@ -202,7 +183,7 @@ class PhenomenaEngineDiffTest : public ::testing::TestWithParam<int> {};
 // supported levels — these carry the predicate reads and version sets the
 // random generator lacks, which is where the cursor plans and G-SI
 // artifacts diverge first if anything drifts.
-TEST_P(PhenomenaEngineDiffTest, ArtifactPhaseMatchesRescanBitForBit) {
+TEST_P(PhenomenaEngineDiffTest, ModesMatchBitForBit) {
   using L = IsolationLevel;
   const EngineConfig configs[] = {
       {Scheme::kLocking, L::kPL1},      {Scheme::kLocking, L::kPL2},
