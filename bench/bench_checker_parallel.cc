@@ -16,7 +16,11 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/str_util.h"
@@ -141,17 +145,93 @@ BENCHMARK(BM_ParallelCheckLevel)
     ->UseRealTime()
     ->Unit(benchmark::kMicrosecond);
 
+// Intra-artifact parallelism at scale: the serial-mode facade (one shared
+// PhenomenonArtifacts pass) handed a pool, which shards the CSR build, SCC
+// decomposition, cycle scans and version-order construction internally.
+// This is the tentpole grid bench/BENCH_checker_parallel.json records —
+// sizes large enough (100k/1M txns) that the per-shard work dwarfs the
+// fork/join cost. Gated behind --parallel-txns because a 1M-txn row takes
+// tens of seconds per cell; the default run skips it.
+void RunArtifactsGrid(int repeats, const std::vector<int>& sizes,
+                      const std::vector<int>& thread_counts) {
+  if (sizes.empty()) return;
+  bench::Section("artifacts-layout parallel grid (serial mode + pool)");
+  for (int txns : sizes) {
+    History h = MakeHistory(txns);
+    double baseline = 0;
+    for (int threads : thread_counts) {
+      std::unique_ptr<ThreadPool> pool =
+          threads > 1 ? std::make_unique<ThreadPool>(threads) : nullptr;
+      CheckerOptions options;
+      options.stats = g_stats;
+      bench::RepeatSeries series;
+      for (int r = 0; r < repeats; ++r) {
+        auto start = std::chrono::steady_clock::now();
+        Checker checker = pool != nullptr ? Checker(h, options, pool.get())
+                                          : Checker(h, options);
+        benchmark::DoNotOptimize(checker.CheckAll().size());
+        series.Add("wall_us",
+                   static_cast<double>(
+                       std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count()) /
+                       1000.0);
+      }
+      bench::RepeatStat wall = series.Summary().at("wall_us");
+      if (threads == thread_counts.front()) baseline = wall.min;
+      double speedup =
+          (baseline > 0 && wall.min > 0) ? baseline / wall.min : 0;
+      std::printf(
+          "BENCH {\"name\":\"checker_artifacts_parallel\","
+          "\"layout\":\"artifacts\",\"txns\":%d,\"events\":%zu,"
+          "\"threads\":%d,\"repeats\":%d,\"wall_us\":%s,\"speedup\":%.2f}\n",
+          txns, h.events().size(), threads, repeats,
+          bench::RepeatSeries::Json(wall).c_str(), speedup);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace adya
 
 int main(int argc, char** argv) {
   adya::bench::BenchStats stats(&argc, argv);
   adya::bench::Repeats repeats(&argc, argv);
+  // --parallel-txns=a,b turns on the artifacts-layout grid at those sizes;
+  // --parallel-threads=a,b overrides its pool widths (first entry is the
+  // speedup baseline; default 1,2,4,8).
+  std::vector<int> grid_txns;
+  std::vector<int> grid_threads = {1, 2, 4, 8};
+  {
+    auto parse_list = [](const std::string& arg, size_t prefix,
+                         std::vector<int>* out) {
+      out->clear();
+      for (size_t pos = prefix; pos < arg.size();) {
+        size_t comma = arg.find(',', pos);
+        if (comma == std::string::npos) comma = arg.size();
+        out->push_back(std::atoi(arg.substr(pos, comma - pos).c_str()));
+        pos = comma + 1;
+      }
+    };
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--parallel-txns=", 0) == 0) {
+        parse_list(arg, 16, &grid_txns);
+      } else if (arg.rfind("--parallel-threads=", 0) == 0) {
+        parse_list(arg, 19, &grid_threads);
+      } else {
+        argv[kept++] = argv[i];
+      }
+    }
+    argc = kept;
+  }
   adya::g_stats = stats.registry();
   adya::g_repeats = repeats.count();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
+  adya::RunArtifactsGrid(repeats.count(), grid_txns, grid_threads);
   benchmark::Shutdown();
   return 0;
 }

@@ -8,11 +8,14 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "common/check.h"
 #include "common/str_util.h"
+#include "common/thread_pool.h"
 #include "core/checker_api.h"
 #include "core/levels.h"
 #include "core/online.h"
@@ -34,13 +37,14 @@ CheckerOptions FacadeOptions() {
   return options;
 }
 
-History MakeHistory(int txns, double random_vorder) {
+History MakeHistory(int txns, double random_vorder, bool finalize = true) {
   workload::RandomHistoryOptions options;
   options.seed = 13;
   options.num_txns = txns;
   options.num_objects = txns / 2 + 1;
   options.ops_per_txn = 5;
   options.random_version_order_prob = random_vorder;
+  options.finalize = finalize;
   return workload::GenerateRandomHistory(options);
 }
 
@@ -166,79 +170,117 @@ BENCHMARK(BM_OnlineVsOffline)
     ->Args({100, 0})
     ->Args({100, 1});
 
-// Phase-level cost of one full serial CheckAll, measured with the obs
-// phase timers (the sum of each checker.*_us histogram is the exact
-// microseconds that pass spent in the phase). This is the section the
-// checked-in CPU baseline bench/BENCH_checker_cpu.json records:
+// Phase-level cost of one full CheckAll, measured with the obs phase
+// timers (the sum of each checker.*_us histogram is the exact microseconds
+// that pass spent in the phase). This is the section the checked-in CPU
+// baseline bench/BENCH_checker_cpu.json records:
 // conflict_cycle_us = conflicts_us + cycle_search_us is the layout-gate
-// number. Each size reruns --repeats times; min/median land in the JSON.
-void RunCheckerPhases(int repeats, const std::vector<int>& sizes) {
-  bench::Section("checker phases (serial CheckAll, obs timer sums)");
+// number. Each repeat finalizes a fresh copy of the (unfinalized) history
+// so checker.finalize_us / checker.version_order_us are re-run and
+// re-timed; the wall therefore spans Finalize + Checker + CheckAll, and
+//   other_us = wall − finalize − version_order − conflicts − dsg_build
+//              − phenomenon
+// is the true unattributed residual (the disjoint top-level phases;
+// cycle_search_us and witness_us nest inside the others and would double-
+// count). Each size reruns --repeats times per thread count; min/median/p90
+// land in the JSON. threads > 1 hands the facade a pool, which shards the
+// intra-artifact passes — verdicts and witnesses stay bit-identical, so a
+// threads row measures cost only.
+void RunCheckerPhases(int repeats, const std::vector<int>& sizes,
+                      const std::vector<int>& thread_counts) {
+  bench::Section("checker phases (artifacts CheckAll, obs timer sums)");
   for (int txns : sizes) {
-    History h = MakeHistory(txns, 0.3);
-    bench::RepeatSeries series;
-    for (int r = 0; r < repeats; ++r) {
-      obs::StatsRegistry registry;
-      CheckerOptions options;
-      options.stats = &registry;
-      auto start = std::chrono::steady_clock::now();
-      Checker checker(h, options);
-      auto all = checker.CheckAll();
-      benchmark::DoNotOptimize(all.size());
-      double wall_us =
-          static_cast<double>(
-              std::chrono::duration_cast<std::chrono::nanoseconds>(
-                  std::chrono::steady_clock::now() - start)
-                  .count()) /
-          1000.0;
-      obs::StatsSnapshot snap = registry.Snapshot();
-      auto sum_of = [&](const char* name) {
-        auto it = snap.histograms.find(name);
-        return it == snap.histograms.end()
-                   ? 0.0
-                   : static_cast<double>(it->second.sum);
-      };
-      double conflicts_us = sum_of("checker.conflicts_us");
-      double cycle_us = sum_of("checker.cycle_search_us");
-      series.Add("conflicts_us", conflicts_us);
-      series.Add("cycle_search_us", cycle_us);
-      series.Add("conflict_cycle_us", conflicts_us + cycle_us);
-      series.Add("phenomenon_us", sum_of("checker.phenomenon_us"));
-      series.Add("witness_us", sum_of("checker.witness_us"));
-      series.Add("wall_us", wall_us);
-      // Sub-phase breakdown of the phenomenon pass (the rewrite's profile
-      // surface): every checker.phenomenon.* histogram this run recorded.
-      for (const auto& [name, hist] : snap.histograms) {
-        if (name.rfind("checker.phenomenon.", 0) == 0) {
-          series.Add(name.substr(8), static_cast<double>(hist.sum));
+    const History unfinalized = MakeHistory(txns, 0.3, /*finalize=*/false);
+    for (int threads : thread_counts) {
+      std::unique_ptr<ThreadPool> pool =
+          threads > 1 ? std::make_unique<ThreadPool>(threads) : nullptr;
+      bench::RepeatSeries series;
+      size_t event_count = 0;
+      for (int r = 0; r < repeats; ++r) {
+        obs::StatsRegistry registry;
+        History h = unfinalized;
+        CheckerOptions options;
+        options.stats = &registry;
+        auto start = std::chrono::steady_clock::now();
+        {
+          History::FinalizeOptions fin;
+          fin.stats = &registry;
+          fin.pool = pool.get();
+          Status finalized = h.Finalize(fin);
+          ADYA_CHECK_MSG(finalized.ok(), finalized.ToString());
+        }
+        Checker checker = pool != nullptr ? Checker(h, options, pool.get())
+                                          : Checker(h, options);
+        auto all = checker.CheckAll();
+        benchmark::DoNotOptimize(all.size());
+        double wall_us =
+            static_cast<double>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - start)
+                    .count()) /
+            1000.0;
+        event_count = h.events().size();
+        obs::StatsSnapshot snap = registry.Snapshot();
+        auto sum_of = [&](const char* name) {
+          auto it = snap.histograms.find(name);
+          return it == snap.histograms.end()
+                     ? 0.0
+                     : static_cast<double>(it->second.sum);
+        };
+        double conflicts_us = sum_of("checker.conflicts_us");
+        double cycle_us = sum_of("checker.cycle_search_us");
+        double dsg_build_us = sum_of("checker.dsg_build_us");
+        double finalize_us = sum_of("checker.finalize_us");
+        double version_order_us = sum_of("checker.version_order_us");
+        double phenomenon_us = sum_of("checker.phenomenon_us");
+        series.Add("finalize_us", finalize_us);
+        series.Add("version_order_us", version_order_us);
+        series.Add("conflicts_us", conflicts_us);
+        series.Add("cycle_search_us", cycle_us);
+        series.Add("conflict_cycle_us", conflicts_us + cycle_us);
+        series.Add("dsg_build_us", dsg_build_us);
+        series.Add("phenomenon_us", phenomenon_us);
+        series.Add("witness_us", sum_of("checker.witness_us"));
+        series.Add("other_us", wall_us - finalize_us - version_order_us -
+                                   conflicts_us - dsg_build_us -
+                                   phenomenon_us);
+        series.Add("wall_us", wall_us);
+        // Sub-phase breakdown of the phenomenon pass (the rewrite's profile
+        // surface): every checker.phenomenon.* histogram this run recorded.
+        for (const auto& [name, hist] : snap.histograms) {
+          if (name.rfind("checker.phenomenon.", 0) == 0) {
+            series.Add(name.substr(8), static_cast<double>(hist.sum));
+          }
         }
       }
-    }
-    auto summary = series.Summary();
-    // layout tags which checker-core data layout produced the line: "map"
-    // was the ordered-map/BFS era (kept in the checked-in baseline for the
-    // before/after comparison), "dense" is the dense-id/CSR/bitset core,
-    // "artifacts" the shared-PhenomenonArtifacts phenomenon phase.
-    std::string line = StrCat(
-        "BENCH {\"name\":\"checker_phases\",\"layout\":\"artifacts\","
-        "\"txns\":", txns, ",\"events\":", h.events().size(),
-        ",\"repeats\":", repeats);
-    // Fixed keys first (the CI regression gate parses these), then the
-    // checker.phenomenon.* sub-phase breakdown in map order.
-    static constexpr const char* kFixed[] = {
-        "conflicts_us",  "cycle_search_us", "conflict_cycle_us",
-        "phenomenon_us", "witness_us",      "wall_us"};
-    for (const char* key : kFixed) {
-      line += StrCat(",\"", key, "\":",
-                     bench::RepeatSeries::Json(summary.at(key)));
-    }
-    for (const auto& [key, stats] : summary) {
-      if (key.rfind("phenomenon.", 0) == 0) {
-        line += StrCat(",\"", key, "\":", bench::RepeatSeries::Json(stats));
+      auto summary = series.Summary();
+      // layout tags which checker-core data layout produced the line: "map"
+      // was the ordered-map/BFS era (kept in the checked-in baseline for the
+      // before/after comparison), "dense" is the dense-id/CSR/bitset core,
+      // "artifacts" the shared-PhenomenonArtifacts phenomenon phase.
+      std::string line = StrCat(
+          "BENCH {\"name\":\"checker_phases\",\"layout\":\"artifacts\","
+          "\"txns\":", txns, ",\"events\":", event_count,
+          ",\"threads\":", threads, ",\"repeats\":", repeats);
+      // Fixed keys first (the CI regression gate parses these), then the
+      // checker.phenomenon.* sub-phase breakdown in map order.
+      static constexpr const char* kFixed[] = {
+          "finalize_us",   "version_order_us", "conflicts_us",
+          "cycle_search_us", "conflict_cycle_us", "dsg_build_us",
+          "phenomenon_us", "witness_us",       "other_us",
+          "wall_us"};
+      for (const char* key : kFixed) {
+        line += StrCat(",\"", key, "\":",
+                       bench::RepeatSeries::Json(summary.at(key)));
       }
+      for (const auto& [key, stats] : summary) {
+        if (key.rfind("phenomenon.", 0) == 0) {
+          line += StrCat(",\"", key, "\":", bench::RepeatSeries::Json(stats));
+        }
+      }
+      line += "}";
+      std::printf("%s\n", line.c_str());
     }
-    line += "}";
-    std::printf("%s\n", line.c_str());
   }
 }
 
@@ -249,20 +291,29 @@ int main(int argc, char** argv) {
   adya::bench::BenchStats stats(&argc, argv);
   adya::bench::Repeats repeats(&argc, argv);
   // --phase-txns=a,b,c overrides the sizes the phase section measures
-  // (CI smoke uses a small size; the checked-in baseline the full sweep).
+  // (CI smoke uses a small size; the checked-in baseline the full sweep);
+  // --phase-threads=a,b adds a pool-width axis (1 = the pool-less serial
+  // construction; each JSON line carries its "threads").
   std::vector<int> phase_txns = {1000, 4000, 10000};
+  std::vector<int> phase_threads = {1};
   {
+    auto parse_list = [](const std::string& arg, size_t prefix,
+                         std::vector<int>* out) {
+      out->clear();
+      for (size_t pos = prefix; pos < arg.size();) {
+        size_t comma = arg.find(',', pos);
+        if (comma == std::string::npos) comma = arg.size();
+        out->push_back(std::atoi(arg.substr(pos, comma - pos).c_str()));
+        pos = comma + 1;
+      }
+    };
     int kept = 1;
     for (int i = 1; i < argc; ++i) {
       std::string arg = argv[i];
       if (arg.rfind("--phase-txns=", 0) == 0) {
-        phase_txns.clear();
-        for (size_t pos = 13; pos < arg.size();) {
-          size_t comma = arg.find(',', pos);
-          if (comma == std::string::npos) comma = arg.size();
-          phase_txns.push_back(std::atoi(arg.substr(pos, comma - pos).c_str()));
-          pos = comma + 1;
-        }
+        parse_list(arg, 13, &phase_txns);
+      } else if (arg.rfind("--phase-threads=", 0) == 0) {
+        parse_list(arg, 16, &phase_threads);
       } else {
         argv[kept++] = argv[i];
       }
@@ -274,7 +325,7 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
-  adya::RunCheckerPhases(repeats.count(), phase_txns);
+  adya::RunCheckerPhases(repeats.count(), phase_txns, phase_threads);
   benchmark::Shutdown();
   return 0;
 }

@@ -103,10 +103,14 @@ class Repeats {
   int count_;
 };
 
-/// min/median of one metric across the repeats of a measured pass.
+/// min/median/p90 of one metric across the repeats of a measured pass.
+/// p90 (nearest-rank) exists because parallel timings are noisier than
+/// serial ones: min alone hides scheduling jitter, so checked-in parallel
+/// baselines report the tail too.
 struct RepeatStat {
   double min = 0;
   double median = 0;
+  double p90 = 0;
 };
 
 /// Collects named samples repeat by repeat and summarizes each metric.
@@ -127,17 +131,22 @@ class RepeatSeries {
       size_t n = sorted.size();
       s.median = (n % 2 == 1) ? sorted[n / 2]
                               : (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0;
+      // Nearest-rank p90: ceil(0.9 * n), 1-based. n=1 degenerates to the
+      // sample itself; n<=10 yields the max, which is the honest tail
+      // estimate at bench repeat counts.
+      s.p90 = sorted[(n * 9 + 9) / 10 - 1];
       out[name] = s;
     }
     return out;
   }
 
-  /// `"name":{"min":…,"median":…},…` fragments for a BENCH JSON line, in
-  /// the order the names were first added.
+  /// `"name":{"min":…,"median":…,"p90":…},…` fragments for a BENCH JSON
+  /// line, in the order the names were first added.
   static std::string Json(const RepeatStat& s) {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "{\"min\":%.1f,\"median\":%.1f}", s.min,
-                  s.median);
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"min\":%.1f,\"median\":%.1f,\"p90\":%.1f}", s.min,
+                  s.median, s.p90);
     return buf;
   }
 

@@ -37,6 +37,9 @@ using namespace adya;
       "  --max-pending=N    per-connection in-flight batch bound (default "
       "64)\n"
       "  --drain-batches=N  batches one worker wakeup drains (default 8)\n"
+      "  --check-threads=N  per-session thread ceiling for the checkers'\n"
+      "                     offline witness passes (default 1; OPEN's\n"
+      "                     check_threads can lower, never raise, it)\n"
       "  --gc-watermark=N   enable the checkers' prefix GC, attempted every "
       "N commits\n"
       "  --gc-min-window=N  minimum trailing events the prefix GC keeps "
@@ -84,6 +87,11 @@ int main(int argc, char** argv) {
       }
     } else if (arg.rfind("--drain-batches=", 0) == 0) {
       if (!ParseInt(value("--drain-batches="), &options.drain_batches)) {
+        Usage(argv[0]);
+      }
+    } else if (arg.rfind("--check-threads=", 0) == 0) {
+      if (!ParseInt(value("--check-threads="), &options.check_threads) ||
+          options.check_threads < 1) {
         Usage(argv[0]);
       }
     } else if (arg.rfind("--gc-watermark=", 0) == 0) {

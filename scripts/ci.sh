@@ -114,7 +114,9 @@ rm -f "$STATS_JSON"
 
 echo "=== adya_serve smoke (daemon + adya_load + /metrics + SIGTERM drain) ==="
 SERVE_DIR="$(mktemp -d)"
-./build/examples/adya_serve --port=0 --http-port=0 \
+# --check-threads=2 gives every session a 2-wide pool for its offline
+# witness passes — the smoke then also covers the pooled session path.
+./build/examples/adya_serve --port=0 --http-port=0 --check-threads=2 \
   --unix="$SERVE_DIR/serve.sock" --port-file="$SERVE_DIR/ports" \
   > "$SERVE_DIR/daemon.log" 2>&1 &
 SERVE_PID=$!
@@ -204,17 +206,21 @@ print('gc bench shapes OK')
 PYEOF
 rm -f "$GC_BENCH"
 
-echo "=== perf smoke (bench_checker_scale phase timers + regression gate) ==="
-# Verifies the phase-timer BENCH pipeline end to end AND gates the
-# phenomenon phase against gross regressions: the fresh min-of-repeats
-# phenomenon_us at the smoke size may not exceed 3x the checked-in
-# bench/BENCH_checker_cpu.json baseline. 3x is deliberately loose — CI
-# machines are noisy and min-of-2 is a rough statistic — so only a real
-# algorithmic regression (e.g. an artifact silently rebuilt per query)
-# trips it, not scheduler jitter.
+echo "=== perf smoke (bench_checker_scale phase timers + regression gates) ==="
+# Verifies the phase-timer BENCH pipeline end to end AND gates against
+# gross regressions, serial and threaded: the fresh min-of-repeats
+# phenomenon_us at the smoke size (threads=1 row) may not exceed 3x the
+# checked-in bench/BENCH_checker_cpu.json baseline, and the threads=4
+# row's end-to-end wall may not exceed 3x the baseline serial wall — a
+# pool must never make the check catastrophically slower, even on a
+# one-core machine where it cannot make it faster. 3x is deliberately
+# loose — CI machines are noisy and min-of-2 is a rough statistic — so
+# only a real algorithmic regression (e.g. an artifact silently rebuilt
+# per query, or a nested fan-out serializing through the pool) trips it,
+# not scheduler jitter.
 PERF_SMOKE="$(mktemp)"
 ./build/bench/bench_checker_scale --repeats=2 --phase-txns=1000 \
-  --benchmark_filter='^$' > "$PERF_SMOKE"
+  --phase-threads=1,4 --benchmark_filter='^$' > "$PERF_SMOKE"
 python3 - "$PERF_SMOKE" bench/BENCH_checker_cpu.json <<'PYEOF'
 import json, sys
 
@@ -228,21 +234,33 @@ assert fresh, 'no checker_phases BENCH line emitted'
 for d in fresh:
     assert d['repeats'] == 2, d
     assert d['layout'] == 'artifacts', d
-    for key in ('conflicts_us', 'cycle_search_us', 'conflict_cycle_us',
-                'phenomenon_us', 'witness_us', 'wall_us'):
+    assert d['threads'] >= 1, d
+    for key in ('finalize_us', 'version_order_us', 'conflicts_us',
+                'cycle_search_us', 'conflict_cycle_us', 'dsg_build_us',
+                'phenomenon_us', 'witness_us', 'other_us', 'wall_us'):
         stat = d[key]
-        assert stat['min'] <= stat['median'], (key, stat)
-smoke = fresh[0]
+        assert stat['min'] <= stat['median'] <= stat['p90'], (key, stat)
+serial = [d for d in fresh if d['threads'] == 1]
+threaded = [d for d in fresh if d['threads'] == 4]
+assert serial and threaded, fresh
+smoke = serial[0]
 base = [d for d in bench_rows(sys.argv[2])
-        if d['layout'] == 'artifacts' and d['txns'] == smoke['txns']]
+        if d['layout'] == 'artifacts' and d['txns'] == smoke['txns']
+        and d.get('threads', 1) == 1]
 assert base, f"baseline has no artifacts line at {smoke['txns']} txns"
 baseline_us = base[0]['phenomenon_us']['min']
 fresh_us = smoke['phenomenon_us']['min']
 assert fresh_us <= 3.0 * baseline_us, (
     f"phenomenon phase regressed: {fresh_us:.0f}us fresh vs "
     f"{baseline_us:.0f}us baseline min (>3x)")
+baseline_wall = base[0]['wall_us']['min']
+threaded_wall = threaded[0]['wall_us']['min']
+assert threaded_wall <= 3.0 * baseline_wall, (
+    f"threaded check regressed: {threaded_wall:.0f}us wall at 4 threads vs "
+    f"{baseline_wall:.0f}us serial baseline min (>3x)")
 print(f"perf smoke OK: phenomenon_us {fresh_us:.0f}us "
-      f"<= 3x baseline {baseline_us:.0f}us")
+      f"<= 3x baseline {baseline_us:.0f}us; 4-thread wall "
+      f"{threaded_wall:.0f}us <= 3x baseline wall {baseline_wall:.0f}us")
 PYEOF
 rm -f "$PERF_SMOKE"
 
@@ -261,18 +279,21 @@ else
   # The multi-threaded surface: stress runs, blocking-engine contention,
   # the concurrent recorder tap, the thread pool, the obs counters and
   # histograms, and the slow-label differential harnesses — the
-  # phenomenon-phase wall (old rescan vs shared-artifacts, all modes), the
-  # parallel- and the incremental-checker sweeps — at a tenth of the
-  # corpus (TSan is ~10x).
+  # phenomenon-phase wall (old rescan vs shared-artifacts, all modes, on
+  # its {1,2,8}-thread pool axis), the parallel- and the
+  # incremental-checker sweeps — at a tenth of the corpus (TSan is ~10x).
   # *Bitset* is the forced-cycle-oracle differential suite (forced-on and
   # forced-off bitset reachability must stay bit-identical in every mode,
   # including the parallel checker's fan-out — hence TSan).
+  # *Parallel* picks up the intra-artifact parallelism differentials:
+  # sharded SCC/CSR/cycle-scan vs their serial formulations, the pooled
+  # preventative scans, and the pooled version-order build.
   # *Serve|Framing* is the adya_serve daemon: acceptor/reader/worker-shard
   # threading with concurrent differential clients.
   # *Ingest* is the Elle ingestion unit suite; the slow label below adds
   # the export⇄import round-trip wall at a tenth of its corpus.
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -R 'Stress|Blocking|Recorder|Concurrent|ThreadPool|Metrics|Obs|Bitset|Serve|Framing|Ingest'
+    -R 'Stress|Blocking|Recorder|Concurrent|ThreadPool|Metrics|Obs|Bitset|Parallel|Serve|Framing|Ingest'
   ADYA_DIFF_SCALE=10 ctest --test-dir build-tsan --output-on-failure \
     -j "$JOBS" -L slow
 fi

@@ -9,6 +9,8 @@ thread_local bool t_in_pool_task = false;
 
 }  // namespace
 
+bool ThreadPool::InPoolTask() { return t_in_pool_task; }
+
 ThreadPool::ThreadPool(int threads) : threads_(threads < 1 ? 1 : threads) {
   workers_.reserve(static_cast<size_t>(threads_ - 1));
   for (int i = 1; i < threads_; ++i) {

@@ -37,6 +37,13 @@ class ThreadPool {
   /// Total parallelism (workers + the calling thread), always >= 1.
   int threads() const { return threads_; }
 
+  /// True while the calling thread is executing pool work (any pool's). A
+  /// ParallelFor issued in that state runs inline, so algorithms with a
+  /// *different* serial formulation (e.g. Tarjan vs the parallel FW-BW SCC)
+  /// check this to pick the genuinely faster serial code path instead of
+  /// running the parallel one degenerately inline.
+  static bool InPoolTask();
+
   /// Runs fn(0) … fn(n-1), each exactly once, distributed over the workers
   /// and the calling thread; returns when all calls completed. `fn` must be
   /// safe to invoke concurrently from multiple threads and must not throw.

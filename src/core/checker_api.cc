@@ -168,7 +168,8 @@ Checker::Checker(const History& h, const CheckerOptions& options,
   options_.conflicts.stats = options_.stats;
   switch (options_.mode) {
     case CheckMode::kSerial:
-      serial_ = std::make_unique<PhenomenaChecker>(h, options_.conflicts);
+      serial_ =
+          std::make_unique<PhenomenaChecker>(h, options_.conflicts, pool);
       break;
     case CheckMode::kParallel: {
       CheckOptions internal;
@@ -180,8 +181,8 @@ Checker::Checker(const History& h, const CheckerOptions& options,
       break;
     }
     case CheckMode::kIncremental:
-      incremental_ = std::make_unique<IncrementalChecker>(h,
-                                                          options_.conflicts);
+      incremental_ = std::make_unique<IncrementalChecker>(
+          h, options_.conflicts, pool);
       break;
   }
 }

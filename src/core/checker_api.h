@@ -111,8 +111,11 @@ class Checker {
   /// `options` must Validate(); invalid options are a programmer error.
   explicit Checker(const History& h,
                    const CheckerOptions& options = CheckerOptions());
-  /// kParallel with an external pool (not owned; must outlive the checker).
-  /// The pool's thread count governs the sharding.
+  /// With an external pool (not owned; must outlive the checker). For
+  /// kParallel the pool's thread count governs the sharding; kSerial and
+  /// kIncremental use it for their intra-artifact passes (parallel CSR
+  /// build, SCC decomposition, sharded cycle scans) — verdicts and witness
+  /// text stay bit-identical to the pool-less construction.
   Checker(const History& h, const CheckerOptions& options, ThreadPool* pool);
   ~Checker();
 

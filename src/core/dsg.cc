@@ -4,6 +4,7 @@
 
 #include "common/flat_hash.h"
 #include "common/str_util.h"
+#include "common/thread_pool.h"
 #include "graph/dot.h"
 
 namespace adya {
@@ -27,24 +28,56 @@ Dsg::Dsg(const History& h, const ConflictOptions& options)
     : Dsg(h, options, nullptr) {}
 
 Dsg::Dsg(const History& h, const ConflictOptions& options, ThreadPool* pool)
-    : Dsg(h, ComputeDependencies(h, options, pool)) {}
+    : Dsg(h, ComputeDependencies(h, options, pool), pool) {}
 
-Dsg::Dsg(const History& h, std::vector<Dependency> deps) : history_(&h) {
+Dsg::Dsg(const History& h, std::vector<Dependency> deps)
+    : Dsg(h, std::move(deps), nullptr) {}
+
+Dsg::Dsg(const History& h, std::vector<Dependency> deps, ThreadPool* pool)
+    : history_(&h) {
   const DenseTxnIndex& dense = h.dense();
-  graph_.Resize(dense.committed_count());
+  const size_t n_deps = deps.size();
+
+  // Pre-pass: translate TxnIds to dense node ids. Two hash probes per
+  // dependency — the hot part of the merge — and each lookup is
+  // independent, so this shards over contiguous dependency ranges with no
+  // reduction needed at all.
+  std::vector<graph::NodeId> dep_from(n_deps), dep_to(n_deps);
+  constexpr size_t kParallelTranslateMinDeps = size_t{1} << 14;
+  size_t shards =
+      pool == nullptr ? 1
+                      : std::min<size_t>(static_cast<size_t>(pool->threads()),
+                                         n_deps / kParallelTranslateMinDeps);
+  if (shards > 1) {
+    const size_t chunk = (n_deps + shards - 1) / shards;
+    pool->ParallelFor(shards, [&](size_t s) {
+      const size_t lo = s * chunk, hi = std::min(n_deps, lo + chunk);
+      for (size_t i = lo; i < hi; ++i) {
+        dep_from[i] = *dense.CommittedIndexOf(deps[i].from);
+        dep_to[i] = *dense.CommittedIndexOf(deps[i].to);
+      }
+    });
+  } else {
+    for (size_t i = 0; i < n_deps; ++i) {
+      dep_from[i] = *dense.CommittedIndexOf(deps[i].from);
+      dep_to[i] = *dense.CommittedIndexOf(deps[i].to);
+    }
+  }
 
   // Merge conflicts into one edge per (from, to, kind), in deterministic
   // order (conflicts come out of ComputeDependencies in event order; edge
   // ids are assigned in first-appearance order of the (from, to, kind)
   // key, exactly as the ordered-map implementation this replaces). Keys
   // pack the two dense node ids; the kind picks a slot within the entry.
+  // This loop defines the edge ids and stays serial at any thread count.
   FlatMap<uint64_t, EdgeSlots> merged;
   // Parallel arrays per merged edge group, in insertion order.
   std::vector<graph::NodeId> group_from;
   std::vector<graph::NodeId> group_to;
-  for (Dependency& dep : deps) {
-    graph::NodeId from = *dense.CommittedIndexOf(dep.from);
-    graph::NodeId to = *dense.CommittedIndexOf(dep.to);
+  for (size_t i = 0; i < n_deps; ++i) {
+    Dependency& dep = deps[i];
+    graph::NodeId from = dep_from[i];
+    graph::NodeId to = dep_to[i];
     uint32_t& slot =
         merged[PackKey(from, to)].group[static_cast<int>(dep.kind)];
     if (slot == UINT32_MAX) {
@@ -56,10 +89,18 @@ Dsg::Dsg(const History& h, std::vector<Dependency> deps) : history_(&h) {
     }
     edge_reasons_[slot].push_back(std::move(dep));
   }
-  for (uint32_t i = 0; i < edge_reasons_.size(); ++i) {
-    graph_.AddEdge(group_from[i], group_to[i], Bit(edge_kinds_[i]));
+  // Assemble the frozen graph directly from the group arrays (edge id ==
+  // group insertion order, same ids AddEdge would assign) with the CSR
+  // passes sharded over the pool — byte-identical to the
+  // Resize/AddEdge/Freeze path this replaces, without the per-node build
+  // vectors.
+  std::vector<graph::Digraph::Edge> edges(edge_kinds_.size());
+  for (uint32_t i = 0; i < edge_kinds_.size(); ++i) {
+    edges[i] =
+        graph::Digraph::Edge{group_from[i], group_to[i], Bit(edge_kinds_[i])};
   }
-  graph_.Freeze();
+  graph_ = graph::Digraph::FromEdges(dense.committed_count(), std::move(edges),
+                                     pool);
 }
 
 size_t Dsg::node_count() const {

@@ -35,6 +35,11 @@ class Dsg {
   /// PhenomenonArtifacts uses this to share one conflict pass between the
   /// DSG, the G-cursor plan, and the SSG variants.
   Dsg(const History& h, std::vector<Dependency> deps);
+  /// Same, with the dense-id translation pre-pass and the CSR freeze
+  /// sharded over `pool` (the first-appearance merge itself stays serial —
+  /// it defines the edge ids). Bit-identical graph at any thread count;
+  /// null pool runs the serial passes.
+  Dsg(const History& h, std::vector<Dependency> deps, ThreadPool* pool);
 
   const History& history() const { return *history_; }
   const graph::Digraph& graph() const { return graph_; }

@@ -11,8 +11,8 @@ namespace adya {
 
 IncrementalChecker::IncrementalChecker(IsolationLevel target,
                                        obs::StatsRegistry* stats,
-                                       const GcOptions& gc)
-    : target_(target), gc_(gc) {
+                                       const GcOptions& gc, ThreadPool* pool)
+    : target_(target), pool_(pool), gc_(gc) {
   offline_options_.stats = stats;
   // The detectors see the cycle-preserving reduced edge set: every
   // phenomenon decision is unchanged (ConflictOptions documents why) and
@@ -62,9 +62,15 @@ IncrementalChecker::IncrementalChecker(const History& finalized)
 
 IncrementalChecker::IncrementalChecker(const History& finalized,
                                        const ConflictOptions& options)
+    : IncrementalChecker(finalized, options, nullptr) {}
+
+IncrementalChecker::IncrementalChecker(const History& finalized,
+                                       const ConflictOptions& options,
+                                       ThreadPool* pool)
     : target_(IsolationLevel::kPL3),
       audit_mode_(true),
       offline_options_(options),
+      pool_(pool),
       history_(finalized) {
   ADYA_CHECK_MSG(history_.finalized(),
                  "audit-mode IncrementalChecker requires a finalized history");
@@ -411,11 +417,13 @@ std::vector<Violation> IncrementalChecker::OnCommit(TxnId txn) {
   // per-phenomenon rescans of the prefix.
   History prefix = history_;
   {
-    ADYA_TIMED_PHASE(offline_options_.stats, "checker.version_order_us");
-    Status finalize = prefix.Finalize();
+    History::FinalizeOptions fin;
+    fin.stats = offline_options_.stats;  // checker.finalize_us + version_order_us
+    fin.pool = pool_;
+    Status finalize = prefix.Finalize(fin);
     ADYA_CHECK_MSG(finalize.ok(), finalize.ToString());
   }
-  PhenomenaChecker offline(prefix, offline_options_);
+  PhenomenaChecker offline(prefix, offline_options_, pool_);
   for (Phenomenon p : newly) {
     std::optional<Violation> v = offline.Check(p);
     ADYA_CHECK_MSG(v.has_value(),
@@ -615,17 +623,19 @@ const PhenomenaChecker& IncrementalChecker::Offline() const {
     return *audit_.checker;
   }
   if (audit_mode_) {
-    audit_.checker =
-        std::make_unique<PhenomenaChecker>(history_, offline_options_);
+    audit_.checker = std::make_unique<PhenomenaChecker>(
+        history_, offline_options_, pool_);
   } else {
     audit_.prefix = std::make_unique<History>(history_);
     {
-      ADYA_TIMED_PHASE(offline_options_.stats, "checker.version_order_us");
-      Status finalize = audit_.prefix->Finalize();
+      History::FinalizeOptions fin;
+      fin.stats = offline_options_.stats;
+      fin.pool = pool_;
+      Status finalize = audit_.prefix->Finalize(fin);
       ADYA_CHECK_MSG(finalize.ok(), finalize.ToString());
     }
-    audit_.checker =
-        std::make_unique<PhenomenaChecker>(*audit_.prefix, offline_options_);
+    audit_.checker = std::make_unique<PhenomenaChecker>(
+        *audit_.prefix, offline_options_, pool_);
   }
   audit_.events = events;
   return *audit_.checker;

@@ -106,9 +106,16 @@ class IncrementalChecker {
   /// non-null `stats` records the per-commit phase timings and delta sizes
   /// under the same metric names as the offline checkers (DESIGN.md §9),
   /// plus the checker.gc_* series when `gc` enables prefix collection.
+  /// A non-null `pool` (not owned; must outlive the checker) shards the
+  /// offline witness-extraction passes — prefix Finalize and the
+  /// PhenomenaChecker artifact builds — whose reductions keep verdicts and
+  /// witness text bit-identical to the serial path at any thread count.
+  /// The per-event streaming updates themselves stay single-threaded (the
+  /// serve layer pins each session to one worker shard).
   explicit IncrementalChecker(IsolationLevel target,
                               obs::StatsRegistry* stats = nullptr,
-                              const GcOptions& gc = GcOptions());
+                              const GcOptions& gc = GcOptions(),
+                              ThreadPool* pool = nullptr);
 
   /// Audit mode: wrap an already-finalized history for CheckAll()/
   /// CheckLevel() queries (used by golden tests on histories whose
@@ -118,6 +125,9 @@ class IncrementalChecker {
   /// Audit mode with explicit conflict options (stats plumbing included) —
   /// the facade's kIncremental entry point.
   IncrementalChecker(const History& finalized, const ConflictOptions& options);
+  /// Audit mode with a pool for the offline checker's artifact builds.
+  IncrementalChecker(const History& finalized, const ConflictOptions& options,
+                     ThreadPool* pool);
 
   /// The live (unfinalized) history: declare relations, objects and
   /// predicates here before feeding events that use them. Explicit
@@ -195,6 +205,8 @@ class IncrementalChecker {
   /// streaming mode so witnesses stay bit-identical to PhenomenaChecker's;
   /// carries the stats registry in both modes).
   ConflictOptions offline_options_;
+  /// Shards the offline witness/audit passes; null = serial. Not owned.
+  ThreadPool* pool_ = nullptr;
   History history_;
   size_t commits_checked_ = 0;
   std::set<Phenomenon> reported_;

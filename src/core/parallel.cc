@@ -11,21 +11,30 @@ namespace {
 
 /// FindCycleWithRequiredKind wrapped into a Violation, mirroring
 /// PhenomenaChecker::CycleViolation (same phase metric names too). A
-/// non-null `scc` must be the allowed-subgraph partition (shared Tarjan
-/// pass); the result is bit-identical either way.
+/// non-null `scc` must be the allowed-subgraph partition (shared pass);
+/// without one the partition is computed here — over `pool` when called
+/// outside a fan-out, by the serial Tarjan when nested inside one (where
+/// ParallelFor runs inline anyway). The result is bit-identical in every
+/// case: the searches key on component equality only, which is invariant
+/// across the serial and parallel decompositions (DESIGN.md §15).
 std::optional<Violation> CycleViolation(Phenomenon p, const Dsg& dsg,
                                         graph::KindMask allowed,
                                         graph::KindMask required,
                                         obs::StatsRegistry* stats,
+                                        ThreadPool* pool,
                                         const graph::SccResult* scc = nullptr) {
   std::optional<graph::Cycle> cycle;
   {
     ADYA_TIMED_PHASE(stats, "checker.cycle_search_us");
-    cycle = scc != nullptr
-                ? graph::FindCycleWithRequiredKind(dsg.graph(), allowed,
-                                                   required, *scc)
-                : graph::FindCycleWithRequiredKind(dsg.graph(), allowed,
-                                                   required);
+    if (scc != nullptr) {
+      cycle = graph::FindCycleWithRequiredKind(dsg.graph(), allowed, required,
+                                               *scc, pool);
+    } else {
+      graph::SccResult own =
+          graph::StronglyConnectedComponents(dsg.graph(), allowed, pool);
+      cycle = graph::FindCycleWithRequiredKind(dsg.graph(), allowed, required,
+                                               own, pool);
+    }
   }
   if (!cycle.has_value()) return std::nullopt;
   ADYA_TIMED_PHASE(stats, "checker.witness_us");
@@ -133,20 +142,21 @@ std::optional<Violation> ParallelChecker::CheckDispatch(Phenomenon p) const {
   obs::StatsRegistry* stats = options_.conflicts.stats;
   const Dsg& d = artifacts_->dsg();
   switch (p) {
-    // The pure SCC searches: within a component every candidate edge closes
-    // a cycle, so the serial scan stops at its first SCC-internal candidate
-    // with no per-edge search — nothing to parallelize beyond the sharded
-    // graph build (already done in the constructor).
+    // The pure SCC searches: the dominant cost is the per-mask SCC
+    // decomposition (parallel FW-BW when called outside a fan-out, serial
+    // Tarjan when nested — each check then runs concurrently with the nine
+    // others); the candidate scan itself shards over edge ranges.
     case Phenomenon::kG0:
       return CycleViolation(p, d, Bit(DepKind::kWW), Bit(DepKind::kWW),
-                            stats);
+                            stats, pool_);
     case Phenomenon::kG1c:
-      return CycleViolation(p, d, kDependencyMask, kDependencyMask, stats);
+      return CycleViolation(p, d, kDependencyMask, kDependencyMask, stats,
+                            pool_);
     case Phenomenon::kG2Item:
       return CycleViolation(p, d, kDependencyMask | Bit(DepKind::kRWItem),
-                            Bit(DepKind::kRWItem), stats);
+                            Bit(DepKind::kRWItem), stats, pool_);
     case Phenomenon::kG2:
-      return CycleViolation(p, d, kConflictMask, kAntiMask, stats,
+      return CycleViolation(p, d, kConflictMask, kAntiMask, stats, pool_,
                             &artifacts_->conflict_scc());
     case Phenomenon::kG1a:
       return CheckG1aParallel(nullptr);

@@ -1,6 +1,7 @@
 #include "core/phenomena.h"
 
 #include <algorithm>
+#include <atomic>
 #include <deque>
 #include <iterator>
 #include <limits>
@@ -8,6 +9,7 @@
 
 #include "common/flat_hash.h"
 #include "common/str_util.h"
+#include "common/thread_pool.h"
 #include "history/format.h"
 #include "obs/stats.h"
 
@@ -186,17 +188,90 @@ graph::SccResult StartOrderScc(const graph::Digraph& g,
   return scc;
 }
 
+/// Below this many committed transactions the serial implicit-Kosaraju
+/// StartOrderScc wins; the threshold is low so the mid-size differential
+/// corpora exercise the parallel path.
+constexpr uint32_t kParallelStartSccMinNodes = 256;
+
+/// Parallel variant of StartOrderScc. The dense start order is made
+/// traversable without materializing its O(n²) edges by adding n auxiliary
+/// *chain* nodes over the begin-sorted order: chain node C_k (k-th smallest
+/// begin) has edges C_k -> by_begin[k] and C_k -> C_{k+1}, and each real
+/// node u has one edge u -> C_{lo[u]} where lo[u] is the first begin
+/// position past c_u. A real-to-real path through the chain
+/// u -> C_a -> … -> C_b -> j exists iff b >= a = lo[u], i.e. iff c_u < b_j
+/// — exactly the implicit start edges — so reachability restricted to real
+/// nodes (and therefore their SCC partition, SCCs being reachability
+/// classes) equals StartOrderScc's. The augmented graph (2n nodes,
+/// E + <3n edges) goes through the parallel CSR build and the parallel
+/// FW-BW SCC decomposition; real-node components are then projected out
+/// and re-densified in first-appearance order. Labels may differ from the
+/// serial Kosaraju's — every consumer keys on component equality, which is
+/// partition-invariant (DESIGN.md §15) — but are themselves deterministic
+/// at any thread count.
+graph::SccResult StartOrderSccParallel(const graph::Digraph& g,
+                                       const DenseTxnIndex& dense,
+                                       ThreadPool* pool) {
+  const uint32_t n = static_cast<uint32_t>(g.node_count());
+  std::vector<uint32_t> by_begin(n);
+  for (uint32_t v = 0; v < n; ++v) by_begin[v] = v;
+  std::sort(by_begin.begin(), by_begin.end(), [&](uint32_t a, uint32_t b) {
+    return dense.committed_begin_event(a) < dense.committed_begin_event(b);
+  });
+  std::vector<EventId> begins(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    begins[i] = dense.committed_begin_event(by_begin[i]);
+  }
+
+  const uint32_t chain = n;  // chain node k lives at id chain + k
+  std::vector<graph::Digraph::Edge> edges(g.edges());
+  edges.reserve(edges.size() + 3u * static_cast<size_t>(n));
+  constexpr graph::KindMask kAux = 1;  // any bit: the SCC mask below is ~0
+  for (uint32_t k = 0; k < n; ++k) {
+    edges.push_back({chain + k, by_begin[k], kAux});
+    if (k + 1 < n) edges.push_back({chain + k, chain + k + 1, kAux});
+  }
+  for (uint32_t u = 0; u < n; ++u) {
+    uint32_t lo = static_cast<uint32_t>(
+        std::upper_bound(begins.begin(), begins.end(),
+                         dense.committed_commit_event(u)) -
+        begins.begin());
+    if (lo < n) edges.push_back({u, chain + lo, kAux});
+  }
+  graph::Digraph aug =
+      graph::Digraph::FromEdges(2u * static_cast<size_t>(n), std::move(edges),
+                                pool);
+  graph::SccOptions aug_options;
+  aug_options.parallel_min_nodes = 0;  // the caller already gated on size
+  graph::SccResult full = graph::StronglyConnectedComponents(
+      aug, ~graph::KindMask{0}, pool, aug_options);
+
+  graph::SccResult scc;
+  scc.component.assign(n, 0);
+  constexpr uint32_t kUnmapped = std::numeric_limits<uint32_t>::max();
+  std::vector<uint32_t> remap(full.count, kUnmapped);
+  for (uint32_t v = 0; v < n; ++v) {
+    uint32_t& m = remap[full.component[v]];
+    if (m == kUnmapped) m = scc.count++;
+    scc.component[v] = m;
+  }
+  return scc;
+}
+
 }  // namespace
 
 PhenomenonArtifacts::PhenomenonArtifacts(const History& h,
                                          const ConflictOptions& options,
                                          ThreadPool* pool)
-    : history_(&h), options_(options) {
+    : history_(&h), options_(options), pool_(pool) {
   options_.include_start_edges = false;
   deps_ = ComputeDependencies(h, options_, pool);
   // The Dsg constructor consumes its list, so hand it a copy: `deps_` also
-  // feeds the G-cursor plan and the reduced SSG.
-  dsg_ = std::make_unique<Dsg>(h, deps_);
+  // feeds the G-cursor plan and the reduced SSG. The merge + CSR build is
+  // super-linear-adjacent work that used to hide in the unaccounted wall
+  // residual; it is timed (DESIGN.md §9) and sharded over the pool.
+  ADYA_TIMED_PHASE(options_.stats, "checker.dsg_build_us");
+  dsg_ = std::make_unique<Dsg>(h, deps_, pool_);
 }
 
 const Dsg& PhenomenonArtifacts::reduced_ssg() const {
@@ -212,7 +287,7 @@ const Dsg& PhenomenonArtifacts::reduced_ssg() const {
         ComputeStartDependencies(*history_, /*reduced=*/true);
     all.insert(all.end(), std::make_move_iterator(starts.begin()),
                std::make_move_iterator(starts.end()));
-    reduced_ssg_ = std::make_unique<Dsg>(*history_, std::move(all));
+    reduced_ssg_ = std::make_unique<Dsg>(*history_, std::move(all), pool_);
   });
   return *reduced_ssg_;
 }
@@ -220,7 +295,14 @@ const Dsg& PhenomenonArtifacts::reduced_ssg() const {
 const graph::SccResult& PhenomenonArtifacts::ssg_scc() const {
   std::call_once(ssg_scc_once_, [&] {
     ADYA_TIMED_PHASE(options_.stats, "checker.phenomenon.ssg_build_us");
-    ssg_scc_ = StartOrderScc(dsg_->graph(), history_->dense());
+    const uint32_t n = static_cast<uint32_t>(dsg_->graph().node_count());
+    if (pool_ != nullptr && pool_->threads() > 1 &&
+        n >= kParallelStartSccMinNodes) {
+      ssg_scc_ =
+          StartOrderSccParallel(dsg_->graph(), history_->dense(), pool_);
+    } else {
+      ssg_scc_ = StartOrderScc(dsg_->graph(), history_->dense());
+    }
   });
   return ssg_scc_;
 }
@@ -237,7 +319,7 @@ const graph::SccResult& PhenomenonArtifacts::conflict_scc() const {
   std::call_once(conflict_scc_once_, [&] {
     ADYA_TIMED_PHASE(options_.stats, "checker.cycle_search_us");
     conflict_scc_ =
-        graph::StronglyConnectedComponents(dsg_->graph(), kConflictMask);
+        graph::StronglyConnectedComponents(dsg_->graph(), kConflictMask, pool_);
   });
   return conflict_scc_;
 }
@@ -285,12 +367,58 @@ std::optional<Violation> PhenomenonArtifacts::CheckGSIb(
   std::optional<FullSsgWitness> w;
   {
     ADYA_TIMED_PHASE(options_.stats, "checker.cycle_search_us");
-    for (graph::EdgeId eid = 0; eid < g.edge_count() && !w.has_value();
-         ++eid) {
+    std::vector<graph::EdgeId> candidates;
+    for (graph::EdgeId eid = 0; eid < g.edge_count(); ++eid) {
       const graph::Digraph::Edge& e = g.edge(eid);
       if ((e.kinds & kAntiMask) == 0) continue;
       if (scc.component[e.from] != scc.component[e.to]) continue;
-      w = ReconstructFullSsgWitness(eid);
+      candidates.push_back(eid);
+    }
+    if (pool != nullptr && pool->threads() > 1 && candidates.size() > 1) {
+      // Fan the per-candidate witness BFS out. Existence of a rest-path is
+      // a pure per-edge predicate, so the LOWEST confirmed candidate is
+      // exactly the edge the serial ascending scan stops at — a min-edge-id
+      // reduction (DESIGN.md §15). Shard k takes candidates k, k+S, k+2S, …
+      // (ascending within each shard), so the shared atomic bound prunes
+      // higher-id work as soon as any shard confirms.
+      constexpr graph::EdgeId kNone =
+          std::numeric_limits<graph::EdgeId>::max();
+      std::atomic<graph::EdgeId> best{kNone};
+      const size_t shard_count =
+          std::min<size_t>(static_cast<size_t>(pool->threads()) * 4,
+                           candidates.size());
+      std::vector<graph::EdgeId> local_best(shard_count, kNone);
+      std::vector<std::optional<FullSsgWitness>> local_w(shard_count);
+      pool->ParallelFor(shard_count, [&](size_t s) {
+        for (size_t i = s; i < candidates.size(); i += shard_count) {
+          graph::EdgeId eid = candidates[i];
+          // Ascending within the shard: everything from here is >= eid.
+          if (eid >= best.load(std::memory_order_relaxed)) break;
+          std::optional<FullSsgWitness> cand = ReconstructFullSsgWitness(eid);
+          if (!cand.has_value()) continue;
+          local_best[s] = eid;
+          local_w[s] = std::move(cand);
+          graph::EdgeId cur = best.load(std::memory_order_relaxed);
+          while (eid < cur &&
+                 !best.compare_exchange_weak(cur, eid,
+                                             std::memory_order_relaxed)) {
+          }
+          break;  // later candidates in this shard are all larger
+        }
+      });
+      graph::EdgeId win = kNone;
+      size_t win_shard = 0;
+      for (size_t s = 0; s < shard_count; ++s) {
+        if (local_best[s] < win) {
+          win = local_best[s];
+          win_shard = s;
+        }
+      }
+      if (win != kNone) w = std::move(local_w[win_shard]);
+    } else {
+      for (size_t i = 0; i < candidates.size() && !w.has_value(); ++i) {
+        w = ReconstructFullSsgWitness(candidates[i]);
+      }
     }
   }
   if (!w.has_value()) return std::nullopt;
@@ -476,9 +604,14 @@ PhenomenonArtifacts::ReconstructFullSsgWitness(graph::EdgeId pivot) const {
 
 PhenomenaChecker::PhenomenaChecker(const History& h,
                                    const ConflictOptions& options)
-    : history_(&h), options_(options) {
+    : PhenomenaChecker(h, options, nullptr) {}
+
+PhenomenaChecker::PhenomenaChecker(const History& h,
+                                   const ConflictOptions& options,
+                                   ThreadPool* pool)
+    : history_(&h), options_(options), pool_(pool) {
   options_.include_start_edges = false;
-  artifacts_ = std::make_unique<PhenomenonArtifacts>(h, options_);
+  artifacts_ = std::make_unique<PhenomenonArtifacts>(h, options_, pool_);
 }
 
 std::optional<Violation> PhenomenaChecker::Check(Phenomenon p) const {
@@ -531,11 +664,21 @@ std::optional<Violation> PhenomenaChecker::CycleViolation(
   std::optional<graph::Cycle> cycle;
   {
     ADYA_TIMED_PHASE(options_.stats, "checker.cycle_search_us");
-    cycle = scc != nullptr
-                ? graph::FindCycleWithRequiredKind(dsg.graph(), allowed,
-                                                   required, *scc)
-                : graph::FindCycleWithRequiredKind(dsg.graph(), allowed,
-                                                   required);
+    if (scc != nullptr) {
+      cycle = graph::FindCycleWithRequiredKind(dsg.graph(), allowed, required,
+                                               *scc, pool_);
+    } else if (pool_ != nullptr && pool_->threads() > 1) {
+      // No shared partition for this mask: decompose with the parallel
+      // SCC (partition-identical to the serial Tarjan's; the search keys
+      // on component equality only) and shard the candidate scan.
+      graph::SccResult own =
+          graph::StronglyConnectedComponents(dsg.graph(), allowed, pool_);
+      cycle = graph::FindCycleWithRequiredKind(dsg.graph(), allowed, required,
+                                               own, pool_);
+    } else {
+      cycle =
+          graph::FindCycleWithRequiredKind(dsg.graph(), allowed, required);
+    }
   }
   if (!cycle.has_value()) return std::nullopt;
   ADYA_TIMED_PHASE(options_.stats, "checker.witness_us");
@@ -614,7 +757,7 @@ std::optional<Violation> PhenomenaChecker::CheckGSingle() const {
     graph::CycleOptions cycle_options{options_.cycle_bitset_max_scc};
     cycle = graph::FindCycleWithExactlyOne(dsg().graph(), kAntiMask,
                                            kDependencyMask,
-                                           artifacts_->conflict_scc(),
+                                           artifacts_->conflict_scc(), pool_,
                                            cycle_options);
   }
   if (!cycle.has_value()) return std::nullopt;
@@ -647,7 +790,7 @@ std::optional<Violation> PhenomenaChecker::CheckGSIa() const {
 // G-SI(b) (thesis, PL-SI "missed effects"): an SSG cycle with exactly one
 // anti-dependency edge (start edges count as dependency-like edges here).
 std::optional<Violation> PhenomenaChecker::CheckGSIb() const {
-  return artifacts_->CheckGSIb(nullptr);
+  return artifacts_->CheckGSIb(pool_);
 }
 
 // G-cursor (thesis, PL-CS): a cycle of write-dependency edges on a single

@@ -91,8 +91,9 @@ std::string_view PhenomenonMetricName(Phenomenon p);
 class PhenomenonArtifacts {
  public:
   /// `options.include_start_edges` is ignored (managed internally).
-  /// `pool` shards the conflict computation (null = serial; the result is
-  /// bit-identical either way).
+  /// `pool` is retained and shards the conflict computation, the DSG/SSG
+  /// CSR builds, and the lazy SCC decompositions (null = serial; every
+  /// verdict and witness is bit-identical either way — DESIGN.md §15).
   PhenomenonArtifacts(const History& h, const ConflictOptions& options,
                       ThreadPool* pool = nullptr);
 
@@ -144,6 +145,7 @@ class PhenomenonArtifacts {
 
   const History* history_;
   ConflictOptions options_;
+  ThreadPool* pool_;
   std::vector<Dependency> deps_;
   std::unique_ptr<Dsg> dsg_;
   mutable std::unique_ptr<Dsg> reduced_ssg_;
@@ -175,6 +177,13 @@ class PhenomenaChecker {
   /// never carries start edges and the SSG always does.
   explicit PhenomenaChecker(const History& h,
                             const ConflictOptions& options = ConflictOptions());
+  /// Same, with the artifact builds and cycle searches sharded over `pool`
+  /// (null = serial). The per-event/per-edge scans stay serial — the
+  /// parallel certification core shards those — but the super-linear work
+  /// (conflicts, CSR builds, SCCs, witness BFS fan-outs) goes wide. Every
+  /// verdict and witness is bit-identical to the serial constructor's.
+  PhenomenaChecker(const History& h, const ConflictOptions& options,
+                   ThreadPool* pool);
 
   /// nullopt when the phenomenon does not occur; a witness otherwise.
   std::optional<Violation> Check(Phenomenon p) const;
@@ -207,6 +216,7 @@ class PhenomenaChecker {
 
   const History* history_;
   ConflictOptions options_;
+  ThreadPool* pool_ = nullptr;
   std::unique_ptr<PhenomenonArtifacts> artifacts_;
 };
 

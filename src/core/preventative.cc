@@ -1,8 +1,11 @@
 #include "core/preventative.h"
 
+#include <algorithm>
+#include <atomic>
 #include <vector>
 
 #include "common/str_util.h"
+#include "common/thread_pool.h"
 #include "history/format.h"
 
 namespace adya {
@@ -62,9 +65,15 @@ PreventativeViolation MakeViolation(const History& h,
 
 // P0/P1/P2 share one shape: an <op1 by T1 on x> at position i, an
 // <op2 by T2 on x> at position j > i with T2 != T1, before T1 finishes.
-std::optional<PreventativeViolation> CheckItemInterleaving(
+// Every such pair lives on one object, so the scan restricts cleanly to an
+// object range [obj_lo, obj_hi): same ascending walk, bucket work only for
+// in-range objects. `bound`, when set, is a cross-shard upper bound on the
+// winning second-event id — any pair this range could still find at a
+// position >= *bound loses the min-j reduction, so the scan stops early.
+std::optional<PreventativeViolation> CheckItemInterleavingRange(
     const History& h, PreventativePhenomenon p, EventType first_type,
-    EventType second_type, const std::string& what) {
+    EventType second_type, const std::string& what, ObjectId obj_lo,
+    ObjectId obj_hi, const std::atomic<EventId>* bound) {
   // Per object, the first_type ops whose transactions may still be live,
   // in event order — the probe order decides the witness, so buckets are
   // scanned ascending exactly like the flat rescan this replaces. An entry
@@ -74,12 +83,17 @@ std::optional<PreventativeViolation> CheckItemInterleaving(
   // bucket at most once, and a probe that reaches a live foreign entry
   // returns. Keeps the whole check linear-ish where the lazy rescan was
   // quadratic per object.
-  std::vector<std::vector<EventId>> first_ops(h.object_count());
+  std::vector<std::vector<EventId>> first_ops(obj_hi - obj_lo);
   for (EventId j = h.event_begin(); j < h.event_end(); ++j) {
+    if (bound != nullptr && j >= bound->load(std::memory_order_relaxed)) {
+      break;  // whatever remains here has a larger second event: it loses
+    }
     const Event& e = h.event(j);
-    if (e.type == second_type &&
-        (e.type == EventType::kRead || e.type == EventType::kWrite)) {
-      std::vector<EventId>& bucket = first_ops[e.version.object];
+    if (e.type != EventType::kRead && e.type != EventType::kWrite) continue;
+    ObjectId obj = e.version.object;
+    if (obj < obj_lo || obj >= obj_hi) continue;
+    if (e.type == second_type) {
+      std::vector<EventId>& bucket = first_ops[obj - obj_lo];
       size_t keep = 0;
       for (size_t k = 0; k < bucket.size(); ++k) {
         EventId i = bucket[k];
@@ -94,95 +108,162 @@ std::optional<PreventativeViolation> CheckItemInterleaving(
     }
     // Record after testing so an event cannot pair with itself (relevant
     // when first_type == second_type, i.e. P0).
-    if (e.type == first_type &&
-        (e.type == EventType::kRead || e.type == EventType::kWrite)) {
-      first_ops[e.version.object].push_back(j);
+    if (e.type == first_type) {
+      first_ops[obj - obj_lo].push_back(j);
     }
   }
   return std::nullopt;
 }
+
+// P3 core: r1[P] … w2[y in P] … before T1 finishes. "y in P" holds when the
+// write's new contents match P or the state it supersedes matched P. Writes
+// (and the previous-state stacks they consult) are object-local, so the scan
+// restricts to [obj_lo, obj_hi) like the item shape above; the pending
+// predicate reads are global and every range replays the full list.
+//
+// Previous state of the object, single-version semantics: the most recent
+// write whose writer has not aborted before the current position (a
+// rolled-back write does not count as the state this write supersedes).
+// Rollbacks are permanent as the scan advances, so per-object stacks popped
+// from the top visit each write O(1) times where the rescan-from-zero
+// re-derived the whole prefix per write; the pending predicate reads compact
+// the same way the item buckets above do. The probe orders are unchanged, so
+// so is the first (i, j) pair returned.
+std::optional<PreventativeViolation> CheckPhantomRange(
+    const History& h, ObjectId obj_lo, ObjectId obj_hi,
+    const std::atomic<EventId>* bound) {
+  struct TopWrite {
+    TxnId txn;
+    const Row* row;  // null for invisible versions
+  };
+  std::vector<std::vector<TopWrite>> last_writes(obj_hi - obj_lo);
+  std::vector<EventId> pred_reads;  // may-still-be-live, event order
+  for (EventId j = h.event_begin(); j < h.event_end(); ++j) {
+    if (bound != nullptr && j >= bound->load(std::memory_order_relaxed)) {
+      break;  // whatever remains here has a larger second event: it loses
+    }
+    const Event& w = h.event(j);
+    if (w.type == EventType::kPredicateRead) {
+      pred_reads.push_back(j);
+      continue;
+    }
+    if (w.type != EventType::kWrite) continue;
+    ObjectId obj = w.version.object;
+    if (obj < obj_lo || obj >= obj_hi) continue;
+    std::vector<TopWrite>& stack = last_writes[obj - obj_lo];
+    while (!stack.empty()) {
+      const History::TxnInfo& writer = h.txn_info(stack.back().txn);
+      if (writer.abort_event != kNoEvent && writer.abort_event < j) {
+        stack.pop_back();  // rolled back before the write under test
+        continue;
+      }
+      break;
+    }
+    const Row* prev_row = stack.empty() ? nullptr : stack.back().row;
+    size_t keep = 0;
+    for (size_t k = 0; k < pred_reads.size(); ++k) {
+      EventId i = pred_reads[k];
+      const Event& r = h.event(i);
+      if (FinishPos(h, r.txn) <= j) continue;  // finished: drop forever
+      pred_reads[keep++] = i;
+      if (r.txn == w.txn) continue;
+      const std::vector<RelationId>& rels =
+          h.predicate_relations(r.predicate);
+      RelationId obj_rel = h.object_relation(obj);
+      bool in_relations = false;
+      for (RelationId rel : rels) in_relations |= (rel == obj_rel);
+      if (!in_relations) continue;
+      const Predicate& pred = h.predicate(r.predicate);
+      bool new_matches =
+          w.written_kind == VersionKind::kVisible && pred.Matches(w.row);
+      bool old_matches = prev_row != nullptr && pred.Matches(*prev_row);
+      if (new_matches || old_matches) {
+        return MakeViolation(h, PreventativePhenomenon::kP3, i, j, "phantom");
+      }
+    }
+    pred_reads.resize(keep);
+    stack.push_back(TopWrite{
+        w.txn, w.written_kind == VersionKind::kVisible ? &w.row : nullptr});
+  }
+  return std::nullopt;
+}
+
+// Runs one phenomenon's scan restricted to [obj_lo, obj_hi).
+std::optional<PreventativeViolation> CheckPreventativeRange(
+    const History& h, PreventativePhenomenon p, ObjectId obj_lo,
+    ObjectId obj_hi, const std::atomic<EventId>* bound) {
+  switch (p) {
+    case PreventativePhenomenon::kP0:
+      return CheckItemInterleavingRange(h, p, EventType::kWrite,
+                                        EventType::kWrite, "dirty write",
+                                        obj_lo, obj_hi, bound);
+    case PreventativePhenomenon::kP1:
+      return CheckItemInterleavingRange(h, p, EventType::kWrite,
+                                        EventType::kRead, "dirty read",
+                                        obj_lo, obj_hi, bound);
+    case PreventativePhenomenon::kP2:
+      return CheckItemInterleavingRange(h, p, EventType::kRead,
+                                        EventType::kWrite, "unrepeatable read",
+                                        obj_lo, obj_hi, bound);
+    case PreventativePhenomenon::kP3:
+      return CheckPhantomRange(h, obj_lo, obj_hi, bound);
+  }
+  ADYA_UNREACHABLE();
+}
+
+// Below this many events the fork/join overhead beats the scan itself.
+constexpr size_t kParallelPreventativeMinEvents = size_t{1} << 13;
 
 }  // namespace
 
 std::optional<PreventativeViolation> CheckPreventative(
     const History& h, PreventativePhenomenon p) {
   ADYA_CHECK_MSG(h.finalized(), "CheckPreventative needs Finalize()");
-  switch (p) {
-    case PreventativePhenomenon::kP0:
-      return CheckItemInterleaving(h, p, EventType::kWrite, EventType::kWrite,
-                                   "dirty write");
-    case PreventativePhenomenon::kP1:
-      return CheckItemInterleaving(h, p, EventType::kWrite, EventType::kRead,
-                                   "dirty read");
-    case PreventativePhenomenon::kP2:
-      return CheckItemInterleaving(h, p, EventType::kRead, EventType::kWrite,
-                                   "unrepeatable read");
-    case PreventativePhenomenon::kP3: {
-      // r1[P] … w2[y in P] … before T1 finishes. "y in P" holds when the
-      // write's new contents match P or the state it supersedes matched P.
-      //
-      // Previous state of the object, single-version semantics: the most
-      // recent write whose writer has not aborted before the current
-      // position (a rolled-back write does not count as the state this
-      // write supersedes). Rollbacks are permanent as the scan advances,
-      // so per-object stacks popped from the top visit each write O(1)
-      // times where the rescan-from-zero re-derived the whole prefix per
-      // write; the pending predicate reads compact the same way the item
-      // buckets above do. The probe orders are unchanged, so so is the
-      // first (i, j) pair returned.
-      struct TopWrite {
-        TxnId txn;
-        const Row* row;  // null for invisible versions
-      };
-      std::vector<std::vector<TopWrite>> last_writes(h.object_count());
-      std::vector<EventId> pred_reads;  // may-still-be-live, event order
-      for (EventId j = h.event_begin(); j < h.event_end(); ++j) {
-        const Event& w = h.event(j);
-        if (w.type == EventType::kPredicateRead) {
-          pred_reads.push_back(j);
-          continue;
-        }
-        if (w.type != EventType::kWrite) continue;
-        std::vector<TopWrite>& stack = last_writes[w.version.object];
-        while (!stack.empty()) {
-          const History::TxnInfo& writer = h.txn_info(stack.back().txn);
-          if (writer.abort_event != kNoEvent && writer.abort_event < j) {
-            stack.pop_back();  // rolled back before the write under test
-            continue;
-          }
-          break;
-        }
-        const Row* prev_row = stack.empty() ? nullptr : stack.back().row;
-        size_t keep = 0;
-        for (size_t k = 0; k < pred_reads.size(); ++k) {
-          EventId i = pred_reads[k];
-          const Event& r = h.event(i);
-          if (FinishPos(h, r.txn) <= j) continue;  // finished: drop forever
-          pred_reads[keep++] = i;
-          if (r.txn == w.txn) continue;
-          const std::vector<RelationId>& rels =
-              h.predicate_relations(r.predicate);
-          RelationId obj_rel = h.object_relation(w.version.object);
-          bool in_relations = false;
-          for (RelationId rel : rels) in_relations |= (rel == obj_rel);
-          if (!in_relations) continue;
-          const Predicate& pred = h.predicate(r.predicate);
-          bool new_matches = w.written_kind == VersionKind::kVisible &&
-                             pred.Matches(w.row);
-          bool old_matches = prev_row != nullptr && pred.Matches(*prev_row);
-          if (new_matches || old_matches) {
-            return MakeViolation(h, p, i, j, "phantom");
-          }
-        }
-        pred_reads.resize(keep);
-        stack.push_back(TopWrite{
-            w.txn,
-            w.written_kind == VersionKind::kVisible ? &w.row : nullptr});
+  return CheckPreventativeRange(h, p, 0,
+                                static_cast<ObjectId>(h.object_count()),
+                                /*bound=*/nullptr);
+}
+
+std::optional<PreventativeViolation> CheckPreventative(
+    const History& h, PreventativePhenomenon p, ThreadPool* pool) {
+  ADYA_CHECK_MSG(h.finalized(), "CheckPreventative needs Finalize()");
+  size_t n_obj = h.object_count();
+  size_t n_events = h.event_end() - h.event_begin();
+  if (pool == nullptr || pool->threads() <= 1 || ThreadPool::InPoolTask() ||
+      n_obj < 2 || n_events < kParallelPreventativeMinEvents) {
+    return CheckPreventative(h, p);
+  }
+  // Contiguous object-id ranges; each shard walks the full event order but
+  // probes only its own objects, reporting its lowest-second-event pair
+  // (ascending scan: first hit is the shard minimum). The cross-shard
+  // minimum is then exactly the pair the serial ascending scan meets first.
+  // `best` doubles as the early-stop bound: once some shard confirms a pair
+  // at position j, positions >= j are dead everywhere.
+  size_t shards = std::min(static_cast<size_t>(pool->threads()), n_obj);
+  std::atomic<EventId> best{kNoEvent};
+  std::vector<std::optional<PreventativeViolation>> hits(shards);
+  pool->ParallelFor(shards, [&](size_t s) {
+    ObjectId lo = static_cast<ObjectId>(n_obj * s / shards);
+    ObjectId hi = static_cast<ObjectId>(n_obj * (s + 1) / shards);
+    std::optional<PreventativeViolation> v =
+        CheckPreventativeRange(h, p, lo, hi, &best);
+    if (v.has_value()) {
+      EventId j = v->second_event;
+      EventId cur = best.load(std::memory_order_relaxed);
+      while (j < cur && !best.compare_exchange_weak(
+                            cur, j, std::memory_order_relaxed)) {
       }
-      return std::nullopt;
+      hits[s] = std::move(v);
+    }
+  });
+  std::optional<PreventativeViolation> win;
+  for (std::optional<PreventativeViolation>& v : hits) {
+    if (v.has_value() &&
+        (!win.has_value() || v->second_event < win->second_event)) {
+      win = std::move(v);
     }
   }
-  ADYA_UNREACHABLE();
+  return win;
 }
 
 const std::vector<PreventativePhenomenon>& ProscribedPreventative(
@@ -211,10 +292,15 @@ const std::vector<PreventativePhenomenon>& ProscribedPreventative(
 }
 
 DegreeCheckResult CheckDegree(const History& h, LockingDegree degree) {
+  return CheckDegree(h, degree, nullptr);
+}
+
+DegreeCheckResult CheckDegree(const History& h, LockingDegree degree,
+                              ThreadPool* pool) {
   DegreeCheckResult result;
   result.degree = degree;
   for (PreventativePhenomenon p : ProscribedPreventative(degree)) {
-    if (auto v = CheckPreventative(h, p)) {
+    if (auto v = CheckPreventative(h, p, pool)) {
       result.violations.push_back(std::move(*v));
     }
   }

@@ -38,6 +38,16 @@ struct PreventativeViolation {
 std::optional<PreventativeViolation> CheckPreventative(
     const History& h, PreventativePhenomenon p);
 
+/// Pool overload: shards the per-object interleaving scan over contiguous
+/// object-id ranges (every P0–P2 pair lives on one object; P3 writes are
+/// object-local too, with each shard replaying the global predicate-read
+/// list). Shards reduce by minimum second-event id, which is exactly the
+/// pair the ascending serial scan reports first, so the witness — down to
+/// its text — is identical at any thread count. Null / single-thread pool
+/// falls back to the serial scan.
+std::optional<PreventativeViolation> CheckPreventative(
+    const History& h, PreventativePhenomenon p, ThreadPool* pool);
+
 /// The lock-based ANSI levels of Figure 1, defined by which phenomena they
 /// proscribe.
 enum class LockingDegree : uint8_t {
@@ -61,6 +71,10 @@ struct DegreeCheckResult {
 
 /// Would a locking scheduler at `degree` have permitted this interleaving?
 DegreeCheckResult CheckDegree(const History& h, LockingDegree degree);
+
+/// Pool overload: runs each proscribed phenomenon's sharded scan.
+DegreeCheckResult CheckDegree(const History& h, LockingDegree degree,
+                              ThreadPool* pool);
 
 /// The PL level that corresponds to each locking degree (Figure 1 ↔
 /// Figure 6), used by the permissiveness experiment: every

@@ -13,6 +13,21 @@ namespace {
 
 constexpr uint32_t kUnvisited = std::numeric_limits<uint32_t>::max();
 
+/// Remaps unique-per-component temporary labels (representative node ids)
+/// to dense ids in first-appearance order over ascending node id. This is
+/// the label normalization of DESIGN.md §15: the partition is what the
+/// algorithms below compute; the labels become a pure function of the
+/// partition, independent of thread count and work interleaving.
+void RelabelByFirstAppearance(SccResult& scc) {
+  std::vector<uint32_t> remap(scc.component.size(), kUnvisited);
+  uint32_t next = 0;
+  for (uint32_t& c : scc.component) {
+    if (remap[c] == kUnvisited) remap[c] = next++;
+    c = remap[c];
+  }
+  scc.count = next;
+}
+
 }  // namespace
 
 SccResult StronglyConnectedComponents(const Digraph& g, KindMask allowed) {
@@ -77,6 +92,296 @@ SccResult StronglyConnectedComponents(const Digraph& g, KindMask allowed) {
       }
     }
   }
+  // Tarjan emits components in completion order; normalize so the labels
+  // are a pure function of the partition and therefore agree byte-for-byte
+  // with the parallel FW-BW path (DESIGN.md §15, rule 3).
+  RelabelByFirstAppearance(result);
+  return result;
+}
+
+SccResult StronglyConnectedComponents(const Digraph& g, KindMask allowed,
+                                      ThreadPool* pool,
+                                      const SccOptions& options) {
+  const size_t n = g.node_count();
+  // The InPoolTask check matters because the serial algorithm is a
+  // *different* one (Tarjan): inside a fan-out every nested ParallelFor
+  // runs inline, and trim+FW-BW executed serially loses to Tarjan — so a
+  // nested caller (e.g. a per-phenomenon check inside CheckAll's fan-out)
+  // gets the genuinely faster serial path instead.
+  if (pool == nullptr || pool->threads() <= 1 || ThreadPool::InPoolTask() ||
+      n < options.parallel_min_nodes) {
+    return StronglyConnectedComponents(g, allowed);
+  }
+  const size_t threads = static_cast<size_t>(pool->threads());
+  SccResult result;
+  // Temporary labels are representative node ids (unique per component and
+  // a pure function of the partition); normalized densely at the end.
+  result.component.assign(n, kUnvisited);
+
+  const size_t node_shards = std::min(n, threads * 4);
+  const size_t node_chunk = (n + node_shards - 1) / node_shards;
+
+  // ---- Trim: parallel Kahn peels. A node with no allowed in-edge (resp.
+  // out-edge) from the remaining subgraph is its own singleton SCC; peeling
+  // to fixpoint leaves only nodes with a cycle upstream AND downstream.
+  // Each batch is the deterministic set of nodes whose degree reached zero
+  // in the previous batch, and every assignment writes the node's own id,
+  // so the outcome is interleaving-independent.
+  std::vector<std::atomic<uint32_t>> degree(n);
+  auto collect = [&](auto&& pred) {
+    std::vector<std::vector<NodeId>> local(node_shards);
+    pool->ParallelFor(node_shards, [&](size_t s) {
+      const size_t lo = s * node_chunk, hi = std::min(n, lo + node_chunk);
+      for (size_t v = lo; v < hi; ++v) {
+        if (pred(static_cast<NodeId>(v))) {
+          local[s].push_back(static_cast<NodeId>(v));
+        }
+      }
+    });
+    std::vector<NodeId> out;
+    for (auto& l : local) out.insert(out.end(), l.begin(), l.end());
+    return out;
+  };
+  auto peel = [&](bool peel_sources) {
+    pool->ParallelFor(node_shards, [&](size_t s) {
+      const size_t lo = s * node_chunk, hi = std::min(n, lo + node_chunk);
+      for (size_t v = lo; v < hi; ++v) {
+        if (result.component[v] != kUnvisited) {
+          degree[v].store(kUnvisited, std::memory_order_relaxed);
+          continue;
+        }
+        uint32_t d = 0;
+        for (EdgeId eid :
+             peel_sources ? g.in_edges(v) : g.out_edges(v)) {
+          const Digraph::Edge& e = g.edge(eid);
+          if ((e.kinds & allowed) == 0) continue;
+          // Edges incident to already-peeled nodes no longer count.
+          NodeId other = peel_sources ? e.from : e.to;
+          if (result.component[other] != kUnvisited) continue;
+          ++d;
+        }
+        degree[v].store(d, std::memory_order_relaxed);
+      }
+    });
+    std::vector<NodeId> frontier = collect([&](NodeId v) {
+      return degree[v].load(std::memory_order_relaxed) == 0;
+    });
+    // Small frontiers (long chains peel one node per batch) run inline:
+    // a pool dispatch per singleton batch would serialize on overhead.
+    constexpr size_t kInlineFrontier = 512;
+    while (!frontier.empty()) {
+      const size_t f = frontier.size();
+      const size_t shards =
+          f >= kInlineFrontier ? std::min(f, threads * 4) : 1;
+      const size_t chunk = (f + shards - 1) / shards;
+      std::vector<std::vector<NodeId>> local(shards);
+      auto run_shard = [&](size_t s) {
+        const size_t lo = s * chunk, hi = std::min(f, lo + chunk);
+        for (size_t i = lo; i < hi; ++i) {
+          NodeId v = frontier[i];
+          result.component[v] = v;  // singleton
+          for (EdgeId eid :
+               peel_sources ? g.out_edges(v) : g.in_edges(v)) {
+            const Digraph::Edge& e = g.edge(eid);
+            if ((e.kinds & allowed) == 0) continue;
+            NodeId w = peel_sources ? e.to : e.from;
+            if (degree[w].load(std::memory_order_relaxed) == kUnvisited) {
+              continue;  // already peeled in an earlier pass
+            }
+            if (degree[w].fetch_sub(1, std::memory_order_relaxed) == 1) {
+              local[s].push_back(w);  // exactly one decrementer sees 1 -> 0
+            }
+          }
+        }
+      };
+      if (shards == 1) {
+        run_shard(0);
+      } else {
+        pool->ParallelFor(shards, run_shard);
+      }
+      frontier.clear();
+      for (auto& l : local) {
+        frontier.insert(frontier.end(), l.begin(), l.end());
+      }
+    }
+  };
+  peel(/*peel_sources=*/true);
+  peel(/*peel_sources=*/false);
+
+  // ---- FW-BW on the cyclic remainder. The worklist is processed serially
+  // (deterministic task order); the reachability BFS inside a task goes
+  // wide when the frontier is large enough to pay for it. Reachable SETS
+  // are traversal-order independent, pivots are subset minima, and labels
+  // are representatives, so the result is deterministic.
+  std::vector<NodeId> remainder;
+  for (NodeId v = 0; v < n; ++v) {
+    if (result.component[v] == kUnvisited) remainder.push_back(v);
+  }
+  if (!remainder.empty()) {
+    constexpr uint32_t kNoTask = kUnvisited;
+    constexpr size_t kSerialCutoff = 8192;
+    constexpr size_t kParallelFrontier = 512;
+    constexpr uint8_t kFwd = 1, kBwd = 2;
+    std::vector<uint32_t> task_of(n, kNoTask);
+    for (NodeId v : remainder) task_of[v] = 0;
+    std::vector<std::atomic<uint8_t>> state(n);
+    uint32_t next_task = 1;
+    std::vector<std::pair<uint32_t, std::vector<NodeId>>> tasks;
+    tasks.emplace_back(0, std::move(remainder));
+
+    // Subset-restricted iterative Tarjan for below-cutoff tasks, labeling
+    // each popped SCC with its smallest member.
+    std::vector<uint32_t> t_index(n, kUnvisited), t_lowlink(n, 0);
+    std::vector<bool> t_onstack(n, false);
+    auto serial_subset_scc = [&](const std::vector<NodeId>& nodes,
+                                 uint32_t tid) {
+      for (NodeId v : nodes) {
+        t_index[v] = kUnvisited;
+        t_onstack[v] = false;
+      }
+      std::vector<NodeId> stk;
+      uint32_t next_index = 0;
+      struct Frame {
+        NodeId node;
+        size_t edge_pos;
+      };
+      std::vector<Frame> call_stack;
+      for (NodeId root : nodes) {
+        if (t_index[root] != kUnvisited) continue;
+        call_stack.push_back({root, 0});
+        while (!call_stack.empty()) {
+          Frame& frame = call_stack.back();
+          NodeId v = frame.node;
+          if (frame.edge_pos == 0) {
+            t_index[v] = t_lowlink[v] = next_index++;
+            stk.push_back(v);
+            t_onstack[v] = true;
+          }
+          bool descended = false;
+          const auto& out = g.out_edges(v);
+          while (frame.edge_pos < out.size()) {
+            const Digraph::Edge& e = g.edge(out[frame.edge_pos]);
+            ++frame.edge_pos;
+            if ((e.kinds & allowed) == 0) continue;
+            NodeId w = e.to;
+            if (task_of[w] != tid) continue;
+            if (t_index[w] == kUnvisited) {
+              call_stack.push_back({w, 0});
+              descended = true;
+              break;
+            }
+            if (t_onstack[w]) {
+              t_lowlink[v] = std::min(t_lowlink[v], t_index[w]);
+            }
+          }
+          if (descended) continue;
+          if (t_lowlink[v] == t_index[v]) {
+            uint32_t rep = kUnvisited;
+            size_t mark = stk.size();
+            for (;;) {
+              NodeId w = stk[--mark];
+              rep = std::min(rep, w);
+              if (w == v) break;
+            }
+            for (size_t i = mark; i < stk.size(); ++i) {
+              t_onstack[stk[i]] = false;
+              result.component[stk[i]] = rep;
+            }
+            stk.resize(mark);
+          }
+          call_stack.pop_back();
+          if (!call_stack.empty()) {
+            NodeId parent = call_stack.back().node;
+            t_lowlink[parent] = std::min(t_lowlink[parent], t_lowlink[v]);
+          }
+        }
+      }
+    };
+
+    auto bfs_mark = [&](NodeId pivot, uint32_t tid, uint8_t bit,
+                        bool forward) {
+      state[pivot].fetch_or(bit, std::memory_order_relaxed);
+      std::vector<NodeId> frontier{pivot};
+      while (!frontier.empty()) {
+        const size_t f = frontier.size();
+        const size_t shards =
+            f >= kParallelFrontier ? std::min(f, threads * 4) : 1;
+        const size_t chunk = (f + shards - 1) / shards;
+        std::vector<std::vector<NodeId>> local(shards);
+        auto expand = [&](size_t s) {
+          const size_t lo = s * chunk, hi = std::min(f, lo + chunk);
+          for (size_t i = lo; i < hi; ++i) {
+            NodeId v = frontier[i];
+            for (EdgeId eid : forward ? g.out_edges(v) : g.in_edges(v)) {
+              const Digraph::Edge& e = g.edge(eid);
+              if ((e.kinds & allowed) == 0) continue;
+              NodeId w = forward ? e.to : e.from;
+              if (task_of[w] != tid) continue;
+              uint8_t prev =
+                  state[w].fetch_or(bit, std::memory_order_relaxed);
+              if ((prev & bit) == 0) local[s].push_back(w);
+            }
+          }
+        };
+        if (shards == 1) {
+          expand(0);
+        } else {
+          pool->ParallelFor(shards, expand);
+        }
+        frontier.clear();
+        for (auto& l : local) {
+          frontier.insert(frontier.end(), l.begin(), l.end());
+        }
+      }
+    };
+
+    while (!tasks.empty()) {
+      auto [tid, nodes] = std::move(tasks.back());
+      tasks.pop_back();
+      if (nodes.size() == 1) {
+        result.component[nodes[0]] = nodes[0];
+        continue;
+      }
+      if (nodes.size() <= kSerialCutoff) {
+        serial_subset_scc(nodes, tid);
+        continue;
+      }
+      const size_t reset_shards = std::min(nodes.size(), threads * 4);
+      const size_t reset_chunk =
+          (nodes.size() + reset_shards - 1) / reset_shards;
+      pool->ParallelFor(reset_shards, [&](size_t s) {
+        const size_t lo = s * reset_chunk,
+                     hi = std::min(nodes.size(), lo + reset_chunk);
+        for (size_t i = lo; i < hi; ++i) {
+          state[nodes[i]].store(0, std::memory_order_relaxed);
+        }
+      });
+      NodeId pivot = nodes[0];  // subsets stay ascending: this is the min
+      bfs_mark(pivot, tid, kFwd, /*forward=*/true);
+      bfs_mark(pivot, tid, kBwd, /*forward=*/false);
+      std::vector<NodeId> fw, bw, rest;
+      for (NodeId v : nodes) {
+        uint8_t st = state[v].load(std::memory_order_relaxed);
+        if ((st & (kFwd | kBwd)) == (kFwd | kBwd)) {
+          result.component[v] = pivot;  // F∩B is exactly pivot's SCC
+        } else if ((st & kFwd) != 0) {
+          fw.push_back(v);
+        } else if ((st & kBwd) != 0) {
+          bw.push_back(v);
+        } else {
+          rest.push_back(v);
+        }
+      }
+      for (std::vector<NodeId>* sub : {&rest, &bw, &fw}) {
+        if (sub->empty()) continue;
+        uint32_t sub_tid = next_task++;
+        for (NodeId v : *sub) task_of[v] = sub_tid;
+        tasks.emplace_back(sub_tid, std::move(*sub));
+      }
+    }
+  }
+
+  RelabelByFirstAppearance(result);
   return result;
 }
 
@@ -150,6 +455,53 @@ std::optional<Cycle> FindCycleWithRequiredKind(const Digraph& g,
     return cycle;
   }
   return std::nullopt;
+}
+
+std::optional<Cycle> FindCycleWithRequiredKind(const Digraph& g,
+                                               KindMask allowed,
+                                               KindMask required,
+                                               const SccResult& scc,
+                                               ThreadPool* pool) {
+  constexpr size_t kParallelScanMinEdges = 1024;
+  const size_t m = g.edge_count();
+  if (pool == nullptr || pool->threads() <= 1 || m < kParallelScanMinEdges) {
+    return FindCycleWithRequiredKind(g, allowed, required, scc);
+  }
+  // Sharded min-index scan (DESIGN.md §15): contiguous edge-id ranges, each
+  // shard stops at its first qualifying edge, atomic min across shards. The
+  // candidate test is O(1), so the minimum qualifying id is exactly the
+  // edge the serial ascending scan returns.
+  const size_t shards =
+      std::min(m / (kParallelScanMinEdges / 4),
+               static_cast<size_t>(pool->threads()) * 4);
+  const size_t chunk = (m + shards - 1) / shards;
+  constexpr EdgeId kNone = std::numeric_limits<EdgeId>::max();
+  std::atomic<EdgeId> best{kNone};
+  pool->ParallelFor(shards, [&](size_t s) {
+    const size_t lo = s * chunk, hi = std::min(m, lo + chunk);
+    for (size_t id = lo; id < hi; ++id) {
+      if (id >= best.load(std::memory_order_relaxed)) return;
+      const Digraph::Edge& e = g.edge(id);
+      if ((e.kinds & allowed) == 0 || (e.kinds & required) == 0) continue;
+      if (scc.component[e.from] != scc.component[e.to]) continue;
+      EdgeId eid = static_cast<EdgeId>(id);
+      EdgeId cur = best.load(std::memory_order_relaxed);
+      while (eid < cur && !best.compare_exchange_weak(
+                              cur, eid, std::memory_order_relaxed)) {
+      }
+      return;  // later ids in this shard are larger
+    }
+  });
+  EdgeId eid = best.load(std::memory_order_relaxed);
+  if (eid == kNone) return std::nullopt;
+  const Digraph::Edge& e = g.edge(eid);
+  if (e.from == e.to) return Cycle{{eid}};
+  auto back = ShortestPath(g, e.to, e.from, allowed);
+  ADYA_CHECK_MSG(back.has_value(), "SCC edge must close a cycle");
+  Cycle cycle;
+  cycle.edges.push_back(eid);
+  cycle.edges.insert(cycle.edges.end(), back->begin(), back->end());
+  return cycle;
 }
 
 namespace {

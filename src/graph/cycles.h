@@ -27,6 +27,34 @@ struct SccResult {
 };
 SccResult StronglyConnectedComponents(const Digraph& g, KindMask allowed);
 
+/// Tuning for the parallel SCC decomposition.
+struct SccOptions {
+  /// Below this many nodes the parallel machinery costs more than the
+  /// serial Tarjan; the pool overload then just calls the serial one. The
+  /// default is deliberately low — the trim/FW-BW pass allocates only a
+  /// few O(n) arrays, so going wide early costs little and keeps the
+  /// parallel path exercised by the mid-size differential corpora. Tests
+  /// force the parallel path with 0.
+  uint32_t parallel_min_nodes = 512;
+};
+
+/// Parallel SCC decomposition: trims in-degree-0 / out-degree-0 nodes with
+/// a parallel Kahn peel (each a singleton component), then runs
+/// forward/backward-reachability (FW-BW) on the cyclic remainder — pivot =
+/// smallest node id of the current subset, F and B grown by parallel
+/// frontier BFS, F∩B emitted as one component, recursion on F∖B, B∖F and
+/// the rest; subsets below an internal cutoff finish on a
+/// subset-restricted serial Tarjan. The *partition* is identical to the
+/// serial overload's by uniqueness of the SCC decomposition; component
+/// *labels* are normalized to first-appearance order over ascending node
+/// id, so the result is deterministic at any thread count (every consumer
+/// is label-invariant — DESIGN.md §15). A null/single-thread pool or a
+/// graph below `parallel_min_nodes` falls back to the serial overload,
+/// labels included.
+SccResult StronglyConnectedComponents(const Digraph& g, KindMask allowed,
+                                      ThreadPool* pool,
+                                      const SccOptions& options = {});
+
 /// True iff the `allowed`-subgraph contains any directed cycle.
 bool HasCycle(const Digraph& g, KindMask allowed);
 
@@ -51,6 +79,20 @@ std::optional<Cycle> FindCycleWithRequiredKind(const Digraph& g,
                                                KindMask allowed,
                                                KindMask required,
                                                const SccResult& scc);
+
+/// Parallel variant: shards the candidate scan over contiguous edge-id
+/// ranges (the per-edge test is O(1) — kind bits plus SCC-component
+/// equality), reduces with an atomic min on the qualifying edge id, and
+/// extracts the witness once from the winning edge with the same
+/// ShortestPath BFS the serial scan uses. The minimum qualifying edge id
+/// IS the edge the serial ascending scan stops at, so the result is
+/// bit-identical at any thread count. Null/single-thread pools fall back
+/// to the serial overload.
+std::optional<Cycle> FindCycleWithRequiredKind(const Digraph& g,
+                                               KindMask allowed,
+                                               KindMask required,
+                                               const SccResult& scc,
+                                               ThreadPool* pool);
 
 /// Tuning for the exactly-one cycle search. The candidate test ("does a
 /// rest-path close a cycle through this pivot edge?") is pure existence —

@@ -1,10 +1,12 @@
 #ifndef ADYA_GRAPH_DIGRAPH_H_
 #define ADYA_GRAPH_DIGRAPH_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace adya::graph {
 
@@ -75,6 +77,24 @@ class Digraph {
     return g;
   }
 
+  /// FromEdges with the CSR passes sharded over `pool` (DESIGN.md §15).
+  /// Output is byte-identical to the serial overload at any thread count;
+  /// a null pool or a small edge set falls back to the serial path.
+  static Digraph FromEdges(size_t node_count, std::vector<Edge> edges,
+                           ThreadPool* pool) {
+    Digraph g;
+    g.node_count_ = node_count;
+    for (const Edge& e : edges) {
+      ADYA_CHECK(e.from < node_count && e.to < node_count);
+      ADYA_CHECK_MSG(e.kinds != 0, "edge must carry at least one kind bit");
+    }
+    g.edges_ = std::move(edges);
+    g.BuildCsr(/*by_from=*/true, g.out_offsets_, g.out_ids_, pool);
+    g.BuildCsr(/*by_from=*/false, g.in_offsets_, g.in_ids_, pool);
+    g.frozen_ = true;
+    return g;
+  }
+
   /// Grows the node set to at least `node_count` nodes (ids 0..count-1).
   void Resize(size_t node_count) {
     ADYA_CHECK_MSG(!frozen_, "Resize on a frozen graph");
@@ -107,10 +127,13 @@ class Digraph {
   }
 
   /// Builds the CSR form and frees the per-node vectors. Idempotent.
-  void Freeze() {
+  void Freeze() { Freeze(nullptr); }
+
+  /// Freeze with the CSR passes sharded over `pool`; identical output.
+  void Freeze(ThreadPool* pool) {
     if (frozen_) return;
-    BuildCsr(/*by_from=*/true, out_offsets_, out_ids_);
-    BuildCsr(/*by_from=*/false, in_offsets_, in_ids_);
+    BuildCsr(/*by_from=*/true, out_offsets_, out_ids_, pool);
+    BuildCsr(/*by_from=*/false, in_offsets_, in_ids_, pool);
     out_.clear();
     out_.shrink_to_fit();
     in_.clear();
@@ -154,6 +177,84 @@ class Digraph {
       const Edge& e = edges_[id];
       ids[cursor[by_from ? e.from : e.to]++] = id;
     }
+  }
+
+  /// Below this many edges the per-shard histograms cost more than the
+  /// serial pass saves; also bounds shard count so histogram memory is
+  /// O(threads * nodes) only when the edge set is genuinely large.
+  static constexpr size_t kParallelCsrMinEdges = size_t{1} << 15;
+
+  /// Parallel CSR construction: contiguous edge-id shards each count their
+  /// edges per node, a prefix sum over (node, shard) assigns every shard a
+  /// disjoint cursor range inside each node's slice, and shards then place
+  /// their edges independently. Shard s covers edge ids [s*chunk,
+  /// (s+1)*chunk), so within one node's slice the shard-base order IS
+  /// ascending edge-id order and each shard fills its range ascending —
+  /// the result is byte-identical to the serial BuildCsr at any thread
+  /// count (proof sketch in DESIGN.md §15).
+  void BuildCsr(bool by_from, std::vector<uint32_t>& offsets,
+                std::vector<EdgeId>& ids, ThreadPool* pool) const {
+    const size_t m = edges_.size();
+    size_t shards =
+        pool == nullptr ? 1
+                        : std::min<size_t>(static_cast<size_t>(pool->threads()),
+                                           m / kParallelCsrMinEdges);
+    if (shards <= 1) {
+      BuildCsr(by_from, offsets, ids);
+      return;
+    }
+    const size_t chunk = (m + shards - 1) / shards;
+    // Pass 1: per-shard, per-node counts over contiguous edge-id ranges.
+    std::vector<std::vector<uint32_t>> counts(shards);
+    pool->ParallelFor(shards, [&](size_t s) {
+      std::vector<uint32_t>& c = counts[s];
+      c.assign(node_count_, 0);
+      const size_t lo = s * chunk, hi = std::min(m, lo + chunk);
+      for (size_t id = lo; id < hi; ++id) {
+        const Edge& e = edges_[id];
+        ++c[by_from ? e.from : e.to];
+      }
+    });
+    // Pass 2a: per-node totals (sharded over contiguous node ranges).
+    offsets.assign(node_count_ + 1, 0);
+    const size_t node_shards = shards;
+    const size_t node_chunk = (node_count_ + node_shards - 1) / node_shards;
+    pool->ParallelFor(node_shards, [&](size_t s) {
+      const size_t lo = s * node_chunk,
+                   hi = std::min(node_count_, lo + node_chunk);
+      for (size_t n = lo; n < hi; ++n) {
+        uint32_t total = 0;
+        for (size_t sh = 0; sh < shards; ++sh) total += counts[sh][n];
+        offsets[n + 1] = total;
+      }
+    });
+    // Pass 2b: serial prefix sum over nodes (O(nodes), not worth sharding).
+    for (size_t n = 0; n < node_count_; ++n) offsets[n + 1] += offsets[n];
+    // Pass 2c: rewrite counts[s][n] into shard s's cursor base for node n —
+    // node base plus everything lower-numbered shards place there.
+    pool->ParallelFor(node_shards, [&](size_t s) {
+      const size_t lo = s * node_chunk,
+                   hi = std::min(node_count_, lo + node_chunk);
+      for (size_t n = lo; n < hi; ++n) {
+        uint32_t base = offsets[n];
+        for (size_t sh = 0; sh < shards; ++sh) {
+          uint32_t c = counts[sh][n];
+          counts[sh][n] = base;
+          base += c;
+        }
+      }
+    });
+    // Pass 3: placement. Each (shard, node) cursor range is disjoint, so
+    // shards write without synchronization.
+    ids.resize(m);
+    pool->ParallelFor(shards, [&](size_t s) {
+      std::vector<uint32_t>& cursor = counts[s];
+      const size_t lo = s * chunk, hi = std::min(m, lo + chunk);
+      for (size_t id = lo; id < hi; ++id) {
+        const Edge& e = edges_[id];
+        ids[cursor[by_from ? e.from : e.to]++] = static_cast<EdgeId>(id);
+      }
+    });
   }
 
   std::vector<Edge> edges_;

@@ -4,6 +4,8 @@
 #include <set>
 
 #include "common/str_util.h"
+#include "common/thread_pool.h"
+#include "obs/stats.h"
 
 namespace adya {
 
@@ -217,9 +219,15 @@ Status History::Finalize(const FinalizeOptions& options) {
     }
     for (TxnId txn : unfinished) Append(Event::Abort(txn));
   }
-  ADYA_RETURN_IF_ERROR(ValidateEvents());
-  BuildDenseIndex();
-  ADYA_RETURN_IF_ERROR(ComputeVersionOrders());
+  {
+    ADYA_TIMED_PHASE(options.stats, "checker.finalize_us");
+    ADYA_RETURN_IF_ERROR(ValidateEvents());
+    BuildDenseIndex();
+  }
+  {
+    ADYA_TIMED_PHASE(options.stats, "checker.version_order_us");
+    ADYA_RETURN_IF_ERROR(ComputeVersionOrders(options.pool));
+  }
   finalized_ = true;
   return Status::OK();
 }
@@ -365,7 +373,7 @@ Status History::ValidateEvents() {
   return Status::OK();
 }
 
-Status History::ComputeVersionOrders() {
+Status History::ComputeVersionOrders(ThreadPool* pool) {
   effective_order_.assign(objects_.size(), {});
   order_index_.clear();
   // Committed installers per object, gathered in one pass over the
@@ -378,7 +386,12 @@ Status History::ComputeVersionOrders() {
       if (!writes.empty()) installers_of[obj].push_back(txn);
     }
   }
-  for (ObjectId obj = 0; obj < objects_.size(); ++obj) {
+  // Ordering, validation and the dead-version check are object-local (the
+  // shared structures they consult — txns_, write_events_, seeds_ — are
+  // read-only here), so objects shard over contiguous id ranges. Only the
+  // slot written by this object (effective_order_[obj]) is touched per
+  // call; the shared order_index_ map is filled serially afterwards.
+  auto order_object = [&](ObjectId obj) -> Status {
     std::vector<TxnId>& installers = installers_of[obj];
     std::vector<TxnId> order;
     auto explicit_it = explicit_order_.find(obj);
@@ -421,12 +434,52 @@ Status History::ComputeVersionOrders() {
                    ": the dead version must be the last version"));
       }
     }
+    effective_order_[obj] = std::move(order);
+    return Status::OK();
+  };
+  const size_t n_obj = objects_.size();
+  constexpr size_t kParallelMinObjects = 64;
+  if (pool != nullptr && pool->threads() > 1 && n_obj >= kParallelMinObjects) {
+    const size_t shards =
+        std::min<size_t>(static_cast<size_t>(pool->threads()) * 4, n_obj);
+    const size_t chunk = (n_obj + shards - 1) / shards;
+    std::vector<Status> shard_error(shards, Status::OK());
+    std::vector<size_t> error_obj(shards, n_obj);
+    pool->ParallelFor(shards, [&](size_t s) {
+      const size_t lo = s * chunk, hi = std::min(n_obj, lo + chunk);
+      for (size_t obj = lo; obj < hi; ++obj) {
+        Status st = order_object(static_cast<ObjectId>(obj));
+        if (!st.ok()) {
+          shard_error[s] = std::move(st);
+          error_obj[s] = obj;
+          return;
+        }
+      }
+    });
+    // Min-object-id reduction: the serial loop reports its first failing
+    // object, which is the smallest failing id overall (errors are a pure
+    // function of the object).
+    size_t first = n_obj;
+    size_t winner = shards;
+    for (size_t s = 0; s < shards; ++s) {
+      if (error_obj[s] < first) {
+        first = error_obj[s];
+        winner = s;
+      }
+    }
+    if (winner != shards) return shard_error[winner];
+  } else {
+    for (ObjectId obj = 0; obj < n_obj; ++obj) {
+      ADYA_RETURN_IF_ERROR(order_object(obj));
+    }
+  }
+  for (ObjectId obj = 0; obj < n_obj; ++obj) {
+    const std::vector<TxnId>& order = effective_order_[obj];
     for (size_t i = 0; i < order.size(); ++i) {
       auto dense = dense_.IndexOf(order[i]);
       ADYA_CHECK(dense.has_value());
       order_index_[PackKey(obj, *dense)] = static_cast<uint32_t>(i);
     }
-    effective_order_[obj] = std::move(order);
   }
   return Status::OK();
 }

@@ -17,6 +17,11 @@
 
 namespace adya {
 
+class ThreadPool;
+namespace obs {
+class StatsRegistry;
+}  // namespace obs
+
 /// A transaction history H (§4.2): a universe of relations, objects and
 /// predicates; a total order of events (any linear extension of the paper's
 /// partial order — all the definitions consume only per-transaction order,
@@ -35,6 +40,15 @@ class History {
     /// completion rule). When false, unfinished transactions make
     /// Finalize() fail instead.
     bool auto_abort_unfinished = true;
+    /// Phase timers (DESIGN.md §9): "checker.finalize_us" covers event
+    /// validation plus the dense-index build, "checker.version_order_us"
+    /// the version-order construction. Null = untimed.
+    obs::StatsRegistry* stats = nullptr;
+    /// Shards the per-object version-order construction (ordering,
+    /// validation and the dead-version check are object-local). Null =
+    /// serial; the orders — and on invalid input the reported error, which
+    /// reduces to the lowest-object-id failure — are identical either way.
+    ThreadPool* pool = nullptr;
   };
 
   /// Summary of a collected pre-frontier version carried by a truncated
@@ -218,7 +232,7 @@ class History {
  private:
   Status ValidateEvents();
   void BuildDenseIndex();
-  Status ComputeVersionOrders();
+  Status ComputeVersionOrders(ThreadPool* pool);
   std::optional<VersionId> InstalledVersionInternal(TxnId txn,
                                                     ObjectId object) const;
   /// Kind written by `version`'s creating event, tolerating a collected

@@ -59,6 +59,7 @@ Server::Server(const ServeOptions& options) : options_(options) {
   if (options_.workers < 1) options_.workers = 1;
   if (options_.max_pending < 1) options_.max_pending = 1;
   if (options_.drain_batches < 1) options_.drain_batches = 1;
+  if (options_.check_threads < 1) options_.check_threads = 1;
   if (obs::StatsRegistry* stats = options_.stats) {
     connections_total_ = &stats->counter("serve.connections");
     sessions_total_ = &stats->counter("serve.sessions");
@@ -190,6 +191,12 @@ bool Server::HandleFrame(const std::shared_ptr<Connection>& conn,
       }
       if (parsed->max_pending > 0 && parsed->max_pending < conn->max_pending) {
         conn->max_pending = parsed->max_pending;
+      }
+      // 0 (unset) takes the server default; explicit requests clamp to it —
+      // --check-threads is the operator's per-session resource ceiling.
+      if (parsed->check_threads == 0 ||
+          parsed->check_threads > options_.check_threads) {
+        parsed->check_threads = options_.check_threads;
       }
       if (!parsed->gc_from_open) parsed->gc = options_.gc;
       uint64_t id = next_session_id_.fetch_add(1, std::memory_order_relaxed);

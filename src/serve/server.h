@@ -61,6 +61,10 @@ struct ServeOptions {
   int max_pending = 64;
   /// Batches one worker wakeup drains from its shard queue at most.
   int drain_batches = 8;
+  /// Default (and maximum) threads per session for the checker's offline
+  /// witness/audit passes; OPEN's check_threads option can lower — never
+  /// raise — it. 1 keeps sessions fully single-threaded, as before.
+  int check_threads = 1;
   uint32_t max_frame_payload = kMaxFramePayload;
 
   /// Default prefix-GC options for sessions whose OPEN names no gc_* key

@@ -50,6 +50,15 @@ Result<SessionOptions> SessionOptions::Parse(std::string_view text) {
     std::string_view value = token.substr(eq + 1);
     if (key == "level") {
       ADYA_ASSIGN_OR_RETURN(options.level, LevelFromName(value));
+    } else if (key == "check_threads") {
+      int n = 0;
+      auto [ptr, ec] =
+          std::from_chars(value.data(), value.data() + value.size(), n);
+      if (ec != std::errc() || ptr != value.data() + value.size() || n < 1) {
+        return Status::InvalidArgument(
+            StrCat("bad check_threads '", value, "'"));
+      }
+      options.check_threads = n;
     } else if (key == "max_pending") {
       int n = 0;
       auto [ptr, ec] =
@@ -97,7 +106,10 @@ Session::Session(uint64_t id, const SessionOptions& options,
                  obs::StatsRegistry* stats)
     : id_(id),
       options_(options),
-      checker_(options.level, stats, options.gc),
+      pool_(options.check_threads > 1
+                ? std::make_unique<ThreadPool>(options.check_threads)
+                : nullptr),
+      checker_(options.level, stats, options.gc, pool_.get()),
       parser_(&checker_.history()) {}
 
 Result<BatchOutcome> Session::Apply(uint32_t seq, std::string_view text) {

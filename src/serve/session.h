@@ -12,11 +12,13 @@
 // session to one worker shard, so Apply() needs no locking.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "core/incremental.h"
 #include "core/levels.h"
 #include "history/parser.h"
@@ -24,14 +26,20 @@
 
 namespace adya::serve {
 
-/// Parsed kOpen payload: `level=PL-3 [max_pending=N] [gc_watermark=N]
-/// [gc_min_window=N]`. Unknown keys are rejected (a client talking a newer
-/// dialect should fail loudly).
+/// Parsed kOpen payload: `level=PL-3 [max_pending=N] [check_threads=N]
+/// [gc_watermark=N] [gc_min_window=N]`. Unknown keys are rejected (a client
+/// talking a newer dialect should fail loudly).
 struct SessionOptions {
   IsolationLevel level = IsolationLevel::kPL3;
   /// Per-session pending-batch bound; 0 means "server default". Values
   /// above the server's limit are clamped to it.
   int max_pending = 0;
+  /// Threads the session's checker may use for its offline witness /
+  /// audit passes (verdicts and witness text are thread-count-invariant);
+  /// 0 means "server default" (--check-threads). Values above the server's
+  /// limit are clamped to it. The streaming per-event path stays
+  /// single-threaded either way — sessions are pinned to one worker shard.
+  int check_threads = 0;
   /// Prefix GC for this session's checker (DESIGN.md §12). OPEN's
   /// gc_watermark=N enables it, gc_min_window=N sizes the retained
   /// window; when OPEN names neither key the server's --gc-* defaults
@@ -85,6 +93,9 @@ class Session {
  private:
   const uint64_t id_;
   const SessionOptions options_;
+  /// Owned worker pool for the checker's offline passes; null below two
+  /// threads. Declared before checker_, which borrows the raw pointer.
+  std::unique_ptr<ThreadPool> pool_;
   IncrementalChecker checker_;
   StreamParser parser_;
   uint64_t batches_ = 0;

@@ -58,11 +58,10 @@ std::vector<Violation> OnlineCertifier::CertifyPrefix(size_t end) const {
   History prefix = end == replica_.events().size()
                        ? replica_
                        : PrefixHistory(replica_, end);
-  Status finalized;
-  {
-    ADYA_TIMED_PHASE(options_.stats, "checker.version_order_us");
-    finalized = prefix.Finalize();
-  }
+  History::FinalizeOptions fin;
+  fin.stats = options_.stats;  // checker.finalize_us + version_order_us
+  fin.pool = pool_.get();      // pooled per-object version-order shards
+  Status finalized = prefix.Finalize(fin);
   // The engine reports exact version identities, so its recorded prefixes
   // are well-formed by construction; a failure here is an engine bug.
   ADYA_CHECK_MSG(finalized.ok(),

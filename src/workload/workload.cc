@@ -264,8 +264,10 @@ History GenerateRandomHistory(const RandomHistoryOptions& options) {
       h.SetVersionOrder(obj, installers);
     }
   }
-  Status st = h.Finalize();
-  ADYA_CHECK_MSG(st.ok(), "generated history must be well-formed: " << st);
+  if (options.finalize) {
+    Status st = h.Finalize();
+    ADYA_CHECK_MSG(st.ok(), "generated history must be well-formed: " << st);
+  }
   return h;
 }
 

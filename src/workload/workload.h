@@ -82,6 +82,11 @@ struct RandomHistoryOptions {
   /// the default mode also explores multi-version-only histories such as
   /// reads of superseded versions and adversarial version orders.
   bool realizable = false;
+  /// When false the generated history is returned unfinalized, so the
+  /// caller can run (and time) History::Finalize itself — the phase
+  /// benchmarks use this to surface checker.finalize_us /
+  /// checker.version_order_us on a fresh copy per repeat.
+  bool finalize = true;
 };
 
 History GenerateRandomHistory(const RandomHistoryOptions& options);

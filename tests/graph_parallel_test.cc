@@ -1,0 +1,229 @@
+// Differential wall for the parallel graph algorithms behind the
+// intra-artifact parallelism (DESIGN.md §15): the sharded CSR build, the
+// FW-BW SCC decomposition, and the sharded cycle scans must be
+// BIT-identical to their serial formulations — same component labels, same
+// adjacency bytes, same witness edge ids — at any thread count. Thresholds
+// that would route small inputs back to the serial path are forced off
+// (SccOptions::parallel_min_nodes = 0) or crossed with large enough random
+// inputs, so the parallel code itself is what runs. The suite name carries
+// "Parallel" so scripts/ci.sh reruns it under TSan.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "graph/cycles.h"
+#include "graph/digraph.h"
+
+namespace adya::graph {
+namespace {
+
+constexpr KindMask kAllKinds = 0xF;
+
+/// Random multigraph with `n` nodes and ~`m` kind-labeled edges
+/// (self-loops and parallel edges included, as in a real DSG).
+std::vector<Digraph::Edge> RandomEdges(Rng& rng, size_t n, size_t m) {
+  std::vector<Digraph::Edge> edges;
+  edges.reserve(m);
+  for (size_t i = 0; i < m; ++i) {
+    KindMask kinds = static_cast<KindMask>(rng.NextInRange(1, kAllKinds));
+    edges.push_back(Digraph::Edge{static_cast<NodeId>(rng.NextBelow(n)),
+                                  static_cast<NodeId>(rng.NextBelow(n)),
+                                  kinds});
+  }
+  return edges;
+}
+
+Digraph BuildFrozen(size_t n, const std::vector<Digraph::Edge>& edges) {
+  Digraph g(n);
+  for (const Digraph::Edge& e : edges) g.AddEdge(e.from, e.to, e.kinds);
+  g.Freeze();
+  return g;
+}
+
+void ExpectSameScc(const SccResult& serial, const SccResult& parallel,
+                   uint64_t seed, KindMask mask) {
+  EXPECT_EQ(serial.count, parallel.count) << "seed " << seed << " mask "
+                                          << mask;
+  EXPECT_EQ(serial.component, parallel.component)
+      << "seed " << seed << " mask " << mask;
+}
+
+TEST(GraphParallelTest, SccMatchesSerialOnRandomGraphs) {
+  ThreadPool pool(4);
+  SccOptions force;
+  force.parallel_min_nodes = 0;
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    Rng rng(seed);
+    size_t n = 1 + rng.NextBelow(300);
+    size_t m = rng.NextBelow(4 * n + 1);
+    Digraph g = BuildFrozen(n, RandomEdges(rng, n, m));
+    for (KindMask mask : {kAllKinds, KindMask{0x3}, KindMask{0x4}}) {
+      SccResult serial = StronglyConnectedComponents(g, mask);
+      SccResult parallel = StronglyConnectedComponents(g, mask, &pool, force);
+      ExpectSameScc(serial, parallel, seed, mask);
+    }
+  }
+}
+
+// The trim peel's edge cases: a pure chain DAG (everything peels, no FW-BW
+// round), a single big ring (nothing peels), and self-loops (singleton
+// SCCs that are nonetheless cyclic).
+TEST(GraphParallelTest, SccChainRingAndSelfLoops) {
+  ThreadPool pool(8);
+  SccOptions force;
+  force.parallel_min_nodes = 0;
+
+  constexpr size_t kN = 200;
+  Digraph chain(kN);
+  for (NodeId i = 0; i + 1 < kN; ++i) chain.AddEdge(i, i + 1, 0x1);
+  chain.Freeze();
+  ExpectSameScc(StronglyConnectedComponents(chain, kAllKinds),
+                StronglyConnectedComponents(chain, kAllKinds, &pool, force),
+                0, kAllKinds);
+
+  Digraph ring(kN);
+  for (NodeId i = 0; i < kN; ++i)
+    ring.AddEdge(i, static_cast<NodeId>((i + 1) % kN), 0x2);
+  ring.Freeze();
+  SccResult ring_parallel =
+      StronglyConnectedComponents(ring, kAllKinds, &pool, force);
+  EXPECT_EQ(ring_parallel.count, 1u);
+  ExpectSameScc(StronglyConnectedComponents(ring, kAllKinds), ring_parallel,
+                0, kAllKinds);
+
+  Digraph loops(kN);
+  for (NodeId i = 0; i < kN; i += 3) loops.AddEdge(i, i, 0x1);
+  loops.Freeze();
+  ExpectSameScc(StronglyConnectedComponents(loops, kAllKinds),
+                StronglyConnectedComponents(loops, kAllKinds, &pool, force),
+                0, kAllKinds);
+}
+
+void ExpectSameAdjacency(const Digraph& a, const Digraph& b) {
+  ASSERT_EQ(a.node_count(), b.node_count());
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  for (NodeId n = 0; n < a.node_count(); ++n) {
+    EdgeSpan ao = a.out_edges(n), bo = b.out_edges(n);
+    ASSERT_EQ(ao.size(), bo.size()) << "out slice of node " << n;
+    EXPECT_TRUE(std::equal(ao.begin(), ao.end(), bo.begin()))
+        << "out slice of node " << n;
+    EdgeSpan ai = a.in_edges(n), bi = b.in_edges(n);
+    ASSERT_EQ(ai.size(), bi.size()) << "in slice of node " << n;
+    EXPECT_TRUE(std::equal(ai.begin(), ai.end(), bi.begin()))
+        << "in slice of node " << n;
+  }
+}
+
+// Enough edges to clear kParallelCsrMinEdges (1<<15) per shard, so the
+// sharded histogram + prefix-sum placement really runs.
+TEST(GraphParallelTest, ParallelCsrMatchesSerial) {
+  Rng rng(7);
+  constexpr size_t kNodes = 3000;
+  constexpr size_t kEdges = 100000;
+  std::vector<Digraph::Edge> edges = RandomEdges(rng, kNodes, kEdges);
+  ThreadPool pool(4);
+
+  Digraph serial = Digraph::FromEdges(kNodes, edges);
+  Digraph parallel = Digraph::FromEdges(kNodes, edges, &pool);
+  ExpectSameAdjacency(serial, parallel);
+
+  Digraph frozen(kNodes);
+  for (const Digraph::Edge& e : edges) frozen.AddEdge(e.from, e.to, e.kinds);
+  frozen.Freeze(&pool);
+  ExpectSameAdjacency(serial, frozen);
+}
+
+// Node-skew stress for the CSR shard cursors: one hub node owns most of
+// the edges, so nearly every shard writes into the same node's slice.
+TEST(GraphParallelTest, ParallelCsrHubNode) {
+  Rng rng(11);
+  constexpr size_t kNodes = 64;
+  constexpr size_t kEdges = 1 << 17;
+  std::vector<Digraph::Edge> edges;
+  edges.reserve(kEdges);
+  for (size_t i = 0; i < kEdges; ++i) {
+    edges.push_back(Digraph::Edge{
+        static_cast<NodeId>(0), static_cast<NodeId>(rng.NextBelow(kNodes)),
+        static_cast<KindMask>(rng.NextInRange(1, kAllKinds))});
+  }
+  ThreadPool pool(8);
+  ExpectSameAdjacency(Digraph::FromEdges(kNodes, edges),
+                      Digraph::FromEdges(kNodes, edges, &pool));
+}
+
+void ExpectSameCycle(const std::optional<Cycle>& serial,
+                     const std::optional<Cycle>& parallel, uint64_t seed) {
+  ASSERT_EQ(serial.has_value(), parallel.has_value()) << "seed " << seed;
+  if (serial.has_value()) {
+    EXPECT_EQ(serial->edges, parallel->edges) << "seed " << seed;
+  }
+}
+
+// ~2k edges clears the sharded candidate scan's serial-fallback threshold;
+// the reduced minimum edge id must reproduce the serial witness exactly.
+TEST(GraphParallelTest, FindCycleWithRequiredKindPoolMatchesSerial) {
+  ThreadPool pool(4);
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed * 131);
+    size_t n = 100 + rng.NextBelow(400);
+    Digraph g = BuildFrozen(n, RandomEdges(rng, n, 2048));
+    for (KindMask required : {KindMask{0x1}, KindMask{0x8}}) {
+      SccResult scc = StronglyConnectedComponents(g, kAllKinds);
+      ExpectSameCycle(FindCycleWithRequiredKind(g, kAllKinds, required, scc),
+                      FindCycleWithRequiredKind(g, kAllKinds, required, scc,
+                                                &pool),
+                      seed);
+    }
+  }
+}
+
+TEST(GraphParallelTest, FindCycleWithExactlyOnePoolMatchesSerial) {
+  ThreadPool pool(4);
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed * 977);
+    size_t n = 100 + rng.NextBelow(300);
+    Digraph g = BuildFrozen(n, RandomEdges(rng, n, 2048));
+    KindMask pivot = 0x4;
+    KindMask rest = 0x3;
+    ExpectSameCycle(FindCycleWithExactlyOne(g, pivot, rest),
+                    FindCycleWithExactlyOne(g, pivot, rest, &pool), seed);
+  }
+}
+
+// A sparse all-acyclic family: the scans must agree on "no cycle" too
+// (nullopt at every thread count), and the SCC trim peel handles the
+// everything-trims case.
+TEST(GraphParallelTest, AcyclicGraphsStayClean) {
+  ThreadPool pool(4);
+  SccOptions force;
+  force.parallel_min_nodes = 0;
+  Rng rng(5);
+  constexpr size_t kN = 500;
+  std::vector<Digraph::Edge> edges;
+  for (size_t i = 0; i < 3000; ++i) {
+    NodeId a = static_cast<NodeId>(rng.NextBelow(kN));
+    NodeId b = static_cast<NodeId>(rng.NextBelow(kN));
+    if (a == b) continue;
+    if (a > b) std::swap(a, b);  // forward edges only: a DAG by design
+    edges.push_back(Digraph::Edge{
+        a, b, static_cast<KindMask>(rng.NextInRange(1, kAllKinds))});
+  }
+  Digraph g = BuildFrozen(kN, edges);
+  SccResult parallel =
+      StronglyConnectedComponents(g, kAllKinds, &pool, force);
+  EXPECT_EQ(parallel.count, kN);
+  ExpectSameScc(StronglyConnectedComponents(g, kAllKinds), parallel, 5,
+                kAllKinds);
+  SccResult scc = StronglyConnectedComponents(g, kAllKinds);
+  EXPECT_FALSE(
+      FindCycleWithRequiredKind(g, kAllKinds, 0x1, scc, &pool).has_value());
+  EXPECT_FALSE(FindCycleWithExactlyOne(g, 0x4, 0x3, &pool).has_value());
+}
+
+}  // namespace
+}  // namespace adya::graph

@@ -2,9 +2,10 @@
 // corpus — the paper's worked examples, seeded random histories (realizable
 // and multi-version-adversarial), and recorded engine executions of every
 // scheme — is checked through all three CheckModes of the adya::Checker
-// facade, with the serial artifact phase as the baseline. Verdicts,
-// violation order, witness descriptions, events, and cycle edge ids must be
-// BIT-identical at every PL level and for every individual phenomenon.
+// facade ON a thread-count axis ({1, 2, 8} pool widths), with the pool-less
+// serial artifact phase as the baseline. Verdicts, violation order, witness
+// descriptions, events, and cycle edge ids must be BIT-identical at every
+// PL level and for every individual phenomenon at every thread count.
 // (The original PR-8 wall additionally diffed against the pre-artifacts
 // rescan phase; that code baked for one PR and was then deleted, so the
 // wall now pins serial ≡ parallel ≡ incremental.)
@@ -65,9 +66,22 @@ bool SeedSelected(uint64_t seed) {
   return std::strtoull(env, nullptr, 10) == seed;
 }
 
-ThreadPool* SharedPool() {
-  static ThreadPool pool(4);
-  return &pool;
+/// One shared pool per thread count on the diff axis; threads=1 means "no
+/// pool" (the bit-for-bit serial construction).
+ThreadPool* SharedPool(int threads) {
+  static ThreadPool pool2(2);
+  static ThreadPool pool4(4);
+  static ThreadPool pool8(8);
+  switch (threads) {
+    case 2:
+      return &pool2;
+    case 4:
+      return &pool4;
+    case 8:
+      return &pool8;
+    default:
+      return nullptr;
+  }
 }
 
 void ExpectSameViolations(const std::vector<Violation>& expected,
@@ -109,15 +123,32 @@ void DiffOneHistory(const History& h, const std::string& context) {
     base_each.push_back(serial.CheckPhenomenon(p));
   }
 
-  for (CheckMode mode : {CheckMode::kParallel, CheckMode::kIncremental}) {
+  // The thread-count axis: every mode must match the serial baseline at
+  // every pool width — the tested form of the deterministic-reduction
+  // contract (DESIGN.md §15): thread count never changes a verdict or a
+  // witness byte. threads=1 runs the pool-less construction; kSerial with a
+  // pool is PhenomenonArtifacts' own intra-artifact parallelism, kParallel
+  // layers the per-phenomenon fan-out on top, kIncremental routes the pool
+  // through the audit-mode offline pass.
+  struct DiffTarget {
+    CheckMode mode;
+    int threads;
+  };
+  constexpr DiffTarget kTargets[] = {
+      {CheckMode::kSerial, 2},      {CheckMode::kSerial, 8},
+      {CheckMode::kParallel, 1},    {CheckMode::kParallel, 2},
+      {CheckMode::kParallel, 8},    {CheckMode::kIncremental, 1},
+      {CheckMode::kIncremental, 2}, {CheckMode::kIncremental, 8},
+  };
+  for (const DiffTarget& target : kTargets) {
     CheckerOptions options;
-    options.mode = mode;
-    options.threads = mode == CheckMode::kParallel ? 4 : 1;
-    Checker checker =
-        mode == CheckMode::kParallel
-            ? Checker(h, options, SharedPool())
-            : Checker(h, options);
-    std::string ctx = StrCat(context, " mode=", CheckModeName(mode));
+    options.mode = target.mode;
+    options.threads = target.mode == CheckMode::kParallel ? target.threads : 1;
+    ThreadPool* pool = SharedPool(target.threads);
+    Checker checker = pool != nullptr ? Checker(h, options, pool)
+                                      : Checker(h, options);
+    std::string ctx = StrCat(context, " mode=", CheckModeName(target.mode),
+                             " threads=", target.threads);
     ExpectSameViolations(base_all, checker.CheckAll(), ctx);
     for (size_t li = 0; li < std::size(kAllLevels); ++li) {
       CheckReport report = checker.Check(kAllLevels[li]);
